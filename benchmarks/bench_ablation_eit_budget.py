@@ -1,0 +1,68 @@
+"""A4 — ablation: the Gradual EIT question budget.
+
+Section 3 argues for *gradual*, non-intrusive acquisition.  This bench
+sweeps the per-user question budget and measures how well the learned
+emotional vectors recover the latent traits — quantifying the value of
+each additional question.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record_artifact
+from repro.core.emotions import EMOTION_NAMES
+from repro.core.gradual_eit import GradualEIT, QuestionBank
+from repro.core.sum_model import SmartUserModel
+from repro.datagen.behavior import BehaviorModel
+from repro.datagen.catalog import CourseCatalog
+from repro.datagen.population import Population
+
+
+def recovery_at_budget(budget: int, n_users: int = 300, seed: int = 7) -> float:
+    population = Population.generate(n_users, seed=seed)
+    catalog = CourseCatalog.generate(20, seed=seed)
+    world = BehaviorModel(population, catalog, seed=seed)
+    eit = GradualEIT(QuestionBank.default_bank(per_task=5))
+    rng = np.random.default_rng(seed)
+
+    learned = []
+    latent = []
+    for user in population:
+        model = SmartUserModel(user.user_id)
+        for __ in range(budget):
+            question = eit.ask(model)
+            if question is None:
+                break
+            option = world.choose_eit_option(user, question, rng)
+            eit.record_answer(model, question, option)
+        learned.append(model.emotional.as_vector(EMOTION_NAMES))
+        latent.append(user.trait_vector())
+    learned_matrix = np.vstack(learned)
+    latent_matrix = np.vstack(latent)
+    correlations = []
+    for j in range(len(EMOTION_NAMES)):
+        if learned_matrix[:, j].std() > 0:
+            correlations.append(
+                float(np.corrcoef(learned_matrix[:, j], latent_matrix[:, j])[0, 1])
+            )
+    return float(np.mean(correlations)) if correlations else 0.0
+
+
+def test_ablation_eit_budget(benchmark):
+    budgets = (0, 2, 5, 10, 20, 40)
+    recovery = {b: recovery_at_budget(b) for b in budgets}
+
+    lines = ["questions/user | mean corr(learned, latent traits)"]
+    for budget in budgets:
+        bar = "#" * int(max(recovery[budget], 0) * 40)
+        lines.append(f"{budget:14d} | {recovery[budget]:.3f} {bar}")
+    record_artifact("A4_ablation_eit_budget", "\n".join(lines))
+
+    benchmark.pedantic(lambda: recovery_at_budget(5, n_users=100),
+                       rounds=1, iterations=1)
+
+    # Zero questions ⇒ zero knowledge; more questions ⇒ monotone-ish gains
+    # with diminishing returns.
+    assert recovery[0] == 0.0
+    assert recovery[5] > 0.15
+    assert recovery[40] > recovery[5]
+    assert recovery[40] - recovery[20] < recovery[10] - recovery[2]

@@ -1,0 +1,62 @@
+"""A3 — ablation: SVD rank on the sparse EIT answer matrix.
+
+Section 5.2: "it is important to note that in many occasions users do not
+answer questions which produce ... the sparsity problem in data.  To
+reduce the dimensionality of the matrix generated we use ..." — this bench
+sweeps the truncation rank and reports reconstruction quality and the
+ranking value of the embeddings.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record_artifact
+from repro.ml.metrics import roc_auc
+from repro.ml.svd import TruncatedSVD
+
+
+def test_ablation_svd_rank(business_case, benchmark):
+    engine = business_case.spa.engine
+    user_ids = engine.sums.user_ids()
+    matrix, question_ids = engine.eit.answer_matrix(user_ids)
+    sparsity = engine.eit.sparsity(user_ids)
+
+    # Outcome label per user: did they ever transact?
+    transacted_users = {
+        uid for uid, __c, label in engine._training_rows if label
+    }
+    labels = np.asarray([int(uid in transacted_users) for uid in user_ids])
+
+    rows = []
+    aucs = {}
+    for rank in (2, 4, 8, 16, 32):
+        effective = min(rank, min(matrix.shape) - 1)
+        svd = TruncatedSVD(rank=effective).fit(matrix)
+        embedding = svd.transform(matrix)
+        error = svd.reconstruction_error(matrix)
+        # 1-D probe: best single latent dimension as a ranking score.
+        dimension_aucs = []
+        for j in range(embedding.shape[1]):
+            if embedding[:, j].std() > 0:
+                auc = roc_auc(labels, embedding[:, j])
+                dimension_aucs.append(max(auc, 1.0 - auc))
+        aucs[rank] = max(dimension_aucs)
+        rows.append(
+            f"rank {rank:3d} | recon.err {error:.3f} | "
+            f"best-dim AUC {aucs[rank]:.3f}"
+        )
+
+    text = "\n".join(
+        [
+            f"answer matrix: {matrix.shape[0]} users x "
+            f"{matrix.shape[1]} questions, sparsity {sparsity:.1%}",
+            *rows,
+        ]
+    )
+    record_artifact("A3_ablation_svd_rank", text)
+
+    benchmark(lambda: TruncatedSVD(rank=8).fit_transform(matrix))
+
+    # The sparsity problem is real (paper's premise) ...
+    assert sparsity > 0.5
+    # ... and the latent structure carries outcome signal.
+    assert max(aucs.values()) > 0.55

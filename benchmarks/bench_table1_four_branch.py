@@ -1,0 +1,68 @@
+"""E3 — Table 1: the Four-Branch Model of Emotional Intelligence.
+
+Regenerates the table's content from the live model and times MSCEIT-style
+batch scoring of a full question-bank pass.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record_artifact
+from repro.core.four_branch import (
+    Area,
+    BRANCH_ORDER,
+    BRANCHES,
+    FourBranchProfile,
+    branch_table,
+)
+from repro.core.gradual_eit import GradualEIT, QuestionBank
+from repro.core.sum_model import SmartUserModel
+
+
+def test_table1_four_branch_model(benchmark):
+    rows = branch_table()
+    width = max(len(r["title"]) for r in rows)
+    lines = [f"{'Branch':{width}s} | Area         | MSCEIT V2.0 tasks"]
+    lines.append("-" * (width + 40))
+    for row in rows:
+        lines.append(
+            f"{row['title']:{width}s} | {row['area']:12s} | {row['tasks']}"
+        )
+    record_artifact("Table1_four_branch_model", "\n".join(lines))
+
+    assert [r["title"] for r in rows] == [
+        "Perceiving Emotions",
+        "Facilitating Thought",
+        "Understanding Emotions",
+        "Managing Emotions",
+    ]
+    assert {r["area"] for r in rows} == {"experiential", "strategic"}
+
+    # Time a full-bank EIT administration + scoring for one user.
+    bank = QuestionBank.default_bank(per_task=5)
+
+    def administer():
+        eit = GradualEIT(bank)
+        model = SmartUserModel(1)
+        while True:
+            question = eit.ask(model)
+            if question is None:
+                break
+            eit.record_answer(model, question, 0)
+        return model.ei_profile.eiq()
+
+    eiq = benchmark(administer)
+    # Answering the high-ability option everywhere must raise EIQ above 100.
+    assert eiq > 100.0
+
+
+def test_table1_scoring_composes_bottom_up(benchmark):
+    profile = benchmark(lambda: FourBranchProfile.from_task_scores(
+        {"Faces": 1.0, "Pictures": 1.0, "Facilitation": 1.0, "Sensations": 1.0,
+         "Changes": 0.0, "Blends": 0.0, "Emotion Management": 0.0,
+         "Emotional Relations": 0.0}
+    ))
+    assert profile.area_score(Area.EXPERIENTIAL) == 1.0
+    assert profile.area_score(Area.STRATEGIC) == 0.0
+    assert profile.total_score() == 0.5
+    assert profile.eiq() == 100.0
+    assert all(len(BRANCHES[b].tasks) == 2 for b in BRANCH_ORDER)

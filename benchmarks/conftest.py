@@ -1,0 +1,50 @@
+"""Shared fixtures for the reproduction benches.
+
+The expensive Section 5 business case runs once per session and feeds the
+Fig. 6 benches and ablations.  Benches register their reproduced artifact
+(the table/figure text) via :func:`record_artifact`; everything registered
+is printed in the terminal summary, so ``pytest benchmarks/
+--benchmark-only`` shows the regenerated paper artifacts without ``-s``,
+and a copy is written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_business_case
+
+#: (title, text) artifacts registered by benches this session.
+_ARTIFACTS: list[tuple[str, str]] = []
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: scale of the shared business-case run (paper: 3,162,069 users)
+BUSINESS_CASE_USERS = 6_000
+
+
+def record_artifact(title: str, text: str) -> None:
+    """Register one reproduced table/figure for the end-of-run dump."""
+    _ARTIFACTS.append((title, text))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in title)
+    (RESULTS_DIR / f"{safe}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+@pytest.fixture(scope="session")
+def business_case():
+    """The full ten-campaign business case (shared across benches)."""
+    return run_business_case(
+        n_users=BUSINESS_CASE_USERS, n_courses=120, seed=7, n_warmups=3
+    )
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _ARTIFACTS:
+        return
+    terminalreporter.write_sep("=", "reproduced paper artifacts")
+    for title, text in _ARTIFACTS:
+        terminalreporter.write_sep("-", title)
+        terminalreporter.write_line(text)

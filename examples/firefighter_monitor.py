@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The wearIT@work firefighter scenario (the paper's future work, §7).
+
+Three firefighters wear physiological sensors during a 10-minute rescue
+operation; one encounters a severe stress episode.  The Ambient
+Recommender System maps signals → emotional context → operational-fitness
+advice for the commander.
+
+Run with::
+
+    python examples/firefighter_monitor.py
+"""
+
+from repro.physio import CommanderAdvisor, StressEpisode, generate_stream
+
+
+def main() -> None:
+    operation_seconds = 600
+    crews = {
+        1: [],  # steady
+        2: [StressEpisode(180, 420, 0.95)],  # trapped in a flashover
+        3: [StressEpisode(300, 380, 0.5)],  # brief strain
+    }
+    advisor = CommanderAdvisor()
+
+    print("=== commander console: rescue operation, 10 minutes ===\n")
+    streams = {
+        fid: generate_stream(operation_seconds, episodes, firefighter_id=fid)
+        for fid, episodes in crews.items()
+    }
+    assessments = {
+        fid: advisor.assess_stream(fid, stream)
+        for fid, stream in streams.items()
+    }
+
+    # Minute-by-minute board.
+    print("minute | " + " | ".join(f"firefighter {fid}" for fid in crews))
+    print("-------+" + "+".join(["-" * 15] * len(crews)))
+    for minute in range(1, operation_seconds // 60 + 1):
+        cells = []
+        for fid in crews:
+            window = [
+                a for a in assessments[fid] if a.window_end <= minute * 60
+            ]
+            if window:
+                latest = window[-1]
+                cells.append(f"{latest.status:>8} {latest.fitness:.2f}")
+            else:
+                cells.append(" " * 13)
+        print(f"  {minute:4d} | " + " | ".join(c.center(15) for c in cells))
+
+    print("\n=== alerts ===")
+    any_alert = False
+    for fid in crews:
+        for assessment in assessments[fid]:
+            if assessment.alert:
+                any_alert = True
+                print(
+                    f"t={assessment.window_end:5.0f}s  {assessment.alert}  "
+                    f"(dominant: {', '.join(assessment.dominant_emotions)})"
+                )
+    if not any_alert:
+        print("(none)")
+
+    print("\n=== final emotional states ===")
+    for fid in crews:
+        state = advisor.states[fid]
+        top = ", ".join(f"{n} {v:.2f}" for n, v in state.top(3) if v > 0.05)
+        print(f"firefighter {fid}: mood {state.mood():+.2f}, top: {top or '(calm)'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""The raw LifeLog ingest path: weblog text → agents → features.
+
+Demonstrates the substrate stack of Section 4/5.1: synthetic combined-log-
+format weblogs are written to disk, the self-replicating LifeLogs
+Pre-processor Agent parses them into the segmented event store, sessions
+are cut, and per-user behavioural features are distilled.
+
+Run with::
+
+    python examples/lifelog_pipeline.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.agents.lifelog_agent import LifeLogPreprocessorAgent
+from repro.agents.messages import Message
+from repro.agents.runtime import Agent, AgentRuntime
+from repro.datagen import BehaviorModel, CourseCatalog, Population
+from repro.datagen.weblog_gen import generate_population_weblog
+from repro.lifelog.preprocess import LifeLogPreprocessor
+from repro.lifelog.sessionizer import session_stats, sessionize
+from repro.lifelog.store import EventLog
+
+
+class Collector(Agent):
+    def __init__(self, name):
+        super().__init__(name)
+        self.replies = []
+
+    def handle(self, message, runtime):
+        self.replies.append(message)
+        return []
+
+
+def main() -> None:
+    population = Population.generate(400, seed=7)
+    catalog = CourseCatalog.generate(60, seed=7)
+    model = BehaviorModel(population, catalog, seed=7)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        weblog_path = Path(tmp) / "access.log"
+        lines_written = generate_population_weblog(model, population, weblog_path)
+        size_kb = weblog_path.stat().st_size / 1024
+        print(f"synthetic weblog: {lines_written} lines, {size_kb:.0f} KiB "
+              f"(paper: ~50 GB/month at 3.16M users)")
+
+        # -- agent-based ingest with proactive replication ----------------
+        store = EventLog(segment_rows=2_000)
+        runtime = AgentRuntime()
+        agent = runtime.register(
+            LifeLogPreprocessorAgent("lifelog", store, replication_threshold=1_000)
+        )
+        sink = runtime.register(Collector("operator"))
+        lines = weblog_path.read_text().splitlines()
+        runtime.send(Message("operator", "lifelog", "lifelog.ingest",
+                             {"lines": lines}))
+        runtime.run_until_idle()
+        replicas = [n for n in runtime.agent_names() if n.startswith("lifelog.r")]
+        print(f"ingested {len(store)} events into {store.segment_count} segments "
+              f"using {len(replicas)} spawned replicas")
+
+        # -- sessionization ------------------------------------------------
+        events = list(store.events())
+        sessions = sessionize(events)
+        stats = session_stats(sessions)
+        print(
+            f"sessions: {stats['n_sessions']:.0f} across "
+            f"{stats['n_users']:.0f} users, "
+            f"mean {stats['mean_events']:.1f} events / "
+            f"{stats['mean_duration']:.0f}s"
+        )
+
+        # -- feature distillation ----------------------------------------
+        preprocessor = LifeLogPreprocessor()
+        features = preprocessor.extract_all(events)
+        matrix, user_ids = preprocessor.feature_matrix(features)
+        print(f"feature matrix: {matrix.shape[0]} users × {matrix.shape[1]} features")
+        busiest = max(features.values(), key=lambda f: f.n_sessions)
+        print(
+            f"busiest user {busiest.user_id}: {busiest.n_sessions} sessions, "
+            f"{busiest.useful_impacts} useful impacts"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — a reproduction of "Embedding Emotional Context in Recommender
+Systems" (González, de la Rosa, Montaner, Delfin; ICDE 2007 Workshops).
+
+The package rebuilds the paper's Smart Prediction Assistant (SPA) platform
+end to end on a calibrated synthetic stand-in for its proprietary
+emagister.com deployment:
+
+* :mod:`repro.core` — Smart User Models, the Four-Branch Model of
+  Emotional Intelligence (Table 1), the Gradual EIT, the three-stage
+  Initialization/Advice/Update methodology and the emotion-aware
+  recommendation/selection functions;
+* :mod:`repro.agents` — the five-agent SPA architecture of Fig. 3;
+* :mod:`repro.lifelog` / :mod:`repro.db` — the LifeLog substrate and the
+  embedded columnar database under it;
+* :mod:`repro.ml` — from-scratch SVMs, calibration, SVD and baselines;
+* :mod:`repro.campaigns` / :mod:`repro.messaging` — the Section 5
+  campaign engine and the Fig. 5 messaging cases;
+* :mod:`repro.datagen` — the synthetic population/catalog/behaviour
+  generators (the documented substitution for the proprietary data);
+* :mod:`repro.cf` — classical and emotion-context-aware collaborative
+  filtering baselines;
+* :mod:`repro.physio` — the wearIT@work future-work extension
+  (physiological signals → emotional context).
+
+Quickstart::
+
+    from repro import SimulatedWorld, SmartPredictionAssistant
+
+    world = SimulatedWorld.generate(n_users=2000, seed=7)
+    spa = SmartPredictionAssistant(world)
+    spa.bootstrap()
+    results = spa.run_default_plan()
+    print(spa.summary(results).average_performance)   # ≈ 0.21 (Fig. 6b)
+    print(spa.redemption_chart(results))              # Fig. 6a
+"""
+
+from repro.campaigns.delivery import EngineConfig
+from repro.core import (
+    EmotionalState,
+    EmotionAwareRecommender,
+    FourBranchProfile,
+    GradualEIT,
+    QuestionBank,
+    SmartUserModel,
+    SumRepository,
+)
+from repro.spa import SimulatedWorld, SmartPredictionAssistant
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EmotionAwareRecommender",
+    "EmotionalState",
+    "EngineConfig",
+    "FourBranchProfile",
+    "GradualEIT",
+    "QuestionBank",
+    "SimulatedWorld",
+    "SmartPredictionAssistant",
+    "SmartUserModel",
+    "SumRepository",
+    "__version__",
+]

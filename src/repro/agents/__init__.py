@@ -1,0 +1,41 @@
+"""The SPA multi-agent substrate (Fig. 3).
+
+Section 4 describes SPA as five cooperating components; this subpackage
+implements them as message-passing agents over a deterministic in-process
+runtime:
+
+* :class:`~repro.agents.lifelog_agent.LifeLogPreprocessorAgent` — raw-data
+  pre-processing with proactive self-replication under load;
+* :class:`~repro.agents.smart_component.SmartComponentAgent` — incremental
+  learning, scoring and ranking;
+* :class:`~repro.agents.attributes_agent.AttributesManagerAgent` —
+  attribute creation/selection/fusion and sensibility weighting;
+* :class:`~repro.agents.messaging_agent.MessagingAgentWrapper` —
+  individualized emotional sales arguments (Fig. 5);
+* :class:`~repro.agents.interface_agent.IntelligentUserInterfaceAgent` —
+  the Human Values Scale and coherence analysis.
+
+The runtime (:mod:`repro.agents.runtime`) is synchronous and deterministic:
+messages process in FIFO order, so every multi-agent run is exactly
+reproducible — a deliberate substitution for the paper's distributed
+platform (see DESIGN.md).
+"""
+
+from repro.agents.attributes_agent import AttributesManagerAgent
+from repro.agents.interface_agent import IntelligentUserInterfaceAgent
+from repro.agents.lifelog_agent import LifeLogPreprocessorAgent
+from repro.agents.messaging_agent import MessagingAgentWrapper
+from repro.agents.messages import Message
+from repro.agents.runtime import Agent, AgentRuntime
+from repro.agents.smart_component import SmartComponentAgent
+
+__all__ = [
+    "Agent",
+    "AgentRuntime",
+    "AttributesManagerAgent",
+    "IntelligentUserInterfaceAgent",
+    "LifeLogPreprocessorAgent",
+    "Message",
+    "MessagingAgentWrapper",
+    "SmartComponentAgent",
+]

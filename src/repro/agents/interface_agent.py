@@ -1,0 +1,67 @@
+"""The Intelligent User Interface agent (Fig. 3, component 5).
+
+"It is an add-on component to manage an individualized and personalized
+Human Values Scale of each user in his/her life cycles."
+
+Topics:
+
+* ``interface.observe`` — payload ``{"user_id": int, "signals": {...}}``:
+  fold one valued action into the user's Human Values Scale.
+* ``interface.coherence`` — payload ``{"user_id": int, "stated": {...}}``:
+  reply with the coherence between stated preferences and the acted scale.
+* ``interface.report`` — payload ``{"user_id": int}``: reply with the
+  user's current value ranking.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.agents.messages import Message
+from repro.agents.runtime import Agent, AgentRuntime
+from repro.core.human_values import HumanValuesScale
+
+
+class IntelligentUserInterfaceAgent(Agent):
+    """Owns the per-user Human Values Scales."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._scales: dict[int, HumanValuesScale] = {}
+
+    def scale_for(self, user_id: int) -> HumanValuesScale:
+        """The user's scale, created neutral on first touch."""
+        scale = self._scales.get(int(user_id))
+        if scale is None:
+            scale = HumanValuesScale()
+            self._scales[int(user_id)] = scale
+        return scale
+
+    def handle(self, message: Message, runtime: AgentRuntime) -> Iterable[Message]:
+        if message.topic == "interface.observe":
+            scale = self.scale_for(message.payload["user_id"])
+            scale.observe_action(message.payload["signals"])
+            return [
+                message.reply(
+                    "interface.observed",
+                    {"ranking": scale.ranking()},
+                )
+            ]
+        if message.topic == "interface.coherence":
+            scale = self.scale_for(message.payload["user_id"])
+            coherence = scale.coherence(message.payload["stated"])
+            return [
+                message.reply("interface.coherence_report", {"coherence": coherence})
+            ]
+        if message.topic == "interface.report":
+            scale = self.scale_for(message.payload["user_id"])
+            return [
+                message.reply(
+                    "interface.value_ranking",
+                    {
+                        "ranking": scale.ranking(),
+                        "weights": dict(scale.weights),
+                    },
+                )
+            ]
+        raise ValueError(f"{self.name}: unknown topic {message.topic!r}")

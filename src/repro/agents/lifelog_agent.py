@@ -1,0 +1,104 @@
+"""The LifeLogs Pre-processor Agent (Fig. 3, component 1).
+
+"This agent replicates itself in pro-active way depending of user's
+interaction.  Its function is to pre-process raw data in on-line and
+off-line environments."
+
+Topics:
+
+* ``lifelog.ingest`` — payload ``{"lines": [...]}``: parse raw weblog
+  lines into events and append them to the store.  Batches larger than
+  ``replication_threshold`` are split across freshly spawned worker
+  replicas (the proactive replication of the paper).
+* ``lifelog.extract`` — distil per-user features and reply with
+  ``lifelog.features``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.agents.messages import Message
+from repro.agents.runtime import Agent, AgentRuntime
+from repro.lifelog.preprocess import LifeLogPreprocessor
+from repro.lifelog.store import EventLog
+from repro.lifelog.weblog import WeblogParseError, parse_line, record_to_event
+
+
+class LifeLogPreprocessorAgent(Agent):
+    """Parses raw weblogs into the event store, replicating under load."""
+
+    def __init__(
+        self,
+        name: str,
+        store: EventLog,
+        replication_threshold: int = 5_000,
+        preprocessor: LifeLogPreprocessor | None = None,
+    ) -> None:
+        super().__init__(name)
+        if replication_threshold < 1:
+            raise ValueError("replication_threshold must be >= 1")
+        self.store = store
+        self.replication_threshold = replication_threshold
+        self.preprocessor = preprocessor or LifeLogPreprocessor()
+        self.parse_errors = 0
+        self.ingested = 0
+        self._replica_counter = 0
+
+    def _ingest_lines(self, lines: list[str]) -> None:
+        for line in lines:
+            try:
+                record = parse_line(line)
+            except WeblogParseError:
+                self.parse_errors += 1
+                continue
+            event = record_to_event(record)
+            if event is not None:
+                self.store.append(event)
+                self.ingested += 1
+
+    def handle(self, message: Message, runtime: AgentRuntime) -> Iterable[Message]:
+        if message.topic == "lifelog.ingested":
+            # Completion notice from a replica we spawned: absorb it.
+            return []
+        if message.topic == "lifelog.ingest":
+            lines = list(message.payload.get("lines", ()))
+            if len(lines) > self.replication_threshold:
+                # Proactive replication: split the batch across new workers.
+                half = len(lines) // 2
+                replicas = []
+                for chunk in (lines[:half], lines[half:]):
+                    self._replica_counter += 1
+                    replica = LifeLogPreprocessorAgent(
+                        f"{self.name}.r{self._replica_counter}",
+                        self.store,
+                        self.replication_threshold,
+                        self.preprocessor,
+                    )
+                    runtime.spawn(replica)
+                    replicas.append(
+                        Message(
+                            sender=self.name,
+                            recipient=replica.name,
+                            topic="lifelog.ingest",
+                            payload={"lines": chunk},
+                        )
+                    )
+                return replicas
+            self._ingest_lines(lines)
+            return [
+                message.reply(
+                    "lifelog.ingested",
+                    {"count": len(lines), "errors": self.parse_errors},
+                )
+            ]
+        if message.topic == "lifelog.extract":
+            events = list(self.store.events())
+            features = self.preprocessor.extract_all(events)
+            return [
+                message.reply(
+                    "lifelog.features",
+                    {"features": features, "n_users": len(features)},
+                )
+            ]
+        raise ValueError(f"{self.name}: unknown topic {message.topic!r}")

@@ -1,0 +1,42 @@
+"""Typed inter-agent messages.
+
+Messages are immutable envelopes: sender, recipient, topic, payload.
+Topics are plain strings namespaced by component (``lifelog.ingest``,
+``smart.train``, ``attributes.analyze``, ``messaging.assign``,
+``interface.observe``), and payloads are small dicts — keeping the wire
+format JSON-friendly the way a distributed deployment would need.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_COUNTER = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Message:
+    """One envelope on the bus."""
+
+    sender: str
+    recipient: str
+    topic: str
+    payload: dict[str, Any] = field(default_factory=dict)
+    message_id: int = field(default_factory=lambda: next(_COUNTER))
+
+    def __post_init__(self) -> None:
+        if not self.topic:
+            raise ValueError("message needs a topic")
+        if not self.recipient:
+            raise ValueError("message needs a recipient")
+
+    def reply(self, topic: str, payload: dict[str, Any] | None = None) -> "Message":
+        """An answer envelope addressed back to the sender."""
+        return Message(
+            sender=self.recipient,
+            recipient=self.sender,
+            topic=topic,
+            payload=payload or {},
+        )

@@ -1,0 +1,59 @@
+"""The Messaging Agent (Fig. 3, component 4) as a bus participant.
+
+"This agent is able to automatically generate emotional arguments from
+users' dominant attributes by using messages in each application domain
+for each product.  This agent acts on behalf of marketing retailers to
+define individualized communication styles for each user."
+
+Topics:
+
+* ``messaging.assign`` — payload ``{"user_ids": [...], "course_id": int}``:
+  assign one message per user for the course; replies with assignments and
+  the Fig. 5 case distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.agents.messages import Message
+from repro.agents.runtime import Agent, AgentRuntime
+from repro.core.sum_model import SumRepository
+from repro.datagen.catalog import CourseCatalog
+from repro.messaging.assigner import MessageAssigner
+from repro.messaging.templates import default_template_bank
+
+
+class MessagingAgentWrapper(Agent):
+    """Bus wrapper around :class:`~repro.messaging.assigner.MessageAssigner`."""
+
+    def __init__(
+        self,
+        name: str,
+        sums: SumRepository,
+        catalog: CourseCatalog,
+        assigner: MessageAssigner | None = None,
+    ) -> None:
+        super().__init__(name)
+        self.sums = sums
+        self.catalog = catalog
+        self.assigner = assigner or MessageAssigner(default_template_bank())
+
+    def handle(self, message: Message, runtime: AgentRuntime) -> Iterable[Message]:
+        if message.topic == "messaging.assign":
+            course = self.catalog.get(int(message.payload["course_id"]))
+            user_ids = list(message.payload["user_ids"])
+            assignments = [
+                self.assigner.assign(self.sums.get(uid), course)
+                for uid in user_ids
+            ]
+            return [
+                message.reply(
+                    "messaging.assigned",
+                    {
+                        "assignments": assignments,
+                        "cases": self.assigner.case_distribution(assignments),
+                    },
+                )
+            ]
+        raise ValueError(f"{self.name}: unknown topic {message.topic!r}")

@@ -1,0 +1,127 @@
+"""The deterministic in-process agent runtime.
+
+A tiny actor system: agents register under unique names, messages queue on
+a global FIFO bus, and :meth:`AgentRuntime.run_until_idle` drains the bus
+one message at a time.  Handling a message may emit new messages; a
+``max_steps`` guard catches accidental message loops.
+
+Agents may also *spawn* new agents while handling a message — this is how
+the LifeLogs Pre-processor Agent "replicates itself in pro-active way
+depending of user's interaction" (Section 4).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.agents.messages import Message
+
+
+class AgentError(RuntimeError):
+    """Raised for unknown recipients or runaway message loops."""
+
+
+class Agent:
+    """Base class: override :meth:`handle`."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("agent needs a name")
+        self.name = name
+        self.handled_count = 0
+
+    def handle(self, message: Message, runtime: "AgentRuntime") -> Iterable[Message]:
+        """Process one message; return (or yield) follow-up messages."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, handled={self.handled_count})"
+
+
+class AgentRuntime:
+    """Synchronous FIFO message bus with an agent registry."""
+
+    def __init__(self, max_steps: int = 100_000) -> None:
+        if max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1, got {max_steps}")
+        self.max_steps = max_steps
+        self._agents: dict[str, Agent] = {}
+        self._queue: deque[Message] = deque()
+        self.delivered_count = 0
+        self.dead_letters: list[Message] = []
+
+    # -- registry ------------------------------------------------------------
+
+    def register(self, agent: Agent) -> Agent:
+        """Add an agent; names must be unique."""
+        if agent.name in self._agents:
+            raise AgentError(f"agent {agent.name!r} already registered")
+        self._agents[agent.name] = agent
+        return agent
+
+    def spawn(self, agent: Agent) -> Agent:
+        """Alias of :meth:`register` used by self-replicating agents."""
+        return self.register(agent)
+
+    def get(self, name: str) -> Agent:
+        """Fetch a registered agent."""
+        try:
+            return self._agents[name]
+        except KeyError:
+            raise AgentError(f"unknown agent {name!r}") from None
+
+    def agent_names(self) -> list[str]:
+        """Sorted names of registered agents."""
+        return sorted(self._agents)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._agents
+
+    # -- messaging -----------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Enqueue one message for later delivery."""
+        self._queue.append(message)
+
+    def send_all(self, messages: Iterable[Message]) -> None:
+        """Enqueue several messages preserving order."""
+        for message in messages:
+            self.send(message)
+
+    @property
+    def pending(self) -> int:
+        """Messages waiting on the bus."""
+        return len(self._queue)
+
+    def step(self) -> bool:
+        """Deliver one message; returns False when the bus is idle.
+
+        Messages to unknown recipients go to ``dead_letters`` instead of
+        raising — a pre-processor replica may legitimately have terminated
+        between send and delivery.
+        """
+        if not self._queue:
+            return False
+        message = self._queue.popleft()
+        agent = self._agents.get(message.recipient)
+        if agent is None:
+            self.dead_letters.append(message)
+            return True
+        follow_ups = agent.handle(message, self)
+        agent.handled_count += 1
+        self.delivered_count += 1
+        if follow_ups:
+            self.send_all(follow_ups)
+        return True
+
+    def run_until_idle(self) -> int:
+        """Deliver messages until the bus drains; returns deliveries made."""
+        steps = 0
+        while self.step():
+            steps += 1
+            if steps > self.max_steps:
+                raise AgentError(
+                    f"message loop: exceeded {self.max_steps} deliveries"
+                )
+        return steps

@@ -1,0 +1,96 @@
+"""The Smart Component (Fig. 3, component 2).
+
+"This component implements advanced algorithms and methods for incremental
+learning in order to accurately predict user behavior.  It has graphics
+tools to monitor and manage scorings, classifications, rankings of
+attributes, items and users, user propensity and others capabilities."
+
+Topics:
+
+* ``smart.train`` — payload ``{"x": ndarray, "y": ndarray}``: (re)train
+  the propensity model; replies ``smart.trained``.
+* ``smart.train_incremental`` — fold one mini-batch into the online model.
+* ``smart.score`` — payload ``{"x": ndarray}``: reply ``smart.scores``
+  with calibrated propensities.
+* ``smart.rank`` — payload ``{"x": ndarray, "user_ids": [...]}``: reply
+  ``smart.ranking`` with users ordered by descending propensity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.agents.messages import Message
+from repro.agents.runtime import Agent, AgentRuntime
+from repro.campaigns.propensity import EstimatorName, PropensityModel
+from repro.ml.incremental import OnlineSGDClassifier
+
+
+class SmartComponentAgent(Agent):
+    """Owns the learning models and answers scoring requests."""
+
+    def __init__(
+        self,
+        name: str,
+        estimator: EstimatorName = "svm",
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name)
+        self.estimator: EstimatorName = estimator
+        self.seed = seed
+        self.model: PropensityModel | None = None
+        self.online_model: OnlineSGDClassifier | None = None
+        self.train_count = 0
+
+    def handle(self, message: Message, runtime: AgentRuntime) -> Iterable[Message]:
+        if message.topic == "smart.train":
+            x = np.asarray(message.payload["x"], dtype=np.float64)
+            y = np.asarray(message.payload["y"])
+            self.model = PropensityModel(self.estimator, seed=self.seed)
+            self.model.fit(x, y)
+            self.train_count += 1
+            return [
+                message.reply(
+                    "smart.trained",
+                    {"n_samples": len(x), "train_count": self.train_count},
+                )
+            ]
+        if message.topic == "smart.train_incremental":
+            x = np.asarray(message.payload["x"], dtype=np.float64)
+            y = np.asarray(message.payload["y"])
+            if self.online_model is None:
+                self.online_model = OnlineSGDClassifier(n_features=x.shape[1])
+            self.online_model.partial_fit(x, y)
+            return [
+                message.reply(
+                    "smart.trained_incremental",
+                    {"t": self.online_model.t_},
+                )
+            ]
+        if message.topic == "smart.score":
+            scores = self._score(np.asarray(message.payload["x"]))
+            return [message.reply("smart.scores", {"scores": scores})]
+        if message.topic == "smart.rank":
+            x = np.asarray(message.payload["x"])
+            user_ids = list(message.payload["user_ids"])
+            if len(user_ids) != len(x):
+                raise ValueError(
+                    f"{len(user_ids)} user ids for {len(x)} feature rows"
+                )
+            scores = self._score(x)
+            order = sorted(
+                range(len(user_ids)),
+                key=lambda i: (-float(scores[i]), user_ids[i]),
+            )
+            ranking = [(user_ids[i], float(scores[i])) for i in order]
+            return [message.reply("smart.ranking", {"ranking": ranking})]
+        raise ValueError(f"{self.name}: unknown topic {message.topic!r}")
+
+    def _score(self, x: np.ndarray) -> np.ndarray:
+        if self.model is not None:
+            return self.model.predict_proba(x)
+        if self.online_model is not None:
+            return self.online_model.predict_proba(x)
+        raise RuntimeError(f"{self.name}: no model trained yet")

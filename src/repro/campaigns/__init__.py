@@ -1,0 +1,34 @@
+"""The campaign engine: targeting, delivery, redemption, reporting.
+
+Section 5.4's experiment: eight Push and two newsletter campaigns, each
+targeting a random 42.4% of the population, scored by an SVM propensity
+model, messaged by the Messaging Agent, with outcomes feeding back into
+the SUMs.  The reproduction benches (Fig. 6a/6b) are built directly on
+this package.
+"""
+
+from repro.campaigns.campaign import CampaignResult, TouchRecord
+from repro.campaigns.delivery import CampaignEngine
+from repro.campaigns.propensity import FeatureBuilder, PropensityModel
+from repro.campaigns.redemption import (
+    ascii_curve,
+    combined_gain_curve,
+    redemption_improvement,
+)
+from repro.campaigns.reporting import CampaignReport, CampaignSummary, build_summary
+from repro.campaigns.targeting import select_random_targets
+
+__all__ = [
+    "CampaignEngine",
+    "CampaignReport",
+    "CampaignResult",
+    "CampaignSummary",
+    "FeatureBuilder",
+    "PropensityModel",
+    "TouchRecord",
+    "ascii_curve",
+    "build_summary",
+    "combined_gain_curve",
+    "redemption_improvement",
+    "select_random_targets",
+]

@@ -1,0 +1,96 @@
+"""Campaign run records.
+
+:class:`TouchRecord` is one delivered communication with everything SPA
+knew and observed about it; :class:`CampaignResult` aggregates a whole
+campaign and computes the Fig. 6(b) quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datagen.campaigns_plan import CampaignSpec
+from repro.messaging.assigner import MessageAssignment
+
+
+@dataclass(frozen=True)
+class TouchRecord:
+    """One delivered Push/newsletter touch."""
+
+    user_id: int
+    campaign_id: str
+    assignment: MessageAssignment
+    opened: bool
+    clicked: bool
+    transacted: bool
+    answered_option: int | None
+    propensity: float | None  # model score at send time (None in warm-up)
+
+
+@dataclass
+class CampaignResult:
+    """All touches of one campaign plus derived metrics."""
+
+    spec: CampaignSpec
+    touches: list[TouchRecord] = field(default_factory=list)
+
+    @property
+    def campaign_id(self) -> str:
+        """Identifier from the spec."""
+        return self.spec.campaign_id
+
+    @property
+    def n_targets(self) -> int:
+        """How many users were contacted."""
+        return len(self.touches)
+
+    @property
+    def useful_impacts(self) -> int:
+        """Transactions produced by this campaign (paper's 'useful impacts')."""
+        return sum(1 for t in self.touches if t.transacted)
+
+    @property
+    def open_rate(self) -> float:
+        """Share of contacted users who opened."""
+        return self._rate(lambda t: t.opened)
+
+    @property
+    def click_rate(self) -> float:
+        """Share of contacted users who clicked through."""
+        return self._rate(lambda t: t.clicked)
+
+    @property
+    def predictive_score(self) -> float:
+        """Useful impacts / contacted — the Fig. 6(b) per-campaign score."""
+        return self._rate(lambda t: t.transacted)
+
+    @property
+    def answer_rate(self) -> float:
+        """Share of contacted users who answered the EIT question."""
+        return self._rate(lambda t: t.answered_option is not None)
+
+    def _rate(self, predicate) -> float:
+        if not self.touches:
+            return 0.0
+        return sum(1 for t in self.touches if predicate(t)) / len(self.touches)
+
+    def scores_and_outcomes(self) -> tuple[np.ndarray, np.ndarray]:
+        """(propensity scores, transacted 0/1) for touches that were scored.
+
+        Touches delivered without a model score (warm-up) are excluded —
+        they cannot appear on a ranking curve.
+        """
+        scored = [t for t in self.touches if t.propensity is not None]
+        scores = np.asarray([t.propensity for t in scored], dtype=np.float64)
+        outcomes = np.asarray([int(t.transacted) for t in scored], dtype=np.int64)
+        return scores, outcomes
+
+    def case_distribution(self) -> dict[str, int]:
+        """Message-case counts for this campaign (Fig. 5 shape)."""
+        counts: dict[str, int] = {}
+        for touch in self.touches:
+            key = touch.assignment.case.value
+            counts[key] = counts.get(key, 0) + 1
+        return counts

@@ -1,0 +1,463 @@
+"""Campaign delivery: the Fig. 4 loop run at population scale.
+
+:class:`CampaignEngine` owns the SPA-side state (SUMs, Gradual EIT,
+reinforcement, messaging, propensity model) and runs campaigns against a
+"world" — the :class:`~repro.datagen.behavior.BehaviorModel` that stands
+in for emagister.com's real users.  The engine only ever sees outcomes,
+never latent traits.
+
+Campaign sequence semantics (matching Section 5.2's narrative):
+
+1. an optional *warm-up* campaign bootstraps SUMs and training data with
+   standard messages and no model scores;
+2. before each reported campaign, the propensity model retrains on all
+   previously observed touches (incremental learning across campaigns);
+3. every touch delivers one message (Messaging Agent), at most one EIT
+   question (Gradual EIT), collects the outcome, writes LifeLog events
+   and applies reward/punish updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.campaigns.campaign import CampaignResult, TouchRecord
+from repro.campaigns.propensity import EstimatorName, FeatureBuilder, PropensityModel
+from repro.campaigns.targeting import select_random_targets
+from repro.core.gradual_eit import GradualEIT, QuestionBank
+from repro.core.reward import ReinforcementPolicy
+from repro.core.sensibility import SensibilityAnalyzer
+from repro.core.sum_model import SumRepository
+from repro.datagen.behavior import BehaviorModel
+from repro.datagen.campaigns_plan import CampaignSpec
+from repro.datagen.catalog import AFFINITY_LINKS
+from repro.lifelog.events import ActionCategory, Event
+from repro.lifelog.preprocess import LifeLogPreprocessor, UserFeatures
+from repro.lifelog.store import EventLog
+from repro.ml.svd import TruncatedSVD
+from repro.messaging.assigner import MessageAssigner
+from repro.messaging.templates import default_template_bank
+
+
+def _emotions_behind(attribute: str | None) -> tuple[str, ...]:
+    """Emotional attributes with a positive link to a product attribute."""
+    if attribute is None:
+        return ()
+    return tuple(
+        sorted(
+            emotion
+            for emotion, targets in AFFINITY_LINKS.items()
+            if targets.get(attribute, 0.0) > 0.0
+        )
+    )
+
+
+def _emotions_behind_course(course, min_presence: float = 0.5) -> tuple[str, ...]:
+    """Emotions positively linked to a course's salient attributes.
+
+    Used when a *standard* message converts: the user reacted to the course
+    itself, so the emotions its strong attributes excite get the credit
+    (Fig. 4's "related attributes and values").
+    """
+    emotions: set[str] = set()
+    for attribute, presence in course.attributes.items():
+        if presence >= min_presence:
+            emotions.update(_emotions_behind(attribute))
+    return tuple(sorted(emotions))
+
+
+@dataclass
+class EngineConfig:
+    """Tunable knobs of the campaign engine."""
+
+    estimator: EstimatorName = "svm"
+    include_demographics: bool = True
+    include_behavior: bool = True
+    include_emotional: bool = True
+    include_subjective: bool = True
+    svd_rank: int = 8  # Section 5.2: SVD over the sparse answer matrix
+    eit_questions_per_user: int | None = None  # None = unlimited (bank size)
+    reward_transaction: float = 1.0
+    reward_click: float = 0.6
+    reward_open: float = 0.3
+    punish_ignore: float = 0.3
+    seed: int = 7
+
+
+class CampaignEngine:
+    """SPA-side campaign execution against a simulated world."""
+
+    def __init__(
+        self,
+        world: BehaviorModel,
+        config: EngineConfig | None = None,
+        question_bank: QuestionBank | None = None,
+    ) -> None:
+        self.world = world
+        self.config = config or EngineConfig()
+        self.sums = SumRepository()
+        self.eit = GradualEIT(question_bank or QuestionBank.default_bank(per_task=5))
+        self.policy = ReinforcementPolicy()
+        self.analyzer = SensibilityAnalyzer()
+        self.assigner = MessageAssigner(default_template_bank())
+        self.event_log = EventLog()
+        self.preprocessor = LifeLogPreprocessor()
+        self.builder = FeatureBuilder(
+            include_demographics=self.config.include_demographics,
+            include_behavior=self.config.include_behavior,
+            include_emotional=self.config.include_emotional,
+            svd_rank=self.config.svd_rank,
+            include_subjective=self.config.include_subjective,
+        )
+        self._embeddings: dict[int, np.ndarray] = {}
+        #: retargeting evidence from organic browsing (user → course/area → weight)
+        self._course_engagement: dict[int, dict[int, float]] = {}
+        self._area_engagement: dict[int, dict[str, float]] = {}
+        self.model: PropensityModel | None = None
+        self.history: list[CampaignResult] = []
+        #: (user_id, course_id, transacted) per delivered touch
+        self._training_rows: list[tuple[int, int, bool]] = []
+        self._behavior_features: dict[int, UserFeatures] = {}
+        self._clock = 1_143_000_000.0  # advances per campaign
+
+    # -- bootstrap ---------------------------------------------------------
+
+    def register_population(self) -> None:
+        """Create SUMs with objective attributes for the whole population."""
+        for user in self.world.population:
+            model = self.sums.get_or_create(user.user_id)
+            for key, value in user.demographics().items():
+                model.set_objective(key, value)
+        self.builder.fit(self.sums)
+
+    def ingest_browsing(self, horizon_days: float = 30.0) -> int:
+        """Simulate and ingest organic browsing for everyone (LifeLog).
+
+        Active visitors also meet the portal's question-of-the-day: users
+        with heavier browsing answer up to three Gradual EIT questions —
+        the "common day to day situations" collection channel of Section
+        5.2 that runs alongside push/newsletter delivery.
+        """
+        count = 0
+        for user in self.world.population:
+            events = self.world.generate_browsing_events(
+                user, start_ts=self._clock - 30 * 86_400.0,
+                horizon_days=horizon_days,
+            )
+            count += self.event_log.extend(events)
+            model = self.sums.get_or_create(user.user_id)
+            n_portal_questions = min(20, (len(events) + 1) // 2)
+            rng = self.world._touch_rng("portal-eit", user.user_id)
+            for __ in range(n_portal_questions):
+                question = self.eit.ask(model)
+                if question is None:
+                    break
+                option = self.world.choose_eit_option(user, question, rng)
+                self.eit.record_answer(model, question, option)
+        self._refresh_behavior_features()
+        return count
+
+    def _refresh_behavior_features(self) -> None:
+        events = list(self.event_log.events())
+        self._behavior_features = self.preprocessor.extract_all(events)
+        self._update_revealed_preferences(events)
+
+    #: weight of each action kind as revealed-preference evidence
+    _REVEALED_WEIGHTS = {"course_view": 1.0, "course_info": 3.0,
+                         "course_enroll": 5.0, "course_rate": 2.0}
+
+    def _update_revealed_preferences(self, events: list[Event]) -> None:
+        """Distil implicit navigation habits into SUM subjective attributes.
+
+        Section 5.1: subjective attributes are "discovered from WebLogs of
+        user's implicit navigation habits".  A user's revealed preference
+        for each product attribute is the engagement-weighted mean of the
+        attribute presences of the courses they viewed, requested info on,
+        rated or enrolled in.  Stored on the SUM as ``pref[attribute]``.
+        """
+        from repro.datagen.catalog import PRODUCT_ATTRIBUTES
+
+        sums_weighted: dict[int, np.ndarray] = {}
+        totals: dict[int, float] = {}
+        course_engagement: dict[int, dict[int, float]] = {}
+        area_engagement: dict[int, dict[str, float]] = {}
+        for event in events:
+            weight = self._REVEALED_WEIGHTS.get(event.action)
+            if weight is None:
+                continue
+            if "via" in event.payload:
+                continue  # campaign-caused: would leak labels into features
+            target = event.payload.get("target")
+            if target is None or not str(target).isdigit():
+                continue
+            course_id = int(target)
+            try:
+                course = self.world.catalog.get(course_id)
+            except KeyError:
+                continue
+            presence = np.asarray(
+                [course.attributes.get(a, 0.0) for a in PRODUCT_ATTRIBUTES]
+            )
+            uid = event.user_id
+            if uid not in sums_weighted:
+                sums_weighted[uid] = np.zeros(len(PRODUCT_ATTRIBUTES))
+                totals[uid] = 0.0
+                course_engagement[uid] = {}
+                area_engagement[uid] = {}
+            sums_weighted[uid] += weight * presence
+            totals[uid] += weight
+            course_engagement[uid][course_id] = (
+                course_engagement[uid].get(course_id, 0.0) + weight
+            )
+            area_engagement[uid][course.area] = (
+                area_engagement[uid].get(course.area, 0.0) + weight
+            )
+        for uid, weighted in sums_weighted.items():
+            profile = weighted / totals[uid]
+            model = self.sums.get_or_create(uid)
+            for j, attribute in enumerate(PRODUCT_ATTRIBUTES):
+                model.set_subjective(f"pref[{attribute}]", float(profile[j]))
+        self._course_engagement = course_engagement
+        self._area_engagement = area_engagement
+
+    # -- training ----------------------------------------------------------
+
+    def train_propensity(self) -> PropensityModel | None:
+        """Retrain on all recorded touches; None with insufficient data.
+
+        Each touch's features include the course it promoted, so the model
+        learns both user-level propensity and user × course interactions.
+        """
+        if not self._training_rows:
+            return None
+        labels = np.asarray([int(t[2]) for t in self._training_rows])
+        if len(set(labels.tolist())) < 2:
+            return None
+        self._refresh_embeddings()
+        # Build features per course block (rows regrouped, then restored).
+        by_course: dict[int, list[int]] = {}
+        for position, (__, course_id, __label) in enumerate(self._training_rows):
+            by_course.setdefault(course_id, []).append(position)
+        width = len(self.builder.feature_names(with_course=True))
+        x = np.zeros((len(self._training_rows), width))
+        for course_id, positions in by_course.items():
+            course = self.world.catalog.get(course_id)
+            user_ids = [self._training_rows[p][0] for p in positions]
+            x[positions] = self.builder.build(
+                self.sums, self._behavior_features, user_ids,
+                course=course, embeddings=self._embeddings,
+                course_engagement=self._course_engagement,
+                area_engagement=self._area_engagement,
+            )
+        model = PropensityModel(self.config.estimator, seed=self.config.seed)
+        model.fit(x, labels)
+        self.model = model
+        return model
+
+    def _refresh_embeddings(self) -> None:
+        """Recompute SVD projections of the sparse EIT answer matrix.
+
+        This is Section 5.2's dimensionality-reduction step: "To reduce
+        the dimensionality of the matrix generated we use ..." — a
+        truncated SVD over the user × question matrix, re-fit whenever the
+        propensity model retrains.
+        """
+        if not self.config.svd_rank:
+            return
+        user_ids = self.sums.user_ids()
+        matrix, __ = self.eit.answer_matrix(user_ids)
+        if matrix.nnz == 0:
+            self._embeddings = {}
+            return
+        rank = min(self.config.svd_rank, min(matrix.shape) - 1)
+        if rank < 1:
+            self._embeddings = {}
+            return
+        svd = TruncatedSVD(rank=rank)
+        projected = svd.fit_transform(matrix)
+        if projected.shape[1] < self.config.svd_rank:
+            padded = np.zeros((projected.shape[0], self.config.svd_rank))
+            padded[:, : projected.shape[1]] = projected
+            projected = padded
+        self._embeddings = {
+            uid: projected[i] for i, uid in enumerate(user_ids)
+        }
+
+    def score_users(self, user_ids: list[int], course) -> np.ndarray:
+        """Calibrated propensities for a user list on one course."""
+        if self.model is None:
+            raise RuntimeError("no propensity model trained yet")
+        x = self.builder.build(
+            self.sums, self._behavior_features, user_ids,
+            course=course, embeddings=self._embeddings,
+            course_engagement=self._course_engagement,
+            area_engagement=self._area_engagement,
+        )
+        return self.model.predict_proba(x)
+
+    # -- delivery ----------------------------------------------------------
+
+    def run_campaign(
+        self,
+        spec: CampaignSpec,
+        scored: bool = True,
+        personalize: bool = True,
+        retrain: bool = True,
+    ) -> CampaignResult:
+        """Deliver one campaign end to end.
+
+        Parameters
+        ----------
+        spec:
+            The campaign to run.
+        scored:
+            Attach propensity scores (requires trained model or ``retrain``).
+        personalize:
+            Use the Messaging Agent (False ⇒ standard message for everyone,
+            the paper's implicit baseline).
+        retrain:
+            Retrain the propensity model on history before delivering.
+        """
+        if retrain:
+            self.train_propensity()
+        course = self.world.catalog.get(spec.course_id)
+        targets = select_random_targets(
+            self.world.population.user_ids(),
+            spec.target_fraction,
+            spec.campaign_id,
+            seed=self.config.seed,
+        )
+        scores: dict[int, float] = {}
+        if scored and self.model is not None:
+            for uid, p in zip(targets, self.score_users(targets, course)):
+                scores[uid] = float(p)
+
+        result = CampaignResult(spec=spec)
+        open_action = (
+            "push_open" if spec.channel == "push" else "newsletter_open"
+        )
+        click_action = (
+            "push_click" if spec.channel == "push" else "newsletter_click"
+        )
+        for uid in targets:
+            user = self.world.population.get(uid)
+            model = self.sums.get_or_create(uid)
+            self.policy.apply_decay(model)
+
+            if personalize:
+                assignment = self.assigner.assign(model, course)
+            else:
+                standard = self.assigner.assign(model, course)
+                # Force the standard text regardless of sensibilities.
+                from repro.messaging.assigner import (
+                    AssignmentCase,
+                    MessageAssignment,
+                )
+                from repro.messaging.templates import STANDARD_MESSAGE
+
+                assignment = MessageAssignment(
+                    user_id=uid,
+                    course_id=course.course_id,
+                    case=AssignmentCase.STANDARD,
+                    attribute=None,
+                    text=STANDARD_MESSAGE.render(course.title),
+                )
+                del standard
+
+            question = None
+            budget = self.config.eit_questions_per_user
+            if budget is None or len(model.asked_questions) < budget:
+                question = self.eit.ask(model)
+
+            outcome = self.world.simulate_touch(
+                user, course, assignment.attribute, spec.campaign_id, question
+            )
+
+            # -- LifeLog events ------------------------------------------
+            moment = self._clock
+            if outcome.opened:
+                self.event_log.append(Event(
+                    moment, uid, open_action, ActionCategory.CAMPAIGN,
+                    payload={"target": spec.campaign_id},
+                ))
+            if outcome.clicked:
+                self.event_log.append(Event(
+                    moment + 30.0, uid, click_action, ActionCategory.CAMPAIGN,
+                    payload={"target": spec.campaign_id},
+                ))
+            if outcome.transacted:
+                # "via" marks the event as campaign-caused so the revealed-
+                # preference extractor can exclude it: the transaction IS
+                # the label, and folding it back into features would leak
+                # outcomes into the very model that predicts them.
+                self.event_log.append(Event(
+                    moment + 120.0, uid, "course_info",
+                    ActionCategory.INFO_REQUEST,
+                    payload={"target": str(course.course_id),
+                             "via": spec.campaign_id},
+                ))
+            if question is not None and outcome.answered_option is not None:
+                self.event_log.append(Event(
+                    moment + 60.0, uid, "eit_answer",
+                    ActionCategory.EIT_ANSWER,
+                    payload={"target": question.qid,
+                             "opt": str(outcome.answered_option)},
+                ))
+
+            # -- SUM updates (Fig. 4) --------------------------------------
+            if question is not None and outcome.answered_option is not None:
+                self.eit.record_answer(model, question, outcome.answered_option)
+            backing = _emotions_behind(assignment.attribute)
+            if not backing and (outcome.transacted or outcome.clicked):
+                # Standard message but the user still engaged: credit the
+                # emotions behind the course's own salient attributes.
+                backing = _emotions_behind_course(course)
+            if backing:
+                if outcome.transacted:
+                    self.policy.reward(model, backing, self.config.reward_transaction)
+                elif outcome.clicked:
+                    self.policy.reward(model, backing, self.config.reward_click)
+                elif outcome.opened:
+                    self.policy.reward(model, backing, self.config.reward_open)
+                elif assignment.attribute is not None:
+                    self.policy.punish(model, backing, self.config.punish_ignore)
+            self.analyzer.analyze(model)
+
+            result.touches.append(TouchRecord(
+                user_id=uid,
+                campaign_id=spec.campaign_id,
+                assignment=assignment,
+                opened=outcome.opened,
+                clicked=outcome.clicked,
+                transacted=outcome.transacted,
+                answered_option=outcome.answered_option,
+                propensity=scores.get(uid),
+            ))
+            self._training_rows.append((uid, course.course_id, outcome.transacted))
+
+        self._clock += 7 * 86_400.0  # one campaign per week
+        self._refresh_behavior_features()
+        self.history.append(result)
+        return result
+
+    def run_plan(
+        self,
+        plan: list[CampaignSpec],
+        warmup: list[CampaignSpec] | None = None,
+        personalize: bool = True,
+    ) -> list[CampaignResult]:
+        """Run warm-up campaigns (unscored, standard messages) then the plan.
+
+        Warm-ups bootstrap the Gradual EIT coverage and the first training
+        set, mirroring the paper's "marketing strategy ... designed whereby
+        emotional attributes and their values are collected" before the
+        reported campaigns.
+        """
+        for spec in warmup or []:
+            self.run_campaign(spec, scored=False, personalize=False, retrain=False)
+        return [
+            self.run_campaign(spec, scored=True, personalize=personalize)
+            for spec in plan
+        ]

@@ -1,0 +1,370 @@
+"""The SVM propensity stack (Section 5.2).
+
+"SVMs are used to classify and to predict users' behaviors from attributes
+which have a high impact on their emotional responses.  Furthermore, SVMs
+have been used as a learning component in ranking users to assess their
+propensity to accept a recommended item."
+
+:class:`FeatureBuilder` assembles the per-user design matrix from the
+three SUM families (objective demographics, behavioural LifeLog features,
+learned emotional attributes); each block can be toggled for the ablation
+benches.  :class:`PropensityModel` is scaler → estimator → Platt
+calibration; the estimator defaults to the paper's linear SVM but every
+baseline of :mod:`repro.ml` can be slotted in (bench A2).
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.core.emotions import EMOTION_NAMES
+from repro.core.four_branch import BRANCH_ORDER
+from repro.core.sum_model import SmartUserModel, SumRepository
+from repro.datagen.catalog import AFFINITY_LINKS, Course, PRODUCT_ATTRIBUTES
+from repro.lifelog.preprocess import UserFeatures
+from repro.ml.calibration import PlattScaler
+from repro.ml.knn import KNNClassifier
+from repro.ml.logistic import LogisticRegression
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.preprocessing import NotFittedError, OneHotEncoder, StandardScaler
+from repro.ml.svm import LinearSVM
+
+EstimatorName = Literal["svm", "logistic", "naive_bayes", "knn"]
+
+_CATEGORICAL_FIELDS = ("gender", "region", "education", "employment", "language")
+
+
+def _normalized_intensities(model: SmartUserModel) -> dict[str, float]:
+    """L1-normalized emotional intensities.
+
+    Users differ widely in how many EIT answers they have given; the
+    normalized profile makes the *shape* of the emotional make-up
+    comparable across light and heavy answerers.
+    """
+    total = sum(model.emotional[n] for n in EMOTION_NAMES)
+    if total <= 0:
+        return {n: 0.0 for n in EMOTION_NAMES}
+    return {n: model.emotional[n] / total for n in EMOTION_NAMES}
+
+
+def estimated_appeal(
+    values: dict[str, float] | None, course: Course, model: SmartUserModel
+) -> float:
+    """SPA's own estimate of a course's emotional appeal to one user.
+
+    The same link structure the Advice stage uses (domain knowledge the
+    Attributes Manager curates — *not* the user's latent traits), weighted
+    by the SUM's learned values: ``Σ traitŝ·gain·presence / link_mass``.
+    ``values`` defaults to the model's emotional intensities.
+    """
+    if values is None:
+        values = {n: model.emotional[n] for n in EMOTION_NAMES}
+    total = 0.0
+    for emotion, targets in AFFINITY_LINKS.items():
+        level = values.get(emotion, 0.0)
+        if level == 0.0:
+            continue
+        for attribute, gain in targets.items():
+            presence = course.attributes.get(attribute, 0.0)
+            if presence:
+                total += level * gain * presence
+    mass = course.link_mass()
+    return total / mass if mass > 0 else 0.0
+
+
+class FeatureBuilder:
+    """Per-user design matrix assembly with toggleable blocks."""
+
+    def __init__(
+        self,
+        include_demographics: bool = True,
+        include_behavior: bool = True,
+        include_emotional: bool = True,
+        svd_rank: int = 0,
+        include_subjective: bool = True,
+    ) -> None:
+        if not (include_demographics or include_behavior or include_emotional):
+            raise ValueError("at least one feature block must be enabled")
+        if svd_rank < 0:
+            raise ValueError(f"svd_rank must be >= 0, got {svd_rank}")
+        self.include_demographics = include_demographics
+        self.include_behavior = include_behavior
+        self.include_emotional = include_emotional
+        self.include_subjective = include_subjective
+        self.svd_rank = svd_rank
+        self._encoders: dict[str, OneHotEncoder] = {}
+        self._fitted = False
+
+    def fit(self, sums: SumRepository) -> "FeatureBuilder":
+        """Learn categorical vocabularies from SUM objective attributes."""
+        for field in _CATEGORICAL_FIELDS:
+            values = [
+                str(model.objective.get(field, "unknown")) for model in sums
+            ]
+            self._encoders[field] = OneHotEncoder().fit(values)
+        self._fitted = True
+        return self
+
+    def feature_names(self, with_course: bool = False) -> list[str]:
+        """Column names of the assembled matrix."""
+        if not self._fitted:
+            raise NotFittedError("FeatureBuilder.feature_names before fit")
+        names: list[str] = []
+        if self.include_demographics:
+            names.append("age_scaled")
+            for field in _CATEGORICAL_FIELDS:
+                names.extend(self._encoders[field].feature_names(field))
+        if self.include_behavior:
+            names.extend(UserFeatures.feature_names())
+        if self.include_emotional:
+            names.extend(f"emotion[{n}]" for n in EMOTION_NAMES)
+            names.extend(f"sensibility[{n}]" for n in EMOTION_NAMES)
+            names.extend(f"ei[{b.value}]" for b in BRANCH_ORDER)
+        if self.include_subjective:
+            names.extend(f"pref[{a}]" for a in PRODUCT_ATTRIBUTES)
+        if self.svd_rank:
+            names.extend(f"eit_svd[{k}]" for k in range(self.svd_rank))
+        if with_course:
+            names.extend(f"course[{a}]" for a in PRODUCT_ATTRIBUTES)
+            if self.include_emotional:
+                names.extend(
+                    [
+                        "est_appeal[intensity]",
+                        "est_appeal[sensibility]",
+                        "est_appeal[normalized]",
+                    ]
+                )
+            if self.include_subjective:
+                names.append("pref_course_match")
+            if self.include_behavior:
+                names.extend(["engagement[course]", "engagement[area]"])
+        return names
+
+    def build(
+        self,
+        sums: SumRepository,
+        behavior_features: dict[int, UserFeatures],
+        user_ids: Sequence[int],
+        course: Course | None = None,
+        embeddings: dict[int, np.ndarray] | None = None,
+        course_engagement: dict[int, dict[int, float]] | None = None,
+        area_engagement: dict[int, dict[str, float]] | None = None,
+    ) -> np.ndarray:
+        """Assemble the design matrix for ``user_ids`` (row order preserved).
+
+        With ``course`` given, course-context features are appended: the
+        course's product-attribute presences (letting a model trained
+        across campaigns learn per-product difficulty) and SPA's estimated
+        emotional appeal of the course to each user (the learnable
+        user × course interaction).
+
+        With ``svd_rank`` configured, ``embeddings`` must map user ids to
+        SVD projections of the sparse EIT answer matrix — the Section 5.2
+        dimensionality-reduction step.  Users without an embedding get the
+        zero vector (they answered nothing; structurally sparse).
+        """
+        if not self._fitted:
+            raise NotFittedError("FeatureBuilder.build before fit")
+        blocks: list[np.ndarray] = []
+        models = [sums.get_or_create(int(uid)) for uid in user_ids]
+
+        if self.include_demographics:
+            ages = np.asarray(
+                [float(m.objective.get("age", 30)) for m in models]
+            )[:, None]
+            demo_blocks = [(ages - 30.0) / 15.0]
+            for field in _CATEGORICAL_FIELDS:
+                values = [str(m.objective.get(field, "unknown")) for m in models]
+                demo_blocks.append(self._encoders[field].transform(values))
+            blocks.append(np.hstack(demo_blocks))
+
+        if self.include_behavior:
+            rows = []
+            for uid in user_ids:
+                features = behavior_features.get(int(uid))
+                if features is None:
+                    features = UserFeatures(user_id=int(uid))
+                rows.append(features.as_vector())
+            blocks.append(np.vstack(rows))
+
+        if self.include_emotional:
+            emotional = np.vstack([m.emotional_vector() for m in models])
+            sensibility = np.vstack(
+                [
+                    np.asarray(
+                        [m.sensibility.get(n, 0.0) for n in EMOTION_NAMES]
+                    )
+                    for m in models
+                ]
+            )
+            ei = np.vstack(
+                [
+                    np.asarray([m.ei_profile.scores[b] for b in BRANCH_ORDER])
+                    for m in models
+                ]
+            )
+            blocks.append(np.hstack([emotional, sensibility, ei]))
+
+        if self.include_subjective:
+            blocks.append(
+                np.vstack(
+                    [
+                        np.asarray(
+                            [
+                                m.subjective.get(f"pref[{a}]", 0.0)
+                                for a in PRODUCT_ATTRIBUTES
+                            ]
+                        )
+                        for m in models
+                    ]
+                )
+            )
+
+        if self.svd_rank:
+            zero = np.zeros(self.svd_rank)
+            rows = []
+            for uid in user_ids:
+                vector = (embeddings or {}).get(int(uid))
+                if vector is None:
+                    rows.append(zero)
+                else:
+                    vector = np.asarray(vector, dtype=np.float64)
+                    if vector.shape != (self.svd_rank,):
+                        raise ValueError(
+                            f"embedding for user {uid} has shape "
+                            f"{vector.shape}, expected ({self.svd_rank},)"
+                        )
+                    rows.append(vector)
+            blocks.append(np.vstack(rows))
+
+        if course is not None:
+            presence = np.asarray(
+                [course.attributes.get(a, 0.0) for a in PRODUCT_ATTRIBUTES]
+            )
+            blocks.append(np.tile(presence, (len(models), 1)))
+            if self.include_emotional:
+                interactions = np.asarray(
+                    [
+                        [
+                            estimated_appeal(None, course, m),
+                            estimated_appeal(m.sensibility, course, m),
+                            estimated_appeal(
+                                _normalized_intensities(m), course, m
+                            ),
+                        ]
+                        for m in models
+                    ]
+                )
+                blocks.append(interactions)
+            if self.include_subjective:
+                # Cosine-style match of revealed preferences to the course.
+                norm = float(np.linalg.norm(presence)) or 1.0
+                matches = []
+                for m in models:
+                    pref = np.asarray(
+                        [
+                            m.subjective.get(f"pref[{a}]", 0.0)
+                            for a in PRODUCT_ATTRIBUTES
+                        ]
+                    )
+                    pref_norm = float(np.linalg.norm(pref))
+                    if pref_norm == 0.0:
+                        matches.append(0.0)
+                    else:
+                        matches.append(
+                            float(pref @ presence) / (pref_norm * norm)
+                        )
+                blocks.append(np.asarray(matches)[:, None])
+            if self.include_behavior:
+                # Retargeting evidence: how much organic engagement this
+                # user showed with the campaign course and its subject area.
+                direct = np.asarray(
+                    [
+                        np.log1p(
+                            (course_engagement or {})
+                            .get(int(uid), {})
+                            .get(course.course_id, 0.0)
+                        )
+                        for uid in user_ids
+                    ]
+                )
+                area = np.asarray(
+                    [
+                        np.log1p(
+                            (area_engagement or {})
+                            .get(int(uid), {})
+                            .get(course.area, 0.0)
+                        )
+                        for uid in user_ids
+                    ]
+                )
+                blocks.append(np.column_stack([direct, area]))
+
+        return np.hstack(blocks)
+
+
+def _make_estimator(name: EstimatorName, seed: int):
+    if name == "svm":
+        return LinearSVM(c=1.0, epochs=12, batch_size=64, seed=seed)
+    if name == "logistic":
+        return LogisticRegression(l2=1e-3)
+    if name == "naive_bayes":
+        return GaussianNB()
+    if name == "knn":
+        return KNNClassifier(k=25, weighted=True)
+    raise ValueError(f"unknown estimator {name!r}")
+
+
+class PropensityModel:
+    """scaler → estimator → Platt calibration."""
+
+    def __init__(self, estimator: EstimatorName = "svm", seed: int = 0) -> None:
+        self.estimator_name: EstimatorName = estimator
+        self.seed = seed
+        self.scaler = StandardScaler()
+        self.estimator = _make_estimator(estimator, seed)
+        self.calibrator = PlattScaler()
+        self._fitted = False
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "PropensityModel":
+        """Train on touch-level features and useful-impact labels.
+
+        Calibration uses a held-out third of the data so the sigmoid is not
+        fit on the margins the estimator already saw.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y)
+        if len(x) != len(y):
+            raise ValueError(f"length mismatch: {len(x)} vs {len(y)}")
+        if len(set(np.unique(y).tolist())) < 2:
+            raise ValueError("need both outcome classes to fit propensity")
+        xs = self.scaler.fit_transform(x)
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(len(xs))
+        split = max(1, len(xs) // 3)
+        calibration_ids, train_ids = order[:split], order[split:]
+        # Guard: both classes must appear in both partitions.
+        if (
+            len(set(y[train_ids].tolist())) < 2
+            or len(set(y[calibration_ids].tolist())) < 2
+        ):
+            train_ids = calibration_ids = order
+        self.estimator.fit(xs[train_ids], y[train_ids])
+        margins = self.estimator.decision_function(xs[calibration_ids])
+        self.calibrator.fit(margins, y[calibration_ids])
+        self._fitted = True
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Raw ranking scores."""
+        if not self._fitted:
+            raise NotFittedError("PropensityModel.decision_function before fit")
+        return self.estimator.decision_function(self.scaler.transform(x))
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Calibrated P(useful impact)."""
+        if not self._fitted:
+            raise NotFittedError("PropensityModel.predict_proba before fit")
+        return self.calibrator.predict_proba(self.decision_function(x))

@@ -1,0 +1,131 @@
+"""Cumulative redemption curves — Fig. 6(a).
+
+"Fig. 6(a) shows that with the 40% of commercial action (i.e. the effort
+to send Push and newsletters), SPA achieves more than 76% of useful
+impacts.  So, we have improved the redemption of Push and newsletters
+campaigns in a 90%."
+
+:func:`combined_gain_curve` pools all scored touches of a campaign set and
+computes the ranked capture curve; :func:`redemption_improvement` compares
+the personalized response rate to a standard-message baseline rate;
+:func:`ascii_curve` renders the curve the way a terminal bench can print.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.campaigns.campaign import CampaignResult
+from repro.ml.metrics import cumulative_gain_curve, gain_at
+
+
+def pooled_scores(
+    results: list[CampaignResult],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate (scores, outcomes) over all scored touches."""
+    scores_parts, outcome_parts = [], []
+    for result in results:
+        scores, outcomes = result.scores_and_outcomes()
+        if len(scores):
+            scores_parts.append(scores)
+            outcome_parts.append(outcomes)
+    if not scores_parts:
+        raise ValueError("no scored touches in the given campaigns")
+    return np.concatenate(scores_parts), np.concatenate(outcome_parts)
+
+
+def combined_gain_curve(
+    results: list[CampaignResult], n_points: int = 101
+) -> tuple[np.ndarray, np.ndarray]:
+    """The Fig. 6(a) curve over a set of campaigns.
+
+    "Commercial action" is per-campaign effort: at fraction ``f`` each
+    campaign sends to its own top-``f`` users by propensity (the standard
+    marketing lift-chart construction); the curve reports the share of all
+    useful impacts captured.  This matches how a campaign manager actually
+    spends a 40% budget across ten separate sends.
+    """
+    per_campaign: list[tuple[np.ndarray, np.ndarray]] = []
+    total_impacts = 0
+    for result in results:
+        scores, outcomes = result.scores_and_outcomes()
+        if len(scores) == 0:
+            continue
+        order = np.argsort(-scores, kind="stable")
+        per_campaign.append((outcomes[order], np.cumsum(outcomes[order])))
+        total_impacts += int(outcomes.sum())
+    if not per_campaign:
+        raise ValueError("no scored touches in the given campaigns")
+    if total_impacts == 0:
+        raise ValueError("no useful impacts across the given campaigns")
+    fractions = np.linspace(0.0, 1.0, n_points)
+    captured = np.zeros(n_points)
+    for i, fraction in enumerate(fractions):
+        hit = 0
+        for ordered, cumulative in per_campaign:
+            k = int(round(fraction * len(ordered)))
+            if k > 0:
+                hit += int(cumulative[k - 1])
+        captured[i] = hit / total_impacts
+    return fractions, captured
+
+
+def gain_at_fraction(results: list[CampaignResult], fraction: float) -> float:
+    """Captured-impact share at one commercial-action fraction."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction {fraction} outside [0, 1]")
+    fractions, captured = combined_gain_curve(results, n_points=1001)
+    return float(np.interp(fraction, fractions, captured))
+
+
+def redemption_improvement(
+    personalized_rate: float, baseline_rate: float
+) -> float:
+    """Relative improvement of redemption, e.g. 0.9 for the paper's +90%."""
+    if baseline_rate <= 0:
+        raise ValueError(f"baseline rate must be positive, got {baseline_rate}")
+    return personalized_rate / baseline_rate - 1.0
+
+
+def ascii_curve(
+    fractions: np.ndarray,
+    captured: np.ndarray,
+    width: int = 51,
+    height: int = 16,
+    mark: float | None = 0.4,
+) -> str:
+    """Render a gain curve as ASCII art (the bench's Fig. 6a output).
+
+    ``mark`` draws a vertical guide at one fraction (default the paper's
+    40% operating point).
+    """
+    if len(fractions) != len(captured):
+        raise ValueError("fractions/captured length mismatch")
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(fractions, captured):
+        col = int(round(x * (width - 1)))
+        row = height - 1 - int(round(y * (height - 1)))
+        grid[row][col] = "*"
+    # Random-targeting diagonal for reference.
+    for i in range(min(width, height * 3)):
+        x = i / (width - 1)
+        col = int(round(x * (width - 1)))
+        row = height - 1 - int(round(x * (height - 1)))
+        if 0 <= row < height and grid[row][col] == " ":
+            grid[row][col] = "."
+    if mark is not None:
+        col = int(round(mark * (width - 1)))
+        for row in range(height):
+            if grid[row][col] == " ":
+                grid[row][col] = "|"
+    lines = ["100% ┤" + "".join(grid[0])]
+    for row in range(1, height - 1):
+        prefix = "     │"
+        if row == height // 2:
+            prefix = " 50% ┤"
+        lines.append(prefix + "".join(grid[row]))
+    lines.append("  0% └" + "─" * width)
+    lines.append("      0%" + " " * (width // 2 - 6) + "50%"
+                 + " " * (width - width // 2 - 8) + "100%")
+    lines.append("          fraction of commercial action (ranked by SPA)")
+    return "\n".join(lines)

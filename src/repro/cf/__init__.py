@@ -1,0 +1,33 @@
+"""Collaborative filtering: classical baselines and emotion-aware CF.
+
+Fig. 1 places the paper's contribution on top of Burke's (2001) hybrid
+recommender taxonomy; this subpackage supplies that baseline layer —
+neighbourhood CF, matrix factorization, popularity, content-based and
+Burke-style hybrids — plus the *contextual* wrappers that inject emotional
+context (pre-filtering and post-filtering), evaluated on the synthetic
+CoMoDa dataset in bench A5.
+"""
+
+from repro.cf.content import ContentBasedRecommender
+from repro.cf.context import ContextualPostFilter, ContextualPreFilter
+from repro.cf.eval import evaluate_rmse_mae, precision_at_k
+from repro.cf.hybrid import SwitchingHybrid, WeightedHybrid
+from repro.cf.mf import FunkSVD
+from repro.cf.neighborhood import ItemKNN, UserKNN
+from repro.cf.popularity import PopularityRecommender
+from repro.cf.ratings import RatingMatrix
+
+__all__ = [
+    "ContentBasedRecommender",
+    "ContextualPostFilter",
+    "ContextualPreFilter",
+    "FunkSVD",
+    "ItemKNN",
+    "PopularityRecommender",
+    "RatingMatrix",
+    "SwitchingHybrid",
+    "UserKNN",
+    "WeightedHybrid",
+    "evaluate_rmse_mae",
+    "precision_at_k",
+]

@@ -1,0 +1,79 @@
+"""Content-based recommendation over item feature vectors.
+
+One of Burke's knowledge sources (Fig. 1): score an item by its similarity
+to the feature-weighted centroid of the user's liked items.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.cf.ratings import RatingMatrix
+
+
+class ContentBasedRecommender:
+    """Profile-centroid content scoring.
+
+    ``item_features[item_id]`` is a dense feature vector (e.g. one-hot
+    genre); the user profile is the rating-weighted mean of the vectors of
+    items they rated above their own mean.
+    """
+
+    def __init__(self, item_features: Mapping[int, np.ndarray]) -> None:
+        if not item_features:
+            raise ValueError("need item features")
+        lengths = {len(np.asarray(v)) for v in item_features.values()}
+        if len(lengths) != 1:
+            raise ValueError(f"ragged feature vectors: lengths {sorted(lengths)}")
+        self.item_features = {
+            int(k): np.asarray(v, dtype=np.float64) for k, v in item_features.items()
+        }
+        self.dim = lengths.pop()
+        self.ratings: RatingMatrix | None = None
+        self._profiles: dict[int, np.ndarray] = {}
+
+    def fit(self, ratings: RatingMatrix) -> "ContentBasedRecommender":
+        """Build per-user preference centroids."""
+        self.ratings = ratings
+        self._profiles = {}
+        for user_id in ratings.user_ids:
+            mean = ratings.user_mean(user_id)
+            profile = np.zeros(self.dim)
+            weight_sum = 0.0
+            row = ratings.user_index(user_id)
+            user_row = ratings.matrix.getrow(row)
+            for col, value in zip(user_row.indices, user_row.data):
+                item_id = ratings.item_ids[col]
+                features = self.item_features.get(item_id)
+                if features is None:
+                    continue
+                weight = max(0.0, value - mean) + 0.1
+                profile += weight * features
+                weight_sum += weight
+            if weight_sum > 0:
+                self._profiles[user_id] = profile / weight_sum
+        return self
+
+    def score(self, user_id: int, item_id: int) -> float:
+        """Cosine similarity of the user profile to the item, in [-1, 1]."""
+        if self.ratings is None:
+            raise RuntimeError("ContentBasedRecommender.score before fit")
+        profile = self._profiles.get(int(user_id))
+        features = self.item_features.get(int(item_id))
+        if profile is None or features is None:
+            return 0.0
+        denominator = np.linalg.norm(profile) * np.linalg.norm(features)
+        if denominator == 0:
+            return 0.0
+        return float(profile @ features / denominator)
+
+    def predict(self, user_id: int, item_id: int) -> float:
+        """Rating-scale projection of :meth:`score` around the user mean."""
+        if self.ratings is None:
+            raise RuntimeError("ContentBasedRecommender.predict before fit")
+        base = self.ratings.user_mean(
+            user_id, default=self.ratings.global_mean()
+        )
+        return float(np.clip(base + self.score(user_id, item_id), 1.0, 5.0))

@@ -1,0 +1,144 @@
+"""Emotion-context-aware CF: pre-filtering and post-filtering.
+
+Adomavicius & Tuzhilin's survey (the paper's reference [1]) defines the
+two classic ways to inject context into a 2-D recommender:
+
+* **contextual pre-filtering** — train one model per context segment and
+  answer queries from the matching segment's model;
+* **contextual post-filtering** — train one context-free model and adjust
+  its output by the context's empirical deviation for that item (here:
+  the mean rating shift of the item's genre under the query context).
+
+Context here is the viewer's *emotional* state (mood + induced emotion),
+which is exactly the emotional-context thesis of the paper transplanted
+onto the CoMoDa-style rating task of bench A5.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cf.ratings import RatingMatrix
+from repro.datagen.comoda import ComodaRating
+
+#: context key extractor: mood is the primary CoMoDa context dimension
+ContextKey = Callable[[ComodaRating], str]
+
+
+def mood_context(rating: ComodaRating) -> str:
+    """Context = viewer mood."""
+    return rating.mood
+
+
+def emotion_context(rating: ComodaRating) -> str:
+    """Context = dominant induced emotion."""
+    return rating.emotion
+
+
+class ContextualPreFilter:
+    """One CF model per context segment, with a global fallback.
+
+    ``model_factory`` builds a fresh fit-able model; segments with fewer
+    than ``min_segment`` ratings fall back to the global model (exact
+    pre-filtering would starve them — the classic sparsity trade-off).
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable[[], object],
+        context_key: ContextKey = mood_context,
+        min_segment: int = 50,
+    ) -> None:
+        if min_segment < 1:
+            raise ValueError(f"min_segment must be >= 1, got {min_segment}")
+        self.model_factory = model_factory
+        self.context_key = context_key
+        self.min_segment = min_segment
+        self._segment_models: dict[str, object] = {}
+        self._global_model: object | None = None
+
+    def fit(self, train: list[ComodaRating]) -> "ContextualPreFilter":
+        """Fit the global model and one model per viable context segment."""
+        if not train:
+            raise ValueError("empty training set")
+        triplets = [(r.user_id, r.item_id, r.rating) for r in train]
+        self._global_model = self.model_factory()
+        self._global_model.fit(RatingMatrix(triplets))
+
+        segments: dict[str, list[ComodaRating]] = {}
+        for rating in train:
+            segments.setdefault(self.context_key(rating), []).append(rating)
+        for key, rows in segments.items():
+            if len(rows) < self.min_segment:
+                continue
+            model = self.model_factory()
+            model.fit(
+                RatingMatrix([(r.user_id, r.item_id, r.rating) for r in rows])
+            )
+            self._segment_models[key] = model
+        return self
+
+    def predict(self, user_id: int, item_id: int, context: str) -> float:
+        """Prediction from the context's segment model (global fallback)."""
+        if self._global_model is None:
+            raise RuntimeError("ContextualPreFilter.predict before fit")
+        model = self._segment_models.get(context, self._global_model)
+        return float(model.predict(user_id, item_id))
+
+
+class ContextualPostFilter:
+    """Context-free model plus per-(context, genre) rating adjustments."""
+
+    def __init__(
+        self,
+        model_factory: Callable[[], object],
+        item_genres: dict[int, str],
+        context_key: ContextKey = mood_context,
+        min_cell: int = 20,
+        shrink: float = 10.0,
+    ) -> None:
+        self.model_factory = model_factory
+        self.item_genres = dict(item_genres)
+        self.context_key = context_key
+        self.min_cell = min_cell
+        self.shrink = shrink
+        self._model: object | None = None
+        self._adjustments: dict[tuple[str, str], float] = {}
+
+    def fit(self, train: list[ComodaRating]) -> "ContextualPostFilter":
+        """Fit the base model and estimate (context, genre) deviations."""
+        if not train:
+            raise ValueError("empty training set")
+        triplets = [(r.user_id, r.item_id, r.rating) for r in train]
+        self._model = self.model_factory()
+        self._model.fit(RatingMatrix(triplets))
+
+        # Deviation of each (context, genre) cell from the genre mean,
+        # shrunk toward zero by cell size.
+        genre_sums: dict[str, list[float]] = {}
+        cell_sums: dict[tuple[str, str], list[float]] = {}
+        for rating in train:
+            genre = self.item_genres.get(rating.item_id)
+            if genre is None:
+                continue
+            genre_sums.setdefault(genre, []).append(rating.rating)
+            key = (self.context_key(rating), genre)
+            cell_sums.setdefault(key, []).append(rating.rating)
+        genre_means = {g: sum(v) / len(v) for g, v in genre_sums.items()}
+        for (context, genre), values in cell_sums.items():
+            if len(values) < self.min_cell:
+                continue
+            deviation = sum(values) / len(values) - genre_means[genre]
+            weight = len(values) / (len(values) + self.shrink)
+            self._adjustments[(context, genre)] = deviation * weight
+        return self
+
+    def predict(self, user_id: int, item_id: int, context: str) -> float:
+        """Base prediction plus the context's deviation for this genre."""
+        if self._model is None:
+            raise RuntimeError("ContextualPostFilter.predict before fit")
+        estimate = float(self._model.predict(user_id, item_id))
+        genre = self.item_genres.get(int(item_id))
+        if genre is not None:
+            estimate += self._adjustments.get((context, genre), 0.0)
+        return estimate

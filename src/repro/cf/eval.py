@@ -1,0 +1,65 @@
+"""Rating-prediction and top-k evaluation for the CF benches."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.datagen.comoda import ComodaRating
+
+#: prediction callable: (user, item, context) -> estimate
+ContextPredictor = Callable[[int, int, str], float]
+
+
+def evaluate_rmse_mae(
+    predict: ContextPredictor,
+    test: list[ComodaRating],
+    context_key: Callable[[ComodaRating], str],
+    clip: tuple[float, float] = (1.0, 5.0),
+) -> tuple[float, float]:
+    """RMSE and MAE of a contextual predictor on held-out ratings."""
+    if not test:
+        raise ValueError("empty test set")
+    errors = []
+    for rating in test:
+        estimate = predict(rating.user_id, rating.item_id, context_key(rating))
+        estimate = float(np.clip(estimate, *clip))
+        errors.append(estimate - rating.rating)
+    errors_arr = np.asarray(errors)
+    rmse = float(np.sqrt(np.mean(errors_arr**2)))
+    mae = float(np.mean(np.abs(errors_arr)))
+    return rmse, mae
+
+
+def precision_at_k(
+    predict: ContextPredictor,
+    test: list[ComodaRating],
+    context_key: Callable[[ComodaRating], str],
+    k: int = 5,
+    like_threshold: float = 4.0,
+) -> float:
+    """Mean per-user precision@k over the held-out ratings.
+
+    For each user, rank their test items by prediction and count how many
+    of the top-k they actually rated ≥ ``like_threshold``.  Users with
+    fewer than ``k`` test ratings are skipped.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    by_user: dict[int, list[ComodaRating]] = {}
+    for rating in test:
+        by_user.setdefault(rating.user_id, []).append(rating)
+    precisions = []
+    for user_id, rows in sorted(by_user.items()):
+        if len(rows) < k:
+            continue
+        scored = sorted(
+            rows,
+            key=lambda r: -predict(r.user_id, r.item_id, context_key(r)),
+        )
+        hits = sum(1 for r in scored[:k] if r.rating >= like_threshold)
+        precisions.append(hits / k)
+    if not precisions:
+        raise ValueError(f"no user has >= {k} test ratings")
+    return float(np.mean(precisions))

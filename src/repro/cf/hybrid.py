@@ -1,0 +1,79 @@
+"""Burke-style hybrid recommenders (Fig. 1 lineage).
+
+Burke (2001) catalogues hybridization strategies; the two that matter for
+our benches are implemented: *weighted* (convex score combination) and
+*switching* (per-user choice by rating-history depth).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from repro.cf.ratings import RatingMatrix
+
+
+class Predictor(Protocol):
+    """Anything with a ``predict(user_id, item_id) -> float``."""
+
+    def predict(self, user_id: int, item_id: int) -> float: ...
+
+
+class WeightedHybrid:
+    """Convex combination of component predictions."""
+
+    def __init__(
+        self, components: Sequence[Predictor], weights: Sequence[float]
+    ) -> None:
+        if len(components) != len(weights):
+            raise ValueError(
+                f"{len(components)} components vs {len(weights)} weights"
+            )
+        if not components:
+            raise ValueError("need at least one component")
+        if any(w < 0 for w in weights):
+            raise ValueError("weights must be non-negative")
+        total = float(sum(weights))
+        if total == 0:
+            raise ValueError("weights sum to zero")
+        self.components = list(components)
+        self.weights = [w / total for w in weights]
+
+    def predict(self, user_id: int, item_id: int) -> float:
+        """Weighted mean of component predictions."""
+        return float(
+            sum(
+                w * c.predict(user_id, item_id)
+                for c, w in zip(self.components, self.weights)
+            )
+        )
+
+
+class SwitchingHybrid:
+    """Cold-start switching: thin users go to the fallback component.
+
+    Users with fewer than ``min_ratings`` ratings are served by
+    ``cold_component`` (typically popularity or content-based), everyone
+    else by ``warm_component`` (typically CF) — Burke's "switching" hybrid.
+    """
+
+    def __init__(
+        self,
+        ratings: RatingMatrix,
+        warm_component: Predictor,
+        cold_component: Predictor,
+        min_ratings: int = 5,
+    ) -> None:
+        if min_ratings < 0:
+            raise ValueError(f"min_ratings must be >= 0, got {min_ratings}")
+        self.ratings = ratings
+        self.warm_component = warm_component
+        self.cold_component = cold_component
+        self.min_ratings = min_ratings
+
+    def predict(self, user_id: int, item_id: int) -> float:
+        """Route to warm/cold component by rating-history depth."""
+        n = len(self.ratings.items_of(user_id))
+        component = (
+            self.warm_component if n >= self.min_ratings else self.cold_component
+        )
+        return float(component.predict(user_id, item_id))

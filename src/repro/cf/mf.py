@@ -1,0 +1,85 @@
+"""FunkSVD matrix factorization (biased SGD)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cf.ratings import RatingMatrix
+
+
+class FunkSVD:
+    """Biased MF: r̂ = μ + b_u + b_i + p_u·q_i, trained by SGD."""
+
+    def __init__(
+        self,
+        rank: int = 16,
+        lr: float = 0.01,
+        reg: float = 0.05,
+        epochs: int = 25,
+        seed: int = 0,
+    ) -> None:
+        if rank < 1:
+            raise ValueError(f"rank must be >= 1, got {rank}")
+        self.rank = rank
+        self.lr = lr
+        self.reg = reg
+        self.epochs = epochs
+        self.seed = seed
+        self.ratings: RatingMatrix | None = None
+        self.mu_: float = 0.0
+        self.user_bias_: np.ndarray | None = None
+        self.item_bias_: np.ndarray | None = None
+        self.user_factors_: np.ndarray | None = None
+        self.item_factors_: np.ndarray | None = None
+
+    def fit(self, ratings: RatingMatrix) -> "FunkSVD":
+        """Train on all stored ratings."""
+        self.ratings = ratings
+        rng = np.random.default_rng(self.seed)
+        n_users, n_items = ratings.n_users, ratings.n_items
+        self.mu_ = ratings.global_mean()
+        self.user_bias_ = np.zeros(n_users)
+        self.item_bias_ = np.zeros(n_items)
+        self.user_factors_ = rng.normal(0.0, 0.1, size=(n_users, self.rank))
+        self.item_factors_ = rng.normal(0.0, 0.1, size=(n_items, self.rank))
+
+        coo = ratings.matrix.tocoo()
+        samples = np.column_stack([coo.row, coo.col]).astype(np.int64)
+        values = coo.data.astype(np.float64)
+        for __ in range(self.epochs):
+            order = rng.permutation(len(values))
+            for position in order:
+                u, i = samples[position]
+                r = values[position]
+                prediction = (
+                    self.mu_
+                    + self.user_bias_[u]
+                    + self.item_bias_[i]
+                    + self.user_factors_[u] @ self.item_factors_[i]
+                )
+                error = r - prediction
+                self.user_bias_[u] += self.lr * (error - self.reg * self.user_bias_[u])
+                self.item_bias_[i] += self.lr * (error - self.reg * self.item_bias_[i])
+                pu = self.user_factors_[u].copy()
+                self.user_factors_[u] += self.lr * (
+                    error * self.item_factors_[i] - self.reg * pu
+                )
+                self.item_factors_[i] += self.lr * (
+                    error * pu - self.reg * self.item_factors_[i]
+                )
+        return self
+
+    def predict(self, user_id: int, item_id: int) -> float:
+        """Predicted rating with bias-only fallbacks for unseen ids."""
+        if self.ratings is None:
+            raise RuntimeError("FunkSVD.predict before fit")
+        row = self.ratings.user_index(user_id)
+        col = self.ratings.item_index(item_id)
+        estimate = self.mu_
+        if row is not None:
+            estimate += self.user_bias_[row]
+        if col is not None:
+            estimate += self.item_bias_[col]
+        if row is not None and col is not None:
+            estimate += float(self.user_factors_[row] @ self.item_factors_[col])
+        return float(estimate)

@@ -1,0 +1,119 @@
+"""Memory-based (neighbourhood) collaborative filtering.
+
+User-kNN and item-kNN with shrunk cosine similarity and mean-centering —
+the classical CF layer the paper's emotional context extends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cf.ratings import RatingMatrix
+
+
+def _shrunk_cosine(matrix, shrink: float) -> np.ndarray:
+    """Pairwise column cosine with shrinkage toward 0 for thin overlaps."""
+    dense = np.asarray(matrix.todense(), dtype=np.float64)
+    norms = np.linalg.norm(dense, axis=0)
+    norms[norms == 0.0] = 1.0
+    gram = dense.T @ dense
+    similarity = gram / np.outer(norms, norms)
+    if shrink > 0:
+        overlap = (dense != 0).astype(np.float64)
+        counts = overlap.T @ overlap
+        similarity = similarity * (counts / (counts + shrink))
+    np.fill_diagonal(similarity, 0.0)
+    return similarity
+
+
+class ItemKNN:
+    """Item-based kNN with mean-centered weighted aggregation."""
+
+    def __init__(self, k: int = 20, shrink: float = 10.0) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.shrink = shrink
+        self.ratings: RatingMatrix | None = None
+        self._similarity: np.ndarray | None = None
+
+    def fit(self, ratings: RatingMatrix) -> "ItemKNN":
+        """Precompute the item-item similarity matrix."""
+        self.ratings = ratings
+        self._similarity = _shrunk_cosine(ratings.matrix, self.shrink)
+        return self
+
+    def predict(self, user_id: int, item_id: int) -> float:
+        """Predicted rating; falls back to user/global mean off-support."""
+        if self.ratings is None or self._similarity is None:
+            raise RuntimeError("ItemKNN.predict before fit")
+        fallback = self.ratings.user_mean(
+            user_id, default=self.ratings.global_mean()
+        )
+        row = self.ratings.user_index(user_id)
+        col = self.ratings.item_index(item_id)
+        if row is None or col is None:
+            return fallback
+        user_row = self.ratings.matrix.getrow(row)
+        rated_cols = user_row.indices
+        if len(rated_cols) == 0:
+            return fallback
+        similarities = self._similarity[col, rated_cols]
+        top = np.argsort(-similarities)[: self.k]
+        sims = similarities[top]
+        values = user_row.data[top]
+        mask = sims > 0
+        if not mask.any():
+            return fallback
+        return float(np.dot(sims[mask], values[mask]) / sims[mask].sum())
+
+
+class UserKNN:
+    """User-based kNN with mean-centered weighted aggregation."""
+
+    def __init__(self, k: int = 20, shrink: float = 10.0) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.shrink = shrink
+        self.ratings: RatingMatrix | None = None
+        self._similarity: np.ndarray | None = None
+        self._means: np.ndarray | None = None
+
+    def fit(self, ratings: RatingMatrix) -> "UserKNN":
+        """Precompute the user-user similarity matrix and user means."""
+        self.ratings = ratings
+        self._similarity = _shrunk_cosine(ratings.matrix.T, self.shrink)
+        means = []
+        for row in range(ratings.n_users):
+            data = ratings.matrix.getrow(row).data
+            means.append(float(data.mean()) if len(data) else 0.0)
+        self._means = np.asarray(means)
+        return self
+
+    def predict(self, user_id: int, item_id: int) -> float:
+        """Mean-centered neighbour aggregation with fallbacks."""
+        if self.ratings is None or self._similarity is None:
+            raise RuntimeError("UserKNN.predict before fit")
+        global_mean = self.ratings.global_mean()
+        row = self.ratings.user_index(user_id)
+        col = self.ratings.item_index(item_id)
+        if row is None:
+            return global_mean
+        own_mean = self._means[row]
+        if col is None:
+            return float(own_mean)
+        item_col = self.ratings.matrix.getcol(col).tocoo()
+        raters = item_col.row
+        values = item_col.data
+        if len(raters) == 0:
+            return float(own_mean)
+        similarities = self._similarity[row, raters]
+        top = np.argsort(-similarities)[: self.k]
+        sims = similarities[top]
+        mask = sims > 0
+        if not mask.any():
+            return float(own_mean)
+        centered = values[top][mask] - self._means[raters[top][mask]]
+        estimate = own_mean + np.dot(sims[mask], centered) / sims[mask].sum()
+        return float(estimate)

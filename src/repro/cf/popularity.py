@@ -1,0 +1,50 @@
+"""Popularity and item-mean baselines — the floor every CF should beat."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cf.ratings import RatingMatrix
+
+
+class PopularityRecommender:
+    """Predicts the (damped) item mean; ranks items by rating count."""
+
+    def __init__(self, damping: float = 5.0) -> None:
+        if damping < 0:
+            raise ValueError(f"damping must be >= 0, got {damping}")
+        self.damping = damping
+        self.ratings: RatingMatrix | None = None
+        self._item_means: np.ndarray | None = None
+        self._item_counts: np.ndarray | None = None
+
+    def fit(self, ratings: RatingMatrix) -> "PopularityRecommender":
+        """Compute damped item means and counts."""
+        self.ratings = ratings
+        mu = ratings.global_mean()
+        csc = ratings.matrix.tocsc()
+        means, counts = [], []
+        for col in range(ratings.n_items):
+            data = csc.getcol(col).data
+            n = len(data)
+            counts.append(n)
+            means.append((data.sum() + self.damping * mu) / (n + self.damping))
+        self._item_means = np.asarray(means)
+        self._item_counts = np.asarray(counts, dtype=np.int64)
+        return self
+
+    def predict(self, user_id: int, item_id: int) -> float:
+        """The damped item mean (global mean for unseen items)."""
+        if self.ratings is None or self._item_means is None:
+            raise RuntimeError("PopularityRecommender.predict before fit")
+        col = self.ratings.item_index(item_id)
+        if col is None:
+            return self.ratings.global_mean()
+        return float(self._item_means[col])
+
+    def top_items(self, k: int = 10) -> list[int]:
+        """Most-rated items, external ids."""
+        if self.ratings is None or self._item_counts is None:
+            raise RuntimeError("PopularityRecommender.top_items before fit")
+        order = np.argsort(-self._item_counts)[:k]
+        return [self.ratings.item_ids[i] for i in order]

@@ -1,0 +1,93 @@
+"""The sparse rating matrix shared by all CF models."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+import scipy.sparse as sp
+
+Triplet = tuple[int, int, float]
+
+
+class RatingMatrix:
+    """User × item ratings in CSR form with id ↔ index maps.
+
+    External user/item ids can be arbitrary ints; rows/columns are dense
+    internal indices.  Duplicate (user, item) pairs keep the *last* rating
+    (re-rates overwrite).
+    """
+
+    def __init__(self, triplets: Iterable[Triplet]) -> None:
+        latest: dict[tuple[int, int], float] = {}
+        for user, item, rating in triplets:
+            latest[(int(user), int(item))] = float(rating)
+        if not latest:
+            raise ValueError("rating matrix needs at least one rating")
+        self.user_ids = sorted({u for u, __ in latest})
+        self.item_ids = sorted({i for __, i in latest})
+        self._user_pos = {u: k for k, u in enumerate(self.user_ids)}
+        self._item_pos = {i: k for k, i in enumerate(self.item_ids)}
+        rows = [self._user_pos[u] for (u, __) in latest]
+        cols = [self._item_pos[i] for (__, i) in latest]
+        data = list(latest.values())
+        self.matrix = sp.csr_matrix(
+            (data, (rows, cols)),
+            shape=(len(self.user_ids), len(self.item_ids)),
+            dtype=np.float64,
+        )
+
+    @property
+    def n_users(self) -> int:
+        """Number of distinct users."""
+        return len(self.user_ids)
+
+    @property
+    def n_items(self) -> int:
+        """Number of distinct items."""
+        return len(self.item_ids)
+
+    @property
+    def n_ratings(self) -> int:
+        """Number of stored ratings."""
+        return int(self.matrix.nnz)
+
+    def density(self) -> float:
+        """Filled fraction of the matrix."""
+        return self.n_ratings / (self.n_users * self.n_items)
+
+    def user_index(self, user_id: int) -> int | None:
+        """Internal row of a user (None if unseen)."""
+        return self._user_pos.get(int(user_id))
+
+    def item_index(self, item_id: int) -> int | None:
+        """Internal column of an item (None if unseen)."""
+        return self._item_pos.get(int(item_id))
+
+    def rating(self, user_id: int, item_id: int) -> float | None:
+        """Stored rating or None."""
+        row = self.user_index(user_id)
+        col = self.item_index(item_id)
+        if row is None or col is None:
+            return None
+        value = self.matrix[row, col]
+        return float(value) if value != 0 else None
+
+    def user_mean(self, user_id: int, default: float = 0.0) -> float:
+        """Mean of the user's ratings (default when the user is unseen)."""
+        row = self.user_index(user_id)
+        if row is None:
+            return default
+        data = self.matrix.getrow(row).data
+        return float(data.mean()) if len(data) else default
+
+    def global_mean(self) -> float:
+        """Mean of all stored ratings."""
+        return float(self.matrix.data.mean())
+
+    def items_of(self, user_id: int) -> list[int]:
+        """External item ids the user rated."""
+        row = self.user_index(user_id)
+        if row is None:
+            return []
+        return [self.item_ids[j] for j in self.matrix.getrow(row).indices]

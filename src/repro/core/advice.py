@@ -1,0 +1,118 @@
+"""The Advice stage: activation/inhibition of excitatory attributes.
+
+Section 3: "Advice stage: this stage consists of providing emotional
+information to recommender systems to improve recommendations made to the
+user.  It is based on activation or inhibition of excitatory attributes
+from each domain of interaction according to the emotional information."
+
+A :class:`DomainProfile` declares, for one interaction domain (e.g.
+"training courses"), which *item attributes* each *emotional attribute*
+excites or inhibits.  The :class:`AdviceEngine` turns a user's emotional
+state into per-item-attribute multipliers: >1 boosts items carrying the
+attribute, <1 suppresses them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.emotions import EMOTION_CATALOG
+from repro.core.sum_model import SmartUserModel
+
+
+@dataclass(frozen=True)
+class DomainProfile:
+    """Excitatory links of one interaction domain.
+
+    ``links[emotion][item_attribute] = gain`` with gain in [-1, 1]:
+    positive gains mean the emotion makes the item attribute more
+    appealing (activation), negative gains mean inhibition.
+    """
+
+    domain: str
+    links: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for emotion, targets in self.links.items():
+            if emotion not in EMOTION_CATALOG:
+                raise KeyError(f"unknown emotional attribute {emotion!r}")
+            for item_attribute, gain in targets.items():
+                if not -1.0 <= gain <= 1.0:
+                    raise ValueError(
+                        f"gain {gain} for {emotion}->{item_attribute} "
+                        "outside [-1, 1]"
+                    )
+
+    def item_attributes(self) -> list[str]:
+        """All item attributes referenced by this profile, sorted."""
+        names = {
+            item_attribute
+            for targets in self.links.values()
+            for item_attribute in targets
+        }
+        return sorted(names)
+
+
+@dataclass(frozen=True)
+class AdviceEngine:
+    """Turns emotional states into item-attribute multipliers.
+
+    Parameters
+    ----------
+    gain_scale:
+        Full-intensity, full-gain deflection of a multiplier away from 1.
+        With the default 0.5, multipliers live in [0.5, 1.5] per emotion
+        link before combination.
+    """
+
+    gain_scale: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.gain_scale <= 1.0:
+            raise ValueError(f"gain_scale {self.gain_scale} outside (0, 1]")
+
+    def boosts(
+        self, model: SmartUserModel, profile: DomainProfile
+    ) -> dict[str, float]:
+        """Multiplicative boost per item attribute for this user.
+
+        Each emotion contributes ``1 + gain_scale * gain * intensity *
+        sensibility`` and contributions multiply, so independent emotional
+        evidence compounds while absent emotions (intensity 0) contribute
+        exactly 1.  All outputs are positive.
+        """
+        multipliers = {name: 1.0 for name in profile.item_attributes()}
+        for emotion, targets in profile.links.items():
+            intensity = model.emotional[emotion]
+            if intensity == 0.0:
+                continue
+            relevance = model.sensibility.get(emotion, 1.0)
+            for item_attribute, gain in targets.items():
+                factor = 1.0 + self.gain_scale * gain * intensity * relevance
+                multipliers[item_attribute] *= max(factor, 0.05)
+        return multipliers
+
+    def adjust_scores(
+        self,
+        base_scores: Mapping[str, float],
+        item_attributes: Mapping[str, Mapping[str, float]],
+        model: SmartUserModel,
+        profile: DomainProfile,
+    ) -> dict[str, float]:
+        """Apply boosts to base item scores.
+
+        ``item_attributes[item][attribute] = presence`` in [0, 1]; an
+        item's multiplier is the presence-weighted geometric interpolation
+        of its attributes' boosts.
+        """
+        boosts = self.boosts(model, profile)
+        adjusted = {}
+        for item, base in base_scores.items():
+            attributes = item_attributes.get(item, {})
+            multiplier = 1.0
+            for attribute, presence in attributes.items():
+                boost = boosts.get(attribute, 1.0)
+                multiplier *= boost ** max(0.0, min(1.0, presence))
+            adjusted[item] = base * multiplier
+        return adjusted

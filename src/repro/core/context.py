@@ -1,0 +1,138 @@
+"""The Fig. 1 context taxonomy for Ambient Recommender Systems.
+
+Fig. 1 extends Burke's (2001) classification of recommendation knowledge
+sources with the *user context* dimensions an Ambient Recommender System
+must represent "in a holistic way": cognitive, task, social, emotional,
+cultural, physical and location context.
+
+This module encodes that taxonomy as data so the architecture bench (E6)
+can regenerate the figure's content from live objects, and so context
+dimensions can be attached to :class:`~repro.core.sum_model.SmartUserModel`
+instances in a uniform way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ContextDimension:
+    """One axis of the user's circumstances (Fig. 1, right half)."""
+
+    name: str
+    description: str
+    example_signals: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class KnowledgeSource:
+    """One of Burke's recommendation knowledge sources (Fig. 1, left half)."""
+
+    name: str
+    description: str
+
+
+#: Burke's knowledge sources, the base the paper extends.
+KNOWLEDGE_SOURCES: tuple[KnowledgeSource, ...] = (
+    KnowledgeSource(
+        "collaborative",
+        "opinions of peer users: ratings and behaviour of similar users",
+    ),
+    KnowledgeSource(
+        "content",
+        "features of the items themselves matched against the user profile",
+    ),
+    KnowledgeSource(
+        "demographic",
+        "socio-demographic segments mapped to preference stereotypes",
+    ),
+    KnowledgeSource(
+        "knowledge-based",
+        "explicit domain knowledge about how items meet user needs",
+    ),
+)
+
+#: The paper's context extension (Fig. 1): "cognitive context, task context,
+#: social context, emotional context, cultural context, physical context and
+#: location context among others".
+CONTEXT_DIMENSIONS: tuple[ContextDimension, ...] = (
+    ContextDimension(
+        "cognitive",
+        "what the user knows and can attend to right now",
+        ("expertise level", "attention span", "information overload"),
+    ),
+    ContextDimension(
+        "task",
+        "the goal the user is currently pursuing",
+        ("browsing vs purchasing", "course search intent", "deadline"),
+    ),
+    ContextDimension(
+        "social",
+        "who the user is with or communicating with",
+        ("alone/accompanied", "group decision", "peer recommendations"),
+    ),
+    ContextDimension(
+        "emotional",
+        "the user's affective state and sensibilities — the paper's focus",
+        ("valence", "arousal", "dominant emotional attributes"),
+    ),
+    ContextDimension(
+        "cultural",
+        "norms and values shaping how suggestions are received",
+        ("language", "holidays", "communication style"),
+    ),
+    ContextDimension(
+        "physical",
+        "the bodily and environmental situation",
+        ("device", "noise", "physiological signals"),
+    ),
+    ContextDimension(
+        "location",
+        "where the user is and what is reachable",
+        ("home/work/travel", "geo region", "proximity to venues"),
+    ),
+)
+
+
+@dataclass
+class ContextSnapshot:
+    """A concrete assignment of values to context dimensions for one user.
+
+    Unknown dimensions are simply absent; consumers treat missing entries
+    as "no information", never as a default value.
+    """
+
+    values: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        known = {dimension.name for dimension in CONTEXT_DIMENSIONS}
+        unknown = set(self.values) - known
+        if unknown:
+            raise KeyError(f"unknown context dimensions: {sorted(unknown)}")
+
+    def get(self, dimension: str, default: str | None = None) -> str | None:
+        """Current value of one dimension, or ``default``."""
+        return self.values.get(dimension, default)
+
+    def set(self, dimension: str, value: str) -> None:
+        """Set one dimension (must be a Fig. 1 dimension)."""
+        known = {d.name for d in CONTEXT_DIMENSIONS}
+        if dimension not in known:
+            raise KeyError(f"unknown context dimension {dimension!r}")
+        self.values[dimension] = value
+
+
+def taxonomy_lines() -> list[str]:
+    """The Fig. 1 content as indented text lines (used by bench E6)."""
+    lines = ["Ambient Recommender System"]
+    lines.append("├─ knowledge sources (Burke 2001)")
+    for i, source in enumerate(KNOWLEDGE_SOURCES):
+        branch = "└─" if i == len(KNOWLEDGE_SOURCES) - 1 else "├─"
+        lines.append(f"│  {branch} {source.name}: {source.description}")
+    lines.append("└─ user context (this paper's extension)")
+    for i, dimension in enumerate(CONTEXT_DIMENSIONS):
+        branch = "└─" if i == len(CONTEXT_DIMENSIONS) - 1 else "├─"
+        marker = "  ◀ emotional context (focus)" if dimension.name == "emotional" else ""
+        lines.append(f"   {branch} {dimension.name} context{marker}")
+    return lines

@@ -1,0 +1,98 @@
+"""Cross-domain transfer of Smart User Models.
+
+The SUM concept (the paper's reference [5], González et al. 2005) is
+explicitly *cross-domain*: emotional attributes learned while a user
+interacts with one application (e-learning) should inform recommendations
+in another (tourism, music, ...).  This module implements that transfer:
+
+* emotional attributes and the Four-Branch profile are **domain-general**
+  — they copy across with a confidence discount;
+* sensibility weights transfer through the *overlap* of the two domains'
+  excitatory structures: an emotion whose links behave similarly in both
+  domains keeps its weight, one that is irrelevant in the target domain
+  is attenuated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.advice import DomainProfile
+from repro.core.emotions import EMOTION_NAMES, clamp01
+from repro.core.sum_model import SmartUserModel
+
+
+def emotion_domain_relevance(profile: DomainProfile, emotion: str) -> float:
+    """How much one emotion matters in a domain: total absolute link gain,
+    squashed to [0, 1] (1 - 1/(1 + mass))."""
+    targets = profile.links.get(emotion, {})
+    mass = sum(abs(g) for g in targets.values())
+    return mass / (1.0 + mass)
+
+
+@dataclass(frozen=True)
+class CrossDomainTransfer:
+    """Transfers a SUM's emotional knowledge into a new domain.
+
+    Parameters
+    ----------
+    confidence:
+        Global discount on transferred emotional intensities in (0, 1];
+        knowledge about a user is never *more* certain in a domain it was
+        not learned in.
+    """
+
+    confidence: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.confidence <= 1.0:
+            raise ValueError(f"confidence {self.confidence} outside (0, 1]")
+
+    def transfer(
+        self,
+        source: SmartUserModel,
+        source_profile: DomainProfile,
+        target_profile: DomainProfile,
+    ) -> SmartUserModel:
+        """A new SUM for the target domain, seeded from ``source``.
+
+        * objective attributes copy verbatim (they are facts);
+        * emotional intensities copy with the ``confidence`` discount;
+        * the Four-Branch profile copies verbatim (emotional intelligence
+          is a person-level construct, not a domain one);
+        * sensibility weights are re-scaled by how relevant each emotion
+          is in the *target* domain relative to the source domain;
+        * subjective attributes and EIT bookkeeping do **not** transfer —
+          they are domain-specific by construction.
+        """
+        model = SmartUserModel(source.user_id)
+        model.objective = dict(source.objective)
+        for name in EMOTION_NAMES:
+            intensity = source.emotional[name]
+            if intensity > 0.0:
+                model.emotional.intensities[name] = clamp01(
+                    intensity * self.confidence
+                )
+            evidence = source.evidence.get(name, 0)
+            if evidence:
+                # Evidence halves across the domain boundary (rounded down),
+                # so the sensibility analyzer treats transferred knowledge
+                # as weaker than natively observed knowledge.
+                model.evidence[name] = evidence // 2
+        model.ei_profile.scores.update(source.ei_profile.scores)
+
+        for name, weight in source.sensibility.items():
+            source_relevance = emotion_domain_relevance(source_profile, name)
+            target_relevance = emotion_domain_relevance(target_profile, name)
+            if source_relevance == 0.0:
+                # Weight was not grounded in the source domain's structure;
+                # transfer it with the plain confidence discount.
+                transferred = weight * self.confidence
+            else:
+                transferred = (
+                    weight * self.confidence
+                    * min(1.0, target_relevance / source_relevance)
+                )
+            if transferred > 0.0:
+                model.set_sensibility(name, transferred)
+        return model

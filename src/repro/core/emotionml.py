@@ -1,0 +1,104 @@
+"""Emotion-markup serialization (the paper's reference [12]).
+
+The paper points at the W3C Emotion Incubator Group — the effort that
+later produced EmotionML — as the standards track for exchanging
+emotional context.  This module serializes
+:class:`~repro.core.emotions.EmotionalState` to an EmotionML-flavoured XML
+document and parses it back, so SUM emotional snapshots can cross system
+boundaries in the open format the paper anticipates.
+
+The dialect used here follows EmotionML 1.0's core shapes:
+
+* one ``<emotion>`` element per active attribute, carrying a
+  ``<category>`` (the attribute name) and ``<dimension>`` elements for
+  intensity-scaled valence and arousal;
+* a custom ``category-set`` URI naming the paper's ten-attribute
+  vocabulary.
+
+Only the subset needed for round-tripping SUM state is implemented —
+this is an interchange codec, not a full EmotionML validator.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.core.emotions import EMOTION_CATALOG, EmotionalState, clamp01
+
+#: identifies the paper's ten-attribute vocabulary in the markup
+CATEGORY_SET = "urn:repro:emotion-vocabulary:gonzalez2007"
+
+_NS = "http://www.w3.org/2009/10/emotionml"
+
+
+class EmotionMLError(ValueError):
+    """Raised for documents this codec cannot interpret."""
+
+
+def to_emotionml(state: EmotionalState, min_intensity: float = 0.0) -> str:
+    """Serialize a state to an EmotionML-flavoured document.
+
+    Attributes at or below ``min_intensity`` are omitted (EmotionML
+    documents enumerate *present* emotions, not the whole vocabulary).
+    """
+    root = ET.Element("emotionml")
+    root.set("xmlns", _NS)
+    root.set("category-set", CATEGORY_SET)
+    for name in sorted(EMOTION_CATALOG):
+        intensity = state[name]
+        if intensity <= min_intensity:
+            continue
+        attribute = EMOTION_CATALOG[name]
+        emotion = ET.SubElement(root, "emotion")
+        category = ET.SubElement(emotion, "category")
+        category.set("name", name)
+        intensity_el = ET.SubElement(emotion, "intensity")
+        intensity_el.set("value", f"{intensity:.6f}")
+        valence = ET.SubElement(emotion, "dimension")
+        valence.set("name", "valence")
+        # EmotionML dimensions are unipolar [0, 1]; map [-1, 1] onto it.
+        valence.set("value", f"{(attribute.valence + 1.0) / 2.0:.6f}")
+        arousal = ET.SubElement(emotion, "dimension")
+        arousal.set("name", "arousal")
+        arousal.set("value", f"{attribute.arousal:.6f}")
+    return ET.tostring(root, encoding="unicode")
+
+
+def from_emotionml(document: str) -> EmotionalState:
+    """Parse a document produced by :func:`to_emotionml`.
+
+    Unknown categories raise :class:`EmotionMLError`; missing intensity
+    elements default to 1.0 (EmotionML's convention for an unqualified
+    emotion annotation).
+    """
+    try:
+        root = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise EmotionMLError(f"malformed EmotionML: {exc}") from exc
+    tag = root.tag.split("}")[-1]
+    if tag != "emotionml":
+        raise EmotionMLError(f"expected <emotionml> root, got <{tag}>")
+
+    intensities: dict[str, float] = {}
+    for emotion in root:
+        if emotion.tag.split("}")[-1] != "emotion":
+            continue
+        name = None
+        intensity = 1.0
+        for child in emotion:
+            child_tag = child.tag.split("}")[-1]
+            if child_tag == "category":
+                name = child.get("name")
+            elif child_tag == "intensity":
+                try:
+                    intensity = float(child.get("value", "1.0"))
+                except ValueError as exc:
+                    raise EmotionMLError(
+                        f"bad intensity {child.get('value')!r}"
+                    ) from exc
+        if name is None:
+            raise EmotionMLError("<emotion> without a <category>")
+        if name not in EMOTION_CATALOG:
+            raise EmotionMLError(f"unknown emotion category {name!r}")
+        intensities[name] = clamp01(intensity)
+    return EmotionalState(intensities)

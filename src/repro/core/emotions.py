@@ -1,0 +1,212 @@
+"""The emotion catalog and valence algebra.
+
+Section 5.1 of the paper fixes the emotional vocabulary of the business
+case: "we have ten suitable emotional attributes with different kind of
+valence for this business case: enthusiastic, motivated, empathic, hopeful,
+lively, stimulated, impatient, frightened, shy and apathetic".
+
+Section 3 defines valence: "a valence is the degree of attraction or
+aversion that a person feels toward a specific object or event".  We encode
+valence in [-1, +1] and add a circumplex-style *arousal* coordinate in
+[0, 1] (used by the physiological mapping of :mod:`repro.physio`).
+
+:class:`EmotionalState` is the per-user emotional snapshot: a bounded
+intensity per attribute, with blending, decay and summary statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+
+def clamp01(value: float) -> float:
+    """Clamp to the closed unit interval."""
+    return min(1.0, max(0.0, float(value)))
+
+
+def clamp_valence(value: float) -> float:
+    """Clamp to [-1, +1]."""
+    return min(1.0, max(-1.0, float(value)))
+
+
+@dataclass(frozen=True)
+class EmotionalAttribute:
+    """One labelled emotional attribute.
+
+    Parameters
+    ----------
+    name:
+        Lower-case attribute label (as in Section 5.1).
+    valence:
+        Attraction (+) / aversion (−) in [-1, +1].
+    arousal:
+        Activation level in [0, 1] (0 = deactivated, 1 = highly activated).
+    description:
+        Human-readable gloss.
+    """
+
+    name: str
+    valence: float
+    arousal: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("emotional attribute needs a name")
+        if not -1.0 <= self.valence <= 1.0:
+            raise ValueError(f"valence {self.valence} outside [-1, 1]")
+        if not 0.0 <= self.arousal <= 1.0:
+            raise ValueError(f"arousal {self.arousal} outside [0, 1]")
+
+    @property
+    def is_positive(self) -> bool:
+        """Whether this attribute attracts (valence > 0)."""
+        return self.valence > 0.0
+
+
+#: The ten emotional attributes of the emagister.com business case (§5.1),
+#: with valence signs implied by the paper's usage and circumplex-informed
+#: arousal coordinates.
+EMOTION_CATALOG: dict[str, EmotionalAttribute] = {
+    attribute.name: attribute
+    for attribute in (
+        EmotionalAttribute("enthusiastic", +0.9, 0.85, "eager, excited engagement"),
+        EmotionalAttribute("motivated", +0.8, 0.70, "goal-directed drive"),
+        EmotionalAttribute("empathic", +0.6, 0.40, "felt connection with others"),
+        EmotionalAttribute("hopeful", +0.7, 0.45, "positive expectation"),
+        EmotionalAttribute("lively", +0.8, 0.90, "energetic, vivacious"),
+        EmotionalAttribute("stimulated", +0.7, 0.80, "aroused curiosity"),
+        EmotionalAttribute("impatient", -0.5, 0.75, "frustrated urgency"),
+        EmotionalAttribute("frightened", -0.9, 0.85, "fearful aversion"),
+        EmotionalAttribute("shy", -0.4, 0.25, "withdrawn reluctance"),
+        EmotionalAttribute("apathetic", -0.7, 0.10, "disengaged indifference"),
+    )
+}
+
+#: Catalog order used everywhere a vector layout is needed.
+EMOTION_NAMES: tuple[str, ...] = tuple(EMOTION_CATALOG)
+
+POSITIVE_EMOTIONS: tuple[str, ...] = tuple(
+    name for name, attr in EMOTION_CATALOG.items() if attr.valence > 0
+)
+NEGATIVE_EMOTIONS: tuple[str, ...] = tuple(
+    name for name, attr in EMOTION_CATALOG.items() if attr.valence < 0
+)
+
+
+@dataclass
+class EmotionalState:
+    """Bounded intensities over the emotion catalog.
+
+    Intensities live in [0, 1]; missing attributes read as 0.  All update
+    operations clamp, so states remain valid under arbitrary call orders —
+    a property the hypothesis suite exercises.
+    """
+
+    intensities: dict[str, float] = field(default_factory=dict)
+    catalog: Mapping[str, EmotionalAttribute] = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.catalog is None:
+            self.catalog = EMOTION_CATALOG
+        for name, value in list(self.intensities.items()):
+            self._check_name(name)
+            self.intensities[name] = clamp01(value)
+
+    def _check_name(self, name: str) -> None:
+        if name not in self.catalog:
+            raise KeyError(
+                f"unknown emotional attribute {name!r}; "
+                f"have {sorted(self.catalog)}"
+            )
+
+    # -- reads -------------------------------------------------------------
+
+    def __getitem__(self, name: str) -> float:
+        self._check_name(name)
+        return self.intensities.get(name, 0.0)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.catalog)
+
+    def top(self, n: int = 3) -> list[tuple[str, float]]:
+        """The ``n`` most intense attributes, strongest first."""
+        ranked = sorted(
+            ((name, self[name]) for name in self.catalog),
+            key=lambda item: (-item[1], item[0]),
+        )
+        return ranked[:n]
+
+    def mood(self) -> float:
+        """Intensity-weighted mean valence in [-1, 1] (0 when flat)."""
+        total = sum(self[name] for name in self.catalog)
+        if total == 0.0:
+            return 0.0
+        weighted = sum(
+            self[name] * self.catalog[name].valence for name in self.catalog
+        )
+        return clamp_valence(weighted / total)
+
+    def arousal(self) -> float:
+        """Intensity-weighted mean arousal in [0, 1]."""
+        total = sum(self[name] for name in self.catalog)
+        if total == 0.0:
+            return 0.0
+        weighted = sum(
+            self[name] * self.catalog[name].arousal for name in self.catalog
+        )
+        return clamp01(weighted / total)
+
+    def as_vector(self, order: Iterable[str] | None = None) -> np.ndarray:
+        """Intensities as a dense vector in ``order`` (catalog order default)."""
+        names = tuple(order) if order is not None else tuple(self.catalog)
+        return np.asarray([self[name] for name in names], dtype=np.float64)
+
+    # -- writes ------------------------------------------------------------
+
+    def activate(self, name: str, delta: float) -> float:
+        """Add ``delta`` to one attribute (clamped); returns new intensity."""
+        self._check_name(name)
+        updated = clamp01(self.intensities.get(name, 0.0) + delta)
+        self.intensities[name] = updated
+        return updated
+
+    def blend(self, other: "EmotionalState", weight: float = 0.5) -> None:
+        """Move this state toward ``other`` by ``weight`` ∈ [0, 1]."""
+        if not 0.0 <= weight <= 1.0:
+            raise ValueError(f"weight {weight} outside [0, 1]")
+        for name in self.catalog:
+            mixed = (1.0 - weight) * self[name] + weight * other[name]
+            self.intensities[name] = clamp01(mixed)
+
+    def decay(self, rate: float) -> None:
+        """Multiplicative decay toward zero: ``i ← i * (1 - rate)``."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate {rate} outside [0, 1]")
+        for name in list(self.intensities):
+            self.intensities[name] = clamp01(self.intensities[name] * (1.0 - rate))
+
+    def copy(self) -> "EmotionalState":
+        """Deep copy sharing the (immutable) catalog."""
+        return EmotionalState(dict(self.intensities), catalog=self.catalog)
+
+    @classmethod
+    def from_vector(
+        cls,
+        vector: np.ndarray,
+        order: Iterable[str] | None = None,
+        catalog: Mapping[str, EmotionalAttribute] | None = None,
+    ) -> "EmotionalState":
+        """Inverse of :meth:`as_vector`."""
+        catalog = catalog or EMOTION_CATALOG
+        names = tuple(order) if order is not None else tuple(catalog)
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (len(names),):
+            raise ValueError(f"vector shape {vector.shape} != ({len(names)},)")
+        return cls(
+            {name: clamp01(v) for name, v in zip(names, vector)},
+            catalog=catalog,
+        )

@@ -1,0 +1,185 @@
+"""The Four-Branch Model of Emotional Intelligence (Table 1).
+
+Section 3 grounds the Gradual EIT in the Mayer–Salovey–Caruso model as
+measured by MSCEIT V2.0 (Mayer et al., 2003): four hierarchical branches,
+each assessed by two task families, grouped into an Experiential and a
+Strategic area.  Emotional intelligence "can be measured, ranging from
+feelings of boredom to feelings of happiness and euphoria, from hostility
+to fondness".
+
+:func:`branch_table` regenerates the content of the paper's Table 1;
+:class:`FourBranchProfile` holds per-branch scores and composes them into
+area and total scores the way MSCEIT does (task → branch → area → total).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.emotions import clamp01
+
+
+class Branch(enum.Enum):
+    """The four branches, ordered from basic perception to regulation."""
+
+    PERCEIVING = "perceiving"
+    FACILITATING = "facilitating"
+    UNDERSTANDING = "understanding"
+    MANAGING = "managing"
+
+
+class Area(enum.Enum):
+    """MSCEIT's two-area grouping of the branches."""
+
+    EXPERIENTIAL = "experiential"
+    STRATEGIC = "strategic"
+
+
+@dataclass(frozen=True)
+class BranchInfo:
+    """Descriptive record for one branch (a row of Table 1)."""
+
+    branch: Branch
+    title: str
+    description: str
+    tasks: tuple[str, ...]
+    area: Area
+
+
+#: Table 1 content: branch → (title, ability description, MSCEIT task
+#: families, area membership).
+BRANCHES: dict[Branch, BranchInfo] = {
+    Branch.PERCEIVING: BranchInfo(
+        Branch.PERCEIVING,
+        "Perceiving Emotions",
+        "the ability to perceive emotions in oneself and others, as well "
+        "as in objects, art, stories and music",
+        ("Faces", "Pictures"),
+        Area.EXPERIENTIAL,
+    ),
+    Branch.FACILITATING: BranchInfo(
+        Branch.FACILITATING,
+        "Facilitating Thought",
+        "the ability to generate, use and feel emotion as necessary to "
+        "communicate feelings or employ them in other cognitive processes",
+        ("Facilitation", "Sensations"),
+        Area.EXPERIENTIAL,
+    ),
+    Branch.UNDERSTANDING: BranchInfo(
+        Branch.UNDERSTANDING,
+        "Understanding Emotions",
+        "the ability to understand emotional information, how emotions "
+        "combine and progress through relationship transitions",
+        ("Changes", "Blends"),
+        Area.STRATEGIC,
+    ),
+    Branch.MANAGING: BranchInfo(
+        Branch.MANAGING,
+        "Managing Emotions",
+        "the ability to be open to feelings and to moderate them in "
+        "oneself and others so as to promote personal understanding and "
+        "growth",
+        ("Emotion Management", "Emotional Relations"),
+        Area.STRATEGIC,
+    ),
+}
+
+#: Branch order used for vector layouts.
+BRANCH_ORDER: tuple[Branch, ...] = (
+    Branch.PERCEIVING,
+    Branch.FACILITATING,
+    Branch.UNDERSTANDING,
+    Branch.MANAGING,
+)
+
+
+def branch_table() -> list[dict[str, str]]:
+    """Table 1 rows as dicts (branch, title, tasks, area, description)."""
+    rows = []
+    for branch in BRANCH_ORDER:
+        info = BRANCHES[branch]
+        rows.append(
+            {
+                "branch": branch.value,
+                "title": info.title,
+                "tasks": ", ".join(info.tasks),
+                "area": info.area.value,
+                "description": info.description,
+            }
+        )
+    return rows
+
+
+@dataclass
+class FourBranchProfile:
+    """Per-branch ability scores in [0, 1] with MSCEIT-style composition.
+
+    Scores aggregate bottom-up exactly like MSCEIT: task scores average
+    into branch scores, branch scores average into area scores, and the
+    total score averages the two areas.  :meth:`eiq` rescales the total to
+    the familiar IQ-like metric (mean 100, sd 15).
+    """
+
+    scores: dict[Branch, float] = field(
+        default_factory=lambda: {branch: 0.5 for branch in BRANCH_ORDER}
+    )
+
+    def __post_init__(self) -> None:
+        for branch in BRANCH_ORDER:
+            self.scores[branch] = clamp01(self.scores.get(branch, 0.5))
+
+    @classmethod
+    def from_task_scores(cls, task_scores: Mapping[str, float]) -> "FourBranchProfile":
+        """Build from per-task scores keyed by Table 1 task names.
+
+        Missing tasks fall back to the neutral 0.5; unknown task names are
+        rejected to catch typos in question banks.
+        """
+        task_to_branch: dict[str, Branch] = {}
+        for branch, info in BRANCHES.items():
+            for task in info.tasks:
+                task_to_branch[task] = branch
+        unknown = set(task_scores) - set(task_to_branch)
+        if unknown:
+            raise KeyError(f"unknown MSCEIT tasks: {sorted(unknown)}")
+        scores: dict[Branch, float] = {}
+        for branch in BRANCH_ORDER:
+            tasks = BRANCHES[branch].tasks
+            values = [clamp01(task_scores[t]) for t in tasks if t in task_scores]
+            scores[branch] = sum(values) / len(values) if values else 0.5
+        return cls(scores)
+
+    def branch_score(self, branch: Branch) -> float:
+        """Score of one branch."""
+        return self.scores[branch]
+
+    def area_score(self, area: Area) -> float:
+        """Mean of the branches belonging to ``area``."""
+        members = [b for b in BRANCH_ORDER if BRANCHES[b].area is area]
+        return sum(self.scores[b] for b in members) / len(members)
+
+    def total_score(self) -> float:
+        """Mean of the two area scores, in [0, 1]."""
+        return (
+            self.area_score(Area.EXPERIENTIAL) + self.area_score(Area.STRATEGIC)
+        ) / 2.0
+
+    def eiq(self) -> float:
+        """IQ-style scaling of the total score: 100 + 15 · (2·total − 1)·2.
+
+        A total of 0.5 maps to 100; the extremes 0 and 1 map to 70 and 130
+        (±2 sd), matching how MSCEIT standard scores are reported.
+        """
+        return 100.0 + 30.0 * (2.0 * self.total_score() - 1.0)
+
+    def update_branch(self, branch: Branch, observation: float,
+                      learning_rate: float = 0.2) -> float:
+        """Exponentially smooth one branch toward a new observation."""
+        if not 0.0 <= learning_rate <= 1.0:
+            raise ValueError(f"learning_rate {learning_rate} outside [0, 1]")
+        observation = clamp01(observation)
+        updated = (1 - learning_rate) * self.scores[branch] + learning_rate * observation
+        self.scores[branch] = clamp01(updated)
+        return self.scores[branch]

@@ -1,0 +1,122 @@
+"""The Fig. 4 iterative loop: discover, manage and update emotional attributes.
+
+Fig. 4 shows SPA's closed loop: a communication goes out carrying one
+Gradual EIT question; if the user answers, the impacted attributes are
+activated (Initialization); engagement with the recommendation triggers
+the reward mechanism, ignoring it triggers (weaker) punishment (Update);
+between touches everything decays slightly; sensibility weights are then
+re-analyzed and feed the next touch's message personalization (Advice).
+
+:class:`EmotionalContextPipeline` packages one user-touch of that loop so
+campaign simulations, the agents runtime and the benches all share the
+exact same semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.emotions import EMOTION_NAMES
+from repro.core.gradual_eit import EITQuestion, GradualEIT
+from repro.core.reward import ReinforcementPolicy
+from repro.core.sensibility import SensibilityAnalyzer
+from repro.core.sum_model import SmartUserModel
+
+
+@dataclass(frozen=True)
+class TouchResult:
+    """What happened in one touch of the Fig. 4 loop."""
+
+    user_id: int
+    question_asked: str | None
+    question_answered: bool
+    rewarded: tuple[str, ...]
+    punished: tuple[str, ...]
+    dominant: tuple[str, ...]
+
+
+class EmotionalContextPipeline:
+    """One-touch orchestration of the Fig. 4 loop."""
+
+    def __init__(
+        self,
+        eit: GradualEIT,
+        policy: ReinforcementPolicy | None = None,
+        analyzer: SensibilityAnalyzer | None = None,
+    ) -> None:
+        self.eit = eit
+        self.policy = policy or ReinforcementPolicy()
+        self.analyzer = analyzer or SensibilityAnalyzer()
+
+    def run_touch(
+        self,
+        model: SmartUserModel,
+        answer_option: int | None,
+        engaged: bool,
+        engaged_attributes: tuple[str, ...] = (),
+        engagement_strength: float = 1.0,
+    ) -> TouchResult:
+        """Process one communication touch for one user.
+
+        Parameters
+        ----------
+        model:
+            The user's SUM.
+        answer_option:
+            Index of the EIT option the user chose, or ``None`` if the
+            question was ignored (the common case — this is what creates
+            the sparsity problem of Section 5.2).
+        engaged:
+            Whether the user opened/clicked the recommendation.
+        engaged_attributes:
+            The emotional attributes the message leaned on; these are what
+            reward/punish touches (Fig. 4's "related attributes").
+        engagement_strength:
+            1.0 for a transaction, smaller for opens/clicks.
+        """
+        self.policy.apply_decay(model)
+
+        question: EITQuestion | None = self.eit.ask(model)
+        answered = False
+        if question is not None and answer_option is not None:
+            self.eit.record_answer(model, question, answer_option)
+            answered = True
+
+        rewarded: tuple[str, ...] = ()
+        punished: tuple[str, ...] = ()
+        if engaged_attributes:
+            if engaged:
+                self.policy.reward(model, engaged_attributes, engagement_strength)
+                rewarded = tuple(engaged_attributes)
+            else:
+                self.policy.punish(model, engaged_attributes, engagement_strength)
+                punished = tuple(engaged_attributes)
+
+        dominant = tuple(name for name, __ in self.analyzer.dominant(model))
+        return TouchResult(
+            user_id=model.user_id,
+            question_asked=question.qid if question is not None else None,
+            question_answered=answered,
+            rewarded=rewarded,
+            punished=punished,
+            dominant=dominant,
+        )
+
+    @staticmethod
+    def convergence(model: SmartUserModel, latent_traits: np.ndarray) -> float:
+        """Cosine similarity between the SUM's emotional vector and the
+        (simulator-side) latent traits — the Fig. 4 bench's convergence
+        measure.  Returns 0 when either vector is all zeros.
+        """
+        learned = model.emotional.as_vector(EMOTION_NAMES)
+        latent = np.asarray(latent_traits, dtype=np.float64)
+        if latent.shape != learned.shape:
+            raise ValueError(
+                f"latent traits shape {latent.shape} != {learned.shape}"
+            )
+        denom = np.linalg.norm(learned) * np.linalg.norm(latent)
+        if denom == 0.0:
+            return 0.0
+        return float(np.dot(learned, latent) / denom)

@@ -1,0 +1,81 @@
+"""Reward/punish reinforcement — the Update stage of Section 3.
+
+"Update stage: this stage keeps the SUM informed of user changes according
+to recent interactions based on reward and punish mechanisms."  Section
+5.2: "each time that users open and surf the recommendation sent in Push
+or newsletters communications ... the reward mechanism works to reinforce
+the related attributes and values".
+
+:class:`ReinforcementPolicy` implements that mechanism with three knobs:
+
+* ``learning_rate`` — how strongly one interaction moves an attribute;
+* ``punish_ratio`` — how much weaker punishment is than reward (asymmetric
+  updates keep hard-won positive attributes from being erased by a single
+  ignored newsletter);
+* ``decay`` — multiplicative forgetting applied between campaigns so stale
+  attributes fade unless re-reinforced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.emotions import clamp01
+from repro.core.sum_model import SmartUserModel
+
+
+@dataclass(frozen=True)
+class ReinforcementPolicy:
+    """Bounded, asymmetric reward/punish updates on SUM attributes."""
+
+    learning_rate: float = 0.20
+    punish_ratio: float = 0.5
+    decay: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.learning_rate <= 1.0:
+            raise ValueError(f"learning_rate {self.learning_rate} outside (0, 1]")
+        if not 0.0 <= self.punish_ratio <= 1.0:
+            raise ValueError(f"punish_ratio {self.punish_ratio} outside [0, 1]")
+        if not 0.0 <= self.decay < 1.0:
+            raise ValueError(f"decay {self.decay} outside [0, 1)")
+
+    def reward(
+        self,
+        model: SmartUserModel,
+        attributes: Iterable[str],
+        strength: float = 1.0,
+    ) -> None:
+        """Reinforce emotional attributes after a positive interaction.
+
+        ``strength`` scales the learning rate (e.g. 0.3 for an open, 1.0
+        for a transaction).  Sensibility weights are pulled up alongside
+        the intensities, mirroring Fig. 4's joint attribute/value update.
+        """
+        step = self.learning_rate * clamp01(strength)
+        for name in attributes:
+            model.activate_emotion(name, step)
+            current = model.sensibility.get(name, 0.0)
+            model.set_sensibility(name, current + step * 0.5)
+
+    def punish(
+        self,
+        model: SmartUserModel,
+        attributes: Iterable[str],
+        strength: float = 1.0,
+    ) -> None:
+        """Weaken emotional attributes after a negative interaction."""
+        step = self.learning_rate * self.punish_ratio * clamp01(strength)
+        for name in attributes:
+            model.activate_emotion(name, -step)
+            current = model.sensibility.get(name, 0.0)
+            model.set_sensibility(name, current - step * 0.5)
+
+    def apply_decay(self, model: SmartUserModel) -> None:
+        """Forget a little of everything (between campaign rounds)."""
+        model.emotional.decay(self.decay)
+        for name in list(model.sensibility):
+            model.sensibility[name] = clamp01(
+                model.sensibility[name] * (1.0 - self.decay)
+            )

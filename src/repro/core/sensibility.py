@@ -1,0 +1,85 @@
+"""Sensibility weighting — the Attributes Manager's relevancy detector.
+
+Section 4 (component 3): "This agent automatically detects the level of
+sensibility of each user for each of his/her dominant attributes by
+automatically assigning weights (relevancies)."
+
+The analyzer combines two signals per emotional attribute:
+
+* **intensity** — how strongly the attribute is currently activated in the
+  user's :class:`~repro.core.emotions.EmotionalState`;
+* **evidence** — how many independent observations (EIT answers, rewarded
+  interactions) support it, squashed through a saturating curve so a
+  single lucky answer cannot dominate a long interaction history.
+
+``weight = intensity^alpha * saturate(evidence)^beta`` — both exponents
+configurable; weights land in [0, 1].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.emotions import EMOTION_NAMES, clamp01
+from repro.core.sum_model import SmartUserModel
+
+
+@dataclass(frozen=True)
+class SensibilityAnalyzer:
+    """Computes and installs sensibility weights on SUMs.
+
+    Parameters
+    ----------
+    alpha:
+        Exponent on intensity (>1 sharpens, <1 flattens).
+    beta:
+        Exponent on the saturated evidence term.
+    evidence_scale:
+        Observation count at which evidence support reaches ~63%.
+    threshold:
+        Default dominance threshold used by :meth:`dominant`.
+    """
+
+    alpha: float = 1.0
+    beta: float = 0.5
+    evidence_scale: float = 2.0
+    threshold: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0 or self.beta < 0:
+            raise ValueError("alpha must be > 0 and beta >= 0")
+        if self.evidence_scale <= 0:
+            raise ValueError("evidence_scale must be positive")
+        if not 0.0 <= self.threshold < 1.0:
+            raise ValueError(f"threshold {self.threshold} outside [0, 1)")
+
+    def weight(self, intensity: float, evidence: int) -> float:
+        """The sensibility weight for one (intensity, evidence) pair."""
+        intensity = clamp01(intensity)
+        support = 1.0 - 2.718281828459045 ** (-max(evidence, 0) / self.evidence_scale)
+        return clamp01((intensity ** self.alpha) * (support ** self.beta))
+
+    def analyze(self, model: SmartUserModel) -> dict[str, float]:
+        """Compute weights for every emotional attribute of one SUM.
+
+        The weights are installed on the model (``model.sensibility``) and
+        returned; they overwrite earlier reinforcement-era estimates, which
+        is intended — this is the periodic re-analysis the Attributes
+        Manager Agent performs over fresh LifeLogs.
+        """
+        weights = {}
+        for name in EMOTION_NAMES:
+            weights[name] = self.weight(
+                model.emotional[name], model.evidence.get(name, 0)
+            )
+            model.set_sensibility(name, weights[name])
+        return weights
+
+    def dominant(
+        self, model: SmartUserModel, threshold: float | None = None
+    ) -> list[tuple[str, float]]:
+        """Freshly analyzed dominant attributes above ``threshold``."""
+        self.analyze(model)
+        return model.dominant_attributes(
+            self.threshold if threshold is None else threshold
+        )

@@ -1,0 +1,281 @@
+"""Smart User Models (SUMs).
+
+Section 2: SUMs "act like unobtrusive intelligent user interfaces to
+acquire, maintain and update the user's emotional information through an
+incremental learning process in everyday life".  Section 5.1: the deployed
+SUM "gathers 75 objective, subjective and emotional attributes" per user.
+
+A :class:`SmartUserModel` therefore holds three attribute families:
+
+* **objective** — socio-demographic facts (age, region, …), arbitrary
+  values, set once and updated rarely;
+* **subjective** — behavioural tendencies in [0, 1] (e.g. preference for
+  online courses) learned from implicit feedback;
+* **emotional** — an :class:`~repro.core.emotions.EmotionalState` plus a
+  :class:`~repro.core.four_branch.FourBranchProfile`, learned by the
+  Gradual EIT and the reward/punish loop.
+
+Each non-objective attribute also carries a *sensibility* weight
+(the "relevancies" the Attributes Manager Agent assigns automatically),
+managed by :mod:`repro.core.sensibility`.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+import numpy as np
+
+from repro.core.emotions import (
+    EMOTION_NAMES,
+    EmotionalState,
+    clamp01,
+)
+from repro.core.four_branch import BRANCH_ORDER, Branch, FourBranchProfile
+
+
+class AttributeKind(enum.Enum):
+    """The three attribute families of Section 5.1."""
+
+    OBJECTIVE = "objective"
+    SUBJECTIVE = "subjective"
+    EMOTIONAL = "emotional"
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Declaration of one SUM attribute (name, family, documentation)."""
+
+    name: str
+    kind: AttributeKind
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("attribute needs a name")
+
+
+class SmartUserModel:
+    """The per-user model: attributes, sensibilities, EI profile.
+
+    Parameters
+    ----------
+    user_id:
+        Stable identifier of the user across all LifeLog sources.
+    """
+
+    def __init__(self, user_id: int) -> None:
+        self.user_id = int(user_id)
+        self.objective: dict[str, Any] = {}
+        self.subjective: dict[str, float] = {}
+        self.emotional = EmotionalState()
+        self.ei_profile = FourBranchProfile()
+        #: sensibility weights (relevancies) per emotional/subjective attribute
+        self.sensibility: dict[str, float] = {}
+        #: evidence counters: how many observations back each attribute
+        self.evidence: dict[str, int] = {}
+        #: questions already asked by the Gradual EIT
+        self.asked_questions: set[str] = set()
+        self.answered_questions: set[str] = set()
+
+    # -- objective/subjective ----------------------------------------------
+
+    def set_objective(self, name: str, value: Any) -> None:
+        """Record an objective (socio-demographic) fact."""
+        self.objective[name] = value
+
+    def set_subjective(self, name: str, value: float) -> None:
+        """Set a subjective tendency, clamped to [0, 1]."""
+        self.subjective[name] = clamp01(value)
+
+    def nudge_subjective(self, name: str, delta: float) -> float:
+        """Shift a subjective tendency by ``delta`` (clamped); returns it."""
+        updated = clamp01(self.subjective.get(name, 0.5) + delta)
+        self.subjective[name] = updated
+        return updated
+
+    # -- emotional -----------------------------------------------------------
+
+    def activate_emotion(self, name: str, delta: float) -> float:
+        """Stage-1/3 entry point: shift one emotional intensity.
+
+        Also bumps the evidence counter so sensibility analysis can weigh
+        how well-supported each attribute is.
+        """
+        value = self.emotional.activate(name, delta)
+        self.evidence[name] = self.evidence.get(name, 0) + 1
+        return value
+
+    def observe_branch(self, branch: Branch, score: float,
+                       learning_rate: float = 0.2) -> float:
+        """Fold one EIT task observation into the Four-Branch profile."""
+        return self.ei_profile.update_branch(branch, score, learning_rate)
+
+    # -- sensibilities -----------------------------------------------------
+
+    def set_sensibility(self, name: str, weight: float) -> None:
+        """Set the relevancy weight of one attribute (clamped to [0, 1])."""
+        self.sensibility[name] = clamp01(weight)
+
+    def dominant_attributes(self, threshold: float = 0.5) -> list[tuple[str, float]]:
+        """Attributes whose sensibility exceeds ``threshold``, strongest first.
+
+        This is the paper's "attributes of his/her user model that exceed a
+        sensibility threshold" (Section 5.3, step 3).
+        """
+        ranked = sorted(
+            (
+                (name, weight)
+                for name, weight in self.sensibility.items()
+                if weight > threshold
+            ),
+            key=lambda item: (-item[1], item[0]),
+        )
+        return ranked
+
+    # -- feature extraction ----------------------------------------------------
+
+    def emotional_vector(self) -> np.ndarray:
+        """Emotional intensities in catalog order."""
+        return self.emotional.as_vector(EMOTION_NAMES)
+
+    def feature_vector(
+        self,
+        subjective_order: Iterable[str] = (),
+        include_ei: bool = True,
+    ) -> np.ndarray:
+        """Dense numeric features: emotional ∥ subjective ∥ EI branches."""
+        parts = [self.emotional_vector()]
+        subjective = np.asarray(
+            [self.subjective.get(name, 0.5) for name in subjective_order],
+            dtype=np.float64,
+        )
+        parts.append(subjective)
+        if include_ei:
+            parts.append(
+                np.asarray(
+                    [self.ei_profile.scores[b] for b in BRANCH_ORDER],
+                    dtype=np.float64,
+                )
+            )
+        return np.concatenate(parts)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable snapshot of the full model."""
+        return {
+            "user_id": self.user_id,
+            "objective": dict(self.objective),
+            "subjective": dict(self.subjective),
+            "emotional": dict(self.emotional.intensities),
+            "ei_profile": {b.value: s for b, s in self.ei_profile.scores.items()},
+            "sensibility": dict(self.sensibility),
+            "evidence": dict(self.evidence),
+            "asked_questions": sorted(self.asked_questions),
+            "answered_questions": sorted(self.answered_questions),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SmartUserModel":
+        """Inverse of :meth:`to_dict`."""
+        model = cls(payload["user_id"])
+        model.objective = dict(payload.get("objective", {}))
+        model.subjective = {
+            k: clamp01(v) for k, v in payload.get("subjective", {}).items()
+        }
+        model.emotional = EmotionalState(dict(payload.get("emotional", {})))
+        model.ei_profile = FourBranchProfile(
+            {Branch(k): v for k, v in payload.get("ei_profile", {}).items()}
+        )
+        model.sensibility = {
+            k: clamp01(v) for k, v in payload.get("sensibility", {}).items()
+        }
+        model.evidence = {k: int(v) for k, v in payload.get("evidence", {}).items()}
+        model.asked_questions = set(payload.get("asked_questions", ()))
+        model.answered_questions = set(payload.get("answered_questions", ()))
+        return model
+
+    def __repr__(self) -> str:
+        dominant = [name for name, _ in self.dominant_attributes()][:3]
+        return (
+            f"SmartUserModel(user={self.user_id}, "
+            f"mood={self.emotional.mood():+.2f}, dominant={dominant})"
+        )
+
+
+class SumRepository:
+    """The SUM collection SPA maintains for the whole population."""
+
+    def __init__(self) -> None:
+        self._models: dict[int, SmartUserModel] = {}
+
+    def get_or_create(self, user_id: int) -> SmartUserModel:
+        """Fetch a user's SUM, creating an empty one on first contact."""
+        model = self._models.get(int(user_id))
+        if model is None:
+            model = SmartUserModel(int(user_id))
+            self._models[int(user_id)] = model
+        return model
+
+    def get(self, user_id: int) -> SmartUserModel:
+        """Fetch an existing SUM; raises ``KeyError`` for unknown users."""
+        try:
+            return self._models[int(user_id)]
+        except KeyError:
+            raise KeyError(f"no SUM for user {user_id}") from None
+
+    def __contains__(self, user_id: object) -> bool:
+        return user_id in self._models
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def __iter__(self) -> Iterator[SmartUserModel]:
+        for user_id in sorted(self._models):
+            yield self._models[user_id]
+
+    def user_ids(self) -> list[int]:
+        """Sorted user ids with a SUM."""
+        return sorted(self._models)
+
+    def feature_matrix(
+        self,
+        user_ids: Iterable[int] | None = None,
+        subjective_order: Iterable[str] = (),
+        include_ei: bool = True,
+    ) -> tuple[np.ndarray, list[int]]:
+        """Stack feature vectors for ``user_ids`` (default: all, sorted).
+
+        Returns ``(matrix, row_user_ids)``.
+        """
+        ids = list(user_ids) if user_ids is not None else self.user_ids()
+        subjective_order = tuple(subjective_order)
+        rows = [
+            self.get(uid).feature_vector(subjective_order, include_ei)
+            for uid in ids
+        ]
+        if not rows:
+            width = len(EMOTION_NAMES) + len(subjective_order) + (
+                len(BRANCH_ORDER) if include_ei else 0
+            )
+            return np.zeros((0, width)), []
+        return np.vstack(rows), ids
+
+    # -- persistence -------------------------------------------------------
+
+    def dumps(self) -> str:
+        """Serialize the whole repository to a JSON string."""
+        return json.dumps([m.to_dict() for m in self], sort_keys=True)
+
+    @classmethod
+    def loads(cls, payload: str) -> "SumRepository":
+        """Inverse of :meth:`dumps`."""
+        repository = cls()
+        for item in json.loads(payload):
+            model = SmartUserModel.from_dict(item)
+            repository._models[model.user_id] = model
+        return repository

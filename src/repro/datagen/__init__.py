@@ -1,0 +1,40 @@
+"""Synthetic emagister.com: population, catalog, actions, behaviour.
+
+The paper's evaluation data is proprietary (Section 5.1: 3,162,069
+registered users, 75 attributes, 984 actions, ~50 GB/month of weblogs).
+This subpackage builds the closest synthetic equivalent (see DESIGN.md,
+substitution table): a population with socio-demographics and *latent*
+emotional traits, a course catalog with emotionally-charged product
+attributes, the full 984-action vocabulary, and a stochastic behaviour
+model that decides — from the latent traits the recommender never sees
+directly — whether each user opens, clicks, answers EIT questions and
+produces useful impacts.
+
+Everything is deterministic under a root seed (:mod:`repro.datagen.seeds`).
+"""
+
+from repro.datagen.actions import ActionVocabulary
+from repro.datagen.behavior import BehaviorModel, BehaviorParams, TouchOutcome
+from repro.datagen.campaigns_plan import CampaignSpec, default_campaign_plan
+from repro.datagen.catalog import AFFINITY_LINKS, Course, CourseCatalog, PRODUCT_ATTRIBUTES
+from repro.datagen.comoda import ComodaDataset, generate_comoda
+from repro.datagen.population import Population, UserRecord
+from repro.datagen.seeds import derive_rng
+
+__all__ = [
+    "AFFINITY_LINKS",
+    "ActionVocabulary",
+    "BehaviorModel",
+    "BehaviorParams",
+    "CampaignSpec",
+    "ComodaDataset",
+    "Course",
+    "CourseCatalog",
+    "PRODUCT_ATTRIBUTES",
+    "Population",
+    "TouchOutcome",
+    "UserRecord",
+    "default_campaign_plan",
+    "derive_rng",
+    "generate_comoda",
+]

@@ -1,0 +1,105 @@
+"""The 984-action vocabulary.
+
+Section 5.1: "The set of possible on-line user's actions on the web of
+emagister.com was 984."  The exact vocabulary is proprietary; we generate a
+structured equivalent of exactly 984 action names, partitioned over the
+:class:`~repro.lifelog.events.ActionCategory` families in proportions
+plausible for an e-learning portal (navigation dominates).
+"""
+
+from __future__ import annotations
+
+from repro.lifelog.events import ActionCategory
+
+#: Target vocabulary size from the paper.
+VOCABULARY_SIZE = 984
+
+#: Course subject areas used to parameterize action names.
+SUBJECT_AREAS: tuple[str, ...] = (
+    "informatics", "languages", "business", "health", "design",
+    "engineering", "law", "marketing", "education", "tourism",
+    "finance", "construction",
+)
+
+#: Per-category action stems; each stem is expanded across subject areas
+#: (or devices/facets) until the category quota is filled.
+_CATEGORY_PLAN: list[tuple[ActionCategory, int, list[str]]] = [
+    (ActionCategory.NAVIGATION, 420, [
+        "view_course", "view_center", "list_courses", "search", "filter",
+        "compare", "view_syllabus", "view_reviews", "paginate", "sort",
+    ]),
+    (ActionCategory.INFO_REQUEST, 144, [
+        "request_info", "request_brochure", "request_callback", "ask_question",
+    ]),
+    (ActionCategory.ENROLLMENT, 96, [
+        "enroll", "reserve_place", "start_checkout", "complete_checkout",
+    ]),
+    (ActionCategory.RATING, 72, ["rate_course", "rate_center", "rate_teacher"]),
+    (ActionCategory.OPINION, 72, ["post_opinion", "reply_opinion", "vote_opinion"]),
+    (ActionCategory.CAMPAIGN, 84, [
+        "open_push", "click_push", "open_newsletter", "click_newsletter",
+        "unsubscribe", "forward", "view_landing",
+    ]),
+    (ActionCategory.EIT_ANSWER, 48, ["answer_question", "skip_question"]),
+    (ActionCategory.ACCOUNT, 48, ["login", "logout", "edit_profile", "set_preference"]),
+]
+
+
+class ActionVocabulary:
+    """Exactly 984 action names with category lookup."""
+
+    def __init__(self) -> None:
+        self._category_of: dict[str, ActionCategory] = {}
+        names: list[str] = []
+        for category, quota, stems in _CATEGORY_PLAN:
+            produced = 0
+            area_cycle = 0
+            while produced < quota:
+                stem = stems[produced % len(stems)]
+                area = SUBJECT_AREAS[area_cycle % len(SUBJECT_AREAS)]
+                if produced // len(stems) == 0 and produced % len(stems) == produced:
+                    # First pass: bare stems parameterized by area for variety.
+                    name = f"{stem}_{area}"
+                else:
+                    name = f"{stem}_{area}_{produced // len(stems)}"
+                if name in self._category_of:
+                    name = f"{name}_x{produced}"
+                self._category_of[name] = category
+                names.append(name)
+                produced += 1
+                area_cycle += 1
+        if len(names) != VOCABULARY_SIZE:
+            raise AssertionError(
+                f"vocabulary size {len(names)} != {VOCABULARY_SIZE}"
+            )
+        self._names = tuple(names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, action: object) -> bool:
+        return action in self._category_of
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """All action names, generation order."""
+        return self._names
+
+    def category(self, action: str) -> ActionCategory:
+        """Category of one action name."""
+        try:
+            return self._category_of[action]
+        except KeyError:
+            raise KeyError(f"unknown action {action!r}") from None
+
+    def by_category(self, category: ActionCategory) -> list[str]:
+        """All actions of one category, generation order."""
+        return [a for a in self._names if self._category_of[a] is category]
+
+    def counts(self) -> dict[str, int]:
+        """Action counts per category value."""
+        out: dict[str, int] = {}
+        for action in self._names:
+            key = self._category_of[action].value
+            out[key] = out.get(key, 0) + 1
+        return out

@@ -1,0 +1,203 @@
+"""The training-course catalog with emotionally charged product attributes.
+
+Section 5.3 builds sales talk from "the product attributes ... that can be
+used to sell the course" and matches them against user sensibilities.  Our
+catalog gives every course a presence-weighted set of product attributes;
+:data:`AFFINITY_LINKS` declares which emotional attributes each product
+attribute excites (the ground-truth counterpart of the Advice stage's
+:class:`~repro.core.advice.DomainProfile`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.emotions import EMOTION_CATALOG
+from repro.datagen.actions import SUBJECT_AREAS
+from repro.datagen.seeds import derive_rng
+
+#: Product attributes a course can carry (the vocabulary of Fig. 5's
+#: sales-talk messages).
+PRODUCT_ATTRIBUTES: tuple[str, ...] = (
+    "practical",
+    "certified",
+    "job-oriented",
+    "flexible-schedule",
+    "online",
+    "prestigious",
+    "affordable",
+    "innovative",
+    "supportive-community",
+    "challenging",
+)
+
+#: Emotional attribute → {product attribute: gain in [-1, 1]}.
+#: Positive gain: the emotion makes the product attribute appealing.
+AFFINITY_LINKS: dict[str, dict[str, float]] = {
+    "enthusiastic": {"innovative": 0.8, "challenging": 0.6, "practical": 0.4},
+    "motivated": {"job-oriented": 0.9, "certified": 0.6, "challenging": 0.5},
+    "empathic": {"supportive-community": 0.9, "practical": 0.3},
+    "hopeful": {"job-oriented": 0.6, "certified": 0.5, "prestigious": 0.4},
+    "lively": {"innovative": 0.6, "online": 0.3, "challenging": 0.4},
+    "stimulated": {"innovative": 0.7, "practical": 0.5, "online": 0.3},
+    "impatient": {"flexible-schedule": 0.7, "online": 0.6, "challenging": -0.3},
+    "frightened": {"supportive-community": 0.6, "certified": 0.4,
+                   "challenging": -0.6, "prestigious": -0.2},
+    "shy": {"online": 0.8, "flexible-schedule": 0.5,
+            "supportive-community": -0.3},
+    "apathetic": {"affordable": 0.4, "online": 0.3, "challenging": -0.5,
+                  "job-oriented": -0.3},
+}
+
+
+@dataclass(frozen=True)
+class Course:
+    """One training course.
+
+    ``attributes`` maps product attributes to presence in (0, 1]; absent
+    attributes are simply missing.
+    """
+
+    course_id: int
+    title: str
+    area: str
+    attributes: dict[str, float] = field(default_factory=dict)
+    price_level: int = 2  # 1 = cheap .. 4 = premium
+
+    def __post_init__(self) -> None:
+        unknown = set(self.attributes) - set(PRODUCT_ATTRIBUTES)
+        if unknown:
+            raise KeyError(f"unknown product attributes: {sorted(unknown)}")
+        for name, presence in self.attributes.items():
+            if not 0.0 < presence <= 1.0:
+                raise ValueError(
+                    f"presence {presence} for {name!r} outside (0, 1]"
+                )
+        if not 1 <= self.price_level <= 4:
+            raise ValueError(f"price_level {self.price_level} outside 1..4")
+
+    def link_mass(self) -> float:
+        """Course-level normalizer: ``Σ_e Σ_a |gain[e→a]| * presence[a]``.
+
+        Trait-independent, so dividing by it makes appeal distributions
+        comparable across courses with different attribute counts — which
+        keeps per-campaign base rates in one realistic band (Fig. 6b shows
+        variation, not orders of magnitude).
+        """
+        mass = 0.0
+        for targets in AFFINITY_LINKS.values():
+            for attribute, gain in targets.items():
+                mass += abs(gain) * self.attributes.get(attribute, 0.0)
+        return mass
+
+    def emotional_appeal(self, traits: dict[str, float]) -> float:
+        """Ground-truth appeal of this course to a trait profile.
+
+        The presence- and gain-weighted average of the user's traits over
+        the course's affinity links: ``Σ traits·gain·presence / link_mass``.
+        Users whose dominant sensibilities align with the course's
+        attributes score high; misaligned (negative-gain) dominances push
+        the appeal negative.
+        """
+        total = 0.0
+        for emotion, targets in AFFINITY_LINKS.items():
+            trait = traits.get(emotion, 0.0)
+            if trait == 0.0:
+                continue
+            for attribute, gain in targets.items():
+                presence = self.attributes.get(attribute, 0.0)
+                if presence == 0.0:
+                    continue
+                total += trait * gain * presence
+        mass = self.link_mass()
+        return total / mass if mass > 0 else 0.0
+
+
+class CourseCatalog:
+    """A generated catalog of courses across subject areas."""
+
+    def __init__(self, courses: list[Course]) -> None:
+        if not courses:
+            raise ValueError("catalog needs at least one course")
+        self._courses = {c.course_id: c for c in courses}
+        if len(self._courses) != len(courses):
+            raise ValueError("duplicate course ids")
+
+    def __len__(self) -> int:
+        return len(self._courses)
+
+    def __iter__(self) -> Iterator[Course]:
+        for course_id in sorted(self._courses):
+            yield self._courses[course_id]
+
+    def get(self, course_id: int) -> Course:
+        """Fetch a course by id."""
+        try:
+            return self._courses[course_id]
+        except KeyError:
+            raise KeyError(f"unknown course {course_id}") from None
+
+    def course_ids(self) -> list[int]:
+        """Sorted course ids."""
+        return sorted(self._courses)
+
+    def by_area(self, area: str) -> list[Course]:
+        """Courses of one subject area."""
+        return [c for c in self if c.area == area]
+
+    @classmethod
+    def generate(cls, n_courses: int = 120, seed: int = 7) -> "CourseCatalog":
+        """Generate ``n_courses`` with 2–5 product attributes each."""
+        if n_courses < 1:
+            raise ValueError(f"n_courses must be >= 1, got {n_courses}")
+        rng = derive_rng(seed, "catalog")
+        courses = []
+        for course_id in range(n_courses):
+            area = SUBJECT_AREAS[int(rng.integers(len(SUBJECT_AREAS)))]
+            k = int(rng.integers(2, 6))
+            chosen = rng.choice(len(PRODUCT_ATTRIBUTES), size=k, replace=False)
+            attributes = {
+                PRODUCT_ATTRIBUTES[int(i)]: float(rng.uniform(0.4, 1.0))
+                for i in chosen
+            }
+            courses.append(
+                Course(
+                    course_id=course_id,
+                    title=f"{area.title()} course #{course_id}",
+                    area=area,
+                    attributes=attributes,
+                    price_level=int(rng.integers(1, 5)),
+                )
+            )
+        return cls(courses)
+
+    def attribute_matrix(self) -> tuple[np.ndarray, list[int]]:
+        """Courses × product attributes presence matrix.
+
+        Returns ``(matrix, course_ids)`` with attribute columns in
+        :data:`PRODUCT_ATTRIBUTES` order.
+        """
+        ids = self.course_ids()
+        matrix = np.zeros((len(ids), len(PRODUCT_ATTRIBUTES)))
+        for row, course_id in enumerate(ids):
+            course = self.get(course_id)
+            for col, name in enumerate(PRODUCT_ATTRIBUTES):
+                matrix[row, col] = course.attributes.get(name, 0.0)
+        return matrix, ids
+
+
+def _check_affinity_links() -> None:
+    for emotion, targets in AFFINITY_LINKS.items():
+        if emotion not in EMOTION_CATALOG:
+            raise AssertionError(f"unknown emotion {emotion!r} in AFFINITY_LINKS")
+        for attribute, gain in targets.items():
+            if attribute not in PRODUCT_ATTRIBUTES:
+                raise AssertionError(f"unknown attribute {attribute!r}")
+            if not -1.0 <= gain <= 1.0:
+                raise AssertionError(f"gain {gain} outside [-1, 1]")
+
+
+_check_affinity_links()

@@ -1,0 +1,33 @@
+"""Deterministic RNG derivation.
+
+Every generator in :mod:`repro.datagen` draws from a generator derived from
+``(root_seed, *string keys)`` so that sub-streams are independent and any
+component can be re-run in isolation with identical results — a property
+the reproduction benches rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def _key_to_ints(key: str) -> list[int]:
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return [int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)]
+
+
+def derive_rng(root_seed: int, *keys: str) -> np.random.Generator:
+    """A generator for the sub-stream named by ``keys`` under ``root_seed``.
+
+    Examples
+    --------
+    >>> rng = derive_rng(7, "population", "traits")
+    >>> float(rng.random()) == float(derive_rng(7, "population", "traits").random())
+    True
+    """
+    entropy: list[int] = [int(root_seed) & 0xFFFFFFFF]
+    for key in keys:
+        entropy.extend(_key_to_ints(key))
+    return np.random.default_rng(np.random.SeedSequence(entropy))

@@ -1,0 +1,47 @@
+"""Embedded columnar database substrate.
+
+The paper's SPA platform "exploits heterogeneous, multi-dimensional and
+massive databases to extract, pre-process and deliver distilled user
+LifeLogs" (Section 4).  This subpackage provides that substrate: a small,
+dependency-free, numpy-backed columnar store with typed schemas, hash and
+sorted indexes, a composable query builder, and durable persistence.
+
+It is intentionally an *embedded* engine (in the SQLite spirit): everything
+runs in process, tables are columnar for fast analytical scans, and the
+persistence format is a directory of JSON metadata plus ``.npz`` column
+pages.
+
+Public entry points
+-------------------
+:class:`~repro.db.schema.Schema` / :class:`~repro.db.schema.Column`
+    Typed table definitions.
+:class:`~repro.db.table.Table`
+    The columnar table.
+:class:`~repro.db.query.Query`
+    Filter / project / aggregate / group / join builder.
+:class:`~repro.db.index.HashIndex` / :class:`~repro.db.index.SortedIndex`
+    Secondary indexes.
+:class:`~repro.db.catalog.Catalog`
+    A named collection of tables with directory persistence.
+"""
+
+from repro.db.catalog import Catalog
+from repro.db.index import HashIndex, SortedIndex
+from repro.db.query import Query
+from repro.db.schema import Column, ColumnType, Schema, SchemaError
+from repro.db.storage import load_table, save_table
+from repro.db.table import Table
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnType",
+    "HashIndex",
+    "Query",
+    "Schema",
+    "SchemaError",
+    "SortedIndex",
+    "Table",
+    "load_table",
+    "save_table",
+]

@@ -1,0 +1,122 @@
+"""A named-table catalog with directory persistence.
+
+The paper's SPA "exploits heterogeneous, multi-dimensional and massive
+databases" — socio-demographic tables, weblog tables, transaction tables,
+EIT answer tables.  :class:`Catalog` is the registry holding them: named
+tables with create/get/drop, plus :meth:`Catalog.save` / :meth:`Catalog.load`
+that persist the whole collection to a directory of ``.npz`` pages with a
+JSON manifest.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+from repro.db.schema import Schema
+from repro.db.storage import StorageError, load_table, save_table
+from repro.db.table import Table
+
+_MANIFEST = "catalog.json"
+
+
+class CatalogError(KeyError):
+    """Raised for unknown or duplicate table names."""
+
+
+class Catalog:
+    """A mutable registry of named tables."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    # -- table lifecycle ---------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        """Create (and register) an empty table."""
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        table = Table(schema, name=name)
+        self._tables[name] = table
+        return table
+
+    def register(self, table: Table, name: str | None = None) -> Table:
+        """Register an existing table under ``name`` (or its own name)."""
+        key = name or table.name
+        if not key:
+            raise CatalogError("cannot register an unnamed table without a name")
+        if key in self._tables:
+            raise CatalogError(f"table {key!r} already exists")
+        table.name = key
+        self._tables[key] = table
+        return table
+
+    def get(self, name: str) -> Table:
+        """Fetch a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(
+                f"unknown table {name!r}; have {sorted(self._tables)}"
+            ) from None
+
+    def drop(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        if name not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        del self._tables[name]
+
+    # -- introspection -------------------------------------------------------
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._tables))
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def table_names(self) -> list[str]:
+        """Sorted names of all registered tables."""
+        return sorted(self._tables)
+
+    def describe(self) -> dict[str, dict]:
+        """Summary of every table: row count and column names."""
+        return {
+            name: {
+                "rows": len(table),
+                "columns": table.schema.names,
+            }
+            for name, table in sorted(self._tables.items())
+        }
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, directory: str | Path) -> Path:
+        """Persist every table to ``directory`` (npz pages + manifest)."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest = {"tables": {}}
+        for name, table in self._tables.items():
+            filename = f"{name}.npz"
+            save_table(table, directory / filename)
+            manifest["tables"][name] = filename
+        with (directory / _MANIFEST).open("w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+        return directory
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "Catalog":
+        """Load a catalog previously written with :meth:`save`."""
+        directory = Path(directory)
+        manifest_path = directory / _MANIFEST
+        if not manifest_path.exists():
+            raise StorageError(f"no catalog manifest at {manifest_path}")
+        with manifest_path.open(encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        catalog = cls()
+        for name, filename in manifest["tables"].items():
+            catalog.register(load_table(directory / filename, name=name))
+        return catalog

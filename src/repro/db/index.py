@@ -1,0 +1,136 @@
+"""Secondary indexes over :class:`~repro.db.table.Table` columns.
+
+Two index flavours cover the access paths the SPA pipelines need:
+
+* :class:`HashIndex` — equality lookups (user id → event rows).
+* :class:`SortedIndex` — range scans (timestamp windows, score bands).
+
+Indexes snapshot the table version at build time.  Reads through a stale
+index raise :class:`StaleIndexError` unless the index was created with
+``auto_refresh=True``, in which case it silently rebuilds first.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+import numpy as np
+
+from repro.db.table import Table
+
+
+class StaleIndexError(RuntimeError):
+    """Raised when reading through an index built against an older table."""
+
+
+class _BaseIndex:
+    def __init__(self, table: Table, column: str, auto_refresh: bool = False) -> None:
+        self.table = table
+        self.column = column
+        self.auto_refresh = auto_refresh
+        self._built_version = -1
+        self.refresh()
+
+    @property
+    def is_stale(self) -> bool:
+        """True when the table has changed since the index was built."""
+        return self._built_version != self.table.version
+
+    def refresh(self) -> None:
+        """Rebuild the index from the table's current contents."""
+        self._build(self.table.column(self.column))
+        self._built_version = self.table.version
+
+    def _check(self) -> None:
+        if self.is_stale:
+            if self.auto_refresh:
+                self.refresh()
+            else:
+                raise StaleIndexError(
+                    f"index on {self.column!r} built at version "
+                    f"{self._built_version}, table is at {self.table.version}"
+                )
+
+    def _build(self, values: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+class HashIndex(_BaseIndex):
+    """Equality index: column value → sorted array of row ids."""
+
+    def _build(self, values: np.ndarray) -> None:
+        buckets: dict[Hashable, list[int]] = {}
+        for row_id, value in enumerate(values.tolist()):
+            buckets.setdefault(value, []).append(row_id)
+        self._buckets = {
+            key: np.asarray(ids, dtype=np.int64) for key, ids in buckets.items()
+        }
+
+    def lookup(self, value: Any) -> np.ndarray:
+        """Row ids whose column equals ``value`` (empty array if none)."""
+        self._check()
+        return self._buckets.get(value, np.empty(0, dtype=np.int64))
+
+    def contains(self, value: Any) -> bool:
+        """Whether any row has this value."""
+        self._check()
+        return value in self._buckets
+
+    def keys(self) -> list[Any]:
+        """All distinct indexed values."""
+        self._check()
+        return list(self._buckets.keys())
+
+    def __len__(self) -> int:
+        self._check()
+        return len(self._buckets)
+
+
+class SortedIndex(_BaseIndex):
+    """Order index supporting range queries via binary search."""
+
+    def _build(self, values: np.ndarray) -> None:
+        # Object (string) columns sort fine through argsort on an object
+        # array; numeric columns take the fast numpy path.
+        self._order = np.argsort(values, kind="stable")
+        self._sorted = values[self._order]
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> np.ndarray:
+        """Row ids with values in the interval [low, high].
+
+        ``None`` bounds are open-ended.  Inclusivity of each endpoint is
+        controlled independently so callers can express half-open windows
+        (the sessionizer uses ``[start, end)`` windows).
+        """
+        self._check()
+        lo_pos = 0
+        hi_pos = len(self._sorted)
+        if low is not None:
+            side = "left" if include_low else "right"
+            lo_pos = int(np.searchsorted(self._sorted, low, side=side))
+        if high is not None:
+            side = "right" if include_high else "left"
+            hi_pos = int(np.searchsorted(self._sorted, high, side=side))
+        if hi_pos < lo_pos:
+            hi_pos = lo_pos
+        return np.sort(self._order[lo_pos:hi_pos])
+
+    def min(self) -> Any:
+        """Smallest indexed value (raises on empty table)."""
+        self._check()
+        if len(self._sorted) == 0:
+            raise ValueError("min() on empty index")
+        return self._sorted[0]
+
+    def max(self) -> Any:
+        """Largest indexed value (raises on empty table)."""
+        self._check()
+        if len(self._sorted) == 0:
+            raise ValueError("max() on empty index")
+        return self._sorted[-1]

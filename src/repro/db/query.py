@@ -1,0 +1,260 @@
+"""Composable queries over columnar tables.
+
+:class:`Query` is a small relational-algebra builder: ``where`` composes
+vectorized predicates, ``select`` projects, ``order_by`` sorts, ``group_by``
+aggregates, and :func:`hash_join` combines tables.  Queries are lazy — the
+plan executes on :meth:`Query.to_table` / :meth:`Query.rows` /
+aggregation terminals — which lets SPA's pre-processing pipelines stack
+filters without materializing intermediates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.db.schema import Column, ColumnType, Schema, SchemaError
+from repro.db.table import Table
+
+#: Predicate operators supported by :meth:`Query.where`.
+_OPERATORS: dict[str, Callable[[np.ndarray, Any], np.ndarray]] = {
+    "==": lambda col, v: col == v,
+    "!=": lambda col, v: col != v,
+    "<": lambda col, v: col < v,
+    "<=": lambda col, v: col <= v,
+    ">": lambda col, v: col > v,
+    ">=": lambda col, v: col >= v,
+    "in": lambda col, v: np.isin(col, list(v)),
+    "not in": lambda col, v: ~np.isin(col, list(v)),
+}
+
+#: Aggregation functions supported by :meth:`Query.group_by` / aggregate.
+_AGGREGATES: dict[str, Callable[[np.ndarray], Any]] = {
+    "sum": lambda a: a.sum(),
+    "min": lambda a: a.min(),
+    "max": lambda a: a.max(),
+    "mean": lambda a: float(np.mean(a)),
+    "count": lambda a: int(a.size),
+    "nunique": lambda a: int(len(set(a.tolist()))),
+}
+
+
+class QueryError(ValueError):
+    """Raised for malformed query plans."""
+
+
+class Query:
+    """A lazy filter/project/sort plan over a :class:`Table`."""
+
+    def __init__(self, table: Table) -> None:
+        self._table = table
+        self._predicates: list[tuple[str, str, Any]] = []
+        self._projection: list[str] | None = None
+        self._ordering: list[tuple[str, bool]] = []
+        self._limit: int | None = None
+
+    # -- builders ---------------------------------------------------------
+
+    def where(self, column: str, op: str, value: Any) -> "Query":
+        """Add a predicate; multiple predicates AND together."""
+        if op not in _OPERATORS:
+            raise QueryError(f"unknown operator {op!r}; have {sorted(_OPERATORS)}")
+        if column not in self._table.schema:
+            raise QueryError(f"unknown column {column!r}")
+        self._predicates.append((column, op, value))
+        return self
+
+    def where_fn(self, column: str, fn: Callable[[np.ndarray], np.ndarray]) -> "Query":
+        """Add an arbitrary vectorized predicate on one column."""
+        if column not in self._table.schema:
+            raise QueryError(f"unknown column {column!r}")
+        self._predicates.append((column, "fn", fn))
+        return self
+
+    def select(self, columns: Sequence[str]) -> "Query":
+        """Project to the given columns (in the given order)."""
+        for column in columns:
+            if column not in self._table.schema:
+                raise QueryError(f"unknown column {column!r}")
+        self._projection = list(columns)
+        return self
+
+    def order_by(self, column: str, descending: bool = False) -> "Query":
+        """Sort by a column; later calls break ties of earlier ones."""
+        if column not in self._table.schema:
+            raise QueryError(f"unknown column {column!r}")
+        self._ordering.append((column, descending))
+        return self
+
+    def limit(self, n: int) -> "Query":
+        """Keep at most ``n`` rows after filtering and ordering."""
+        if n < 0:
+            raise QueryError(f"negative limit {n}")
+        self._limit = n
+        return self
+
+    # -- execution ----------------------------------------------------------
+
+    def _selected_ids(self) -> np.ndarray:
+        n = len(self._table)
+        keep = np.ones(n, dtype=bool)
+        for column, op, value in self._predicates:
+            data = self._table.column(column)
+            if op == "fn":
+                result = np.asarray(value(data), dtype=bool)
+                if result.shape != (n,):
+                    raise QueryError("where_fn predicate returned wrong shape")
+                keep &= result
+            else:
+                keep &= np.asarray(_OPERATORS[op](data, value), dtype=bool)
+        ids = np.nonzero(keep)[0]
+        if self._ordering:
+            # Stable sorts applied from the least-significant key backwards
+            # give lexicographic multi-key ordering.
+            for column, descending in reversed(self._ordering):
+                values = self._table.column(column)[ids]
+                order = np.argsort(values, kind="stable")
+                if descending:
+                    order = order[::-1]
+                ids = ids[order]
+        if self._limit is not None:
+            ids = ids[: self._limit]
+        return ids
+
+    def row_ids(self) -> np.ndarray:
+        """Row ids of the original table matching this plan, post-ordering."""
+        return self._selected_ids()
+
+    def to_table(self, name: str = "") -> Table:
+        """Execute and materialize the result as a new table."""
+        ids = self._selected_ids()
+        result = self._table.take(ids, name=name)
+        if self._projection is not None:
+            projected_schema = result.schema.project(self._projection)
+            return Table.from_columns(
+                projected_schema,
+                {c: result.column(c) for c in self._projection},
+                name=name,
+            )
+        return result
+
+    def rows(self) -> Iterable[dict[str, Any]]:
+        """Execute and yield result rows as dicts."""
+        return self.to_table().rows()
+
+    def count(self) -> int:
+        """Number of rows matching the predicates."""
+        return int(self._selected_ids().size)
+
+    def aggregate(self, spec: dict[str, str]) -> dict[str, Any]:
+        """Whole-result aggregates: ``{"amount": "sum", "user_id": "nunique"}``."""
+        ids = self._selected_ids()
+        out: dict[str, Any] = {}
+        for column, fn_name in spec.items():
+            if fn_name not in _AGGREGATES:
+                raise QueryError(f"unknown aggregate {fn_name!r}")
+            values = self._table.column(column)[ids]
+            if values.size == 0 and fn_name in ("min", "max", "mean"):
+                out[f"{fn_name}({column})"] = None
+            else:
+                out[f"{fn_name}({column})"] = _AGGREGATES[fn_name](values)
+        return out
+
+    def group_by(self, key: str, spec: dict[str, str]) -> Table:
+        """Group matching rows by ``key`` and aggregate per group.
+
+        Returns a table with the key column plus one ``fn(column)`` column
+        per aggregation, ordered by key.
+        """
+        if key not in self._table.schema:
+            raise QueryError(f"unknown column {key!r}")
+        for column, fn_name in spec.items():
+            if fn_name not in _AGGREGATES:
+                raise QueryError(f"unknown aggregate {fn_name!r}")
+            if column not in self._table.schema:
+                raise QueryError(f"unknown column {column!r}")
+
+        ids = self._selected_ids()
+        keys = self._table.column(key)[ids]
+        groups: dict[Any, list[int]] = {}
+        for position, value in enumerate(keys.tolist()):
+            groups.setdefault(value, []).append(position)
+
+        key_ctype = self._table.schema.column(key).ctype
+        out_columns: list[Column] = [Column(key, key_ctype)]
+        for column, fn_name in spec.items():
+            out_ctype = (
+                ColumnType.INT64
+                if fn_name in ("count", "nunique")
+                else ColumnType.FLOAT64
+            )
+            out_columns.append(Column(f"{fn_name}({column})", out_ctype))
+        out_schema = Schema(out_columns)
+
+        sorted_keys = sorted(groups)
+        data: dict[str, list[Any]] = {c.name: [] for c in out_columns}
+        for group_key in sorted_keys:
+            positions = np.asarray(groups[group_key], dtype=np.int64)
+            data[key].append(group_key)
+            for column, fn_name in spec.items():
+                values = self._table.column(column)[ids][positions]
+                result = _AGGREGATES[fn_name](values)
+                data[f"{fn_name}({column})"].append(
+                    result if fn_name in ("count", "nunique") else float(result)
+                )
+        return Table.from_columns(out_schema, data, name=f"groupby({key})")
+
+
+def hash_join(
+    left: Table,
+    right: Table,
+    on: str,
+    right_on: str | None = None,
+    suffix: str = "_right",
+) -> Table:
+    """Inner hash join of two tables on equality of one column each.
+
+    Right-side columns whose names collide with left-side names are renamed
+    with ``suffix``.  The join key appears once (from the left table).
+    """
+    right_key = right_on or on
+    if on not in left.schema:
+        raise QueryError(f"unknown left join column {on!r}")
+    if right_key not in right.schema:
+        raise QueryError(f"unknown right join column {right_key!r}")
+
+    buckets: dict[Any, list[int]] = {}
+    for row_id, value in enumerate(right.column(right_key).tolist()):
+        buckets.setdefault(value, []).append(row_id)
+
+    left_ids: list[int] = []
+    right_ids: list[int] = []
+    for row_id, value in enumerate(left.column(on).tolist()):
+        for match in buckets.get(value, ()):
+            left_ids.append(row_id)
+            right_ids.append(match)
+
+    out_columns: list[Column] = list(left.schema.columns)
+    rename: dict[str, str] = {}
+    for column in right.schema.columns:
+        if column.name == right_key:
+            continue
+        out_name = column.name
+        if out_name in left.schema:
+            out_name = f"{out_name}{suffix}"
+            if out_name in left.schema:
+                raise SchemaError(f"join name collision on {out_name!r}")
+        rename[column.name] = out_name
+        out_columns.append(Column(out_name, column.ctype, column.description))
+    out_schema = Schema(out_columns)
+
+    left_idx = np.asarray(left_ids, dtype=np.int64)
+    right_idx = np.asarray(right_ids, dtype=np.int64)
+    data: dict[str, Any] = {
+        column.name: left.column(column.name)[left_idx]
+        for column in left.schema.columns
+    }
+    for original, out_name in rename.items():
+        data[out_name] = right.column(original)[right_idx]
+    return Table.from_columns(out_schema, data, name=f"join({left.name},{right.name})")

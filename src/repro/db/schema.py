@@ -1,0 +1,188 @@
+"""Typed schemas for the columnar store.
+
+A :class:`Schema` is an ordered collection of :class:`Column` definitions.
+Schemas validate and coerce Python values into the numpy representation a
+:class:`~repro.db.table.Table` stores, so that every downstream consumer
+(indexes, queries, persistence) can rely on uniform column dtypes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+import numpy as np
+
+
+class SchemaError(ValueError):
+    """Raised when a schema is malformed or a value violates it."""
+
+
+class ColumnType(enum.Enum):
+    """Storage types supported by the engine.
+
+    The set is deliberately small: the LifeLog pipelines of the paper only
+    require integers (identifiers, counters), floats (scores, weights),
+    booleans (flags) and strings (action names, demographic categories).
+    """
+
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    BOOL = "bool"
+    STRING = "string"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The numpy dtype used to store this column type."""
+        if self is ColumnType.INT64:
+            return np.dtype(np.int64)
+        if self is ColumnType.FLOAT64:
+            return np.dtype(np.float64)
+        if self is ColumnType.BOOL:
+            return np.dtype(np.bool_)
+        return np.dtype(object)
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce a single Python value to this column type.
+
+        Raises :class:`SchemaError` if the value cannot be represented.
+        """
+        try:
+            if self is ColumnType.INT64:
+                if isinstance(value, bool):
+                    raise SchemaError(f"bool {value!r} is not a valid INT64")
+                if isinstance(value, float) and not value.is_integer():
+                    raise SchemaError(f"non-integral float {value!r} for INT64")
+                return int(value)
+            if self is ColumnType.FLOAT64:
+                if isinstance(value, bool):
+                    raise SchemaError(f"bool {value!r} is not a valid FLOAT64")
+                return float(value)
+            if self is ColumnType.BOOL:
+                if isinstance(value, (bool, np.bool_)):
+                    return bool(value)
+                raise SchemaError(f"{value!r} is not a valid BOOL")
+            if isinstance(value, str):
+                return value
+            raise SchemaError(f"{value!r} is not a valid STRING")
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(f"cannot coerce {value!r} to {self.value}") from exc
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column definition.
+
+    Parameters
+    ----------
+    name:
+        Column name; must be a non-empty identifier-like string.
+    ctype:
+        The :class:`ColumnType` of the stored values.
+    description:
+        Optional human-readable documentation carried in catalog metadata.
+    """
+
+    name: str
+    ctype: ColumnType
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"invalid column name: {self.name!r}")
+
+
+@dataclass
+class Schema:
+    """An ordered, name-unique collection of columns."""
+
+    columns: list[Column] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [column.name for column in self.columns]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise SchemaError(f"duplicate column names: {sorted(duplicates)}")
+        self._by_name = {column.name: i for i, column in enumerate(self.columns)}
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def names(self) -> list[str]:
+        """Column names in schema order."""
+        return [column.name for column in self.columns]
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def column(self, name: str) -> Column:
+        """Look up a column definition by name."""
+        try:
+            return self.columns[self._by_name[name]]
+        except KeyError:
+            raise SchemaError(f"unknown column {name!r}; have {self.names}") from None
+
+    def index_of(self, name: str) -> int:
+        """Position of ``name`` in schema order."""
+        if name not in self._by_name:
+            raise SchemaError(f"unknown column {name!r}; have {self.names}")
+        return self._by_name[name]
+
+    # -- validation --------------------------------------------------------
+
+    def coerce_row(self, row: dict[str, Any]) -> dict[str, Any]:
+        """Validate and coerce a row dict against the schema.
+
+        Every schema column must be present; unexpected keys are rejected so
+        that silent typos do not create ragged data.
+        """
+        unexpected = set(row) - set(self._by_name)
+        if unexpected:
+            raise SchemaError(f"unexpected columns: {sorted(unexpected)}")
+        missing = set(self._by_name) - set(row)
+        if missing:
+            raise SchemaError(f"missing columns: {sorted(missing)}")
+        return {
+            column.name: column.ctype.coerce(row[column.name])
+            for column in self.columns
+        }
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """A new schema containing only ``names``, in the given order."""
+        return Schema([self.column(name) for name in names])
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable representation."""
+        return {
+            "columns": [
+                {
+                    "name": column.name,
+                    "ctype": column.ctype.value,
+                    "description": column.description,
+                }
+                for column in self.columns
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Schema":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            [
+                Column(
+                    name=item["name"],
+                    ctype=ColumnType(item["ctype"]),
+                    description=item.get("description", ""),
+                )
+                for item in payload["columns"]
+            ]
+        )

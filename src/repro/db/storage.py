@@ -1,0 +1,114 @@
+"""Durable persistence for tables.
+
+Two formats, chosen by extension of the target path:
+
+* ``.jsonl`` — one JSON object per row with a sidecar ``.schema.json``;
+  human-inspectable, used for small reference tables.
+* ``.npz`` — numpy-compressed column pages with the schema embedded;
+  the fast path for large event tables.
+
+Both round-trip exactly through :func:`save_table` / :func:`load_table`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.db.schema import ColumnType, Schema
+from repro.db.table import Table
+
+
+class StorageError(IOError):
+    """Raised for unreadable or malformed table files."""
+
+
+def save_table(table: Table, path: str | Path) -> Path:
+    """Persist ``table`` to ``path`` (.jsonl or .npz); returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix == ".jsonl":
+        _save_jsonl(table, path)
+    elif path.suffix == ".npz":
+        _save_npz(table, path)
+    else:
+        raise StorageError(f"unsupported extension {path.suffix!r} (.jsonl/.npz)")
+    return path
+
+
+def load_table(path: str | Path, name: str = "") -> Table:
+    """Load a table previously written by :func:`save_table`."""
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"no such table file: {path}")
+    if path.suffix == ".jsonl":
+        return _load_jsonl(path, name=name)
+    if path.suffix == ".npz":
+        return _load_npz(path, name=name)
+    raise StorageError(f"unsupported extension {path.suffix!r} (.jsonl/.npz)")
+
+
+# -- jsonl ------------------------------------------------------------------
+
+
+def _schema_sidecar(path: Path) -> Path:
+    return path.with_suffix(".schema.json")
+
+
+def _save_jsonl(table: Table, path: Path) -> None:
+    with _schema_sidecar(path).open("w", encoding="utf-8") as fh:
+        json.dump(table.schema.to_dict(), fh, indent=2)
+    with path.open("w", encoding="utf-8") as fh:
+        for row in table.rows():
+            fh.write(json.dumps(row, sort_keys=True))
+            fh.write("\n")
+
+
+def _load_jsonl(path: Path, name: str) -> Table:
+    sidecar = _schema_sidecar(path)
+    if not sidecar.exists():
+        raise StorageError(f"missing schema sidecar: {sidecar}")
+    with sidecar.open(encoding="utf-8") as fh:
+        schema = Schema.from_dict(json.load(fh))
+    table = Table(schema, name=name or path.stem)
+    with path.open(encoding="utf-8") as fh:
+        rows = (json.loads(line) for line in fh if line.strip())
+        table.extend(rows)
+    return table
+
+
+# -- npz --------------------------------------------------------------------
+
+
+def _save_npz(table: Table, path: Path) -> None:
+    payload: dict[str, np.ndarray] = {
+        "__schema__": np.asarray([json.dumps(table.schema.to_dict())], dtype=np.str_)
+    }
+    for column in table.schema:
+        data = table.column(column.name)
+        if column.ctype is ColumnType.STRING:
+            # Store strings as a unicode array: object arrays need pickle,
+            # which we avoid for durability and safety.
+            payload[f"col::{column.name}"] = np.asarray(data, dtype=np.str_)
+        else:
+            payload[f"col::{column.name}"] = np.asarray(data)
+    np.savez_compressed(path, **payload)
+
+
+def _load_npz(path: Path, name: str) -> Table:
+    with np.load(path, allow_pickle=False) as archive:
+        if "__schema__" not in archive:
+            raise StorageError(f"{path} is not a table archive (missing schema)")
+        schema = Schema.from_dict(json.loads(str(archive["__schema__"][0])))
+        columns: dict[str, np.ndarray] = {}
+        for column in schema:
+            key = f"col::{column.name}"
+            if key not in archive:
+                raise StorageError(f"{path} missing column {column.name!r}")
+            data = archive[key]
+            if column.ctype is ColumnType.STRING:
+                data = data.astype(object)
+            columns[column.name] = data
+    return Table.from_columns(schema, columns, name=name or path.stem)

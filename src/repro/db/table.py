@@ -1,0 +1,202 @@
+"""Columnar in-memory tables.
+
+A :class:`Table` stores each column as a numpy array (``object`` dtype for
+strings), which makes the analytical access patterns of the SPA pipelines —
+full-column scans, vectorized predicates, group-bys over millions of rows —
+cheap, while still supporting row-at-a-time appends for event ingestion.
+
+Tables carry a monotonically increasing ``version`` so that secondary
+indexes (:mod:`repro.db.index`) can detect staleness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.db.schema import ColumnType, Schema, SchemaError
+
+_GROWTH_FACTOR = 2
+_INITIAL_CAPACITY = 16
+
+
+class Table:
+    """A typed, columnar, append-only table.
+
+    Parameters
+    ----------
+    schema:
+        Column definitions; fixed for the table's lifetime.
+    name:
+        Optional name used in reprs and catalog listings.
+    """
+
+    def __init__(self, schema: Schema, name: str = "") -> None:
+        self.schema = schema
+        self.name = name
+        self._length = 0
+        self._capacity = _INITIAL_CAPACITY
+        self._columns: dict[str, np.ndarray] = {
+            column.name: np.empty(self._capacity, dtype=column.ctype.numpy_dtype)
+            for column in schema
+        }
+        self.version = 0
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls, schema: Schema, rows: Iterable[dict[str, Any]], name: str = ""
+    ) -> "Table":
+        """Build a table from an iterable of row dicts."""
+        table = cls(schema, name=name)
+        table.extend(rows)
+        return table
+
+    @classmethod
+    def from_columns(
+        cls, schema: Schema, columns: dict[str, Sequence[Any]], name: str = ""
+    ) -> "Table":
+        """Build a table directly from column sequences (bulk path).
+
+        All columns must be present and of equal length.  Values are coerced
+        element-wise, so this is safe (if slower) for untrusted input.
+        """
+        missing = set(schema.names) - set(columns)
+        if missing:
+            raise SchemaError(f"missing columns: {sorted(missing)}")
+        unexpected = set(columns) - set(schema.names)
+        if unexpected:
+            raise SchemaError(f"unexpected columns: {sorted(unexpected)}")
+        lengths = {name: len(values) for name, values in columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise SchemaError(f"ragged columns: {lengths}")
+        table = cls(schema, name=name)
+        n = next(iter(lengths.values()), 0)
+        if n == 0:
+            return table
+        table._ensure_capacity(n)
+        for column in schema:
+            coerced = [column.ctype.coerce(v) for v in columns[column.name]]
+            table._columns[column.name][:n] = np.asarray(
+                coerced, dtype=column.ctype.numpy_dtype
+            )
+        table._length = n
+        table.version += 1
+        return table
+
+    # -- size management -----------------------------------------------------
+
+    def _ensure_capacity(self, extra: int) -> None:
+        needed = self._length + extra
+        if needed <= self._capacity:
+            return
+        new_capacity = max(self._capacity, _INITIAL_CAPACITY)
+        while new_capacity < needed:
+            new_capacity *= _GROWTH_FACTOR
+        for name, array in self._columns.items():
+            grown = np.empty(new_capacity, dtype=array.dtype)
+            grown[: self._length] = array[: self._length]
+            self._columns[name] = grown
+        self._capacity = new_capacity
+
+    # -- mutation --------------------------------------------------------
+
+    def append(self, row: dict[str, Any]) -> int:
+        """Append one row; returns the new row's id (position)."""
+        coerced = self.schema.coerce_row(row)
+        self._ensure_capacity(1)
+        for name, value in coerced.items():
+            self._columns[name][self._length] = value
+        self._length += 1
+        self.version += 1
+        return self._length - 1
+
+    def extend(self, rows: Iterable[dict[str, Any]]) -> list[int]:
+        """Append many rows; returns their row ids."""
+        ids = []
+        for row in rows:
+            coerced = self.schema.coerce_row(row)
+            self._ensure_capacity(1)
+            for name, value in coerced.items():
+                self._columns[name][self._length] = value
+            ids.append(self._length)
+            self._length += 1
+        if ids:
+            self.version += 1
+        return ids
+
+    # -- access ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows currently stored."""
+        return self._length
+
+    def column(self, name: str) -> np.ndarray:
+        """A read-only view of one column's live data."""
+        if name not in self._columns:
+            raise SchemaError(f"unknown column {name!r}; have {self.schema.names}")
+        view = self._columns[name][: self._length]
+        view.flags.writeable = False
+        return view
+
+    def row(self, row_id: int) -> dict[str, Any]:
+        """Materialize one row as a plain dict."""
+        if not 0 <= row_id < self._length:
+            raise IndexError(f"row {row_id} out of range [0, {self._length})")
+        return {
+            name: self._to_python(self._columns[name][row_id], name)
+            for name in self.schema.names
+        }
+
+    def _to_python(self, value: Any, column_name: str) -> Any:
+        ctype = self.schema.column(column_name).ctype
+        if ctype is ColumnType.INT64:
+            return int(value)
+        if ctype is ColumnType.FLOAT64:
+            return float(value)
+        if ctype is ColumnType.BOOL:
+            return bool(value)
+        return value
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate all rows as dicts (materializing lazily)."""
+        for row_id in range(self._length):
+            yield self.row(row_id)
+
+    # -- bulk transforms ---------------------------------------------------
+
+    def take(self, row_ids: Sequence[int] | np.ndarray, name: str = "") -> "Table":
+        """A new table containing the given rows, in the given order."""
+        ids = np.asarray(row_ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= self._length):
+            raise IndexError("row id out of range in take()")
+        result = Table(self.schema, name=name or self.name)
+        result._ensure_capacity(int(ids.size))
+        for col in self.schema.names:
+            result._columns[col][: ids.size] = self._columns[col][: self._length][ids]
+        result._length = int(ids.size)
+        result.version += 1
+        return result
+
+    def mask(self, predicate: np.ndarray, name: str = "") -> "Table":
+        """A new table containing rows where ``predicate`` is True."""
+        predicate = np.asarray(predicate, dtype=bool)
+        if predicate.shape != (self._length,):
+            raise ValueError(
+                f"mask shape {predicate.shape} != ({self._length},)"
+            )
+        return self.take(np.nonzero(predicate)[0], name=name)
+
+    def to_columns(self) -> dict[str, np.ndarray]:
+        """Copies of all columns, keyed by name."""
+        return {name: self.column(name).copy() for name in self.schema.names}
+
+    def __repr__(self) -> str:
+        label = self.name or "<anonymous>"
+        return f"Table({label!r}, rows={self._length}, cols={self.schema.names})"

@@ -1,0 +1,11 @@
+"""Reproduction experiment harnesses shared by benches and examples.
+
+Each function runs one paper artifact's experiment at a configurable scale
+and returns plain data structures; the benchmarks print them as the
+table/figure rows and assert the qualitative shape (see DESIGN.md §4 for
+the experiment index and EXPERIMENTS.md for paper-vs-measured numbers).
+"""
+
+from repro.experiments.business_case import BusinessCaseRun, run_business_case
+
+__all__ = ["BusinessCaseRun", "run_business_case"]

@@ -1,0 +1,124 @@
+"""The LifeLog event model.
+
+Section 5.1: "The set of possible on-line user's actions on the web of
+emagister.com was 984."  Actions are strings from a large vocabulary (the
+generator in :mod:`repro.datagen.actions` builds the full 984); every
+action belongs to one :class:`ActionCategory`, which is what the feature
+extractor aggregates over.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.db.schema import Column, ColumnType, Schema
+
+
+class ActionCategory(enum.Enum):
+    """Coarse families of on-line actions."""
+
+    NAVIGATION = "navigation"          # views, searches, list browsing
+    INFO_REQUEST = "info_request"      # course information requests
+    ENROLLMENT = "enrollment"          # course sign-ups (transactions)
+    RATING = "rating"                  # explicit feedback
+    OPINION = "opinion"                # free-text opinions / reviews
+    CAMPAIGN = "campaign"              # push/newsletter opens and clicks
+    EIT_ANSWER = "eit_answer"          # Gradual EIT question answers
+    ACCOUNT = "account"                # profile edits, logins
+
+    @classmethod
+    def from_value(cls, value: str) -> "ActionCategory":
+        """Parse a category from its string value."""
+        try:
+            return cls(value)
+        except ValueError:
+            raise ValueError(
+                f"unknown action category {value!r}; "
+                f"have {[c.value for c in cls]}"
+            ) from None
+
+
+#: Categories that count as "transactions" in the paper's sense (§5.4):
+#: "actions such as click streams, information requirement about training
+#: courses, enrollments, opinions, etc."  We treat the *commercial* subset
+#: — info requests, enrollments and opinions — as useful impacts.
+USEFUL_IMPACT_CATEGORIES: frozenset[ActionCategory] = frozenset(
+    {
+        ActionCategory.INFO_REQUEST,
+        ActionCategory.ENROLLMENT,
+        ActionCategory.OPINION,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One LifeLog event.
+
+    Parameters
+    ----------
+    timestamp:
+        Seconds since epoch (float; sub-second resolution allowed).
+    user_id:
+        The acting user.
+    action:
+        Fine-grained action name from the 984-action vocabulary.
+    category:
+        The action's :class:`ActionCategory`.
+    domain:
+        Interaction domain (e.g. ``"training"``); SUMs are cross-domain.
+    payload:
+        Small JSON-serializable details (course id, rating value, ...).
+    """
+
+    timestamp: float
+    user_id: int
+    action: str
+    category: ActionCategory
+    domain: str = "training"
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError(f"negative timestamp {self.timestamp}")
+        if not self.action:
+            raise ValueError("event needs an action name")
+
+    def to_row(self) -> dict[str, Any]:
+        """The event as a row of :data:`EVENT_SCHEMA`."""
+        return {
+            "ts": float(self.timestamp),
+            "user_id": int(self.user_id),
+            "action": self.action,
+            "category": self.category.value,
+            "domain": self.domain,
+            "payload": json.dumps(self.payload, sort_keys=True),
+        }
+
+    @classmethod
+    def from_row(cls, row: dict[str, Any]) -> "Event":
+        """Inverse of :meth:`to_row`."""
+        return cls(
+            timestamp=float(row["ts"]),
+            user_id=int(row["user_id"]),
+            action=str(row["action"]),
+            category=ActionCategory.from_value(str(row["category"])),
+            domain=str(row["domain"]),
+            payload=json.loads(row["payload"]) if row.get("payload") else {},
+        )
+
+
+#: Storage schema for LifeLog events in the :mod:`repro.db` engine.
+EVENT_SCHEMA = Schema(
+    [
+        Column("ts", ColumnType.FLOAT64, "seconds since epoch"),
+        Column("user_id", ColumnType.INT64, "acting user"),
+        Column("action", ColumnType.STRING, "fine-grained action name"),
+        Column("category", ColumnType.STRING, "ActionCategory value"),
+        Column("domain", ColumnType.STRING, "interaction domain"),
+        Column("payload", ColumnType.STRING, "JSON details"),
+    ]
+)

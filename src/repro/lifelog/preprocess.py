@@ -1,0 +1,155 @@
+"""LifeLog cleaning and per-user feature extraction.
+
+This is the computational content of the LifeLogs Pre-processor Agent
+(Section 4, component 1): "Its function is to pre-process raw data in
+on-line and off-line environments" — deduplicate, drop malformed records,
+and distil the raw stream into per-user behavioural features for the
+Smart Component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.lifelog.events import ActionCategory, Event, USEFUL_IMPACT_CATEGORIES
+from repro.lifelog.sessionizer import DEFAULT_TIMEOUT_SECONDS, sessionize
+
+#: Category order used for feature vector layout.
+CATEGORY_ORDER: tuple[ActionCategory, ...] = tuple(ActionCategory)
+
+
+@dataclass(frozen=True)
+class UserFeatures:
+    """Distilled behavioural features of one user.
+
+    All counts are raw; :meth:`as_vector` applies a log1p squash so heavy
+    users do not dominate linear models.
+    """
+
+    user_id: int
+    category_counts: dict[str, int] = field(default_factory=dict)
+    n_sessions: int = 0
+    mean_session_events: float = 0.0
+    mean_session_duration: float = 0.0
+    recency: float = 0.0  # seconds since last event, relative to `now`
+    useful_impacts: int = 0
+
+    @staticmethod
+    def feature_names() -> list[str]:
+        """Column names of :meth:`as_vector`, stable across versions."""
+        names = [f"log1p_count[{c.value}]" for c in CATEGORY_ORDER]
+        names += [
+            "log1p_n_sessions",
+            "mean_session_events",
+            "log1p_mean_session_duration",
+            "log1p_recency_hours",
+            "log1p_useful_impacts",
+        ]
+        return names
+
+    def as_vector(self) -> np.ndarray:
+        """Numeric feature vector (see :meth:`feature_names`)."""
+        counts = np.asarray(
+            [self.category_counts.get(c.value, 0) for c in CATEGORY_ORDER],
+            dtype=np.float64,
+        )
+        extras = np.asarray(
+            [
+                np.log1p(self.n_sessions),
+                self.mean_session_events,
+                np.log1p(max(self.mean_session_duration, 0.0)),
+                np.log1p(max(self.recency, 0.0) / 3600.0),
+                np.log1p(self.useful_impacts),
+            ],
+            dtype=np.float64,
+        )
+        return np.concatenate([np.log1p(counts), extras])
+
+
+class LifeLogPreprocessor:
+    """Cleaning + distillation over raw event lists."""
+
+    def __init__(self, session_timeout: float = DEFAULT_TIMEOUT_SECONDS) -> None:
+        if session_timeout <= 0:
+            raise ValueError(f"session_timeout must be positive, got {session_timeout}")
+        self.session_timeout = session_timeout
+
+    # -- cleaning ------------------------------------------------------------
+
+    def clean(self, events: list[Event]) -> tuple[list[Event], dict[str, int]]:
+        """Deduplicate and drop invalid events.
+
+        Returns ``(clean_events, drop_counts)`` where ``drop_counts``
+        records how many events each rule removed (the pre-processor's
+        audit trail).
+        """
+        drops = {"duplicate": 0, "negative_ts": 0}
+        seen: set[tuple[float, int, str]] = set()
+        cleaned: list[Event] = []
+        for event in sorted(events, key=lambda e: (e.timestamp, e.user_id, e.action)):
+            key = (event.timestamp, event.user_id, event.action)
+            if key in seen:
+                drops["duplicate"] += 1
+                continue
+            seen.add(key)
+            cleaned.append(event)
+        return cleaned, drops
+
+    # -- distillation -----------------------------------------------------------
+
+    def extract_user(
+        self, user_id: int, events: list[Event], now: float | None = None
+    ) -> UserFeatures:
+        """Features for one user from their (cleaned) events."""
+        own = [e for e in events if e.user_id == user_id]
+        if not own:
+            return UserFeatures(user_id=user_id)
+        own.sort(key=lambda e: e.timestamp)
+        if now is None:
+            now = own[-1].timestamp
+        category_counts: dict[str, int] = {}
+        useful = 0
+        for event in own:
+            category_counts[event.category.value] = (
+                category_counts.get(event.category.value, 0) + 1
+            )
+            if event.category in USEFUL_IMPACT_CATEGORIES:
+                useful += 1
+        sessions = sessionize(own, timeout=self.session_timeout)
+        mean_events = sum(len(s) for s in sessions) / len(sessions)
+        mean_duration = sum(s.duration for s in sessions) / len(sessions)
+        return UserFeatures(
+            user_id=user_id,
+            category_counts=category_counts,
+            n_sessions=len(sessions),
+            mean_session_events=mean_events,
+            mean_session_duration=mean_duration,
+            recency=max(0.0, now - own[-1].timestamp),
+            useful_impacts=useful,
+        )
+
+    def extract_all(
+        self, events: list[Event], now: float | None = None
+    ) -> dict[int, UserFeatures]:
+        """Features for every user appearing in ``events``."""
+        by_user: dict[int, list[Event]] = {}
+        for event in events:
+            by_user.setdefault(event.user_id, []).append(event)
+        if now is None and events:
+            now = max(e.timestamp for e in events)
+        return {
+            user_id: self.extract_user(user_id, user_events, now=now)
+            for user_id, user_events in sorted(by_user.items())
+        }
+
+    def feature_matrix(
+        self, features: dict[int, UserFeatures]
+    ) -> tuple[np.ndarray, list[int]]:
+        """Stack features into a matrix; returns ``(matrix, user_ids)``."""
+        user_ids = sorted(features)
+        if not user_ids:
+            return np.zeros((0, len(UserFeatures.feature_names()))), []
+        matrix = np.vstack([features[uid].as_vector() for uid in user_ids])
+        return matrix, user_ids

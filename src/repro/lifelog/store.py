@@ -1,0 +1,163 @@
+"""Append-only segmented event log with compaction.
+
+The continuous raw stream of Section 4 lands here.  Events append to an
+active in-memory segment (a :class:`~repro.db.table.Table`); when the
+segment reaches ``segment_rows`` it is sealed and a new one opens.  Sealed
+segments are immutable, so per-segment hash indexes on ``user_id`` stay
+valid forever — the classic LSM-lite layout.
+
+:meth:`EventLog.compact` merges all segments into one time-ordered segment
+(cheap at simulation scale, and it keeps query code simple).  The whole
+log persists through a :class:`~repro.db.catalog.Catalog` directory.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.db.catalog import Catalog
+from repro.db.index import HashIndex
+from repro.db.table import Table
+from repro.lifelog.events import EVENT_SCHEMA, Event
+
+
+class EventLog:
+    """Segmented, append-only storage for LifeLog events."""
+
+    def __init__(self, segment_rows: int = 50_000) -> None:
+        if segment_rows < 1:
+            raise ValueError(f"segment_rows must be >= 1, got {segment_rows}")
+        self.segment_rows = segment_rows
+        self._sealed: list[Table] = []
+        self._sealed_indexes: list[HashIndex] = []
+        self._active = Table(EVENT_SCHEMA, name="segment-active")
+
+    # -- ingestion -----------------------------------------------------------
+
+    def append(self, event: Event) -> None:
+        """Append one event (seals the active segment when full)."""
+        self._active.append(event.to_row())
+        if len(self._active) >= self.segment_rows:
+            self._seal()
+
+    def extend(self, events: Iterable[Event]) -> int:
+        """Append many events; returns how many were written."""
+        count = 0
+        for event in events:
+            self.append(event)
+            count += 1
+        return count
+
+    def _seal(self) -> None:
+        if len(self._active) == 0:
+            return
+        self._active.name = f"segment-{len(self._sealed):05d}"
+        self._sealed.append(self._active)
+        self._sealed_indexes.append(HashIndex(self._active, "user_id"))
+        self._active = Table(EVENT_SCHEMA, name="segment-active")
+
+    # -- stats -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sealed) + len(self._active)
+
+    @property
+    def segment_count(self) -> int:
+        """Sealed segments plus the active one (if non-empty)."""
+        return len(self._sealed) + (1 if len(self._active) else 0)
+
+    # -- reads -------------------------------------------------------------
+
+    def _all_segments(self) -> list[Table]:
+        segments = list(self._sealed)
+        if len(self._active):
+            segments.append(self._active)
+        return segments
+
+    def events(self) -> Iterator[Event]:
+        """All events in append order."""
+        for segment in self._all_segments():
+            for row in segment.rows():
+                yield Event.from_row(row)
+
+    def events_for_user(self, user_id: int) -> list[Event]:
+        """All events of one user, time-ordered."""
+        collected: list[Event] = []
+        for i, segment in enumerate(self._sealed):
+            ids = self._sealed_indexes[i].lookup(int(user_id))
+            for row_id in ids.tolist():
+                collected.append(Event.from_row(segment.row(row_id)))
+        if len(self._active):
+            user_col = self._active.column("user_id")
+            for row_id in np.nonzero(user_col == int(user_id))[0].tolist():
+                collected.append(Event.from_row(self._active.row(row_id)))
+        collected.sort(key=lambda e: (e.timestamp, e.action))
+        return collected
+
+    def events_in_window(self, start: float, end: float) -> list[Event]:
+        """Events with ``start <= ts < end``, time-ordered."""
+        if end < start:
+            raise ValueError(f"window end {end} before start {start}")
+        collected: list[Event] = []
+        for segment in self._all_segments():
+            ts = segment.column("ts")
+            mask = (ts >= start) & (ts < end)
+            for row_id in np.nonzero(mask)[0].tolist():
+                collected.append(Event.from_row(segment.row(row_id)))
+        collected.sort(key=lambda e: (e.timestamp, e.user_id, e.action))
+        return collected
+
+    def user_ids(self) -> list[int]:
+        """Distinct user ids seen in the log, sorted."""
+        seen: set[int] = set()
+        for segment in self._all_segments():
+            seen.update(int(u) for u in segment.column("user_id").tolist())
+        return sorted(seen)
+
+    def count_by_category(self) -> dict[str, int]:
+        """Event counts per action category."""
+        counts: dict[str, int] = {}
+        for segment in self._all_segments():
+            for category in segment.column("category").tolist():
+                counts[category] = counts.get(category, 0) + 1
+        return counts
+
+    # -- maintenance -------------------------------------------------------
+
+    def compact(self) -> int:
+        """Merge all segments into one time-ordered segment.
+
+        Returns the number of events in the compacted log.  Ordering is by
+        ``(ts, user_id, action)`` so compaction is deterministic.
+        """
+        rows = [event.to_row() for event in self.events()]
+        rows.sort(key=lambda r: (r["ts"], r["user_id"], r["action"]))
+        merged = Table.from_rows(EVENT_SCHEMA, rows, name="segment-00000")
+        self._sealed = [merged] if len(merged) else []
+        self._sealed_indexes = [HashIndex(merged, "user_id")] if len(merged) else []
+        self._active = Table(EVENT_SCHEMA, name="segment-active")
+        return len(merged)
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, directory: str | Path) -> Path:
+        """Persist all segments (the active one is sealed first)."""
+        self._seal()
+        catalog = Catalog()
+        for segment in self._sealed:
+            catalog.register(segment)
+        return catalog.save(directory)
+
+    @classmethod
+    def load(cls, directory: str | Path, segment_rows: int = 50_000) -> "EventLog":
+        """Load a log written by :meth:`save`."""
+        catalog = Catalog.load(directory)
+        log = cls(segment_rows=segment_rows)
+        for name in catalog.table_names():
+            table = catalog.get(name)
+            log._sealed.append(table)
+            log._sealed_indexes.append(HashIndex(table, "user_id"))
+        return log

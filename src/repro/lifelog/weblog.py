@@ -1,0 +1,195 @@
+"""Combined-log-format weblogs: the 50 GB/month source of Section 5.1.
+
+emagister.com's raw web-usage data arrives as Apache "combined" access-log
+lines.  The generator (:mod:`repro.datagen.weblog_gen`) emits lines in this
+exact format and this module parses them back into LifeLog events, so the
+ingest path the paper describes — raw weblog text → pre-processor → event
+store — is exercised end to end.
+
+URL conventions (synthetic but realistic)::
+
+    /course/<id>/view            course page view          (navigation)
+    /course/<id>/info            information request       (info_request)
+    /course/<id>/enroll          enrolment                 (enrollment)
+    /course/<id>/rate?value=<r>  explicit rating           (rating)
+    /course/<id>/opinion         opinion posted            (opinion)
+    /search?q=<terms>            catalogue search          (navigation)
+    /category/<name>             category browsing         (navigation)
+    /push/<campaign>/open        push communication opened (campaign)
+    /newsletter/<campaign>/open  newsletter opened         (campaign)
+    /eit/<qid>/answer?opt=<k>    Gradual EIT answer        (eit_answer)
+    /account/<op>                profile/login             (account)
+
+The authenticated-user field carries ``u<user_id>``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from urllib.parse import parse_qs, urlsplit
+
+from repro.lifelog.events import ActionCategory, Event
+
+_LINE_RE = re.compile(
+    r'^(?P<host>\S+) (?P<ident>\S+) (?P<user>\S+) '
+    r'\[(?P<time>[^\]]+)\] '
+    r'"(?P<method>[A-Z]+) (?P<path>\S+) (?P<protocol>[^"]+)" '
+    r'(?P<status>\d{3}) (?P<size>\d+|-)'
+    r'(?: "(?P<referer>[^"]*)" "(?P<agent>[^"]*)")?\s*$'
+)
+
+_TIME_FORMAT = "%d/%b/%Y:%H:%M:%S %z"
+
+
+class WeblogParseError(ValueError):
+    """Raised for lines that do not match the combined log format."""
+
+
+@dataclass(frozen=True)
+class WeblogRecord:
+    """One parsed access-log line."""
+
+    host: str
+    user_id: int | None
+    timestamp: float
+    method: str
+    path: str
+    status: int
+    size: int
+    referer: str = ""
+    agent: str = ""
+
+
+def parse_line(line: str) -> WeblogRecord:
+    """Parse one combined-log-format line.
+
+    Raises :class:`WeblogParseError` on malformed lines (the pre-processor
+    counts and skips them rather than aborting a 50 GB ingest).
+    """
+    match = _LINE_RE.match(line)
+    if match is None:
+        raise WeblogParseError(f"unparseable weblog line: {line[:120]!r}")
+    fields = match.groupdict()
+    user_field = fields["user"]
+    user_id: int | None = None
+    if user_field.startswith("u") and user_field[1:].isdigit():
+        user_id = int(user_field[1:])
+    try:
+        timestamp = datetime.strptime(fields["time"], _TIME_FORMAT).timestamp()
+    except ValueError as exc:
+        raise WeblogParseError(f"bad timestamp {fields['time']!r}") from exc
+    size_field = fields["size"]
+    return WeblogRecord(
+        host=fields["host"],
+        user_id=user_id,
+        timestamp=timestamp,
+        method=fields["method"],
+        path=fields["path"],
+        status=int(fields["status"]),
+        size=0 if size_field == "-" else int(size_field),
+        referer=fields.get("referer") or "",
+        agent=fields.get("agent") or "",
+    )
+
+
+#: path-prefix → (action template, category); ``{id}`` substitutes the
+#: second path component.
+_PATH_RULES: list[tuple[re.Pattern, str, ActionCategory]] = [
+    (re.compile(r"^/course/(\d+)/view$"), "course_view", ActionCategory.NAVIGATION),
+    (re.compile(r"^/course/(\d+)/info$"), "course_info", ActionCategory.INFO_REQUEST),
+    (re.compile(r"^/course/(\d+)/enroll$"), "course_enroll", ActionCategory.ENROLLMENT),
+    (re.compile(r"^/course/(\d+)/rate$"), "course_rate", ActionCategory.RATING),
+    (re.compile(r"^/course/(\d+)/opinion$"), "course_opinion", ActionCategory.OPINION),
+    (re.compile(r"^/search$"), "catalog_search", ActionCategory.NAVIGATION),
+    (re.compile(r"^/category/([\w-]+)$"), "category_browse", ActionCategory.NAVIGATION),
+    (re.compile(r"^/push/([\w-]+)/open$"), "push_open", ActionCategory.CAMPAIGN),
+    (re.compile(r"^/push/([\w-]+)/click$"), "push_click", ActionCategory.CAMPAIGN),
+    (re.compile(r"^/newsletter/([\w-]+)/open$"), "newsletter_open", ActionCategory.CAMPAIGN),
+    (re.compile(r"^/newsletter/([\w-]+)/click$"), "newsletter_click", ActionCategory.CAMPAIGN),
+    (re.compile(r"^/eit/([\w-]+)/answer$"), "eit_answer", ActionCategory.EIT_ANSWER),
+    (re.compile(r"^/account/([\w-]+)$"), "account_op", ActionCategory.ACCOUNT),
+]
+
+
+def record_to_event(record: WeblogRecord) -> Event | None:
+    """Map one parsed record to a LifeLog event.
+
+    Returns ``None`` for records that carry no user id, failed requests
+    (non-2xx/3xx) or paths outside the conventions — the cleaning the
+    pre-processor agent performs on raw logs.
+    """
+    if record.user_id is None:
+        return None
+    if not 200 <= record.status < 400:
+        return None
+    parts = urlsplit(record.path)
+    for pattern, action, category in _PATH_RULES:
+        match = pattern.match(parts.path)
+        if match is None:
+            continue
+        payload: dict = {}
+        if match.groups():
+            payload["target"] = match.group(1)
+        query = parse_qs(parts.query)
+        for key in ("value", "opt", "q"):
+            if key in query:
+                payload[key] = query[key][0]
+        return Event(
+            timestamp=record.timestamp,
+            user_id=record.user_id,
+            action=action,
+            category=category,
+            payload=payload,
+        )
+    return None
+
+
+def records_to_events(records: list[WeblogRecord]) -> list[Event]:
+    """Batch :func:`record_to_event`, dropping non-events."""
+    events = []
+    for record in records:
+        event = record_to_event(record)
+        if event is not None:
+            events.append(event)
+    return events
+
+
+def event_to_line(event: Event, host: str = "10.0.0.1") -> str:
+    """Render an event back to a combined-log-format line (the generator).
+
+    Only events representable under the URL conventions are supported;
+    unknown actions raise ``ValueError``.
+    """
+    target = str(event.payload.get("target", "0"))
+    query = ""
+    if event.action == "course_rate" and "value" in event.payload:
+        query = f"?value={event.payload['value']}"
+    elif event.action == "eit_answer" and "opt" in event.payload:
+        query = f"?opt={event.payload['opt']}"
+    elif event.action == "catalog_search" and "q" in event.payload:
+        query = f"?q={event.payload['q']}"
+    paths = {
+        "course_view": f"/course/{target}/view",
+        "course_info": f"/course/{target}/info",
+        "course_enroll": f"/course/{target}/enroll",
+        "course_rate": f"/course/{target}/rate{query}",
+        "course_opinion": f"/course/{target}/opinion",
+        "catalog_search": f"/search{query}",
+        "category_browse": f"/category/{target}",
+        "push_open": f"/push/{target}/open",
+        "push_click": f"/push/{target}/click",
+        "newsletter_open": f"/newsletter/{target}/open",
+        "newsletter_click": f"/newsletter/{target}/click",
+        "eit_answer": f"/eit/{target}/answer{query}",
+        "account_op": f"/account/{target}",
+    }
+    if event.action not in paths:
+        raise ValueError(f"action {event.action!r} has no weblog representation")
+    moment = datetime.fromtimestamp(event.timestamp, tz=timezone.utc)
+    time_str = moment.strftime(_TIME_FORMAT)
+    return (
+        f'{host} - u{event.user_id} [{time_str}] '
+        f'"GET {paths[event.action]} HTTP/1.1" 200 512 "-" "Mozilla/5.0"'
+    )

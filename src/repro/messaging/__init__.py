@@ -1,0 +1,38 @@
+"""Individualized emotional messaging (Fig. 5, Section 5.3).
+
+"Outstanding salesmen use a different sales talk depending on the
+customer ... What the Messaging Agent tries to do is to simulate this
+salesmen behavior."
+
+* :mod:`repro.messaging.templates` — the per-product-attribute sales-talk
+  bank ("this generation is carried out once and then is saved in a
+  database of messages").
+* :mod:`repro.messaging.assigner` — the case logic of Section 5.3 step 3:
+  standard message (3.a), single matching sensibility (3.b), several
+  matches resolved by priority (3.c.i) or by strongest sensibility
+  (3.c.ii).
+"""
+
+from repro.messaging.assigner import (
+    AssignmentCase,
+    MessageAssignment,
+    MessageAssigner,
+    TieBreak,
+)
+from repro.messaging.templates import (
+    STANDARD_MESSAGE,
+    MessageTemplate,
+    TemplateBank,
+    default_template_bank,
+)
+
+__all__ = [
+    "AssignmentCase",
+    "MessageAssignment",
+    "MessageAssigner",
+    "MessageTemplate",
+    "STANDARD_MESSAGE",
+    "TemplateBank",
+    "TieBreak",
+    "default_template_bank",
+]

@@ -1,0 +1,145 @@
+"""The message-assignment case law of Section 5.3.
+
+Step 3: "Assign a message to each user depending on his/her sensibilities:
+that is, the attributes of his/her user model that exceed a sensibility
+threshold.  Then, we match these sensibilities with the attributes selected
+for the training course":
+
+* **case 3.a** — no matching sensibility → standard message;
+* **case 3.b** — exactly one match → that attribute's message;
+* **case 3.c.i** — several matches → highest *priority* attribute
+  (priority = the course's attribute presence: what the course most *is*);
+* **case 3.c.ii** — several matches → the attribute the user is most
+  *sensible* to (Fig. 5c's "message with most sensibility").
+
+The user's sensibility to a *product* attribute is derived from their
+emotional sensibilities through the domain's excitatory links:
+``s(a) = Σ_e max(0, gain[e→a]) · sensibility(e)`` — only positive links
+count, because sales talk exploits attraction, not aversion.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.sum_model import SmartUserModel
+from repro.datagen.catalog import AFFINITY_LINKS, Course
+from repro.messaging.templates import STANDARD_MESSAGE, TemplateBank
+
+
+class AssignmentCase(enum.Enum):
+    """Which branch of Section 5.3 step 3 fired."""
+
+    STANDARD = "3.a"
+    SINGLE = "3.b"
+    PRIORITY = "3.c.i"
+    MAX_SENSIBILITY = "3.c.ii"
+
+
+class TieBreak(enum.Enum):
+    """Strategy for case 3.c (several matching sensibilities)."""
+
+    PRIORITY = "priority"
+    MAX_SENSIBILITY = "max_sensibility"
+
+
+@dataclass(frozen=True)
+class MessageAssignment:
+    """The outcome of assigning a message to one user for one course."""
+
+    user_id: int
+    course_id: int
+    case: AssignmentCase
+    attribute: str | None  # None ⇔ standard message
+    text: str
+    matched: tuple[str, ...] = ()  # all product attributes that matched
+
+
+class MessageAssigner:
+    """Implements the Messaging Agent's assignment logic."""
+
+    def __init__(
+        self,
+        bank: TemplateBank,
+        links: Mapping[str, Mapping[str, float]] | None = None,
+        threshold: float = 0.30,
+        tie_break: TieBreak = TieBreak.MAX_SENSIBILITY,
+    ) -> None:
+        if not 0.0 <= threshold < 1.0:
+            raise ValueError(f"threshold {threshold} outside [0, 1)")
+        self.bank = bank
+        self.links = links if links is not None else AFFINITY_LINKS
+        self.threshold = threshold
+        self.tie_break = tie_break
+
+    def product_sensibilities(self, model: SmartUserModel) -> dict[str, float]:
+        """User sensibility per product attribute (positive links only)."""
+        scores: dict[str, float] = {}
+        for emotion, targets in self.links.items():
+            sensibility = model.sensibility.get(emotion, 0.0)
+            if sensibility <= 0.0:
+                continue
+            for attribute, gain in targets.items():
+                if gain <= 0.0:
+                    continue
+                scores[attribute] = scores.get(attribute, 0.0) + gain * sensibility
+        return scores
+
+    def assign(self, model: SmartUserModel, course: Course) -> MessageAssignment:
+        """Pick the message for one (user, course) pair."""
+        sensibilities = self.product_sensibilities(model)
+        matches = sorted(
+            attribute
+            for attribute in course.attributes
+            if sensibilities.get(attribute, 0.0) > self.threshold
+            and attribute in self.bank
+        )
+        if not matches:
+            return MessageAssignment(
+                user_id=model.user_id,
+                course_id=course.course_id,
+                case=AssignmentCase.STANDARD,
+                attribute=None,
+                text=STANDARD_MESSAGE.render(course.title),
+            )
+        if len(matches) == 1:
+            attribute = matches[0]
+            return MessageAssignment(
+                user_id=model.user_id,
+                course_id=course.course_id,
+                case=AssignmentCase.SINGLE,
+                attribute=attribute,
+                text=self.bank.get(attribute).render(course.title),
+                matched=(attribute,),
+            )
+        if self.tie_break is TieBreak.PRIORITY:
+            # Priority = the course's own attribute presence, i.e. what the
+            # course most strongly is (Fig. 5b's ordered list).
+            attribute = max(
+                matches, key=lambda a: (course.attributes.get(a, 0.0), a)
+            )
+            case = AssignmentCase.PRIORITY
+        else:
+            attribute = max(
+                matches, key=lambda a: (sensibilities.get(a, 0.0), a)
+            )
+            case = AssignmentCase.MAX_SENSIBILITY
+        return MessageAssignment(
+            user_id=model.user_id,
+            course_id=course.course_id,
+            case=case,
+            attribute=attribute,
+            text=self.bank.get(attribute).render(course.title),
+            matched=tuple(matches),
+        )
+
+    def case_distribution(
+        self, assignments: list[MessageAssignment]
+    ) -> dict[str, int]:
+        """How many assignments fell into each case (Fig. 5 bench)."""
+        counts: dict[str, int] = {}
+        for assignment in assignments:
+            counts[assignment.case.value] = counts.get(assignment.case.value, 0) + 1
+        return counts

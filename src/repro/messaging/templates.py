@@ -1,0 +1,119 @@
+"""The sales-talk template bank.
+
+Section 5.3 step 2: "Generate a message (sales talk) for each product
+attribute: this generation is carried out once and then is saved in a
+database of messages."
+
+Templates are parameterized by course title; each one leans on exactly one
+product attribute, phrased to resonate with the emotional attributes that
+attribute excites (see :data:`repro.datagen.catalog.AFFINITY_LINKS`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datagen.catalog import PRODUCT_ATTRIBUTES
+
+
+@dataclass(frozen=True)
+class MessageTemplate:
+    """One sales-talk template keyed to a product attribute."""
+
+    attribute: str
+    text: str
+
+    def __post_init__(self) -> None:
+        if "{course}" not in self.text:
+            raise ValueError("template must reference {course}")
+
+    def render(self, course_title: str) -> str:
+        """Instantiate the template for one course."""
+        return self.text.format(course=course_title)
+
+
+#: The non-personalized fallback of case 3.a.
+STANDARD_MESSAGE = MessageTemplate(
+    attribute="",
+    text="Discover {course} — a course selected for you by our learning guide.",
+)
+
+_DEFAULT_TEXTS: dict[str, str] = {
+    "practical": (
+        "Learn by doing: {course} is packed with hands-on practice you can "
+        "apply from day one."
+    ),
+    "certified": (
+        "Earn a recognized certificate: {course} gives you credentials "
+        "employers trust."
+    ),
+    "job-oriented": (
+        "Boost your career: {course} is designed around the skills the job "
+        "market is asking for right now."
+    ),
+    "flexible-schedule": (
+        "Learn at your own pace: {course} adapts to your schedule, not the "
+        "other way round."
+    ),
+    "online": (
+        "Study from anywhere: {course} is fully online — no commuting, no "
+        "classrooms, just progress."
+    ),
+    "prestigious": (
+        "Join the best: {course} is taught by a center with a reputation "
+        "that opens doors."
+    ),
+    "affordable": (
+        "Quality within reach: {course} offers top training at a price that "
+        "respects your budget."
+    ),
+    "innovative": (
+        "Be the first: {course} covers the newest techniques before everyone "
+        "else catches up."
+    ),
+    "supportive-community": (
+        "Never learn alone: {course} comes with tutors and classmates who "
+        "back you every step."
+    ),
+    "challenging": (
+        "Push your limits: {course} will stretch you — and that is exactly "
+        "why it is worth it."
+    ),
+}
+
+
+class TemplateBank:
+    """The message database: one template per product attribute."""
+
+    def __init__(self, templates: dict[str, MessageTemplate]) -> None:
+        unknown = set(templates) - set(PRODUCT_ATTRIBUTES)
+        if unknown:
+            raise KeyError(f"templates for unknown attributes: {sorted(unknown)}")
+        self._templates = dict(templates)
+
+    def __contains__(self, attribute: object) -> bool:
+        return attribute in self._templates
+
+    def __len__(self) -> int:
+        return len(self._templates)
+
+    def get(self, attribute: str) -> MessageTemplate:
+        """Template for one product attribute."""
+        try:
+            return self._templates[attribute]
+        except KeyError:
+            raise KeyError(f"no template for attribute {attribute!r}") from None
+
+    def attributes(self) -> list[str]:
+        """Attributes with a template, sorted."""
+        return sorted(self._templates)
+
+
+def default_template_bank() -> TemplateBank:
+    """The built-in bank covering every product attribute."""
+    return TemplateBank(
+        {
+            attribute: MessageTemplate(attribute, text)
+            for attribute, text in _DEFAULT_TEXTS.items()
+        }
+    )

@@ -1,0 +1,46 @@
+"""Machine-learning substrate, implemented from scratch on numpy.
+
+Section 5.2 of the paper: "To reduce the dimensionality of the matrix
+generated we use Support Vector Machines ... SVMs are used to classify and
+to predict users' behaviors ... Furthermore, SVMs have been used as a
+learning component in ranking users to assess their propensity to accept a
+recommended item."
+
+This subpackage supplies everything that learning stack needs, with no
+external ML dependency:
+
+* :class:`~repro.ml.svm.LinearSVM` — primal hinge-loss SVM trained with the
+  Pegasos stochastic sub-gradient method (scales to the full population).
+* :class:`~repro.ml.svm.KernelSVM` — dual SVM trained with a simplified SMO
+  (small/medium data, non-linear kernels).
+* :class:`~repro.ml.calibration.PlattScaler` — margins → probabilities.
+* :class:`~repro.ml.svd.TruncatedSVD` — the sparsity-reduction step.
+* Baselines: logistic regression, naive Bayes, k-NN, plus an online SGD
+  learner for the Smart Component's incremental mode.
+* :mod:`repro.ml.metrics` — classification metrics and the gain/lift
+  curves behind Fig. 6(a).
+"""
+
+from repro.ml.calibration import PlattScaler
+from repro.ml.incremental import OnlineSGDClassifier
+from repro.ml.knn import KNNClassifier
+from repro.ml.logistic import LogisticRegression
+from repro.ml.naive_bayes import BernoulliNB, GaussianNB
+from repro.ml.preprocessing import OneHotEncoder, StandardScaler, train_test_split
+from repro.ml.svd import TruncatedSVD
+from repro.ml.svm import KernelSVM, LinearSVM
+
+__all__ = [
+    "BernoulliNB",
+    "GaussianNB",
+    "KNNClassifier",
+    "KernelSVM",
+    "LinearSVM",
+    "LogisticRegression",
+    "OneHotEncoder",
+    "OnlineSGDClassifier",
+    "PlattScaler",
+    "StandardScaler",
+    "TruncatedSVD",
+    "train_test_split",
+]

@@ -1,0 +1,103 @@
+"""Platt scaling: SVM margins → calibrated probabilities.
+
+The campaign *selection function* (Section 5.4) ranks users by "propensity
+to accept a recommended item"; turning raw SVM margins into probabilities
+makes those ranks comparable across campaigns and lets the reporting layer
+speak in expected-impact terms.
+
+Implements Platt (1999) with the Lin/Weng/Keerthi target smoothing and a
+Newton optimization with backtracking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.preprocessing import NotFittedError
+
+
+class PlattScaler:
+    """Fit ``p(y=1 | margin) = 1 / (1 + exp(a * margin + b))``."""
+
+    def __init__(self, max_iter: int = 100, tol: float = 1e-10) -> None:
+        self.max_iter = max_iter
+        self.tol = tol
+        self.a_: float | None = None
+        self.b_: float | None = None
+
+    def fit(self, margins: np.ndarray, y: np.ndarray) -> "PlattScaler":
+        """Fit the sigmoid on held-out margins and binary labels."""
+        margins = np.asarray(margins, dtype=np.float64).ravel()
+        y = np.asarray(y).ravel()
+        if len(margins) != len(y):
+            raise ValueError(f"length mismatch: {len(margins)} vs {len(y)}")
+        positive = np.asarray(y, dtype=np.float64) > 0
+
+        n_pos = float(positive.sum())
+        n_neg = float(len(y) - n_pos)
+        if n_pos == 0 or n_neg == 0:
+            raise ValueError("need both classes to calibrate")
+        # Smoothed targets avoid log(0) and overfitting extreme margins.
+        t_pos = (n_pos + 1.0) / (n_pos + 2.0)
+        t_neg = 1.0 / (n_neg + 2.0)
+        targets = np.where(positive, t_pos, t_neg)
+
+        a, b = 0.0, float(np.log((n_neg + 1.0) / (n_pos + 1.0)))
+        for _ in range(self.max_iter):
+            z = a * margins + b
+            p = _stable_sigmoid(z)  # P(y=1) = sigma(-z); helper negates
+
+            gradient_common = p - targets
+            grad_a = float(np.sum(gradient_common * margins))
+            grad_b = float(np.sum(gradient_common))
+            w = np.maximum(p * (1.0 - p), 1e-12)
+            h_aa = float(np.sum(w * margins * margins)) + 1e-12
+            h_ab = float(np.sum(w * margins))
+            h_bb = float(np.sum(w)) + 1e-12
+            det = h_aa * h_bb - h_ab * h_ab
+            if abs(det) < 1e-18:
+                break
+            # grad_* above is the *negative* NLL gradient (p - t = -(t - p)),
+            # so the Newton step -H⁻¹∇NLL becomes +H⁻¹(grad_a, grad_b).
+            da = (h_bb * grad_a - h_ab * grad_b) / det
+            db = (-h_ab * grad_a + h_aa * grad_b) / det
+            step = 1.0
+            nll_now = _nll(a, b, margins, targets)
+            while step > 1e-10:
+                if _nll(a + step * da, b + step * db, margins, targets) < nll_now:
+                    break
+                step /= 2.0
+            a += step * da
+            b += step * db
+            if abs(step * da) < self.tol and abs(step * db) < self.tol:
+                break
+        self.a_ = float(a)
+        self.b_ = float(b)
+        return self
+
+    def predict_proba(self, margins: np.ndarray) -> np.ndarray:
+        """Calibrated P(y=1) for raw margins."""
+        if self.a_ is None or self.b_ is None:
+            raise NotFittedError("PlattScaler.predict_proba before fit")
+        margins = np.asarray(margins, dtype=np.float64)
+        return _stable_sigmoid(self.a_ * margins + self.b_)
+
+
+def _stable_sigmoid(z: np.ndarray | float) -> np.ndarray:
+    """1 / (1 + exp(z)) without overflow (note: argument is +z)."""
+    z = np.atleast_1d(np.asarray(z, dtype=np.float64))
+    out = np.empty_like(z)
+    pos = z >= 0
+    # z >= 0: exp(z) can overflow, so use exp(-z)/(1 + exp(-z)).
+    exp_neg = np.exp(-z[pos])
+    out[pos] = exp_neg / (1.0 + exp_neg)
+    # z < 0: exp(z) < 1, the direct form is stable.
+    out[~pos] = 1.0 / (1.0 + np.exp(z[~pos]))
+    return out
+
+
+def _nll(a: float, b: float, margins: np.ndarray, targets: np.ndarray) -> float:
+    z = a * margins + b
+    # NLL of targets under p = sigmoid(-z), written stably via logaddexp.
+    return float(np.sum(targets * np.logaddexp(0.0, z) +
+                        (1.0 - targets) * np.logaddexp(0.0, -z)))

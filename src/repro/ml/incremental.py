@@ -1,0 +1,98 @@
+"""Online learning for the Smart Component's incremental mode.
+
+Section 4: "SPA improves the existing platform, embedding powerful
+incremental learning mechanisms".  :class:`OnlineSGDClassifier` is a
+logistic model trained one mini-batch at a time via ``partial_fit``, so the
+Smart Component can fold in each day's LifeLog without retraining from
+scratch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.preprocessing import NotFittedError
+
+
+class OnlineSGDClassifier:
+    """Logistic loss + L2, optimized with constant-decay SGD.
+
+    ``partial_fit`` may be called any number of times with new batches; the
+    learning rate follows an inverse-scaling schedule on the global step
+    count, so late batches refine rather than overwrite.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        l2: float = 1e-4,
+        lr0: float = 0.5,
+        power_t: float = 0.35,
+    ) -> None:
+        if n_features < 1:
+            raise ValueError(f"n_features must be >= 1, got {n_features}")
+        self.n_features = n_features
+        self.l2 = l2
+        self.lr0 = lr0
+        self.power_t = power_t
+        self.weights_ = np.zeros(n_features, dtype=np.float64)
+        self.bias_ = 0.0
+        self.t_ = 0  # number of partial_fit batches seen
+
+    def partial_fit(self, x: np.ndarray, y: np.ndarray) -> "OnlineSGDClassifier":
+        """One SGD step on a batch of (features, 0/1 labels)."""
+        x = np.asarray(x, dtype=np.float64)
+        y01 = (np.asarray(y, dtype=np.float64) > 0).astype(np.float64)
+        if x.ndim != 2 or x.shape[1] != self.n_features:
+            raise ValueError(
+                f"expected (*, {self.n_features}) features, got {x.shape}"
+            )
+        if len(x) != len(y01):
+            raise ValueError(f"length mismatch: {len(x)} vs {len(y01)}")
+        if len(x) == 0:
+            return self
+        self.t_ += 1
+        lr = self.lr0 / (self.t_ ** self.power_t)
+        z = x @ self.weights_ + self.bias_
+        p = _sigmoid(z)
+        grad_w = x.T @ (p - y01) / len(x) + self.l2 * self.weights_
+        grad_b = float(np.mean(p - y01))
+        self.weights_ -= lr * grad_w
+        self.bias_ -= lr * grad_b
+        return self
+
+    def fit(self, x: np.ndarray, y: np.ndarray, epochs: int = 5,
+            batch_size: int = 128, seed: int = 0) -> "OnlineSGDClassifier":
+        """Convenience batch training built on ``partial_fit``."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y)
+        rng = np.random.default_rng(seed)
+        for _ in range(epochs):
+            order = rng.permutation(len(x))
+            for start in range(0, len(x), batch_size):
+                batch = order[start : start + batch_size]
+                self.partial_fit(x[batch], y[batch])
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Log-odds of class 1."""
+        if self.t_ == 0:
+            raise NotFittedError("OnlineSGDClassifier before any partial_fit")
+        return np.asarray(x, dtype=np.float64) @ self.weights_ + self.bias_
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """P(y=1)."""
+        return _sigmoid(self.decision_function(x))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard 0/1 predictions."""
+        return (self.predict_proba(x) >= 0.5).astype(np.int64)
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z, dtype=np.float64)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    expz = np.exp(z[~pos])
+    out[~pos] = expz / (1.0 + expz)
+    return out

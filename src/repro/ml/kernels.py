@@ -1,0 +1,66 @@
+"""Kernel functions for the dual SVM.
+
+Each kernel maps two matrices ``(n, d)`` and ``(m, d)`` to an ``(n, m)``
+Gram matrix.  They are exposed both as callables and through the
+:func:`resolve` registry so models can be configured by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+KernelFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+class Kernel(Protocol):
+    """Structural type for kernel callables."""
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray: ...
+
+
+def linear_kernel(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """K(x, z) = <x, z>."""
+    return np.asarray(a, dtype=np.float64) @ np.asarray(b, dtype=np.float64).T
+
+
+def rbf_kernel(gamma: float = 1.0) -> KernelFn:
+    """Gaussian kernel K(x, z) = exp(-gamma * ||x - z||^2)."""
+    if gamma <= 0:
+        raise ValueError(f"gamma must be positive, got {gamma}")
+
+    def _rbf(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        sq_a = np.sum(a * a, axis=1)[:, None]
+        sq_b = np.sum(b * b, axis=1)[None, :]
+        distances = np.maximum(sq_a + sq_b - 2.0 * (a @ b.T), 0.0)
+        return np.exp(-gamma * distances)
+
+    return _rbf
+
+
+def polynomial_kernel(degree: int = 2, coef0: float = 1.0) -> KernelFn:
+    """Polynomial kernel K(x, z) = (<x, z> + coef0)^degree."""
+    if degree < 1:
+        raise ValueError(f"degree must be >= 1, got {degree}")
+
+    def _poly(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return (linear_kernel(a, b) + coef0) ** degree
+
+    return _poly
+
+
+def resolve(name: str, **params: float) -> KernelFn:
+    """Look up a kernel by name: ``linear``, ``rbf``, ``poly``."""
+    if name == "linear":
+        return linear_kernel
+    if name == "rbf":
+        return rbf_kernel(gamma=float(params.get("gamma", 1.0)))
+    if name == "poly":
+        return polynomial_kernel(
+            degree=int(params.get("degree", 2)),
+            coef0=float(params.get("coef0", 1.0)),
+        )
+    raise ValueError(f"unknown kernel {name!r}; have linear/rbf/poly")

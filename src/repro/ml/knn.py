@@ -1,0 +1,86 @@
+"""k-nearest-neighbour classifier baseline.
+
+Brute-force Euclidean or cosine neighbours with optional distance
+weighting.  Appears in the model ablation; also mirrors the memory-based
+flavour of classical collaborative filtering for comparison purposes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.preprocessing import NotFittedError
+
+
+class KNNClassifier:
+    """Majority-vote (optionally distance-weighted) k-NN."""
+
+    def __init__(self, k: int = 5, metric: str = "euclidean", weighted: bool = False):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if metric not in ("euclidean", "cosine"):
+            raise ValueError(f"unknown metric {metric!r} (euclidean/cosine)")
+        self.k = k
+        self.metric = metric
+        self.weighted = weighted
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNNClassifier":
+        """Memorize the training set."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y)
+        if len(x) != len(y):
+            raise ValueError(f"length mismatch: {len(x)} vs {len(y)}")
+        if len(x) == 0:
+            raise ValueError("empty training set")
+        self._x = x
+        self._y = y
+        self.classes_ = np.unique(y)
+        return self
+
+    def _distances(self, x: np.ndarray) -> np.ndarray:
+        if self.metric == "euclidean":
+            sq_train = np.sum(self._x * self._x, axis=1)[None, :]
+            sq_query = np.sum(x * x, axis=1)[:, None]
+            return np.sqrt(np.maximum(sq_query + sq_train - 2.0 * x @ self._x.T, 0.0))
+        norm_train = np.linalg.norm(self._x, axis=1)
+        norm_query = np.linalg.norm(x, axis=1)
+        denom = np.outer(norm_query, norm_train)
+        denom[denom == 0.0] = 1.0
+        similarity = (x @ self._x.T) / denom
+        return 1.0 - similarity
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Neighbour-vote shares per class, columns ordered by ``classes_``."""
+        if self._x is None or self._y is None or self.classes_ is None:
+            raise NotFittedError("KNNClassifier.predict_proba before fit")
+        x = np.asarray(x, dtype=np.float64)
+        distances = self._distances(x)
+        k = min(self.k, len(self._x))
+        neighbour_ids = np.argpartition(distances, k - 1, axis=1)[:, :k]
+        votes = np.zeros((len(x), len(self.classes_)), dtype=np.float64)
+        class_pos = {label: i for i, label in enumerate(self.classes_.tolist())}
+        for row in range(len(x)):
+            ids = neighbour_ids[row]
+            if self.weighted:
+                weights = 1.0 / (distances[row, ids] + 1e-9)
+            else:
+                weights = np.ones(len(ids))
+            for neighbour, weight in zip(ids, weights):
+                votes[row, class_pos[self._y[neighbour]]] += weight
+        totals = votes.sum(axis=1, keepdims=True)
+        totals[totals == 0.0] = 1.0
+        return votes / totals
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Majority-vote class labels."""
+        probabilities = self.predict_proba(x)
+        return self.classes_[np.argmax(probabilities, axis=1)]
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Binary convenience: vote share of the greater class label."""
+        if self.classes_ is None or len(self.classes_) != 2:
+            raise ValueError("decision_function requires binary labels")
+        return self.predict_proba(x)[:, 1]

@@ -1,0 +1,100 @@
+"""Logistic regression baseline (batch gradient descent with L2).
+
+Used in the model ablation (bench A2) as the classical alternative to the
+paper's SVM choice, and internally wherever a probabilistic linear model is
+convenient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.preprocessing import NotFittedError
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z, dtype=np.float64)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    expz = np.exp(z[~pos])
+    out[~pos] = expz / (1.0 + expz)
+    return out
+
+
+class LogisticRegression:
+    """L2-regularized logistic regression.
+
+    Full-batch gradient descent with an adaptive step (halving on
+    non-improvement), which is robust without tuning for the feature scales
+    produced by :class:`~repro.ml.preprocessing.StandardScaler`.
+    """
+
+    def __init__(
+        self,
+        l2: float = 1e-3,
+        lr: float = 0.5,
+        max_iter: int = 500,
+        tol: float = 1e-7,
+    ) -> None:
+        if l2 < 0:
+            raise ValueError(f"l2 must be >= 0, got {l2}")
+        self.l2 = l2
+        self.lr = lr
+        self.max_iter = max_iter
+        self.tol = tol
+        self.weights_: np.ndarray | None = None
+        self.bias_: float = 0.0
+        self.n_iter_: int = 0
+
+    def _loss(self, x: np.ndarray, y: np.ndarray, w: np.ndarray, b: float) -> float:
+        z = x @ w + b
+        nll = np.sum(np.logaddexp(0.0, z) - y * z)
+        return float(nll / len(x) + 0.5 * self.l2 * np.dot(w, w))
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        """Train on features ``x`` and binary 0/1 labels ``y``."""
+        x = np.asarray(x, dtype=np.float64)
+        y01 = (np.asarray(y, dtype=np.float64) > 0).astype(np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"expected 2-D matrix, got shape {x.shape}")
+        if len(x) != len(y01):
+            raise ValueError(f"length mismatch: {len(x)} vs {len(y01)}")
+        n, d = x.shape
+        w = np.zeros(d)
+        b = 0.0
+        lr = self.lr
+        best = self._loss(x, y01, w, b)
+        for iteration in range(self.max_iter):
+            p = _sigmoid(x @ w + b)
+            grad_w = x.T @ (p - y01) / n + self.l2 * w
+            grad_b = float(np.mean(p - y01))
+            w_new = w - lr * grad_w
+            b_new = b - lr * grad_b
+            loss = self._loss(x, y01, w_new, b_new)
+            if loss > best:
+                lr *= 0.5
+                if lr < 1e-10:
+                    break
+                continue
+            improvement = best - loss
+            w, b, best = w_new, b_new, loss
+            self.n_iter_ = iteration + 1
+            if improvement < self.tol:
+                break
+        self.weights_ = w
+        self.bias_ = float(b)
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Log-odds of class 1."""
+        if self.weights_ is None:
+            raise NotFittedError("LogisticRegression.decision_function before fit")
+        return np.asarray(x, dtype=np.float64) @ self.weights_ + self.bias_
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """P(y=1)."""
+        return _sigmoid(self.decision_function(x))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard 0/1 predictions."""
+        return (self.predict_proba(x) >= 0.5).astype(np.int64)

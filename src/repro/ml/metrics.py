@@ -1,0 +1,179 @@
+"""Classification metrics and the campaign curves of Fig. 6.
+
+Besides the standard menu (accuracy, precision/recall/F1, ROC AUC,
+confusion matrix, Brier, log-loss), this module implements the two
+marketing-analytics curves the paper reports:
+
+* :func:`cumulative_gain_curve` — the *cumulative redemption curve* of
+  Fig. 6(a): after contacting the top ``f`` fraction of the ranked
+  population, what fraction of all eventual responders was captured?
+* :func:`lift_curve` — the pointwise ratio of that capture rate to the
+  random-targeting diagonal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _binary(y: np.ndarray) -> np.ndarray:
+    return (np.asarray(y, dtype=np.float64) > 0).astype(np.int64)
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    y_true, y_pred = _binary(y_true), _binary(y_pred)
+    _check_lengths(y_true, y_pred)
+    if len(y_true) == 0:
+        raise ValueError("empty input")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """2×2 matrix ``[[tn, fp], [fn, tp]]``."""
+    y_true, y_pred = _binary(y_true), _binary(y_pred)
+    _check_lengths(y_true, y_pred)
+    tn = int(np.sum((y_true == 0) & (y_pred == 0)))
+    fp = int(np.sum((y_true == 0) & (y_pred == 1)))
+    fn = int(np.sum((y_true == 1) & (y_pred == 0)))
+    tp = int(np.sum((y_true == 1) & (y_pred == 1)))
+    return np.asarray([[tn, fp], [fn, tp]], dtype=np.int64)
+
+
+def precision(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """TP / (TP + FP); 0.0 when nothing was predicted positive."""
+    matrix = confusion_matrix(y_true, y_pred)
+    tp, fp = matrix[1, 1], matrix[0, 1]
+    return float(tp / (tp + fp)) if (tp + fp) else 0.0
+
+
+def recall(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """TP / (TP + FN); 0.0 when there are no positives."""
+    matrix = confusion_matrix(y_true, y_pred)
+    tp, fn = matrix[1, 1], matrix[1, 0]
+    return float(tp / (tp + fn)) if (tp + fn) else 0.0
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision(y_true, y_pred)
+    r = recall(y_true, y_pred)
+    return 2.0 * p * r / (p + r) if (p + r) else 0.0
+
+
+def roc_auc(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Rank-based AUC (= P(score⁺ > score⁻), ties count half)."""
+    y_true = _binary(y_true)
+    scores = np.asarray(scores, dtype=np.float64)
+    _check_lengths(y_true, scores)
+    n_pos = int(y_true.sum())
+    n_neg = int(len(y_true) - n_pos)
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("AUC undefined with a single class")
+    # Midrank handling of ties via double argsort on a stable key.
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty(len(scores), dtype=np.float64)
+    sorted_scores = scores[order]
+    i = 0
+    position = 1.0
+    while i < len(scores):
+        j = i
+        while j + 1 < len(scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        midrank = (position + position + (j - i)) / 2.0
+        ranks[order[i : j + 1]] = midrank
+        position += j - i + 1
+        i = j + 1
+    rank_sum_pos = float(ranks[y_true == 1].sum())
+    u_statistic = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return float(u_statistic / (n_pos * n_neg))
+
+
+def log_loss(y_true: np.ndarray, proba: np.ndarray, eps: float = 1e-12) -> float:
+    """Mean negative log-likelihood of binary labels under ``proba``."""
+    y_true = _binary(y_true)
+    proba = np.clip(np.asarray(proba, dtype=np.float64), eps, 1.0 - eps)
+    _check_lengths(y_true, proba)
+    return float(-np.mean(y_true * np.log(proba) + (1 - y_true) * np.log(1 - proba)))
+
+
+def brier_score(y_true: np.ndarray, proba: np.ndarray) -> float:
+    """Mean squared error of probabilities against binary outcomes."""
+    y_true = _binary(y_true)
+    proba = np.asarray(proba, dtype=np.float64)
+    _check_lengths(y_true, proba)
+    return float(np.mean((proba - y_true) ** 2))
+
+
+# -- campaign curves (Fig. 6a) -------------------------------------------------
+
+
+def cumulative_gain_curve(
+    y_true: np.ndarray, scores: np.ndarray, n_points: int = 101
+) -> tuple[np.ndarray, np.ndarray]:
+    """The cumulative redemption curve.
+
+    Rank the population by descending score; for each contacted fraction
+    ``f`` (the paper's "% of commercial action"), compute the fraction of
+    all responders captured (the paper's "% of useful impacts").
+
+    Returns ``(fractions, captured)`` — both in [0, 1], starting at (0, 0)
+    and ending at (1, 1); ``captured`` is non-decreasing.
+    """
+    y_true = _binary(y_true)
+    scores = np.asarray(scores, dtype=np.float64)
+    _check_lengths(y_true, scores)
+    total_pos = int(y_true.sum())
+    if total_pos == 0:
+        raise ValueError("gain curve undefined with zero positives")
+    order = np.argsort(-scores, kind="stable")
+    hits = np.cumsum(y_true[order])
+    n = len(y_true)
+    fractions = np.linspace(0.0, 1.0, n_points)
+    captured = np.empty(n_points, dtype=np.float64)
+    for i, fraction in enumerate(fractions):
+        k = int(round(fraction * n))
+        captured[i] = hits[k - 1] / total_pos if k > 0 else 0.0
+    return fractions, captured
+
+
+def gain_at(y_true: np.ndarray, scores: np.ndarray, fraction: float) -> float:
+    """Captured-responder share after contacting the top ``fraction``."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    fractions, captured = cumulative_gain_curve(y_true, scores, n_points=1001)
+    return float(np.interp(fraction, fractions, captured))
+
+
+def lift_curve(
+    y_true: np.ndarray, scores: np.ndarray, n_points: int = 101
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pointwise lift over random targeting: gain(f) / f (f > 0)."""
+    fractions, captured = cumulative_gain_curve(y_true, scores, n_points)
+    lifts = np.ones_like(captured)
+    nonzero = fractions > 0
+    lifts[nonzero] = captured[nonzero] / fractions[nonzero]
+    return fractions, lifts
+
+
+def response_rate_at(
+    y_true: np.ndarray, scores: np.ndarray, fraction: float
+) -> float:
+    """Responder rate *within* the top ``fraction`` of the ranking.
+
+    This is the "predictive score" of Fig. 6(b): useful impacts divided by
+    contacted users.
+    """
+    y_true = _binary(y_true)
+    scores = np.asarray(scores, dtype=np.float64)
+    _check_lengths(y_true, scores)
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    k = max(1, int(round(fraction * len(y_true))))
+    order = np.argsort(-scores, kind="stable")
+    return float(y_true[order[:k]].mean())
+
+
+def _check_lengths(a: np.ndarray, b: np.ndarray) -> None:
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")

@@ -1,0 +1,104 @@
+"""Model selection: k-fold cross-validation and grid search.
+
+Used by the ablation benches to give every baseline a fair shot, and by
+the Smart Component to pick the SVM regularization per campaign domain.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+Estimator = Any  # fit/predict duck type
+ScoreFn = Callable[[np.ndarray, np.ndarray], float]
+
+
+def kfold_indices(
+    n: int, k: int = 5, rng: np.random.Generator | None = None
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield (train_ids, test_ids) for k shuffled folds covering [0, n)."""
+    if k < 2:
+        raise ValueError(f"k must be >= 2, got {k}")
+    if n < k:
+        raise ValueError(f"cannot split {n} samples into {k} folds")
+    rng = rng or np.random.default_rng(0)
+    order = rng.permutation(n)
+    folds = np.array_split(order, k)
+    for i in range(k):
+        test_ids = folds[i]
+        train_ids = np.concatenate([folds[j] for j in range(k) if j != i])
+        yield train_ids, test_ids
+
+
+def cross_val_score(
+    make_estimator: Callable[[], Estimator],
+    x: np.ndarray,
+    y: np.ndarray,
+    score_fn: ScoreFn,
+    k: int = 5,
+    use_decision_function: bool = False,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Per-fold scores for a freshly constructed estimator on each fold.
+
+    ``score_fn(y_true, y_hat)`` receives hard predictions by default, or
+    ``decision_function`` scores when ``use_decision_function`` is set
+    (e.g. for AUC).
+    """
+    x = np.asarray(x)
+    y = np.asarray(y)
+    scores = []
+    for train_ids, test_ids in kfold_indices(len(x), k=k, rng=rng):
+        model = make_estimator()
+        model.fit(x[train_ids], y[train_ids])
+        if use_decision_function:
+            y_hat = model.decision_function(x[test_ids])
+        else:
+            y_hat = model.predict(x[test_ids])
+        scores.append(score_fn(y[test_ids], y_hat))
+    return np.asarray(scores, dtype=np.float64)
+
+
+def grid_search(
+    make_estimator: Callable[..., Estimator],
+    grid: dict[str, Sequence[Any]],
+    x: np.ndarray,
+    y: np.ndarray,
+    score_fn: ScoreFn,
+    k: int = 3,
+    use_decision_function: bool = False,
+    rng: np.random.Generator | None = None,
+) -> tuple[dict[str, Any], float, list[tuple[dict[str, Any], float]]]:
+    """Exhaustive grid search by mean CV score (higher is better).
+
+    Returns ``(best_params, best_score, all_results)``.
+    """
+    if not grid:
+        raise ValueError("empty parameter grid")
+    names = sorted(grid)
+    results: list[tuple[dict[str, Any], float]] = []
+
+    def _combos(position: int, current: dict[str, Any]) -> Iterator[dict[str, Any]]:
+        if position == len(names):
+            yield dict(current)
+            return
+        name = names[position]
+        for value in grid[name]:
+            current[name] = value
+            yield from _combos(position + 1, current)
+        del current[name]
+
+    for params in _combos(0, {}):
+        fold_scores = cross_val_score(
+            lambda params=params: make_estimator(**params),
+            x,
+            y,
+            score_fn,
+            k=k,
+            use_decision_function=use_decision_function,
+            rng=rng,
+        )
+        results.append((params, float(fold_scores.mean())))
+    best_params, best_score = max(results, key=lambda item: item[1])
+    return best_params, best_score, results

@@ -1,0 +1,137 @@
+"""Naive Bayes baselines.
+
+:class:`GaussianNB` for continuous feature blocks, :class:`BernoulliNB`
+for 0/1 blocks (answered-question indicators, one-hot demographics).  Both
+appear in the model ablation bench and as cheap cold-start scorers inside
+the Smart Component.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.preprocessing import NotFittedError
+
+
+class GaussianNB:
+    """Per-class independent Gaussians with variance smoothing."""
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        self.var_smoothing = var_smoothing
+        self.classes_: np.ndarray | None = None
+        self.theta_: np.ndarray | None = None
+        self.var_: np.ndarray | None = None
+        self.priors_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianNB":
+        """Estimate per-class means, variances and priors."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y)
+        if len(x) != len(y):
+            raise ValueError(f"length mismatch: {len(x)} vs {len(y)}")
+        self.classes_ = np.unique(y)
+        means, variances, priors = [], [], []
+        max_var = float(x.var(axis=0).max()) if x.size else 1.0
+        epsilon = self.var_smoothing * max(max_var, 1e-12)
+        for label in self.classes_:
+            block = x[y == label]
+            means.append(block.mean(axis=0))
+            variances.append(block.var(axis=0) + epsilon)
+            priors.append(len(block) / len(x))
+        self.theta_ = np.asarray(means)
+        self.var_ = np.asarray(variances)
+        self.priors_ = np.asarray(priors)
+        return self
+
+    def _joint_log_likelihood(self, x: np.ndarray) -> np.ndarray:
+        if self.classes_ is None:
+            raise NotFittedError("GaussianNB before fit")
+        x = np.asarray(x, dtype=np.float64)
+        scores = []
+        for k in range(len(self.classes_)):
+            log_prior = np.log(self.priors_[k])
+            log_norm = -0.5 * np.sum(np.log(2.0 * np.pi * self.var_[k]))
+            mahala = -0.5 * np.sum((x - self.theta_[k]) ** 2 / self.var_[k], axis=1)
+            scores.append(log_prior + log_norm + mahala)
+        return np.asarray(scores).T
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class posterior probabilities, columns ordered by ``classes_``."""
+        joint = self._joint_log_likelihood(x)
+        joint -= joint.max(axis=1, keepdims=True)
+        p = np.exp(joint)
+        return p / p.sum(axis=1, keepdims=True)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Most probable class label."""
+        joint = self._joint_log_likelihood(x)
+        return self.classes_[np.argmax(joint, axis=1)]
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Binary convenience: log-odds of the greater class label."""
+        if self.classes_ is None or len(self.classes_) != 2:
+            raise ValueError("decision_function requires binary labels")
+        joint = self._joint_log_likelihood(x)
+        return joint[:, 1] - joint[:, 0]
+
+
+class BernoulliNB:
+    """Bernoulli NB with Laplace smoothing over binarized features."""
+
+    def __init__(self, alpha: float = 1.0, binarize_at: float = 0.5) -> None:
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.alpha = alpha
+        self.binarize_at = binarize_at
+        self.classes_: np.ndarray | None = None
+        self.feature_log_prob_: np.ndarray | None = None
+        self.class_log_prior_: np.ndarray | None = None
+
+    def _binarize(self, x: np.ndarray) -> np.ndarray:
+        return (np.asarray(x, dtype=np.float64) > self.binarize_at).astype(np.float64)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "BernoulliNB":
+        """Estimate smoothed per-class feature frequencies."""
+        xb = self._binarize(x)
+        y = np.asarray(y)
+        if len(xb) != len(y):
+            raise ValueError(f"length mismatch: {len(xb)} vs {len(y)}")
+        self.classes_ = np.unique(y)
+        log_probs, log_priors = [], []
+        for label in self.classes_:
+            block = xb[y == label]
+            p = (block.sum(axis=0) + self.alpha) / (len(block) + 2.0 * self.alpha)
+            log_probs.append(np.log(p))
+            log_priors.append(np.log(len(block) / len(xb)))
+        self.feature_log_prob_ = np.asarray(log_probs)
+        self.class_log_prior_ = np.asarray(log_priors)
+        return self
+
+    def _joint_log_likelihood(self, x: np.ndarray) -> np.ndarray:
+        if self.classes_ is None:
+            raise NotFittedError("BernoulliNB before fit")
+        xb = self._binarize(x)
+        log_p = self.feature_log_prob_
+        log_1mp = np.log1p(-np.exp(log_p))
+        return (
+            xb @ log_p.T + (1.0 - xb) @ log_1mp.T + self.class_log_prior_[None, :]
+        )
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class posterior probabilities, columns ordered by ``classes_``."""
+        joint = self._joint_log_likelihood(x)
+        joint -= joint.max(axis=1, keepdims=True)
+        p = np.exp(joint)
+        return p / p.sum(axis=1, keepdims=True)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Most probable class label."""
+        joint = self._joint_log_likelihood(x)
+        return self.classes_[np.argmax(joint, axis=1)]
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Binary convenience: log-odds of the greater class label."""
+        if self.classes_ is None or len(self.classes_) != 2:
+            raise ValueError("decision_function requires binary labels")
+        joint = self._joint_log_likelihood(x)
+        return joint[:, 1] - joint[:, 0]

@@ -1,0 +1,133 @@
+"""Feature preprocessing: scaling, encoding, splitting.
+
+All estimators follow a minimal fit/transform protocol and keep their state
+in plain attributes, so the Smart Component can snapshot and restore them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+class NotFittedError(RuntimeError):
+    """Raised when transform/predict is called before fit."""
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance feature scaling.
+
+    Constant columns (zero variance) are left centered but un-scaled, which
+    matters for one-hot blocks where a category may be absent in a fold.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        """Learn per-column mean and standard deviation."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"expected 2-D matrix, got shape {x.shape}")
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Apply the learned standardization."""
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler.transform before fit")
+        x = np.asarray(x, dtype=np.float64)
+        return (x - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        """Undo the standardization."""
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler.inverse_transform before fit")
+        return np.asarray(x, dtype=np.float64) * self.scale_ + self.mean_
+
+
+class OneHotEncoder:
+    """One-hot encoding for a single categorical column.
+
+    Unknown categories at transform time map to the all-zeros row (an
+    explicit design choice: new demographic categories appear continuously
+    in a live LifeLog stream and must not crash scoring).
+    """
+
+    def __init__(self) -> None:
+        self.categories_: list | None = None
+        self._positions: dict | None = None
+
+    def fit(self, values: Sequence) -> "OneHotEncoder":
+        """Learn the category vocabulary (sorted for determinism)."""
+        self.categories_ = sorted(set(values))
+        self._positions = {c: i for i, c in enumerate(self.categories_)}
+        return self
+
+    def transform(self, values: Sequence) -> np.ndarray:
+        """Encode values to an (n, n_categories) 0/1 matrix."""
+        if self.categories_ is None or self._positions is None:
+            raise NotFittedError("OneHotEncoder.transform before fit")
+        out = np.zeros((len(values), len(self.categories_)), dtype=np.float64)
+        for row, value in enumerate(values):
+            position = self._positions.get(value)
+            if position is not None:
+                out[row, position] = 1.0
+        return out
+
+    def fit_transform(self, values: Sequence) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(values).transform(values)
+
+    def feature_names(self, prefix: str) -> list[str]:
+        """Names of the encoded columns, ``prefix=value`` style."""
+        if self.categories_ is None:
+            raise NotFittedError("OneHotEncoder.feature_names before fit")
+        return [f"{prefix}={category}" for category in self.categories_]
+
+
+def train_test_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.25,
+    rng: np.random.Generator | None = None,
+    stratify: bool = False,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random train/test split; optionally stratified on binary ``y``.
+
+    Returns ``(x_train, x_test, y_train, y_test)``.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if len(x) != len(y):
+        raise ValueError(f"length mismatch: {len(x)} vs {len(y)}")
+    rng = rng or np.random.default_rng(0)
+
+    n = len(x)
+    if stratify:
+        test_ids: list[int] = []
+        for label in np.unique(y):
+            ids = np.nonzero(y == label)[0]
+            ids = rng.permutation(ids)
+            k = max(1, int(round(len(ids) * test_fraction)))
+            test_ids.extend(ids[:k].tolist())
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[np.asarray(test_ids, dtype=np.int64)] = True
+    else:
+        order = rng.permutation(n)
+        k = max(1, int(round(n * test_fraction)))
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[order[:k]] = True
+
+    return x[~test_mask], x[test_mask], y[~test_mask], y[test_mask]

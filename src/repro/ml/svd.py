@@ -1,0 +1,95 @@
+"""Truncated SVD for the sparsity problem.
+
+Section 5.2: users skip most Gradual EIT questions, so the user × question
+answer matrix is extremely sparse; the paper reduces its dimensionality
+before feeding the SVM.  :class:`TruncatedSVD` provides that reduction for
+both dense arrays and ``scipy.sparse`` matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg
+
+from repro.ml.preprocessing import NotFittedError
+
+
+class TruncatedSVD:
+    """Rank-``k`` factorization ``X ≈ U S Vt`` used as a linear projector.
+
+    ``transform`` maps rows of X to the k-dimensional latent space (``U S``
+    for the training matrix, ``X Vt.T`` for new rows).
+    """
+
+    def __init__(self, rank: int) -> None:
+        if rank < 1:
+            raise ValueError(f"rank must be >= 1, got {rank}")
+        self.rank = rank
+        self.components_: np.ndarray | None = None  # (rank, n_features) = Vt
+        self.singular_values_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray | sp.spmatrix) -> "TruncatedSVD":
+        """Compute the top-``rank`` singular triplets of ``x``."""
+        if sp.issparse(x):
+            n_rows, n_cols = x.shape
+            k = min(self.rank, min(n_rows, n_cols) - 1)
+            if k < 1:
+                raise ValueError(
+                    f"matrix {x.shape} too small for sparse rank-{self.rank} SVD"
+                )
+            u, s, vt = scipy.sparse.linalg.svds(
+                x.astype(np.float64), k=k, random_state=0
+            )
+            order = np.argsort(s)[::-1]
+            s, vt = s[order], vt[order]
+            total = float(x.multiply(x).sum())
+        else:
+            dense = np.asarray(x, dtype=np.float64)
+            if dense.ndim != 2:
+                raise ValueError(f"expected 2-D matrix, got shape {dense.shape}")
+            __, s, vt = np.linalg.svd(dense, full_matrices=False)
+            k = min(self.rank, len(s))
+            s, vt = s[:k], vt[:k]
+            total = float(np.sum(dense * dense))
+        self.components_ = vt
+        self.singular_values_ = s
+        self.explained_variance_ratio_ = (
+            (s * s) / total if total > 0 else np.zeros_like(s)
+        )
+        return self
+
+    @property
+    def effective_rank_(self) -> int:
+        """Rank actually computed (may be < requested for small matrices)."""
+        if self.singular_values_ is None:
+            raise NotFittedError("TruncatedSVD.effective_rank_ before fit")
+        return int(len(self.singular_values_))
+
+    def transform(self, x: np.ndarray | sp.spmatrix) -> np.ndarray:
+        """Project rows of ``x`` into the latent space."""
+        if self.components_ is None:
+            raise NotFittedError("TruncatedSVD.transform before fit")
+        if sp.issparse(x):
+            return np.asarray(x @ self.components_.T)
+        return np.asarray(x, dtype=np.float64) @ self.components_.T
+
+    def fit_transform(self, x: np.ndarray | sp.spmatrix) -> np.ndarray:
+        """Fit then project the same matrix."""
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, z: np.ndarray) -> np.ndarray:
+        """Map latent rows back to feature space (rank-k reconstruction)."""
+        if self.components_ is None:
+            raise NotFittedError("TruncatedSVD.inverse_transform before fit")
+        return np.asarray(z, dtype=np.float64) @ self.components_
+
+    def reconstruction_error(self, x: np.ndarray | sp.spmatrix) -> float:
+        """Relative Frobenius error of the rank-k reconstruction of ``x``."""
+        dense = x.toarray() if sp.issparse(x) else np.asarray(x, dtype=np.float64)
+        approx = self.inverse_transform(self.transform(dense))
+        denom = np.linalg.norm(dense)
+        if denom == 0:
+            return 0.0
+        return float(np.linalg.norm(dense - approx) / denom)

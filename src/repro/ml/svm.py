@@ -1,0 +1,288 @@
+"""Support vector machines, the paper's workhorse learner (Section 5.2).
+
+Two trainers:
+
+* :class:`LinearSVM` — primal L2-regularized hinge loss minimized with the
+  Pegasos stochastic sub-gradient method (Shalev-Shwartz et al., 2007 — a
+  contemporary of the paper).  Mini-batched, deterministic under a seed,
+  and linear in the number of samples, so it scales to full-population
+  propensity scoring.
+* :class:`KernelSVM` — the dual problem solved with a simplified SMO
+  (Platt, 1998), for non-linear decision boundaries on small/medium data.
+
+Both expose ``decision_function`` margins so :class:`~repro.ml.calibration.
+PlattScaler` can turn them into the probabilities the campaign selection
+function ranks by.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.kernels import KernelFn, linear_kernel
+from repro.ml.preprocessing import NotFittedError
+
+
+def _validate_xy(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y)
+    if x.ndim != 2:
+        raise ValueError(f"expected 2-D feature matrix, got shape {x.shape}")
+    if len(x) != len(y):
+        raise ValueError(f"length mismatch: {len(x)} samples vs {len(y)} labels")
+    labels = set(np.unique(y).tolist())
+    if not labels <= {0, 1, -1}:
+        raise ValueError(f"labels must be binary (0/1 or ±1), got {sorted(labels)}")
+    signed = np.where(np.asarray(y, dtype=np.float64) > 0, 1.0, -1.0)
+    if len(set(signed.tolist())) < 2:
+        raise ValueError("need both classes present to fit an SVM")
+    return x, signed
+
+
+class LinearSVM:
+    """Primal linear SVM via Pegasos.
+
+    Parameters
+    ----------
+    c:
+        Inverse regularization strength; ``lambda = 1 / (c * n)``.
+    epochs:
+        Passes over the data.
+    batch_size:
+        Mini-batch size for each sub-gradient step.
+    seed:
+        RNG seed for the sampling order (fit is deterministic given a seed).
+    """
+
+    def __init__(
+        self,
+        c: float = 1.0,
+        epochs: int = 20,
+        batch_size: int = 64,
+        eta_max: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if c <= 0:
+            raise ValueError(f"c must be positive, got {c}")
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if eta_max <= 0:
+            raise ValueError(f"eta_max must be positive, got {eta_max}")
+        self.c = c
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.eta_max = eta_max
+        self.seed = seed
+        self.weights_: np.ndarray | None = None
+        self.bias_: float = 0.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearSVM":
+        """Train on features ``x`` and binary labels ``y`` (0/1 or ±1)."""
+        x, signed = _validate_xy(x, y)
+        n, d = x.shape
+        lam = 1.0 / (self.c * n)
+        rng = np.random.default_rng(self.seed)
+
+        w = np.zeros(d, dtype=np.float64)
+        b = 0.0
+        # Textbook Pegasos uses eta = 1/(lam*t), which is enormous in the
+        # early steps when lam is small (large n, weak regularization) and
+        # makes mini-batch training bounce without converging.  We clip the
+        # step at eta_max (features are expected standardized, so O(1)
+        # steps are safe) and Polyak-average the second half of the
+        # trajectory, which restores the convergence the 1/(lam t)
+        # schedule promises.
+        batches_per_epoch = (n + self.batch_size - 1) // self.batch_size
+        total_steps = self.epochs * batches_per_epoch
+        averaging_from = total_steps // 2
+        w_sum = np.zeros(d, dtype=np.float64)
+        b_sum = 0.0
+        averaged_steps = 0
+        step = 0
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                step += 1
+                batch = order[start : start + self.batch_size]
+                eta = min(self.eta_max, 1.0 / (lam * step))
+                margins = signed[batch] * (x[batch] @ w + b)
+                violators = margins < 1.0
+                # Sub-gradient of the regularized hinge objective.
+                grad_w = lam * w
+                grad_b = 0.0
+                if violators.any():
+                    xv = x[batch][violators]
+                    yv = signed[batch][violators]
+                    grad_w = grad_w - (yv[:, None] * xv).mean(axis=0)
+                    grad_b = -float(yv.mean())
+                w = w - eta * grad_w
+                b = b - eta * grad_b
+                # Pegasos projection step keeps ||w|| <= 1/sqrt(lam).
+                norm = np.linalg.norm(w)
+                radius = 1.0 / np.sqrt(lam)
+                if norm > radius:
+                    w = w * (radius / norm)
+                if step > averaging_from:
+                    w_sum += w
+                    b_sum += b
+                    averaged_steps += 1
+        if averaged_steps:
+            self.weights_ = w_sum / averaged_steps
+            self.bias_ = float(b_sum / averaged_steps)
+        else:
+            self.weights_ = w
+            self.bias_ = float(b)
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Signed margins; positive ⇒ class 1."""
+        if self.weights_ is None:
+            raise NotFittedError("LinearSVM.decision_function before fit")
+        x = np.asarray(x, dtype=np.float64)
+        return x @ self.weights_ + self.bias_
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard 0/1 predictions."""
+        return (self.decision_function(x) >= 0.0).astype(np.int64)
+
+
+class KernelSVM:
+    """Dual kernel SVM trained with simplified SMO.
+
+    Suitable for datasets up to a few thousand rows (the Gram matrix is
+    materialized).  For the full-population propensity task use
+    :class:`LinearSVM`.
+
+    Parameters
+    ----------
+    c:
+        Box constraint on the dual variables.
+    kernel:
+        A :mod:`repro.ml.kernels` callable (default linear).
+    tol:
+        KKT violation tolerance.
+    max_passes:
+        Number of consecutive no-change sweeps before stopping.
+    seed:
+        RNG seed for partner selection.
+    """
+
+    def __init__(
+        self,
+        c: float = 1.0,
+        kernel: KernelFn = linear_kernel,
+        tol: float = 1e-3,
+        max_passes: int = 5,
+        max_iter: int = 200,
+        seed: int = 0,
+    ) -> None:
+        if c <= 0:
+            raise ValueError(f"c must be positive, got {c}")
+        self.c = c
+        self.kernel = kernel
+        self.tol = tol
+        self.max_passes = max_passes
+        self.max_iter = max_iter
+        self.seed = seed
+        self.alphas_: np.ndarray | None = None
+        self.bias_: float = 0.0
+        self._support_x: np.ndarray | None = None
+        self._support_y: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KernelSVM":
+        """Train on features ``x`` and binary labels ``y`` (0/1 or ±1)."""
+        x, signed = _validate_xy(x, y)
+        n = len(x)
+        rng = np.random.default_rng(self.seed)
+        gram = self.kernel(x, x)
+
+        alphas = np.zeros(n, dtype=np.float64)
+        b = 0.0
+        passes = 0
+        iters = 0
+        while passes < self.max_passes and iters < self.max_iter:
+            iters += 1
+            changed = 0
+            errors = (alphas * signed) @ gram + b - signed
+            for i in range(n):
+                e_i = float(errors[i])
+                kkt_violated = (
+                    (signed[i] * e_i < -self.tol and alphas[i] < self.c)
+                    or (signed[i] * e_i > self.tol and alphas[i] > 0)
+                )
+                if not kkt_violated:
+                    continue
+                j = int(rng.integers(0, n - 1))
+                if j >= i:
+                    j += 1
+                e_j = float((alphas * signed) @ gram[:, j] + b - signed[j])
+
+                alpha_i_old, alpha_j_old = alphas[i], alphas[j]
+                if signed[i] != signed[j]:
+                    low = max(0.0, alphas[j] - alphas[i])
+                    high = min(self.c, self.c + alphas[j] - alphas[i])
+                else:
+                    low = max(0.0, alphas[i] + alphas[j] - self.c)
+                    high = min(self.c, alphas[i] + alphas[j])
+                if low >= high:
+                    continue
+                eta = 2.0 * gram[i, j] - gram[i, i] - gram[j, j]
+                if eta >= 0:
+                    continue
+                alphas[j] -= signed[j] * (e_i - e_j) / eta
+                alphas[j] = float(np.clip(alphas[j], low, high))
+                if abs(alphas[j] - alpha_j_old) < 1e-7:
+                    continue
+                alphas[i] += signed[i] * signed[j] * (alpha_j_old - alphas[j])
+
+                b1 = (
+                    b
+                    - e_i
+                    - signed[i] * (alphas[i] - alpha_i_old) * gram[i, i]
+                    - signed[j] * (alphas[j] - alpha_j_old) * gram[i, j]
+                )
+                b2 = (
+                    b
+                    - e_j
+                    - signed[i] * (alphas[i] - alpha_i_old) * gram[i, j]
+                    - signed[j] * (alphas[j] - alpha_j_old) * gram[j, j]
+                )
+                if 0 < alphas[i] < self.c:
+                    b = b1
+                elif 0 < alphas[j] < self.c:
+                    b = b2
+                else:
+                    b = (b1 + b2) / 2.0
+                errors = (alphas * signed) @ gram + b - signed
+                changed += 1
+            passes = passes + 1 if changed == 0 else 0
+
+        support = alphas > 1e-8
+        self.alphas_ = alphas[support]
+        self._support_x = x[support]
+        self._support_y = signed[support]
+        self.bias_ = float(b)
+        return self
+
+    @property
+    def n_support_(self) -> int:
+        """Number of support vectors found during fit."""
+        if self.alphas_ is None:
+            raise NotFittedError("KernelSVM.n_support_ before fit")
+        return int(len(self.alphas_))
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Signed margins; positive ⇒ class 1."""
+        if self.alphas_ is None or self._support_x is None:
+            raise NotFittedError("KernelSVM.decision_function before fit")
+        x = np.asarray(x, dtype=np.float64)
+        if len(self.alphas_) == 0:
+            return np.full(len(x), self.bias_)
+        gram = self.kernel(x, self._support_x)
+        return gram @ (self.alphas_ * self._support_y) + self.bias_
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard 0/1 predictions."""
+        return (self.decision_function(x) >= 0.0).astype(np.int64)

@@ -1,0 +1,34 @@
+"""The wearIT@work future-work extension (Section 7).
+
+"We are sensing physiological and contextual parameters of firefighters in
+Paris brigades through wearable computing ... to provide recommendations
+to their commander who is advised by an Ambient Recommender System in an
+emergency ... mapping physiological signals to user's emotional context."
+
+The paper only sketches this; we implement the sketch end to end:
+
+* :mod:`repro.physio.signals` — synthetic heart-rate / galvanic-skin-
+  response / skin-temperature streams with injected stress episodes;
+* :mod:`repro.physio.features` — sliding-window signal features;
+* :mod:`repro.physio.mapping` — features → (arousal, valence) → the
+  emotional attributes of :mod:`repro.core.emotions`;
+* :mod:`repro.physio.commander` — the commander advisor: per-firefighter
+  operational-fitness scores and alerts.
+"""
+
+from repro.physio.commander import CommanderAdvisor, FitnessAssessment
+from repro.physio.features import WindowFeatures, sliding_windows, window_features
+from repro.physio.mapping import EmotionalMapper
+from repro.physio.signals import PhysioSample, StressEpisode, generate_stream
+
+__all__ = [
+    "CommanderAdvisor",
+    "EmotionalMapper",
+    "FitnessAssessment",
+    "PhysioSample",
+    "StressEpisode",
+    "WindowFeatures",
+    "generate_stream",
+    "sliding_windows",
+    "window_features",
+]

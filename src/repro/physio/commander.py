@@ -1,0 +1,120 @@
+"""The commander advisor of the firefighter scenario.
+
+"The objective of the team commander is to receive advice from the system
+about firefighter's current emotional state and its implications in the
+rescue operation so he can better assess the operational fitness of his
+colleague in particular situations."
+
+:class:`CommanderAdvisor` consumes per-firefighter physiological windows,
+maintains their emotional state, and produces
+:class:`FitnessAssessment` records: a fitness score in [0, 1], a status
+band and an optional rotation alert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.emotions import EmotionalState
+from repro.physio.features import WindowFeatures, sliding_windows, window_features
+from repro.physio.mapping import EmotionalMapper
+from repro.physio.signals import PhysioSample
+
+#: status bands by fitness score
+_BANDS = (
+    (0.75, "fit"),
+    (0.45, "strained"),
+    (0.0, "at-risk"),
+)
+
+
+@dataclass(frozen=True)
+class FitnessAssessment:
+    """One advisory line for the commander."""
+
+    firefighter_id: int
+    window_end: float
+    fitness: float
+    status: str
+    dominant_emotions: tuple[str, ...]
+    alert: str | None
+
+
+class CommanderAdvisor:
+    """Tracks each firefighter's emotional state and advises rotation."""
+
+    def __init__(
+        self,
+        mapper: EmotionalMapper | None = None,
+        alert_threshold: float = 0.45,
+        consecutive_for_alert: int = 2,
+    ) -> None:
+        if not 0.0 < alert_threshold < 1.0:
+            raise ValueError(f"alert_threshold {alert_threshold} outside (0, 1)")
+        if consecutive_for_alert < 1:
+            raise ValueError("consecutive_for_alert must be >= 1")
+        self.mapper = mapper or EmotionalMapper()
+        self.alert_threshold = alert_threshold
+        self.consecutive_for_alert = consecutive_for_alert
+        self._strain_streaks: dict[int, int] = {}
+        self.states: dict[int, EmotionalState] = {}
+
+    def fitness_score(self, state: EmotionalState, features: WindowFeatures) -> float:
+        """Operational fitness in [0, 1].
+
+        High negative-valence arousal (fear) and extreme heart rates both
+        reduce fitness; positive engagement keeps it high.
+        """
+        mood = state.mood()  # [-1, 1]
+        arousal = self.mapper.arousal(features)
+        fear_load = max(0.0, -mood) * arousal
+        exhaustion = max(0.0, arousal - 0.85) * 2.0
+        fitness = 1.0 - 0.9 * fear_load - exhaustion
+        return float(min(1.0, max(0.0, fitness)))
+
+    def assess_window(
+        self, firefighter_id: int, features: WindowFeatures
+    ) -> FitnessAssessment:
+        """Fold one window into the firefighter's state and advise."""
+        state = self.mapper.emotional_state(features)
+        previous = self.states.get(firefighter_id)
+        if previous is not None:
+            previous.blend(state, weight=0.6)
+            state = previous
+        self.states[firefighter_id] = state
+
+        fitness = self.fitness_score(state, features)
+        status = next(band for cut, band in _BANDS if fitness >= cut)
+        streak = self._strain_streaks.get(firefighter_id, 0)
+        streak = streak + 1 if fitness < self.alert_threshold else 0
+        self._strain_streaks[firefighter_id] = streak
+        alert = None
+        if streak >= self.consecutive_for_alert:
+            alert = (
+                f"rotate firefighter {firefighter_id}: fitness "
+                f"{fitness:.2f} for {streak} consecutive windows"
+            )
+        dominant = tuple(name for name, value in state.top(3) if value > 0.15)
+        return FitnessAssessment(
+            firefighter_id=firefighter_id,
+            window_end=features.end,
+            fitness=fitness,
+            status=status,
+            dominant_emotions=dominant,
+            alert=alert,
+        )
+
+    def assess_stream(
+        self,
+        firefighter_id: int,
+        samples: list[PhysioSample],
+        window_seconds: float = 30.0,
+        step_seconds: float = 10.0,
+    ) -> list[FitnessAssessment]:
+        """Assess a whole stream window by window."""
+        assessments = []
+        for window in sliding_windows(samples, window_seconds, step_seconds):
+            assessments.append(
+                self.assess_window(firefighter_id, window_features(window))
+            )
+        return assessments

@@ -1,0 +1,82 @@
+"""Sliding-window features over physiological streams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.physio.signals import PhysioSample
+
+
+@dataclass(frozen=True)
+class WindowFeatures:
+    """Summary features of one window."""
+
+    start: float
+    end: float
+    hr_mean: float
+    hr_std: float
+    hr_slope: float        # bpm per second, linear fit
+    gsr_mean: float
+    gsr_delta: float       # last minus first (phasic drift)
+    temp_mean: float
+    temp_slope: float
+    #: mean simulator ground-truth stress (validation only)
+    true_stress_mean: float
+
+
+def sliding_windows(
+    samples: list[PhysioSample],
+    window_seconds: float = 30.0,
+    step_seconds: float = 10.0,
+) -> list[list[PhysioSample]]:
+    """Overlapping windows over a time-ordered sample list."""
+    if window_seconds <= 0 or step_seconds <= 0:
+        raise ValueError("window and step must be positive")
+    if not samples:
+        return []
+    windows: list[list[PhysioSample]] = []
+    start = samples[0].timestamp
+    last = samples[-1].timestamp
+    while start <= last - window_seconds + 1:
+        window = [
+            s for s in samples if start <= s.timestamp < start + window_seconds
+        ]
+        if window:
+            windows.append(window)
+        start += step_seconds
+    return windows
+
+
+def _slope(times: np.ndarray, values: np.ndarray) -> float:
+    if len(times) < 2:
+        return 0.0
+    t = times - times.mean()
+    denominator = float(np.dot(t, t))
+    if denominator == 0:
+        return 0.0
+    return float(np.dot(t, values - values.mean()) / denominator)
+
+
+def window_features(window: list[PhysioSample]) -> WindowFeatures:
+    """Compute :class:`WindowFeatures` for one window."""
+    if not window:
+        raise ValueError("empty window")
+    times = np.asarray([s.timestamp for s in window])
+    hr = np.asarray([s.heart_rate for s in window])
+    gsr = np.asarray([s.gsr for s in window])
+    temp = np.asarray([s.skin_temp for s in window])
+    stress = np.asarray([s.true_stress for s in window])
+    return WindowFeatures(
+        start=float(times[0]),
+        end=float(times[-1]),
+        hr_mean=float(hr.mean()),
+        hr_std=float(hr.std()),
+        hr_slope=_slope(times, hr),
+        gsr_mean=float(gsr.mean()),
+        gsr_delta=float(gsr[-1] - gsr[0]),
+        temp_mean=float(temp.mean()),
+        temp_slope=_slope(times, temp),
+        true_stress_mean=float(stress.mean()),
+    )

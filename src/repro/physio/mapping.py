@@ -1,0 +1,79 @@
+"""Physiological features → (arousal, valence) → emotional attributes.
+
+The circumplex-style mapping the paper's future work sketches: heart rate
+and GSR drive *arousal*; sustained high arousal with falling skin
+temperature (acute-stress vasoconstriction) drives *valence* negative.
+The (arousal, valence) point is then projected onto the emotion catalog by
+proximity to each attribute's own (arousal, valence) coordinates, yielding
+an :class:`~repro.core.emotions.EmotionalState` that plugs straight into a
+:class:`~repro.core.sum_model.SmartUserModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.emotions import EMOTION_CATALOG, EmotionalState, clamp01
+from repro.physio.features import WindowFeatures
+
+
+@dataclass(frozen=True)
+class EmotionalMapper:
+    """Deterministic features → emotional-state mapping.
+
+    Parameters are physiological anchor points, not learned weights; the
+    defaults match the generator's calibration (hr 70 calm / 165 stressed,
+    gsr 2 calm / 11 stressed).
+    """
+
+    hr_calm: float = 70.0
+    hr_stressed: float = 165.0
+    gsr_calm: float = 2.0
+    gsr_stressed: float = 11.0
+    temp_drop_for_fear: float = 0.8  # °C below baseline ⇒ fear-type stress
+    temp_baseline: float = 33.0
+    sharpness: float = 3.0  # softmax-ish projection sharpness
+
+    def arousal(self, features: WindowFeatures) -> float:
+        """Arousal in [0, 1] from heart rate and GSR."""
+        hr_component = (features.hr_mean - self.hr_calm) / (
+            self.hr_stressed - self.hr_calm
+        )
+        gsr_component = (features.gsr_mean - self.gsr_calm) / (
+            self.gsr_stressed - self.gsr_calm
+        )
+        return clamp01(0.6 * hr_component + 0.4 * gsr_component)
+
+    def valence(self, features: WindowFeatures) -> float:
+        """Valence in [-1, 1]: negative under acute-stress signatures."""
+        arousal = self.arousal(features)
+        temp_drop = self.temp_baseline - features.temp_mean
+        fear_evidence = clamp01(temp_drop / self.temp_drop_for_fear)
+        # High arousal is negative when accompanied by vasoconstriction,
+        # mildly positive otherwise (exertion/engagement).
+        valence = 0.3 * arousal - 1.2 * arousal * fear_evidence
+        return float(np.clip(valence, -1.0, 1.0))
+
+    def emotional_state(self, features: WindowFeatures) -> EmotionalState:
+        """Project (arousal, valence) onto the emotion catalog.
+
+        Each attribute's intensity falls off with squared distance from
+        the measured point in (valence, arousal) space, normalized so the
+        closest attribute gets the highest intensity.
+        """
+        arousal = self.arousal(features)
+        valence = self.valence(features)
+        weights = {}
+        for name, attribute in EMOTION_CATALOG.items():
+            distance_sq = (
+                (attribute.valence - valence) ** 2
+                + (attribute.arousal - arousal) ** 2
+            )
+            weights[name] = float(np.exp(-self.sharpness * distance_sq))
+        peak = max(weights.values())
+        scale = (0.2 + 0.8 * arousal) / peak if peak > 0 else 0.0
+        return EmotionalState(
+            {name: clamp01(w * scale) for name, w in weights.items()}
+        )

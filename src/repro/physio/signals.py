@@ -1,0 +1,107 @@
+"""Synthetic physiological streams with injected stress episodes.
+
+Three channels at 1 Hz, with baselines and stress responses drawn from the
+exercise-physiology literature's ballpark values:
+
+* heart rate (bpm): resting ~70, heavy exertion/fear up to ~180;
+* galvanic skin response (µS): calm ~2, arousal up to ~12;
+* skin temperature (°C): ~33, dropping slightly under acute stress
+  (peripheral vasoconstriction).
+
+Streams are deterministic under a seed; :class:`StressEpisode` intervals
+raise the stress level with smooth onset/offset ramps so windowed features
+see realistic transitions rather than steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datagen.seeds import derive_rng
+
+
+@dataclass(frozen=True)
+class StressEpisode:
+    """One stress interval: [start, end) seconds, intensity in (0, 1]."""
+
+    start: float
+    end: float
+    intensity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"episode end {self.end} <= start {self.start}")
+        if not 0.0 < self.intensity <= 1.0:
+            raise ValueError(f"intensity {self.intensity} outside (0, 1]")
+
+
+@dataclass(frozen=True)
+class PhysioSample:
+    """One 1 Hz sample of the three channels."""
+
+    timestamp: float
+    heart_rate: float
+    gsr: float
+    skin_temp: float
+    #: simulator-side ground truth stress level in [0, 1] (never exposed
+    #: to the mapper; used only by tests and benches for validation)
+    true_stress: float
+
+
+_RAMP_SECONDS = 20.0
+
+
+def _stress_level(t: float, episodes: list[StressEpisode]) -> float:
+    level = 0.0
+    for episode in episodes:
+        if t < episode.start - _RAMP_SECONDS or t > episode.end + _RAMP_SECONDS:
+            continue
+        if t < episode.start:
+            ramp = 1.0 - (episode.start - t) / _RAMP_SECONDS
+        elif t > episode.end:
+            ramp = 1.0 - (t - episode.end) / _RAMP_SECONDS
+        else:
+            ramp = 1.0
+        level = max(level, episode.intensity * max(0.0, ramp))
+    return level
+
+
+def generate_stream(
+    duration_seconds: float = 600.0,
+    episodes: list[StressEpisode] | None = None,
+    firefighter_id: int = 0,
+    seed: int = 7,
+    start_ts: float = 0.0,
+) -> list[PhysioSample]:
+    """A 1 Hz three-channel stream with the given stress episodes."""
+    if duration_seconds <= 0:
+        raise ValueError(f"duration must be positive, got {duration_seconds}")
+    episodes = episodes or []
+    rng = derive_rng(seed, "physio", str(firefighter_id))
+    n = int(duration_seconds)
+    samples: list[PhysioSample] = []
+    # Slow baseline wander via a bounded random walk.
+    hr_wander = 0.0
+    gsr_wander = 0.0
+    for i in range(n):
+        t = start_ts + float(i)
+        stress = _stress_level(float(i), episodes)
+        hr_wander = float(np.clip(hr_wander + rng.normal(0.0, 0.2), -5.0, 5.0))
+        gsr_wander = float(np.clip(gsr_wander + rng.normal(0.0, 0.02), -0.5, 0.5))
+        heart_rate = (
+            70.0 + hr_wander + 95.0 * stress + rng.normal(0.0, 2.0)
+        )
+        gsr = 2.0 + gsr_wander + 9.0 * stress + abs(rng.normal(0.0, 0.15))
+        skin_temp = 33.0 - 1.2 * stress + rng.normal(0.0, 0.05)
+        samples.append(
+            PhysioSample(
+                timestamp=t,
+                heart_rate=float(np.clip(heart_rate, 40.0, 210.0)),
+                gsr=float(max(gsr, 0.1)),
+                skin_temp=float(np.clip(skin_temp, 28.0, 40.0)),
+                true_stress=stress,
+            )
+        )
+    return samples

@@ -1,0 +1,193 @@
+"""The Smart Prediction Assistant facade.
+
+One object wiring the whole of Fig. 3 together: the five agents on a
+deterministic bus, the campaign engine, the Gradual EIT, the LifeLog
+store and the propensity stack.  This is the library's headline entry
+point:
+
+>>> from repro import SmartPredictionAssistant, SimulatedWorld
+>>> world = SimulatedWorld.generate(n_users=2000, seed=7)
+>>> spa = SmartPredictionAssistant(world)
+>>> spa.bootstrap()
+>>> results = spa.run_default_plan()
+>>> summary = spa.summary(results)
+
+The *world* (population + catalog + behaviour model) stands in for
+emagister.com's real users; SPA itself only ever observes outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.agents.attributes_agent import AttributesManagerAgent
+from repro.agents.interface_agent import IntelligentUserInterfaceAgent
+from repro.agents.lifelog_agent import LifeLogPreprocessorAgent
+from repro.agents.messages import Message
+from repro.agents.messaging_agent import MessagingAgentWrapper
+from repro.agents.runtime import Agent, AgentRuntime
+from repro.agents.smart_component import SmartComponentAgent
+from repro.campaigns.campaign import CampaignResult
+from repro.campaigns.delivery import CampaignEngine, EngineConfig
+from repro.campaigns.redemption import (
+    ascii_curve,
+    combined_gain_curve,
+    gain_at_fraction,
+)
+from repro.campaigns.reporting import CampaignSummary, build_summary
+from repro.datagen.behavior import BehaviorModel, BehaviorParams
+from repro.datagen.campaigns_plan import CampaignSpec, default_campaign_plan
+from repro.datagen.catalog import CourseCatalog
+from repro.datagen.population import Population
+
+
+@dataclass
+class SimulatedWorld:
+    """The environment SPA operates against (stand-in for emagister.com)."""
+
+    population: Population
+    catalog: CourseCatalog
+    behavior: BehaviorModel
+
+    @classmethod
+    def generate(
+        cls,
+        n_users: int = 5_000,
+        n_courses: int = 120,
+        seed: int = 7,
+        params: BehaviorParams | None = None,
+    ) -> "SimulatedWorld":
+        """Generate a reproducible world of the given size."""
+        population = Population.generate(n_users, seed=seed)
+        catalog = CourseCatalog.generate(n_courses, seed=seed)
+        behavior = BehaviorModel(population, catalog, params, seed=seed)
+        return cls(population=population, catalog=catalog, behavior=behavior)
+
+
+class SmartPredictionAssistant:
+    """The assembled SPA platform."""
+
+    def __init__(
+        self,
+        world: SimulatedWorld,
+        config: EngineConfig | None = None,
+    ) -> None:
+        self.world = world
+        self.engine = CampaignEngine(world.behavior, config)
+        # -- the Fig. 3 agent wiring ------------------------------------
+        self.runtime = AgentRuntime()
+        self.lifelog_agent = self.runtime.register(
+            LifeLogPreprocessorAgent("lifelog", self.engine.event_log)
+        )
+        self.smart_component = self.runtime.register(
+            SmartComponentAgent("smart", estimator=self.engine.config.estimator)
+        )
+        self.attributes_agent = self.runtime.register(
+            AttributesManagerAgent("attributes", self.engine.sums)
+        )
+        self.messaging_agent = self.runtime.register(
+            MessagingAgentWrapper(
+                "messaging", self.engine.sums, world.catalog, self.engine.assigner
+            )
+        )
+        self.interface_agent = self.runtime.register(
+            IntelligentUserInterfaceAgent("interface")
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def bootstrap(self, browsing_days: float = 30.0) -> None:
+        """Register the population and ingest the organic LifeLog."""
+        self.engine.register_population()
+        self.engine.ingest_browsing(horizon_days=browsing_days)
+
+    def run_default_plan(
+        self, n_warmups: int = 3, personalize: bool = True
+    ) -> list[CampaignResult]:
+        """Run the paper's 8-push + 2-newsletter plan with warm-ups."""
+        plan = default_campaign_plan(self.world.catalog, seed=self.engine.config.seed)
+        planned = {spec.course_id for spec in plan}
+        spare = [c for c in self.world.catalog.course_ids() if c not in planned]
+        warmups = [
+            CampaignSpec(f"warmup-{i:02d}", "push", spare[i % len(spare)], 0.42)
+            for i in range(n_warmups)
+        ]
+        return self.engine.run_plan(plan, warmup=warmups, personalize=personalize)
+
+    def run_baseline_plan(self) -> list[CampaignResult]:
+        """The untargeted, standard-message counterfactual (fresh engine)."""
+        baseline = CampaignEngine(self.world.behavior, self.engine.config)
+        baseline.register_population()
+        plan = default_campaign_plan(self.world.catalog, seed=self.engine.config.seed)
+        return [
+            baseline.run_campaign(spec, scored=False, personalize=False, retrain=False)
+            for spec in plan
+        ]
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self, results: list[CampaignResult]) -> CampaignSummary:
+        """The Fig. 6(b) summary for a set of campaign results."""
+        return build_summary(results)
+
+    def redemption_curve(
+        self, results: list[CampaignResult], n_points: int = 101
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The Fig. 6(a) cumulative redemption curve."""
+        return combined_gain_curve(results, n_points=n_points)
+
+    def redemption_at(self, results: list[CampaignResult], fraction: float) -> float:
+        """Captured-impact share at one commercial-action fraction."""
+        return gain_at_fraction(results, fraction)
+
+    def redemption_chart(self, results: list[CampaignResult]) -> str:
+        """ASCII rendering of Fig. 6(a)."""
+        fractions, captured = self.redemption_curve(results)
+        return ascii_curve(fractions, captured)
+
+    # -- agent-bus conveniences ------------------------------------------------
+
+    def ask_agent(self, recipient: str, topic: str, payload: dict) -> list[Message]:
+        """Send one request through the Fig. 3 bus and collect the replies."""
+        request = Message(
+            sender="operator", recipient=recipient, topic=topic, payload=payload
+        )
+        collector = _ReplyCollector("operator")
+        if "operator" not in self.runtime:
+            self.runtime.register(collector)
+        else:
+            collector = self.runtime.get("operator")  # type: ignore[assignment]
+        collector.replies.clear()
+        self.runtime.send(request)
+        self.runtime.run_until_idle()
+        return list(collector.replies)
+
+    def architecture(self) -> list[str]:
+        """The Fig. 3 wiring as text lines (used by bench E6)."""
+        lines = ["Smart Prediction Assistant (SPA)"]
+        descriptions = {
+            "lifelog": "LifeLogs Pre-processor Agent (self-replicating)",
+            "smart": "Smart Component (incremental learning, scoring, ranking)",
+            "attributes": "Attributes Manager Agent (sensibility weights, fusion)",
+            "messaging": "Messaging Agent (individualized emotional arguments)",
+            "interface": "Intelligent User Interface (Human Values Scale)",
+        }
+        names = [n for n in self.runtime.agent_names() if n in descriptions]
+        for i, name in enumerate(names):
+            branch = "└─" if i == len(names) - 1 else "├─"
+            lines.append(f"{branch} {name}: {descriptions[name]}")
+        return lines
+
+
+class _ReplyCollector(Agent):
+    """Terminal agent that stores everything addressed to it."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.replies: list[Message] = []
+
+    def handle(self, message: Message, runtime: AgentRuntime) -> list[Message]:
+        self.replies.append(message)
+        return []

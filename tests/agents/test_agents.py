@@ -1,0 +1,263 @@
+"""Agent runtime and the five SPA agents."""
+
+import numpy as np
+import pytest
+
+from repro.agents.attributes_agent import (
+    AttributesManagerAgent,
+    fuse_attribute_estimates,
+    select_attributes,
+)
+from repro.agents.interface_agent import IntelligentUserInterfaceAgent
+from repro.agents.lifelog_agent import LifeLogPreprocessorAgent
+from repro.agents.messages import Message
+from repro.agents.messaging_agent import MessagingAgentWrapper
+from repro.agents.runtime import Agent, AgentError, AgentRuntime
+from repro.agents.smart_component import SmartComponentAgent
+from repro.core.sum_model import SumRepository
+from repro.datagen.catalog import CourseCatalog
+from repro.lifelog.events import ActionCategory, Event
+from repro.lifelog.store import EventLog
+from repro.lifelog.weblog import event_to_line
+
+
+class Echo(Agent):
+    def handle(self, message, runtime):
+        if message.topic == "ping":
+            return [message.reply("pong", {"n": message.payload.get("n", 0)})]
+        return []
+
+
+class Chain(Agent):
+    def __init__(self, name, limit):
+        super().__init__(name)
+        self.limit = limit
+
+    def handle(self, message, runtime):
+        n = message.payload.get("n", 0)
+        if n >= self.limit:
+            return []
+        return [Message(self.name, self.name, "loop", {"n": n + 1})]
+
+
+class TestRuntime:
+    def test_request_reply(self):
+        runtime = AgentRuntime()
+        runtime.register(Echo("echo"))
+        sink = Echo("sink")
+        runtime.register(sink)
+        runtime.send(Message("sink", "echo", "ping", {"n": 5}))
+        runtime.run_until_idle()
+        assert sink.handled_count == 1
+
+    def test_duplicate_names_rejected(self):
+        runtime = AgentRuntime()
+        runtime.register(Echo("a"))
+        with pytest.raises(AgentError):
+            runtime.register(Echo("a"))
+
+    def test_unknown_recipient_dead_letters(self):
+        runtime = AgentRuntime()
+        runtime.send(Message("x", "ghost", "ping"))
+        runtime.run_until_idle()
+        assert len(runtime.dead_letters) == 1
+
+    def test_message_loop_guard(self):
+        runtime = AgentRuntime(max_steps=50)
+        runtime.register(Chain("c", limit=10_000))
+        runtime.send(Message("c", "c", "loop", {"n": 0}))
+        with pytest.raises(AgentError, match="loop"):
+            runtime.run_until_idle()
+
+    def test_bounded_chain_terminates(self):
+        runtime = AgentRuntime()
+        runtime.register(Chain("c", limit=5))
+        runtime.send(Message("c", "c", "loop", {"n": 0}))
+        steps = runtime.run_until_idle()
+        assert steps == 6
+
+    def test_message_validation(self):
+        with pytest.raises(ValueError):
+            Message("a", "", "t")
+        with pytest.raises(ValueError):
+            Message("a", "b", "")
+
+
+class TestLifeLogAgent:
+    def lines(self, n, uid=1):
+        events = [
+            Event(1_142_000_000.0 + i, uid, "course_view",
+                  ActionCategory.NAVIGATION, payload={"target": str(i)})
+            for i in range(n)
+        ]
+        return [event_to_line(e) for e in events]
+
+    def test_ingest_small_batch(self):
+        store = EventLog()
+        runtime = AgentRuntime()
+        agent = runtime.register(LifeLogPreprocessorAgent("ll", store))
+        sink = runtime.register(Echo("sink"))
+        runtime.send(Message("sink", "ll", "lifelog.ingest",
+                             {"lines": self.lines(10)}))
+        runtime.run_until_idle()
+        assert len(store) == 10
+        assert agent.ingested == 10
+
+    def test_large_batch_replicates(self):
+        store = EventLog()
+        runtime = AgentRuntime()
+        runtime.register(LifeLogPreprocessorAgent("ll", store,
+                                                  replication_threshold=20))
+        runtime.register(Echo("sink"))
+        runtime.send(Message("sink", "ll", "lifelog.ingest",
+                             {"lines": self.lines(50)}))
+        runtime.run_until_idle()
+        assert len(store) == 50
+        assert any(name.startswith("ll.r") for name in runtime.agent_names())
+
+    def test_parse_errors_counted_not_fatal(self):
+        store = EventLog()
+        runtime = AgentRuntime()
+        agent = runtime.register(LifeLogPreprocessorAgent("ll", store))
+        runtime.register(Echo("sink"))
+        lines = self.lines(3) + ["garbage line", "another bad one"]
+        runtime.send(Message("sink", "ll", "lifelog.ingest", {"lines": lines}))
+        runtime.run_until_idle()
+        assert agent.parse_errors == 2
+        assert len(store) == 3
+
+    def test_extract_features_reply(self):
+        store = EventLog()
+        runtime = AgentRuntime()
+        runtime.register(LifeLogPreprocessorAgent("ll", store))
+        sink = runtime.register(_Collector("sink"))
+        runtime.send(Message("sink", "ll", "lifelog.ingest",
+                             {"lines": self.lines(5)}))
+        runtime.send(Message("sink", "ll", "lifelog.extract", {}))
+        runtime.run_until_idle()
+        features_msg = [m for m in sink.got if m.topic == "lifelog.features"]
+        assert features_msg and features_msg[0].payload["n_users"] == 1
+
+
+class _Collector(Agent):
+    def __init__(self, name):
+        super().__init__(name)
+        self.got = []
+
+    def handle(self, message, runtime):
+        self.got.append(message)
+        return []
+
+
+class TestSmartComponentAgent:
+    def test_train_then_rank(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 4))
+        y = (x[:, 0] > 0).astype(int)
+        runtime = AgentRuntime()
+        runtime.register(SmartComponentAgent("smart", estimator="logistic"))
+        sink = runtime.register(_Collector("sink"))
+        runtime.send(Message("sink", "smart", "smart.train", {"x": x, "y": y}))
+        runtime.send(Message("sink", "smart", "smart.rank",
+                             {"x": x[:10], "user_ids": list(range(10))}))
+        runtime.run_until_idle()
+        ranking = [m for m in sink.got if m.topic == "smart.ranking"][0]
+        pairs = ranking.payload["ranking"]
+        scores = [s for __, s in pairs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_score_without_model_raises(self):
+        runtime = AgentRuntime()
+        runtime.register(SmartComponentAgent("smart"))
+        runtime.register(_Collector("sink"))
+        runtime.send(Message("sink", "smart", "smart.score",
+                             {"x": np.zeros((2, 2))}))
+        with pytest.raises(RuntimeError):
+            runtime.run_until_idle()
+
+    def test_incremental_training(self):
+        rng = np.random.default_rng(0)
+        runtime = AgentRuntime()
+        agent = runtime.register(SmartComponentAgent("smart"))
+        runtime.register(_Collector("sink"))
+        for __ in range(3):
+            x = rng.normal(size=(32, 4))
+            y = (x[:, 0] > 0).astype(int)
+            runtime.send(Message("sink", "smart", "smart.train_incremental",
+                                 {"x": x, "y": y}))
+        runtime.run_until_idle()
+        assert agent.online_model is not None
+        assert agent.online_model.t_ == 3
+
+
+class TestAttributesManagerAgent:
+    def test_analyze_reports_dominant(self):
+        sums = SumRepository()
+        model = sums.get_or_create(1)
+        for __ in range(5):
+            model.activate_emotion("hopeful", 0.3)
+        runtime = AgentRuntime()
+        runtime.register(AttributesManagerAgent("attrs", sums))
+        sink = runtime.register(_Collector("sink"))
+        runtime.send(Message("sink", "attrs", "attributes.analyze",
+                             {"user_ids": [1]}))
+        runtime.run_until_idle()
+        dominant = sink.got[0].payload["dominant"][1]
+        assert dominant and dominant[0][0] == "hopeful"
+
+    def test_fusion_weighted_average(self):
+        fused = fuse_attribute_estimates(
+            {"web": {"hopeful": 0.8}, "email": {"hopeful": 0.4, "shy": 0.2}},
+        )
+        assert fused["hopeful"] == pytest.approx(0.6)
+        assert fused["shy"] == pytest.approx(0.2)
+
+    def test_selection_finds_informative_column(self):
+        rng = np.random.default_rng(0)
+        labels = (rng.random(300) < 0.5).astype(float)
+        informative = labels + rng.normal(0, 0.3, 300)
+        noise = rng.normal(size=300)
+        matrix = np.column_stack([noise, informative])
+        selected = select_attributes(matrix, ["noise", "signal"], labels, k=1)
+        assert selected[0][0] == "signal"
+
+    def test_selection_validation(self):
+        with pytest.raises(ValueError):
+            select_attributes(np.zeros((3, 2)), ["a"], np.zeros(3), 1)
+
+
+class TestMessagingAndInterfaceAgents:
+    def test_messaging_assign_roundtrip(self):
+        sums = SumRepository()
+        sums.get_or_create(1)
+        catalog = CourseCatalog.generate(5, seed=1)
+        runtime = AgentRuntime()
+        runtime.register(MessagingAgentWrapper("msg", sums, catalog))
+        sink = runtime.register(_Collector("sink"))
+        runtime.send(Message("sink", "msg", "messaging.assign",
+                             {"user_ids": [1], "course_id": 0}))
+        runtime.run_until_idle()
+        payload = sink.got[0].payload
+        assert payload["cases"] == {"3.a": 1}
+        assert len(payload["assignments"]) == 1
+
+    def test_interface_observe_and_coherence(self):
+        runtime = AgentRuntime()
+        runtime.register(IntelligentUserInterfaceAgent("ui"))
+        sink = runtime.register(_Collector("sink"))
+        runtime.send(Message("sink", "ui", "interface.observe",
+                             {"user_id": 1, "signals": {"achievement": 1.0}}))
+        runtime.send(Message("sink", "ui", "interface.coherence",
+                             {"user_id": 1,
+                              "stated": {"achievement": 1.0, "security": 0.0}}))
+        runtime.run_until_idle()
+        coherence = [m for m in sink.got
+                     if m.topic == "interface.coherence_report"][0]
+        assert coherence.payload["coherence"] == 1.0
+
+    def test_unknown_topic_raises(self):
+        runtime = AgentRuntime()
+        runtime.register(IntelligentUserInterfaceAgent("ui"))
+        runtime.send(Message("x", "ui", "interface.unknown", {}))
+        with pytest.raises(ValueError):
+            runtime.run_until_idle()

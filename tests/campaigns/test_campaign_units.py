@@ -1,0 +1,164 @@
+"""Campaign records, targeting, redemption math, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.campaigns.campaign import CampaignResult, TouchRecord
+from repro.campaigns.redemption import (
+    ascii_curve,
+    combined_gain_curve,
+    gain_at_fraction,
+    pooled_scores,
+    redemption_improvement,
+)
+from repro.campaigns.reporting import build_summary, format_table
+from repro.campaigns.targeting import select_random_targets, top_fraction_by_score
+from repro.datagen.campaigns_plan import CampaignSpec
+from repro.messaging.assigner import AssignmentCase, MessageAssignment
+
+
+def touch(uid, transacted, propensity, case=AssignmentCase.STANDARD):
+    assignment = MessageAssignment(uid, 1, case, None, "text")
+    opened = transacted
+    return TouchRecord(
+        user_id=uid,
+        campaign_id="c",
+        assignment=assignment,
+        opened=opened,
+        clicked=transacted,
+        transacted=transacted,
+        answered_option=None,
+        propensity=propensity,
+    )
+
+
+def make_result(scores, outcomes, campaign_id="push-01"):
+    spec = CampaignSpec(campaign_id, "push", 1, 0.5)
+    result = CampaignResult(spec=spec)
+    for uid, (score, outcome) in enumerate(zip(scores, outcomes)):
+        result.touches.append(touch(uid, bool(outcome), score))
+    return result
+
+
+class TestCampaignResult:
+    def test_rates(self):
+        result = make_result([0.9, 0.1, 0.8, 0.2], [1, 0, 1, 0])
+        assert result.n_targets == 4
+        assert result.useful_impacts == 2
+        assert result.predictive_score == 0.5
+
+    def test_scores_and_outcomes_skips_unscored(self):
+        result = make_result([0.9, None, 0.8], [1, 0, 0])
+        scores, outcomes = result.scores_and_outcomes()
+        assert len(scores) == 2
+
+    def test_empty_result_rates_zero(self):
+        result = CampaignResult(CampaignSpec("c", "push", 1, 0.5))
+        assert result.predictive_score == 0.0
+
+
+class TestTargeting:
+    def test_random_targets_size_and_determinism(self):
+        ids = list(range(100))
+        a = select_random_targets(ids, 0.3, "c1", seed=7)
+        b = select_random_targets(ids, 0.3, "c1", seed=7)
+        assert a == b
+        assert len(a) == 30
+
+    def test_different_campaigns_differ(self):
+        ids = list(range(100))
+        assert select_random_targets(ids, 0.3, "c1") != select_random_targets(
+            ids, 0.3, "c2"
+        )
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            select_random_targets([1, 2], 0.0, "c")
+
+    def test_top_fraction_by_score(self):
+        chosen = top_fraction_by_score([10, 20, 30, 40], [0.1, 0.9, 0.5, 0.7], 0.5)
+        assert chosen == [20, 40]
+
+    def test_top_fraction_tie_break_by_user(self):
+        chosen = top_fraction_by_score([5, 3], [0.5, 0.5], 0.5)
+        assert chosen == [3]
+
+    def test_top_fraction_length_mismatch(self):
+        with pytest.raises(ValueError):
+            top_fraction_by_score([1], [0.1, 0.2], 0.5)
+
+
+class TestRedemption:
+    def make_results(self):
+        rng = np.random.default_rng(0)
+        results = []
+        for c in range(3):
+            scores = rng.random(200)
+            outcomes = (rng.random(200) < scores * 0.5).astype(int)
+            results.append(make_result(scores, outcomes, f"push-{c}"))
+        return results
+
+    def test_curve_endpoints(self):
+        fractions, captured = combined_gain_curve(self.make_results())
+        assert captured[0] == 0.0
+        assert captured[-1] == pytest.approx(1.0)
+
+    def test_curve_monotone(self):
+        __, captured = combined_gain_curve(self.make_results())
+        assert np.all(np.diff(captured) >= -1e-12)
+
+    def test_informative_scores_beat_diagonal(self):
+        assert gain_at_fraction(self.make_results(), 0.4) > 0.45
+
+    def test_pooled_scores_concatenates(self):
+        scores, outcomes = pooled_scores(self.make_results())
+        assert len(scores) == 600
+
+    def test_no_scored_touches_raises(self):
+        result = make_result([None, None], [1, 0])
+        with pytest.raises(ValueError):
+            combined_gain_curve([result])
+
+    def test_improvement_math(self):
+        assert redemption_improvement(0.21, 0.11) == pytest.approx(0.909, abs=1e-3)
+        with pytest.raises(ValueError):
+            redemption_improvement(0.2, 0.0)
+
+    def test_ascii_curve_renders(self):
+        fractions, captured = combined_gain_curve(self.make_results())
+        art = ascii_curve(fractions, captured)
+        assert "100%" in art and "commercial action" in art
+        assert "*" in art
+
+
+class TestReporting:
+    def test_summary_aggregates(self):
+        results = [
+            make_result([0.9, 0.1], [1, 0], "push-01"),
+            make_result([0.8, 0.7], [1, 1], "push-02"),
+        ]
+        summary = build_summary(results)
+        assert summary.total_useful_impacts == 3
+        assert summary.average_performance == pytest.approx((0.5 + 1.0) / 2)
+
+    def test_projection_to_paper_scale(self):
+        results = [make_result([0.9, 0.1], [1, 0], "push-01")]
+        summary = build_summary(results)
+        assert summary.reports[0].projected_impacts_paper_scale == pytest.approx(
+            0.5 * 1_340_432, abs=1
+        )
+
+    def test_paper_reference_numbers_attached(self):
+        summary = build_summary([make_result([0.5], [1])])
+        assert summary.paper_average_performance == pytest.approx(0.21)
+        assert summary.paper_useful_impacts == 282_938
+
+    def test_empty_summary_rejected(self):
+        with pytest.raises(ValueError):
+            build_summary([])
+
+    def test_format_table_alignment(self):
+        rows = build_summary([make_result([0.5], [1])]).table_rows()
+        text = format_table(rows)
+        assert "campaign" in text.splitlines()[0]
+        assert len(text.splitlines()) == 3

@@ -1,0 +1,239 @@
+"""Collaborative filtering: ratings, models, hybrids, contextual wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.cf.content import ContentBasedRecommender
+from repro.cf.context import (
+    ContextualPostFilter,
+    ContextualPreFilter,
+    emotion_context,
+    mood_context,
+)
+from repro.cf.eval import evaluate_rmse_mae, precision_at_k
+from repro.cf.hybrid import SwitchingHybrid, WeightedHybrid
+from repro.cf.mf import FunkSVD
+from repro.cf.neighborhood import ItemKNN, UserKNN
+from repro.cf.popularity import PopularityRecommender
+from repro.cf.ratings import RatingMatrix
+from repro.datagen.comoda import GENRES, generate_comoda
+
+
+@pytest.fixture(scope="module")
+def comoda():
+    dataset = generate_comoda(n_users=120, n_items=60, ratings_per_user=20, seed=5)
+    train, test = dataset.split(0.25, seed=5)
+    matrix = RatingMatrix([(r.user_id, r.item_id, r.rating) for r in train])
+    return dataset, train, test, matrix
+
+
+class TestRatingMatrix:
+    def test_duplicate_keeps_last(self):
+        matrix = RatingMatrix([(1, 1, 2.0), (1, 1, 5.0)])
+        assert matrix.rating(1, 1) == 5.0
+
+    def test_ids_and_shapes(self):
+        matrix = RatingMatrix([(1, 10, 3.0), (2, 20, 4.0)])
+        assert matrix.n_users == 2 and matrix.n_items == 2
+        assert matrix.user_index(2) == 1
+        assert matrix.item_index(99) is None
+
+    def test_user_mean_and_global_mean(self):
+        matrix = RatingMatrix([(1, 1, 2.0), (1, 2, 4.0), (2, 1, 5.0)])
+        assert matrix.user_mean(1) == 3.0
+        assert matrix.global_mean() == pytest.approx(11 / 3)
+        assert matrix.user_mean(99, default=1.5) == 1.5
+
+    def test_items_of(self):
+        matrix = RatingMatrix([(1, 7, 3.0), (1, 9, 4.0)])
+        assert sorted(matrix.items_of(1)) == [7, 9]
+        assert matrix.items_of(2) == []
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RatingMatrix([])
+
+
+class TestModels:
+    @pytest.mark.parametrize("model_factory", [
+        lambda: ItemKNN(k=10),
+        lambda: UserKNN(k=10),
+        lambda: FunkSVD(rank=6, epochs=12),
+        lambda: PopularityRecommender(),
+    ])
+    def test_beats_global_mean_baseline(self, comoda, model_factory):
+        dataset, train, test, matrix = comoda
+        model = model_factory().fit(matrix)
+        mu = matrix.global_mean()
+        rmse_model, __ = evaluate_rmse_mae(
+            lambda u, i, c: model.predict(u, i), test, mood_context
+        )
+        rmse_mu, __ = evaluate_rmse_mae(
+            lambda u, i, c: mu, test, mood_context
+        )
+        assert rmse_model < rmse_mu
+
+    def test_funksvd_beats_popularity(self, comoda):
+        dataset, train, test, matrix = comoda
+        mf = FunkSVD(rank=8, epochs=20).fit(matrix)
+        pop = PopularityRecommender().fit(matrix)
+        rmse_mf, __ = evaluate_rmse_mae(
+            lambda u, i, c: mf.predict(u, i), test, mood_context
+        )
+        rmse_pop, __ = evaluate_rmse_mae(
+            lambda u, i, c: pop.predict(u, i), test, mood_context
+        )
+        assert rmse_mf < rmse_pop
+
+    def test_unseen_user_falls_back(self, comoda):
+        __, __, __, matrix = comoda
+        model = ItemKNN(k=10).fit(matrix)
+        assert 1.0 <= model.predict(99_999, matrix.item_ids[0]) <= 5.0
+
+    def test_popularity_top_items(self, comoda):
+        __, __, __, matrix = comoda
+        pop = PopularityRecommender().fit(matrix)
+        top = pop.top_items(5)
+        assert len(top) == 5
+        assert all(t in matrix.item_ids for t in top)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            ItemKNN().predict(1, 1)
+        with pytest.raises(RuntimeError):
+            FunkSVD().predict(1, 1)
+
+
+class TestContentAndHybrids:
+    def make_features(self, dataset):
+        return {
+            item: np.eye(len(GENRES))[GENRES.index(genre)]
+            for item, genre in dataset.item_genres.items()
+        }
+
+    def test_content_scores_match_genre_preference(self, comoda):
+        dataset, train, test, matrix = comoda
+        model = ContentBasedRecommender(self.make_features(dataset)).fit(matrix)
+        user = matrix.user_ids[0]
+        scores = [model.score(user, item) for item in matrix.item_ids[:20]]
+        assert all(-1.0 <= s <= 1.0 for s in scores)
+
+    def test_content_ragged_features_rejected(self):
+        with pytest.raises(ValueError):
+            ContentBasedRecommender({1: np.zeros(3), 2: np.zeros(4)})
+
+    def test_weighted_hybrid_interpolates(self, comoda):
+        __, __, __, matrix = comoda
+
+        class Const:
+            def __init__(self, v):
+                self.v = v
+
+            def predict(self, u, i):
+                return self.v
+
+        hybrid = WeightedHybrid([Const(2.0), Const(4.0)], [1.0, 3.0])
+        assert hybrid.predict(0, 0) == pytest.approx(3.5)
+
+    def test_weighted_hybrid_validation(self):
+        with pytest.raises(ValueError):
+            WeightedHybrid([], [])
+        with pytest.raises(ValueError):
+            WeightedHybrid([object()], [0.0])
+
+    def test_switching_hybrid_routes_cold_users(self, comoda):
+        __, __, __, matrix = comoda
+
+        class Tag:
+            def __init__(self, v):
+                self.v = v
+
+            def predict(self, u, i):
+                return self.v
+
+        hybrid = SwitchingHybrid(matrix, Tag(1.0), Tag(2.0), min_ratings=5)
+        warm_user = matrix.user_ids[0]
+        assert hybrid.predict(warm_user, 0) == 1.0
+        assert hybrid.predict(99_999, 0) == 2.0  # unseen => cold
+
+
+class TestContextualCF:
+    def test_postfilter_beats_plain_model(self, comoda):
+        dataset, train, test, __ = comoda
+        factory = lambda: FunkSVD(rank=8, epochs=15)
+        plain = factory()
+        plain.fit(RatingMatrix([(r.user_id, r.item_id, r.rating) for r in train]))
+        rmse_plain, __m = evaluate_rmse_mae(
+            lambda u, i, c: plain.predict(u, i), test, mood_context
+        )
+        post = ContextualPostFilter(factory, dataset.item_genres).fit(train)
+        rmse_post, __m = evaluate_rmse_mae(post.predict, test, mood_context)
+        assert rmse_post < rmse_plain
+
+    def test_prefilter_fallback_for_thin_segments(self, comoda):
+        dataset, train, test, __ = comoda
+        pre = ContextualPreFilter(
+            lambda: FunkSVD(rank=4, epochs=8), min_segment=10**9
+        ).fit(train)
+        # all segments too thin => identical to global model everywhere
+        r = test[0]
+        global_only = pre._global_model.predict(r.user_id, r.item_id)
+        assert pre.predict(r.user_id, r.item_id, r.mood) == global_only
+
+    def test_prefilter_builds_segment_models(self, comoda):
+        dataset, train, __, __m = comoda
+        pre = ContextualPreFilter(
+            lambda: FunkSVD(rank=4, epochs=8), min_segment=50
+        ).fit(train)
+        assert len(pre._segment_models) >= 2
+
+    def test_emotion_context_key(self, comoda):
+        dataset, train, test, __ = comoda
+        post = ContextualPostFilter(
+            lambda: FunkSVD(rank=4, epochs=8),
+            dataset.item_genres,
+            context_key=emotion_context,
+        ).fit(train)
+        rmse, mae = evaluate_rmse_mae(post.predict, test, emotion_context)
+        assert 0.3 < rmse < 1.5
+
+    def test_empty_train_rejected(self):
+        with pytest.raises(ValueError):
+            ContextualPreFilter(lambda: FunkSVD()).fit([])
+
+
+class TestEval:
+    def test_precision_at_k_oracle_beats_antioracle(self, comoda):
+        # precision@k is capped by each user's count of liked test items,
+        # so even an oracle cannot reach 1.0; it must however dominate the
+        # inverted oracle, and by a wide margin.
+        __, __, test, __m = comoda
+        oracle = precision_at_k(
+            lambda u, i, c: _true_rating(test, u, i),
+            test,
+            mood_context,
+            k=3,
+        )
+        anti = precision_at_k(
+            lambda u, i, c: -_true_rating(test, u, i),
+            test,
+            mood_context,
+            k=3,
+        )
+        assert oracle > anti + 0.2
+
+    def test_precision_k_validation(self, comoda):
+        __, __, test, __m = comoda
+        with pytest.raises(ValueError):
+            precision_at_k(lambda u, i, c: 0.0, test, mood_context, k=0)
+
+    def test_rmse_empty_test(self):
+        with pytest.raises(ValueError):
+            evaluate_rmse_mae(lambda u, i, c: 0.0, [], mood_context)
+
+
+def _true_rating(test, user, item):
+    for r in test:
+        if r.user_id == user and r.item_id == item:
+            return r.rating
+    return 0.0

@@ -1,0 +1,160 @@
+"""EmotionML codec and cross-domain SUM transfer (extension modules)."""
+
+import pytest
+
+from repro.core.advice import DomainProfile
+from repro.core.cross_domain import CrossDomainTransfer, emotion_domain_relevance
+from repro.core.emotionml import (
+    CATEGORY_SET,
+    EmotionMLError,
+    from_emotionml,
+    to_emotionml,
+)
+from repro.core.emotions import EMOTION_NAMES, EmotionalState
+from repro.core.four_branch import Branch
+from repro.core.sum_model import SmartUserModel
+
+
+class TestEmotionML:
+    def test_round_trip(self):
+        state = EmotionalState({"hopeful": 0.8, "shy": 0.25, "lively": 0.01})
+        clone = from_emotionml(to_emotionml(state))
+        for name in EMOTION_NAMES:
+            assert clone[name] == pytest.approx(state[name], abs=1e-6)
+
+    def test_empty_state_round_trip(self):
+        clone = from_emotionml(to_emotionml(EmotionalState()))
+        assert all(clone[name] == 0.0 for name in EMOTION_NAMES)
+
+    def test_min_intensity_filters(self):
+        state = EmotionalState({"hopeful": 0.8, "shy": 0.05})
+        document = to_emotionml(state, min_intensity=0.1)
+        assert "shy" not in document
+        assert "hopeful" in document
+
+    def test_document_declares_vocabulary(self):
+        document = to_emotionml(EmotionalState({"hopeful": 0.5}))
+        assert CATEGORY_SET in document
+        assert "<category name=\"hopeful\"" in document
+        assert "dimension" in document
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(EmotionMLError):
+            from_emotionml("<emotionml><emotion></emotionml")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(EmotionMLError):
+            from_emotionml("<feelings/>")
+
+    def test_unknown_category_rejected(self):
+        document = (
+            '<emotionml><emotion><category name="bliss"/>'
+            "</emotion></emotionml>"
+        )
+        with pytest.raises(EmotionMLError, match="bliss"):
+            from_emotionml(document)
+
+    def test_missing_category_rejected(self):
+        document = "<emotionml><emotion/></emotionml>"
+        with pytest.raises(EmotionMLError, match="category"):
+            from_emotionml(document)
+
+    def test_missing_intensity_defaults_to_one(self):
+        document = (
+            '<emotionml><emotion><category name="hopeful"/>'
+            "</emotion></emotionml>"
+        )
+        assert from_emotionml(document)["hopeful"] == 1.0
+
+
+def make_profiles():
+    learning = DomainProfile(
+        "learning",
+        {
+            "motivated": {"job-oriented": 0.9, "certified": 0.6},
+            "frightened": {"supportive-community": 0.6, "challenging": -0.6},
+            "shy": {"online": 0.8},
+        },
+    )
+    tourism = DomainProfile(
+        "tourism",
+        {
+            "motivated": {"challenging": 0.4},
+            "lively": {"innovative": 0.7},
+            # 'shy' and 'frightened' have no links in tourism
+        },
+    )
+    return learning, tourism
+
+
+class TestCrossDomain:
+    def test_objective_attributes_copy_verbatim(self):
+        learning, tourism = make_profiles()
+        source = SmartUserModel(9)
+        source.set_objective("region", "catalunya")
+        moved = CrossDomainTransfer().transfer(source, learning, tourism)
+        assert moved.objective == {"region": "catalunya"}
+        assert moved.user_id == 9
+
+    def test_emotional_intensities_discounted(self):
+        learning, tourism = make_profiles()
+        source = SmartUserModel(1)
+        source.activate_emotion("motivated", 1.0)
+        moved = CrossDomainTransfer(confidence=0.8).transfer(
+            source, learning, tourism
+        )
+        assert moved.emotional["motivated"] == pytest.approx(0.8)
+
+    def test_ei_profile_copies_verbatim(self):
+        learning, tourism = make_profiles()
+        source = SmartUserModel(1)
+        source.observe_branch(Branch.MANAGING, 1.0, learning_rate=1.0)
+        moved = CrossDomainTransfer().transfer(source, learning, tourism)
+        assert moved.ei_profile.scores[Branch.MANAGING] == 1.0
+
+    def test_irrelevant_emotion_attenuated(self):
+        learning, tourism = make_profiles()
+        source = SmartUserModel(1)
+        source.set_sensibility("shy", 0.9)       # strong in learning
+        source.set_sensibility("motivated", 0.9)  # relevant in both
+        moved = CrossDomainTransfer().transfer(source, learning, tourism)
+        # 'shy' has zero relevance in tourism => attenuated to zero
+        assert moved.sensibility.get("shy", 0.0) == 0.0
+        assert moved.sensibility["motivated"] > 0.3
+
+    def test_subjective_and_eit_state_do_not_transfer(self):
+        learning, tourism = make_profiles()
+        source = SmartUserModel(1)
+        source.set_subjective("pref[online]", 0.9)
+        source.asked_questions.add("q1")
+        moved = CrossDomainTransfer().transfer(source, learning, tourism)
+        assert moved.subjective == {}
+        assert moved.asked_questions == set()
+
+    def test_evidence_halves(self):
+        learning, tourism = make_profiles()
+        source = SmartUserModel(1)
+        for __ in range(5):
+            source.activate_emotion("motivated", 0.1)
+        moved = CrossDomainTransfer().transfer(source, learning, tourism)
+        assert moved.evidence["motivated"] == 2
+
+    def test_relevance_monotone_in_link_mass(self):
+        learning, __ = make_profiles()
+        assert emotion_domain_relevance(learning, "motivated") > (
+            emotion_domain_relevance(learning, "lively")
+        )
+        assert emotion_domain_relevance(learning, "lively") == 0.0
+
+    def test_confidence_validation(self):
+        with pytest.raises(ValueError):
+            CrossDomainTransfer(confidence=0.0)
+
+    def test_source_model_untouched(self):
+        learning, tourism = make_profiles()
+        source = SmartUserModel(1)
+        source.activate_emotion("motivated", 1.0)
+        source.set_sensibility("motivated", 0.9)
+        snapshot = source.to_dict()
+        CrossDomainTransfer().transfer(source, learning, tourism)
+        assert source.to_dict() == snapshot

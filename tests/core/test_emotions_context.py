@@ -1,0 +1,156 @@
+"""Emotion catalog, valence algebra, emotional state, Fig. 1 taxonomy."""
+
+import numpy as np
+import pytest
+
+from repro.core.context import (
+    CONTEXT_DIMENSIONS,
+    ContextSnapshot,
+    KNOWLEDGE_SOURCES,
+    taxonomy_lines,
+)
+from repro.core.emotions import (
+    EMOTION_CATALOG,
+    EMOTION_NAMES,
+    EmotionalAttribute,
+    EmotionalState,
+    NEGATIVE_EMOTIONS,
+    POSITIVE_EMOTIONS,
+    clamp01,
+    clamp_valence,
+)
+
+
+class TestCatalog:
+    def test_exactly_the_papers_ten_attributes(self):
+        assert set(EMOTION_NAMES) == {
+            "enthusiastic", "motivated", "empathic", "hopeful", "lively",
+            "stimulated", "impatient", "frightened", "shy", "apathetic",
+        }
+
+    def test_valence_signs_partition(self):
+        assert set(POSITIVE_EMOTIONS) | set(NEGATIVE_EMOTIONS) == set(EMOTION_NAMES)
+        assert not set(POSITIVE_EMOTIONS) & set(NEGATIVE_EMOTIONS)
+
+    def test_paper_positive_negatives(self):
+        assert "enthusiastic" in POSITIVE_EMOTIONS
+        assert "frightened" in NEGATIVE_EMOTIONS
+        assert "apathetic" in NEGATIVE_EMOTIONS
+
+    def test_attribute_validation(self):
+        with pytest.raises(ValueError):
+            EmotionalAttribute("x", valence=2.0, arousal=0.5)
+        with pytest.raises(ValueError):
+            EmotionalAttribute("x", valence=0.5, arousal=-0.1)
+        with pytest.raises(ValueError):
+            EmotionalAttribute("", valence=0.5, arousal=0.5)
+
+    def test_clamps(self):
+        assert clamp01(1.5) == 1.0
+        assert clamp01(-0.5) == 0.0
+        assert clamp_valence(-2.0) == -1.0
+
+
+class TestEmotionalState:
+    def test_missing_attribute_reads_zero(self):
+        assert EmotionalState()["hopeful"] == 0.0
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(KeyError):
+            EmotionalState({"bliss": 0.5})
+        with pytest.raises(KeyError):
+            EmotionalState()["bliss"]
+
+    def test_construction_clamps(self):
+        state = EmotionalState({"hopeful": 2.0})
+        assert state["hopeful"] == 1.0
+
+    def test_activate_clamps_both_ends(self):
+        state = EmotionalState()
+        state.activate("hopeful", 0.7)
+        state.activate("hopeful", 0.7)
+        assert state["hopeful"] == 1.0
+        state.activate("hopeful", -5.0)
+        assert state["hopeful"] == 0.0
+
+    def test_mood_sign_follows_dominant_valence(self):
+        positive = EmotionalState({"enthusiastic": 0.9})
+        negative = EmotionalState({"frightened": 0.9})
+        assert positive.mood() > 0.5
+        assert negative.mood() < -0.5
+
+    def test_mood_of_flat_state_is_zero(self):
+        assert EmotionalState().mood() == 0.0
+
+    def test_arousal_weighted(self):
+        lively = EmotionalState({"lively": 1.0})       # arousal 0.90
+        apathetic = EmotionalState({"apathetic": 1.0})  # arousal 0.10
+        assert lively.arousal() > apathetic.arousal()
+
+    def test_top_ranked_by_intensity(self):
+        state = EmotionalState({"hopeful": 0.8, "shy": 0.3, "lively": 0.9})
+        assert [name for name, __ in state.top(2)] == ["lively", "hopeful"]
+
+    def test_vector_round_trip(self):
+        state = EmotionalState({"hopeful": 0.8, "shy": 0.3})
+        clone = EmotionalState.from_vector(state.as_vector())
+        assert clone.intensities == {
+            n: state[n] for n in EMOTION_NAMES if state[n] > 0 or clone[n] >= 0
+        } or all(clone[n] == state[n] for n in EMOTION_NAMES)
+
+    def test_from_vector_shape_check(self):
+        with pytest.raises(ValueError):
+            EmotionalState.from_vector(np.zeros(3))
+
+    def test_blend_moves_toward_other(self):
+        a = EmotionalState({"hopeful": 0.0})
+        b = EmotionalState({"hopeful": 1.0})
+        a.blend(b, weight=0.5)
+        assert a["hopeful"] == pytest.approx(0.5)
+
+    def test_blend_weight_validation(self):
+        with pytest.raises(ValueError):
+            EmotionalState().blend(EmotionalState(), weight=1.5)
+
+    def test_decay_shrinks_everything(self):
+        state = EmotionalState({"hopeful": 0.8, "shy": 0.4})
+        state.decay(0.5)
+        assert state["hopeful"] == pytest.approx(0.4)
+        assert state["shy"] == pytest.approx(0.2)
+
+    def test_copy_is_independent(self):
+        state = EmotionalState({"hopeful": 0.5})
+        clone = state.copy()
+        clone.activate("hopeful", 0.3)
+        assert state["hopeful"] == 0.5
+
+
+class TestContextTaxonomy:
+    def test_seven_dimensions_from_fig1(self):
+        names = {d.name for d in CONTEXT_DIMENSIONS}
+        assert names == {
+            "cognitive", "task", "social", "emotional",
+            "cultural", "physical", "location",
+        }
+
+    def test_burke_knowledge_sources(self):
+        names = {s.name for s in KNOWLEDGE_SOURCES}
+        assert names == {"collaborative", "content", "demographic", "knowledge-based"}
+
+    def test_snapshot_rejects_unknown_dimension(self):
+        with pytest.raises(KeyError):
+            ContextSnapshot({"weather": "sunny"})
+        snapshot = ContextSnapshot()
+        with pytest.raises(KeyError):
+            snapshot.set("weather", "sunny")
+
+    def test_snapshot_get_set(self):
+        snapshot = ContextSnapshot()
+        snapshot.set("emotional", "hopeful")
+        assert snapshot.get("emotional") == "hopeful"
+        assert snapshot.get("task") is None
+
+    def test_taxonomy_lines_mark_emotional_focus(self):
+        lines = taxonomy_lines()
+        assert any("emotional context" in line and "focus" in line for line in lines)
+        assert lines[0] == "Ambient Recommender System"

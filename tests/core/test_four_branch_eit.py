@@ -1,0 +1,182 @@
+"""Four-Branch model (Table 1) and the Gradual EIT."""
+
+import pytest
+
+from repro.core.four_branch import (
+    Area,
+    BRANCHES,
+    BRANCH_ORDER,
+    Branch,
+    FourBranchProfile,
+    branch_table,
+)
+from repro.core.gradual_eit import (
+    AnswerOption,
+    EITQuestion,
+    GradualEIT,
+    QuestionBank,
+)
+from repro.core.sum_model import SmartUserModel
+
+
+class TestTable1:
+    def test_four_branches_in_order(self):
+        assert [b.value for b in BRANCH_ORDER] == [
+            "perceiving", "facilitating", "understanding", "managing",
+        ]
+
+    def test_each_branch_has_two_msceit_tasks(self):
+        for info in BRANCHES.values():
+            assert len(info.tasks) == 2
+
+    def test_area_grouping(self):
+        assert BRANCHES[Branch.PERCEIVING].area is Area.EXPERIENTIAL
+        assert BRANCHES[Branch.MANAGING].area is Area.STRATEGIC
+
+    def test_branch_table_rows(self):
+        rows = branch_table()
+        assert len(rows) == 4
+        assert rows[0]["tasks"] == "Faces, Pictures"
+        assert rows[3]["title"] == "Managing Emotions"
+
+
+class TestFourBranchProfile:
+    def test_neutral_profile_eiq_100(self):
+        assert FourBranchProfile().eiq() == pytest.approx(100.0)
+
+    def test_eiq_extremes(self):
+        top = FourBranchProfile({b: 1.0 for b in BRANCH_ORDER})
+        bottom = FourBranchProfile({b: 0.0 for b in BRANCH_ORDER})
+        assert top.eiq() == pytest.approx(130.0)
+        assert bottom.eiq() == pytest.approx(70.0)
+
+    def test_from_task_scores_aggregates_to_branches(self):
+        profile = FourBranchProfile.from_task_scores(
+            {"Faces": 1.0, "Pictures": 0.0, "Changes": 0.8}
+        )
+        assert profile.branch_score(Branch.PERCEIVING) == pytest.approx(0.5)
+        assert profile.branch_score(Branch.UNDERSTANDING) == pytest.approx(0.8)
+        # untouched branch stays neutral
+        assert profile.branch_score(Branch.MANAGING) == pytest.approx(0.5)
+
+    def test_from_task_scores_unknown_task(self):
+        with pytest.raises(KeyError):
+            FourBranchProfile.from_task_scores({"Telepathy": 1.0})
+
+    def test_area_score_mixes_member_branches(self):
+        profile = FourBranchProfile(
+            {Branch.PERCEIVING: 1.0, Branch.FACILITATING: 0.0,
+             Branch.UNDERSTANDING: 0.5, Branch.MANAGING: 0.5}
+        )
+        assert profile.area_score(Area.EXPERIENTIAL) == pytest.approx(0.5)
+
+    def test_update_branch_smooths(self):
+        profile = FourBranchProfile()
+        profile.update_branch(Branch.PERCEIVING, 1.0, learning_rate=0.5)
+        assert profile.branch_score(Branch.PERCEIVING) == pytest.approx(0.75)
+
+    def test_update_branch_bad_learning_rate(self):
+        with pytest.raises(ValueError):
+            FourBranchProfile().update_branch(Branch.PERCEIVING, 1.0, 1.5)
+
+
+class TestQuestionBank:
+    def test_default_bank_size(self):
+        bank = QuestionBank.default_bank(per_task=3)
+        assert len(bank) == 3 * 8  # 8 Table 1 tasks
+
+    def test_questions_cover_all_branches(self):
+        bank = QuestionBank.default_bank(per_task=2)
+        for branch in BRANCH_ORDER:
+            assert len(bank.by_branch(branch)) == 4
+
+    def test_duplicate_question_ids_rejected(self):
+        question = next(iter(QuestionBank.default_bank(per_task=1)))
+        with pytest.raises(ValueError):
+            QuestionBank([question, question])
+
+    def test_question_needs_two_options(self):
+        with pytest.raises(ValueError):
+            EITQuestion(
+                "q", "?", Branch.PERCEIVING, "Faces",
+                (AnswerOption("only", {}),),
+            )
+
+    def test_question_task_must_match_branch(self):
+        options = (AnswerOption("a", {}), AnswerOption("b", {}))
+        with pytest.raises(ValueError):
+            EITQuestion("q", "?", Branch.PERCEIVING, "Changes", options)
+
+    def test_option_validation(self):
+        with pytest.raises(KeyError):
+            AnswerOption("x", {"bliss": 0.5})
+        with pytest.raises(ValueError):
+            AnswerOption("x", {"hopeful": 2.0})
+        with pytest.raises(ValueError):
+            AnswerOption("x", {}, ability=1.5)
+
+
+class TestGradualEIT:
+    def setup_method(self):
+        self.bank = QuestionBank.default_bank(per_task=2)
+        self.eit = GradualEIT(self.bank)
+        self.model = SmartUserModel(1)
+
+    def test_one_question_per_ask(self):
+        question = self.eit.ask(self.model)
+        assert question is not None
+        assert question.qid in self.model.asked_questions
+        assert question.qid not in self.model.answered_questions
+
+    def test_branch_coverage_balanced(self):
+        branches = []
+        for __ in range(4):
+            branches.append(self.eit.ask(self.model).branch)
+        assert len(set(branches)) == 4  # one question per branch first
+
+    def test_never_repeats_questions(self):
+        seen = set()
+        while True:
+            question = self.eit.ask(self.model)
+            if question is None:
+                break
+            assert question.qid not in seen
+            seen.add(question.qid)
+        assert len(seen) == len(self.bank)
+
+    def test_record_answer_activates_attributes(self):
+        question = self.eit.ask(self.model)
+        option = question.options[0]
+        self.eit.record_answer(self.model, question, 0)
+        for name, delta in option.activations.items():
+            assert self.model.emotional[name] == pytest.approx(min(1.0, delta))
+        assert question.qid in self.model.answered_questions
+
+    def test_record_answer_updates_branch(self):
+        question = self.eit.ask(self.model)
+        before = self.model.ei_profile.branch_score(question.branch)
+        self.eit.record_answer(self.model, question, 0)  # ability 0.9 option
+        assert self.model.ei_profile.branch_score(question.branch) > before
+
+    def test_record_answer_bad_option(self):
+        question = self.eit.ask(self.model)
+        with pytest.raises(IndexError):
+            self.eit.record_answer(self.model, question, 10)
+
+    def test_answer_matrix_shape_and_sparsity(self):
+        models = [SmartUserModel(i) for i in range(5)]
+        for model in models[:2]:
+            question = self.eit.ask(model)
+            self.eit.record_answer(model, question, 0)
+        matrix, qids = self.eit.answer_matrix([m.user_id for m in models])
+        assert matrix.shape == (5, len(self.bank))
+        assert matrix.nnz == 2
+        sparsity = self.eit.sparsity([m.user_id for m in models])
+        assert sparsity == pytest.approx(1.0 - 2 / (5 * len(self.bank)))
+
+    def test_answered_zero_ability_distinguishable_from_missing(self):
+        # all stored values are shifted by +0.01 so nnz reflects answers
+        question = self.eit.ask(self.model)
+        self.eit.record_answer(self.model, question, 3)  # opt-out ability .5
+        matrix, __ = self.eit.answer_matrix([self.model.user_id])
+        assert matrix.nnz == 1

@@ -1,0 +1,194 @@
+"""Smart User Models, reinforcement, sensibility analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.emotions import EMOTION_NAMES
+from repro.core.four_branch import BRANCH_ORDER, Branch
+from repro.core.reward import ReinforcementPolicy
+from repro.core.sensibility import SensibilityAnalyzer
+from repro.core.sum_model import (
+    AttributeKind,
+    AttributeSpec,
+    SmartUserModel,
+    SumRepository,
+)
+
+
+class TestSmartUserModel:
+    def test_three_attribute_families(self):
+        assert {k.value for k in AttributeKind} == {
+            "objective", "subjective", "emotional",
+        }
+
+    def test_attribute_spec_needs_name(self):
+        with pytest.raises(ValueError):
+            AttributeSpec("", AttributeKind.OBJECTIVE)
+
+    def test_subjective_clamped(self):
+        model = SmartUserModel(1)
+        model.set_subjective("pref", 1.7)
+        assert model.subjective["pref"] == 1.0
+
+    def test_nudge_subjective_from_neutral(self):
+        model = SmartUserModel(1)
+        assert model.nudge_subjective("pref", 0.2) == pytest.approx(0.7)
+
+    def test_activate_emotion_tracks_evidence(self):
+        model = SmartUserModel(1)
+        model.activate_emotion("hopeful", 0.3)
+        model.activate_emotion("hopeful", 0.3)
+        assert model.evidence["hopeful"] == 2
+
+    def test_dominant_attributes_sorted_and_thresholded(self):
+        model = SmartUserModel(1)
+        model.set_sensibility("hopeful", 0.9)
+        model.set_sensibility("shy", 0.6)
+        model.set_sensibility("lively", 0.2)
+        assert model.dominant_attributes(0.5) == [("hopeful", 0.9), ("shy", 0.6)]
+
+    def test_feature_vector_layout(self):
+        model = SmartUserModel(1)
+        vector = model.feature_vector(subjective_order=("a", "b"))
+        assert vector.shape == (len(EMOTION_NAMES) + 2 + len(BRANCH_ORDER),)
+
+    def test_serialization_round_trip(self):
+        model = SmartUserModel(7)
+        model.set_objective("age", 30)
+        model.set_subjective("pref", 0.6)
+        model.activate_emotion("hopeful", 0.4)
+        model.observe_branch(Branch.MANAGING, 0.9)
+        model.set_sensibility("hopeful", 0.5)
+        model.asked_questions.add("q1")
+        model.answered_questions.add("q1")
+        clone = SmartUserModel.from_dict(model.to_dict())
+        assert clone.to_dict() == model.to_dict()
+
+
+class TestSumRepository:
+    def test_get_or_create_idempotent(self):
+        repo = SumRepository()
+        a = repo.get_or_create(5)
+        b = repo.get_or_create(5)
+        assert a is b
+        assert len(repo) == 1
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            SumRepository().get(3)
+
+    def test_iteration_sorted_by_user(self):
+        repo = SumRepository()
+        for uid in (5, 1, 3):
+            repo.get_or_create(uid)
+        assert [m.user_id for m in repo] == [1, 3, 5]
+
+    def test_feature_matrix_rows_follow_ids(self):
+        repo = SumRepository()
+        repo.get_or_create(1).activate_emotion("hopeful", 1.0)
+        repo.get_or_create(2)
+        matrix, ids = repo.feature_matrix(user_ids=[2, 1])
+        assert ids == [2, 1]
+        hopeful_col = EMOTION_NAMES.index("hopeful")
+        assert matrix[1, hopeful_col] == 1.0
+        assert matrix[0, hopeful_col] == 0.0
+
+    def test_empty_feature_matrix_width(self):
+        matrix, ids = SumRepository().feature_matrix()
+        assert matrix.shape == (0, len(EMOTION_NAMES) + len(BRANCH_ORDER))
+        assert ids == []
+
+    def test_repository_round_trip(self):
+        repo = SumRepository()
+        repo.get_or_create(1).activate_emotion("shy", 0.4)
+        repo.get_or_create(2).set_objective("region", "north")
+        clone = SumRepository.loads(repo.dumps())
+        assert clone.user_ids() == [1, 2]
+        assert clone.get(1).emotional["shy"] == pytest.approx(0.4)
+
+
+class TestReinforcementPolicy:
+    def test_reward_raises_intensity_and_sensibility(self):
+        model = SmartUserModel(1)
+        ReinforcementPolicy(learning_rate=0.2).reward(model, ["hopeful"], 1.0)
+        assert model.emotional["hopeful"] == pytest.approx(0.2)
+        assert model.sensibility["hopeful"] == pytest.approx(0.1)
+
+    def test_punish_weaker_than_reward(self):
+        policy = ReinforcementPolicy(learning_rate=0.2, punish_ratio=0.5)
+        model = SmartUserModel(1)
+        model.activate_emotion("hopeful", 0.5)
+        policy.punish(model, ["hopeful"], 1.0)
+        assert model.emotional["hopeful"] == pytest.approx(0.5 - 0.1)
+
+    def test_strength_scales_update(self):
+        policy = ReinforcementPolicy(learning_rate=0.2)
+        weak, strong = SmartUserModel(1), SmartUserModel(2)
+        policy.reward(weak, ["hopeful"], 0.3)
+        policy.reward(strong, ["hopeful"], 1.0)
+        assert weak.emotional["hopeful"] < strong.emotional["hopeful"]
+
+    def test_updates_bounded(self):
+        policy = ReinforcementPolicy(learning_rate=1.0)
+        model = SmartUserModel(1)
+        for __ in range(10):
+            policy.reward(model, ["hopeful"], 1.0)
+        assert model.emotional["hopeful"] == 1.0
+        for __ in range(30):
+            policy.punish(model, ["hopeful"], 1.0)
+        assert model.emotional["hopeful"] == 0.0
+
+    def test_decay_fades_everything(self):
+        policy = ReinforcementPolicy(decay=0.5)
+        model = SmartUserModel(1)
+        model.activate_emotion("hopeful", 0.8)
+        model.set_sensibility("hopeful", 0.8)
+        policy.apply_decay(model)
+        assert model.emotional["hopeful"] == pytest.approx(0.4)
+        assert model.sensibility["hopeful"] == pytest.approx(0.4)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ReinforcementPolicy(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            ReinforcementPolicy(punish_ratio=1.5)
+        with pytest.raises(ValueError):
+            ReinforcementPolicy(decay=1.0)
+
+
+class TestSensibilityAnalyzer:
+    def test_weight_grows_with_intensity_and_evidence(self):
+        analyzer = SensibilityAnalyzer()
+        low = analyzer.weight(0.2, 1)
+        more_intense = analyzer.weight(0.8, 1)
+        more_evidence = analyzer.weight(0.2, 10)
+        assert more_intense > low
+        assert more_evidence > low
+
+    def test_weight_bounded(self):
+        analyzer = SensibilityAnalyzer()
+        assert 0.0 <= analyzer.weight(1.0, 1000) <= 1.0
+        assert analyzer.weight(0.0, 1000) == 0.0
+        assert analyzer.weight(1.0, 0) == 0.0
+
+    def test_analyze_installs_weights(self):
+        model = SmartUserModel(1)
+        model.activate_emotion("hopeful", 0.9)
+        weights = SensibilityAnalyzer().analyze(model)
+        assert model.sensibility["hopeful"] == weights["hopeful"] > 0.0
+        assert weights["shy"] == 0.0
+
+    def test_dominant_uses_threshold(self):
+        model = SmartUserModel(1)
+        for __ in range(5):
+            model.activate_emotion("hopeful", 0.3)
+        dominant = SensibilityAnalyzer(threshold=0.4).dominant(model)
+        assert dominant and dominant[0][0] == "hopeful"
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SensibilityAnalyzer(alpha=0.0)
+        with pytest.raises(ValueError):
+            SensibilityAnalyzer(evidence_scale=0.0)
+        with pytest.raises(ValueError):
+            SensibilityAnalyzer(threshold=1.0)

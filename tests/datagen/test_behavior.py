@@ -1,0 +1,197 @@
+"""Ground-truth behaviour model: calibration and outcome structure."""
+
+import numpy as np
+import pytest
+
+from repro.core.gradual_eit import QuestionBank
+from repro.datagen.behavior import BehaviorModel, BehaviorParams, TouchOutcome
+from repro.datagen.catalog import CourseCatalog
+from repro.datagen.population import Population
+
+
+@pytest.fixture(scope="module")
+def world():
+    population = Population.generate(600, seed=7)
+    catalog = CourseCatalog.generate(40, seed=7)
+    return population, catalog, BehaviorModel(population, catalog, seed=7)
+
+
+class TestResponseModel:
+    def test_probability_in_unit_interval(self, world):
+        population, catalog, model = world
+        course = catalog.get(0)
+        for user in list(population)[:50]:
+            assert 0.0 <= model.response_probability(user, course) <= 1.0
+
+    def test_matching_message_raises_probability(self, world):
+        population, catalog, model = world
+        course = catalog.get(0)
+        attribute = max(course.attributes)
+        lifted = 0
+        total = 0
+        for user in list(population)[:100]:
+            match = model.message_match(user, attribute)
+            if match > 0.2:
+                total += 1
+                if model.response_probability(
+                    user, course, attribute
+                ) > model.response_probability(user, course, None):
+                    lifted += 1
+        assert total > 0 and lifted == total
+
+    def test_standard_message_zero_match(self, world):
+        population, __, model = world
+        assert model.message_match(population.get(0), None) == 0.0
+
+    def test_appeal_drives_logit(self, world):
+        population, catalog, model = world
+        course = catalog.get(0)
+        users = sorted(
+            population,
+            key=lambda u: course.emotional_appeal(u.traits),
+        )
+        low, high = users[0], users[-1]
+        assert model.response_logit(high, course) > model.response_logit(low, course)
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            BehaviorParams(answer_rate=1.5)
+        with pytest.raises(ValueError):
+            BehaviorParams(answer_temperature=0.0)
+
+
+class TestOutcomeSampling:
+    def test_outcome_hierarchy_holds(self, world):
+        population, catalog, model = world
+        course = catalog.get(1)
+        for user in list(population)[:200]:
+            outcome = model.simulate_touch(user, course, None, "c1")
+            if outcome.transacted:
+                assert outcome.clicked and outcome.opened
+            if outcome.clicked:
+                assert outcome.opened
+
+    def test_touch_outcome_validates_hierarchy(self):
+        with pytest.raises(ValueError):
+            TouchOutcome(1, opened=False, clicked=True, transacted=False,
+                         answered_option=None)
+        with pytest.raises(ValueError):
+            TouchOutcome(1, opened=True, clicked=False, transacted=True,
+                         answered_option=None)
+
+    def test_deterministic_per_campaign_user(self, world):
+        population, catalog, model = world
+        course = catalog.get(1)
+        user = population.get(0)
+        a = model.simulate_touch(user, course, None, "c1")
+        b = model.simulate_touch(user, course, None, "c1")
+        assert a == b
+
+    def test_different_campaign_keys_vary(self, world):
+        population, catalog, model = world
+        course = catalog.get(1)
+        outcomes = {
+            model.simulate_touch(population.get(uid), course, None, key).opened
+            for uid in range(30)
+            for key in ("c1", "c2", "c3")
+        }
+        assert outcomes == {True, False}
+
+    def test_calibrated_base_rate_near_11_percent(self, world):
+        population, catalog, model = world
+        rates = []
+        for course_id in catalog.course_ids()[:10]:
+            course = catalog.get(course_id)
+            rates.append(
+                np.mean([model.response_probability(u, course) for u in population])
+            )
+        assert 0.06 < float(np.mean(rates)) < 0.18
+
+    def test_open_rate_exceeds_transaction_rate(self, world):
+        population, catalog, model = world
+        course = catalog.get(2)
+        outcomes = [
+            model.simulate_touch(u, course, None, "rates") for u in population
+        ]
+        opened = np.mean([o.opened for o in outcomes])
+        transacted = np.mean([o.transacted for o in outcomes])
+        assert opened > transacted
+
+
+class TestEITChoice:
+    def test_aligned_users_choose_matching_option(self, world):
+        population, __, model = world
+        bank = QuestionBank.default_bank(per_task=1)
+        question = next(iter(bank))
+        strong_attr = max(
+            question.options[0].activations,
+            key=question.options[0].activations.get,
+        )
+        rng = np.random.default_rng(0)
+        aligned = [u for u in population if u.traits[strong_attr] > 0.7]
+        flat = [u for u in population if max(u.traits.values()) < 0.4]
+        if aligned and flat:
+            aligned_rate = np.mean(
+                [model.choose_eit_option(u, question, rng) == 0 for u in aligned]
+            )
+            flat_rate = np.mean(
+                [model.choose_eit_option(u, question, rng) == 0 for u in flat]
+            )
+            assert aligned_rate > flat_rate
+
+    def test_flat_users_prefer_opt_out(self, world):
+        population, __, model = world
+        bank = QuestionBank.default_bank(per_task=1)
+        question = next(iter(bank))
+        rng = np.random.default_rng(1)
+        flat = [u for u in population if max(u.traits.values()) < 0.35][:50]
+        if flat:
+            choices = [model.choose_eit_option(u, question, rng) for u in flat]
+            # option 3 is "prefer not to say"
+            assert np.mean([c == 3 for c in choices]) > 0.3
+
+
+class TestBrowsing:
+    def test_browsing_deterministic(self, world):
+        population, __, model = world
+        a = model.generate_browsing_events(population.get(3))
+        b = model.generate_browsing_events(population.get(3))
+        assert [(e.timestamp, e.action) for e in a] == [
+            (e.timestamp, e.action) for e in b
+        ]
+
+    def test_browsing_time_ordered(self, world):
+        population, __, model = world
+        events = model.generate_browsing_events(population.get(1))
+        timestamps = [e.timestamp for e in events]
+        assert timestamps == sorted(timestamps)
+
+    def test_energetic_users_browse_more(self, world):
+        population, __, model = world
+        def energy(user):
+            return np.mean([user.traits[n] for n in
+                            ("enthusiastic", "motivated", "stimulated", "lively")])
+        users = sorted(population, key=energy)
+        lazy = np.mean([len(model.generate_browsing_events(u)) for u in users[:60]])
+        keen = np.mean([len(model.generate_browsing_events(u)) for u in users[-60:]])
+        assert keen > lazy
+
+    def test_browsing_favours_appealing_courses(self, world):
+        population, catalog, model = world
+        users = sorted(
+            population,
+            key=lambda u: max(u.traits.values()),
+            reverse=True,
+        )
+        user = users[0]
+        events = model.generate_browsing_events(user)
+        views = [e for e in events if e.action == "course_view"]
+        if len(views) >= 5:
+            appeals = [
+                catalog.get(int(e.payload["target"])).emotional_appeal(user.traits)
+                for e in views
+            ]
+            catalog_mean = np.mean(
+                [c.emotional_appeal(user.traits) for c in catalog]
+            )
+            assert np.mean(appeals) > catalog_mean

@@ -1,0 +1,211 @@
+"""Population, catalog, actions, campaign plan, seeds, CoMoDa generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.emotions import EMOTION_NAMES
+from repro.datagen.actions import ActionVocabulary, VOCABULARY_SIZE
+from repro.datagen.campaigns_plan import (
+    CampaignSpec,
+    PAPER_TARGET_FRACTION,
+    default_campaign_plan,
+)
+from repro.datagen.catalog import (
+    AFFINITY_LINKS,
+    Course,
+    CourseCatalog,
+    PRODUCT_ATTRIBUTES,
+)
+from repro.datagen.comoda import generate_comoda
+from repro.datagen.population import Population, UserRecord
+from repro.datagen.seeds import derive_rng
+from repro.lifelog.events import ActionCategory
+
+
+class TestSeeds:
+    def test_same_keys_same_stream(self):
+        a = derive_rng(7, "x", "y").random(5)
+        b = derive_rng(7, "x", "y").random(5)
+        assert np.allclose(a, b)
+
+    def test_different_keys_different_stream(self):
+        a = derive_rng(7, "x").random(5)
+        b = derive_rng(7, "y").random(5)
+        assert not np.allclose(a, b)
+
+    def test_different_root_seed_different_stream(self):
+        a = derive_rng(1, "x").random(5)
+        b = derive_rng(2, "x").random(5)
+        assert not np.allclose(a, b)
+
+
+class TestActionVocabulary:
+    def test_exactly_984_actions(self):
+        assert len(ActionVocabulary()) == VOCABULARY_SIZE == 984
+
+    def test_all_names_unique(self):
+        vocab = ActionVocabulary()
+        assert len(set(vocab.names)) == 984
+
+    def test_every_category_represented(self):
+        counts = ActionVocabulary().counts()
+        assert set(counts) == {c.value for c in ActionCategory}
+        assert sum(counts.values()) == 984
+
+    def test_navigation_dominates(self):
+        counts = ActionVocabulary().counts()
+        assert counts["navigation"] == max(counts.values())
+
+    def test_category_lookup(self):
+        vocab = ActionVocabulary()
+        name = vocab.by_category(ActionCategory.ENROLLMENT)[0]
+        assert vocab.category(name) is ActionCategory.ENROLLMENT
+
+    def test_unknown_action(self):
+        with pytest.raises(KeyError):
+            ActionVocabulary().category("fly_to_moon")
+
+
+class TestPopulation:
+    def test_generation_deterministic(self):
+        a = Population.generate(50, seed=3)
+        b = Population.generate(50, seed=3)
+        assert a.get(10).traits == b.get(10).traits
+        assert a.get(10).region == b.get(10).region
+
+    def test_traits_cover_catalog(self):
+        user = Population.generate(5).get(0)
+        assert set(user.traits) == set(EMOTION_NAMES)
+
+    def test_traits_bounded(self):
+        matrix, __ = Population.generate(200).trait_matrix()
+        assert matrix.min() >= 0.0 and matrix.max() <= 1.0
+
+    def test_dominant_trait_structure_present(self):
+        matrix, __ = Population.generate(500, seed=1).trait_matrix()
+        # some users have strong dominant traits, baseline stays low
+        assert (matrix.max(axis=1) > 0.7).mean() > 0.3
+        assert np.median(matrix) < 0.35
+
+    def test_demographics_fields(self):
+        demo = Population.generate(5).get(0).demographics()
+        assert set(demo) == {
+            "age", "gender", "region", "education", "employment", "language",
+        }
+
+    def test_user_record_validation(self):
+        traits = {n: 0.5 for n in EMOTION_NAMES}
+        with pytest.raises(ValueError):
+            UserRecord(1, 5, "male", "r", "e", "j", "es", traits)
+        bad_traits = dict(traits, enthusiastic=1.5)
+        with pytest.raises(ValueError):
+            UserRecord(1, 30, "male", "r", "e", "j", "es", bad_traits)
+
+    def test_unknown_user(self):
+        with pytest.raises(KeyError):
+            Population.generate(5).get(99)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            Population.generate(0)
+
+
+class TestCourseCatalog:
+    def test_generation_deterministic(self):
+        a = CourseCatalog.generate(30, seed=2)
+        b = CourseCatalog.generate(30, seed=2)
+        assert a.get(5).attributes == b.get(5).attributes
+
+    def test_courses_have_2_to_5_attributes(self):
+        for course in CourseCatalog.generate(50):
+            assert 2 <= len(course.attributes) <= 5
+
+    def test_course_validation(self):
+        with pytest.raises(KeyError):
+            Course(1, "t", "it", {"luxurious": 1.0})
+        with pytest.raises(ValueError):
+            Course(1, "t", "it", {"practical": 0.0})
+        with pytest.raises(ValueError):
+            Course(1, "t", "it", {"practical": 0.5}, price_level=9)
+
+    def test_affinity_links_reference_known_vocab(self):
+        for emotion, targets in AFFINITY_LINKS.items():
+            assert emotion in EMOTION_NAMES
+            for attribute in targets:
+                assert attribute in PRODUCT_ATTRIBUTES
+
+    def test_appeal_higher_for_aligned_traits(self):
+        course = Course(1, "t", "it", {"innovative": 1.0, "challenging": 1.0})
+        keen = {n: 0.0 for n in EMOTION_NAMES}
+        keen["enthusiastic"] = 1.0
+        scared = {n: 0.0 for n in EMOTION_NAMES}
+        scared["frightened"] = 1.0
+        assert course.emotional_appeal(keen) > course.emotional_appeal(scared)
+
+    def test_appeal_zero_for_flat_traits(self):
+        course = CourseCatalog.generate(5).get(0)
+        assert course.emotional_appeal({n: 0.0 for n in EMOTION_NAMES}) == 0.0
+
+    def test_attribute_matrix_layout(self):
+        catalog = CourseCatalog.generate(10)
+        matrix, ids = catalog.attribute_matrix()
+        assert matrix.shape == (10, len(PRODUCT_ATTRIBUTES))
+        course = catalog.get(ids[0])
+        for j, name in enumerate(PRODUCT_ATTRIBUTES):
+            assert matrix[0, j] == course.attributes.get(name, 0.0)
+
+
+class TestCampaignPlan:
+    def test_eight_push_two_newsletter(self):
+        plan = default_campaign_plan(CourseCatalog.generate(30))
+        channels = [spec.channel for spec in plan]
+        assert channels.count("push") == 8
+        assert channels.count("newsletter") == 2
+
+    def test_paper_target_fraction(self):
+        assert PAPER_TARGET_FRACTION == pytest.approx(1_340_432 / 3_162_069)
+        plan = default_campaign_plan(CourseCatalog.generate(30))
+        assert plan[0].target_fraction == pytest.approx(PAPER_TARGET_FRACTION)
+
+    def test_courses_distinct_when_catalog_allows(self):
+        plan = default_campaign_plan(CourseCatalog.generate(30))
+        assert len({spec.course_id for spec in plan}) == 10
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            CampaignSpec("c", "carrier-pigeon", 1)
+        with pytest.raises(ValueError):
+            CampaignSpec("c", "push", 1, target_fraction=0.0)
+
+
+class TestComoda:
+    def test_schema_and_size(self):
+        ds = generate_comoda(n_users=30, n_items=20, ratings_per_user=10)
+        assert len(ds.ratings) == 300
+        r = ds.ratings[0]
+        assert 1.0 <= r.rating <= 5.0
+
+    def test_ratings_half_point_scale(self):
+        ds = generate_comoda(n_users=20, n_items=15, ratings_per_user=8)
+        assert all((r.rating * 2).is_integer() for r in ds.ratings)
+
+    def test_context_effect_planted(self):
+        ds = generate_comoda(n_users=300, n_items=60, ratings_per_user=25, seed=3)
+        comedy = [r for r in ds.ratings if ds.item_genres[r.item_id] == "comedy"]
+        positive = [r.rating for r in comedy if r.mood == "positive"]
+        negative = [r.rating for r in comedy if r.mood == "negative"]
+        assert np.mean(positive) > np.mean(negative) + 0.4
+
+    def test_split_partitions(self):
+        ds = generate_comoda(n_users=30, n_items=20, ratings_per_user=10)
+        train, test = ds.split(0.25)
+        assert len(train) + len(test) == len(ds.ratings)
+        assert abs(len(test) / len(ds.ratings) - 0.25) < 0.02
+
+    def test_split_deterministic(self):
+        ds = generate_comoda(n_users=20, n_items=15, ratings_per_user=8)
+        a_train, __ = ds.split(seed=5)
+        b_train, __ = ds.split(seed=5)
+        assert [(r.user_id, r.item_id) for r in a_train] == [
+            (r.user_id, r.item_id) for r in b_train
+        ]

@@ -1,0 +1,117 @@
+"""Hash and sorted index behaviour, staleness semantics."""
+
+import numpy as np
+import pytest
+
+from repro.db.index import HashIndex, SortedIndex, StaleIndexError
+from repro.db.schema import Column, ColumnType, Schema
+from repro.db.table import Table
+
+
+def make_table():
+    schema = Schema(
+        [Column("user", ColumnType.INT64), Column("ts", ColumnType.FLOAT64)]
+    )
+    table = Table(schema)
+    for i in range(20):
+        table.append({"user": i % 4, "ts": float(20 - i)})
+    return table
+
+
+class TestHashIndex:
+    def test_lookup_finds_all_rows(self):
+        table = make_table()
+        index = HashIndex(table, "user")
+        rows = index.lookup(2)
+        assert sorted(int(table.column("user")[r]) for r in rows) == [2] * 5
+
+    def test_lookup_missing_value_empty(self):
+        index = HashIndex(make_table(), "user")
+        assert index.lookup(99).size == 0
+
+    def test_contains(self):
+        index = HashIndex(make_table(), "user")
+        assert index.contains(0)
+        assert not index.contains(7)
+
+    def test_len_counts_distinct_keys(self):
+        assert len(HashIndex(make_table(), "user")) == 4
+
+    def test_stale_after_append(self):
+        table = make_table()
+        index = HashIndex(table, "user")
+        table.append({"user": 9, "ts": 0.0})
+        assert index.is_stale
+        with pytest.raises(StaleIndexError):
+            index.lookup(9)
+
+    def test_auto_refresh(self):
+        table = make_table()
+        index = HashIndex(table, "user", auto_refresh=True)
+        table.append({"user": 9, "ts": 0.0})
+        assert index.lookup(9).size == 1
+
+    def test_manual_refresh(self):
+        table = make_table()
+        index = HashIndex(table, "user")
+        table.append({"user": 9, "ts": 0.0})
+        index.refresh()
+        assert index.lookup(9).size == 1
+
+
+class TestSortedIndex:
+    def test_range_matches_scan(self):
+        table = make_table()
+        index = SortedIndex(table, "ts")
+        got = set(index.range(5.0, 10.0).tolist())
+        ts = table.column("ts")
+        expected = {i for i in range(len(table)) if 5.0 <= ts[i] <= 10.0}
+        assert got == expected
+
+    def test_half_open_window(self):
+        table = make_table()
+        index = SortedIndex(table, "ts")
+        got = index.range(5.0, 10.0, include_high=False)
+        ts = table.column("ts")
+        assert all(5.0 <= ts[i] < 10.0 for i in got)
+
+    def test_open_ended_bounds(self):
+        table = make_table()
+        index = SortedIndex(table, "ts")
+        assert index.range(None, None).size == len(table)
+
+    def test_empty_window(self):
+        index = SortedIndex(make_table(), "ts")
+        assert index.range(100.0, 200.0).size == 0
+
+    def test_inverted_window_is_empty(self):
+        index = SortedIndex(make_table(), "ts")
+        assert index.range(10.0, 5.0).size == 0
+
+    def test_min_max(self):
+        index = SortedIndex(make_table(), "ts")
+        assert index.min() == 1.0
+        assert index.max() == 20.0
+
+    def test_min_on_empty_table(self):
+        schema = Schema([Column("x", ColumnType.INT64)])
+        index = SortedIndex(Table(schema), "x")
+        with pytest.raises(ValueError):
+            index.min()
+
+    def test_stale_detection(self):
+        table = make_table()
+        index = SortedIndex(table, "ts")
+        table.append({"user": 0, "ts": -1.0})
+        with pytest.raises(StaleIndexError):
+            index.range(None, None)
+
+    def test_string_column_range(self):
+        schema = Schema([Column("s", ColumnType.STRING)])
+        table = Table(schema)
+        for value in ["pear", "apple", "fig", "banana"]:
+            table.append({"s": value})
+        index = SortedIndex(table, "s")
+        got = index.range("banana", "fig")
+        strings = {table.column("s")[i] for i in got}
+        assert strings == {"banana", "fig"}

@@ -1,0 +1,142 @@
+"""Query builder: filters, projection, ordering, aggregation, joins."""
+
+import pytest
+
+from repro.db.query import Query, QueryError, hash_join
+from repro.db.schema import Column, ColumnType, Schema
+from repro.db.table import Table
+
+
+def users_table():
+    schema = Schema(
+        [
+            Column("id", ColumnType.INT64),
+            Column("region", ColumnType.STRING),
+            Column("age", ColumnType.INT64),
+            Column("spend", ColumnType.FLOAT64),
+        ]
+    )
+    rows = [
+        {"id": 1, "region": "north", "age": 30, "spend": 10.0},
+        {"id": 2, "region": "south", "age": 25, "spend": 20.0},
+        {"id": 3, "region": "north", "age": 40, "spend": 30.0},
+        {"id": 4, "region": "east", "age": 35, "spend": 0.0},
+        {"id": 5, "region": "south", "age": 25, "spend": 50.0},
+    ]
+    return Table.from_rows(schema, rows, name="users")
+
+
+def orders_table():
+    schema = Schema(
+        [Column("user_id", ColumnType.INT64), Column("amount", ColumnType.FLOAT64)]
+    )
+    rows = [
+        {"user_id": 1, "amount": 5.0},
+        {"user_id": 1, "amount": 7.0},
+        {"user_id": 3, "amount": 9.0},
+        {"user_id": 9, "amount": 1.0},
+    ]
+    return Table.from_rows(schema, rows, name="orders")
+
+
+class TestWhere:
+    def test_eq(self):
+        assert Query(users_table()).where("region", "==", "north").count() == 2
+
+    def test_combined_predicates_and(self):
+        q = Query(users_table()).where("region", "==", "south").where("age", "<", 26)
+        assert q.count() == 2
+
+    def test_in_operator(self):
+        q = Query(users_table()).where("region", "in", ["north", "east"])
+        assert q.count() == 3
+
+    def test_not_in_operator(self):
+        q = Query(users_table()).where("region", "not in", ["north"])
+        assert q.count() == 3
+
+    def test_where_fn(self):
+        q = Query(users_table()).where_fn("age", lambda a: (a % 2) == 0)
+        assert {r["id"] for r in q.rows()} == {1, 3}
+
+    def test_unknown_operator(self):
+        with pytest.raises(QueryError):
+            Query(users_table()).where("age", "~=", 1)
+
+    def test_unknown_column(self):
+        with pytest.raises(QueryError):
+            Query(users_table()).where("nope", "==", 1)
+
+
+class TestProjectOrderLimit:
+    def test_select_projects_in_order(self):
+        result = Query(users_table()).select(["age", "id"]).to_table()
+        assert result.schema.names == ["age", "id"]
+
+    def test_order_by_descending(self):
+        result = Query(users_table()).order_by("spend", descending=True).to_table()
+        assert [r["id"] for r in result.rows()][:2] == [5, 3]
+
+    def test_multi_key_ordering(self):
+        q = Query(users_table()).order_by("age").order_by("spend", descending=True)
+        ids = [r["id"] for r in q.rows()]
+        assert ids == [5, 2, 1, 4, 3]
+
+    def test_limit(self):
+        assert Query(users_table()).order_by("id").limit(2).count() == 2
+
+    def test_negative_limit(self):
+        with pytest.raises(QueryError):
+            Query(users_table()).limit(-1)
+
+
+class TestAggregation:
+    def test_whole_table_aggregates(self):
+        out = Query(users_table()).aggregate(
+            {"spend": "sum", "age": "mean", "region": "nunique"}
+        )
+        assert out["sum(spend)"] == 110.0
+        assert out["mean(age)"] == 31.0
+        assert out["nunique(region)"] == 3
+
+    def test_aggregate_on_empty_selection(self):
+        out = Query(users_table()).where("age", ">", 100).aggregate(
+            {"spend": "min", "id": "count"}
+        )
+        assert out["min(spend)"] is None
+        assert out["count(id)"] == 0
+
+    def test_group_by(self):
+        result = Query(users_table()).group_by(
+            "region", {"spend": "sum", "id": "count"}
+        )
+        rows = {r["region"]: r for r in result.rows()}
+        assert rows["north"]["sum(spend)"] == 40.0
+        assert rows["south"]["count(id)"] == 2
+
+    def test_group_by_unknown_aggregate(self):
+        with pytest.raises(QueryError):
+            Query(users_table()).group_by("region", {"spend": "median"})
+
+
+class TestJoin:
+    def test_inner_join_matches(self):
+        joined = hash_join(users_table(), orders_table(), on="id", right_on="user_id")
+        assert len(joined) == 3  # user 1 twice, user 3 once; user 9 dropped
+        amounts = sorted(r["amount"] for r in joined.rows())
+        assert amounts == [5.0, 7.0, 9.0]
+
+    def test_join_keeps_left_columns(self):
+        joined = hash_join(users_table(), orders_table(), on="id", right_on="user_id")
+        assert "region" in joined.schema
+        assert "user_id" not in joined.schema
+
+    def test_join_renames_collisions(self):
+        left = users_table()
+        right = users_table()
+        joined = hash_join(left, right, on="id")
+        assert "region_right" in joined.schema
+
+    def test_join_unknown_key(self):
+        with pytest.raises(QueryError):
+            hash_join(users_table(), orders_table(), on="id", right_on="zz")

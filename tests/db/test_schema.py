@@ -1,0 +1,107 @@
+"""Schema validation and coercion."""
+
+import pytest
+
+from repro.db.schema import Column, ColumnType, Schema, SchemaError
+
+
+def make_schema() -> Schema:
+    return Schema(
+        [
+            Column("id", ColumnType.INT64),
+            Column("score", ColumnType.FLOAT64),
+            Column("name", ColumnType.STRING),
+            Column("active", ColumnType.BOOL),
+        ]
+    )
+
+
+class TestColumnType:
+    def test_int_coerce_accepts_integral_float(self):
+        assert ColumnType.INT64.coerce(3.0) == 3
+
+    def test_int_coerce_rejects_fractional_float(self):
+        with pytest.raises(SchemaError):
+            ColumnType.INT64.coerce(3.5)
+
+    def test_int_coerce_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            ColumnType.INT64.coerce(True)
+
+    def test_float_coerce_accepts_int(self):
+        assert ColumnType.FLOAT64.coerce(3) == 3.0
+
+    def test_float_coerce_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            ColumnType.FLOAT64.coerce(False)
+
+    def test_bool_coerce_rejects_int(self):
+        with pytest.raises(SchemaError):
+            ColumnType.BOOL.coerce(1)
+
+    def test_string_coerce_rejects_number(self):
+        with pytest.raises(SchemaError):
+            ColumnType.STRING.coerce(12)
+
+    def test_string_coerce_accepts_empty(self):
+        assert ColumnType.STRING.coerce("") == ""
+
+    def test_coerce_rejects_none(self):
+        for ctype in ColumnType:
+            with pytest.raises(SchemaError):
+                ctype.coerce(None)
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Column("a", ColumnType.INT64), Column("a", ColumnType.BOOL)])
+
+    def test_empty_column_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("", ColumnType.INT64)
+
+    def test_names_in_order(self):
+        assert make_schema().names == ["id", "score", "name", "active"]
+
+    def test_contains(self):
+        schema = make_schema()
+        assert "id" in schema
+        assert "missing" not in schema
+
+    def test_column_lookup_unknown(self):
+        with pytest.raises(SchemaError):
+            make_schema().column("missing")
+
+    def test_index_of(self):
+        assert make_schema().index_of("name") == 2
+
+    def test_coerce_row_happy_path(self):
+        row = make_schema().coerce_row(
+            {"id": 1, "score": 2, "name": "x", "active": True}
+        )
+        assert row == {"id": 1, "score": 2.0, "name": "x", "active": True}
+
+    def test_coerce_row_missing_column(self):
+        with pytest.raises(SchemaError, match="missing"):
+            make_schema().coerce_row({"id": 1, "score": 2.0, "name": "x"})
+
+    def test_coerce_row_unexpected_column(self):
+        with pytest.raises(SchemaError, match="unexpected"):
+            make_schema().coerce_row(
+                {"id": 1, "score": 2.0, "name": "x", "active": True, "zz": 1}
+            )
+
+    def test_project_subset_order(self):
+        projected = make_schema().project(["name", "id"])
+        assert projected.names == ["name", "id"]
+
+    def test_project_unknown_column(self):
+        with pytest.raises(SchemaError):
+            make_schema().project(["nope"])
+
+    def test_dict_round_trip(self):
+        schema = make_schema()
+        clone = Schema.from_dict(schema.to_dict())
+        assert clone.names == schema.names
+        assert [c.ctype for c in clone] == [c.ctype for c in schema]

@@ -1,0 +1,103 @@
+"""Persistence round-trips and catalog lifecycle."""
+
+import pytest
+
+from repro.db.catalog import Catalog, CatalogError
+from repro.db.schema import Column, ColumnType, Schema
+from repro.db.storage import StorageError, load_table, save_table
+from repro.db.table import Table
+
+
+def sample_table(name="t"):
+    schema = Schema(
+        [
+            Column("id", ColumnType.INT64),
+            Column("x", ColumnType.FLOAT64),
+            Column("s", ColumnType.STRING),
+            Column("flag", ColumnType.BOOL),
+        ]
+    )
+    rows = [
+        {"id": 1, "x": 1.5, "s": "hello", "flag": True},
+        {"id": 2, "x": -0.25, "s": "wörld ünïcode", "flag": False},
+        {"id": 3, "x": 0.0, "s": "", "flag": True},
+    ]
+    return Table.from_rows(schema, rows, name=name)
+
+
+class TestStorage:
+    @pytest.mark.parametrize("extension", [".jsonl", ".npz"])
+    def test_round_trip(self, tmp_path, extension):
+        table = sample_table()
+        path = save_table(table, tmp_path / f"data{extension}")
+        loaded = load_table(path)
+        assert loaded.schema.names == table.schema.names
+        assert list(loaded.rows()) == list(table.rows())
+
+    def test_unsupported_extension(self, tmp_path):
+        with pytest.raises(StorageError):
+            save_table(sample_table(), tmp_path / "data.csv")
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_table(tmp_path / "missing.npz")
+
+    def test_jsonl_missing_sidecar(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text('{"id": 1}\n')
+        with pytest.raises(StorageError, match="sidecar"):
+            load_table(path)
+
+    def test_empty_table_round_trip(self, tmp_path):
+        schema = Schema([Column("a", ColumnType.INT64)])
+        table = Table(schema, name="empty")
+        loaded = load_table(save_table(table, tmp_path / "e.npz"))
+        assert len(loaded) == 0
+        assert loaded.schema.names == ["a"]
+
+
+class TestCatalog:
+    def test_create_get_drop(self):
+        catalog = Catalog()
+        schema = Schema([Column("a", ColumnType.INT64)])
+        catalog.create_table("t1", schema)
+        assert "t1" in catalog
+        catalog.drop("t1")
+        assert "t1" not in catalog
+
+    def test_duplicate_create_rejected(self):
+        catalog = Catalog()
+        schema = Schema([Column("a", ColumnType.INT64)])
+        catalog.create_table("t1", schema)
+        with pytest.raises(CatalogError):
+            catalog.create_table("t1", schema)
+
+    def test_register_unnamed_rejected(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.register(Table(Schema([Column("a", ColumnType.INT64)])))
+
+    def test_get_unknown(self):
+        with pytest.raises(CatalogError):
+            Catalog().get("zzz")
+
+    def test_describe(self):
+        catalog = Catalog()
+        catalog.register(sample_table("users"))
+        description = catalog.describe()
+        assert description["users"]["rows"] == 3
+
+    def test_directory_round_trip(self, tmp_path):
+        catalog = Catalog()
+        catalog.register(sample_table("users"))
+        catalog.register(sample_table("events"))
+        catalog.save(tmp_path / "cat")
+        loaded = Catalog.load(tmp_path / "cat")
+        assert loaded.table_names() == ["events", "users"]
+        assert list(loaded.get("users").rows()) == list(
+            catalog.get("users").rows()
+        )
+
+    def test_load_missing_manifest(self, tmp_path):
+        with pytest.raises(StorageError):
+            Catalog.load(tmp_path / "nothing")

@@ -1,0 +1,132 @@
+"""Columnar table behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.db.schema import Column, ColumnType, Schema, SchemaError
+from repro.db.table import Table
+
+
+def make_schema() -> Schema:
+    return Schema(
+        [
+            Column("id", ColumnType.INT64),
+            Column("value", ColumnType.FLOAT64),
+            Column("tag", ColumnType.STRING),
+        ]
+    )
+
+
+def make_table(n: int = 5) -> Table:
+    table = Table(make_schema(), name="t")
+    for i in range(n):
+        table.append({"id": i, "value": i * 0.5, "tag": f"tag{i % 2}"})
+    return table
+
+
+class TestAppend:
+    def test_append_returns_row_ids(self):
+        table = Table(make_schema())
+        assert table.append({"id": 1, "value": 0.0, "tag": "a"}) == 0
+        assert table.append({"id": 2, "value": 0.0, "tag": "b"}) == 1
+
+    def test_append_grows_past_initial_capacity(self):
+        table = make_table(100)
+        assert len(table) == 100
+        assert table.row(99)["id"] == 99
+
+    def test_append_bad_row_rejected(self):
+        table = Table(make_schema())
+        with pytest.raises(SchemaError):
+            table.append({"id": "x", "value": 0.0, "tag": "a"})
+
+    def test_extend_returns_ids_and_bumps_version(self):
+        table = Table(make_schema())
+        before = table.version
+        ids = table.extend(
+            {"id": i, "value": 0.0, "tag": "a"} for i in range(3)
+        )
+        assert ids == [0, 1, 2]
+        assert table.version > before
+
+
+class TestFromColumns:
+    def test_bulk_construction(self):
+        table = Table.from_columns(
+            make_schema(),
+            {"id": [1, 2], "value": [0.1, 0.2], "tag": ["a", "b"]},
+        )
+        assert len(table) == 2
+        assert table.row(1) == {"id": 2, "value": 0.2, "tag": "b"}
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(SchemaError, match="ragged"):
+            Table.from_columns(
+                make_schema(),
+                {"id": [1], "value": [0.1, 0.2], "tag": ["a", "b"]},
+            )
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(SchemaError, match="missing"):
+            Table.from_columns(make_schema(), {"id": [1], "value": [0.1]})
+
+    def test_empty_columns_ok(self):
+        table = Table.from_columns(
+            make_schema(), {"id": [], "value": [], "tag": []}
+        )
+        assert len(table) == 0
+
+
+class TestReads:
+    def test_column_is_readonly(self):
+        table = make_table()
+        column = table.column("id")
+        with pytest.raises(ValueError):
+            column[0] = 99
+
+    def test_column_excludes_spare_capacity(self):
+        table = make_table(3)
+        assert len(table.column("id")) == 3
+
+    def test_row_out_of_range(self):
+        with pytest.raises(IndexError):
+            make_table(2).row(2)
+
+    def test_rows_iterates_in_order(self):
+        ids = [row["id"] for row in make_table(4).rows()]
+        assert ids == [0, 1, 2, 3]
+
+    def test_row_returns_python_types(self):
+        row = make_table(1).row(0)
+        assert isinstance(row["id"], int)
+        assert isinstance(row["value"], float)
+        assert isinstance(row["tag"], str)
+
+    def test_unknown_column(self):
+        with pytest.raises(SchemaError):
+            make_table().column("zzz")
+
+
+class TestTransforms:
+    def test_take_reorders(self):
+        taken = make_table(5).take([3, 1])
+        assert [r["id"] for r in taken.rows()] == [3, 1]
+
+    def test_take_out_of_range(self):
+        with pytest.raises(IndexError):
+            make_table(3).take([5])
+
+    def test_mask_filters(self):
+        table = make_table(6)
+        masked = table.mask(np.asarray(table.column("id")) % 2 == 0)
+        assert [r["id"] for r in masked.rows()] == [0, 2, 4]
+
+    def test_mask_wrong_shape(self):
+        with pytest.raises(ValueError):
+            make_table(3).mask(np.ones(5, dtype=bool))
+
+    def test_to_columns_returns_copies(self):
+        table = make_table(3)
+        columns = table.to_columns()
+        columns["id"][0] = 99
+        assert table.row(0)["id"] == 0

@@ -1,0 +1,116 @@
+"""Event model and the segmented event log."""
+
+import pytest
+
+from repro.lifelog.events import (
+    ActionCategory,
+    EVENT_SCHEMA,
+    Event,
+    USEFUL_IMPACT_CATEGORIES,
+)
+from repro.lifelog.store import EventLog
+
+
+def make_event(ts=1.0, uid=1, action="course_view",
+               category=ActionCategory.NAVIGATION, **payload):
+    return Event(ts, uid, action, category, payload=payload)
+
+
+class TestEvent:
+    def test_row_round_trip(self):
+        event = make_event(target="12", q="python")
+        clone = Event.from_row(event.to_row())
+        assert clone == event
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            make_event(ts=-1.0)
+
+    def test_empty_action_rejected(self):
+        with pytest.raises(ValueError):
+            Event(1.0, 1, "", ActionCategory.NAVIGATION)
+
+    def test_unknown_category_parse(self):
+        with pytest.raises(ValueError):
+            ActionCategory.from_value("teleport")
+
+    def test_useful_impact_categories_are_commercial(self):
+        assert ActionCategory.ENROLLMENT in USEFUL_IMPACT_CATEGORIES
+        assert ActionCategory.NAVIGATION not in USEFUL_IMPACT_CATEGORIES
+
+    def test_schema_matches_row_keys(self):
+        assert set(EVENT_SCHEMA.names) == set(make_event().to_row())
+
+
+class TestEventLog:
+    def test_append_and_count(self):
+        log = EventLog()
+        log.append(make_event())
+        assert len(log) == 1
+
+    def test_segments_seal_at_threshold(self):
+        log = EventLog(segment_rows=10)
+        log.extend(make_event(ts=float(i), uid=i % 3) for i in range(25))
+        assert len(log) == 25
+        assert log.segment_count == 3  # two sealed + active
+
+    def test_events_preserve_append_order(self):
+        log = EventLog(segment_rows=5)
+        log.extend(make_event(ts=float(i), uid=i) for i in range(12))
+        timestamps = [e.timestamp for e in log.events()]
+        assert timestamps == [float(i) for i in range(12)]
+
+    def test_events_for_user_time_ordered(self):
+        log = EventLog(segment_rows=4)
+        log.extend(make_event(ts=float(10 - i), uid=i % 2) for i in range(10))
+        events = log.events_for_user(0)
+        assert all(e.user_id == 0 for e in events)
+        assert [e.timestamp for e in events] == sorted(
+            e.timestamp for e in events
+        )
+
+    def test_events_in_window_half_open(self):
+        log = EventLog()
+        log.extend(make_event(ts=float(i), uid=1) for i in range(10))
+        window = log.events_in_window(2.0, 5.0)
+        assert [e.timestamp for e in window] == [2.0, 3.0, 4.0]
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            EventLog().events_in_window(5.0, 2.0)
+
+    def test_user_ids_distinct_sorted(self):
+        log = EventLog()
+        log.extend(make_event(ts=float(i), uid=uid) for i, uid in enumerate([3, 1, 3, 2]))
+        assert log.user_ids() == [1, 2, 3]
+
+    def test_count_by_category(self):
+        log = EventLog()
+        log.append(make_event(action="course_info", category=ActionCategory.INFO_REQUEST))
+        log.append(make_event(ts=2.0))
+        counts = log.count_by_category()
+        assert counts["info_request"] == 1
+        assert counts["navigation"] == 1
+
+    def test_compact_merges_and_sorts(self):
+        log = EventLog(segment_rows=3)
+        log.extend(make_event(ts=float(10 - i), uid=1) for i in range(9))
+        count = log.compact()
+        assert count == 9
+        assert log.segment_count == 1
+        timestamps = [e.timestamp for e in log.events()]
+        assert timestamps == sorted(timestamps)
+
+    def test_save_load_round_trip(self, tmp_path):
+        log = EventLog(segment_rows=4)
+        log.extend(make_event(ts=float(i), uid=i % 2, target=str(i)) for i in range(9))
+        log.save(tmp_path / "log")
+        loaded = EventLog.load(tmp_path / "log")
+        assert len(loaded) == 9
+        assert [e.timestamp for e in loaded.events_for_user(0)] == [
+            e.timestamp for e in log.events_for_user(0)
+        ]
+
+    def test_segment_rows_validation(self):
+        with pytest.raises(ValueError):
+            EventLog(segment_rows=0)

@@ -1,0 +1,117 @@
+"""Failure injection: corrupt storage, fuzzy weblogs, degenerate inputs."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.db.catalog import Catalog
+from repro.db.schema import Column, ColumnType, Schema
+from repro.db.storage import StorageError, load_table, save_table
+from repro.db.table import Table
+from repro.datagen import BehaviorModel, CourseCatalog, Population
+from repro.datagen.weblog_gen import generate_population_weblog, write_weblog
+from repro.lifelog.events import ActionCategory, Event
+from repro.lifelog.weblog import WeblogParseError, parse_line, records_to_events
+
+
+def small_table():
+    schema = Schema([Column("x", ColumnType.INT64), Column("s", ColumnType.STRING)])
+    return Table.from_rows(
+        schema, [{"x": 1, "s": "a"}, {"x": 2, "s": "b"}], name="t"
+    )
+
+
+class TestCorruptStorage:
+    def test_truncated_npz_rejected(self, tmp_path):
+        path = save_table(small_table(), tmp_path / "t.npz")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(Exception):
+            load_table(path)
+
+    def test_npz_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "t.npz"
+        np.savez_compressed(
+            path,
+            __schema__=np.asarray(
+                [json.dumps(small_table().schema.to_dict())], dtype=np.str_
+            ),
+            # only one of the two columns present
+            **{"col::x": np.asarray([1, 2])},
+        )
+        with pytest.raises(StorageError, match="missing column"):
+            load_table(path)
+
+    def test_npz_without_schema_rejected(self, tmp_path):
+        path = tmp_path / "t.npz"
+        np.savez_compressed(path, some=np.asarray([1]))
+        with pytest.raises(StorageError, match="schema"):
+            load_table(path)
+
+    def test_jsonl_with_garbage_row_rejected(self, tmp_path):
+        path = save_table(small_table(), tmp_path / "t.jsonl")
+        with path.open("a") as fh:
+            fh.write('{"x": "not-an-int", "s": "c"}\n')
+        with pytest.raises(Exception):
+            load_table(path)
+
+    def test_catalog_with_missing_table_file(self, tmp_path):
+        catalog = Catalog()
+        catalog.register(small_table())
+        directory = catalog.save(tmp_path / "cat")
+        (directory / "t.npz").unlink()
+        with pytest.raises(Exception):
+            Catalog.load(directory)
+
+
+class TestWeblogFuzz:
+    @pytest.mark.parametrize("line", [
+        "",
+        "   ",
+        "GET /course/1/view",
+        '10.0.0.1 - u1 [bad-time] "GET / HTTP/1.1" 200 1',
+        '10.0.0.1 - u1 [15/Mar/2006:10:30:00 +0000] "GET" 200 1',
+        "\x00\x01\x02",
+        '10.0.0.1 - u1 "GET / HTTP/1.1" 200 1',
+    ])
+    def test_garbage_lines_raise_parse_error(self, line):
+        with pytest.raises(WeblogParseError):
+            parse_line(line)
+
+    def test_mixed_stream_survives(self):
+        good = (
+            '10.0.0.1 - u7 [15/Mar/2006:10:30:00 +0000] '
+            '"GET /course/3/info HTTP/1.1" 200 64 "-" "UA"'
+        )
+        records = []
+        for line in [good, good.replace("u7", "-"), good]:
+            try:
+                records.append(parse_line(line))
+            except WeblogParseError:
+                pass
+        events = records_to_events(records)
+        assert len(events) == 2  # the anonymous one dropped
+
+
+class TestWeblogGen:
+    def test_write_weblog_skips_unrepresentable(self, tmp_path):
+        events = [
+            Event(1.0, 1, "course_view", ActionCategory.NAVIGATION,
+                  payload={"target": "5"}),
+            Event(2.0, 1, "mystery_action", ActionCategory.NAVIGATION),
+        ]
+        count = write_weblog(events, tmp_path / "w.log")
+        assert count == 1
+
+    def test_population_weblog_round_trips(self, tmp_path):
+        population = Population.generate(30, seed=7)
+        catalog = CourseCatalog.generate(10, seed=7)
+        model = BehaviorModel(population, catalog, seed=7)
+        path = tmp_path / "access.log"
+        lines = generate_population_weblog(model, population, path)
+        parsed = [parse_line(l) for l in path.read_text().splitlines()]
+        events = records_to_events(parsed)
+        assert len(events) == lines
+        timestamps = [r.timestamp for r in parsed]
+        assert timestamps == sorted(timestamps)

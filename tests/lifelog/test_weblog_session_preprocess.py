@@ -1,0 +1,206 @@
+"""Weblog parsing, sessionization, feature extraction."""
+
+import pytest
+
+from repro.lifelog.events import ActionCategory, Event
+from repro.lifelog.preprocess import LifeLogPreprocessor, UserFeatures
+from repro.lifelog.sessionizer import Session, session_stats, sessionize
+from repro.lifelog.weblog import (
+    WeblogParseError,
+    event_to_line,
+    parse_line,
+    record_to_event,
+    records_to_events,
+)
+
+GOOD_LINE = (
+    '10.0.0.1 - u42 [15/Mar/2006:10:30:00 +0000] '
+    '"GET /course/7/view HTTP/1.1" 200 512 "-" "Mozilla/5.0"'
+)
+
+
+class TestWeblogParsing:
+    def test_parse_good_line(self):
+        record = parse_line(GOOD_LINE)
+        assert record.user_id == 42
+        assert record.path == "/course/7/view"
+        assert record.status == 200
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(WeblogParseError):
+            parse_line("not a log line at all")
+
+    def test_parse_rejects_bad_timestamp(self):
+        bad = GOOD_LINE.replace("15/Mar/2006", "99/Zzz/2006")
+        with pytest.raises(WeblogParseError):
+            parse_line(bad)
+
+    def test_anonymous_user_yields_no_event(self):
+        line = GOOD_LINE.replace("u42", "-")
+        assert record_to_event(parse_line(line)) is None
+
+    def test_error_status_yields_no_event(self):
+        line = GOOD_LINE.replace(" 200 ", " 404 ")
+        assert record_to_event(parse_line(line)) is None
+
+    def test_unknown_path_yields_no_event(self):
+        line = GOOD_LINE.replace("/course/7/view", "/robots.txt")
+        assert record_to_event(parse_line(line)) is None
+
+    def test_course_view_maps_to_navigation(self):
+        event = record_to_event(parse_line(GOOD_LINE))
+        assert event.action == "course_view"
+        assert event.category is ActionCategory.NAVIGATION
+        assert event.payload["target"] == "7"
+
+    def test_rating_query_captured(self):
+        line = GOOD_LINE.replace("/course/7/view", "/course/7/rate?value=4")
+        event = record_to_event(parse_line(line))
+        assert event.action == "course_rate"
+        assert event.payload["value"] == "4"
+
+    @pytest.mark.parametrize("action", [
+        "course_view", "course_info", "course_enroll", "course_rate",
+        "course_opinion", "catalog_search", "push_open", "newsletter_open",
+        "eit_answer", "account_op",
+    ])
+    def test_event_line_round_trip(self, action):
+        categories = {
+            "course_view": ActionCategory.NAVIGATION,
+            "course_info": ActionCategory.INFO_REQUEST,
+            "course_enroll": ActionCategory.ENROLLMENT,
+            "course_rate": ActionCategory.RATING,
+            "course_opinion": ActionCategory.OPINION,
+            "catalog_search": ActionCategory.NAVIGATION,
+            "push_open": ActionCategory.CAMPAIGN,
+            "newsletter_open": ActionCategory.CAMPAIGN,
+            "eit_answer": ActionCategory.EIT_ANSWER,
+            "account_op": ActionCategory.ACCOUNT,
+        }
+        payload = {"target": "5"}
+        if action == "course_rate":
+            payload["value"] = "3"
+        if action == "eit_answer":
+            payload["opt"] = "1"
+        if action == "catalog_search":
+            payload = {"q": "python"}
+        event = Event(1_142_000_000.0, 9, action, categories[action], payload=payload)
+        clone = record_to_event(parse_line(event_to_line(event)))
+        assert clone.action == event.action
+        assert clone.user_id == event.user_id
+        assert clone.timestamp == event.timestamp
+
+    def test_unrepresentable_action_raises(self):
+        event = Event(1.0, 1, "mystery", ActionCategory.NAVIGATION)
+        with pytest.raises(ValueError):
+            event_to_line(event)
+
+    def test_records_to_events_drops_non_events(self):
+        lines = [GOOD_LINE, GOOD_LINE.replace("u42", "-")]
+        events = records_to_events([parse_line(line) for line in lines])
+        assert len(events) == 1
+
+
+def ev(ts, uid=1):
+    return Event(ts, uid, "course_view", ActionCategory.NAVIGATION)
+
+
+class TestSessionizer:
+    def test_splits_on_gap(self):
+        events = [ev(0), ev(100), ev(100 + 40 * 60)]
+        sessions = sessionize(events, timeout=30 * 60)
+        assert [len(s) for s in sessions] == [2, 1]
+
+    def test_unsorted_input_handled(self):
+        events = [ev(100), ev(0), ev(50)]
+        sessions = sessionize(events)
+        assert len(sessions) == 1
+        assert sessions[0].start == 0
+
+    def test_users_kept_separate(self):
+        events = [ev(0, 1), ev(1, 2), ev(2, 1)]
+        sessions = sessionize(events)
+        assert len(sessions) == 2
+        assert {s.user_id for s in sessions} == {1, 2}
+
+    def test_every_event_in_exactly_one_session(self):
+        events = [ev(t, uid) for t in range(0, 10000, 700) for uid in (1, 2)]
+        sessions = sessionize(events, timeout=1000)
+        total = sum(len(s) for s in sessions)
+        assert total == len(events)
+
+    def test_session_duration(self):
+        session = Session(1, [ev(10), ev(40)])
+        assert session.duration == 30
+
+    def test_session_rejects_foreign_events(self):
+        with pytest.raises(ValueError):
+            Session(1, [ev(0, uid=2)])
+
+    def test_session_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Session(1, [])
+
+    def test_timeout_validation(self):
+        with pytest.raises(ValueError):
+            sessionize([ev(0)], timeout=0)
+
+    def test_stats(self):
+        sessions = sessionize([ev(0), ev(10), ev(10_000)], timeout=100)
+        stats = session_stats(sessions)
+        assert stats["n_sessions"] == 2
+        assert stats["n_users"] == 1
+
+    def test_stats_empty(self):
+        assert session_stats([])["n_sessions"] == 0
+
+
+class TestPreprocessor:
+    def test_clean_removes_duplicates(self):
+        pre = LifeLogPreprocessor()
+        events = [ev(1.0), ev(1.0), ev(2.0)]
+        cleaned, drops = pre.clean(events)
+        assert len(cleaned) == 2
+        assert drops["duplicate"] == 1
+
+    def test_extract_user_counts_categories(self):
+        pre = LifeLogPreprocessor()
+        events = [
+            ev(0),
+            Event(1, 1, "course_info", ActionCategory.INFO_REQUEST),
+            Event(2, 1, "course_enroll", ActionCategory.ENROLLMENT),
+        ]
+        features = pre.extract_user(1, events)
+        assert features.category_counts["navigation"] == 1
+        assert features.useful_impacts == 2
+
+    def test_extract_user_no_events(self):
+        features = LifeLogPreprocessor().extract_user(5, [])
+        assert features.n_sessions == 0
+        assert features.as_vector().shape == (
+            len(UserFeatures.feature_names()),
+        )
+
+    def test_recency_relative_to_now(self):
+        pre = LifeLogPreprocessor()
+        features = pre.extract_user(1, [ev(100.0)], now=3700.0)
+        assert features.recency == 3600.0
+
+    def test_extract_all_covers_all_users(self):
+        pre = LifeLogPreprocessor()
+        events = [ev(0, 1), ev(1, 2), ev(2, 3)]
+        features = pre.extract_all(events)
+        assert sorted(features) == [1, 2, 3]
+
+    def test_feature_matrix_alignment(self):
+        pre = LifeLogPreprocessor()
+        features = pre.extract_all([ev(0, 2), ev(1, 1)])
+        matrix, ids = pre.feature_matrix(features)
+        assert matrix.shape == (2, len(UserFeatures.feature_names()))
+        assert ids == [1, 2]
+
+    def test_vector_monotone_in_counts(self):
+        light = UserFeatures(1, {"navigation": 1})
+        heavy = UserFeatures(1, {"navigation": 100})
+        column = UserFeatures.feature_names().index("log1p_count[navigation]")
+        assert heavy.as_vector()[column] > light.as_vector()[column]

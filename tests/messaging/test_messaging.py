@@ -1,0 +1,124 @@
+"""Template bank and the Fig. 5 / Section 5.3 case law."""
+
+import pytest
+
+from repro.core.sum_model import SmartUserModel
+from repro.datagen.catalog import Course, PRODUCT_ATTRIBUTES
+from repro.messaging.assigner import (
+    AssignmentCase,
+    MessageAssigner,
+    TieBreak,
+)
+from repro.messaging.templates import (
+    MessageTemplate,
+    STANDARD_MESSAGE,
+    default_template_bank,
+)
+
+
+class TestTemplates:
+    def test_bank_covers_every_product_attribute(self):
+        bank = default_template_bank()
+        for attribute in PRODUCT_ATTRIBUTES:
+            assert attribute in bank
+
+    def test_render_mentions_course(self):
+        bank = default_template_bank()
+        text = bank.get("practical").render("Python 101")
+        assert "Python 101" in text
+
+    def test_standard_message_renders(self):
+        assert "Python 101" in STANDARD_MESSAGE.render("Python 101")
+
+    def test_template_requires_course_placeholder(self):
+        with pytest.raises(ValueError):
+            MessageTemplate("x", "no placeholder here")
+
+    def test_unknown_attribute_lookup(self):
+        with pytest.raises(KeyError):
+            default_template_bank().get("luxurious")
+
+
+def course_with(attrs):
+    return Course(1, "Course X", "informatics", attrs)
+
+
+def user_sensible_to(*emotions, weight=0.9):
+    model = SmartUserModel(1)
+    for emotion in emotions:
+        model.set_sensibility(emotion, weight)
+    return model
+
+
+class TestAssignmentCases:
+    def setup_method(self):
+        self.assigner = MessageAssigner(default_template_bank(), threshold=0.30)
+
+    def test_case_3a_no_sensibilities(self):
+        course = course_with({"practical": 1.0})
+        assignment = self.assigner.assign(SmartUserModel(1), course)
+        assert assignment.case is AssignmentCase.STANDARD
+        assert assignment.attribute is None
+        assert "Course X" in assignment.text
+
+    def test_case_3b_single_match(self):
+        # motivated -> job-oriented 0.9; course only carries job-oriented
+        course = course_with({"job-oriented": 1.0})
+        model = user_sensible_to("motivated")
+        assignment = self.assigner.assign(model, course)
+        assert assignment.case is AssignmentCase.SINGLE
+        assert assignment.attribute == "job-oriented"
+
+    def test_case_3cii_max_sensibility(self):
+        # enthusiastic -> innovative 0.8; motivated -> job-oriented 0.9
+        course = course_with({"innovative": 1.0, "job-oriented": 1.0})
+        model = SmartUserModel(1)
+        model.set_sensibility("enthusiastic", 0.9)
+        model.set_sensibility("motivated", 0.5)
+        assignment = self.assigner.assign(model, course)
+        assert assignment.case is AssignmentCase.MAX_SENSIBILITY
+        assert assignment.attribute == "innovative"
+        assert set(assignment.matched) == {"innovative", "job-oriented"}
+
+    def test_case_3ci_priority_uses_course_presence(self):
+        assigner = MessageAssigner(
+            default_template_bank(), threshold=0.30, tie_break=TieBreak.PRIORITY
+        )
+        course = course_with({"innovative": 0.5, "job-oriented": 1.0})
+        model = user_sensible_to("enthusiastic", "motivated")
+        assignment = assigner.assign(model, course)
+        assert assignment.case is AssignmentCase.PRIORITY
+        assert assignment.attribute == "job-oriented"
+
+    def test_threshold_gates_matches(self):
+        course = course_with({"job-oriented": 1.0})
+        model = user_sensible_to("motivated", weight=0.2)  # 0.9*0.2 < 0.3
+        assignment = self.assigner.assign(model, course)
+        assert assignment.case is AssignmentCase.STANDARD
+
+    def test_negative_links_never_produce_messages(self):
+        # apathetic -> challenging is negative; must not create a match
+        course = course_with({"challenging": 1.0})
+        model = user_sensible_to("apathetic")
+        assignment = self.assigner.assign(model, course)
+        assert assignment.case is AssignmentCase.STANDARD
+
+    def test_product_sensibilities_aggregate_links(self):
+        model = SmartUserModel(1)
+        model.set_sensibility("enthusiastic", 1.0)  # innovative 0.8
+        model.set_sensibility("stimulated", 1.0)    # innovative 0.7
+        scores = self.assigner.product_sensibilities(model)
+        assert scores["innovative"] == pytest.approx(1.5)
+
+    def test_case_distribution_counts(self):
+        course = course_with({"job-oriented": 1.0})
+        assignments = [
+            self.assigner.assign(SmartUserModel(1), course),
+            self.assigner.assign(user_sensible_to("motivated"), course),
+        ]
+        distribution = self.assigner.case_distribution(assignments)
+        assert distribution == {"3.a": 1, "3.b": 1}
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            MessageAssigner(default_template_bank(), threshold=1.0)

@@ -1,0 +1,167 @@
+"""Logistic regression, naive Bayes, kNN, online SGD baselines."""
+
+import numpy as np
+import pytest
+
+from repro.ml.incremental import OnlineSGDClassifier
+from repro.ml.knn import KNNClassifier
+from repro.ml.logistic import LogisticRegression
+from repro.ml.metrics import accuracy, roc_auc
+from repro.ml.naive_bayes import BernoulliNB, GaussianNB
+from repro.ml.preprocessing import NotFittedError
+
+
+def blobs(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(loc=-1.0, size=(n // 2, 3))
+    x1 = rng.normal(loc=+1.0, size=(n // 2, 3))
+    x = np.vstack([x0, x1])
+    y = np.asarray([0] * (n // 2) + [1] * (n // 2))
+    return x, y
+
+
+class TestLogisticRegression:
+    def test_separates_blobs(self):
+        x, y = blobs()
+        model = LogisticRegression().fit(x, y)
+        assert accuracy(y, model.predict(x)) > 0.9
+
+    def test_probabilities_in_unit_interval(self):
+        x, y = blobs()
+        p = LogisticRegression().fit(x, y).predict_proba(x)
+        assert p.min() >= 0.0 and p.max() <= 1.0
+
+    def test_probabilities_roughly_calibrated(self):
+        x, y = blobs(n=1000)
+        p = LogisticRegression().fit(x, y).predict_proba(x)
+        assert abs(p.mean() - y.mean()) < 0.03
+
+    def test_l2_shrinks_weights(self):
+        x, y = blobs()
+        loose = LogisticRegression(l2=1e-6).fit(x, y)
+        tight = LogisticRegression(l2=1.0).fit(x, y)
+        assert np.linalg.norm(tight.weights_) < np.linalg.norm(loose.weights_)
+
+    def test_negative_l2_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(l2=-1.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict(np.zeros((1, 3)))
+
+
+class TestGaussianNB:
+    def test_separates_blobs(self):
+        x, y = blobs()
+        model = GaussianNB().fit(x, y)
+        assert accuracy(y, model.predict(x)) > 0.9
+
+    def test_posteriors_sum_to_one(self):
+        x, y = blobs()
+        p = GaussianNB().fit(x, y).predict_proba(x)
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_decision_function_binary_only(self):
+        x = np.random.default_rng(0).normal(size=(30, 2))
+        y = np.asarray([0, 1, 2] * 10)
+        model = GaussianNB().fit(x, y)
+        with pytest.raises(ValueError):
+            model.decision_function(x)
+
+    def test_multiclass_predictions(self):
+        rng = np.random.default_rng(0)
+        x = np.vstack([rng.normal(loc=c * 3, size=(50, 2)) for c in range(3)])
+        y = np.repeat([0, 1, 2], 50)
+        model = GaussianNB().fit(x, y)
+        assert accuracy_multiclass(model.predict(x), y) > 0.9
+
+
+def accuracy_multiclass(pred, y):
+    return float(np.mean(pred == y))
+
+
+class TestBernoulliNB:
+    def test_binary_features(self):
+        rng = np.random.default_rng(2)
+        y = (rng.random(500) < 0.5).astype(int)
+        x = np.column_stack(
+            [
+                (rng.random(500) < np.where(y == 1, 0.8, 0.2)),
+                (rng.random(500) < np.where(y == 1, 0.3, 0.7)),
+            ]
+        ).astype(float)
+        model = BernoulliNB().fit(x, y)
+        assert accuracy(y, model.predict(x)) > 0.75
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliNB(alpha=0)
+
+    def test_binarize_threshold(self):
+        model = BernoulliNB(binarize_at=0.9)
+        binary = model._binarize(np.asarray([[0.5, 0.95]]))
+        assert binary.tolist() == [[0.0, 1.0]]
+
+
+class TestKNN:
+    def test_separates_blobs(self):
+        x, y = blobs(n=200)
+        model = KNNClassifier(k=7).fit(x, y)
+        assert accuracy(y, model.predict(x)) > 0.9
+
+    def test_k_one_memorizes_training(self):
+        x, y = blobs(n=100)
+        model = KNNClassifier(k=1).fit(x, y)
+        assert accuracy(y, model.predict(x)) == 1.0
+
+    def test_cosine_metric(self):
+        x, y = blobs(n=200)
+        model = KNNClassifier(k=7, metric="cosine").fit(x, y)
+        assert accuracy(y, model.predict(x)) > 0.85
+
+    def test_k_larger_than_train_clamps(self):
+        x, y = blobs(n=20)
+        model = KNNClassifier(k=100).fit(x, y)
+        assert model.predict(x[:2]).shape == (2,)
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            KNNClassifier(metric="manhattan")
+
+    def test_empty_train_rejected(self):
+        with pytest.raises(ValueError):
+            KNNClassifier().fit(np.zeros((0, 2)), np.zeros(0))
+
+
+class TestOnlineSGD:
+    def test_converges_with_partial_fits(self):
+        x, y = blobs(n=600)
+        model = OnlineSGDClassifier(n_features=3)
+        rng = np.random.default_rng(0)
+        for __ in range(30):
+            ids = rng.choice(len(x), size=64, replace=False)
+            model.partial_fit(x[ids], y[ids])
+        assert roc_auc(y, model.decision_function(x)) > 0.9
+
+    def test_later_batches_refine_not_overwrite(self):
+        x, y = blobs(n=600)
+        model = OnlineSGDClassifier(n_features=3).fit(x, y, epochs=3)
+        w_before = model.weights_.copy()
+        model.partial_fit(x[:32], y[:32])
+        # learning rate has decayed, so one batch moves weights only a little
+        assert np.linalg.norm(model.weights_ - w_before) < 0.2
+
+    def test_feature_count_enforced(self):
+        model = OnlineSGDClassifier(n_features=3)
+        with pytest.raises(ValueError):
+            model.partial_fit(np.zeros((4, 2)), np.zeros(4))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            OnlineSGDClassifier(n_features=2).predict(np.zeros((1, 2)))
+
+    def test_empty_batch_noop(self):
+        model = OnlineSGDClassifier(n_features=2)
+        model.partial_fit(np.zeros((0, 2)), np.zeros(0))
+        assert model.t_ == 0

@@ -1,0 +1,94 @@
+"""Kernel functions: math identities and registry."""
+
+import numpy as np
+import pytest
+
+from repro.ml.kernels import (
+    linear_kernel,
+    polynomial_kernel,
+    rbf_kernel,
+    resolve,
+)
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(12, 4)), rng.normal(size=(7, 4))
+
+
+class TestLinearKernel:
+    def test_matches_dot_products(self, data):
+        a, b = data
+        gram = linear_kernel(a, b)
+        assert gram.shape == (12, 7)
+        assert gram[2, 3] == pytest.approx(float(a[2] @ b[3]))
+
+    def test_symmetric_on_self(self, data):
+        a, __ = data
+        gram = linear_kernel(a, a)
+        assert np.allclose(gram, gram.T)
+
+
+class TestRbfKernel:
+    def test_unit_diagonal(self, data):
+        a, __ = data
+        gram = rbf_kernel(0.7)(a, a)
+        assert np.allclose(np.diag(gram), 1.0)
+
+    def test_values_in_unit_interval(self, data):
+        a, b = data
+        gram = rbf_kernel(0.5)(a, b)
+        assert gram.min() > 0.0 and gram.max() <= 1.0
+
+    def test_decays_with_distance(self):
+        kernel = rbf_kernel(1.0)
+        near = kernel(np.zeros((1, 2)), np.asarray([[0.1, 0.0]]))
+        far = kernel(np.zeros((1, 2)), np.asarray([[3.0, 0.0]]))
+        assert near[0, 0] > far[0, 0]
+
+    def test_gamma_controls_width(self):
+        point = np.asarray([[1.0, 0.0]])
+        origin = np.zeros((1, 2))
+        assert rbf_kernel(0.1)(origin, point)[0, 0] > rbf_kernel(5.0)(
+            origin, point
+        )[0, 0]
+
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError):
+            rbf_kernel(0.0)
+
+
+class TestPolynomialKernel:
+    def test_degree_one_is_shifted_linear(self, data):
+        a, b = data
+        gram = polynomial_kernel(degree=1, coef0=0.0)(a, b)
+        assert np.allclose(gram, linear_kernel(a, b))
+
+    def test_degree_two_squares(self):
+        a = np.asarray([[2.0]])
+        b = np.asarray([[3.0]])
+        assert polynomial_kernel(degree=2, coef0=1.0)(a, b)[0, 0] == 49.0
+
+    def test_degree_validation(self):
+        with pytest.raises(ValueError):
+            polynomial_kernel(degree=0)
+
+
+class TestResolve:
+    def test_resolves_all_names(self, data):
+        a, b = data
+        for name in ("linear", "rbf", "poly"):
+            gram = resolve(name)(a, b)
+            assert gram.shape == (12, 7)
+
+    def test_passes_parameters(self):
+        point = np.asarray([[1.0, 0.0]])
+        origin = np.zeros((1, 2))
+        loose = resolve("rbf", gamma=0.1)(origin, point)[0, 0]
+        tight = resolve("rbf", gamma=5.0)(origin, point)[0, 0]
+        assert loose > tight
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            resolve("sigmoid")

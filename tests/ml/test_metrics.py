@@ -1,0 +1,137 @@
+"""Classification metrics and campaign curves."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy,
+    brier_score,
+    confusion_matrix,
+    cumulative_gain_curve,
+    f1_score,
+    gain_at,
+    lift_curve,
+    log_loss,
+    precision,
+    recall,
+    response_rate_at,
+    roc_auc,
+)
+
+
+class TestBasicMetrics:
+    def test_accuracy(self):
+        assert accuracy([1, 0, 1, 1], [1, 0, 0, 1]) == 0.75
+
+    def test_accuracy_empty(self):
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+    def test_confusion_matrix_layout(self):
+        matrix = confusion_matrix([0, 0, 1, 1], [0, 1, 0, 1])
+        assert matrix.tolist() == [[1, 1], [1, 1]]
+
+    def test_precision_recall_f1(self):
+        y_true = [1, 1, 0, 0, 1]
+        y_pred = [1, 0, 1, 0, 1]
+        assert precision(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall(y_true, y_pred) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_precision_no_positive_predictions(self):
+        assert precision([1, 0], [0, 0]) == 0.0
+
+    def test_f1_zero_when_nothing_found(self):
+        assert f1_score([1, 1], [0, 0]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([1, 0], [1])
+
+
+class TestAuc:
+    def test_perfect_ranking(self):
+        assert roc_auc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted_ranking(self):
+        assert roc_auc([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_ties(self):
+        assert roc_auc([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == 0.5
+
+    def test_matches_scipy_rankdata(self):
+        from scipy.stats import rankdata
+
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=500)
+        y = (rng.random(500) < 0.3).astype(int)
+        ranks = rankdata(scores)
+        n_pos = y.sum()
+        expected = (ranks[y == 1].sum() - n_pos * (n_pos + 1) / 2) / (
+            n_pos * (len(y) - n_pos)
+        )
+        assert roc_auc(y, scores) == pytest.approx(float(expected), abs=1e-12)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc([1, 1], [0.5, 0.6])
+
+
+class TestProbabilityMetrics:
+    def test_log_loss_perfect(self):
+        assert log_loss([1, 0], [1.0, 0.0]) < 1e-10
+
+    def test_log_loss_uniform(self):
+        assert log_loss([1, 0], [0.5, 0.5]) == pytest.approx(np.log(2))
+
+    def test_brier_bounds(self):
+        assert brier_score([1, 0], [1.0, 0.0]) == 0.0
+        assert brier_score([1, 0], [0.0, 1.0]) == 1.0
+
+
+class TestGainCurves:
+    def setup_method(self):
+        rng = np.random.default_rng(1)
+        self.scores = rng.normal(size=1000)
+        self.y = (rng.random(1000) < 1 / (1 + np.exp(-2 * self.scores))).astype(int)
+
+    def test_endpoints(self):
+        fractions, captured = cumulative_gain_curve(self.y, self.scores)
+        assert captured[0] == 0.0
+        assert captured[-1] == 1.0
+
+    def test_monotone_non_decreasing(self):
+        __, captured = cumulative_gain_curve(self.y, self.scores)
+        assert np.all(np.diff(captured) >= -1e-12)
+
+    def test_beats_diagonal_for_informative_scores(self):
+        assert gain_at(self.y, self.scores, 0.4) > 0.5
+
+    def test_perfect_scores_steepest(self):
+        y = np.asarray([0] * 80 + [1] * 20)
+        scores = y.astype(float)
+        assert gain_at(y, scores, 0.2) == pytest.approx(1.0, abs=0.01)
+
+    def test_gain_undefined_without_positives(self):
+        with pytest.raises(ValueError):
+            cumulative_gain_curve([0, 0, 0], [0.1, 0.2, 0.3])
+
+    def test_lift_starts_above_one_for_informative(self):
+        fractions, lifts = lift_curve(self.y, self.scores)
+        mid = np.searchsorted(fractions, 0.2)
+        assert lifts[mid] > 1.2
+
+    def test_response_rate_top_slice_exceeds_base(self):
+        top = response_rate_at(self.y, self.scores, 0.2)
+        assert top > self.y.mean()
+
+    def test_response_rate_full_population_is_base(self):
+        assert response_rate_at(self.y, self.scores, 1.0) == pytest.approx(
+            self.y.mean()
+        )
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            gain_at(self.y, self.scores, 1.5)
+        with pytest.raises(ValueError):
+            response_rate_at(self.y, self.scores, 0.0)

@@ -1,0 +1,198 @@
+"""Scaler, encoder, splits, SVD, calibration, model selection."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.ml.calibration import PlattScaler
+from repro.ml.logistic import LogisticRegression
+from repro.ml.metrics import accuracy, roc_auc
+from repro.ml.model_selection import cross_val_score, grid_search, kfold_indices
+from repro.ml.preprocessing import (
+    NotFittedError,
+    OneHotEncoder,
+    StandardScaler,
+    train_test_split,
+)
+from repro.ml.svd import TruncatedSVD
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(loc=5, scale=3, size=(200, 4))
+        z = StandardScaler().fit_transform(x)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_not_scaled(self):
+        x = np.column_stack([np.ones(10), np.arange(10.0)])
+        z = StandardScaler().fit_transform(x)
+        assert np.allclose(z[:, 0], 0.0)
+
+    def test_inverse_transform_round_trip(self):
+        x = np.random.default_rng(1).normal(size=(50, 3))
+        scaler = StandardScaler().fit(x)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(x)), x)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((1, 2)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros(5))
+
+
+class TestOneHotEncoder:
+    def test_round_trip_categories(self):
+        encoder = OneHotEncoder().fit(["b", "a", "c", "a"])
+        assert encoder.categories_ == ["a", "b", "c"]
+        out = encoder.transform(["c", "a"])
+        assert out.tolist() == [[0, 0, 1], [1, 0, 0]]
+
+    def test_unknown_category_all_zeros(self):
+        encoder = OneHotEncoder().fit(["a", "b"])
+        assert encoder.transform(["z"]).tolist() == [[0, 0]]
+
+    def test_feature_names(self):
+        encoder = OneHotEncoder().fit(["x", "y"])
+        assert encoder.feature_names("col") == ["col=x", "col=y"]
+
+    def test_transform_before_fit(self):
+        with pytest.raises(NotFittedError):
+            OneHotEncoder().transform(["a"])
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        x = np.arange(100).reshape(-1, 1)
+        y = np.arange(100) % 2
+        xtr, xte, ytr, yte = train_test_split(x, y, 0.25)
+        assert len(xte) == 25 and len(xtr) == 75
+
+    def test_disjoint_and_complete(self):
+        x = np.arange(40).reshape(-1, 1)
+        y = np.zeros(40)
+        y[::2] = 1
+        xtr, xte, __, __ = train_test_split(x, y, 0.3)
+        together = sorted(xtr.ravel().tolist() + xte.ravel().tolist())
+        assert together == list(range(40))
+
+    def test_stratified_preserves_rate(self):
+        rng = np.random.default_rng(0)
+        y = (rng.random(1000) < 0.2).astype(int)
+        x = np.zeros((1000, 1))
+        __, __, ytr, yte = train_test_split(x, y, 0.25, stratify=True)
+        assert abs(yte.mean() - 0.2) < 0.05
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), 1.0)
+
+
+class TestTruncatedSVD:
+    def test_recovers_low_rank_structure(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(80, 3)) @ rng.normal(size=(3, 30))
+        svd = TruncatedSVD(rank=3).fit(x)
+        assert svd.reconstruction_error(x) < 1e-8
+        assert svd.explained_variance_ratio_.sum() > 0.999
+
+    def test_transform_shape(self):
+        x = np.random.default_rng(0).normal(size=(20, 10))
+        z = TruncatedSVD(rank=4).fit_transform(x)
+        assert z.shape == (20, 4)
+
+    def test_sparse_input(self):
+        rng = np.random.default_rng(0)
+        dense = rng.normal(size=(40, 4)) @ rng.normal(size=(4, 25))
+        dense[np.abs(dense) < 1.0] = 0.0
+        sparse = sp.csr_matrix(dense)
+        svd = TruncatedSVD(rank=4).fit(sparse)
+        assert svd.transform(sparse).shape == (40, 4)
+
+    def test_rank_clamped_to_matrix(self):
+        x = np.random.default_rng(0).normal(size=(5, 3))
+        svd = TruncatedSVD(rank=10).fit(x)
+        assert svd.effective_rank_ == 3
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            TruncatedSVD(rank=0)
+
+
+class TestPlattScaler:
+    def test_preserves_ranking(self):
+        rng = np.random.default_rng(0)
+        margins = rng.normal(size=500)
+        y = (rng.random(500) < 1 / (1 + np.exp(-margins))).astype(int)
+        p = PlattScaler().fit(margins, y).predict_proba(margins)
+        assert roc_auc(y, p) == pytest.approx(roc_auc(y, margins), abs=1e-9)
+
+    def test_calibrated_mean_matches_base_rate(self):
+        rng = np.random.default_rng(1)
+        margins = rng.normal(size=2000)
+        y = (rng.random(2000) < 1 / (1 + np.exp(-2 * margins - 1))).astype(int)
+        p = PlattScaler().fit(margins, y).predict_proba(margins)
+        assert abs(p.mean() - y.mean()) < 0.02
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            PlattScaler().fit(np.zeros(5), np.ones(5))
+
+    def test_extreme_margins_stable(self):
+        margins = np.asarray([-1e6, -10.0, 10.0, 1e6])
+        y = np.asarray([0, 0, 1, 1])
+        p = PlattScaler().fit(margins, y).predict_proba(margins)
+        assert np.all(np.isfinite(p))
+
+
+class TestModelSelection:
+    def test_kfold_covers_everything_once(self):
+        seen = []
+        for __, test_ids in kfold_indices(20, k=4):
+            seen.extend(test_ids.tolist())
+        assert sorted(seen) == list(range(20))
+
+    def test_kfold_train_test_disjoint(self):
+        for train_ids, test_ids in kfold_indices(20, k=4):
+            assert not set(train_ids) & set(test_ids)
+
+    def test_kfold_validation(self):
+        with pytest.raises(ValueError):
+            list(kfold_indices(3, k=5))
+
+    def test_cross_val_score_reasonable(self):
+        rng = np.random.default_rng(0)
+        x = np.vstack(
+            [rng.normal(-1, 1, (60, 2)), rng.normal(1, 1, (60, 2))]
+        )
+        y = np.repeat([0, 1], 60)
+        scores = cross_val_score(
+            lambda: LogisticRegression(), x, y, accuracy, k=4
+        )
+        assert scores.shape == (4,)
+        assert scores.mean() > 0.8
+
+    def test_grid_search_picks_best(self):
+        rng = np.random.default_rng(0)
+        x = np.vstack(
+            [rng.normal(-0.7, 1, (80, 3)), rng.normal(0.7, 1, (80, 3))]
+        )
+        y = np.repeat([0, 1], 80)
+        best_params, best_score, results = grid_search(
+            lambda l2: LogisticRegression(l2=l2),
+            {"l2": [1e-4, 10.0]},
+            x,
+            y,
+            accuracy,
+            k=3,
+        )
+        assert best_params["l2"] == 1e-4
+        assert len(results) == 2
+        assert best_score == max(score for __, score in results)
+
+    def test_grid_search_empty_grid(self):
+        with pytest.raises(ValueError):
+            grid_search(lambda: None, {}, np.zeros((4, 1)), np.zeros(4), accuracy)

@@ -1,0 +1,122 @@
+"""Linear and kernel SVM behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.ml.kernels import rbf_kernel
+from repro.ml.metrics import accuracy, roc_auc
+from repro.ml.preprocessing import NotFittedError
+from repro.ml.svm import KernelSVM, LinearSVM
+
+
+def linearly_separable(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 4))
+    w = np.asarray([1.5, -2.0, 0.5, 1.0])
+    y = (x @ w + 0.3 > 0).astype(int)
+    return x, y
+
+
+def noisy_linear(n=800, seed=1):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 6))
+    w = rng.normal(size=6)
+    logits = x @ w
+    y = (rng.random(n) < 1 / (1 + np.exp(-2 * logits))).astype(int)
+    return x, y
+
+
+class TestLinearSVM:
+    def test_separable_data_high_accuracy(self):
+        x, y = linearly_separable()
+        model = LinearSVM(epochs=15).fit(x, y)
+        assert accuracy(y, model.predict(x)) > 0.93
+
+    def test_noisy_data_good_auc(self):
+        x, y = noisy_linear()
+        model = LinearSVM(epochs=15).fit(x, y)
+        assert roc_auc(y, model.decision_function(x)) > 0.85
+
+    def test_deterministic_under_seed(self):
+        x, y = linearly_separable()
+        a = LinearSVM(seed=3).fit(x, y)
+        b = LinearSVM(seed=3).fit(x, y)
+        assert np.allclose(a.weights_, b.weights_)
+        assert a.bias_ == b.bias_
+
+    def test_accepts_plus_minus_labels(self):
+        x, y = linearly_separable()
+        model = LinearSVM(epochs=10).fit(x, np.where(y == 1, 1, -1))
+        assert accuracy(y, model.predict(x)) > 0.9
+
+    def test_rejects_single_class(self):
+        x = np.zeros((10, 2))
+        with pytest.raises(ValueError):
+            LinearSVM().fit(x, np.ones(10))
+
+    def test_rejects_multiclass(self):
+        x = np.zeros((9, 2))
+        with pytest.raises(ValueError):
+            LinearSVM().fit(x, np.asarray([0, 1, 2] * 3))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            LinearSVM().fit(np.zeros((5, 2)), np.zeros(6))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            LinearSVM().predict(np.zeros((2, 2)))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            LinearSVM(c=0)
+        with pytest.raises(ValueError):
+            LinearSVM(epochs=0)
+        with pytest.raises(ValueError):
+            LinearSVM(batch_size=0)
+        with pytest.raises(ValueError):
+            LinearSVM(eta_max=0)
+
+    def test_margins_sign_matches_predictions(self):
+        x, y = linearly_separable()
+        model = LinearSVM(epochs=10).fit(x, y)
+        margins = model.decision_function(x)
+        assert np.array_equal(model.predict(x), (margins >= 0).astype(int))
+
+
+class TestKernelSVM:
+    def test_linear_kernel_on_separable(self):
+        x, y = linearly_separable(n=150)
+        model = KernelSVM(max_iter=50).fit(x, y)
+        assert accuracy(y, model.predict(x)) > 0.9
+
+    def test_rbf_solves_circles(self):
+        rng = np.random.default_rng(4)
+        radius = np.concatenate([rng.uniform(0, 1, 100), rng.uniform(2, 3, 100)])
+        angle = rng.uniform(0, 2 * np.pi, 200)
+        x = np.column_stack([radius * np.cos(angle), radius * np.sin(angle)])
+        y = (radius > 1.5).astype(int)
+        model = KernelSVM(kernel=rbf_kernel(0.5), max_iter=60).fit(x, y)
+        assert accuracy(y, model.predict(x)) > 0.95
+
+    def test_linear_kernel_cannot_solve_circles(self):
+        rng = np.random.default_rng(4)
+        radius = np.concatenate([rng.uniform(0, 1, 80), rng.uniform(2, 3, 80)])
+        angle = rng.uniform(0, 2 * np.pi, 160)
+        x = np.column_stack([radius * np.cos(angle), radius * np.sin(angle)])
+        y = (radius > 1.5).astype(int)
+        model = KernelSVM(max_iter=30).fit(x, y)
+        assert accuracy(y, model.predict(x)) < 0.8
+
+    def test_support_vector_count_positive(self):
+        x, y = linearly_separable(n=100)
+        model = KernelSVM(max_iter=30).fit(x, y)
+        assert 0 < model.n_support_ <= len(x)
+
+    def test_n_support_before_fit(self):
+        with pytest.raises(NotFittedError):
+            __ = KernelSVM().n_support_
+
+    def test_decision_before_fit(self):
+        with pytest.raises(NotFittedError):
+            KernelSVM().decision_function(np.zeros((1, 2)))

@@ -1,0 +1,163 @@
+"""Physiological signals, features, emotional mapping, commander advisor."""
+
+import numpy as np
+import pytest
+
+from repro.physio.commander import CommanderAdvisor
+from repro.physio.features import sliding_windows, window_features
+from repro.physio.mapping import EmotionalMapper
+from repro.physio.signals import PhysioSample, StressEpisode, generate_stream
+
+
+class TestSignals:
+    def test_deterministic_under_seed(self):
+        a = generate_stream(60, firefighter_id=1, seed=3)
+        b = generate_stream(60, firefighter_id=1, seed=3)
+        assert [s.heart_rate for s in a] == [s.heart_rate for s in b]
+
+    def test_one_hz_sampling(self):
+        samples = generate_stream(120)
+        assert len(samples) == 120
+        assert samples[1].timestamp - samples[0].timestamp == 1.0
+
+    def test_stress_raises_hr_and_gsr(self):
+        samples = generate_stream(300, [StressEpisode(100, 200, 1.0)])
+        calm = [s for s in samples if s.timestamp < 60]
+        stressed = [s for s in samples if 120 <= s.timestamp < 180]
+        assert np.mean([s.heart_rate for s in stressed]) > (
+            np.mean([s.heart_rate for s in calm]) + 50
+        )
+        assert np.mean([s.gsr for s in stressed]) > np.mean(
+            [s.gsr for s in calm]
+        )
+
+    def test_stress_drops_skin_temp(self):
+        samples = generate_stream(300, [StressEpisode(100, 200, 1.0)])
+        calm = np.mean([s.skin_temp for s in samples if s.timestamp < 60])
+        stressed = np.mean(
+            [s.skin_temp for s in samples if 120 <= s.timestamp < 180]
+        )
+        assert stressed < calm
+
+    def test_episode_validation(self):
+        with pytest.raises(ValueError):
+            StressEpisode(100, 50)
+        with pytest.raises(ValueError):
+            StressEpisode(0, 10, intensity=0.0)
+
+    def test_duration_validation(self):
+        with pytest.raises(ValueError):
+            generate_stream(0)
+
+    def test_physiological_ranges(self):
+        samples = generate_stream(600, [StressEpisode(0, 600, 1.0)])
+        for s in samples:
+            assert 40 <= s.heart_rate <= 210
+            assert s.gsr > 0
+            assert 28 <= s.skin_temp <= 40
+
+
+class TestFeatures:
+    def test_window_count(self):
+        samples = generate_stream(100)
+        windows = sliding_windows(samples, window_seconds=30, step_seconds=10)
+        assert len(windows) == 8
+
+    def test_window_features_reflect_content(self):
+        samples = [
+            PhysioSample(float(i), 70.0 + i, 2.0, 33.0, 0.0) for i in range(30)
+        ]
+        features = window_features(samples)
+        assert features.hr_slope == pytest.approx(1.0, abs=1e-9)
+        assert features.hr_mean == pytest.approx(70.0 + 14.5)
+
+    def test_gsr_delta(self):
+        samples = [
+            PhysioSample(float(i), 70.0, 2.0 + 0.1 * i, 33.0, 0.0)
+            for i in range(10)
+        ]
+        assert window_features(samples).gsr_delta == pytest.approx(0.9)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            window_features([])
+
+    def test_bad_window_params(self):
+        with pytest.raises(ValueError):
+            sliding_windows([], window_seconds=0)
+
+
+class TestMapping:
+    def make_features(self, hr, gsr, temp):
+        samples = [PhysioSample(float(i), hr, gsr, temp, 0.0) for i in range(30)]
+        return window_features(samples)
+
+    def test_calm_low_arousal(self):
+        mapper = EmotionalMapper()
+        assert mapper.arousal(self.make_features(70, 2, 33)) < 0.15
+
+    def test_stressed_high_arousal(self):
+        mapper = EmotionalMapper()
+        assert mapper.arousal(self.make_features(170, 11, 32)) > 0.85
+
+    def test_fear_signature_negative_valence(self):
+        mapper = EmotionalMapper()
+        fear = self.make_features(170, 11, 31.8)  # high arousal + temp drop
+        assert mapper.valence(fear) < -0.3
+
+    def test_exertion_without_temp_drop_non_negative(self):
+        mapper = EmotionalMapper()
+        exertion = self.make_features(150, 8, 33.2)
+        assert mapper.valence(exertion) >= 0.0
+
+    def test_fear_state_dominated_by_frightened(self):
+        mapper = EmotionalMapper()
+        state = mapper.emotional_state(self.make_features(175, 11, 31.5))
+        top = [name for name, __ in state.top(2)]
+        assert "frightened" in top
+
+    def test_calm_state_low_intensity_everywhere(self):
+        mapper = EmotionalMapper()
+        state = mapper.emotional_state(self.make_features(70, 2, 33))
+        assert max(state.intensities.values()) < 0.4
+
+
+class TestCommander:
+    def test_alert_raised_during_sustained_stress(self):
+        samples = generate_stream(400, [StressEpisode(100, 300, 1.0)], seed=2)
+        advisor = CommanderAdvisor()
+        assessments = advisor.assess_stream(7, samples)
+        alerts = [a for a in assessments if a.alert]
+        assert alerts
+        assert all("rotate firefighter 7" in a.alert for a in alerts)
+        assert all(100 <= a.window_end <= 340 for a in alerts)
+
+    def test_no_alerts_when_calm(self):
+        samples = generate_stream(300, seed=3)
+        assessments = CommanderAdvisor().assess_stream(1, samples)
+        assert not [a for a in assessments if a.alert]
+        assert all(a.status == "fit" for a in assessments)
+
+    def test_fitness_recovers_after_episode(self):
+        samples = generate_stream(500, [StressEpisode(100, 200, 1.0)], seed=4)
+        assessments = CommanderAdvisor().assess_stream(1, samples)
+        during = [a.fitness for a in assessments if 150 <= a.window_end <= 200]
+        after = [a.fitness for a in assessments if a.window_end > 400]
+        assert min(during) < 0.6
+        assert np.mean(after) > 0.8
+
+    def test_separate_firefighters_tracked_independently(self):
+        advisor = CommanderAdvisor()
+        hot = generate_stream(200, [StressEpisode(0, 200, 1.0)], 1, seed=5)
+        cold = generate_stream(200, firefighter_id=2, seed=5)
+        a_hot = advisor.assess_stream(1, hot)
+        a_cold = advisor.assess_stream(2, cold)
+        assert np.mean([a.fitness for a in a_hot]) < np.mean(
+            [a.fitness for a in a_cold]
+        )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CommanderAdvisor(alert_threshold=0.0)
+        with pytest.raises(ValueError):
+            CommanderAdvisor(consecutive_for_alert=0)

@@ -1,0 +1,120 @@
+"""Property-based tests on the database substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.index import HashIndex, SortedIndex
+from repro.db.query import Query, hash_join
+from repro.db.schema import Column, ColumnType, Schema
+from repro.db.storage import load_table, save_table
+from repro.db.table import Table
+
+SCHEMA = Schema(
+    [
+        Column("k", ColumnType.INT64),
+        Column("v", ColumnType.FLOAT64),
+        Column("s", ColumnType.STRING),
+    ]
+)
+
+row_strategy = st.fixed_dictionaries(
+    {
+        "k": st.integers(-50, 50),
+        "v": st.floats(-1e6, 1e6, allow_nan=False),
+        "s": st.text(alphabet="abcXYZ ", max_size=8),
+    }
+)
+
+
+class TestTableProperties:
+    @given(st.lists(row_strategy, max_size=60))
+    def test_append_then_read_back(self, rows):
+        table = Table.from_rows(SCHEMA, rows)
+        assert len(table) == len(rows)
+        assert list(table.rows()) == rows
+
+    @given(st.lists(row_strategy, min_size=1, max_size=40), st.data())
+    def test_take_preserves_rows(self, rows, data):
+        table = Table.from_rows(SCHEMA, rows)
+        ids = data.draw(
+            st.lists(st.integers(0, len(rows) - 1), max_size=20)
+        )
+        taken = table.take(ids)
+        assert [taken.row(i) for i in range(len(ids))] == [
+            rows[j] for j in ids
+        ]
+
+
+class TestIndexVsScanProperties:
+    @given(st.lists(row_strategy, min_size=1, max_size=60),
+           st.integers(-50, 50))
+    def test_hash_index_equals_scan(self, rows, key):
+        table = Table.from_rows(SCHEMA, rows)
+        index = HashIndex(table, "k")
+        scan = {i for i, row in enumerate(rows) if row["k"] == key}
+        assert set(index.lookup(key).tolist()) == scan
+
+    @given(st.lists(row_strategy, min_size=1, max_size=60),
+           st.floats(-1e6, 1e6, allow_nan=False),
+           st.floats(-1e6, 1e6, allow_nan=False))
+    def test_sorted_index_range_equals_scan(self, rows, a, b):
+        low, high = min(a, b), max(a, b)
+        table = Table.from_rows(SCHEMA, rows)
+        index = SortedIndex(table, "v")
+        scan = {i for i, row in enumerate(rows) if low <= row["v"] <= high}
+        assert set(index.range(low, high).tolist()) == scan
+
+    @given(st.lists(row_strategy, min_size=1, max_size=60),
+           st.integers(-50, 50))
+    def test_query_where_equals_python_filter(self, rows, threshold):
+        table = Table.from_rows(SCHEMA, rows)
+        got = Query(table).where("k", ">=", threshold).count()
+        expected = sum(1 for row in rows if row["k"] >= threshold)
+        assert got == expected
+
+
+class TestStorageProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(row_strategy, max_size=40))
+    def test_npz_round_trip(self, rows):
+        import tempfile
+        from pathlib import Path
+
+        table = Table.from_rows(SCHEMA, rows)
+        with tempfile.TemporaryDirectory() as tmp:
+            loaded = load_table(save_table(table, Path(tmp) / "t.npz"))
+        assert list(loaded.rows()) == rows
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(row_strategy, max_size=40))
+    def test_jsonl_round_trip(self, rows):
+        import tempfile
+        from pathlib import Path
+
+        table = Table.from_rows(SCHEMA, rows)
+        with tempfile.TemporaryDirectory() as tmp:
+            loaded = load_table(save_table(table, Path(tmp) / "t.jsonl"))
+        assert list(loaded.rows()) == rows
+
+
+class TestJoinProperties:
+    @given(st.lists(row_strategy, max_size=30), st.lists(row_strategy, max_size=30))
+    def test_join_cardinality_matches_nested_loop(self, left_rows, right_rows):
+        left = Table.from_rows(SCHEMA, left_rows, name="l")
+        right_schema = Schema(
+            [Column("k", ColumnType.INT64), Column("w", ColumnType.FLOAT64)]
+        )
+        right = Table.from_rows(
+            right_schema,
+            [{"k": r["k"], "w": r["v"]} for r in right_rows],
+            name="r",
+        )
+        joined = hash_join(left, right, on="k")
+        expected = sum(
+            1
+            for lrow in left_rows
+            for rrow in right_rows
+            if lrow["k"] == rrow["k"]
+        )
+        assert len(joined) == expected

@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.emotions import EMOTION_NAMES, EmotionalState
+from repro.core.human_values import DEFAULT_VALUES, HumanValuesScale
+from repro.core.reward import ReinforcementPolicy
+from repro.core.sum_model import SmartUserModel
+from repro.lifelog.events import ActionCategory, Event
+from repro.lifelog.sessionizer import sessionize
+from repro.ml.calibration import PlattScaler
+from repro.ml.metrics import cumulative_gain_curve, roc_auc
+
+emotion = st.sampled_from(EMOTION_NAMES)
+intensity = st.floats(0.0, 1.0, allow_nan=False)
+delta = st.floats(-2.0, 2.0, allow_nan=False)
+
+
+class TestEmotionalStateInvariants:
+    @given(st.lists(st.tuples(emotion, delta), max_size=50))
+    def test_activation_sequences_stay_bounded(self, updates):
+        state = EmotionalState()
+        for name, d in updates:
+            state.activate(name, d)
+        for name in EMOTION_NAMES:
+            assert 0.0 <= state[name] <= 1.0
+
+    @given(st.dictionaries(emotion, intensity, max_size=10))
+    def test_mood_bounded(self, intensities):
+        state = EmotionalState(dict(intensities))
+        assert -1.0 <= state.mood() <= 1.0
+        assert 0.0 <= state.arousal() <= 1.0
+
+    @given(st.dictionaries(emotion, intensity, max_size=10),
+           st.floats(0.0, 1.0, allow_nan=False))
+    def test_decay_never_increases(self, intensities, rate):
+        state = EmotionalState(dict(intensities))
+        before = {n: state[n] for n in EMOTION_NAMES}
+        state.decay(rate)
+        for name in EMOTION_NAMES:
+            assert state[name] <= before[name] + 1e-12
+
+    @given(st.dictionaries(emotion, intensity, max_size=10))
+    def test_vector_round_trip(self, intensities):
+        state = EmotionalState(dict(intensities))
+        clone = EmotionalState.from_vector(state.as_vector())
+        for name in EMOTION_NAMES:
+            assert abs(clone[name] - state[name]) < 1e-12
+
+
+class TestReinforcementInvariants:
+    @given(
+        st.lists(
+            st.tuples(st.booleans(),
+                      st.lists(emotion, min_size=1, max_size=3),
+                      st.floats(0.0, 1.0, allow_nan=False)),
+            max_size=30,
+        )
+    )
+    def test_arbitrary_reward_punish_sequences_stay_valid(self, steps):
+        policy = ReinforcementPolicy()
+        model = SmartUserModel(1)
+        for is_reward, attributes, strength in steps:
+            if is_reward:
+                policy.reward(model, attributes, strength)
+            else:
+                policy.punish(model, attributes, strength)
+        for name in EMOTION_NAMES:
+            assert 0.0 <= model.emotional[name] <= 1.0
+        for weight in model.sensibility.values():
+            assert 0.0 <= weight <= 1.0
+
+
+class TestSessionizerInvariants:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.floats(0, 10_000, allow_nan=False)),
+            min_size=1,
+            max_size=60,
+        ),
+        st.floats(1.0, 5_000.0, allow_nan=False),
+    )
+    def test_partition_and_gap_invariants(self, pairs, timeout):
+        events = [
+            Event(ts, uid, "view", ActionCategory.NAVIGATION)
+            for uid, ts in pairs
+        ]
+        sessions = sessionize(events, timeout=timeout)
+        # every event in exactly one session
+        assert sum(len(s) for s in sessions) == len(events)
+        for session in sessions:
+            times = [e.timestamp for e in session.events]
+            assert times == sorted(times)
+            for a, b in zip(times, times[1:]):
+                assert b - a <= timeout
+        # consecutive sessions of one user are separated by > timeout
+        by_user = {}
+        for session in sessions:
+            by_user.setdefault(session.user_id, []).append(session)
+        for user_sessions in by_user.values():
+            user_sessions.sort(key=lambda s: s.start)
+            for a, b in zip(user_sessions, user_sessions[1:]):
+                assert b.start - a.end > timeout
+
+
+class TestGainCurveInvariants:
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.floats(-5, 5, allow_nan=False)),
+            min_size=5,
+            max_size=200,
+        ).filter(lambda rows: any(y for y, __ in rows))
+    )
+    def test_monotone_with_unit_endpoints(self, rows):
+        y = np.asarray([int(label) for label, __ in rows])
+        scores = np.asarray([s for __, s in rows])
+        fractions, captured = cumulative_gain_curve(y, scores)
+        assert captured[0] == 0.0
+        assert captured[-1] == 1.0
+        assert np.all(np.diff(captured) >= -1e-12)
+        assert np.all((captured >= 0) & (captured <= 1))
+
+
+class TestPlattInvariants:
+    @given(st.integers(0, 10_000))
+    def test_calibration_preserves_auc(self, seed):
+        rng = np.random.default_rng(seed)
+        margins = rng.normal(size=80)
+        y = (rng.random(80) < 1 / (1 + np.exp(-margins))).astype(int)
+        if y.sum() in (0, len(y)):
+            return
+        proba = PlattScaler().fit(margins, y).predict_proba(margins)
+        assert np.all((proba >= 0) & (proba <= 1))
+        assert abs(roc_auc(y, proba) - roc_auc(y, margins)) < 1e-9
+
+
+class TestHumanValuesInvariants:
+    value_name = st.sampled_from(DEFAULT_VALUES)
+
+    @given(st.lists(st.dictionaries(value_name, intensity, min_size=1,
+                                    max_size=4), max_size=20))
+    def test_weights_stay_bounded(self, actions):
+        scale = HumanValuesScale()
+        for signals in actions:
+            scale.observe_action(signals)
+        for weight in scale.weights.values():
+            assert 0.0 <= weight <= 1.0
+
+    @given(st.dictionaries(value_name, intensity, min_size=2, max_size=8))
+    def test_coherence_bounded_and_reflexive(self, stated):
+        scale = HumanValuesScale()
+        for name, value in stated.items():
+            scale.observe_action({name: value})
+        coherence = scale.coherence(stated)
+        assert 0.0 <= coherence <= 1.0

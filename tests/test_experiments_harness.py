@@ -1,0 +1,57 @@
+"""The shared business-case harness behind benches and examples."""
+
+import numpy as np
+import pytest
+
+from repro.campaigns.delivery import EngineConfig
+from repro.experiments import run_business_case
+
+
+@pytest.fixture(scope="module")
+def tiny_run():
+    return run_business_case(n_users=400, n_courses=30, seed=7, n_warmups=1)
+
+
+class TestBusinessCaseHarness:
+    def test_ten_reported_campaigns(self, tiny_run):
+        assert len(tiny_run.results) == 10
+
+    def test_summary_and_baseline_attached(self, tiny_run):
+        assert tiny_run.summary.average_performance > 0
+        assert tiny_run.baseline_summary.average_performance > 0
+
+    def test_gain_curve_shape(self, tiny_run):
+        fractions, captured = tiny_run.gain_curve
+        assert captured[0] == 0.0
+        assert captured[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(captured) >= -1e-12)
+
+    def test_gain_at_40_matches_curve(self, tiny_run):
+        fractions, captured = tiny_run.gain_curve
+        interpolated = float(np.interp(0.40, fractions, captured))
+        assert tiny_run.gain_at_40 == pytest.approx(interpolated, abs=0.02)
+
+    def test_improvement_definition(self, tiny_run):
+        expected = (
+            tiny_run.summary.average_performance
+            / tiny_run.baseline_summary.average_performance
+            - 1.0
+        )
+        assert tiny_run.improvement == pytest.approx(expected)
+
+    def test_aucs_better_than_random(self, tiny_run):
+        aucs = tiny_run.per_campaign_auc()
+        assert aucs
+        assert np.mean(aucs) > 0.55
+        assert tiny_run.pooled_auc() > 0.5
+
+    def test_custom_config_respected(self):
+        run = run_business_case(
+            n_users=200,
+            n_courses=20,
+            seed=3,
+            n_warmups=1,
+            config=EngineConfig(seed=3, estimator="logistic"),
+        )
+        assert run.spa.engine.config.estimator == "logistic"
+        assert len(run.results) == 10

@@ -1,0 +1,101 @@
+"""End-to-end SPA integration: the whole Fig. 3 platform on a small world."""
+
+import numpy as np
+import pytest
+
+from repro import EngineConfig, SimulatedWorld, SmartPredictionAssistant
+
+
+@pytest.fixture(scope="module")
+def spa_run():
+    world = SimulatedWorld.generate(n_users=600, n_courses=40, seed=7)
+    spa = SmartPredictionAssistant(world, EngineConfig(seed=7))
+    spa.bootstrap()
+    results = spa.run_default_plan(n_warmups=2)
+    return world, spa, results
+
+
+class TestEndToEnd:
+    def test_ten_campaigns_delivered(self, spa_run):
+        __, __, results = spa_run
+        assert len(results) == 10
+        channels = [r.spec.channel for r in results]
+        assert channels.count("push") == 8
+        assert channels.count("newsletter") == 2
+
+    def test_all_reported_campaigns_scored(self, spa_run):
+        __, __, results = spa_run
+        for result in results:
+            scores, __o = result.scores_and_outcomes()
+            assert len(scores) == result.n_targets
+
+    def test_summary_in_plausible_band(self, spa_run):
+        __, spa, results = spa_run
+        summary = spa.summary(results)
+        assert 0.05 < summary.average_performance < 0.45
+        assert summary.total_useful_impacts > 0
+
+    def test_redemption_curve_beats_random(self, spa_run):
+        __, spa, results = spa_run
+        assert spa.redemption_at(results, 0.4) > 0.45
+
+    def test_redemption_curve_valid_shape(self, spa_run):
+        __, spa, results = spa_run
+        fractions, captured = spa.redemption_curve(results)
+        assert captured[0] == 0.0
+        assert captured[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(captured) >= -1e-12)
+
+    def test_chart_renders(self, spa_run):
+        __, spa, results = spa_run
+        chart = spa.redemption_chart(results)
+        assert "100%" in chart and "*" in chart
+
+    def test_personalization_beats_baseline(self, spa_run):
+        __, spa, results = spa_run
+        baseline = spa.run_baseline_plan()
+        assert spa.summary(results).average_performance > spa.summary(
+            baseline
+        ).average_performance
+
+    def test_architecture_lists_five_components(self, spa_run):
+        __, spa, __r = spa_run
+        lines = spa.architecture()
+        assert len(lines) == 6  # title + five agents
+
+    def test_agent_bus_reaches_all_components(self, spa_run):
+        world, spa, __ = spa_run
+        replies = spa.ask_agent(
+            "messaging",
+            "messaging.assign",
+            {"user_ids": [0, 1], "course_id": world.catalog.course_ids()[0]},
+        )
+        assert replies and replies[0].topic == "messaging.assigned"
+        replies = spa.ask_agent(
+            "attributes", "attributes.analyze", {"user_ids": [0]}
+        )
+        assert replies and replies[0].topic == "attributes.analyzed"
+
+    def test_sums_learned_emotional_signal(self, spa_run):
+        world, spa, __ = spa_run
+        traits, ids = world.population.trait_matrix()
+        learned = np.vstack(
+            [spa.engine.sums.get(uid).emotional_vector() for uid in ids]
+        )
+        correlations = []
+        for j in range(traits.shape[1]):
+            if learned[:, j].std() > 0:
+                correlations.append(
+                    np.corrcoef(learned[:, j], traits[:, j])[0, 1]
+                )
+        assert np.mean(correlations) > 0.15
+
+    def test_run_is_reproducible(self):
+        def run():
+            world = SimulatedWorld.generate(n_users=200, n_courses=20, seed=11)
+            spa = SmartPredictionAssistant(world, EngineConfig(seed=11))
+            spa.bootstrap()
+            results = spa.run_default_plan(n_warmups=1)
+            return spa.summary(results).average_performance
+
+        assert run() == run()
