@@ -19,6 +19,11 @@ emagister.com deployment:
   generators (the documented substitution for the proprietary data);
 * :mod:`repro.cf` — classical and emotion-context-aware collaborative
   filtering baselines;
+* :mod:`repro.serving` — the batch-first serving layer: the
+  :class:`~repro.serving.scorer.Scorer` protocol, adapters for every
+  scorer family, typed request/response envelopes and the
+  :class:`~repro.serving.service.RecommendationService` facade serving
+  the paper's recommendation and selection functions as matrix ops;
 * :mod:`repro.physio` — the wearIT@work future-work extension
   (physiological signals → emotional context).
 
@@ -32,6 +37,13 @@ Quickstart::
     results = spa.run_default_plan()
     print(spa.summary(results).average_performance)   # ≈ 0.21 (Fig. 6b)
     print(spa.redemption_chart(results))              # Fig. 6a
+
+Serving (the two paper functions, batch-first)::
+
+    response = spa.recommend_courses(user_id=42, k=3)
+    for entry in response.ranked:   # base score, emotional multiplier, total
+        print(entry.item, entry.base_score, entry.multiplier)
+    selected = spa.select_users_for(course_id=7, k=100)
 """
 
 from repro.campaigns.delivery import EngineConfig
@@ -44,9 +56,18 @@ from repro.core import (
     SmartUserModel,
     SumRepository,
 )
+from repro.serving import (
+    RecommendationRequest,
+    RecommendationResponse,
+    RecommendationService,
+    Scorer,
+    ScorerBase,
+    SelectionRequest,
+    SelectionResponse,
+)
 from repro.spa import SimulatedWorld, SmartPredictionAssistant
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "EmotionAwareRecommender",
@@ -55,6 +76,13 @@ __all__ = [
     "FourBranchProfile",
     "GradualEIT",
     "QuestionBank",
+    "RecommendationRequest",
+    "RecommendationResponse",
+    "RecommendationService",
+    "Scorer",
+    "ScorerBase",
+    "SelectionRequest",
+    "SelectionResponse",
     "SimulatedWorld",
     "SmartPredictionAssistant",
     "SmartUserModel",

@@ -24,8 +24,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.campaigns.campaign import CampaignResult, TouchRecord
-from repro.campaigns.propensity import EstimatorName, FeatureBuilder, PropensityModel
+from repro.campaigns.propensity import (
+    EstimatorName,
+    FeatureBuilder,
+    PropensityModel,
+    estimated_appeal,
+)
 from repro.campaigns.targeting import select_random_targets
+from repro.core.advice import DomainProfile
 from repro.core.gradual_eit import GradualEIT, QuestionBank
 from repro.core.reward import ReinforcementPolicy
 from repro.core.sensibility import SensibilityAnalyzer
@@ -39,6 +45,8 @@ from repro.lifelog.store import EventLog
 from repro.ml.svd import TruncatedSVD
 from repro.messaging.assigner import MessageAssigner
 from repro.messaging.templates import default_template_bank
+from repro.serving.adapters import PropensityScorer
+from repro.serving.service import RecommendationService
 
 
 def _emotions_behind(attribute: str | None) -> tuple[str, ...]:
@@ -116,6 +124,7 @@ class CampaignEngine:
         self._course_engagement: dict[int, dict[int, float]] = {}
         self._area_engagement: dict[int, dict[str, float]] = {}
         self.model: PropensityModel | None = None
+        self._serving: RecommendationService | None = None
         self.history: list[CampaignResult] = []
         #: (user_id, course_id, transacted) per delivered touch
         self._training_rows: list[tuple[int, int, bool]] = []
@@ -297,6 +306,50 @@ class CampaignEngine:
         )
         return self.model.predict_proba(x)
 
+    # -- serving -----------------------------------------------------------
+
+    def recommendation_service(self) -> RecommendationService:
+        """The batch-first serving facade over this engine's scorers.
+
+        Items are course ids.  Three scorer families are registered:
+
+        * ``"propensity"`` (default) — the calibrated propensity stack
+          (requires a trained model; :meth:`train_propensity` runs one);
+        * ``"appeal"`` — SPA's estimated emotional appeal of the course,
+          usable before any campaign history exists;
+        * ``"engagement"`` — retargeting evidence from organic browsing.
+
+        The adapters read live engine state, so the service stays current
+        across retrains; the facade itself is built once and cached.
+        """
+        if self._serving is None:
+            catalog = self.world.catalog
+            service = RecommendationService(
+                sums=self.sums,
+                domain_profile=DomainProfile("courses", AFFINITY_LINKS),
+                item_attributes={
+                    course_id: dict(catalog.get(course_id).attributes)
+                    for course_id in catalog.course_ids()
+                },
+            )
+            service.register("propensity", PropensityScorer(self))
+            service.register(
+                "appeal",
+                lambda model, course_id: estimated_appeal(
+                    None, catalog.get(int(course_id)), model
+                ),
+            )
+            service.register(
+                "engagement",
+                lambda model, course_id: float(np.log1p(
+                    self._course_engagement
+                    .get(model.user_id, {})
+                    .get(int(course_id), 0.0)
+                )),
+            )
+            self._serving = service
+        return self._serving
+
     # -- delivery ----------------------------------------------------------
 
     def run_campaign(
@@ -331,7 +384,13 @@ class CampaignEngine:
         )
         scores: dict[int, float] = {}
         if scored and self.model is not None:
-            for uid, p in zip(targets, self.score_users(targets, course)):
+            # Raw calibrated propensities through the serving layer's batch
+            # path (adjust=False: delivery ranks on the calibrated model;
+            # the Advice stage already shaped the training signal).
+            column = self.recommendation_service().score_matrix(
+                targets, [course.course_id], scorer="propensity", adjust=False
+            )[:, 0]
+            for uid, p in zip(targets, column):
                 scores[uid] = float(p)
 
         result = CampaignResult(spec=spec)

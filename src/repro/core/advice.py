@@ -15,7 +15,9 @@ attribute, <1 suppresses them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.core.emotions import EMOTION_CATALOG
 from repro.core.sum_model import SmartUserModel
@@ -116,3 +118,97 @@ class AdviceEngine:
                 multiplier *= boost ** max(0.0, min(1.0, presence))
             adjusted[item] = base * multiplier
         return adjusted
+
+    # -- vectorized batch path --------------------------------------------
+
+    def boosts_matrix(
+        self, models: Sequence[SmartUserModel], profile: DomainProfile
+    ) -> np.ndarray:
+        """Per-user attribute boosts as a ``(n_users, n_attributes)`` array.
+
+        Row ``u`` equals :meth:`boosts` for ``models[u]`` with columns in
+        :meth:`DomainProfile.item_attributes` order.  One tensor product
+        replaces the per-user, per-link dict passes.
+        """
+        attributes = profile.item_attributes()
+        emotions = sorted(profile.links)
+        if not models or not attributes:
+            return np.ones((len(models), len(attributes)))
+        gains = np.zeros((len(emotions), len(attributes)))
+        columns = {name: j for j, name in enumerate(attributes)}
+        for row, emotion in enumerate(emotions):
+            for item_attribute, gain in profile.links[emotion].items():
+                gains[row, columns[item_attribute]] = gain
+        intensity = np.asarray(
+            [[m.emotional[e] for e in emotions] for m in models]
+        )
+        relevance = np.asarray(
+            [[m.sensibility.get(e, 1.0) for e in emotions] for m in models]
+        )
+        # factor[u, e, a] = 1 + gain_scale·gain·intensity·sensibility,
+        # floored at 0.05 exactly as in the scalar path; absent links have
+        # gain 0 and contribute a factor of exactly 1.
+        factors = 1.0 + self.gain_scale * (
+            (intensity * relevance)[:, :, None] * gains[None, :, :]
+        )
+        np.maximum(factors, 0.05, out=factors)
+        return factors.prod(axis=1)
+
+    def presence_matrix(
+        self,
+        items: Sequence[object],
+        item_attributes: Mapping[object, Mapping[str, float]],
+        profile: DomainProfile,
+    ) -> np.ndarray:
+        """Clamped ``(n_items, n_attributes)`` attribute-presence matrix."""
+        attributes = profile.item_attributes()
+        presence = np.zeros((len(items), len(attributes)))
+        columns = {name: j for j, name in enumerate(attributes)}
+        for row, item in enumerate(items):
+            for attribute, value in item_attributes.get(item, {}).items():
+                column = columns.get(attribute)
+                if column is not None:
+                    presence[row, column] = max(0.0, min(1.0, value))
+        return presence
+
+    def multiplier_matrix(
+        self,
+        models: Sequence[SmartUserModel],
+        items: Sequence[object],
+        item_attributes: Mapping[object, Mapping[str, float]],
+        profile: DomainProfile,
+    ) -> np.ndarray:
+        """Emotional multipliers for every (user, item) pair at once.
+
+        ``multiplier[u, i] = Π_a boosts[u, a] ** presence[i, a]`` computed
+        in log space, so the whole Advice stage is two matmul-shaped ops.
+        """
+        boosts = self.boosts_matrix(models, profile)
+        if boosts.shape[1] == 0:
+            return np.ones((len(models), len(items)))
+        presence = self.presence_matrix(items, item_attributes, profile)
+        return np.exp(np.log(boosts) @ presence.T)
+
+    def adjust_matrix(
+        self,
+        base: np.ndarray,
+        models: Sequence[SmartUserModel],
+        items: Sequence[object],
+        item_attributes: Mapping[object, Mapping[str, float]],
+        profile: DomainProfile,
+    ) -> np.ndarray:
+        """Vectorized :meth:`adjust_scores` over a ``(users × items)`` batch.
+
+        ``base[u, i]`` is the emotion-free score of ``items[i]`` for
+        ``models[u]``; the result applies the same presence-weighted
+        geometric boosts as the scalar path, as ndarray ops.
+        """
+        base = np.asarray(base, dtype=np.float64)
+        if base.shape != (len(models), len(items)):
+            raise ValueError(
+                f"base scores shape {base.shape} does not match "
+                f"({len(models)}, {len(items)})"
+            )
+        return base * self.multiplier_matrix(
+            models, items, item_attributes, profile
+        )

@@ -1,4 +1,4 @@
-"""The two campaign functions of Section 5.4.
+"""The two campaign functions of Section 5.4 (legacy entry points).
 
 "SPA delivered more empathic recommendations through two well differenced
 functions:
@@ -8,9 +8,14 @@ functions:
 2. The selection function: to choose the user with greater propensity to
    follow a course in the recommender system."
 
-:class:`EmotionAwareRecommender` implements both on top of any base scorer
-(propensity model, CF model, popularity prior), with the Advice stage's
-emotional boosts applied on top.
+.. deprecated::
+    :class:`EmotionAwareRecommender` is now a thin shim over the
+    batch-first serving layer (:mod:`repro.serving`): every call routes
+    through :class:`~repro.serving.service.RecommendationService` and the
+    vectorized Advice stage.  New code should build a
+    ``RecommendationService`` directly and register scorers through the
+    :class:`~repro.serving.scorer.Scorer` protocol; the signatures here
+    are kept for compatibility with existing call sites.
 """
 
 from __future__ import annotations
@@ -36,8 +41,47 @@ class RankedItem:
     adjusted_score: float
 
 
+class _SingleModelResolver:
+    """Resolver serving one in-hand SUM regardless of the requested id.
+
+    The legacy ``recommend(model, items)`` signature hands the model in
+    directly, so the serving layer's id-based resolution short-circuits
+    here.
+    """
+
+    def __init__(self, model: SmartUserModel) -> None:
+        self._model = model
+
+    def get(self, user_id: int) -> SmartUserModel:
+        return self._model
+
+    def user_ids(self) -> list[int]:
+        return [self._model.user_id]
+
+
+class _SwappableResolver:
+    """Indirection letting one cached service serve varying resolvers.
+
+    The legacy API takes the repository (or a bare model) per *call*, so
+    the shim retargets this resolver instead of rebuilding the service
+    and its adapter for every invocation.
+    """
+
+    def __init__(self) -> None:
+        self._target: object | None = None
+
+    def retarget(self, target: object) -> None:
+        self._target = target
+
+    def get(self, user_id: int) -> SmartUserModel:
+        return self._target.get(user_id)
+
+    def user_ids(self) -> list[int]:
+        return self._target.user_ids()
+
+
 class EmotionAwareRecommender:
-    """Emotion-adjusted ranking over items and users.
+    """Emotion-adjusted ranking over items and users (compatibility shim).
 
     Parameters
     ----------
@@ -63,6 +107,32 @@ class EmotionAwareRecommender:
         self.domain_profile = domain_profile
         self.item_attributes = dict(item_attributes)
         self.advice = advice or AdviceEngine()
+        self._resolver = _SwappableResolver()
+        self._cached_service = None
+
+    def _service(self, resolver: object):
+        """The cached serving facade, retargeted to ``resolver``."""
+        if self._cached_service is None:
+            # Imported lazily: repro.serving depends on repro.core.advice,
+            # and this module is imported by repro.core's own __init__.
+            from repro.serving.adapters import LegacyScorerAdapter
+            from repro.serving.service import RecommendationService
+
+            service = RecommendationService(
+                sums=self._resolver,
+                domain_profile=self.domain_profile,
+                item_attributes=self.item_attributes,
+                advice=self.advice,
+            )
+            # Share (not copy) the attribute dict so post-construction
+            # mutation of self.item_attributes keeps the seed's semantics.
+            service.item_attributes = self.item_attributes
+            service.register(
+                "base", LegacyScorerAdapter(self.base_scorer, self._resolver)
+            )
+            self._cached_service = service
+        self._resolver.retarget(resolver)
+        return self._cached_service
 
     # -- recommendation function ------------------------------------------
 
@@ -74,20 +144,21 @@ class EmotionAwareRecommender:
         This is the paper's *recommendation function*: the action/item with
         the highest probability of execution by the user goes first.
         """
-        if k < 1:
-            raise ValueError(f"k must be >= 1, got {k}")
-        base_scores = {item: float(self.base_scorer(model, item)) for item in items}
-        adjusted = self.advice.adjust_scores(
-            base_scores, self.item_attributes, model, self.domain_profile
+        from repro.serving.requests import RecommendationRequest
+        from repro.serving.scorer import validate_k
+
+        validate_k(k)
+        if len(items) == 0:
+            return []
+        response = self._service(_SingleModelResolver(model)).recommend(
+            RecommendationRequest(
+                user_id=model.user_id, items=list(items), k=k
+            )
         )
-        ranked = sorted(
-            (
-                RankedItem(item, base_scores[item], adjusted[item])
-                for item in items
-            ),
-            key=lambda r: (-r.adjusted_score, r.item),
-        )
-        return ranked[:k]
+        return [
+            RankedItem(entry.item, entry.base_score, entry.adjusted_score)
+            for entry in response.ranked
+        ]
 
     def best_action(
         self, model: SmartUserModel, items: Sequence[str]
@@ -110,19 +181,20 @@ class EmotionAwareRecommender:
 
         This is the paper's *selection function*: "to choose the user with
         greater propensity to follow a course".  Returns ``(user_id,
-        adjusted_score)`` pairs, best first, truncated to ``k`` if given.
+        adjusted_score)`` pairs, best first, truncated to ``k`` if given
+        (``k`` is validated uniformly with :meth:`recommend`: 0 or a
+        negative ``k`` raises instead of silently mis-truncating).
         """
-        ids = list(user_ids) if user_ids is not None else repository.user_ids()
-        scored: list[tuple[int, float]] = []
-        for user_id in ids:
-            model = repository.get(user_id)
-            base = {item: float(self.base_scorer(model, item))}
-            adjusted = self.advice.adjust_scores(
-                base, self.item_attributes, model, self.domain_profile
-            )
-            scored.append((user_id, adjusted[item]))
-        scored.sort(key=lambda pair: (-pair[1], pair[0]))
-        return scored if k is None else scored[:k]
+        from repro.serving.requests import SelectionRequest
+        from repro.serving.scorer import validate_k
+
+        validate_k(k, allow_none=True)
+        if user_ids is not None and len(user_ids) == 0:
+            return []
+        response = self._service(repository).select_users(
+            SelectionRequest(item=item, user_ids=user_ids, k=k)
+        )
+        return response.pairs()
 
     def score_matrix(
         self,
@@ -130,20 +202,10 @@ class EmotionAwareRecommender:
         items: Sequence[str],
         user_ids: Sequence[int] | None = None,
     ) -> tuple[np.ndarray, list[int]]:
-        """Adjusted scores for every (user, item) pair.
+        """Adjusted scores for every (user, item) pair, in one batch pass.
 
         Returns ``(matrix, row_user_ids)`` with items in column order.
         """
         ids = list(user_ids) if user_ids is not None else repository.user_ids()
-        matrix = np.zeros((len(ids), len(items)), dtype=np.float64)
-        for row, user_id in enumerate(ids):
-            model = repository.get(user_id)
-            base_scores = {
-                item: float(self.base_scorer(model, item)) for item in items
-            }
-            adjusted = self.advice.adjust_scores(
-                base_scores, self.item_attributes, model, self.domain_profile
-            )
-            for col, item in enumerate(items):
-                matrix[row, col] = adjusted[item]
+        matrix = self._service(repository).score_matrix(ids, list(items))
         return matrix, ids

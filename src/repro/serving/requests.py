@@ -1,0 +1,124 @@
+"""Typed request/response envelopes of the serving layer.
+
+The paper's two delivery functions become two request types:
+
+* :class:`RecommendationRequest` — "send in an individualized manner the
+  action with most probabilities of execution by the user";
+* :class:`SelectionRequest` — "choose the user with greater propensity to
+  follow a course".
+
+Responses carry per-item score breakdowns (base score, emotional
+multiplier, adjusted score) so callers can audit exactly what the Advice
+stage did to the ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.serving.scorer import ItemId, validate_k
+
+
+@dataclass(frozen=True)
+class RecommendationRequest:
+    """Rank ``items`` for one user.
+
+    Parameters
+    ----------
+    user_id:
+        The user to serve.
+    items:
+        Candidate item ids (course ids, slugs, …).
+    k:
+        Ranking depth, >= 1.
+    scorer:
+        Registered scorer name (service default when omitted).
+    adjust:
+        Apply the emotional Advice stage on top of the base scores.
+    """
+
+    user_id: int
+    items: Sequence[ItemId]
+    k: int = 5
+    scorer: str | None = None
+    adjust: bool = True
+
+    def __post_init__(self) -> None:
+        validate_k(self.k)
+        if len(self.items) == 0:
+            raise ValueError("no items to recommend from")
+
+
+@dataclass(frozen=True)
+class SelectionRequest:
+    """Rank users by propensity for one ``item``.
+
+    ``user_ids=None`` means every user the service's SUM repository
+    knows; ``k=None`` returns the full ranking.
+    """
+
+    item: ItemId
+    user_ids: Sequence[int] | None = None
+    k: int | None = None
+    scorer: str | None = None
+    adjust: bool = True
+
+    def __post_init__(self) -> None:
+        validate_k(self.k, allow_none=True)
+        if self.user_ids is not None and len(self.user_ids) == 0:
+            raise ValueError("empty user_ids; pass None for all users")
+
+
+@dataclass(frozen=True)
+class ScoredItem:
+    """One ranked item with its full score breakdown."""
+
+    item: ItemId
+    base_score: float
+    multiplier: float
+    adjusted_score: float
+
+
+@dataclass(frozen=True)
+class RecommendationResponse:
+    """Top-``k`` ranking for one user, best first."""
+
+    user_id: int
+    scorer: str
+    ranked: tuple[ScoredItem, ...] = field(default_factory=tuple)
+
+    @property
+    def items(self) -> list[ItemId]:
+        """Ranked item ids, best first."""
+        return [entry.item for entry in self.ranked]
+
+    @property
+    def best(self) -> ScoredItem:
+        """The single most-probable item (the paper's k=1 case)."""
+        if not self.ranked:
+            raise ValueError("empty recommendation response")
+        return self.ranked[0]
+
+
+@dataclass(frozen=True)
+class SelectedUser:
+    """One selected user with the score breakdown for the target item."""
+
+    user_id: int
+    base_score: float
+    multiplier: float
+    adjusted_score: float
+
+
+@dataclass(frozen=True)
+class SelectionResponse:
+    """Users ranked by adjusted propensity for one item, best first."""
+
+    item: ItemId
+    scorer: str
+    ranked: tuple[SelectedUser, ...] = field(default_factory=tuple)
+
+    def pairs(self) -> list[tuple[int, float]]:
+        """Legacy ``(user_id, adjusted_score)`` view, best first."""
+        return [(entry.user_id, entry.adjusted_score) for entry in self.ranked]

@@ -1,0 +1,97 @@
+"""The batch-first scoring contract every scorer family plugs into.
+
+The paper's SPA serves two functions (recommend items to a user, select
+users for an item); the seed grew one incompatible call signature per
+scorer family, all scored one ``(user, item)`` pair at a time.  The
+:class:`Scorer` protocol fixes the contract the serving layer builds on:
+
+``score_batch(user_ids, items) -> ndarray`` of shape
+``(len(user_ids), len(items))``, higher meaning more appealing, with a
+single-pair ``score`` convenience derived from it.
+
+Anything implementing the protocol — vectorized matrix math, a wrapped
+legacy callable, a remote model — composes identically under
+:class:`~repro.serving.service.RecommendationService` and the vectorized
+Advice stage.
+"""
+
+from __future__ import annotations
+
+import operator
+from abc import ABC, abstractmethod
+from typing import Hashable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+#: Item identifiers are opaque to the serving layer (course ids, slugs …).
+ItemId = Hashable
+
+
+def validate_k(k: int | None, *, allow_none: bool = False) -> int | None:
+    """Uniform ``k`` validation shared by every ranking API.
+
+    The seed validated ``k`` in ``recommend`` but silently sliced with
+    ``[:k]`` in ``select_users``, so a negative ``k`` returned a wrong
+    truncation instead of an error.  All ranking entry points now funnel
+    through this helper.
+    """
+    if k is None:
+        if allow_none:
+            return None
+        raise ValueError("k must be an integer >= 1, got None")
+    if isinstance(k, bool):
+        raise TypeError("k must be an int, got bool")
+    try:
+        k = operator.index(k)  # accepts any integral type (int, np.int64, …)
+    except TypeError:
+        raise TypeError(
+            f"k must be an int, got {type(k).__name__}"
+        ) from None
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return k
+
+
+@runtime_checkable
+class Scorer(Protocol):
+    """Structural type of a batch-first scorer."""
+
+    def score_batch(
+        self, user_ids: Sequence[int], items: Sequence[ItemId]
+    ) -> np.ndarray:
+        """Scores for the full ``user_ids × items`` grid."""
+        ...
+
+    def score(self, user_id: int, item: ItemId) -> float:
+        """Single-pair convenience."""
+        ...
+
+
+class ScorerBase(ABC):
+    """Base class supplying the single-pair default from the batch path."""
+
+    @abstractmethod
+    def score_batch(
+        self, user_ids: Sequence[int], items: Sequence[ItemId]
+    ) -> np.ndarray:
+        """Scores for the full ``user_ids × items`` grid."""
+
+    def score(self, user_id: int, item: ItemId) -> float:
+        """Single-pair convenience, derived from :meth:`score_batch`."""
+        return float(self.score_batch([user_id], [item])[0, 0])
+
+    def _as_grid(
+        self,
+        values: np.ndarray,
+        user_ids: Sequence[int],
+        items: Sequence[ItemId],
+    ) -> np.ndarray:
+        """Validate and coerce a score grid to the contract shape/dtype."""
+        grid = np.asarray(values, dtype=np.float64)
+        expected = (len(user_ids), len(items))
+        if grid.shape != expected:
+            raise ValueError(
+                f"{type(self).__name__} produced shape {grid.shape}, "
+                f"expected {expected}"
+            )
+        return grid

@@ -1,0 +1,216 @@
+"""The batch-first recommendation service facade.
+
+:class:`RecommendationService` holds a named registry of
+:class:`~repro.serving.scorer.Scorer` implementations plus the emotional
+configuration of the Advice stage (SUM repository, domain profile, item
+attributes), and serves the paper's two delivery functions on the batch
+path:
+
+* :meth:`RecommendationService.recommend` — the *recommendation
+  function* (top-k items for one user);
+* :meth:`RecommendationService.select_users` — the *selection function*
+  (users ranked by propensity for one item).
+
+Both run as ``score_batch`` + one vectorized
+:meth:`~repro.core.advice.AdviceEngine.multiplier_matrix` pass — no
+per-pair dict churn anywhere on the serving path.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.advice import AdviceEngine, DomainProfile
+from repro.core.sum_model import SmartUserModel
+from repro.serving.adapters import as_scorer
+from repro.serving.requests import (
+    RecommendationRequest,
+    RecommendationResponse,
+    ScoredItem,
+    SelectedUser,
+    SelectionRequest,
+    SelectionResponse,
+)
+from repro.serving.scorer import ItemId, Scorer
+
+
+class RecommendationService:
+    """Named-scorer registry + emotional adjustment, batch-first.
+
+    Parameters
+    ----------
+    sums:
+        User-model resolver (``.get(user_id)`` and ``.user_ids()``),
+        typically a :class:`~repro.core.sum_model.SumRepository`.
+        Optional for services that never adjust emotionally and always
+        receive explicit user lists.
+    domain_profile:
+        Excitatory links of the interaction domain; omit for a plain
+        (emotion-free) ranking service.
+    item_attributes:
+        ``item -> {attribute: presence}`` metadata for the Advice stage.
+    advice:
+        The advice engine (default configuration if omitted).
+    """
+
+    def __init__(
+        self,
+        sums: object | None = None,
+        domain_profile: DomainProfile | None = None,
+        item_attributes: Mapping[ItemId, Mapping[str, float]] | None = None,
+        advice: AdviceEngine | None = None,
+    ) -> None:
+        self.sums = sums
+        self.domain_profile = domain_profile
+        self.item_attributes = dict(item_attributes or {})
+        self.advice = advice or AdviceEngine()
+        self._scorers: dict[str, Scorer] = {}
+        self._default: str | None = None
+
+    # -- registry ----------------------------------------------------------
+
+    def register(
+        self, name: str, scorer: object, *, default: bool = False
+    ) -> Scorer:
+        """Register a scorer under ``name``; first registration is default.
+
+        ``scorer`` may be anything :func:`~repro.serving.adapters.as_scorer`
+        can coerce: a batch scorer, a pairwise ``.predict`` model, or a
+        legacy ``BaseScorer`` callable (resolved against ``sums``).
+        """
+        if not name or not isinstance(name, str):
+            raise ValueError(f"scorer name must be a non-empty str, got {name!r}")
+        adapted = as_scorer(scorer, resolver=self.sums)
+        self._scorers[name] = adapted
+        if default or self._default is None:
+            self._default = name
+        return adapted
+
+    def scorer(self, name: str | None = None) -> Scorer:
+        """Look up a registered scorer (the default when ``name`` is None)."""
+        key = name if name is not None else self._default
+        if key is None:
+            raise KeyError("no scorers registered")
+        try:
+            return self._scorers[key]
+        except KeyError:
+            raise KeyError(
+                f"unknown scorer {key!r}; registered: {self.scorer_names()}"
+            ) from None
+
+    def scorer_names(self) -> list[str]:
+        """Registered scorer names, registration order."""
+        return list(self._scorers)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._scorers
+
+    def __len__(self) -> int:
+        return len(self._scorers)
+
+    # -- batch scoring -----------------------------------------------------
+
+    def _resolve_models(self, user_ids: Sequence[int]) -> list[SmartUserModel]:
+        if self.sums is None:
+            raise RuntimeError(
+                "service has no SUM repository; cannot resolve user models "
+                "for emotional adjustment"
+            )
+        return [self.sums.get(int(uid)) for uid in user_ids]
+
+    def _grids(
+        self,
+        user_ids: Sequence[int],
+        items: Sequence[ItemId],
+        scorer_name: str | None,
+        adjust: bool,
+    ) -> tuple[str, np.ndarray, np.ndarray, np.ndarray]:
+        """(resolved name, base, multiplier, adjusted) for the full grid."""
+        name = scorer_name if scorer_name is not None else self._default
+        scorer = self.scorer(scorer_name)
+        base = np.asarray(
+            scorer.score_batch(list(user_ids), list(items)), dtype=np.float64
+        )
+        if base.shape != (len(user_ids), len(items)):
+            raise ValueError(
+                f"scorer {name!r} returned shape {base.shape}, expected "
+                f"({len(user_ids)}, {len(items)})"
+            )
+        if adjust and self.domain_profile is not None:
+            multiplier = self.advice.multiplier_matrix(
+                self._resolve_models(user_ids),
+                items,
+                self.item_attributes,
+                self.domain_profile,
+            )
+        else:
+            multiplier = np.ones_like(base)
+        return str(name), base, multiplier, base * multiplier
+
+    def score_matrix(
+        self,
+        user_ids: Sequence[int],
+        items: Sequence[ItemId],
+        scorer: str | None = None,
+        adjust: bool = True,
+    ) -> np.ndarray:
+        """Adjusted scores for the full ``user_ids × items`` grid."""
+        __, __base, __mult, adjusted = self._grids(
+            user_ids, items, scorer, adjust
+        )
+        return adjusted
+
+    # -- the two paper functions -------------------------------------------
+
+    def recommend(self, request: RecommendationRequest) -> RecommendationResponse:
+        """The paper's recommendation function, served on the batch path."""
+        name, base, multiplier, adjusted = self._grids(
+            [request.user_id], request.items, request.scorer, request.adjust
+        )
+        entries = [
+            ScoredItem(
+                item=item,
+                base_score=float(base[0, col]),
+                multiplier=float(multiplier[0, col]),
+                adjusted_score=float(adjusted[0, col]),
+            )
+            for col, item in enumerate(request.items)
+        ]
+        entries.sort(key=lambda entry: (-entry.adjusted_score, entry.item))
+        return RecommendationResponse(
+            user_id=int(request.user_id),
+            scorer=name,
+            ranked=tuple(entries[: request.k]),
+        )
+
+    def select_users(self, request: SelectionRequest) -> SelectionResponse:
+        """The paper's selection function, served on the batch path."""
+        if request.user_ids is not None:
+            ids = [int(uid) for uid in request.user_ids]
+        elif self.sums is not None:
+            ids = list(self.sums.user_ids())
+        else:
+            raise RuntimeError(
+                "selection over all users needs a SUM repository; pass "
+                "explicit user_ids or attach sums to the service"
+            )
+        name, base, multiplier, adjusted = self._grids(
+            ids, [request.item], request.scorer, request.adjust
+        )
+        entries = [
+            SelectedUser(
+                user_id=uid,
+                base_score=float(base[row, 0]),
+                multiplier=float(multiplier[row, 0]),
+                adjusted_score=float(adjusted[row, 0]),
+            )
+            for row, uid in enumerate(ids)
+        ]
+        entries.sort(key=lambda entry: (-entry.adjusted_score, entry.user_id))
+        if request.k is not None:
+            entries = entries[: request.k]
+        return SelectionResponse(
+            item=request.item, scorer=name, ranked=tuple(entries)
+        )

@@ -41,6 +41,13 @@ from repro.datagen.behavior import BehaviorModel, BehaviorParams
 from repro.datagen.campaigns_plan import CampaignSpec, default_campaign_plan
 from repro.datagen.catalog import CourseCatalog
 from repro.datagen.population import Population
+from repro.serving.requests import (
+    RecommendationRequest,
+    RecommendationResponse,
+    SelectionRequest,
+    SelectionResponse,
+)
+from repro.serving.service import RecommendationService
 
 
 @dataclass
@@ -125,6 +132,59 @@ class SmartPredictionAssistant:
             baseline.run_campaign(spec, scored=False, personalize=False, retrain=False)
             for spec in plan
         ]
+
+    # -- the two paper functions (batch-first serving layer) ----------------
+
+    @property
+    def service(self) -> RecommendationService:
+        """The batch-first :class:`RecommendationService` over the engine.
+
+        Scorers registered: ``"propensity"`` (default; needs a trained
+        model), ``"appeal"`` and ``"engagement"`` — see
+        :meth:`~repro.campaigns.delivery.CampaignEngine.recommendation_service`.
+        """
+        return self.engine.recommendation_service()
+
+    def recommend_courses(
+        self,
+        user_id: int,
+        k: int = 5,
+        scorer: str | None = None,
+        adjust: bool = True,
+    ) -> RecommendationResponse:
+        """The paper's *recommendation function* over the whole catalog.
+
+        Top-``k`` courses for one user with per-item score breakdowns,
+        served through the :class:`~repro.serving.scorer.Scorer` protocol.
+        """
+        return self.service.recommend(RecommendationRequest(
+            user_id=user_id,
+            items=self.world.catalog.course_ids(),
+            k=k,
+            scorer=scorer,
+            adjust=adjust,
+        ))
+
+    def select_users_for(
+        self,
+        course_id: int,
+        k: int | None = None,
+        user_ids: list[int] | None = None,
+        scorer: str | None = None,
+        adjust: bool = True,
+    ) -> SelectionResponse:
+        """The paper's *selection function* for one course.
+
+        Users ranked by adjusted propensity (all registered SUMs when
+        ``user_ids`` is omitted), best first, truncated to ``k`` if given.
+        """
+        return self.service.select_users(SelectionRequest(
+            item=course_id,
+            user_ids=user_ids,
+            k=k,
+            scorer=scorer,
+            adjust=adjust,
+        ))
 
     # -- reporting -----------------------------------------------------------
 

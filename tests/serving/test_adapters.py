@@ -1,0 +1,169 @@
+"""Adapter parity: every ``score_batch`` equals looped single-pair scores."""
+
+import numpy as np
+import pytest
+
+from repro.cf.content import ContentBasedRecommender
+from repro.cf.mf import FunkSVD
+from repro.cf.neighborhood import ItemKNN, UserKNN
+from repro.cf.popularity import PopularityRecommender
+from repro.cf.ratings import RatingMatrix
+from repro.core.sum_model import SumRepository
+from repro.serving.adapters import (
+    ContentScorer,
+    FunkSVDScorer,
+    LegacyScorerAdapter,
+    MatrixScorer,
+    PopularityScorer,
+    RatingModelScorer,
+    as_scorer,
+)
+from repro.serving.scorer import ScorerBase
+
+
+@pytest.fixture(scope="module")
+def ratings():
+    rng = np.random.default_rng(42)
+    triplets = []
+    for user in range(12):
+        for item in rng.choice(20, size=8, replace=False):
+            triplets.append((user, int(item), float(rng.integers(1, 6))))
+    return RatingMatrix(triplets)
+
+
+#: seen users/items plus unseen ids (99, 77) to exercise every fallback.
+USERS = [0, 3, 7, 99]
+ITEMS = [0, 5, 13, 77]
+
+
+def assert_batch_matches_pairs(scorer, predict, users=USERS, items=ITEMS):
+    batch = scorer.score_batch(users, items)
+    assert batch.shape == (len(users), len(items))
+    for row, user in enumerate(users):
+        for col, item in enumerate(items):
+            assert batch[row, col] == pytest.approx(
+                predict(user, item), rel=1e-12, abs=1e-12
+            )
+
+
+class TestFunkSVDScorer:
+    def test_batch_equals_predict(self, ratings):
+        model = FunkSVD(rank=4, epochs=3, seed=1).fit(ratings)
+        assert_batch_matches_pairs(FunkSVDScorer(model), model.predict)
+
+    def test_requires_fitted(self):
+        with pytest.raises(ValueError):
+            FunkSVDScorer(FunkSVD())
+
+    def test_single_pair_default(self, ratings):
+        model = FunkSVD(rank=2, epochs=2, seed=1).fit(ratings)
+        scorer = FunkSVDScorer(model)
+        assert scorer.score(3, 5) == pytest.approx(model.predict(3, 5))
+
+
+class TestPopularityScorer:
+    def test_batch_equals_predict(self, ratings):
+        model = PopularityRecommender().fit(ratings)
+        assert_batch_matches_pairs(PopularityScorer(model), model.predict)
+
+    def test_requires_fitted(self):
+        with pytest.raises(ValueError):
+            PopularityScorer(PopularityRecommender())
+
+
+class TestContentScorer:
+    @pytest.fixture()
+    def model(self, ratings):
+        rng = np.random.default_rng(3)
+        features = {item: rng.uniform(size=6) for item in range(20)}
+        return ContentBasedRecommender(features).fit(ratings)
+
+    def test_batch_equals_predict(self, model):
+        assert_batch_matches_pairs(ContentScorer(model), model.predict)
+
+    def test_raw_cosine_mode(self, model):
+        assert_batch_matches_pairs(
+            ContentScorer(model, rating_scale=False), model.score
+        )
+
+
+class TestRatingModelScorer:
+    @pytest.mark.parametrize("cls", [ItemKNN, UserKNN])
+    def test_batch_equals_predict(self, ratings, cls):
+        model = cls(k=5).fit(ratings)
+        assert_batch_matches_pairs(RatingModelScorer(model), model.predict)
+
+    def test_rejects_predictless_object(self):
+        with pytest.raises(TypeError):
+            RatingModelScorer(object())
+
+
+class TestLegacyScorerAdapter:
+    def test_batch_equals_callable(self):
+        repo = SumRepository()
+        for uid in range(5):
+            model = repo.get_or_create(uid)
+            model.activate_emotion("hopeful", uid / 5)
+
+        def base_scorer(model, item):
+            return model.emotional["hopeful"] + len(str(item)) * 0.01
+
+        scorer = LegacyScorerAdapter(base_scorer, repo)
+        users = [0, 2, 4]
+        items = ["a", "bb", "ccc"]
+        batch = scorer.score_batch(users, items)
+        for row, uid in enumerate(users):
+            for col, item in enumerate(items):
+                assert batch[row, col] == pytest.approx(
+                    base_scorer(repo.get(uid), item)
+                )
+
+    def test_rejects_unresolvable(self):
+        with pytest.raises(TypeError):
+            LegacyScorerAdapter(lambda m, i: 0.0, object())
+
+
+class TestMatrixScorer:
+    def test_lookup_and_fill(self):
+        matrix = np.arange(6, dtype=float).reshape(2, 3)
+        scorer = MatrixScorer(matrix, [10, 20], ["x", "y", "z"], fill=-1.0)
+        batch = scorer.score_batch([20, 999], ["z", "x", "missing"])
+        assert batch.tolist() == [[5.0, 3.0, -1.0], [-1.0, -1.0, -1.0]]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MatrixScorer(np.zeros((2, 2)), [1], ["a", "b"])
+
+
+class TestAsScorer:
+    def test_passthrough_batch_scorer(self, ratings):
+        scorer = PopularityScorer(PopularityRecommender().fit(ratings))
+        assert as_scorer(scorer) is scorer
+
+    def test_wraps_predict_model(self, ratings):
+        adapted = as_scorer(ItemKNN(k=3).fit(ratings))
+        assert isinstance(adapted, RatingModelScorer)
+
+    def test_wraps_legacy_callable_with_resolver(self):
+        repo = SumRepository()
+        repo.get_or_create(1)
+        adapted = as_scorer(lambda m, i: 1.0, resolver=repo)
+        assert isinstance(adapted, LegacyScorerAdapter)
+
+    def test_legacy_callable_without_resolver_rejected(self):
+        with pytest.raises(TypeError):
+            as_scorer(lambda m, i: 1.0)
+
+    def test_unadaptable_rejected(self):
+        with pytest.raises(TypeError):
+            as_scorer(3.14)
+
+
+class TestScorerBaseContract:
+    def test_grid_validation_helper(self):
+        class Bad(ScorerBase):
+            def score_batch(self, user_ids, items):
+                return self._as_grid(np.zeros((1, 1)), user_ids, items)
+
+        with pytest.raises(ValueError):
+            Bad().score_batch([1, 2], ["a"])

@@ -1,0 +1,405 @@
+"""RecommendationService: registry, both paper functions, k validation."""
+
+import numpy as np
+import pytest
+
+from repro.cf.content import ContentBasedRecommender
+from repro.cf.mf import FunkSVD
+from repro.cf.neighborhood import ItemKNN, UserKNN
+from repro.cf.popularity import PopularityRecommender
+from repro.cf.ratings import RatingMatrix
+from repro.core.advice import AdviceEngine, DomainProfile
+from repro.core.recommender import EmotionAwareRecommender
+from repro.core.sum_model import SumRepository
+from repro.serving import (
+    FunkSVDScorer,
+    MatrixScorer,
+    PopularityScorer,
+    RecommendationRequest,
+    RecommendationService,
+    SelectionRequest,
+    validate_k,
+)
+
+
+def make_profile():
+    return DomainProfile(
+        "training",
+        {
+            "enthusiastic": {"innovative": 0.8},
+            "frightened": {"challenging": -0.6, "supportive": 0.5},
+        },
+    )
+
+
+ITEM_ATTRIBUTES = {
+    "course-innovative": {"innovative": 1.0},
+    "course-challenging": {"challenging": 1.0},
+    "course-supportive": {"supportive": 0.8},
+    "course-plain": {},
+}
+ITEMS = sorted(ITEM_ATTRIBUTES)
+
+
+@pytest.fixture()
+def repo():
+    repo = SumRepository()
+    keen = repo.get_or_create(1)
+    keen.activate_emotion("enthusiastic", 1.0)
+    keen.set_sensibility("enthusiastic", 1.0)
+    timid = repo.get_or_create(2)
+    timid.activate_emotion("frightened", 1.0)
+    timid.set_sensibility("frightened", 1.0)
+    repo.get_or_create(3)
+    return repo
+
+
+@pytest.fixture()
+def service(repo):
+    service = RecommendationService(
+        sums=repo,
+        domain_profile=make_profile(),
+        item_attributes=ITEM_ATTRIBUTES,
+    )
+    service.register("base", lambda model, item: 0.5)
+    return service
+
+
+class TestRegistry:
+    def test_first_registration_is_default(self, service):
+        service.register("other", lambda model, item: 1.0)
+        assert service.scorer() is service.scorer("base")
+
+    def test_default_flag_overrides(self, service):
+        other = service.register(
+            "other", lambda model, item: 1.0, default=True
+        )
+        assert service.scorer() is other
+
+    def test_unknown_scorer_lists_registered(self, service):
+        with pytest.raises(KeyError, match="base"):
+            service.scorer("nope")
+
+    def test_empty_registry_raises(self):
+        with pytest.raises(KeyError):
+            RecommendationService().scorer()
+
+    def test_contains_and_len(self, service):
+        assert "base" in service and len(service) == 1
+        assert "nope" not in service
+
+    def test_invalid_name_rejected(self, service):
+        with pytest.raises(ValueError):
+            service.register("", lambda model, item: 1.0)
+
+
+class TestRecommend:
+    def test_enthusiastic_user_gets_innovative_first(self, service):
+        response = service.recommend(
+            RecommendationRequest(user_id=1, items=ITEMS, k=2)
+        )
+        assert response.items[0] == "course-innovative"
+        assert response.scorer == "base"
+        assert len(response.ranked) == 2
+
+    def test_frightened_user_avoids_challenging(self, service):
+        response = service.recommend(
+            RecommendationRequest(user_id=2, items=ITEMS, k=len(ITEMS))
+        )
+        assert response.items[-1] == "course-challenging"
+
+    def test_breakdown_is_consistent(self, service):
+        response = service.recommend(
+            RecommendationRequest(user_id=1, items=ITEMS, k=len(ITEMS))
+        )
+        for entry in response.ranked:
+            assert entry.adjusted_score == pytest.approx(
+                entry.base_score * entry.multiplier
+            )
+
+    def test_adjust_false_keeps_base(self, service):
+        response = service.recommend(
+            RecommendationRequest(user_id=1, items=ITEMS, k=3, adjust=False)
+        )
+        for entry in response.ranked:
+            assert entry.multiplier == 1.0
+            assert entry.adjusted_score == entry.base_score
+
+    def test_best_property(self, service):
+        response = service.recommend(
+            RecommendationRequest(user_id=1, items=ITEMS, k=1)
+        )
+        assert response.best is response.ranked[0]
+
+    def test_no_profile_means_no_adjustment(self, repo):
+        service = RecommendationService(sums=repo)
+        service.register("base", lambda model, item: 0.5)
+        response = service.recommend(
+            RecommendationRequest(user_id=1, items=ITEMS, k=2)
+        )
+        assert all(e.multiplier == 1.0 for e in response.ranked)
+
+
+class TestSelectUsers:
+    def test_ranks_by_adjusted_score(self, service):
+        response = service.select_users(
+            SelectionRequest(item="course-innovative")
+        )
+        assert response.ranked[0].user_id == 1
+        assert (
+            response.ranked[0].adjusted_score
+            > response.ranked[1].adjusted_score
+        )
+
+    def test_all_users_when_ids_omitted(self, service, repo):
+        response = service.select_users(
+            SelectionRequest(item="course-plain")
+        )
+        assert sorted(e.user_id for e in response.ranked) == repo.user_ids()
+
+    def test_k_truncates(self, service):
+        response = service.select_users(
+            SelectionRequest(item="course-innovative", k=2)
+        )
+        assert len(response.ranked) == 2
+
+    def test_pairs_view(self, service):
+        response = service.select_users(
+            SelectionRequest(item="course-innovative", k=1)
+        )
+        assert response.pairs() == [
+            (response.ranked[0].user_id, response.ranked[0].adjusted_score)
+        ]
+
+    def test_explicit_user_ids(self, service):
+        response = service.select_users(
+            SelectionRequest(item="course-innovative", user_ids=[2, 3])
+        )
+        assert {e.user_id for e in response.ranked} == {2, 3}
+
+    def test_no_sums_and_no_ids_raises(self):
+        service = RecommendationService()
+        service.register("m", MatrixScorer(np.zeros((1, 1)), [1], ["a"]))
+        with pytest.raises(RuntimeError):
+            service.select_users(SelectionRequest(item="a"))
+
+
+class TestUniformKValidation:
+    @pytest.mark.parametrize("k", [0, -1, -100])
+    def test_recommendation_request_rejects(self, k):
+        with pytest.raises(ValueError):
+            RecommendationRequest(user_id=1, items=ITEMS, k=k)
+
+    @pytest.mark.parametrize("k", [0, -1, -100])
+    def test_selection_request_rejects(self, k):
+        with pytest.raises(ValueError):
+            SelectionRequest(item="a", k=k)
+
+    def test_selection_request_allows_none(self):
+        assert SelectionRequest(item="a").k is None
+
+    def test_recommendation_request_rejects_none(self):
+        with pytest.raises(ValueError):
+            RecommendationRequest(user_id=1, items=ITEMS, k=None)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            validate_k(2.5)
+        with pytest.raises(TypeError):
+            validate_k(True)
+
+    def test_numpy_integers_accepted(self, service):
+        assert validate_k(np.int64(3)) == 3
+        response = service.recommend(
+            RecommendationRequest(user_id=1, items=ITEMS, k=np.int64(2))
+        )
+        assert len(response.ranked) == 2
+        with pytest.raises(TypeError):
+            validate_k(np.float64(2.0))
+
+    def test_legacy_select_users_now_rejects_bad_k(self, repo):
+        recommender = EmotionAwareRecommender(
+            base_scorer=lambda model, item: 0.5,
+            domain_profile=make_profile(),
+            item_attributes=ITEM_ATTRIBUTES,
+        )
+        with pytest.raises(ValueError):
+            recommender.select_users(repo, "course-innovative", k=-3)
+
+    def test_empty_items_rejected(self):
+        with pytest.raises(ValueError):
+            RecommendationRequest(user_id=1, items=[], k=1)
+
+
+class TestLegacyEquivalence:
+    """The shimmed legacy API and the service rank identically."""
+
+    def seed_reference(self, advice, profile, base_scorer, model, items, k):
+        """The seed's per-pair algorithm, reimplemented verbatim."""
+        base_scores = {item: float(base_scorer(model, item)) for item in items}
+        adjusted = advice.adjust_scores(
+            base_scores, ITEM_ATTRIBUTES, model, profile
+        )
+        ranked = sorted(items, key=lambda it: (-adjusted[it], it))
+        return ranked[:k]
+
+    def test_service_matches_seed_algorithm(self, service, repo):
+        advice = AdviceEngine()
+        for uid in repo.user_ids():
+            expected = self.seed_reference(
+                advice, make_profile(), lambda m, i: 0.5,
+                repo.get(uid), ITEMS, 3,
+            )
+            response = service.recommend(
+                RecommendationRequest(user_id=uid, items=ITEMS, k=3)
+            )
+            assert response.items == expected
+
+    def test_legacy_shim_matches_service(self, service, repo):
+        recommender = EmotionAwareRecommender(
+            base_scorer=lambda model, item: 0.5,
+            domain_profile=make_profile(),
+            item_attributes=ITEM_ATTRIBUTES,
+        )
+        for uid in repo.user_ids():
+            legacy = recommender.recommend(repo.get(uid), ITEMS, k=4)
+            response = service.recommend(
+                RecommendationRequest(user_id=uid, items=ITEMS, k=4)
+            )
+            assert [r.item for r in legacy] == response.items
+            for old, new in zip(legacy, response.ranked):
+                assert old.adjusted_score == pytest.approx(new.adjusted_score)
+
+    def test_shim_caches_service_across_calls(self, repo):
+        recommender = EmotionAwareRecommender(
+            base_scorer=lambda model, item: 0.5,
+            domain_profile=make_profile(),
+            item_attributes=ITEM_ATTRIBUTES,
+        )
+        first = recommender._service(repo)
+        model = repo.get(1)
+        recommender.recommend(model, ITEMS, k=2)
+        assert recommender._service(repo) is first
+        # retargeting between a repository and a bare model stays correct
+        other = SumRepository()
+        lonely = other.get_or_create(9)
+        ranked = recommender.recommend(lonely, ITEMS, k=1)
+        assert len(ranked) == 1
+        selection = recommender.select_users(repo, "course-innovative", k=1)
+        assert selection[0][0] == 1
+
+    def test_legacy_select_matches_service(self, service, repo):
+        recommender = EmotionAwareRecommender(
+            base_scorer=lambda model, item: 0.5,
+            domain_profile=make_profile(),
+            item_attributes=ITEM_ATTRIBUTES,
+        )
+        legacy = recommender.select_users(repo, "course-innovative")
+        response = service.select_users(
+            SelectionRequest(item="course-innovative")
+        )
+        assert legacy == response.pairs()
+
+
+class TestFiveScorerFamilies:
+    """Both paper functions through >= 5 adapter-backed scorer families."""
+
+    @pytest.fixture()
+    def cf_world(self):
+        rng = np.random.default_rng(7)
+        triplets = []
+        for user in range(1, 16):
+            for item in rng.choice(30, size=10, replace=False):
+                triplets.append((user, int(item), float(rng.integers(1, 6))))
+        ratings = RatingMatrix(triplets)
+        features = {item: rng.uniform(size=5) for item in range(30)}
+        return ratings, features
+
+    def test_service_serves_both_functions_per_scorer(self, cf_world):
+        ratings, features = cf_world
+        repo = SumRepository()
+        for uid in ratings.user_ids:
+            repo.get_or_create(uid)
+        service = RecommendationService(sums=repo)
+        service.register(
+            "funk_svd",
+            FunkSVDScorer(FunkSVD(rank=4, epochs=3, seed=0).fit(ratings)),
+        )
+        service.register(
+            "popularity",
+            PopularityScorer(PopularityRecommender().fit(ratings)),
+        )
+        service.register("item_knn", ItemKNN(k=5).fit(ratings))
+        service.register("user_knn", UserKNN(k=5).fit(ratings))
+        service.register(
+            "content",
+            ContentBasedRecommender(features).fit(ratings),
+        )
+        service.register("legacy", lambda model, item: model.user_id + item)
+        assert len(service) >= 6
+
+        items = list(range(8))
+        for name in service.scorer_names():
+            response = service.recommend(RecommendationRequest(
+                user_id=3, items=items, k=3, scorer=name,
+            ))
+            assert len(response.ranked) == 3
+            assert response.scorer == name
+            selection = service.select_users(SelectionRequest(
+                item=4, k=5, scorer=name,
+            ))
+            assert len(selection.ranked) == 5
+            scores = [e.adjusted_score for e in selection.ranked]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_score_matrix_shape(self, cf_world):
+        ratings, __ = cf_world
+        service = RecommendationService()
+        service.register(
+            "popularity",
+            PopularityScorer(PopularityRecommender().fit(ratings)),
+        )
+        matrix = service.score_matrix([1, 2, 3], [0, 1], scorer="popularity")
+        assert matrix.shape == (3, 2)
+
+
+class TestEngineAndSpaIntegration:
+    @pytest.fixture(scope="class")
+    def spa(self):
+        from repro import SimulatedWorld, SmartPredictionAssistant
+
+        world = SimulatedWorld.generate(n_users=40, n_courses=10, seed=3)
+        spa = SmartPredictionAssistant(world)
+        spa.bootstrap(browsing_days=5.0)
+        return spa
+
+    def test_engine_service_registers_three_families(self, spa):
+        service = spa.engine.recommendation_service()
+        assert service.scorer_names() == [
+            "propensity", "appeal", "engagement",
+        ]
+        assert service is spa.engine.recommendation_service()  # cached
+
+    def test_propensity_requires_trained_model(self, spa):
+        with pytest.raises(RuntimeError, match="no propensity model"):
+            spa.recommend_courses(user_id=0, k=3)
+
+    def test_recommend_courses_with_appeal(self, spa):
+        response = spa.recommend_courses(user_id=0, k=3, scorer="appeal")
+        assert len(response.ranked) == 3
+        course_ids = set(spa.world.catalog.course_ids())
+        assert all(entry.item in course_ids for entry in response.ranked)
+
+    def test_select_users_for_course(self, spa):
+        course_id = spa.world.catalog.course_ids()[0]
+        response = spa.select_users_for(course_id, k=5, scorer="appeal")
+        assert len(response.ranked) == 5
+        scores = [entry.adjusted_score for entry in response.ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_emotional_adjustment_changes_ranking_inputs(self, spa):
+        course_id = spa.world.catalog.course_ids()[0]
+        adjusted = spa.select_users_for(course_id, scorer="appeal")
+        raw = spa.select_users_for(course_id, scorer="appeal", adjust=False)
+        assert any(entry.multiplier != 1.0 for entry in adjusted.ranked)
+        assert all(entry.multiplier == 1.0 for entry in raw.ranked)
