@@ -24,6 +24,11 @@ emagister.com deployment:
   scorer family, typed request/response envelopes and the
   :class:`~repro.serving.service.RecommendationService` facade serving
   the paper's recommendation and selection functions as matrix ops;
+* :mod:`repro.streaming` — the live Fig. 4 loop: an in-process
+  partitioned event bus, hash-sharded consumer workers applying
+  incremental SUM updates, a versioned
+  :class:`~repro.streaming.cache.SumCache` the serving path reads from,
+  write-behind persistence and a replay/load-generator driver;
 * :mod:`repro.physio` — the wearIT@work future-work extension
   (physiological signals → emotional context).
 
@@ -66,8 +71,9 @@ from repro.serving import (
     SelectionResponse,
 )
 from repro.spa import SimulatedWorld, SmartPredictionAssistant
+from repro.streaming import ReplayDriver, StreamingUpdater, SumCache
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "EmotionAwareRecommender",
@@ -79,6 +85,7 @@ __all__ = [
     "RecommendationRequest",
     "RecommendationResponse",
     "RecommendationService",
+    "ReplayDriver",
     "Scorer",
     "ScorerBase",
     "SelectionRequest",
@@ -86,6 +93,8 @@ __all__ = [
     "SimulatedWorld",
     "SmartPredictionAssistant",
     "SmartUserModel",
+    "StreamingUpdater",
+    "SumCache",
     "SumRepository",
     "__version__",
 ]

@@ -19,6 +19,8 @@ Campaign sequence semantics (matching Section 5.2's narrative):
 
 from __future__ import annotations
 
+import contextlib
+import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -38,7 +40,7 @@ from repro.core.sensibility import SensibilityAnalyzer
 from repro.core.sum_model import SumRepository
 from repro.datagen.behavior import BehaviorModel
 from repro.datagen.campaigns_plan import CampaignSpec
-from repro.datagen.catalog import AFFINITY_LINKS
+from repro.datagen.catalog import AFFINITY_LINKS, emotions_linked_to
 from repro.lifelog.events import ActionCategory, Event
 from repro.lifelog.preprocess import LifeLogPreprocessor, UserFeatures
 from repro.lifelog.store import EventLog
@@ -47,33 +49,6 @@ from repro.messaging.assigner import MessageAssigner
 from repro.messaging.templates import default_template_bank
 from repro.serving.adapters import PropensityScorer
 from repro.serving.service import RecommendationService
-
-
-def _emotions_behind(attribute: str | None) -> tuple[str, ...]:
-    """Emotional attributes with a positive link to a product attribute."""
-    if attribute is None:
-        return ()
-    return tuple(
-        sorted(
-            emotion
-            for emotion, targets in AFFINITY_LINKS.items()
-            if targets.get(attribute, 0.0) > 0.0
-        )
-    )
-
-
-def _emotions_behind_course(course, min_presence: float = 0.5) -> tuple[str, ...]:
-    """Emotions positively linked to a course's salient attributes.
-
-    Used when a *standard* message converts: the user reacted to the course
-    itself, so the emotions its strong attributes excite get the credit
-    (Fig. 4's "related attributes and values").
-    """
-    emotions: set[str] = set()
-    for attribute, presence in course.attributes.items():
-        if presence >= min_presence:
-            emotions.update(_emotions_behind(attribute))
-    return tuple(sorted(emotions))
 
 
 @dataclass
@@ -125,6 +100,9 @@ class CampaignEngine:
         self._area_engagement: dict[int, dict[str, float]] = {}
         self.model: PropensityModel | None = None
         self._serving: RecommendationService | None = None
+        #: versioned SUM caches spawned by streaming_updater(); the
+        #: offline loop invalidates them after writing SUMs directly
+        self._live_caches: "weakref.WeakSet" = weakref.WeakSet()
         self.history: list[CampaignResult] = []
         #: (user_id, course_id, transacted) per delivered touch
         self._training_rows: list[tuple[int, int, bool]] = []
@@ -159,13 +137,16 @@ class CampaignEngine:
             model = self.sums.get_or_create(user.user_id)
             n_portal_questions = min(20, (len(events) + 1) // 2)
             rng = self.world._touch_rng("portal-eit", user.user_id)
-            for __ in range(n_portal_questions):
-                question = self.eit.ask(model)
-                if question is None:
-                    break
-                option = self.world.choose_eit_option(user, question, rng)
-                self.eit.record_answer(model, question, option)
+            with self._sum_write_guard(user.user_id):
+                for __ in range(n_portal_questions):
+                    question = self.eit.ask(model)
+                    if question is None:
+                        break
+                    option = self.world.choose_eit_option(user, question, rng)
+                    self.eit.record_answer(model, question, option)
         self._refresh_behavior_features()
+        for cache in self._live_caches:
+            cache.invalidate()
         return count
 
     def _refresh_behavior_features(self) -> None:
@@ -308,7 +289,7 @@ class CampaignEngine:
 
     # -- serving -----------------------------------------------------------
 
-    def recommendation_service(self) -> RecommendationService:
+    def recommendation_service(self, sums=None) -> RecommendationService:
         """The batch-first serving facade over this engine's scorers.
 
         Items are course ids.  Three scorer families are registered:
@@ -320,35 +301,82 @@ class CampaignEngine:
         * ``"engagement"`` — retargeting evidence from organic browsing.
 
         The adapters read live engine state, so the service stays current
-        across retrains; the facade itself is built once and cached.
+        across retrains; the default facade (over the engine's own SUM
+        repository) is built once and cached.  Pass ``sums`` — typically
+        a :class:`~repro.streaming.cache.SumCache` from
+        :meth:`streaming_updater` — to build a fresh, uncached service
+        whose Advice stage reads from that resolver instead.
         """
-        if self._serving is None:
-            catalog = self.world.catalog
-            service = RecommendationService(
-                sums=self.sums,
-                domain_profile=DomainProfile("courses", AFFINITY_LINKS),
-                item_attributes={
-                    course_id: dict(catalog.get(course_id).attributes)
-                    for course_id in catalog.course_ids()
-                },
-            )
-            service.register("propensity", PropensityScorer(self))
-            service.register(
-                "appeal",
-                lambda model, course_id: estimated_appeal(
-                    None, catalog.get(int(course_id)), model
-                ),
-            )
-            service.register(
-                "engagement",
-                lambda model, course_id: float(np.log1p(
-                    self._course_engagement
-                    .get(model.user_id, {})
-                    .get(int(course_id), 0.0)
-                )),
-            )
+        if sums is None and self._serving is not None:
+            return self._serving
+        catalog = self.world.catalog
+        service = RecommendationService(
+            sums=sums if sums is not None else self.sums,
+            domain_profile=DomainProfile("courses", AFFINITY_LINKS),
+            item_attributes={
+                course_id: dict(catalog.get(course_id).attributes)
+                for course_id in catalog.course_ids()
+            },
+        )
+        service.register("propensity", PropensityScorer(self))
+        service.register(
+            "appeal",
+            lambda model, course_id: estimated_appeal(
+                None, catalog.get(int(course_id)), model
+            ),
+        )
+        service.register(
+            "engagement",
+            lambda model, course_id: float(np.log1p(
+                self._course_engagement
+                .get(model.user_id, {})
+                .get(int(course_id), 0.0)
+            )),
+        )
+        if sums is None:
             self._serving = service
-        return self._serving
+        return service
+
+    @contextlib.contextmanager
+    def _sum_write_guard(self, user_id: int):
+        """Hold every live cache's per-user lock around a direct SUM write.
+
+        The offline loop mutates the shared repository without going
+        through the streaming write path; taking the locks (in a stable
+        order) keeps concurrent snapshot builds and streamed applies from
+        observing a half-applied campaign update.
+        """
+        with contextlib.ExitStack() as stack:
+            for cache in sorted(self._live_caches, key=id):
+                stack.enter_context(cache.write_lock(user_id))
+            yield
+
+    def streaming_updater(self, n_shards: int = 4, **kwargs) -> "StreamingUpdater":
+        """A live update subsystem over this engine's SUMs and event log.
+
+        Events stream into the engine's own
+        :class:`~repro.core.sum_model.SumRepository` (through the same
+        :class:`~repro.core.reward.ReinforcementPolicy` the campaign loop
+        uses) with write-behind into its :class:`EventLog`; serve fresh
+        state with ``engine.recommendation_service(sums=updater.cache)``.
+        When *replaying the engine's own log* (rebuilding state rather
+        than ingesting new traffic), pass ``event_log=None`` so the
+        write-behind doesn't append the replayed events a second time.
+        """
+        from repro.streaming.updater import StreamingUpdater
+
+        kwargs.setdefault("event_log", self.event_log)
+        updater = StreamingUpdater(
+            sums=self.sums,
+            item_emotions=self.world.catalog.emotion_links(),
+            policy=self.policy,
+            n_shards=n_shards,
+            **kwargs,
+        )
+        # The offline loop also writes these SUMs directly; track the
+        # cache so campaign runs invalidate it for the touched users.
+        self._live_caches.add(updater.cache)
+        return updater
 
     # -- delivery ----------------------------------------------------------
 
@@ -403,7 +431,8 @@ class CampaignEngine:
         for uid in targets:
             user = self.world.population.get(uid)
             model = self.sums.get_or_create(uid)
-            self.policy.apply_decay(model)
+            with self._sum_write_guard(uid):
+                self.policy.apply_decay(model)
 
             if personalize:
                 assignment = self.assigner.assign(model, course)
@@ -436,15 +465,20 @@ class CampaignEngine:
 
             # -- LifeLog events ------------------------------------------
             moment = self._clock
+            # "course" carries the advertised item so streaming replay can
+            # resolve the emotions behind a campaign interaction ("target"
+            # stays the campaign id for attribution queries).
             if outcome.opened:
                 self.event_log.append(Event(
                     moment, uid, open_action, ActionCategory.CAMPAIGN,
-                    payload={"target": spec.campaign_id},
+                    payload={"target": spec.campaign_id,
+                             "course": str(course.course_id)},
                 ))
             if outcome.clicked:
                 self.event_log.append(Event(
                     moment + 30.0, uid, click_action, ActionCategory.CAMPAIGN,
-                    payload={"target": spec.campaign_id},
+                    payload={"target": spec.campaign_id,
+                             "course": str(course.course_id)},
                 ))
             if outcome.transacted:
                 # "via" marks the event as campaign-caused so the revealed-
@@ -466,23 +500,35 @@ class CampaignEngine:
                 ))
 
             # -- SUM updates (Fig. 4) --------------------------------------
-            if question is not None and outcome.answered_option is not None:
-                self.eit.record_answer(model, question, outcome.answered_option)
-            backing = _emotions_behind(assignment.attribute)
-            if not backing and (outcome.transacted or outcome.clicked):
-                # Standard message but the user still engaged: credit the
-                # emotions behind the course's own salient attributes.
-                backing = _emotions_behind_course(course)
-            if backing:
-                if outcome.transacted:
-                    self.policy.reward(model, backing, self.config.reward_transaction)
-                elif outcome.clicked:
-                    self.policy.reward(model, backing, self.config.reward_click)
-                elif outcome.opened:
-                    self.policy.reward(model, backing, self.config.reward_open)
-                elif assignment.attribute is not None:
-                    self.policy.punish(model, backing, self.config.punish_ignore)
-            self.analyzer.analyze(model)
+            with self._sum_write_guard(uid):
+                if question is not None and outcome.answered_option is not None:
+                    self.eit.record_answer(
+                        model, question, outcome.answered_option
+                    )
+                backing = emotions_linked_to(assignment.attribute)
+                if not backing and (outcome.transacted or outcome.clicked):
+                    # Standard message but the user still engaged: credit
+                    # the emotions behind the course's own salient
+                    # attributes (Fig. 4's "related attributes and values").
+                    backing = course.linked_emotions()
+                if backing:
+                    if outcome.transacted:
+                        self.policy.reward(
+                            model, backing, self.config.reward_transaction
+                        )
+                    elif outcome.clicked:
+                        self.policy.reward(
+                            model, backing, self.config.reward_click
+                        )
+                    elif outcome.opened:
+                        self.policy.reward(
+                            model, backing, self.config.reward_open
+                        )
+                    elif assignment.attribute is not None:
+                        self.policy.punish(
+                            model, backing, self.config.punish_ignore
+                        )
+                self.analyzer.analyze(model)
 
             result.touches.append(TouchRecord(
                 user_id=uid,
@@ -498,6 +544,8 @@ class CampaignEngine:
 
         self._clock += 7 * 86_400.0  # one campaign per week
         self._refresh_behavior_features()
+        for cache in self._live_caches:
+            cache.invalidate(targets)
         self.history.append(result)
         return result
 

@@ -45,6 +45,14 @@ from repro.core.sum_model import (
     SmartUserModel,
     SumRepository,
 )
+from repro.core.updates import (
+    DecayOp,
+    PunishOp,
+    RewardOp,
+    SumUpdateOp,
+    apply_op,
+    apply_ops,
+)
 
 __all__ = [
     "AdviceEngine",
@@ -52,6 +60,7 @@ __all__ = [
     "AttributeKind",
     "AttributeSpec",
     "Branch",
+    "DecayOp",
     "DomainProfile",
     "EITQuestion",
     "EMOTION_CATALOG",
@@ -65,12 +74,15 @@ __all__ = [
     "HumanValuesScale",
     "NEGATIVE_EMOTIONS",
     "POSITIVE_EMOTIONS",
+    "PunishOp",
     "QuestionBank",
     "RankedItem",
     "ReinforcementPolicy",
+    "RewardOp",
     "SensibilityAnalyzer",
     "SmartUserModel",
     "SumRepository",
+    "SumUpdateOp",
     "TouchResult",
     "branch_table",
 ]

@@ -23,6 +23,13 @@ from repro.core.gradual_eit import EITQuestion, GradualEIT
 from repro.core.reward import ReinforcementPolicy
 from repro.core.sensibility import SensibilityAnalyzer
 from repro.core.sum_model import SmartUserModel
+from repro.core.updates import (
+    DecayOp,
+    PunishOp,
+    RewardOp,
+    SumUpdateOp,
+    apply_ops,
+)
 
 
 @dataclass(frozen=True)
@@ -76,7 +83,7 @@ class EmotionalContextPipeline:
         engagement_strength:
             1.0 for a transaction, smaller for opens/clicks.
         """
-        self.policy.apply_decay(model)
+        self.apply_update_ops(model, (DecayOp(),))
 
         question: EITQuestion | None = self.eit.ask(model)
         answered = False
@@ -86,13 +93,15 @@ class EmotionalContextPipeline:
 
         rewarded: tuple[str, ...] = ()
         punished: tuple[str, ...] = ()
+        ops: tuple[SumUpdateOp, ...] = ()
         if engaged_attributes:
             if engaged:
-                self.policy.reward(model, engaged_attributes, engagement_strength)
+                ops = (RewardOp(tuple(engaged_attributes), engagement_strength),)
                 rewarded = tuple(engaged_attributes)
             else:
-                self.policy.punish(model, engaged_attributes, engagement_strength)
+                ops = (PunishOp(tuple(engaged_attributes), engagement_strength),)
                 punished = tuple(engaged_attributes)
+        self.apply_update_ops(model, ops)
 
         dominant = tuple(name for name, __ in self.analyzer.dominant(model))
         return TouchResult(
@@ -103,6 +112,33 @@ class EmotionalContextPipeline:
             punished=punished,
             dominant=dominant,
         )
+
+    # -- the shared update primitives ----------------------------------------
+
+    def apply_update_ops(
+        self,
+        model: SmartUserModel,
+        ops: tuple[SumUpdateOp, ...] | list[SumUpdateOp],
+    ) -> int:
+        """Apply incremental SUM update ops through this pipeline's policy.
+
+        Every mutation of emotional state in :meth:`run_touch` goes through
+        here, so any other writer using the same primitives (notably the
+        sharded consumers of :mod:`repro.streaming`) produces bit-identical
+        state for the same per-user op sequence.
+        """
+        return apply_ops(model, ops, self.policy)
+
+    def apply_event(self, model: SmartUserModel, event: object, mapper: object) -> int:
+        """Apply one LifeLog event as incremental update ops.
+
+        ``mapper`` is anything with ``ops(event) -> iterable of ops`` —
+        typically a :class:`~repro.streaming.mapper.EventUpdateMapper`
+        (duck-typed here so :mod:`repro.core` stays import-free of the
+        streaming layer).  This is the sequential, one-event-at-a-time
+        reference the streaming subsystem is tested against.
+        """
+        return self.apply_update_ops(model, tuple(mapper.ops(event)))
 
     @staticmethod
     def convergence(model: SmartUserModel, latent_traits: np.ndarray) -> float:

@@ -214,11 +214,16 @@ class SumRepository:
         self._models: dict[int, SmartUserModel] = {}
 
     def get_or_create(self, user_id: int) -> SmartUserModel:
-        """Fetch a user's SUM, creating an empty one on first contact."""
-        model = self._models.get(int(user_id))
+        """Fetch a user's SUM, creating an empty one on first contact.
+
+        First contact can now arrive from several threads at once (shard
+        workers and the serving path), so the insert uses ``setdefault``
+        — atomic under the GIL — and every caller sees the same model.
+        """
+        user_id = int(user_id)
+        model = self._models.get(user_id)
         if model is None:
-            model = SmartUserModel(int(user_id))
-            self._models[int(user_id)] = model
+            model = self._models.setdefault(user_id, SmartUserModel(user_id))
         return model
 
     def get(self, user_id: int) -> SmartUserModel:

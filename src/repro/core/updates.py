@@ -1,0 +1,91 @@
+"""Incremental SUM update primitives.
+
+The Update stage of Fig. 4 boils down to three incremental operations on
+one user's SUM: decay everything a little, reward some attributes, punish
+some attributes.  This module names those operations as small frozen
+dataclasses so every writer of emotional state — the one-touch
+:class:`~repro.core.pipeline.EmotionalContextPipeline`, the campaign
+engine and the streaming consumers of :mod:`repro.streaming` — applies
+the *same* primitives through the same
+:class:`~repro.core.reward.ReinforcementPolicy`, and "replayed online"
+versus "applied offline" can be compared op for op.
+
+Ops are data, not behaviour: applying them requires a policy, so the same
+op sequence can be replayed under different reinforcement knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+from repro.core.reward import ReinforcementPolicy
+from repro.core.sum_model import SmartUserModel
+
+
+@dataclass(frozen=True)
+class DecayOp:
+    """Multiplicative forgetting across all attributes (one decay tick)."""
+
+
+@dataclass(frozen=True)
+class RewardOp:
+    """Reinforce ``attributes`` after a positive interaction."""
+
+    attributes: tuple[str, ...]
+    strength: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise ValueError("RewardOp needs at least one attribute")
+
+
+@dataclass(frozen=True)
+class PunishOp:
+    """Weaken ``attributes`` after a negative interaction."""
+
+    attributes: tuple[str, ...]
+    strength: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise ValueError("PunishOp needs at least one attribute")
+
+
+#: Any single incremental SUM update.
+SumUpdateOp = Union[DecayOp, RewardOp, PunishOp]
+
+
+def apply_op(
+    model: SmartUserModel,
+    op: SumUpdateOp,
+    policy: ReinforcementPolicy,
+) -> None:
+    """Apply one update op to one SUM through ``policy``."""
+    if isinstance(op, DecayOp):
+        policy.apply_decay(model)
+    elif isinstance(op, RewardOp):
+        policy.reward(model, op.attributes, op.strength)
+    elif isinstance(op, PunishOp):
+        policy.punish(model, op.attributes, op.strength)
+    else:
+        raise TypeError(f"unknown SUM update op {op!r}")
+
+
+def apply_ops(
+    model: SmartUserModel,
+    ops: Iterable[SumUpdateOp],
+    policy: ReinforcementPolicy,
+) -> int:
+    """Apply ops in order; returns how many were applied.
+
+    Ops touch only ``model``, so sequences for *different* users commute —
+    the property that makes hash-partitioned streaming consumers
+    (:mod:`repro.streaming.consumer`) equivalent to a single sequential
+    pass, as long as each user's own ops stay ordered.
+    """
+    count = 0
+    for op in ops:
+        apply_op(model, op, policy)
+        count += 1
+    return count

@@ -53,6 +53,23 @@ AFFINITY_LINKS: dict[str, dict[str, float]] = {
 }
 
 
+def emotions_linked_to(attribute: str | None) -> tuple[str, ...]:
+    """Emotional attributes with a positive affinity link to ``attribute``.
+
+    Fig. 4's "related attributes": the emotions that get credit (reward)
+    or blame (punish) when the user reacts to a product attribute.
+    """
+    if attribute is None:
+        return ()
+    return tuple(
+        sorted(
+            emotion
+            for emotion, targets in AFFINITY_LINKS.items()
+            if targets.get(attribute, 0.0) > 0.0
+        )
+    )
+
+
 @dataclass(frozen=True)
 class Course:
     """One training course.
@@ -92,6 +109,19 @@ class Course:
             for attribute, gain in targets.items():
                 mass += abs(gain) * self.attributes.get(attribute, 0.0)
         return mass
+
+    def linked_emotions(self, min_presence: float = 0.5) -> tuple[str, ...]:
+        """Emotions positively linked to this course's salient attributes.
+
+        A user engaging with the course itself (view, info request,
+        enrollment) reacted to its strong attributes, so these emotions
+        get the reinforcement credit.
+        """
+        emotions: set[str] = set()
+        for attribute, presence in self.attributes.items():
+            if presence >= min_presence:
+                emotions.update(emotions_linked_to(attribute))
+        return tuple(sorted(emotions))
 
     def emotional_appeal(self, traits: dict[str, float]) -> float:
         """Ground-truth appeal of this course to a trait profile.
@@ -147,6 +177,18 @@ class CourseCatalog:
     def by_area(self, area: str) -> list[Course]:
         """Courses of one subject area."""
         return [c for c in self if c.area == area]
+
+    def emotion_links(self, min_presence: float = 0.5) -> dict[str, tuple[str, ...]]:
+        """``str(course_id) -> linked emotions`` for the whole catalog.
+
+        The ``item_emotions`` mapping the streaming
+        :class:`~repro.streaming.mapper.EventUpdateMapper` consumes (keys
+        are strings because LifeLog payload targets are strings).
+        """
+        return {
+            str(course.course_id): course.linked_emotions(min_presence)
+            for course in self
+        }
 
     @classmethod
     def generate(cls, n_courses: int = 120, seed: int = 7) -> "CourseCatalog":

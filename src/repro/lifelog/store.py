@@ -13,6 +13,7 @@ log persists through a :class:`~repro.db.catalog.Catalog` directory.
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -34,48 +35,68 @@ class EventLog:
         self._sealed: list[Table] = []
         self._sealed_indexes: list[HashIndex] = []
         self._active = Table(EVENT_SCHEMA, name="segment-active")
+        #: serializes mutations (append/extend/seal/compact/save) so
+        #: streaming write-behind flushes can land while other threads
+        #: ingest; readers take it only long enough to snapshot the
+        #: segment list, then scan lock-free (rows written before the
+        #: length bump are the only ones a concurrent scan can see).
+        self._write_lock = threading.RLock()
 
     # -- ingestion -----------------------------------------------------------
 
     def append(self, event: Event) -> None:
-        """Append one event (seals the active segment when full)."""
-        self._active.append(event.to_row())
-        if len(self._active) >= self.segment_rows:
-            self._seal()
+        """Append one event (a one-element batch through :meth:`extend`)."""
+        self.extend((event,))
 
     def extend(self, events: Iterable[Event]) -> int:
-        """Append many events; returns how many were written."""
-        count = 0
-        for event in events:
-            self.append(event)
-            count += 1
-        return count
+        """Append many events; returns how many were written.
+
+        The batched ingestion path (the streaming write-behind lands
+        here): rows go into the active segment in chunks sized to the
+        remaining segment room, so the segment-roll check runs once per
+        chunk instead of once per event.
+        """
+        rows = [event.to_row() for event in events]
+        written = 0
+        with self._write_lock:
+            while written < len(rows):
+                room = self.segment_rows - len(self._active)
+                chunk = rows[written:written + room]
+                self._active.extend(chunk)
+                written += len(chunk)
+                if len(self._active) >= self.segment_rows:
+                    self._seal()
+        return written
 
     def _seal(self) -> None:
         if len(self._active) == 0:
             return
         self._active.name = f"segment-{len(self._sealed):05d}"
-        self._sealed.append(self._active)
+        # Index before table: a reader driving off _sealed must never
+        # see a sealed segment whose index doesn't exist yet.
         self._sealed_indexes.append(HashIndex(self._active, "user_id"))
+        self._sealed.append(self._active)
         self._active = Table(EVENT_SCHEMA, name="segment-active")
 
     # -- stats -----------------------------------------------------------------
 
     def __len__(self) -> int:
-        return sum(len(s) for s in self._sealed) + len(self._active)
+        return sum(len(s) for s in self._all_segments())
 
     @property
     def segment_count(self) -> int:
         """Sealed segments plus the active one (if non-empty)."""
-        return len(self._sealed) + (1 if len(self._active) else 0)
+        return len(self._all_segments())
 
     # -- reads -------------------------------------------------------------
 
     def _all_segments(self) -> list[Table]:
-        segments = list(self._sealed)
-        if len(self._active):
-            segments.append(self._active)
-        return segments
+        """Consistent snapshot of the segment list (no torn seal views)."""
+        with self._write_lock:
+            segments = list(self._sealed)
+            if len(self._active):
+                segments.append(self._active)
+            return segments
 
     def events(self) -> Iterator[Event]:
         """All events in append order."""
@@ -85,15 +106,18 @@ class EventLog:
 
     def events_for_user(self, user_id: int) -> list[Event]:
         """All events of one user, time-ordered."""
+        with self._write_lock:
+            sealed = list(zip(self._sealed, self._sealed_indexes))
+            active = self._active
         collected: list[Event] = []
-        for i, segment in enumerate(self._sealed):
-            ids = self._sealed_indexes[i].lookup(int(user_id))
+        for segment, index in sealed:
+            ids = index.lookup(int(user_id))
             for row_id in ids.tolist():
                 collected.append(Event.from_row(segment.row(row_id)))
-        if len(self._active):
-            user_col = self._active.column("user_id")
+        if len(active):
+            user_col = active.column("user_id")
             for row_id in np.nonzero(user_col == int(user_id))[0].tolist():
-                collected.append(Event.from_row(self._active.row(row_id)))
+                collected.append(Event.from_row(active.row(row_id)))
         collected.sort(key=lambda e: (e.timestamp, e.action))
         return collected
 
@@ -133,23 +157,32 @@ class EventLog:
         Returns the number of events in the compacted log.  Ordering is by
         ``(ts, user_id, action)`` so compaction is deterministic.
         """
-        rows = [event.to_row() for event in self.events()]
-        rows.sort(key=lambda r: (r["ts"], r["user_id"], r["action"]))
-        merged = Table.from_rows(EVENT_SCHEMA, rows, name="segment-00000")
-        self._sealed = [merged] if len(merged) else []
-        self._sealed_indexes = [HashIndex(merged, "user_id")] if len(merged) else []
-        self._active = Table(EVENT_SCHEMA, name="segment-active")
-        return len(merged)
+        with self._write_lock:
+            rows = [event.to_row() for event in self.events()]
+            rows.sort(key=lambda r: (r["ts"], r["user_id"], r["action"]))
+            merged = Table.from_rows(EVENT_SCHEMA, rows, name="segment-00000")
+            self._sealed = [merged] if len(merged) else []
+            self._sealed_indexes = (
+                [HashIndex(merged, "user_id")] if len(merged) else []
+            )
+            self._active = Table(EVENT_SCHEMA, name="segment-active")
+            return len(merged)
 
     # -- persistence -----------------------------------------------------------
 
     def save(self, directory: str | Path) -> Path:
-        """Persist all segments (the active one is sealed first)."""
-        self._seal()
-        catalog = Catalog()
-        for segment in self._sealed:
-            catalog.register(segment)
-        return catalog.save(directory)
+        """Persist all segments (the active one is sealed first).
+
+        Holds the write lock for the whole snapshot so concurrent
+        ingestion (e.g. a streaming write-behind flush) cannot reshape
+        the segment list mid-save; writers simply queue behind the save.
+        """
+        with self._write_lock:
+            self._seal()
+            catalog = Catalog()
+            for segment in self._sealed:
+                catalog.register(segment)
+            return catalog.save(directory)
 
     @classmethod
     def load(cls, directory: str | Path, segment_rows: int = 50_000) -> "EventLog":

@@ -82,11 +82,21 @@ class ScoredItem:
 
 @dataclass(frozen=True)
 class RecommendationResponse:
-    """Top-``k`` ranking for one user, best first."""
+    """Top-``k`` ranking for one user, best first.
+
+    ``sum_version`` is the user's emotional-state version when the
+    service's ``sums`` is a versioned resolver (the streaming layer's
+    :class:`~repro.streaming.cache.SumCache`); ``None`` on plain
+    repositories.  It makes staleness observable as a freshness floor:
+    a response at version *v* reflects at least every update batch
+    published up to *v* (batches committed while the response was being
+    scored may additionally be included).
+    """
 
     user_id: int
     scorer: str
     ranked: tuple[ScoredItem, ...] = field(default_factory=tuple)
+    sum_version: int | None = None
 
     @property
     def items(self) -> list[ItemId]:
@@ -113,11 +123,18 @@ class SelectedUser:
 
 @dataclass(frozen=True)
 class SelectionResponse:
-    """Users ranked by adjusted propensity for one item, best first."""
+    """Users ranked by adjusted propensity for one item, best first.
+
+    ``sum_version`` carries the resolver's *global* version (total
+    published update batches, a freshness floor captured before scoring)
+    when the service serves from a versioned resolver; ``None`` on plain
+    repositories.
+    """
 
     item: ItemId
     scorer: str
     ranked: tuple[SelectedUser, ...] = field(default_factory=tuple)
+    sum_version: int | None = None
 
     def pairs(self) -> list[tuple[int, float]]:
         """Legacy ``(user_id, adjusted_score)`` view, best first."""

@@ -162,10 +162,33 @@ class RecommendationService:
         )
         return adjusted
 
+    # -- freshness ---------------------------------------------------------
+
+    def sum_version(self, user_id: int | None = None) -> int | None:
+        """The served emotional-state version, if ``sums`` exposes one.
+
+        With a versioned resolver (the streaming layer's
+        :class:`~repro.streaming.cache.SumCache`) this is the user's
+        monotonic snapshot version — or the resolver's global version
+        when ``user_id`` is ``None``.  Plain repositories return
+        ``None``: their reads are unversioned.
+        """
+        if user_id is not None:
+            version = getattr(self.sums, "version", None)
+            if callable(version):
+                return int(version(int(user_id)))
+            return None
+        global_version = getattr(self.sums, "global_version", None)
+        return int(global_version) if global_version is not None else None
+
     # -- the two paper functions -------------------------------------------
 
     def recommend(self, request: RecommendationRequest) -> RecommendationResponse:
         """The paper's recommendation function, served on the batch path."""
+        # Captured before scoring so the reported version is a freshness
+        # *floor*: the served state reflects at least every batch up to
+        # it (a concurrent publish during scoring can only add batches).
+        sum_version = self.sum_version(request.user_id)
         name, base, multiplier, adjusted = self._grids(
             [request.user_id], request.items, request.scorer, request.adjust
         )
@@ -183,6 +206,7 @@ class RecommendationService:
             user_id=int(request.user_id),
             scorer=name,
             ranked=tuple(entries[: request.k]),
+            sum_version=sum_version,
         )
 
     def select_users(self, request: SelectionRequest) -> SelectionResponse:
@@ -196,6 +220,7 @@ class RecommendationService:
                 "selection over all users needs a SUM repository; pass "
                 "explicit user_ids or attach sums to the service"
             )
+        sum_version = self.sum_version()  # freshness floor; see recommend()
         name, base, multiplier, adjusted = self._grids(
             ids, [request.item], request.scorer, request.adjust
         )
@@ -212,5 +237,6 @@ class RecommendationService:
         if request.k is not None:
             entries = entries[: request.k]
         return SelectionResponse(
-            item=request.item, scorer=name, ranked=tuple(entries)
+            item=request.item, scorer=name, ranked=tuple(entries),
+            sum_version=sum_version,
         )

@@ -48,6 +48,7 @@ from repro.serving.requests import (
     SelectionResponse,
 )
 from repro.serving.service import RecommendationService
+from repro.streaming.updater import StreamingUpdater
 
 
 @dataclass
@@ -185,6 +186,34 @@ class SmartPredictionAssistant:
             scorer=scorer,
             adjust=adjust,
         ))
+
+    # -- streaming (the live Fig. 4 loop) ------------------------------------
+
+    def streaming_updater(self, n_shards: int = 4, **kwargs) -> StreamingUpdater:
+        """A :class:`~repro.streaming.updater.StreamingUpdater` over SPA.
+
+        Raw LifeLog events stream through hash-sharded consumers into the
+        engine's SUMs (same reinforcement policy as the campaign loop),
+        with write-behind persistence into the engine's event log.  Pair
+        with :meth:`live_service` to serve from the updater's versioned
+        snapshots::
+
+            updater = spa.streaming_updater()
+            service = spa.live_service(updater)
+            with updater:
+                updater.submit_many(events)
+                updater.drain()
+                service.recommend(...)    # fresh emotional state
+        """
+        return self.engine.streaming_updater(n_shards=n_shards, **kwargs)
+
+    def live_service(self, updater: StreamingUpdater) -> RecommendationService:
+        """A recommendation service reading ``updater``'s versioned cache.
+
+        Responses carry ``sum_version`` so callers can tell exactly which
+        update batches the served emotional state reflects.
+        """
+        return self.engine.recommendation_service(sums=updater.cache)
 
     # -- reporting -----------------------------------------------------------
 

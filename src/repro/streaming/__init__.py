@@ -1,0 +1,66 @@
+"""The streaming emotion-update subsystem: the live Fig. 4 loop.
+
+The paper runs Initialization → Update → Advice one simulated touch at a
+time; production emotion-aware systems run the same loop continuously as
+signal arrives.  This subpackage turns the raw LifeLog stream into
+incremental SUM updates the serving path observes immediately:
+
+* :mod:`repro.streaming.bus` — in-process partitioned event bus with
+  bounded queues and at-least-once delivery;
+* :mod:`repro.streaming.mapper` — events → reward/punish/decay update
+  ops (through :class:`~repro.lifelog.events.ActionCategory`);
+* :mod:`repro.streaming.consumer` — sharded workers, hash-partitioned by
+  user id so per-user updates stay ordered;
+* :mod:`repro.streaming.cache` — versioned per-user SUM snapshots the
+  :class:`~repro.serving.service.RecommendationService` serves from;
+* :mod:`repro.streaming.writebehind` — batched persistence into the
+  segmented :class:`~repro.lifelog.store.EventLog`;
+* :mod:`repro.streaming.replay` — replay/load-generator driver;
+* :mod:`repro.streaming.updater` — the assembled
+  :class:`StreamingUpdater` facade.
+"""
+
+from repro.streaming.bus import (
+    BusClosed,
+    BusStats,
+    Delivery,
+    EventBus,
+    PartitionQueue,
+    PublishTimeout,
+    Topic,
+    partition_for,
+)
+from repro.streaming.cache import SumCache
+from repro.streaming.consumer import DecayTick, ShardWorker, WorkerStats
+from repro.streaming.mapper import EventUpdateMapper, MapperConfig
+from repro.streaming.replay import ReplayDriver, ReplayStats, stream_events
+from repro.streaming.updater import (
+    LIFELOG_TOPIC,
+    StreamingStats,
+    StreamingUpdater,
+)
+from repro.streaming.writebehind import WriteBehindWriter
+
+__all__ = [
+    "BusClosed",
+    "BusStats",
+    "DecayTick",
+    "Delivery",
+    "EventBus",
+    "EventUpdateMapper",
+    "LIFELOG_TOPIC",
+    "MapperConfig",
+    "PartitionQueue",
+    "PublishTimeout",
+    "ReplayDriver",
+    "ReplayStats",
+    "ShardWorker",
+    "StreamingStats",
+    "StreamingUpdater",
+    "SumCache",
+    "Topic",
+    "WorkerStats",
+    "WriteBehindWriter",
+    "partition_for",
+    "stream_events",
+]

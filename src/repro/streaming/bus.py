@@ -1,0 +1,429 @@
+"""In-process event bus: partitioned topics, bounded queues, at-least-once.
+
+The smallest bus that has the three properties the live Fig. 4 loop
+needs, shaped like the log-based brokers production emotion pipelines sit
+on:
+
+* **partitioned topics** — a topic is a fixed array of FIFO partition
+  queues; ``publish`` routes by a stable hash of the message key, so all
+  events of one user land on one partition and stay ordered;
+* **bounded queues** — each partition holds at most ``capacity``
+  in-flight messages; publishers block (backpressure) instead of letting
+  a slow consumer balloon memory;
+* **at-least-once delivery** — a delivery stays owned by the partition
+  until the consumer ``ack``s it; ``nack`` requeues it at the *front*
+  (order preserved) with an incremented attempt counter, and messages
+  that exhaust ``max_attempts`` land in the partition's dead-letter list
+  instead of poisoning the stream.
+
+Everything is plain :mod:`threading`; there is no cross-process story
+here, only a faithful in-process model of the semantics.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+class BusClosed(RuntimeError):
+    """Raised when publishing to or reading from a closed bus."""
+
+
+class PublishTimeout(RuntimeError):
+    """Raised when backpressure held a publish longer than its timeout."""
+
+
+def partition_for(key: Any, n_partitions: int) -> int:
+    """Stable hash-partitioning of a message key.
+
+    Integer keys (user ids) partition by value; anything else goes
+    through CRC-32 of its ``repr``.  Deterministic across processes and
+    runs — required so "which shard owned user *u*" is reproducible.
+    """
+    if n_partitions < 1:
+        raise ValueError(f"n_partitions must be >= 1, got {n_partitions}")
+    if isinstance(key, bool) or not isinstance(key, int):
+        return zlib.crc32(repr(key).encode("utf-8")) % n_partitions
+    return int(key) % n_partitions
+
+
+@dataclass
+class Delivery:
+    """One message handed to a consumer, awaiting ack or nack."""
+
+    value: Any
+    key: Any
+    partition: int
+    offset: int
+    attempt: int = 1
+    published_at: float = 0.0  # time.perf_counter() at first publish
+    #: consumer scratch: memoized mapping result, survives redelivery so
+    #: stateful mappers are consulted exactly once per message
+    mapped: Any = None
+
+
+class PartitionQueue:
+    """One bounded FIFO partition with ack/nack redelivery."""
+
+    def __init__(self, partition: int, capacity: int, max_attempts: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.partition = partition
+        self.capacity = capacity
+        self.max_attempts = max_attempts
+        self._queue: deque[Delivery] = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._settled = threading.Condition(self._lock)
+        self._closed = False
+        self._next_offset = 0
+        self._in_flight = 0
+        # -- counters ------------------------------------------------------
+        self.published = 0
+        self.acked = 0
+        self.redelivered = 0
+        self.dead_letters: list[Delivery] = []
+
+    # -- producer side -----------------------------------------------------
+
+    def put(self, value: Any, key: Any, timeout: float | None = None) -> int:
+        """Enqueue one message; blocks while the partition is full."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._not_full:
+            while len(self._queue) >= self.capacity:
+                if self._closed:
+                    raise BusClosed("partition closed during publish")
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise PublishTimeout(
+                            f"partition {self.partition} full "
+                            f"({self.capacity} messages) for {timeout}s"
+                        )
+                self._not_full.wait(remaining)
+            if self._closed:
+                raise BusClosed("partition closed during publish")
+            offset = self._next_offset
+            self._next_offset += 1
+            self.published += 1
+            self._queue.append(Delivery(
+                value=value, key=key, partition=self.partition,
+                offset=offset, attempt=1, published_at=time.perf_counter(),
+            ))
+            self._not_empty.notify()
+            return offset
+
+    def put_many(
+        self,
+        items: list[tuple[Any, Any]],
+        timeout: float | None = None,
+    ) -> int:
+        """Enqueue ``(value, key)`` pairs with one lock hold per free slot
+        window — the high-rate publish path.  Blocks (backpressure) while
+        the partition is full; returns how many messages were placed."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        placed = 0
+        with self._not_full:
+            while placed < len(items):
+                while len(self._queue) >= self.capacity:
+                    if self._closed:
+                        raise BusClosed("partition closed during publish")
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise PublishTimeout(
+                                f"partition {self.partition} full "
+                                f"({self.capacity} messages) for {timeout}s"
+                            )
+                    self._not_full.wait(remaining)
+                if self._closed:
+                    raise BusClosed("partition closed during publish")
+                room = self.capacity - len(self._queue)
+                now = time.perf_counter()
+                for value, key in items[placed:placed + room]:
+                    self._queue.append(Delivery(
+                        value=value, key=key, partition=self.partition,
+                        offset=self._next_offset, attempt=1, published_at=now,
+                    ))
+                    self._next_offset += 1
+                take = min(room, len(items) - placed)
+                placed += take
+                self.published += take
+                self._not_empty.notify()
+        return placed
+
+    # -- consumer side -----------------------------------------------------
+
+    def get(self, timeout: float | None = None) -> Delivery | None:
+        """Take the next delivery, or ``None`` on timeout / closed+empty."""
+        batch = self.get_batch(1, timeout)
+        return batch[0] if batch else None
+
+    def get_batch(
+        self, max_items: int, timeout: float | None = None
+    ) -> list[Delivery]:
+        """Take up to ``max_items`` deliveries (waits for the first only)."""
+        if max_items < 1:
+            raise ValueError(f"max_items must be >= 1, got {max_items}")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._not_empty:
+            while not self._queue:
+                if self._closed:
+                    return []
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return []
+                self._not_empty.wait(remaining)
+            batch: list[Delivery] = []
+            while self._queue and len(batch) < max_items:
+                batch.append(self._queue.popleft())
+            self._in_flight += len(batch)
+            self._not_full.notify(len(batch))
+            return batch
+
+    def ack(self, delivery: Delivery) -> None:
+        """Mark one delivery done; it will never be redelivered."""
+        with self._lock:
+            self._in_flight -= 1
+            self.acked += 1
+            self._settled.notify_all()
+
+    def ack_batch(self, deliveries: list[Delivery]) -> None:
+        """Ack a whole applied batch with one lock hold."""
+        with self._lock:
+            self._in_flight -= len(deliveries)
+            self.acked += len(deliveries)
+            self._settled.notify_all()
+
+    def reject(self, delivery: Delivery) -> None:
+        """Dead-letter one delivery immediately, without redelivery.
+
+        For failures observed *after* side effects may have happened
+        (retrying would double-apply); infra failures before any side
+        effect use :meth:`nack` and get the at-least-once retries.
+        """
+        with self._lock:
+            self._in_flight -= 1
+            self.dead_letters.append(delivery)
+            self._settled.notify_all()
+
+    def nack(self, delivery: Delivery) -> bool:
+        """Return one delivery for redelivery (front of the queue).
+
+        Returns ``True`` if the message was requeued, ``False`` if it
+        exhausted ``max_attempts`` and went to the dead-letter list.
+        """
+        with self._lock:
+            self._in_flight -= 1
+            if delivery.attempt >= self.max_attempts:
+                self.dead_letters.append(delivery)
+                self._settled.notify_all()
+                return False
+            delivery.attempt += 1
+            self.redelivered += 1
+            self._queue.appendleft(delivery)
+            self._not_empty.notify()
+            return True
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Messages currently queued (excluding in-flight)."""
+        with self._lock:
+            return len(self._queue)
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Block until every published message is acked or dead-lettered."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._settled:
+            while self._queue or self._in_flight:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._settled.wait(remaining if remaining is not None else 0.1)
+            return True
+
+    def close(self) -> None:
+        """Stop accepting publishes; wakes all waiters."""
+        with self._lock:
+            self._closed = True
+            self._not_full.notify_all()
+            self._not_empty.notify_all()
+            self._settled.notify_all()
+
+
+class Topic:
+    """A named array of partition queues."""
+
+    def __init__(
+        self,
+        name: str,
+        partitions: int = 4,
+        capacity: int = 2_048,
+        max_attempts: int = 3,
+    ) -> None:
+        if not name:
+            raise ValueError("topic needs a name")
+        self.name = name
+        self.partitions = [
+            PartitionQueue(i, capacity, max_attempts) for i in range(partitions)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    def __iter__(self) -> Iterator[PartitionQueue]:
+        return iter(self.partitions)
+
+    def publish(self, value: Any, key: Any, timeout: float | None = None) -> int:
+        """Route by key hash; returns the partition index."""
+        index = partition_for(key, len(self.partitions))
+        self.partitions[index].put(value, key, timeout)
+        return index
+
+    def publish_many(
+        self,
+        pairs: list[tuple[Any, Any]],
+        timeout: float | None = None,
+    ) -> int:
+        """Publish many ``(value, key)`` pairs, grouped per partition.
+
+        Per-key order is preserved (one key always lands on one
+        partition, and pairs append in input order); returns the number
+        published."""
+        n_partitions = len(self.partitions)
+        grouped: dict[int, list[tuple[Any, Any]]] = {}
+        for value, key in pairs:
+            grouped.setdefault(
+                partition_for(key, n_partitions), []
+            ).append((value, key))
+        published = 0
+        for index, items in grouped.items():
+            published += self.partitions[index].put_many(items, timeout)
+        return published
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Wait until all partitions settle (acked or dead-lettered)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for queue in self.partitions:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            if not queue.join(remaining):
+                return False
+        return True
+
+    def close(self) -> None:
+        for queue in self.partitions:
+            queue.close()
+
+    # -- counters ----------------------------------------------------------
+
+    @property
+    def published(self) -> int:
+        return sum(q.published for q in self.partitions)
+
+    @property
+    def acked(self) -> int:
+        return sum(q.acked for q in self.partitions)
+
+    @property
+    def redelivered(self) -> int:
+        return sum(q.redelivered for q in self.partitions)
+
+    @property
+    def dead_letters(self) -> list[Delivery]:
+        dead: list[Delivery] = []
+        for queue in self.partitions:
+            dead.extend(queue.dead_letters)
+        return dead
+
+    @property
+    def depth(self) -> int:
+        return sum(q.depth for q in self.partitions)
+
+
+@dataclass
+class BusStats:
+    """Aggregate counters across all topics of one bus."""
+
+    topics: int
+    published: int
+    acked: int
+    redelivered: int
+    dead_lettered: int
+    depth: int
+
+
+class EventBus:
+    """Named topics over partitioned bounded queues."""
+
+    def __init__(self) -> None:
+        self._topics: dict[str, Topic] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def create_topic(
+        self,
+        name: str,
+        partitions: int = 4,
+        capacity: int = 2_048,
+        max_attempts: int = 3,
+    ) -> Topic:
+        """Declare a topic; re-declaring an existing name is an error."""
+        with self._lock:
+            if self._closed:
+                raise BusClosed("bus is closed")
+            if name in self._topics:
+                raise ValueError(f"topic {name!r} already exists")
+            topic = Topic(name, partitions, capacity, max_attempts)
+            self._topics[name] = topic
+            return topic
+
+    def topic(self, name: str) -> Topic:
+        try:
+            return self._topics[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown topic {name!r}; have {sorted(self._topics)}"
+            ) from None
+
+    def publish(
+        self, topic: str, value: Any, key: Any, timeout: float | None = None
+    ) -> int:
+        """Publish one message to ``topic``; returns the partition index."""
+        if self._closed:
+            raise BusClosed("bus is closed")
+        return self.topic(topic).publish(value, key, timeout)
+
+    def stats(self) -> BusStats:
+        topics = list(self._topics.values())
+        return BusStats(
+            topics=len(topics),
+            published=sum(t.published for t in topics),
+            acked=sum(t.acked for t in topics),
+            redelivered=sum(t.redelivered for t in topics),
+            dead_lettered=sum(len(t.dead_letters) for t in topics),
+            depth=sum(t.depth for t in topics),
+        )
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            for topic in self._topics.values():
+                topic.close()

@@ -1,0 +1,190 @@
+"""Versioned per-user SUM snapshots for the serving path.
+
+The serving layer must never observe a SUM mid-batch: a consumer worker
+applying five reward ops should be invisible until the batch commits.
+:class:`SumCache` provides that isolation with the cheapest possible
+machinery:
+
+* writers apply a whole batch slice and commit it in one per-user lock
+  hold (:meth:`SumCache.apply_and_publish`) — dropping the cached
+  snapshot and bumping the user's monotonic version counter atomically
+  with the mutation (the two-step :meth:`mutate` + :meth:`publish` pair
+  also exists, for callers that control their own read timing);
+* readers (:class:`~repro.serving.service.RecommendationService` via the
+  repository duck-type ``get``/``user_ids``) receive an immutable-by-
+  convention snapshot copy, rebuilt lazily on the first read after a
+  publish.
+
+Version counters make staleness *observable*: a snapshot at
+``version(user) == 3`` reflects every batch published up to 3 and
+nothing later, and tests can assert "exactly one bump per applied batch"
+instead of sleeping and hoping.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+from repro.core.sum_model import SmartUserModel, SumRepository
+
+
+class SumCache:
+    """Snapshot cache + version counters over a :class:`SumRepository`.
+
+    Duck-types the repository read API (``get``, ``user_ids``,
+    ``__contains__``, ``__len__``) so it can be handed to
+    :class:`~repro.serving.service.RecommendationService` as its ``sums``.
+    """
+
+    def __init__(self, repository: SumRepository) -> None:
+        self.repository = repository
+        self._snapshots: dict[int, SmartUserModel] = {}
+        self._versions: dict[int, int] = {}
+        self._global_version = 0
+        self._registry_lock = threading.Lock()
+        self._user_locks: dict[int, threading.Lock] = {}
+
+    # -- locking -----------------------------------------------------------
+
+    def _lock_for(self, user_id: int) -> threading.Lock:
+        lock = self._user_locks.get(user_id)  # GIL-atomic fast path
+        if lock is None:
+            with self._registry_lock:
+                lock = self._user_locks.setdefault(user_id, threading.Lock())
+        return lock
+
+    # -- write path --------------------------------------------------------
+
+    def write_lock(self, user_id: int) -> threading.Lock:
+        """The lock guarding one user's live model.
+
+        Direct repository writers (the offline campaign loop) hold it
+        across their mutation so snapshot builds and streamed applies
+        serialize with them; pair with :meth:`invalidate` afterwards.
+        """
+        return self._lock_for(int(user_id))
+
+    def mutate(self, user_id: int, fn) -> object:
+        """Run ``fn(model)`` on the live model under the user's lock.
+
+        Two-step write path: pair with :meth:`publish`.  Between the two
+        calls a reader whose snapshot was just invalidated can observe
+        the pending mutation early (it rebuilds from the live model), so
+        the consumer workers use :meth:`apply_and_publish`, which closes
+        that window by committing inside the same lock hold.
+        """
+        user_id = int(user_id)
+        with self._lock_for(user_id):
+            return fn(self.repository.get_or_create(user_id))
+
+    def apply_and_publish(self, user_id: int, fn) -> tuple[int, int]:
+        """Run ``fn(model)`` and commit, all under one user-lock hold.
+
+        The worker write path: readers blocked on the lock (or reading
+        the old snapshot) see either the state before ``fn`` at the old
+        version or the state after it at the new version — never the
+        mutation at the old version.  ``fn`` returns how many ops it
+        applied; a zero return means the state did not change, so
+        nothing is invalidated and the version stays put.  Returns
+        ``(applied ops, version)``.  Bump the batch-level
+        :attr:`global_version` separately with :meth:`mark_batch`.
+        """
+        user_id = int(user_id)
+        with self._lock_for(user_id):
+            applied = int(fn(self.repository.get_or_create(user_id)))
+            version = self._versions.get(user_id, 0)
+            if applied:
+                self._snapshots.pop(user_id, None)
+                version += 1
+                self._versions[user_id] = version
+        return applied, version
+
+    def mark_batch(self) -> int:
+        """Count one applied batch; returns the new global version."""
+        with self._registry_lock:
+            self._global_version += 1
+            return self._global_version
+
+    def publish(self, user_id: int) -> int:
+        """Commit one user's pending mutations; returns the new version."""
+        user_id = int(user_id)
+        with self._lock_for(user_id):
+            self._snapshots.pop(user_id, None)
+            version = self._versions.get(user_id, 0) + 1
+            self._versions[user_id] = version
+        with self._registry_lock:
+            self._global_version += 1
+        return version
+
+    def invalidate(self, user_ids: Iterable[int] | None = None) -> dict[int, int]:
+        """Invalidate users written *outside* the streaming path.
+
+        For writers that mutate the underlying repository directly —
+        the offline campaign loop rewarding touched users, a bulk
+        import — rather than through :meth:`apply_and_publish`.  Drops
+        the snapshots and bumps each user's version (``None`` means
+        every user the repository knows); the whole call counts as one
+        batch on :attr:`global_version`.
+        """
+        ids = (
+            self.repository.user_ids()
+            if user_ids is None
+            else sorted({int(uid) for uid in user_ids})
+        )
+        versions: dict[int, int] = {}
+        for user_id in ids:
+            with self._lock_for(user_id):
+                self._snapshots.pop(user_id, None)
+                versions[user_id] = self._versions.get(user_id, 0) + 1
+                self._versions[user_id] = versions[user_id]
+        if versions:
+            with self._registry_lock:
+                self._global_version += 1
+        return versions
+
+    # -- read path (repository duck-type) ----------------------------------
+
+    def get(self, user_id: int) -> SmartUserModel:
+        """Snapshot of one user's SUM as of their last published version."""
+        user_id = int(user_id)
+        snapshot = self._snapshots.get(user_id)
+        if snapshot is not None:
+            return snapshot
+        with self._lock_for(user_id):
+            snapshot = self._snapshots.get(user_id)
+            if snapshot is None:
+                live = self.repository.get(user_id)
+                snapshot = SmartUserModel.from_dict(live.to_dict())
+                self._snapshots[user_id] = snapshot
+            return snapshot
+
+    def get_or_create(self, user_id: int) -> SmartUserModel:
+        """Repository parity; creating flows through to the live store."""
+        self.repository.get_or_create(int(user_id))
+        return self.get(user_id)
+
+    def user_ids(self) -> list[int]:
+        return self.repository.user_ids()
+
+    def __contains__(self, user_id: object) -> bool:
+        return user_id in self.repository
+
+    def __len__(self) -> int:
+        return len(self.repository)
+
+    # -- observability -----------------------------------------------------
+
+    def version(self, user_id: int) -> int:
+        """Monotonic per-user version (0 before the first publish)."""
+        return self._versions.get(int(user_id), 0)
+
+    @property
+    def global_version(self) -> int:
+        """Total number of published batches across all users."""
+        return self._global_version
+
+    @property
+    def cached_users(self) -> int:
+        """How many snapshots are currently materialized."""
+        return len(self._snapshots)

@@ -1,0 +1,240 @@
+"""Sharded consumer workers: one thread per partition, per-user order.
+
+Each :class:`ShardWorker` owns exactly one partition of the ``lifelog``
+topic, so the hash partitioning of :mod:`repro.streaming.bus` guarantees
+it sees *all* events of its users, in publish order — the precondition
+for the mapper's per-user decay counters and for equivalence with a
+sequential replay.
+
+Batch processing protocol (at-least-once, batch-atomic visibility):
+
+1. take up to ``batch_max`` deliveries from the partition;
+2. map every delivery exactly once (a malformed event nacks for
+   redelivery *before* any of its ops apply, so retries never
+   double-apply);
+3. group by user and run each user's slice through
+   :meth:`SumCache.apply_and_publish
+   <repro.streaming.cache.SumCache.apply_and_publish>` — apply + version
+   bump + snapshot invalidation in one lock hold, exactly one version
+   bump per touched user;
+4. hand the applied events to the write-behind writer and mark the batch
+   (one global-version bump);
+5. ack everything applied, recording update-to-visible latency samples.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from repro.core.reward import ReinforcementPolicy
+from repro.core.updates import apply_ops
+from repro.lifelog.events import Event
+from repro.streaming.bus import Delivery, PartitionQueue
+from repro.streaming.cache import SumCache
+from repro.streaming.mapper import EventUpdateMapper
+from repro.streaming.writebehind import WriteBehindWriter
+
+
+@dataclass(frozen=True)
+class DecayTick:
+    """Control message: apply one scheduled decay tick to one user."""
+
+    user_id: int
+
+
+@dataclass
+class WorkerStats:
+    """Counters one shard worker maintains (read under the worker lock)."""
+
+    processed: int = 0
+    ops_applied: int = 0
+    batches: int = 0
+    failed: int = 0
+    #: applied events whose write-behind flush failed (state is committed
+    #: and acked; the events stay buffered and retry on the next flush)
+    log_drops: int = 0
+    #: update-to-visible latency samples, seconds (bounded reservoir)
+    latencies: list[float] = field(default_factory=list)
+
+
+class ShardWorker(threading.Thread):
+    """One consumer thread bound to one partition queue."""
+
+    #: keep at most this many latency samples per worker
+    MAX_LATENCY_SAMPLES = 50_000
+
+    def __init__(
+        self,
+        partition: PartitionQueue,
+        mapper: EventUpdateMapper,
+        cache: SumCache,
+        policy: ReinforcementPolicy,
+        write_behind: WriteBehindWriter | None = None,
+        batch_max: int = 256,
+        poll_timeout: float = 0.05,
+    ) -> None:
+        super().__init__(name=f"sum-shard-{partition.partition}", daemon=True)
+        self.partition = partition
+        self.mapper = mapper
+        self.cache = cache
+        self.policy = policy
+        self.write_behind = write_behind
+        self.batch_max = batch_max
+        self.poll_timeout = poll_timeout
+        self.stats = WorkerStats()
+        self._stop_requested = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Ask the worker to exit once its partition is drained."""
+        self._stop_requested.set()
+
+    def run(self) -> None:  # pragma: no cover - exercised via integration
+        while True:
+            batch = self.partition.get_batch(self.batch_max, self.poll_timeout)
+            if batch:
+                self._process(batch)
+            elif self._stop_requested.is_set() and self.partition.depth == 0:
+                return
+
+    # -- batch processing --------------------------------------------------
+
+    def _ops_for(self, delivery: Delivery):
+        value = delivery.value
+        if isinstance(value, DecayTick):
+            return int(value.user_id), self.mapper.tick_ops(value.user_id)
+        if isinstance(value, Event):
+            return int(value.user_id), self.mapper.ops(value)
+        raise TypeError(f"shard worker got non-event message {value!r}")
+
+    def _nack_in_order(
+        self, deliveries: list[Delivery], settled: set[int]
+    ) -> None:
+        """Nack preserving FIFO: front-insertion needs reverse order."""
+        self.stats.failed += len(deliveries)
+        for delivery in reversed(deliveries):
+            settled.add(id(delivery))
+            self.partition.nack(delivery)
+
+    def _process(self, batch: list[Delivery]) -> None:
+        """Process one batch, guaranteeing every delivery settles.
+
+        A delivery left neither acked, nacked nor rejected would leak the
+        partition's in-flight count and wedge ``join``/``drain`` forever,
+        so an exception escaping the batch logic (which should itself
+        settle everything) rejects whatever remains unsettled — the shard
+        thread survives and the queue keeps moving.
+        """
+        settled: set[int] = set()
+        try:
+            self._process_settling(batch, settled)
+        except Exception:
+            leaked = [d for d in batch if id(d) not in settled]
+            self.stats.failed += len(leaked)
+            for delivery in leaked:
+                self.partition.reject(delivery)
+
+    def _process_settling(
+        self, batch: list[Delivery], settled: set[int]
+    ) -> None:
+        # Map every delivery exactly once across its whole lifetime (the
+        # mapper's decay counters are stateful, so a redelivered message
+        # must reuse its memoized ops, not advance the counters again),
+        # nacking malformed messages before anything applies; then group
+        # per user so each user's whole slice of the batch is applied
+        # under one lock hold (readers never see a half-batch).
+        per_user: dict[int, list[tuple[Delivery, tuple]]] = {}
+        order: list[int] = []
+        unmappable: list[Delivery] = []
+        for delivery in batch:
+            if delivery.mapped is None:
+                try:
+                    delivery.mapped = self._ops_for(delivery)
+                except Exception:
+                    unmappable.append(delivery)
+                    continue
+            user_id, ops = delivery.mapped
+            if user_id not in per_user:
+                per_user[user_id] = []
+                order.append(user_id)
+            per_user[user_id].append((delivery, ops))
+        if unmappable:
+            self._nack_in_order(unmappable, settled)
+
+        applied: list[Delivery] = []
+        for user_id in order:
+            slice_ = per_user[user_id]
+            ok: list[Delivery] = []
+            bad: list[Delivery] = []
+            ops_applied = [0]
+
+            def apply_user(model, slice_=slice_, ok=ok, bad=bad,
+                           ops_applied=ops_applied):
+                total = 0
+                for delivery, ops in slice_:
+                    # Per-delivery isolation: one failing apply must not
+                    # poison its neighbours or kill the shard.
+                    try:
+                        total += apply_ops(model, ops, self.policy)
+                    except Exception:
+                        bad.append(delivery)
+                    else:
+                        ok.append(delivery)
+                ops_applied[0] = total
+                # A failed delivery may have applied a prefix of its ops
+                # before raising, so a bad slice must still commit (bump
+                # the version, invalidate the snapshot) even if no
+                # delivery completed cleanly.
+                return total if not bad else max(total, 1)
+
+            # Apply + version bump + snapshot invalidation in one lock
+            # hold, so readers never observe the mutation at the old
+            # version (no bump when nothing applied).
+            try:
+                self.cache.apply_and_publish(user_id, apply_user)
+            except Exception:
+                self._nack_in_order(
+                    [delivery for delivery, __ in slice_], settled
+                )
+                continue
+            self.stats.ops_applied += ops_applied[0]
+            if bad:
+                # Straight to the dead-letter list: the delivery's side
+                # effects may be partially in place, so a retry would
+                # double-apply — at-most-once past the apply stage.
+                self.stats.failed += len(bad)
+                for delivery in bad:
+                    settled.add(id(delivery))
+                    self.partition.reject(delivery)
+            applied.extend(ok)
+
+        if not applied:
+            return
+        if self.write_behind is not None:
+            to_log = [
+                d.value for d in applied if isinstance(d.value, Event)
+            ]
+            if to_log:
+                try:
+                    self.write_behind.add_batch(to_log)
+                except Exception:
+                    # State is already committed; a failing flush must not
+                    # stall the partition or double-apply via redelivery.
+                    # The writer kept the events buffered for the next
+                    # flush — count them so the lag is observable.
+                    self.stats.log_drops += len(to_log)
+        self.cache.mark_batch()
+        visible_at = perf_counter()
+        samples = self.stats.latencies
+        room = self.MAX_LATENCY_SAMPLES - len(samples)
+        if room > 0:
+            samples.extend(
+                visible_at - d.published_at for d in applied[:room]
+            )
+        settled.update(id(d) for d in applied)
+        self.partition.ack_batch(applied)
+        self.stats.processed += len(applied)
+        self.stats.batches += 1

@@ -1,0 +1,272 @@
+"""The streaming emotion-update subsystem, assembled.
+
+:class:`StreamingUpdater` wires the whole live Fig. 4 loop together:
+
+.. code-block:: text
+
+    LifeLog events ──▶ EventBus topic "lifelog"
+                          │  (hash-partitioned by user_id, bounded,
+                          │   at-least-once)
+                ┌─────────┼─────────┐
+           ShardWorker  ShardWorker  …          one thread per partition
+                │            │
+                │ mapper: event ──▶ reward/punish/decay ops
+                │ cache.apply_and_publish: apply ops + version bump
+                │   in one per-user lock hold
+                │ write-behind ──▶ EventLog.extend (batched)
+                └─▶ cache.mark_batch: one global bump per batch
+                          │
+                          ▼
+          SumCache (versioned snapshots) ◀── RecommendationService.sums
+
+    The Advice stage therefore serves from state at most one in-flight
+    batch behind the stream, and the version counters say exactly how
+    far behind.
+
+Usage::
+
+    updater = StreamingUpdater(sums, item_emotions, event_log=log)
+    service = RecommendationService(sums=updater.cache, ...)
+    with updater:                       # start()/stop()
+        updater.submit_many(events)
+        updater.drain()                 # all applied + flushed
+        service.recommend(...)          # fresh emotional state
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.reward import ReinforcementPolicy
+from repro.core.sum_model import SumRepository
+from repro.lifelog.events import Event
+from repro.lifelog.store import EventLog
+from repro.streaming.bus import EventBus, Topic
+from repro.streaming.cache import SumCache
+from repro.streaming.consumer import DecayTick, ShardWorker
+from repro.streaming.mapper import EventUpdateMapper, MapperConfig
+from repro.streaming.writebehind import WriteBehindWriter
+
+#: the single topic the subsystem runs on
+LIFELOG_TOPIC = "lifelog"
+
+
+@dataclass(frozen=True)
+class StreamingStats:
+    """Aggregate counters across the bus and all shard workers."""
+
+    submitted: int
+    applied: int
+    ops_applied: int
+    batches: int
+    redelivered: int
+    dead_lettered: int
+    failed: int
+    log_dropped: int
+    queue_depth: int
+    flushed_events: int
+    flush_count: int
+    pending_writes: int
+
+
+class StreamingUpdater:
+    """Live incremental SUM updates from a LifeLog event stream.
+
+    Parameters
+    ----------
+    sums:
+        The live :class:`~repro.core.sum_model.SumRepository` to update.
+        Workers create SUMs on first contact, like the offline loop.
+    item_emotions:
+        ``str(item_id) -> emotions`` mapping for the update mapper (see
+        :meth:`~repro.datagen.catalog.CourseCatalog.emotion_links`).
+    policy:
+        Reinforcement knobs shared with the offline loop (default
+        :class:`~repro.core.reward.ReinforcementPolicy`).
+    mapper_config:
+        Per-category strengths and decay cadence.
+    event_log:
+        Optional :class:`~repro.lifelog.store.EventLog` for write-behind
+        persistence of every applied event.
+    n_shards:
+        Consumer parallelism = topic partitions.  Per-user ordering holds
+        for any value because users are hash-pinned to shards.
+    queue_capacity:
+        Bounded-queue size per partition (backpressure threshold).
+    batch_max:
+        Largest batch one worker applies (and the visibility quantum:
+        versions bump once per applied batch).
+    max_attempts:
+        At-least-once redelivery budget before dead-lettering.
+    flush_every:
+        Write-behind buffer size, in events.
+    """
+
+    def __init__(
+        self,
+        sums: SumRepository,
+        item_emotions: Mapping[str, tuple[str, ...]],
+        policy: ReinforcementPolicy | None = None,
+        mapper_config: MapperConfig | None = None,
+        event_log: EventLog | None = None,
+        n_shards: int = 4,
+        queue_capacity: int = 2_048,
+        batch_max: int = 256,
+        max_attempts: int = 3,
+        flush_every: int = 512,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.policy = policy or ReinforcementPolicy()
+        self.cache = SumCache(sums)
+        self.bus = EventBus()
+        self.topic: Topic = self.bus.create_topic(
+            LIFELOG_TOPIC, partitions=n_shards,
+            capacity=queue_capacity, max_attempts=max_attempts,
+        )
+        self.write_behind = (
+            WriteBehindWriter(event_log, flush_every)
+            if event_log is not None else None
+        )
+        # One mapper per shard: per-user decay counters stay with the
+        # worker that owns the user, so they need no cross-thread locking.
+        self.workers = [
+            ShardWorker(
+                partition=partition,
+                mapper=EventUpdateMapper(item_emotions, mapper_config),
+                cache=self.cache,
+                policy=self.policy,
+                write_behind=self.write_behind,
+                batch_max=batch_max,
+            )
+            for partition in self.topic
+        ]
+        self._started = False
+        self._stopped = False
+        self._submitted = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "StreamingUpdater":
+        """Start all shard workers (idempotent while running).
+
+        An updater is single-use: worker threads and the bus cannot be
+        restarted, so ``start()`` after :meth:`stop` raises — build a
+        fresh updater instead (the SUM repository and event log carry
+        all durable state, so nothing is lost).
+        """
+        if self._stopped:
+            raise RuntimeError(
+                "updater already stopped; create a new StreamingUpdater"
+            )
+        if not self._started:
+            for worker in self.workers:
+                worker.start()
+            self._started = True
+        return self
+
+    def stop(self, drain: bool = True, timeout: float | None = 30.0) -> None:
+        """Stop workers (terminal); with ``drain`` process everything first."""
+        if self._stopped:
+            return
+        if drain and self._started:
+            self.drain(timeout)
+        for worker in self.workers:
+            worker.request_stop()
+        self.bus.close()
+        for worker in self.workers:
+            if worker.is_alive():
+                worker.join(timeout)
+        if self.write_behind is not None:
+            self.write_behind.flush()
+        self._started = False
+        self._stopped = True
+
+    def __enter__(self) -> "StreamingUpdater":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- ingestion ---------------------------------------------------------
+
+    def submit(self, event: Event, timeout: float | None = None) -> int:
+        """Publish one event (blocks under backpressure); returns shard."""
+        if not self._started:
+            raise RuntimeError("updater not started; call start() first")
+        shard = self.topic.publish(event, key=event.user_id, timeout=timeout)
+        self._submitted += 1
+        return shard
+
+    def submit_many(self, events: Iterable[Event], chunk: int = 512) -> int:
+        """Publish many events on the batched path (one partition lock
+        hold per chunk instead of per event); returns how many."""
+        if not self._started:
+            raise RuntimeError("updater not started; call start() first")
+        pending: list[tuple[Event, int]] = []
+        count = 0
+        for event in events:
+            pending.append((event, event.user_id))
+            if len(pending) >= chunk:
+                count += self.topic.publish_many(pending)
+                pending = []
+        if pending:
+            count += self.topic.publish_many(pending)
+        self._submitted += count
+        return count
+
+    def tick(self, user_ids: Iterable[int]) -> int:
+        """Schedule one decay tick per user (the between-touches decay)."""
+        if not self._started:
+            raise RuntimeError("updater not started; call start() first")
+        count = 0
+        for user_id in user_ids:
+            self.topic.publish(DecayTick(int(user_id)), key=int(user_id))
+            self._submitted += 1
+            count += 1
+        return count
+
+    # -- synchronization ---------------------------------------------------
+
+    def drain(self, timeout: float | None = 30.0) -> bool:
+        """Block until every submitted message is applied (or dead) and
+        the write-behind buffer is flushed; returns ``True`` on success."""
+        settled = self.topic.join(timeout)
+        if self.write_behind is not None:
+            self.write_behind.flush()
+        return settled
+
+    # -- observability -----------------------------------------------------
+
+    def latencies(self) -> list[float]:
+        """Update-to-visible latency samples (seconds) across workers."""
+        samples: list[float] = []
+        for worker in self.workers:
+            samples.extend(worker.stats.latencies)
+        return samples
+
+    def stats(self) -> StreamingStats:
+        return StreamingStats(
+            submitted=self._submitted,
+            applied=sum(w.stats.processed for w in self.workers),
+            ops_applied=sum(w.stats.ops_applied for w in self.workers),
+            batches=sum(w.stats.batches for w in self.workers),
+            redelivered=self.topic.redelivered,
+            dead_lettered=len(self.topic.dead_letters),
+            failed=sum(w.stats.failed for w in self.workers),
+            log_dropped=sum(w.stats.log_drops for w in self.workers),
+            queue_depth=self.topic.depth,
+            flushed_events=(
+                self.write_behind.flushed_events
+                if self.write_behind is not None else 0
+            ),
+            flush_count=(
+                self.write_behind.flush_count
+                if self.write_behind is not None else 0
+            ),
+            pending_writes=(
+                self.write_behind.pending
+                if self.write_behind is not None else 0
+            ),
+        )

@@ -1,0 +1,75 @@
+"""Write-behind persistence: consumers commit state first, log later.
+
+The hot path of a consumer worker is the SUM update; appending every
+event to the segmented :class:`~repro.lifelog.store.EventLog` inline
+would put columnar coercion on that path.  :class:`WriteBehindWriter`
+buffers applied events and flushes them in batches through
+:meth:`EventLog.extend <repro.lifelog.store.EventLog.extend>` (one
+segment-roll check per batch), trading a bounded window of un-logged
+events for a much shorter critical section.
+
+Durability contract: an event is guaranteed to be in the log only after
+:meth:`flush` (the updater's ``drain``/``stop`` call it).  The buffer is
+bounded by ``flush_every``; ``add_batch`` flushes synchronously once the
+buffer fills, so memory stays O(flush_every) regardless of traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+from repro.lifelog.events import Event
+from repro.lifelog.store import EventLog
+
+
+class WriteBehindWriter:
+    """Batched, thread-safe event persistence into an :class:`EventLog`."""
+
+    def __init__(self, event_log: EventLog, flush_every: int = 512) -> None:
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self.event_log = event_log
+        self.flush_every = flush_every
+        self._buffer: list[Event] = []
+        self._lock = threading.Lock()
+        self.flushed_events = 0
+        self.flush_count = 0
+
+    def add_batch(self, events: Iterable[Event]) -> int:
+        """Buffer applied events; flush if the buffer filled.
+
+        Returns how many events were written through to the log by this
+        call (0 while the buffer is still filling).
+        """
+        with self._lock:
+            self._buffer.extend(events)
+            if len(self._buffer) < self.flush_every:
+                return 0
+            return self._flush_locked()
+
+    def flush(self) -> int:
+        """Write everything buffered; returns how many events flushed."""
+        with self._lock:
+            return self._flush_locked()
+
+    def _flush_locked(self) -> int:
+        if not self._buffer:
+            return 0
+        batch, self._buffer = self._buffer, []
+        try:
+            written = self.event_log.extend(batch)
+        except Exception:
+            # Put everything back (in order) so a transient log failure
+            # costs a retry on the next flush, not the whole buffer.
+            self._buffer = batch + self._buffer
+            raise
+        self.flushed_events += written
+        self.flush_count += 1
+        return written
+
+    @property
+    def pending(self) -> int:
+        """Events buffered but not yet in the log."""
+        with self._lock:
+            return len(self._buffer)

@@ -1,0 +1,75 @@
+"""Batched EventLog.extend: same semantics as appending one at a time."""
+
+import pytest
+
+from repro.lifelog.events import ActionCategory, Event
+from repro.lifelog.store import EventLog
+
+
+def make_events(n, user_id=1):
+    return [
+        Event(timestamp=float(i), user_id=user_id + (i % 3),
+              action=f"action-{i % 5}", category=ActionCategory.NAVIGATION,
+              payload={"target": str(i)})
+        for i in range(n)
+    ]
+
+
+def test_extend_equals_repeated_append():
+    events = make_events(2_507)
+    batched = EventLog(segment_rows=500)
+    one_by_one = EventLog(segment_rows=500)
+    assert batched.extend(events) == len(events)
+    for event in events:
+        one_by_one.append(event)
+    assert len(batched) == len(one_by_one) == len(events)
+    assert batched.segment_count == one_by_one.segment_count
+    assert [e.to_row() for e in batched.events()] == [
+        e.to_row() for e in one_by_one.events()
+    ]
+
+
+def test_extend_seals_segments_at_exact_boundaries():
+    log = EventLog(segment_rows=100)
+    log.extend(make_events(250))
+    # 2 sealed segments of 100 + active of 50
+    assert log.segment_count == 3
+    assert len(log) == 250
+    log.extend(make_events(50))
+    assert len(log) == 300
+    assert log.segment_count == 3  # the third just sealed, active empty
+
+
+def test_extend_batch_larger_than_segment():
+    log = EventLog(segment_rows=10)
+    log.extend(make_events(35))
+    assert len(log) == 35
+    assert log.segment_count == 4
+
+
+def test_extend_accepts_iterator_and_empty():
+    log = EventLog(segment_rows=50)
+    assert log.extend(iter(make_events(7))) == 7
+    assert log.extend([]) == 0
+    assert len(log) == 7
+
+
+def test_append_is_one_element_extend():
+    log = EventLog(segment_rows=3)
+    for event in make_events(7):
+        log.append(event)
+    assert len(log) == 7
+    assert log.segment_count == 3  # two sealed + active(1)
+
+
+def test_indexes_still_serve_user_queries_after_batched_ingest():
+    log = EventLog(segment_rows=20)
+    events = make_events(90)
+    log.extend(events)
+    for uid in {e.user_id for e in events}:
+        expected = sorted(
+            (e for e in events if e.user_id == uid),
+            key=lambda e: (e.timestamp, e.action),
+        )
+        got = log.events_for_user(uid)
+        assert [e.to_row() for e in got] == [e.to_row() for e in expected]

@@ -1,0 +1,130 @@
+"""Property tests pinning ReinforcementPolicy edge cases.
+
+The reinforcement mechanism is the only writer of emotional intensities
+on the hot streaming path, so its boundary behaviour is load-bearing:
+zero-strength interactions must be no-ops, punishment must never drive
+an intensity below zero, and no sequence of reward/punish rounds may
+push a sensibility weight outside [0, 1].
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.emotions import EMOTION_NAMES
+from repro.core.reward import ReinforcementPolicy
+from repro.core.sum_model import SmartUserModel
+
+emotion_lists = st.lists(
+    st.sampled_from(EMOTION_NAMES), min_size=1, max_size=5, unique=True
+)
+strengths = st.floats(0.0, 1.0, allow_nan=False)
+policies = st.builds(
+    ReinforcementPolicy,
+    learning_rate=st.floats(0.01, 1.0, allow_nan=False),
+    punish_ratio=st.floats(0.0, 1.0, allow_nan=False),
+    decay=st.floats(0.0, 0.5, allow_nan=False, exclude_max=True),
+)
+
+
+def snapshot(model):
+    return (
+        dict(model.emotional.intensities),
+        dict(model.sensibility),
+        dict(model.evidence),
+    )
+
+
+class TestZeroStrength:
+    @given(policies, emotion_lists)
+    def test_reward_strength_zero_moves_no_values(self, policy, attributes):
+        model = SmartUserModel(1)
+        for name in attributes:
+            model.activate_emotion(name, 0.3)
+            model.set_sensibility(name, 0.4)
+        values_before = (
+            dict(model.emotional.intensities), dict(model.sensibility)
+        )
+        policy.reward(model, attributes, strength=0.0)
+        assert (
+            dict(model.emotional.intensities), dict(model.sensibility)
+        ) == values_before
+
+    @given(policies, emotion_lists)
+    def test_punish_strength_zero_moves_no_values(self, policy, attributes):
+        model = SmartUserModel(1)
+        for name in attributes:
+            model.activate_emotion(name, 0.3)
+            model.set_sensibility(name, 0.4)
+        values_before = (
+            dict(model.emotional.intensities), dict(model.sensibility)
+        )
+        policy.punish(model, attributes, strength=0.0)
+        assert (
+            dict(model.emotional.intensities), dict(model.sensibility)
+        ) == values_before
+
+
+class TestBounds:
+    @given(policies, emotion_lists, st.integers(1, 30))
+    def test_punish_never_drives_intensity_below_zero(
+        self, policy, attributes, rounds
+    ):
+        model = SmartUserModel(1)
+        for name in attributes:
+            model.activate_emotion(name, 0.2)
+        for __ in range(rounds):
+            policy.punish(model, attributes, strength=1.0)
+        for name in attributes:
+            assert model.emotional[name] >= 0.0
+
+    @settings(max_examples=60)
+    @given(
+        policies,
+        st.lists(
+            st.tuples(
+                st.booleans(), emotion_lists, strengths
+            ),
+            max_size=40,
+        ),
+    )
+    def test_values_stay_clamped_after_many_rounds(self, policy, rounds):
+        model = SmartUserModel(1)
+        for is_reward, attributes, strength in rounds:
+            if is_reward:
+                policy.reward(model, attributes, strength)
+            else:
+                policy.punish(model, attributes, strength)
+        for name, weight in model.sensibility.items():
+            assert 0.0 <= weight <= 1.0, name
+        for name in model.emotional:
+            assert 0.0 <= model.emotional[name] <= 1.0, name
+
+    @given(policies, emotion_lists, st.integers(1, 10))
+    def test_decay_keeps_everything_clamped(self, policy, attributes, ticks):
+        model = SmartUserModel(1)
+        for name in attributes:
+            model.activate_emotion(name, 1.0)
+            model.set_sensibility(name, 1.0)
+        for __ in range(ticks):
+            policy.apply_decay(model)
+        for name in attributes:
+            assert 0.0 <= model.emotional[name] <= 1.0
+            assert 0.0 <= model.sensibility[name] <= 1.0
+
+
+class TestAsymmetry:
+    @given(emotion_lists, st.floats(0.1, 1.0, allow_nan=False))
+    def test_punish_is_weaker_than_reward(self, attributes, strength):
+        policy = ReinforcementPolicy(punish_ratio=0.5)
+        rewarded = SmartUserModel(1)
+        punished = SmartUserModel(2)
+        for name in attributes:
+            rewarded.activate_emotion(name, 0.5)
+            punished.activate_emotion(name, 0.5)
+        policy.reward(rewarded, attributes, strength)
+        policy.punish(punished, attributes, strength)
+        for name in attributes:
+            gain = rewarded.emotional[name] - 0.5
+            loss = 0.5 - punished.emotional[name]
+            assert loss <= gain + 1e-12

@@ -1,0 +1,153 @@
+"""Unit tests for the in-process partitioned event bus."""
+
+import threading
+import time
+
+import pytest
+
+from repro.streaming.bus import (
+    BusClosed,
+    EventBus,
+    PartitionQueue,
+    PublishTimeout,
+    Topic,
+    partition_for,
+)
+
+
+class TestPartitioning:
+    def test_integer_keys_partition_by_value(self):
+        assert partition_for(13, 4) == 1
+        assert partition_for(16, 4) == 0
+
+    def test_stable_across_calls(self):
+        assert partition_for("user-7", 8) == partition_for("user-7", 8)
+
+    def test_all_partitions_reachable(self):
+        hit = {partition_for(uid, 4) for uid in range(100)}
+        assert hit == {0, 1, 2, 3}
+
+    def test_single_partition(self):
+        assert partition_for(12345, 1) == 0
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ValueError):
+            partition_for(1, 0)
+
+    def test_same_key_same_partition_via_topic(self):
+        topic = Topic("t", partitions=4)
+        indexes = {topic.publish(f"m{i}", key=42) for i in range(10)}
+        assert len(indexes) == 1
+
+
+class TestBoundedQueue:
+    def test_publish_timeout_when_full(self):
+        queue = PartitionQueue(0, capacity=2, max_attempts=3)
+        queue.put("a", 1)
+        queue.put("b", 1)
+        with pytest.raises(PublishTimeout):
+            queue.put("c", 1, timeout=0.05)
+
+    def test_backpressure_releases_when_consumed(self):
+        queue = PartitionQueue(0, capacity=1, max_attempts=3)
+        queue.put("a", 1)
+        unblocked = []
+
+        def producer():
+            queue.put("b", 1, timeout=5.0)
+            unblocked.append(True)
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        time.sleep(0.02)
+        assert not unblocked  # still blocked on the full queue
+        delivery = queue.get(timeout=1.0)
+        queue.ack(delivery)
+        thread.join(timeout=5.0)
+        assert unblocked
+
+    def test_fifo_order(self):
+        queue = PartitionQueue(0, capacity=10, max_attempts=3)
+        for i in range(5):
+            queue.put(i, 1)
+        got = [queue.get(0.1).value for _ in range(5)]
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_get_batch_drains_up_to_max(self):
+        queue = PartitionQueue(0, capacity=10, max_attempts=3)
+        for i in range(5):
+            queue.put(i, 1)
+        batch = queue.get_batch(3, timeout=0.1)
+        assert [d.value for d in batch] == [0, 1, 2]
+        assert queue.depth == 2
+
+    def test_get_timeout_returns_none(self):
+        queue = PartitionQueue(0, capacity=4, max_attempts=3)
+        assert queue.get(timeout=0.01) is None
+
+
+class TestAtLeastOnce:
+    def test_nack_redelivers_at_front(self):
+        queue = PartitionQueue(0, capacity=4, max_attempts=3)
+        queue.put("a", 1)
+        queue.put("b", 1)
+        first = queue.get(0.1)
+        assert first.value == "a" and first.attempt == 1
+        assert queue.nack(first) is True
+        again = queue.get(0.1)
+        assert again.value == "a" and again.attempt == 2  # before "b"
+        assert queue.redelivered == 1
+
+    def test_dead_letter_after_max_attempts(self):
+        queue = PartitionQueue(0, capacity=4, max_attempts=2)
+        queue.put("poison", 1)
+        first = queue.get(0.1)
+        assert queue.nack(first) is True
+        second = queue.get(0.1)
+        assert second.attempt == 2
+        assert queue.nack(second) is False  # exhausted -> dead letter
+        assert [d.value for d in queue.dead_letters] == ["poison"]
+        assert queue.get(timeout=0.01) is None
+
+    def test_join_waits_for_acks(self):
+        queue = PartitionQueue(0, capacity=4, max_attempts=3)
+        queue.put("a", 1)
+        assert queue.join(timeout=0.05) is False  # unconsumed
+        delivery = queue.get(0.1)
+        assert queue.join(timeout=0.05) is False  # in flight
+        queue.ack(delivery)
+        assert queue.join(timeout=1.0) is True
+
+    def test_join_counts_dead_letters_as_settled(self):
+        queue = PartitionQueue(0, capacity=4, max_attempts=1)
+        queue.put("poison", 1)
+        delivery = queue.get(0.1)
+        queue.nack(delivery)
+        assert queue.join(timeout=1.0) is True
+
+
+class TestEventBus:
+    def test_publish_routes_to_topic(self):
+        bus = EventBus()
+        bus.create_topic("t", partitions=2, capacity=8)
+        bus.publish("t", "hello", key=3)
+        assert bus.topic("t").published == 1
+        assert bus.stats().depth == 1
+
+    def test_unknown_topic(self):
+        bus = EventBus()
+        with pytest.raises(KeyError):
+            bus.publish("nope", "x", key=1)
+
+    def test_duplicate_topic(self):
+        bus = EventBus()
+        bus.create_topic("t")
+        with pytest.raises(ValueError):
+            bus.create_topic("t")
+
+    def test_closed_bus_rejects_publish(self):
+        bus = EventBus()
+        bus.create_topic("t")
+        bus.close()
+        with pytest.raises(BusClosed):
+            bus.publish("t", "x", key=1)

@@ -1,0 +1,166 @@
+"""Serving/streaming integration: fresh emotional state on the Advice path.
+
+The satellite contract: a rewarded attribute changes the next
+``recommend()`` response for that user — and only that user — because
+cache invalidation is per-user and the version counter bumps exactly
+once per applied batch.
+"""
+
+import pytest
+
+from repro.core.advice import DomainProfile
+from repro.core.sum_model import SumRepository
+from repro.datagen.catalog import AFFINITY_LINKS, CourseCatalog
+from repro.lifelog.events import ActionCategory, Event
+from repro.serving import RecommendationRequest, RecommendationService
+from repro.serving.requests import SelectionRequest
+from repro.streaming import StreamingUpdater
+
+
+@pytest.fixture()
+def world():
+    catalog = CourseCatalog.generate(30, seed=7)
+    sums = SumRepository()
+    for uid in (1, 2):
+        sums.get_or_create(uid)
+    updater = StreamingUpdater(
+        sums, catalog.emotion_links(), n_shards=2, batch_max=64
+    )
+    service = RecommendationService(
+        sums=updater.cache,
+        domain_profile=DomainProfile("courses", AFFINITY_LINKS),
+        item_attributes={
+            cid: dict(catalog.get(cid).attributes)
+            for cid in catalog.course_ids()
+        },
+    )
+    service.register("flat", lambda model, item: 1.0)
+    return catalog, sums, updater, service
+
+
+def recommend(service, catalog, uid, k=5):
+    return service.recommend(RecommendationRequest(
+        user_id=uid, items=catalog.course_ids(), k=k
+    ))
+
+
+def enrollment_events(catalog, uid, n=40):
+    """Enough enrollments in one course to move the Advice multipliers."""
+    # pick a course whose salient attributes actually link to emotions
+    course_id = next(
+        cid for cid, emotions in sorted(catalog.emotion_links().items())
+        if emotions
+    )
+    return [
+        Event(
+            timestamp=1_000.0 + i, user_id=uid, action="course_enroll",
+            category=ActionCategory.ENROLLMENT,
+            payload={"target": str(course_id)},
+        )
+        for i in range(n)
+    ]
+
+
+def test_reward_changes_recommendations_for_that_user_only(world):
+    catalog, sums, updater, service = world
+    before_1 = recommend(service, catalog, 1)
+    before_2 = recommend(service, catalog, 2)
+    assert before_1.sum_version == 0
+    assert all(e.multiplier == pytest.approx(1.0) for e in before_1.ranked)
+
+    with updater:
+        updater.submit_many(enrollment_events(catalog, uid=1))
+        assert updater.drain(timeout=30.0)
+
+    after_1 = recommend(service, catalog, 1)
+    after_2 = recommend(service, catalog, 2)
+
+    # user 1's emotional state moved: version advanced, multipliers shifted
+    assert after_1.sum_version >= 1
+    assert any(
+        e.multiplier != pytest.approx(1.0) for e in after_1.ranked
+    )
+    assert [e.item for e in after_1.ranked] != [e.item for e in before_1.ranked] or (
+        [e.adjusted_score for e in after_1.ranked]
+        != [e.adjusted_score for e in before_1.ranked]
+    )
+
+    # user 2 is untouched: same version, bit-identical response
+    assert after_2.sum_version == before_2.sum_version == 0
+    assert after_2 == before_2
+
+
+def test_version_increments_exactly_once_per_applied_batch(world):
+    catalog, sums, updater, service = world
+    events = enrollment_events(catalog, uid=1, n=10)
+    with updater:
+        # submit everything, then drain: batch_max=64 >= 10, and all ten
+        # events sit in one partition queue by the time the worker wakes,
+        # so they apply as a single batch with a single version bump...
+        updater.submit_many(events)
+        assert updater.drain(timeout=30.0)
+    batches = updater.stats().batches
+    assert batches >= 1
+    # ...and the user's version equals the number of applied batches
+    # (exactly one bump per batch), as does the cache's global version.
+    assert updater.cache.version(1) == batches
+    assert updater.cache.global_version == batches
+    assert recommend(service, catalog, 1).sum_version == batches
+
+
+def test_selection_response_carries_global_version(world):
+    catalog, sums, updater, service = world
+    course_id = catalog.course_ids()[0]
+    response = service.select_users(SelectionRequest(item=course_id))
+    assert response.sum_version == 0
+    with updater:
+        updater.submit_many(enrollment_events(catalog, uid=2, n=5))
+        assert updater.drain(timeout=30.0)
+    response = service.select_users(SelectionRequest(item=course_id))
+    assert response.sum_version == updater.cache.global_version >= 1
+
+
+def test_offline_campaign_writes_invalidate_live_caches():
+    # The offline loop mutates the shared SumRepository directly; caches
+    # spawned by engine.streaming_updater() must not keep serving the
+    # pre-campaign snapshots.
+    from repro.campaigns.delivery import CampaignEngine
+    from repro.datagen.behavior import BehaviorModel
+    from repro.datagen.campaigns_plan import CampaignSpec
+    from repro.datagen.population import Population
+
+    population = Population.generate(80, seed=7)
+    catalog = CourseCatalog.generate(20, seed=7)
+    engine = CampaignEngine(BehaviorModel(population, catalog, seed=7))
+    engine.register_population()
+    updater = engine.streaming_updater(n_shards=2)
+    cache = updater.cache
+
+    # materialize snapshots for everyone, then run an offline campaign
+    for uid in cache.user_ids():
+        cache.get(uid)
+    before = {uid: cache.version(uid) for uid in cache.user_ids()}
+    spec = CampaignSpec("c-test", "push", catalog.course_ids()[0], 0.5)
+    result = engine.run_campaign(
+        spec, scored=False, personalize=False, retrain=False
+    )
+
+    touched = {t.user_id for t in result.touches}
+    assert touched
+    for uid in touched:
+        assert cache.version(uid) == before[uid] + 1
+        # the snapshot now reflects the campaign's decay/reward writes
+        assert cache.get(uid).to_dict() == engine.sums.get(uid).to_dict()
+    untouched = set(cache.user_ids()) - touched
+    for uid in sorted(untouched)[:5]:
+        assert cache.version(uid) == before[uid]
+
+
+def test_plain_repository_serves_unversioned_responses():
+    catalog = CourseCatalog.generate(10, seed=3)
+    sums = SumRepository()
+    sums.get_or_create(1)
+    service = RecommendationService(sums=sums)
+    service.register("flat", lambda model, item: 1.0)
+    response = recommend(service, catalog, 1)
+    assert response.sum_version is None

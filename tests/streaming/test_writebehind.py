@@ -1,0 +1,83 @@
+"""Unit tests for the write-behind persistence buffer."""
+
+import pytest
+
+from repro.lifelog.events import ActionCategory, Event
+from repro.lifelog.store import EventLog
+from repro.streaming.writebehind import WriteBehindWriter
+
+
+def make_events(n, user_id=1):
+    return [
+        Event(timestamp=float(i), user_id=user_id, action="course_view",
+              category=ActionCategory.NAVIGATION, payload={"target": "3"})
+        for i in range(n)
+    ]
+
+
+def test_buffers_until_threshold():
+    log = EventLog()
+    writer = WriteBehindWriter(log, flush_every=10)
+    assert writer.add_batch(make_events(4)) == 0
+    assert writer.pending == 4
+    assert len(log) == 0
+
+
+def test_flushes_when_threshold_reached():
+    log = EventLog()
+    writer = WriteBehindWriter(log, flush_every=10)
+    writer.add_batch(make_events(4))
+    written = writer.add_batch(make_events(7))
+    assert written == 11  # the whole buffer goes in one batched extend
+    assert writer.pending == 0
+    assert len(log) == 11
+    assert writer.flush_count == 1
+    assert writer.flushed_events == 11
+
+
+def test_explicit_flush_writes_remainder():
+    log = EventLog()
+    writer = WriteBehindWriter(log, flush_every=100)
+    writer.add_batch(make_events(3))
+    assert writer.flush() == 3
+    assert writer.flush() == 0  # idempotent on empty buffer
+    assert len(log) == 3
+
+
+def test_preserves_event_order():
+    log = EventLog()
+    writer = WriteBehindWriter(log, flush_every=5)
+    events = make_events(12)
+    for event in events:
+        writer.add_batch([event])
+    writer.flush()
+    stored = list(log.events())
+    assert [e.timestamp for e in stored] == [e.timestamp for e in events]
+
+
+def test_invalid_flush_every():
+    with pytest.raises(ValueError):
+        WriteBehindWriter(EventLog(), flush_every=0)
+
+
+def test_failed_flush_keeps_buffer_for_retry():
+    class FlakyLog(EventLog):
+        def __init__(self):
+            super().__init__()
+            self.fail_next = True
+
+        def extend(self, events):
+            if self.fail_next:
+                self.fail_next = False
+                raise OSError("disk on fire")
+            return super().extend(events)
+
+    log = FlakyLog()
+    writer = WriteBehindWriter(log, flush_every=100)
+    writer.add_batch(make_events(3))
+    with pytest.raises(OSError):
+        writer.flush()
+    assert writer.pending == 3  # nothing lost
+    assert len(log) == 0
+    assert writer.flush() == 3  # retry succeeds, order intact
+    assert [e.timestamp for e in log.events()] == [0.0, 1.0, 2.0]
