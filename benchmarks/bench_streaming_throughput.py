@@ -34,6 +34,7 @@ from repro.core.gradual_eit import GradualEIT, QuestionBank
 from repro.core.pipeline import EmotionalContextPipeline
 from repro.core.reward import ReinforcementPolicy
 from repro.core.sum_model import SumRepository
+from repro.core.sum_store import ColumnarSumStore
 from repro.datagen.catalog import CourseCatalog
 from repro.lifelog.events import ActionCategory, Event
 from repro.lifelog.store import EventLog
@@ -153,6 +154,27 @@ def test_streaming_throughput_and_equivalence():
 
     sustained = N_EVENTS / end_to_end_seconds
 
+    # -- columnar backend: same firehose, vectorized batch commits -------
+    # The PR-3 contract at full stream scale: the struct-of-arrays store
+    # behind the sharded workers must land on *the same JSON state* as
+    # the sequential object-backed pipeline — not merely close.
+    columnar = ColumnarSumStore()
+    columnar_updater = StreamingUpdater(
+        columnar, item_emotions, policy=policy,
+        n_shards=N_SHARDS, queue_capacity=4_096, batch_max=512,
+    )
+    start = time.perf_counter()
+    with columnar_updater:
+        ReplayDriver(columnar_updater).replay(events)
+        assert columnar_updater.drain(timeout=300.0)
+        columnar_seconds = time.perf_counter() - start
+    assert columnar_updater.stats().applied == N_EVENTS
+    assert columnar.dumps() == reference.dumps(), (
+        "columnar streamed state is not bit-equal to the sequential "
+        "object-backed reference"
+    )
+    columnar_sustained = N_EVENTS / columnar_seconds
+
     # -- phase 2: paced replay, update-to-visible latency ----------------
     # Flat-out replay saturates the bounded queues, so its latencies
     # measure queue depth, not the subsystem.  Latency is reported from a
@@ -177,6 +199,9 @@ def test_streaming_throughput_and_equivalence():
         f"({N_EVENTS / sequential_seconds:,.0f} ev/s)",
         f"  streamed end-to-end:            {end_to_end_seconds:.3f} s "
         f"({sustained:,.0f} ev/s sustained)",
+        f"  streamed, columnar backend:     {columnar_seconds:.3f} s "
+        f"({columnar_sustained:,.0f} ev/s sustained; state bit-equal "
+        "to sequential)",
         f"  publish-side rate:              "
         f"{publish_stats.events_per_sec:,.0f} ev/s",
         f"  update-to-visible latency at {PACED_RATE:,.0f} ev/s paced "

@@ -53,6 +53,7 @@ Serving (the two paper functions, batch-first)::
 
 from repro.campaigns.delivery import EngineConfig
 from repro.core import (
+    ColumnarSumStore,
     EmotionalState,
     EmotionAwareRecommender,
     FourBranchProfile,
@@ -60,6 +61,7 @@ from repro.core import (
     QuestionBank,
     SmartUserModel,
     SumRepository,
+    UnknownUserError,
 )
 from repro.serving import (
     RecommendationRequest,
@@ -76,6 +78,7 @@ from repro.streaming import ReplayDriver, StreamingUpdater, SumCache
 __version__ = "1.2.0"
 
 __all__ = [
+    "ColumnarSumStore",
     "EmotionAwareRecommender",
     "EmotionalState",
     "EngineConfig",
@@ -96,5 +99,6 @@ __all__ = [
     "StreamingUpdater",
     "SumCache",
     "SumRepository",
+    "UnknownUserError",
     "__version__",
 ]

@@ -38,6 +38,7 @@ from repro.core.gradual_eit import GradualEIT, QuestionBank
 from repro.core.reward import ReinforcementPolicy
 from repro.core.sensibility import SensibilityAnalyzer
 from repro.core.sum_model import SumRepository
+from repro.core.sum_store import ColumnarSumStore
 from repro.datagen.behavior import BehaviorModel
 from repro.datagen.campaigns_plan import CampaignSpec
 from repro.datagen.catalog import AFFINITY_LINKS, emotions_linked_to
@@ -67,6 +68,10 @@ class EngineConfig:
     reward_open: float = 0.3
     punish_ignore: float = 0.3
     seed: int = 7
+    #: SUM storage backend: "object" (dict of SmartUserModels) or
+    #: "columnar" (struct-of-arrays ColumnarSumStore; same semantics,
+    #: batch reads and updates become array slices)
+    sum_backend: str = "object"
 
 
 class CampaignEngine:
@@ -80,7 +85,15 @@ class CampaignEngine:
     ) -> None:
         self.world = world
         self.config = config or EngineConfig()
-        self.sums = SumRepository()
+        if self.config.sum_backend == "object":
+            self.sums = SumRepository()
+        elif self.config.sum_backend == "columnar":
+            self.sums = ColumnarSumStore()
+        else:
+            raise ValueError(
+                f"unknown sum_backend {self.config.sum_backend!r}; "
+                "expected 'object' or 'columnar'"
+            )
         self.eit = GradualEIT(question_bank or QuestionBank.default_bank(per_task=5))
         self.policy = ReinforcementPolicy()
         self.analyzer = SensibilityAnalyzer()

@@ -7,7 +7,8 @@ This package implements Sections 2–3 of the paper:
 * the Four-Branch Model of Emotional Intelligence, Table 1
   (:mod:`repro.core.four_branch`),
 * the Gradual EIT (:mod:`repro.core.gradual_eit`),
-* Smart User Models (:mod:`repro.core.sum_model`),
+* Smart User Models (:mod:`repro.core.sum_model`) and their columnar
+  struct-of-arrays backend (:mod:`repro.core.sum_store`),
 * the three-stage methodology — Initialization / Advice / Update — via
   :mod:`repro.core.gradual_eit`, :mod:`repro.core.advice` and
   :mod:`repro.core.reward`,
@@ -44,7 +45,9 @@ from repro.core.sum_model import (
     AttributeSpec,
     SmartUserModel,
     SumRepository,
+    UnknownUserError,
 )
+from repro.core.sum_store import ColumnarSumStore, SumBatch, SumRowView
 from repro.core.updates import (
     DecayOp,
     PunishOp,
@@ -52,6 +55,7 @@ from repro.core.updates import (
     SumUpdateOp,
     apply_op,
     apply_ops,
+    apply_ops_batch,
 )
 
 __all__ = [
@@ -60,6 +64,7 @@ __all__ = [
     "AttributeKind",
     "AttributeSpec",
     "Branch",
+    "ColumnarSumStore",
     "DecayOp",
     "DomainProfile",
     "EITQuestion",
@@ -81,8 +86,14 @@ __all__ = [
     "RewardOp",
     "SensibilityAnalyzer",
     "SmartUserModel",
+    "SumBatch",
     "SumRepository",
+    "SumRowView",
     "SumUpdateOp",
     "TouchResult",
+    "UnknownUserError",
+    "apply_op",
+    "apply_ops",
+    "apply_ops_batch",
     "branch_table",
 ]

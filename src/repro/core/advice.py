@@ -46,14 +46,41 @@ class DomainProfile:
                         "outside [-1, 1]"
                     )
 
+    def layout(self) -> tuple[tuple[str, ...], tuple[str, ...], np.ndarray]:
+        """``(emotions, item_attributes, gains)`` — computed once, cached.
+
+        ``gains`` is the dense ``(n_emotions, n_attributes)`` gain matrix
+        in sorted-emotion × sorted-attribute order, read-only.  ``links``
+        is treated as immutable after construction (it was only ever
+        validated once, in ``__post_init__``); every matrix consumer used
+        to rebuild this layout per call.
+        """
+        cached = self.__dict__.get("_layout")
+        if cached is None:
+            emotions = tuple(sorted(self.links))
+            attributes = tuple(
+                sorted(
+                    {
+                        item_attribute
+                        for targets in self.links.values()
+                        for item_attribute in targets
+                    }
+                )
+            )
+            columns = {name: j for j, name in enumerate(attributes)}
+            gains = np.zeros((len(emotions), len(attributes)))
+            for row, emotion in enumerate(emotions):
+                for item_attribute, gain in self.links[emotion].items():
+                    gains[row, columns[item_attribute]] = gain
+            gains.setflags(write=False)
+            cached = (emotions, attributes, gains)
+            # frozen dataclass: cache through object.__setattr__
+            object.__setattr__(self, "_layout", cached)
+        return cached
+
     def item_attributes(self) -> list[str]:
         """All item attributes referenced by this profile, sorted."""
-        names = {
-            item_attribute
-            for targets in self.links.values()
-            for item_attribute in targets
-        }
-        return sorted(names)
+        return list(self.layout()[1])
 
 
 @dataclass(frozen=True)
@@ -129,30 +156,41 @@ class AdviceEngine:
         Row ``u`` equals :meth:`boosts` for ``models[u]`` with columns in
         :meth:`DomainProfile.item_attributes` order.  One tensor product
         replaces the per-user, per-link dict passes.
+
+        ``models`` may be a plain sequence of user models *or* a
+        :class:`~repro.core.sum_store.SumBatch`: the batch exposes its
+        intensity and sensibility blocks as column slices, so no
+        per-model scalar reads happen at all on the columnar path.
         """
-        attributes = profile.item_attributes()
-        emotions = sorted(profile.links)
-        if not models or not attributes:
+        emotions, attributes, gains = profile.layout()
+        if not len(models) or not attributes:
             return np.ones((len(models), len(attributes)))
-        gains = np.zeros((len(emotions), len(attributes)))
-        columns = {name: j for j, name in enumerate(attributes)}
-        for row, emotion in enumerate(emotions):
-            for item_attribute, gain in profile.links[emotion].items():
-                gains[row, columns[item_attribute]] = gain
-        intensity = np.asarray(
-            [[m.emotional[e] for e in emotions] for m in models]
-        )
-        relevance = np.asarray(
-            [[m.sensibility.get(e, 1.0) for e in emotions] for m in models]
-        )
+        if hasattr(models, "intensity_matrix"):
+            intensity = models.intensity_matrix(emotions)
+            relevance = models.sensibility_matrix(emotions, default=1.0)
+        else:
+            intensity = np.asarray(
+                [[m.emotional[e] for e in emotions] for m in models]
+            )
+            relevance = np.asarray(
+                [[m.sensibility.get(e, 1.0) for e in emotions] for m in models]
+            )
         # factor[u, e, a] = 1 + gain_scale·gain·intensity·sensibility,
         # floored at 0.05 exactly as in the scalar path; absent links have
-        # gain 0 and contribute a factor of exactly 1.
-        factors = 1.0 + self.gain_scale * (
-            (intensity * relevance)[:, :, None] * gains[None, :, :]
-        )
-        np.maximum(factors, 0.05, out=factors)
-        return factors.prod(axis=1)
+        # gain 0 and contribute a factor of exactly 1.  Accumulating one
+        # emotion at a time keeps the working set at (users × attributes)
+        # instead of materializing the full 3-D factor tensor; the
+        # per-element multiplication order is unchanged (e = 0..E−1), so
+        # the result is bit-identical.
+        evidence = intensity * relevance
+        boosts = np.ones((len(models), len(attributes)))
+        for row in range(len(emotions)):
+            factor = 1.0 + self.gain_scale * np.multiply.outer(
+                evidence[:, row], gains[row]
+            )
+            np.maximum(factor, 0.05, out=factor)
+            boosts *= factor
+        return boosts
 
     def presence_matrix(
         self,

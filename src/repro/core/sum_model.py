@@ -37,6 +37,25 @@ from repro.core.emotions import (
 from repro.core.four_branch import BRANCH_ORDER, Branch, FourBranchProfile
 
 
+class UnknownUserError(KeyError):
+    """A lookup named users that have no SUM.
+
+    Raised with the *full* list of offending ids (``user_ids``) so batch
+    callers — the serving path resolving a request's whole user list —
+    can report every unknown user at once instead of 500ing on the first.
+    Subclasses :class:`KeyError` so existing ``except KeyError`` callers
+    keep working.
+    """
+
+    def __init__(self, user_ids: Iterable[int]) -> None:
+        self.user_ids: tuple[int, ...] = tuple(int(uid) for uid in user_ids)
+        shown = ", ".join(str(uid) for uid in self.user_ids[:20])
+        if len(self.user_ids) > 20:
+            shown += f", … ({len(self.user_ids)} total)"
+        noun = "user" if len(self.user_ids) == 1 else "users"
+        super().__init__(f"no SUM for {noun} {shown}")
+
+
 class AttributeKind(enum.Enum):
     """The three attribute families of Section 5.1."""
 
@@ -227,11 +246,11 @@ class SumRepository:
         return model
 
     def get(self, user_id: int) -> SmartUserModel:
-        """Fetch an existing SUM; raises ``KeyError`` for unknown users."""
+        """Fetch an existing SUM; raises :class:`UnknownUserError`."""
         try:
             return self._models[int(user_id)]
         except KeyError:
-            raise KeyError(f"no SUM for user {user_id}") from None
+            raise UnknownUserError([user_id]) from None
 
     def __contains__(self, user_id: object) -> bool:
         return user_id in self._models
@@ -269,6 +288,16 @@ class SumRepository:
             )
             return np.zeros((0, width)), []
         return np.vstack(rows), ids
+
+    def to_columnar(self):
+        """Convert to a :class:`~repro.core.sum_store.ColumnarSumStore`.
+
+        The struct-of-arrays backend serves the same API from contiguous
+        columns; see :mod:`repro.core.sum_store`.
+        """
+        from repro.core.sum_store import ColumnarSumStore
+
+        return ColumnarSumStore.from_repository(self)
 
     # -- persistence -------------------------------------------------------
 

@@ -1,0 +1,866 @@
+"""Columnar Smart User Model store — struct-of-arrays for the population.
+
+The paper's SPA "exploits heterogeneous, multi-dimensional and massive
+databases" to maintain 75-attribute SUMs for the whole population.  The
+object backend (:class:`~repro.core.sum_model.SumRepository`) keeps one
+Python object per user, so every batch read rebuilds arrays the hardware
+could slice directly.  :class:`ColumnarSumStore` flips the layout: the
+*population* owns contiguous numpy columns, and each user is a row.
+
+Layout (struct of arrays, row = user):
+
+* ``emotional``   — ``(n, 10)`` float64 intensities in catalog order,
+  plus a presence mask (a dict distinguishes "absent" from "0.0");
+* ``ei``          — ``(n, 4)`` float64 Four-Branch scores (dense, the
+  profile always has all four branches, neutral 0.5);
+* ``sensibility`` — dynamically column-interned vocabulary (seeded with
+  the ten emotions) of float64 weights + presence mask.  Presence
+  matters: the Advice stage reads absent sensibilities as 1.0 while the
+  reward loop reads them as 0.0;
+* ``subjective``  — column-interned float64 tendencies + mask (absent
+  reads as the neutral 0.5);
+* ``evidence``    — column-interned int64 observation counters + mask;
+* ``objective`` / EIT question sets — cold per-row Python objects (rarely
+  touched, arbitrary values).
+
+:class:`SumRowView` subclasses :class:`~repro.core.sum_model.SmartUserModel`
+and re-expresses its attribute families as mapping *views* over one row,
+so the entire existing scalar API — ``model.emotional[e]``,
+``model.sensibility.get``, ``pipeline.apply_event``, the Gradual EIT —
+keeps working unchanged on top of the columns.  Scalar mutations through
+a view and vectorized mutations through :meth:`ColumnarSumStore.
+batch_apply_ops` are bit-equal by construction: both run the same IEEE
+double operations, just batched differently (the property suite in
+``tests/properties/test_columnar_batch.py`` pins this down).
+
+Persistence is columnar too: :meth:`ColumnarSumStore.save` writes the
+population as ``.npz`` column pages through the :mod:`repro.db` Catalog,
+and :meth:`dumps`/:meth:`loads` keep the :class:`SumRepository` JSON
+format as a compatible import/export path.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from collections.abc import MutableMapping
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.emotions import (
+    EMOTION_CATALOG,
+    EMOTION_NAMES,
+    EmotionalState,
+    clamp01,
+)
+from repro.core.four_branch import BRANCH_ORDER, Branch, FourBranchProfile
+from repro.core.sum_model import SmartUserModel, SumRepository, UnknownUserError
+from repro.core.updates import DecayOp, PunishOp, RewardOp
+
+_GROWTH_FACTOR = 2
+_INITIAL_ROWS = 1024
+_INITIAL_COLS = 16
+
+
+class _ColumnFamily:
+    """One attribute family: named columns of values + presence masks.
+
+    Columns are interned on first write ("dynamic column-interned
+    vocabulary"): a new attribute name becomes a new column for the whole
+    population, so reads stay contiguous slices.  ``frozen`` families
+    (the fixed emotion catalog) reject unknown names instead.
+
+    Thread-safety: unlike the object backend — where every user owns
+    independent dicts — rows share arrays, and capacity growth *replaces*
+    them, so an unsynchronized write could land in a just-discarded
+    array and vanish.  All mutation therefore serializes on the owning
+    store's ``lock`` (reads stay lock-free: a stale array holds the same
+    committed values for any row whose writer is quiesced, which is the
+    same per-user contract the streaming cache's locks already provide).
+    """
+
+    __slots__ = ("index", "order", "values", "mask", "frozen", "lock",
+                 "_dtype")
+
+    def __init__(
+        self,
+        dtype: np.dtype,
+        row_capacity: int,
+        lock: threading.RLock,
+        seed_names: Sequence[str] = (),
+        frozen: bool = False,
+    ) -> None:
+        self.lock = lock
+        self._dtype = np.dtype(dtype)
+        self.index: dict[str, int] = {name: j for j, name in enumerate(seed_names)}
+        self.order: list[str] = list(seed_names)
+        col_capacity = max(_INITIAL_COLS, len(self.order))
+        self.values = np.zeros((row_capacity, col_capacity), dtype=self._dtype)
+        self.mask = np.zeros((row_capacity, col_capacity), dtype=bool)
+        self.frozen = frozen
+
+    @property
+    def width(self) -> int:
+        return len(self.order)
+
+    def column_of(self, name: str) -> int | None:
+        """Column index of ``name`` (``None`` if never interned)."""
+        return self.index.get(name)
+
+    def ensure_column(self, name: str) -> int:
+        """Intern ``name``; returns its column index."""
+        j = self.index.get(name)  # GIL-atomic fast path
+        if j is not None:
+            return j
+        if self.frozen:
+            raise KeyError(
+                f"unknown attribute {name!r}; have {sorted(self.index)}"
+            )
+        with self.lock:
+            j = self.index.get(name)
+            if j is not None:
+                return j
+            j = len(self.order)
+            if j >= self.values.shape[1]:
+                new_cols = max(
+                    _INITIAL_COLS, self.values.shape[1] * _GROWTH_FACTOR
+                )
+                grown_v = np.zeros(
+                    (self.values.shape[0], new_cols), dtype=self._dtype
+                )
+                grown_v[:, : self.values.shape[1]] = self.values
+                grown_m = np.zeros((self.mask.shape[0], new_cols), dtype=bool)
+                grown_m[:, : self.mask.shape[1]] = self.mask
+                self.values, self.mask = grown_v, grown_m
+            self.index[name] = j
+            self.order.append(name)
+            return j
+
+    def read_matrix(
+        self, rows: np.ndarray, names: Sequence[str], default: float
+    ) -> np.ndarray:
+        """``(len(rows), len(names))`` values; absent entries → ``default``."""
+        out = np.full((len(rows), len(names)), float(default))
+        for k, name in enumerate(names):
+            j = self.column_of(name)
+            if j is None:
+                continue
+            out[:, k] = np.where(
+                self.mask[rows, j], self.values[rows, j], float(default)
+            )
+        return out
+
+    def grow_rows(self, new_capacity: int) -> None:
+        grown_v = np.zeros((new_capacity, self.values.shape[1]), dtype=self._dtype)
+        grown_v[: self.values.shape[0]] = self.values
+        grown_m = np.zeros((new_capacity, self.mask.shape[1]), dtype=bool)
+        grown_m[: self.mask.shape[0]] = self.mask
+        self.values, self.mask = grown_v, grown_m
+
+    def clear_row(self, row: int) -> None:
+        self.values[row, :] = 0
+        self.mask[row, :] = False
+
+
+class _RowMapView(MutableMapping):
+    """Dict-compatible view of one family row (presence-mask aware)."""
+
+    __slots__ = ("_family", "_row", "_cast")
+
+    def __init__(self, family: _ColumnFamily, row: int, cast=float) -> None:
+        self._family = family
+        self._row = row
+        self._cast = cast
+
+    def __getitem__(self, name: str):
+        j = self._family.column_of(name)
+        if j is None or not self._family.mask[self._row, j]:
+            raise KeyError(name)
+        return self._cast(self._family.values[self._row, j])
+
+    def __setitem__(self, name: str, value) -> None:
+        family = self._family
+        # Under the lock: a concurrent capacity growth replaces the
+        # arrays, and a write to the replaced one would be lost.
+        with family.lock:
+            j = family.ensure_column(name)
+            family.values[self._row, j] = value
+            family.mask[self._row, j] = True
+
+    def __delitem__(self, name: str) -> None:
+        family = self._family
+        with family.lock:
+            j = family.column_of(name)
+            if j is None or not family.mask[self._row, j]:
+                raise KeyError(name)
+            family.values[self._row, j] = 0
+            family.mask[self._row, j] = False
+
+    def __iter__(self) -> Iterator[str]:
+        mask = self._family.mask[self._row]
+        order = self._family.order
+        for j in np.flatnonzero(mask[: len(order)]):
+            yield order[j]
+
+    def __len__(self) -> int:
+        return int(self._family.mask[self._row, : self._family.width].sum())
+
+    def __repr__(self) -> str:
+        return repr(dict(self))
+
+
+class _BranchScoresView(MutableMapping):
+    """``dict[Branch, float]`` view over one row of the EI block."""
+
+    __slots__ = ("_store", "_row")
+
+    _COLUMN = {branch: j for j, branch in enumerate(BRANCH_ORDER)}
+
+    def __init__(self, store: "ColumnarSumStore", row: int) -> None:
+        self._store = store
+        self._row = row
+
+    def __getitem__(self, branch: Branch) -> float:
+        return float(self._store._ei[self._row, self._COLUMN[branch]])
+
+    def __setitem__(self, branch: Branch, value: float) -> None:
+        with self._store._lock:  # row growth replaces the EI block
+            self._store._ei[self._row, self._COLUMN[branch]] = value
+
+    def __delitem__(self, branch: Branch) -> None:
+        raise TypeError("Four-Branch scores are always present")
+
+    def __iter__(self) -> Iterator[Branch]:
+        return iter(BRANCH_ORDER)
+
+    def __len__(self) -> int:
+        return len(BRANCH_ORDER)
+
+    def __repr__(self) -> str:
+        return repr(dict(self))
+
+
+class _EmotionalStateView(EmotionalState):
+    """:class:`EmotionalState` whose intensities live in store columns."""
+
+    def __init__(self, store: "ColumnarSumStore", row: int) -> None:
+        # Deliberately skip the dataclass __init__: intensities is a live
+        # mapping view, not an owned dict, and needs no re-validation.
+        self.intensities = _RowMapView(store._emotional, row)
+        self.catalog = EMOTION_CATALOG
+        self._store = store
+        self._row = row
+
+    def as_vector(self, order: Iterable[str] | None = None) -> np.ndarray:
+        names = tuple(order) if order is not None else EMOTION_NAMES
+        if names == EMOTION_NAMES:
+            width = len(EMOTION_NAMES)
+            return self._store._emotional.values[self._row, :width].astype(
+                np.float64, copy=True
+            )
+        return super().as_vector(names)
+
+
+class _FourBranchProfileView(FourBranchProfile):
+    """:class:`FourBranchProfile` whose scores live in store columns."""
+
+    def __init__(self, store: "ColumnarSumStore", row: int) -> None:
+        self.scores = _BranchScoresView(store, row)
+
+
+class SumRowView(SmartUserModel):
+    """One user's SUM as a thin view over the columnar store.
+
+    Subclasses :class:`SmartUserModel` so every behaviour — reward,
+    sensibility analysis, the Gradual EIT, feature extraction,
+    ``to_dict`` — runs unchanged; only the storage underneath differs.
+    """
+
+    # Instance attributes of SmartUserModel are replaced by properties
+    # reading through to the store, so views stay valid across array
+    # growth (families are stable objects; their arrays are looked up on
+    # every access).
+
+    def __init__(self, store: "ColumnarSumStore", user_id: int, row: int) -> None:
+        self.user_id = int(user_id)
+        self._store = store
+        self._row = row
+        self.emotional = _EmotionalStateView(store, row)
+        self.ei_profile = _FourBranchProfileView(store, row)
+        self.subjective = _RowMapView(store._subjective, row)
+        self.sensibility = _RowMapView(store._sensibility, row)
+        self.evidence = _RowMapView(store._evidence, row, cast=int)
+
+    # -- cold, per-row Python state ----------------------------------------
+
+    @property
+    def objective(self) -> dict[str, Any]:
+        return self._store._objective[self._row]
+
+    @objective.setter
+    def objective(self, value: dict[str, Any]) -> None:
+        self._store._objective[self._row] = dict(value)
+
+    @property
+    def asked_questions(self) -> set[str]:
+        return self._store._asked[self._row]
+
+    @asked_questions.setter
+    def asked_questions(self, value: Iterable[str]) -> None:
+        self._store._asked[self._row] = set(value)
+
+    @property
+    def answered_questions(self) -> set[str]:
+        return self._store._answered[self._row]
+
+    @answered_questions.setter
+    def answered_questions(self, value: Iterable[str]) -> None:
+        self._store._answered[self._row] = set(value)
+
+
+class SumBatch:
+    """A resolved batch of users: row indices + column-sliced reads.
+
+    Behaves like a sequence of models (``len``, iteration) so existing
+    per-model code keeps working, while batch consumers — the Advice
+    stage, feature extraction — slice whole columns instead of looping.
+    """
+
+    __slots__ = ("store", "user_ids", "rows")
+
+    def __init__(
+        self, store: "ColumnarSumStore", user_ids: Sequence[int], rows: np.ndarray
+    ) -> None:
+        self.store = store
+        self.user_ids = [int(uid) for uid in user_ids]
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.user_ids)
+
+    def __iter__(self) -> Iterator[SumRowView]:
+        for uid in self.user_ids:
+            yield self.store.get(uid)
+
+    def intensity_matrix(self, order: Sequence[str]) -> np.ndarray:
+        """``(n_users, len(order))`` emotional intensities."""
+        family = self.store._emotional
+        cols = [family.ensure_column(name) for name in order]
+        return family.values[np.ix_(self.rows, cols)]
+
+    def sensibility_matrix(
+        self, order: Sequence[str], default: float = 1.0
+    ) -> np.ndarray:
+        """``(n_users, len(order))`` sensibilities; absent → ``default``."""
+        return self.store._sensibility.read_matrix(self.rows, order, default)
+
+
+class ColumnarSumStore:
+    """Struct-of-arrays SUM backend for the whole population.
+
+    Duck-types :class:`~repro.core.sum_model.SumRepository` (``get``,
+    ``get_or_create``, ``user_ids``, ``feature_matrix``, ``dumps`` /
+    ``loads``, iteration) so every existing layer — serving, streaming,
+    campaigns — can run on top of it unchanged, while batch consumers
+    get true columnar access (:meth:`batch`, :meth:`batch_apply_ops`).
+    """
+
+    def __init__(self, initial_capacity: int = _INITIAL_ROWS) -> None:
+        capacity = max(1, int(initial_capacity))
+        #: serializes every mutation: rows share arrays and capacity
+        #: growth replaces them, so concurrent shard workers must not
+        #: interleave writes with structural changes (reads stay
+        #: lock-free — per-user read consistency comes from the
+        #: streaming cache's user locks, as with the object backend)
+        self._lock = threading.RLock()
+        self._row_of: dict[int, int] = {}
+        self._user_ids = np.zeros(capacity, dtype=np.int64)
+        self._n = 0
+        self._capacity = capacity
+        self._emotional = _ColumnFamily(
+            np.float64, capacity, self._lock,
+            seed_names=EMOTION_NAMES, frozen=True,
+        )
+        self._sensibility = _ColumnFamily(
+            np.float64, capacity, self._lock, seed_names=EMOTION_NAMES
+        )
+        self._subjective = _ColumnFamily(np.float64, capacity, self._lock)
+        self._evidence = _ColumnFamily(
+            np.int64, capacity, self._lock, seed_names=EMOTION_NAMES
+        )
+        self._ei = np.full((capacity, len(BRANCH_ORDER)), 0.5)
+        self._objective: list[dict[str, Any]] = []
+        self._asked: list[set[str]] = []
+        self._answered: list[set[str]] = []
+        self._views: dict[int, SumRowView] = {}
+
+    # -- row management ----------------------------------------------------
+
+    def _grow_rows(self, needed: int) -> None:
+        if needed <= self._capacity:
+            return
+        new_capacity = self._capacity
+        while new_capacity < needed:
+            new_capacity *= _GROWTH_FACTOR
+        grown_ids = np.zeros(new_capacity, dtype=np.int64)
+        grown_ids[: self._n] = self._user_ids[: self._n]
+        self._user_ids = grown_ids
+        for family in self._families():
+            family.grow_rows(new_capacity)
+        grown_ei = np.full((new_capacity, len(BRANCH_ORDER)), 0.5)
+        grown_ei[: self._n] = self._ei[: self._n]
+        self._ei = grown_ei
+        self._capacity = new_capacity
+
+    def _families(self) -> tuple[_ColumnFamily, ...]:
+        return (self._emotional, self._sensibility, self._subjective, self._evidence)
+
+    def _new_row(self, user_id: int) -> int:
+        with self._lock:
+            row = self._row_of.get(user_id)
+            if row is not None:  # lost a first-contact race: reuse
+                return row
+            row = self._n
+            self._grow_rows(row + 1)
+            self._user_ids[row] = user_id
+            self._objective.append({})
+            self._asked.append(set())
+            self._answered.append(set())
+            self._n += 1
+            # published last: once visible, the row is fully initialized
+            self._row_of[user_id] = row
+            return row
+
+    def row_index(self, user_id: int) -> int:
+        """The row backing ``user_id`` (raises for unknown users)."""
+        try:
+            return self._row_of[int(user_id)]
+        except KeyError:
+            raise UnknownUserError([user_id]) from None
+
+    def rows_for(
+        self, user_ids: Sequence[int], create: bool = False
+    ) -> np.ndarray:
+        """Row indices for ``user_ids``; optionally creating missing rows.
+
+        Unknown users (with ``create=False``) raise a single
+        :class:`~repro.core.sum_model.UnknownUserError` naming them all.
+        """
+        rows = np.empty(len(user_ids), dtype=np.intp)
+        missing: list[int] = []
+        for i, uid in enumerate(user_ids):
+            uid = int(uid)
+            row = self._row_of.get(uid)
+            if row is None:
+                if create:
+                    row = self._new_row(uid)
+                else:
+                    missing.append(uid)
+                    continue
+            rows[i] = row
+        if missing:
+            raise UnknownUserError(missing)
+        return rows
+
+    # -- repository duck-type ----------------------------------------------
+
+    def get_or_create(self, user_id: int) -> SumRowView:
+        """Fetch a user's SUM view, creating an empty row on first contact."""
+        user_id = int(user_id)
+        row = self._row_of.get(user_id)
+        if row is None:
+            row = self._new_row(user_id)
+        view = self._views.get(user_id)
+        if view is None:
+            view = self._views.setdefault(user_id, SumRowView(self, user_id, row))
+        return view
+
+    def get(self, user_id: int) -> SumRowView:
+        """Fetch an existing SUM view; raises for unknown users."""
+        user_id = int(user_id)
+        if user_id not in self._row_of:
+            raise UnknownUserError([user_id])
+        return self.get_or_create(user_id)
+
+    def __contains__(self, user_id: object) -> bool:
+        return user_id in self._row_of
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self) -> Iterator[SumRowView]:
+        for user_id in sorted(self._row_of):
+            yield self.get(user_id)
+
+    def user_ids(self) -> list[int]:
+        """Sorted user ids with a SUM."""
+        return sorted(self._row_of)
+
+    def batch(
+        self, user_ids: Sequence[int] | None = None, create: bool = False
+    ) -> SumBatch:
+        """Resolve a batch of users for columnar reads (default: all)."""
+        ids = (
+            [int(uid) for uid in user_ids]
+            if user_ids is not None
+            else self.user_ids()
+        )
+        return SumBatch(self, ids, self.rows_for(ids, create=create))
+
+    # -- columnar reads ----------------------------------------------------
+
+    def feature_matrix(
+        self,
+        user_ids: Iterable[int] | None = None,
+        subjective_order: Iterable[str] = (),
+        include_ei: bool = True,
+    ) -> tuple[np.ndarray, list[int]]:
+        """Columnar :meth:`SumRepository.feature_matrix`: slices, no loops.
+
+        Bit-equal to stacking ``feature_vector`` per model — the columns
+        *are* the per-model values.
+        """
+        ids = (
+            [int(uid) for uid in user_ids]
+            if user_ids is not None
+            else self.user_ids()
+        )
+        subjective_order = tuple(subjective_order)
+        width = len(EMOTION_NAMES) + len(subjective_order) + (
+            len(BRANCH_ORDER) if include_ei else 0
+        )
+        if not ids:
+            return np.zeros((0, width)), []
+        rows = self.rows_for(ids)
+        parts = [self._emotional.values[rows][:, : len(EMOTION_NAMES)]]
+        parts.append(
+            self._subjective.read_matrix(rows, subjective_order, default=0.5)
+        )
+        if include_ei:
+            parts.append(self._ei[rows])
+        return np.hstack(parts), ids
+
+    # -- vectorized update path --------------------------------------------
+
+    def batch_apply_ops(self, items, policy) -> list[int]:
+        """Apply per-user op sequences vectorized across the population.
+
+        ``items`` is a sequence of ``(user_id, ops)`` pairs; each user's
+        ops apply in order, and different users' sequences commute (they
+        touch disjoint rows), so op index ``k`` of every user is applied
+        as one vectorized "round": decays are one array multiply over
+        the decaying rows, rewards/punishes are scatter-adds through the
+        same :class:`~repro.core.reward.ReinforcementPolicy` clamps as
+        the scalar path — bit-equal results, population-at-once speed.
+
+        All ops are validated *before* any mutation (unknown ops,
+        unknown attributes or non-finite strengths raise with the store
+        untouched), unlike the scalar path which fails mid-sequence.
+        Returns per-item applied-op counts, aligned with ``items``.
+        """
+        with self._lock:
+            return self._batch_apply_ops_locked(items, policy)
+
+    def _batch_apply_ops_locked(self, items, policy) -> list[int]:
+        items = [(int(uid), tuple(ops)) for uid, ops in items]
+        emotion_col = self._emotional.index
+        for __, ops in items:
+            for op in ops:
+                if isinstance(op, DecayOp):
+                    continue
+                if isinstance(op, (RewardOp, PunishOp)):
+                    for name in op.attributes:
+                        if name not in emotion_col:
+                            raise KeyError(
+                                f"unknown emotional attribute {name!r}; "
+                                f"have {sorted(emotion_col)}"
+                            )
+                    if not math.isfinite(float(op.strength)):
+                        raise ValueError(
+                            f"non-finite op strength {op.strength!r}"
+                        )
+                else:
+                    raise TypeError(f"unknown SUM update op {op!r}")
+
+        # Rounds vectorize across *distinct* rows; a user listed twice
+        # must not have two ops land in the same round, so duplicate ids
+        # merge into one ordered sequence (same sequential semantics).
+        merged: dict[int, list] = {}
+        for uid, ops in items:
+            merged.setdefault(uid, []).extend(ops)
+        entries = [(uid, tuple(ops)) for uid, ops in merged.items()]
+
+        rows = self.rows_for([uid for uid, __ in entries], create=True)
+        n_rounds = max((len(ops) for __, ops in entries), default=0)
+        for k in range(n_rounds):
+            decay_rows: list[int] = []
+            # (row, emotion column, signed intensity step, occurrence)
+            touches: list[tuple[int, int, float, int]] = []
+            for i, (__, ops) in enumerate(entries):
+                if k >= len(ops):
+                    continue
+                op = ops[k]
+                if isinstance(op, DecayOp):
+                    decay_rows.append(rows[i])
+                    continue
+                if isinstance(op, RewardOp):
+                    step = policy.learning_rate * clamp01(op.strength)
+                else:
+                    step = (
+                        policy.learning_rate
+                        * policy.punish_ratio
+                        * clamp01(op.strength)
+                    )
+                    step = -step
+                seen: dict[str, int] = {}
+                for name in op.attributes:
+                    occurrence = seen.get(name, 0)
+                    seen[name] = occurrence + 1
+                    touches.append(
+                        (rows[i], emotion_col[name], step, occurrence)
+                    )
+            if decay_rows:
+                self._decay_rows(np.asarray(decay_rows, dtype=np.intp), policy)
+            if touches:
+                self._apply_touches(touches)
+        return [len(ops) for __, ops in items]
+
+    def _decay_rows(self, rows: np.ndarray, policy) -> None:
+        """One decay tick over ``rows``: two array multiplies.
+
+        Matches ``ReinforcementPolicy.apply_decay`` bit for bit: absent
+        entries hold raw 0.0, and ``0.0 * factor == 0.0``, so decaying
+        whole rows equals decaying only the present keys (masks are
+        untouched — decay never creates attributes).
+        """
+        factor = 1.0 - policy.decay
+        intensity = self._emotional.values
+        intensity[rows] = np.clip(intensity[rows] * factor, 0.0, 1.0)
+        weights = self._sensibility.values
+        weights[rows] = np.clip(weights[rows] * factor, 0.0, 1.0)
+
+    def _apply_touches(
+        self, touches: Sequence[tuple[int, int, float, int]]
+    ) -> None:
+        """Scatter reward/punish steps through the scalar-path clamps.
+
+        Touches are grouped by within-op occurrence so a duplicated
+        attribute in one op clamps *between* its occurrences, exactly as
+        the sequential loop does.  Within one occurrence group every
+        (row, column) pair is unique, so plain fancy-index assignment is
+        safe (no lost updates).
+        """
+        max_occurrence = max(t[3] for t in touches)
+        intensity = self._emotional.values
+        intensity_mask = self._emotional.mask
+        weights = self._sensibility.values
+        weights_mask = self._sensibility.mask
+        evidence = self._evidence.values
+        evidence_mask = self._evidence.mask
+        for occurrence in range(max_occurrence + 1):
+            group = [t for t in touches if t[3] == occurrence]
+            r = np.asarray([t[0] for t in group], dtype=np.intp)
+            c = np.asarray([t[1] for t in group], dtype=np.intp)
+            step = np.asarray([t[2] for t in group])
+            intensity[r, c] = np.clip(intensity[r, c] + step, 0.0, 1.0)
+            intensity_mask[r, c] = True
+            evidence[r, c] += 1
+            evidence_mask[r, c] = True
+            # The emotion vocabulary seeds both families, so the emotion
+            # column index is shared between intensity and sensibility.
+            weights[r, c] = np.clip(weights[r, c] + step * 0.5, 0.0, 1.0)
+            weights_mask[r, c] = True
+
+    def decay_tick(self, policy, user_ids: Sequence[int] | None = None) -> int:
+        """One population decay tick (default: every user); returns rows hit."""
+        with self._lock:
+            rows = (
+                np.arange(self._n, dtype=np.intp)
+                if user_ids is None
+                else self.rows_for(list(user_ids))
+            )
+            if len(rows):
+                self._decay_rows(rows, policy)
+            return int(len(rows))
+
+    # -- JSON import/export (SumRepository-compatible) ----------------------
+
+    def dumps(self) -> str:
+        """Serialize to the exact :meth:`SumRepository.dumps` JSON format."""
+        return json.dumps([m.to_dict() for m in self], sort_keys=True)
+
+    @classmethod
+    def loads(cls, payload: str) -> "ColumnarSumStore":
+        """Inverse of :meth:`dumps`; accepts :class:`SumRepository` dumps."""
+        store = cls()
+        for item in json.loads(payload):
+            store._ingest(item)
+        return store
+
+    def _ingest(self, payload: dict[str, Any]) -> SumRowView:
+        """Load one :meth:`SmartUserModel.to_dict` payload into a row."""
+        view = self.get_or_create(payload["user_id"])
+        view.objective = dict(payload.get("objective", {}))
+        for name, value in payload.get("subjective", {}).items():
+            view.subjective[name] = clamp01(value)
+        # Route through EmotionalState validation (unknown names raise).
+        validated = EmotionalState(dict(payload.get("emotional", {})))
+        for name, value in validated.intensities.items():
+            view.emotional.intensities[name] = value
+        for key, score in payload.get("ei_profile", {}).items():
+            view.ei_profile.scores[Branch(key)] = clamp01(score)
+        for name, weight in payload.get("sensibility", {}).items():
+            view.sensibility[name] = clamp01(weight)
+        for name, count in payload.get("evidence", {}).items():
+            view.evidence[name] = int(count)
+        view.asked_questions = set(payload.get("asked_questions", ()))
+        view.answered_questions = set(payload.get("answered_questions", ()))
+        return view
+
+    @classmethod
+    def from_repository(cls, repository) -> "ColumnarSumStore":
+        """Convert any SUM collection (object or columnar) to a new store."""
+        store = cls()
+        for model in repository:
+            store._ingest(model.to_dict())
+        return store
+
+    def to_repository(self) -> SumRepository:
+        """Export to an object-backed :class:`SumRepository` (deep copy)."""
+        return SumRepository.loads(self.dumps())
+
+    # -- Catalog persistence (.npz column pages) -----------------------------
+
+    _PRESENT_SUFFIX = "__present"
+
+    def save(self, directory: str | Path) -> Path:
+        """Persist as ``.npz`` column pages via the :mod:`repro.db` Catalog.
+
+        One table per attribute family; dynamic vocabularies become
+        columns (value + ``__present`` mask), cold per-row state is
+        JSON-encoded strings in the ``users`` table.
+        """
+        from repro.db.catalog import Catalog
+        from repro.db.schema import Column, ColumnType, Schema
+        from repro.db.table import Table
+
+        live = np.asarray(
+            [self._row_of[uid] for uid in self.user_ids()], dtype=np.intp
+        )
+        ids = [int(self._user_ids[row]) for row in live]
+        catalog = Catalog()
+
+        users_schema = Schema(
+            [
+                Column("user_id", ColumnType.INT64),
+                Column("objective", ColumnType.STRING),
+                Column("asked_questions", ColumnType.STRING),
+                Column("answered_questions", ColumnType.STRING),
+            ]
+        )
+        catalog.register(
+            Table.from_columns(
+                users_schema,
+                {
+                    "user_id": ids,
+                    "objective": [
+                        json.dumps(self._objective[row], sort_keys=True)
+                        for row in live
+                    ],
+                    "asked_questions": [
+                        json.dumps(sorted(self._asked[row])) for row in live
+                    ],
+                    "answered_questions": [
+                        json.dumps(sorted(self._answered[row])) for row in live
+                    ],
+                },
+                name="users",
+            )
+        )
+
+        ei_schema = Schema(
+            [Column("user_id", ColumnType.INT64)]
+            + [Column(b.value, ColumnType.FLOAT64) for b in BRANCH_ORDER]
+        )
+        ei_columns: dict[str, Sequence[Any]] = {"user_id": ids}
+        for j, branch in enumerate(BRANCH_ORDER):
+            ei_columns[branch.value] = [float(v) for v in self._ei[live, j]]
+        catalog.register(Table.from_columns(ei_schema, ei_columns, name="ei"))
+
+        for table_name, family, ctype, cast in (
+            ("emotional", self._emotional, ColumnType.FLOAT64, float),
+            ("sensibility", self._sensibility, ColumnType.FLOAT64, float),
+            ("subjective", self._subjective, ColumnType.FLOAT64, float),
+            ("evidence", self._evidence, ColumnType.INT64, int),
+        ):
+            columns: dict[str, Sequence[Any]] = {"user_id": ids}
+            schema_columns = [Column("user_id", ColumnType.INT64)]
+            for name in family.order:
+                j = family.index[name]
+                schema_columns.append(Column(name, ctype))
+                schema_columns.append(
+                    Column(name + self._PRESENT_SUFFIX, ColumnType.BOOL)
+                )
+                columns[name] = [cast(v) for v in family.values[live, j]]
+                columns[name + self._PRESENT_SUFFIX] = [
+                    bool(v) for v in family.mask[live, j]
+                ]
+            catalog.register(
+                Table.from_columns(Schema(schema_columns), columns, name=table_name)
+            )
+        return catalog.save(directory)
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "ColumnarSumStore":
+        """Inverse of :meth:`save`."""
+        from repro.db.catalog import Catalog
+
+        catalog = Catalog.load(directory)
+        users = catalog.get("users")
+        ids = [int(uid) for uid in users.column("user_id")]
+        store = cls(initial_capacity=max(len(ids), 1))
+        rows = store.rows_for(ids, create=True)
+        for row, objective, asked, answered in zip(
+            rows,
+            users.column("objective"),
+            users.column("asked_questions"),
+            users.column("answered_questions"),
+        ):
+            store._objective[row] = json.loads(objective)
+            store._asked[row] = set(json.loads(asked))
+            store._answered[row] = set(json.loads(answered))
+
+        def check_alignment(table) -> None:
+            # A data-integrity check, not a debug assert: misaligned
+            # pages would scatter every user's values into wrong rows.
+            if [int(u) for u in table.column("user_id")] != ids:
+                raise ValueError(
+                    f"table {table.name!r} user_id column does not match "
+                    "the users table; catalog directory is corrupt"
+                )
+
+        ei = catalog.get("ei")
+        check_alignment(ei)
+        for j, branch in enumerate(BRANCH_ORDER):
+            store._ei[rows, j] = np.asarray(ei.column(branch.value), dtype=np.float64)
+
+        for table_name, family in (
+            ("emotional", store._emotional),
+            ("sensibility", store._sensibility),
+            ("subjective", store._subjective),
+            ("evidence", store._evidence),
+        ):
+            table = catalog.get(table_name)
+            check_alignment(table)
+            for name in table.schema.names:
+                if name == "user_id" or name.endswith(cls._PRESENT_SUFFIX):
+                    continue
+                j = family.ensure_column(name)
+                family.values[rows, j] = table.column(name)
+                family.mask[rows, j] = np.asarray(
+                    table.column(name + cls._PRESENT_SUFFIX), dtype=bool
+                )
+        return store

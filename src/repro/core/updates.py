@@ -17,7 +17,7 @@ op sequence can be replayed under different reinforcement knobs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Union
+from typing import Iterable, Sequence, Tuple, Union
 
 from repro.core.reward import ReinforcementPolicy
 from repro.core.sum_model import SmartUserModel
@@ -89,3 +89,31 @@ def apply_ops(
         apply_op(model, op, policy)
         count += 1
     return count
+
+
+def apply_ops_batch(
+    repository: object,
+    items: Sequence[Tuple[int, Iterable[SumUpdateOp]]],
+    policy: ReinforcementPolicy,
+) -> list[int]:
+    """Apply per-user op sequences against a whole SUM collection.
+
+    ``items`` pairs each user id with their (ordered) op sequence.  On a
+    columnar backend (:class:`~repro.core.sum_store.ColumnarSumStore`,
+    which exposes ``batch_apply_ops``) the whole batch is applied
+    vectorized — one decay tick over a shard is one array multiply,
+    rewards/punishes are scatter-adds through the same
+    :class:`~repro.core.reward.ReinforcementPolicy` clamps.  On an
+    object-backed repository it falls back to sequential
+    :func:`apply_ops` per user.  Both paths produce bit-identical state
+    (the Hypothesis suite in ``tests/properties`` pins this).
+
+    Returns per-item applied-op counts, aligned with ``items``.
+    """
+    batch_apply = getattr(repository, "batch_apply_ops", None)
+    if callable(batch_apply):
+        return batch_apply(items, policy)
+    counts = []
+    for user_id, ops in items:
+        counts.append(apply_ops(repository.get_or_create(user_id), ops, policy))
+    return counts

@@ -37,6 +37,7 @@ from repro.serving.requests import (
 )
 from repro.serving.scorer import ItemId, Scorer, ScorerBase, validate_k
 from repro.serving.service import RecommendationService
+from repro.core.sum_model import UnknownUserError
 
 __all__ = [
     "ContentScorer",
@@ -56,6 +57,7 @@ __all__ = [
     "SelectedUser",
     "SelectionRequest",
     "SelectionResponse",
+    "UnknownUserError",
     "as_scorer",
     "validate_k",
 ]

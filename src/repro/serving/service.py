@@ -23,7 +23,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.core.advice import AdviceEngine, DomainProfile
-from repro.core.sum_model import SmartUserModel
+from repro.core.sum_model import SmartUserModel, UnknownUserError
 from repro.serving.adapters import as_scorer
 from repro.serving.requests import (
     RecommendationRequest,
@@ -53,6 +53,13 @@ class RecommendationService:
         ``item -> {attribute: presence}`` metadata for the Advice stage.
     advice:
         The advice engine (default configuration if omitted).
+    create_missing:
+        First-contact policy.  The streaming path auto-creates a SUM on
+        a user's first event (``get_or_create``); by default the serving
+        path instead raises :class:`~repro.core.sum_model.
+        UnknownUserError` naming every unknown id in the batch.  Pass
+        ``True`` to opt in to the streaming semantics — unknown users
+        get an empty (neutral) SUM and score unadjusted.
     """
 
     def __init__(
@@ -61,11 +68,13 @@ class RecommendationService:
         domain_profile: DomainProfile | None = None,
         item_attributes: Mapping[ItemId, Mapping[str, float]] | None = None,
         advice: AdviceEngine | None = None,
+        create_missing: bool = False,
     ) -> None:
         self.sums = sums
         self.domain_profile = domain_profile
         self.item_attributes = dict(item_attributes or {})
         self.advice = advice or AdviceEngine()
+        self.create_missing = bool(create_missing)
         self._scorers: dict[str, Scorer] = {}
         self._default: str | None = None
 
@@ -112,13 +121,39 @@ class RecommendationService:
 
     # -- batch scoring -----------------------------------------------------
 
-    def _resolve_models(self, user_ids: Sequence[int]) -> list[SmartUserModel]:
+    def _resolve_models(self, user_ids: Sequence[int]) -> Sequence[SmartUserModel]:
+        """User models for one batch — columnar zero-copy when possible.
+
+        A columnar resolver (``sums.batch``) returns a
+        :class:`~repro.core.sum_store.SumBatch` whose intensity and
+        sensibility blocks the Advice stage slices directly; object
+        repositories resolve model by model.  Either way, unknown users
+        raise one :class:`~repro.core.sum_model.UnknownUserError` naming
+        every offending id (unless :attr:`create_missing` opts into the
+        streaming path's first-contact auto-create).
+        """
         if self.sums is None:
             raise RuntimeError(
                 "service has no SUM repository; cannot resolve user models "
                 "for emotional adjustment"
             )
-        return [self.sums.get(int(uid)) for uid in user_ids]
+        batch = getattr(self.sums, "batch", None)
+        if callable(batch):
+            return batch(user_ids, create=self.create_missing)
+        models: list[SmartUserModel] = []
+        missing: list[int] = []
+        if self.create_missing:
+            for uid in user_ids:
+                models.append(self.sums.get_or_create(int(uid)))
+            return models
+        for uid in user_ids:
+            try:
+                models.append(self.sums.get(int(uid)))
+            except KeyError:
+                missing.append(int(uid))
+        if missing:
+            raise UnknownUserError(missing)
+        return models
 
     def _grids(
         self,
@@ -130,6 +165,13 @@ class RecommendationService:
         """(resolved name, base, multiplier, adjusted) for the full grid."""
         name = scorer_name if scorer_name is not None else self._default
         scorer = self.scorer(scorer_name)
+        # Resolve the whole user batch *before* scoring: unknown users
+        # fail as one typed error naming every offending id (or, under
+        # create_missing, exist by the time any scorer resolves them).
+        adjusting = adjust and self.domain_profile is not None
+        models = None
+        if adjusting or (self.sums is not None and self.create_missing):
+            models = self._resolve_models(user_ids)
         base = np.asarray(
             scorer.score_batch(list(user_ids), list(items)), dtype=np.float64
         )
@@ -138,9 +180,9 @@ class RecommendationService:
                 f"scorer {name!r} returned shape {base.shape}, expected "
                 f"({len(user_ids)}, {len(items)})"
             )
-        if adjust and self.domain_profile is not None:
+        if adjusting:
             multiplier = self.advice.multiplier_matrix(
-                self._resolve_models(user_ids),
+                models,
                 items,
                 self.item_attributes,
                 self.domain_profile,

@@ -24,9 +24,11 @@ instead of sleeping and hoping.
 from __future__ import annotations
 
 import threading
-from typing import Iterable
+from typing import Iterable, Sequence
 
+from repro.core.reward import ReinforcementPolicy
 from repro.core.sum_model import SmartUserModel, SumRepository
+from repro.core.updates import SumUpdateOp, apply_ops_batch
 
 
 class SumCache:
@@ -99,6 +101,59 @@ class SumCache:
                 version += 1
                 self._versions[user_id] = version
         return applied, version
+
+    def apply_batch_and_publish(
+        self,
+        items: Sequence[tuple[int, tuple[SumUpdateOp, ...]]],
+        policy: ReinforcementPolicy,
+    ) -> tuple[list[int], dict[int, int]]:
+        """Apply a whole batch's op slices and commit, all users at once.
+
+        The columnar commit path: every touched user's lock is acquired
+        (in sorted-id order — other writers take one lock at a time, so
+        no cycle is possible), the batch is applied through
+        :func:`~repro.core.updates.apply_ops_batch` vectorized against
+        row ranges, and each touched user's snapshot is dropped and
+        version bumped before the locks release.  Readers observe
+        exactly the :meth:`apply_and_publish` contract: old state at the
+        old version or batch-applied state at the new one, one bump per
+        touched user.  Returns ``(per-item applied counts, versions)``.
+
+        Requires a columnar repository (``batch_apply_ops``) and raises
+        ``TypeError`` otherwise: the columnar backend validates every op
+        *before* any mutation, so a raising call leaves both state and
+        versions untouched and callers may safely fall back to the
+        per-user scalar path — a guarantee an object-backed sequential
+        apply (which can fail mid-sequence, half-applied and
+        uninvalidated) cannot make.
+        """
+        if not callable(getattr(self.repository, "batch_apply_ops", None)):
+            raise TypeError(
+                "apply_batch_and_publish needs a columnar repository "
+                "(batch_apply_ops); use apply_and_publish per user"
+            )
+        items = [(int(user_id), tuple(ops)) for user_id, ops in items]
+        ids = sorted({user_id for user_id, __ in items})
+        locks = [self._lock_for(user_id) for user_id in ids]
+        for lock in locks:
+            lock.acquire()
+        try:
+            counts = apply_ops_batch(self.repository, items, policy)
+            applied_by_user: dict[int, int] = {}
+            for (user_id, __), count in zip(items, counts):
+                applied_by_user[user_id] = applied_by_user.get(user_id, 0) + count
+            versions: dict[int, int] = {}
+            for user_id in ids:
+                version = self._versions.get(user_id, 0)
+                if applied_by_user.get(user_id, 0):
+                    self._snapshots.pop(user_id, None)
+                    version += 1
+                    self._versions[user_id] = version
+                versions[user_id] = version
+        finally:
+            for lock in reversed(locks):
+                lock.release()
+        return counts, versions
 
     def mark_batch(self) -> int:
         """Count one applied batch; returns the new global version."""

@@ -12,11 +12,15 @@ Batch processing protocol (at-least-once, batch-atomic visibility):
 2. map every delivery exactly once (a malformed event nacks for
    redelivery *before* any of its ops apply, so retries never
    double-apply);
-3. group by user and run each user's slice through
-   :meth:`SumCache.apply_and_publish
-   <repro.streaming.cache.SumCache.apply_and_publish>` — apply + version
-   bump + snapshot invalidation in one lock hold, exactly one version
-   bump per touched user;
+3. group by user, then commit: on a columnar SUM backend the whole
+   batch goes through :meth:`SumCache.apply_batch_and_publish
+   <repro.streaming.cache.SumCache.apply_batch_and_publish>` — one
+   vectorized apply against row ranges under every touched user's lock;
+   otherwise (or when batch validation rejects an op) each user's slice
+   runs through :meth:`SumCache.apply_and_publish
+   <repro.streaming.cache.SumCache.apply_and_publish>` — either way
+   apply + version bump + snapshot invalidation happen in one lock
+   hold, exactly one version bump per touched user;
 4. hand the applied events to the write-behind writer and mark the batch
    (one global-version bump);
 5. ack everything applied, recording update-to-visible latency samples.
@@ -164,6 +168,85 @@ class ShardWorker(threading.Thread):
         if unmappable:
             self._nack_in_order(unmappable, settled)
 
+        applied = self._apply_batch_columnar(per_user, order)
+        if applied is None:
+            applied = self._apply_per_user(per_user, order, settled)
+
+        if not applied:
+            return
+        if self.write_behind is not None:
+            to_log = [
+                d.value for d in applied if isinstance(d.value, Event)
+            ]
+            if to_log:
+                try:
+                    self.write_behind.add_batch(to_log)
+                except Exception:
+                    # State is already committed; a failing flush must not
+                    # stall the partition or double-apply via redelivery.
+                    # The writer kept the events buffered for the next
+                    # flush — count them so the lag is observable.
+                    self.stats.log_drops += len(to_log)
+        self.cache.mark_batch()
+        visible_at = perf_counter()
+        samples = self.stats.latencies
+        room = self.MAX_LATENCY_SAMPLES - len(samples)
+        if room > 0:
+            samples.extend(
+                visible_at - d.published_at for d in applied[:room]
+            )
+        settled.update(id(d) for d in applied)
+        self.partition.ack_batch(applied)
+        self.stats.processed += len(applied)
+        self.stats.batches += 1
+
+    def _apply_batch_columnar(
+        self,
+        per_user: dict[int, list[tuple[Delivery, tuple]]],
+        order: list[int],
+    ) -> list[Delivery] | None:
+        """Commit the whole batch as row-range slices on a columnar store.
+
+        Only taken when the cache's repository is columnar
+        (``batch_apply_ops``): the store validates every op *before*
+        mutating anything, so a validation failure (returning ``None``
+        here) safely falls through to the per-user scalar path with its
+        per-delivery error isolation — no double-apply is possible.
+        """
+        if not order:
+            return []
+        batch_apply = getattr(self.cache, "apply_batch_and_publish", None)
+        if batch_apply is None or not callable(
+            getattr(self.cache.repository, "batch_apply_ops", None)
+        ):
+            return None
+        items = []
+        for user_id in order:
+            ops: list = []
+            for __, delivery_ops in per_user[user_id]:
+                ops.extend(delivery_ops)
+            items.append((user_id, tuple(ops)))
+        try:
+            counts, __ = batch_apply(items, self.policy)
+        except (KeyError, TypeError, ValueError):
+            # Pre-mutation validation rejected an op; the scalar path
+            # will isolate and dead-letter the offending delivery.
+            return None
+        self.stats.ops_applied += sum(counts)
+        return [
+            delivery
+            for user_id in order
+            for delivery, __ in per_user[user_id]
+        ]
+
+    def _apply_per_user(
+        self,
+        per_user: dict[int, list[tuple[Delivery, tuple]]],
+        order: list[int],
+        settled: set[int],
+    ) -> list[Delivery]:
+        """The scalar commit path: one lock hold per user, per-delivery
+        error isolation (see the class docstring's batch protocol)."""
         applied: list[Delivery] = []
         for user_id in order:
             slice_ = per_user[user_id]
@@ -210,31 +293,4 @@ class ShardWorker(threading.Thread):
                     settled.add(id(delivery))
                     self.partition.reject(delivery)
             applied.extend(ok)
-
-        if not applied:
-            return
-        if self.write_behind is not None:
-            to_log = [
-                d.value for d in applied if isinstance(d.value, Event)
-            ]
-            if to_log:
-                try:
-                    self.write_behind.add_batch(to_log)
-                except Exception:
-                    # State is already committed; a failing flush must not
-                    # stall the partition or double-apply via redelivery.
-                    # The writer kept the events buffered for the next
-                    # flush — count them so the lag is observable.
-                    self.stats.log_drops += len(to_log)
-        self.cache.mark_batch()
-        visible_at = perf_counter()
-        samples = self.stats.latencies
-        room = self.MAX_LATENCY_SAMPLES - len(samples)
-        if room > 0:
-            samples.extend(
-                visible_at - d.published_at for d in applied[:room]
-            )
-        settled.update(id(d) for d in applied)
-        self.partition.ack_batch(applied)
-        self.stats.processed += len(applied)
-        self.stats.batches += 1
+        return applied

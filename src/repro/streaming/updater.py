@@ -40,6 +40,7 @@ from typing import Iterable, Mapping
 
 from repro.core.reward import ReinforcementPolicy
 from repro.core.sum_model import SumRepository
+from repro.core.sum_store import ColumnarSumStore
 from repro.lifelog.events import Event
 from repro.lifelog.store import EventLog
 from repro.streaming.bus import EventBus, Topic
@@ -76,7 +77,10 @@ class StreamingUpdater:
     Parameters
     ----------
     sums:
-        The live :class:`~repro.core.sum_model.SumRepository` to update.
+        The live SUM collection to update — an object-backed
+        :class:`~repro.core.sum_model.SumRepository` or the columnar
+        :class:`~repro.core.sum_store.ColumnarSumStore` (workers then
+        commit whole batch slices vectorized against row ranges).
         Workers create SUMs on first contact, like the offline loop.
     item_emotions:
         ``str(item_id) -> emotions`` mapping for the update mapper (see
@@ -105,7 +109,7 @@ class StreamingUpdater:
 
     def __init__(
         self,
-        sums: SumRepository,
+        sums: "SumRepository | ColumnarSumStore",
         item_emotions: Mapping[str, tuple[str, ...]],
         policy: ReinforcementPolicy | None = None,
         mapper_config: MapperConfig | None = None,

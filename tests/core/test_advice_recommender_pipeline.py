@@ -35,6 +35,23 @@ class TestDomainProfile:
             "challenging", "innovative", "supportive",
         ]
 
+    def test_layout_computed_once_and_cached(self):
+        profile = make_profile()
+        first = profile.layout()
+        assert profile.layout() is first  # same tuple, not a rebuild
+        emotions, attributes, gains = first
+        assert emotions == tuple(sorted(profile.links))
+        assert list(attributes) == profile.item_attributes()
+        assert gains.shape == (len(emotions), len(attributes))
+        assert not gains.flags.writeable  # shared across calls: read-only
+
+    def test_layout_gains_match_links(self):
+        emotions, attributes, gains = make_profile().layout()
+        assert gains[emotions.index("frightened"),
+                     attributes.index("challenging")] == -0.6
+        assert gains[emotions.index("enthusiastic"),
+                     attributes.index("supportive")] == 0.0  # absent link
+
 
 class TestAdviceEngine:
     def test_neutral_user_all_ones(self):

@@ -1,0 +1,230 @@
+"""The columnar SUM store: views, batch reads, persistence.
+
+The contract under test everywhere here is *bit-equality* with the
+object backend — not approximate closeness.  Scalar mutations through a
+:class:`SumRowView` run the very same Python-float arithmetic as
+:class:`SmartUserModel`, so states (and their JSON serializations) must
+compare equal with ``==``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.advice import AdviceEngine, DomainProfile
+from repro.core.four_branch import BRANCH_ORDER, Branch
+from repro.core.reward import ReinforcementPolicy
+from repro.core.sensibility import SensibilityAnalyzer
+from repro.core.sum_model import SmartUserModel, SumRepository, UnknownUserError
+from repro.core.sum_store import ColumnarSumStore, SumBatch, SumRowView
+from repro.core.updates import DecayOp, PunishOp, RewardOp, apply_ops
+
+POLICY = ReinforcementPolicy()
+
+
+def drive(model):
+    """One representative mutation mix touching every attribute family."""
+    model.set_objective("age", 31)
+    model.set_objective("region", "madrid")
+    model.set_subjective("pref[online]", 0.7)
+    model.nudge_subjective("pref[online]", 0.15)
+    model.nudge_subjective("pref[evening]", -0.2)
+    apply_ops(
+        model,
+        (
+            RewardOp(("enthusiastic", "lively"), 0.6),
+            DecayOp(),
+            PunishOp(("shy", "shy"), 0.9),  # duplicate: clamp between
+            RewardOp(("hopeful",), 1.3),    # strength clamps to 1.0
+        ),
+        POLICY,
+    )
+    SensibilityAnalyzer().analyze(model)
+    model.observe_branch(Branch.MANAGING, 0.8)
+    model.asked_questions.add("q-1")
+    model.answered_questions.add("q-1")
+
+
+def paired_backends(user_ids=(3, 1, 7)):
+    repo, store = SumRepository(), ColumnarSumStore()
+    for uid in user_ids:
+        drive(repo.get_or_create(uid))
+        drive(store.get_or_create(uid))
+    return repo, store
+
+
+class TestRowViews:
+    def test_scalar_api_is_bit_equal_to_object_backend(self):
+        repo, store = paired_backends()
+        for uid in repo.user_ids():
+            assert store.get(uid).to_dict() == repo.get(uid).to_dict()
+
+    def test_view_is_a_smart_user_model(self):
+        store = ColumnarSumStore()
+        view = store.get_or_create(9)
+        assert isinstance(view, SmartUserModel)
+        assert isinstance(view, SumRowView)
+        # repeated lookups return the same live view
+        assert store.get(9) is view
+
+    def test_views_survive_row_growth(self):
+        store = ColumnarSumStore(initial_capacity=2)
+        early = store.get_or_create(0)
+        early.activate_emotion("shy", 0.5)
+        for uid in range(1, 64):  # forces several capacity doublings
+            store.get_or_create(uid)
+        assert early.emotional["shy"] == pytest.approx(0.5)
+        early.activate_emotion("shy", 0.1)
+        assert store.get(0).emotional["shy"] == early.emotional["shy"]
+
+    def test_dynamic_vocabulary_interned_per_population(self):
+        store = ColumnarSumStore()
+        store.get_or_create(1).set_subjective("pref[a]", 0.9)
+        store.get_or_create(2).set_subjective("pref[b]", 0.2)
+        # presence is per user even though columns are shared
+        assert "pref[b]" not in store.get(1).subjective
+        assert dict(store.get(2).subjective) == {"pref[b]": 0.2}
+
+    def test_sensibility_presence_semantics(self):
+        # absent reads 0.0 on the reward path but 1.0 on the advice path
+        store = ColumnarSumStore()
+        view = store.get_or_create(1)
+        assert view.sensibility.get("shy", 0.0) == 0.0
+        assert view.sensibility.get("shy", 1.0) == 1.0
+        POLICY.reward(view, ("shy",), 1.0)
+        assert view.sensibility["shy"] == pytest.approx(0.1)
+
+    def test_unknown_emotion_rejected(self):
+        store = ColumnarSumStore()
+        with pytest.raises(KeyError):
+            store.get_or_create(1).activate_emotion("not-an-emotion", 0.1)
+
+    def test_get_unknown_user_raises_typed_error(self):
+        store = ColumnarSumStore()
+        with pytest.raises(UnknownUserError, match="no SUM for user 4"):
+            store.get(4)
+        with pytest.raises(KeyError):  # still a KeyError for old callers
+            store.get(4)
+
+    def test_objective_assignment_roundtrip(self):
+        # cross-domain transfer assigns model.objective wholesale
+        store = ColumnarSumStore()
+        view = store.get_or_create(1)
+        view.objective = {"age": 40}
+        assert store.get(1).objective == {"age": 40}
+
+
+class TestBatchReads:
+    def test_feature_matrix_bit_equal(self):
+        repo, store = paired_backends()
+        order = ("pref[online]", "pref[evening]", "never-set")
+        expected, ids1 = repo.feature_matrix(subjective_order=order)
+        actual, ids2 = store.feature_matrix(subjective_order=order)
+        assert ids1 == ids2
+        assert np.array_equal(expected, actual)
+
+    def test_feature_matrix_subsets_and_no_ei(self):
+        repo, store = paired_backends()
+        expected, __ = repo.feature_matrix(user_ids=[7, 3], include_ei=False)
+        actual, __ = store.feature_matrix(user_ids=[7, 3], include_ei=False)
+        assert np.array_equal(expected, actual)
+
+    def test_empty_feature_matrix_width(self):
+        matrix, ids = ColumnarSumStore().feature_matrix(
+            subjective_order=("a", "b")
+        )
+        assert matrix.shape == (0, 10 + 2 + len(BRANCH_ORDER))
+        assert ids == []
+
+    def test_boosts_matrix_columnar_fast_path_bit_equal(self):
+        repo, store = paired_backends()
+        profile = DomainProfile(
+            "courses",
+            {
+                "enthusiastic": {"new": 0.8, "online": 0.3},
+                "shy": {"classroom": -0.6},
+                "hopeful": {"new": 0.5},
+            },
+        )
+        engine = AdviceEngine()
+        ids = repo.user_ids()
+        batch = store.batch(ids)
+        assert isinstance(batch, SumBatch)
+        expected = engine.boosts_matrix([repo.get(u) for u in ids], profile)
+        actual = engine.boosts_matrix(batch, profile)
+        assert np.array_equal(expected, actual)
+
+    def test_batch_unknown_users_named_in_error(self):
+        __, store = paired_backends()
+        with pytest.raises(UnknownUserError) as excinfo:
+            store.batch([3, 404, 405])
+        assert excinfo.value.user_ids == (404, 405)
+
+    def test_batch_create_missing(self):
+        store = ColumnarSumStore()
+        batch = store.batch([1, 2], create=True)
+        assert len(batch) == 2
+        assert store.user_ids() == [1, 2]
+
+
+class TestVectorizedOps:
+    def test_population_decay_tick_bit_equal(self):
+        repo, store = paired_backends()
+        for model in repo:
+            POLICY.apply_decay(model)
+        store.decay_tick(POLICY)
+        assert repo.dumps() == store.dumps()
+
+    def test_batch_apply_validates_before_mutating(self):
+        __, store = paired_backends()
+        before = store.dumps()
+        with pytest.raises(TypeError):
+            store.batch_apply_ops(
+                [(1, (RewardOp(("shy",), 1.0), object()))], POLICY
+            )
+        with pytest.raises(KeyError):
+            store.batch_apply_ops([(1, (RewardOp(("nope",), 1.0),))], POLICY)
+        with pytest.raises(ValueError):
+            store.batch_apply_ops(
+                [(1, (RewardOp(("shy",), float("nan")),))], POLICY
+            )
+        assert store.dumps() == before  # untouched
+
+
+class TestPersistence:
+    def test_json_dumps_identical_to_object_backend(self):
+        repo, store = paired_backends()
+        assert repo.dumps() == store.dumps()
+
+    def test_loads_accepts_repository_dumps(self):
+        repo, __ = paired_backends()
+        store = ColumnarSumStore.loads(repo.dumps())
+        assert store.dumps() == repo.dumps()
+
+    def test_repository_conversion_round_trip(self):
+        repo, __ = paired_backends()
+        assert repo.to_columnar().to_repository().dumps() == repo.dumps()
+
+    def test_catalog_round_trip(self, tmp_path):
+        __, store = paired_backends()
+        store.save(tmp_path / "sums")
+        loaded = ColumnarSumStore.load(tmp_path / "sums")
+        assert loaded.dumps() == store.dumps()
+
+    def test_catalog_pages_are_npz_columns(self, tmp_path):
+        __, store = paired_backends()
+        store.save(tmp_path / "sums")
+        names = {p.name for p in (tmp_path / "sums").iterdir()}
+        assert "catalog.json" in names
+        for table in ("users", "emotional", "sensibility", "subjective",
+                      "evidence", "ei"):
+            assert f"{table}.npz" in names
+
+    def test_json_to_catalog_to_json(self, tmp_path):
+        # the paper's JSON format remains a full-fidelity import/export
+        repo, __ = paired_backends()
+        store = ColumnarSumStore.loads(repo.dumps())
+        store.save(tmp_path / "pages")
+        reloaded = ColumnarSumStore.load(tmp_path / "pages")
+        assert json.loads(reloaded.dumps()) == json.loads(repo.dumps())

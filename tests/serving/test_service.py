@@ -403,3 +403,105 @@ class TestEngineAndSpaIntegration:
         raw = spa.select_users_for(course_id, scorer="appeal", adjust=False)
         assert any(entry.multiplier != 1.0 for entry in adjusted.ranked)
         assert all(entry.multiplier == 1.0 for entry in raw.ranked)
+
+
+class TestFirstContactSemantics:
+    """Unknown users in a batch: typed error vs opt-in auto-create."""
+
+    def _service(self, sums, **kwargs):
+        service = RecommendationService(
+            sums=sums,
+            domain_profile=make_profile(),
+            item_attributes=ITEM_ATTRIBUTES,
+            **kwargs,
+        )
+        service.register("base", lambda model, item: 0.5)
+        return service
+
+    def test_unknown_user_raises_typed_error_not_bare_keyerror(self, repo):
+        from repro.serving import UnknownUserError
+
+        service = self._service(repo)
+        with pytest.raises(UnknownUserError) as excinfo:
+            service.recommend(
+                RecommendationRequest(user_id=404, items=ITEMS, k=2)
+            )
+        assert excinfo.value.user_ids == (404,)
+        assert "404" in str(excinfo.value)
+
+    def test_batch_error_names_every_offending_id(self, repo):
+        from repro.serving import UnknownUserError
+
+        service = self._service(repo)
+        with pytest.raises(UnknownUserError) as excinfo:
+            service.select_users(
+                SelectionRequest(
+                    item="course-plain", user_ids=[1, 404, 2, 405]
+                )
+            )
+        assert excinfo.value.user_ids == (404, 405)
+
+    def test_unknown_user_error_is_still_a_keyerror(self, repo):
+        service = self._service(repo)
+        with pytest.raises(KeyError):
+            service.recommend(
+                RecommendationRequest(user_id=404, items=ITEMS, k=2)
+            )
+
+    def test_create_missing_matches_streaming_first_contact(self, repo):
+        # opt-in: an unknown user gets an empty (neutral) SUM, like the
+        # streaming path's get_or_create, and scores unadjusted
+        service = self._service(repo, create_missing=True)
+        response = service.recommend(
+            RecommendationRequest(user_id=404, items=ITEMS, k=2)
+        )
+        assert all(entry.multiplier == 1.0 for entry in response.ranked)
+        assert 404 in repo
+
+    def test_columnar_store_raises_the_same_typed_error(self):
+        from repro.core.sum_store import ColumnarSumStore
+        from repro.serving import UnknownUserError
+
+        store = ColumnarSumStore()
+        store.get_or_create(1).activate_emotion("enthusiastic", 1.0)
+        service = self._service(store)
+        with pytest.raises(UnknownUserError) as excinfo:
+            service.select_users(
+                SelectionRequest(item="course-plain", user_ids=[1, 9, 10])
+            )
+        assert excinfo.value.user_ids == (9, 10)
+
+    def test_columnar_create_missing(self):
+        from repro.core.sum_store import ColumnarSumStore
+
+        store = ColumnarSumStore()
+        service = self._service(store, create_missing=True)
+        response = service.recommend(
+            RecommendationRequest(user_id=7, items=ITEMS, k=1)
+        )
+        assert response.user_id == 7 and 7 in store
+
+
+class TestColumnarServingParity:
+    """The service's adjusted grid is bit-equal across backends."""
+
+    def test_score_matrix_identical_on_columnar_batch_path(self, repo):
+        from repro.core.sum_store import ColumnarSumStore
+
+        store = ColumnarSumStore.loads(repo.dumps())
+        ids = repo.user_ids()
+
+        def build(sums):
+            service = RecommendationService(
+                sums=sums,
+                domain_profile=make_profile(),
+                item_attributes=ITEM_ATTRIBUTES,
+            )
+            service.register(
+                "base", lambda model, item: float(model.user_id) + len(str(item))
+            )
+            return service
+
+        expected = build(repo).score_matrix(ids, ITEMS)
+        actual = build(store).score_matrix(ids, ITEMS)
+        assert np.array_equal(expected, actual)

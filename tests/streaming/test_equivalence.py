@@ -14,6 +14,7 @@ from repro.core.gradual_eit import GradualEIT, QuestionBank
 from repro.core.pipeline import EmotionalContextPipeline
 from repro.core.reward import ReinforcementPolicy
 from repro.core.sum_model import SumRepository
+from repro.core.sum_store import ColumnarSumStore
 from repro.datagen.behavior import BehaviorModel
 from repro.datagen.catalog import CourseCatalog
 from repro.datagen.population import Population
@@ -68,12 +69,13 @@ def assert_same_state(reference: SumRepository, live: SumRepository):
 
 
 @pytest.mark.parametrize("n_shards", [1, 4])
-def test_streaming_replay_matches_sequential_pipeline(n_shards):
+@pytest.mark.parametrize("backend", [SumRepository, ColumnarSumStore])
+def test_streaming_replay_matches_sequential_pipeline(backend, n_shards):
     catalog, events = browsing_stream()
     item_emotions = catalog.emotion_links()
     reference = sequential_reference(events, item_emotions)
 
-    live = SumRepository()
+    live = backend()
     updater = StreamingUpdater(
         live, item_emotions, n_shards=n_shards, batch_max=64,
     )
@@ -85,6 +87,41 @@ def test_streaming_replay_matches_sequential_pipeline(n_shards):
     assert stats.applied == len(events)
     assert stats.dead_lettered == 0
     assert_same_state(reference, live)
+
+
+def test_columnar_streamed_state_is_bit_equal_to_object_sequential():
+    # The ISSUE-3 contract, stated at full strength: the vectorized
+    # columnar commit path and the object-backed sequential pipeline
+    # serialize to the *same JSON string* after the same stream.
+    catalog, events = browsing_stream()
+    item_emotions = catalog.emotion_links()
+    reference = sequential_reference(events, item_emotions)
+
+    live = ColumnarSumStore()
+    updater = StreamingUpdater(live, item_emotions, n_shards=4, batch_max=64)
+    with updater:
+        ReplayDriver(updater).replay(events)
+        assert updater.drain(timeout=60.0)
+    assert live.dumps() == reference.dumps()
+
+
+def test_columnar_sequential_fig4_pipeline_is_bit_equal():
+    # Same Fig. 4 one-event-at-a-time loop, run over row views instead
+    # of SmartUserModel objects: identical JSON state.
+    catalog, events = browsing_stream(n_users=60, days=8.0)
+    item_emotions = catalog.emotion_links()
+    reference = sequential_reference(events, item_emotions)
+
+    store = ColumnarSumStore()
+    pipeline = EmotionalContextPipeline(
+        GradualEIT(QuestionBank.default_bank()), ReinforcementPolicy()
+    )
+    mapper = EventUpdateMapper(item_emotions)
+    for event in events:
+        pipeline.apply_event(
+            store.get_or_create(event.user_id), event, mapper
+        )
+    assert store.dumps() == reference.dumps()
 
 
 def test_streaming_with_decay_ticks_matches_sequential(_seed=11):
@@ -156,10 +193,13 @@ def test_unknown_emotion_names_rejected_at_construction():
         StreamingUpdater(SumRepository(), {"7": ("not-an-emotion",)})
 
 
-def test_apply_failure_dead_letters_without_retry_or_killing_the_shard():
+@pytest.mark.parametrize("backend", [SumRepository, ColumnarSumStore])
+def test_apply_failure_dead_letters_without_retry_or_killing_the_shard(backend):
     # An op that fails mid-apply may have left side effects, so it goes
     # straight to the dead-letter list (no double-applying retries) and
-    # the shard keeps consuming.
+    # the shard keeps consuming.  On the columnar backend the batch
+    # validation rejects the poison op *before* mutating, and the shard
+    # falls back to the scalar path for the same dead-letter outcome.
     from repro.core.reward import ReinforcementPolicy as Policy
     from repro.core.updates import RewardOp
     from repro.streaming.bus import PartitionQueue
@@ -176,7 +216,7 @@ def test_apply_failure_dead_letters_without_retry_or_killing_the_shard():
             return ()
 
     queue = PartitionQueue(0, capacity=16, max_attempts=3)
-    sums = SumRepository()
+    sums = backend()
     cache = SumCache(sums)
     worker = ShardWorker(queue, StubMapper(), cache, Policy(), batch_max=8)
     for action in ("poison", "course_view"):
