@@ -46,6 +46,26 @@ class DomainProfile:
                         "outside [-1, 1]"
                     )
 
+    def __hash__(self) -> int:
+        """Content hash consistent with the generated ``__eq__``.
+
+        The frozen dataclass's auto-generated ``__hash__`` hashes the
+        raw ``links`` mapping and raises ``TypeError`` on first use
+        (dicts are unhashable), so profiles could never key caches or
+        live in sets.  Hash the canonicalized link structure instead;
+        ``links`` is treated as immutable after construction (the same
+        assumption :meth:`layout` makes), so the value is computed once.
+        """
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            canonical = tuple(
+                (emotion, tuple(sorted(targets.items())))
+                for emotion, targets in sorted(self.links.items())
+            )
+            cached = hash((self.domain, canonical))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     def layout(self) -> tuple[tuple[str, ...], tuple[str, ...], np.ndarray]:
         """``(emotions, item_attributes, gains)`` — computed once, cached.
 

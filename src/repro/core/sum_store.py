@@ -46,7 +46,8 @@ import math
 import threading
 from collections.abc import MutableMapping
 from pathlib import Path
-from typing import Any, Iterable, Iterator, Sequence
+from types import MappingProxyType
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -63,6 +64,52 @@ from repro.core.updates import DecayOp, PunishOp, RewardOp
 _GROWTH_FACTOR = 2
 _INITIAL_ROWS = 1024
 _INITIAL_COLS = 16
+
+
+_SEALED_CLASSES: dict[type, type] = {}
+
+
+def seal_attributes(obj: object) -> object:
+    """Reject all future attribute rebinding on ``obj``.
+
+    The last layer of snapshot freezing: read-only arrays and mapping
+    proxies stop item writes, but a plain ``snapshot.sensibility = {...}``
+    would still swap a whole family out from under every reader sharing
+    the cached snapshot.  Swapping in a sealed subclass keeps
+    ``isinstance`` intact while making any later ``setattr`` raise.
+    """
+    cls = obj.__class__
+    sealed = _SEALED_CLASSES.get(cls)
+    if sealed is None:
+        def __setattr__(self, name, value):  # noqa: ANN001
+            raise TypeError(
+                f"snapshot is read-only; cannot set attribute {name!r}"
+            )
+
+        sealed = type(f"_Sealed{cls.__name__}", (cls,), {"__setattr__": __setattr__})
+        _SEALED_CLASSES[cls] = sealed
+    obj.__class__ = sealed
+    return obj
+
+
+def _masked_matrix(
+    family, rows: np.ndarray, names: Sequence[str], default: float
+) -> np.ndarray:
+    """``(len(rows), len(names))`` family values; absent → ``default``.
+
+    Shared by the live and frozen families so the masked-default
+    semantics can never diverge between a snapshot and the store it was
+    captured from; ``family`` needs ``column_of``/``values``/``mask``.
+    """
+    out = np.full((len(rows), len(names)), float(default))
+    for k, name in enumerate(names):
+        j = family.column_of(name)
+        if j is None:
+            continue
+        out[:, k] = np.where(
+            family.mask[rows, j], family.values[rows, j], float(default)
+        )
+    return out
 
 
 class _ColumnFamily:
@@ -143,15 +190,7 @@ class _ColumnFamily:
         self, rows: np.ndarray, names: Sequence[str], default: float
     ) -> np.ndarray:
         """``(len(rows), len(names))`` values; absent entries → ``default``."""
-        out = np.full((len(rows), len(names)), float(default))
-        for k, name in enumerate(names):
-            j = self.column_of(name)
-            if j is None:
-                continue
-            out[:, k] = np.where(
-                self.mask[rows, j], self.values[rows, j], float(default)
-            )
-        return out
+        return _masked_matrix(self, rows, names, default)
 
     def grow_rows(self, new_capacity: int) -> None:
         grown_v = np.zeros((new_capacity, self.values.shape[1]), dtype=self._dtype)
@@ -163,6 +202,276 @@ class _ColumnFamily:
     def clear_row(self, row: int) -> None:
         self.values[row, :] = 0
         self.mask[row, :] = False
+
+
+class _FrozenFamily:
+    """Read-only point-in-time copy of some rows of a column family.
+
+    Shares the owning family's append-only ``index``/``order`` registries
+    (bounded by the captured ``width``) instead of rebuilding them, so a
+    capture allocates nothing beyond the row slices themselves.  The
+    value and mask arrays are marked non-writeable: any mutation attempt
+    through a view raises instead of silently diverging from the live
+    store — the "immutable-by-convention" era of snapshots is over.
+    """
+
+    __slots__ = ("index", "order", "width", "values", "mask", "lock")
+
+    def __init__(
+        self,
+        index: Mapping[str, int],
+        order: Sequence[str],
+        values: np.ndarray,
+        mask: np.ndarray,
+    ) -> None:
+        self.index = index
+        # A capture can race a column intern on the live family: bound the
+        # logical width by what the arrays actually carry (the sliced-off
+        # columns are mask-False for every captured row — interning them
+        # did not touch these users, or their version would have bumped).
+        self.width = min(len(order), values.shape[1])
+        self.order = list(order[: self.width])
+        self.values = values
+        self.mask = mask
+        values.flags.writeable = False
+        mask.flags.writeable = False
+        # satisfies the row-view locking protocol; the arrays still raise
+        self.lock = threading.Lock()
+
+    @classmethod
+    def capture(cls, family: _ColumnFamily, rows: np.ndarray) -> "_FrozenFamily":
+        """Freeze ``rows`` of a live family (fancy indexing copies)."""
+        return cls(
+            family.index, family.order, family.values[rows], family.mask[rows]
+        )
+
+    def column_of(self, name: str) -> int | None:
+        j = self.index.get(name)
+        return j if j is not None and j < self.width else None
+
+    def ensure_column(self, name: str) -> int:
+        """Column lookup only — a frozen family never interns."""
+        j = self.column_of(name)
+        if j is None:
+            raise KeyError(
+                f"attribute {name!r} is not in this read-only snapshot"
+            )
+        return j
+
+    def read_matrix(
+        self, rows: np.ndarray, names: Sequence[str], default: float
+    ) -> np.ndarray:
+        """Same contract as :meth:`_ColumnFamily.read_matrix`."""
+        return _masked_matrix(self, rows, names, default)
+
+
+class _FrozenRowStore:
+    """One user's row, captured across every family and frozen.
+
+    Quacks like :class:`ColumnarSumStore` just enough to back a
+    :class:`SumRowView` (families, EI block, cold per-row state), so the
+    full scalar :class:`SmartUserModel` API works on the snapshot — and
+    every write path raises: array writes hit read-only buffers, interning
+    raises in :class:`_FrozenFamily`, and the cold state is proxied.
+    """
+
+    __slots__ = ("_emotional", "_sensibility", "_subjective", "_evidence",
+                 "_ei", "_objective", "_asked", "_answered", "_lock")
+
+    def __init__(self, store: "ColumnarSumStore", row: int) -> None:
+        rows = np.asarray([row], dtype=np.intp)
+        self._emotional = _FrozenFamily.capture(store._emotional, rows)
+        self._sensibility = _FrozenFamily.capture(store._sensibility, rows)
+        self._subjective = _FrozenFamily.capture(store._subjective, rows)
+        self._evidence = _FrozenFamily.capture(store._evidence, rows)
+        ei = store._ei[rows]
+        ei.flags.writeable = False
+        self._ei = ei
+        self._objective = (MappingProxyType(dict(store._objective[row])),)
+        self._asked = (frozenset(store._asked[row]),)
+        self._answered = (frozenset(store._answered[row]),)
+        self._lock = threading.RLock()
+
+
+class FrozenSumBatch:
+    """A version-stamped, immutable columnar batch — the cache read path.
+
+    Duck-types the consumer surface of :class:`SumBatch` (``len``,
+    iteration, :meth:`intensity_matrix`, :meth:`sensibility_matrix`) over
+    *captured* row slices, so the Advice stage takes the same column-slice
+    path on cached snapshots as on a live store, and the capture is
+    bit-stable no matter how many batches land afterwards.  ``versions``
+    records each user's published version at capture time: the batch
+    serves old state at the old version or batch-applied state at the new
+    one — never a torn read.
+    """
+
+    __slots__ = ("user_ids", "emotional", "sensibility", "_stamps",
+                 "_versions", "_resolve")
+
+    def __init__(
+        self,
+        user_ids: Sequence[int],
+        versions: Mapping[int, int],
+        emotional: _FrozenFamily,
+        sensibility: _FrozenFamily,
+        resolve: Callable[[int], "SmartUserModel"] | None = None,
+    ) -> None:
+        self.user_ids = list(user_ids)
+        # ``versions`` maps uid -> stamp at capture (absent means 0); the
+        # per-user dict is built lazily so the hot read path never pays a
+        # Python loop over the whole batch for stamps nobody asked about.
+        self._stamps = versions
+        self._versions: dict[int, int] | None = None
+        self.emotional = emotional
+        self.sensibility = sensibility
+        self._resolve = resolve
+
+    @property
+    def versions(self) -> dict[int, int]:
+        """Each user's published version at capture time."""
+        if self._versions is None:
+            get = self._stamps.get
+            self._versions = {uid: int(get(uid, 0)) for uid in self.user_ids}
+        return self._versions
+
+    def __len__(self) -> int:
+        return len(self.user_ids)
+
+    def __iter__(self) -> Iterator["SmartUserModel"]:
+        """Per-model fallback for scalar consumers.
+
+        Yields each user's *current* frozen snapshot from the resolver —
+        at least as fresh as this batch's version stamps, possibly
+        fresher if batches landed since the capture.  Only the matrix
+        reads (:meth:`intensity_matrix` / :meth:`sensibility_matrix`)
+        are pinned to the capture itself; consumers that need per-model
+        state at exactly the stamped versions should capture before
+        writers publish, or read the matrices.
+        """
+        if self._resolve is None:
+            raise TypeError(
+                "this frozen batch has no per-model resolver; read it "
+                "through intensity_matrix/sensibility_matrix"
+            )
+        for uid in self.user_ids:
+            yield self._resolve(uid)
+
+    def intensity_matrix(self, order: Sequence[str]) -> np.ndarray:
+        """``(n_users, len(order))`` emotional intensities at capture."""
+        cols = [self.emotional.ensure_column(name) for name in order]
+        return self.emotional.values[:, cols]
+
+    def sensibility_matrix(
+        self, order: Sequence[str], default: float = 1.0
+    ) -> np.ndarray:
+        """``(n_users, len(order))`` sensibilities; absent → ``default``."""
+        rows = np.arange(len(self.user_ids), dtype=np.intp)
+        return self.sensibility.read_matrix(rows, order, default)
+
+
+class _MirrorFamily:
+    """Writable staging copy of one live family's columns (reader-owned).
+
+    Grows to track the live arrays; row content is only ever written by
+    :meth:`copy_row` under the owning user's write lock, so a row holds
+    exactly one published version at a time.
+    """
+
+    __slots__ = ("live", "values", "mask")
+
+    def __init__(self, live: _ColumnFamily) -> None:
+        self.live = live
+        self.values = np.zeros((0, 0), dtype=live.values.dtype)
+        self.mask = np.zeros((0, 0), dtype=bool)
+
+    def sync_shape(self) -> None:
+        # Growth replaces the live values and mask in two separate
+        # attribute stores, so a reader can observe a torn pair (new
+        # values, old mask).  Re-fetch until the pair agrees, and grow
+        # *both* mirror arrays to that consistent shape — comparing only
+        # one of them could leave the mirror permanently divergent.
+        while True:
+            live_values, live_mask = self.live.values, self.live.mask
+            if live_values.shape != live_mask.shape:
+                continue  # caught mid-growth; the writer is about to fix it
+            if (self.values.shape == live_values.shape
+                    and self.mask.shape == live_mask.shape):
+                return
+            rows, cols = self.values.shape
+            grown_values = np.zeros(live_values.shape, dtype=live_values.dtype)
+            grown_values[:rows, :cols] = self.values
+            mask_rows, mask_cols = self.mask.shape
+            grown_mask = np.zeros(live_mask.shape, dtype=bool)
+            grown_mask[:mask_rows, :mask_cols] = self.mask
+            self.values, self.mask = grown_values, grown_mask
+            return
+
+    def copy_row(self, row: int) -> None:
+        # The live arrays can be replaced (capacity growth) between the
+        # shape check and the copy; loop until one consistent pair copies.
+        while True:
+            live_values, live_mask = self.live.values, self.live.mask
+            if (live_values.shape != live_mask.shape
+                    or live_values.shape != self.values.shape
+                    or self.mask.shape != self.values.shape):
+                self.sync_shape()
+                continue
+            self.values[row] = live_values[row]
+            self.mask[row] = live_mask[row]
+            return
+
+
+class ColumnMirror:
+    """Copy-on-write staging columns for published reads.
+
+    The streaming cache refreshes a user's mirror row (under that user's
+    write lock) on the first read after a publish; captures then slice
+    the mirror, which writers never touch — so a capture cannot observe
+    a half-applied batch even while writers stream into the live arrays.
+    Only the families the batch read path consumes (emotional intensities
+    and sensibilities) are mirrored; scalar snapshot reads go through
+    :meth:`ColumnarSumStore.freeze_view` instead.
+    """
+
+    __slots__ = ("store", "emotional", "sensibility")
+
+    def __init__(self, store: "ColumnarSumStore") -> None:
+        self.store = store
+        self.emotional = _MirrorFamily(store._emotional)
+        self.sensibility = _MirrorFamily(store._sensibility)
+
+    def sync_shape(self) -> None:
+        self.emotional.sync_shape()
+        self.sensibility.sync_shape()
+
+    def refresh_row(self, row: int) -> None:
+        """Copy one user's live row slices into the mirror.
+
+        Caller must hold the user's write lock: the copy races nothing,
+        so the mirrored row is exactly one published version.
+        """
+        self.emotional.copy_row(row)
+        self.sensibility.copy_row(row)
+
+    def capture(
+        self,
+        user_ids: Sequence[int],
+        rows: np.ndarray,
+        versions: Mapping[int, int],
+        resolve: Callable[[int], "SmartUserModel"] | None = None,
+    ) -> FrozenSumBatch:
+        """Freeze ``rows`` of the mirror into a bit-stable batch."""
+        rows = np.asarray(rows, dtype=np.intp)
+        emotional = _FrozenFamily(
+            self.store._emotional.index, self.store._emotional.order,
+            self.emotional.values[rows], self.emotional.mask[rows],
+        )
+        sensibility = _FrozenFamily(
+            self.store._sensibility.index, self.store._sensibility.order,
+            self.sensibility.values[rows], self.sensibility.mask[rows],
+        )
+        return FrozenSumBatch(user_ids, versions, emotional, sensibility, resolve)
 
 
 class _RowMapView(MutableMapping):
@@ -396,6 +705,15 @@ class ColumnarSumStore:
         self._asked: list[set[str]] = []
         self._answered: list[set[str]] = []
         self._views: dict[int, SumRowView] = {}
+        #: set by :meth:`load` with ``mmap=True``: the column pages are
+        #: read-only memory maps shared across replica processes, and
+        #: every write path raises instead of faulting or forking pages
+        self._readonly = False
+
+    @property
+    def readonly(self) -> bool:
+        """Whether this store is a read-only (mmap-loaded) replica."""
+        return self._readonly
 
     # -- row management ----------------------------------------------------
 
@@ -419,6 +737,11 @@ class ColumnarSumStore:
         return (self._emotional, self._sensibility, self._subjective, self._evidence)
 
     def _new_row(self, user_id: int) -> int:
+        if self._readonly:
+            raise TypeError(
+                "store is a read-only mmap replica; cannot create "
+                f"user {user_id}"
+            )
         with self._lock:
             row = self._row_of.get(user_id)
             if row is not None:  # lost a first-contact race: reuse
@@ -449,21 +772,21 @@ class ColumnarSumStore:
         Unknown users (with ``create=False``) raise a single
         :class:`~repro.core.sum_model.UnknownUserError` naming them all.
         """
-        rows = np.empty(len(user_ids), dtype=np.intp)
-        missing: list[int] = []
-        for i, uid in enumerate(user_ids):
-            uid = int(uid)
-            row = self._row_of.get(uid)
-            if row is None:
-                if create:
-                    row = self._new_row(uid)
-                else:
-                    missing.append(uid)
-                    continue
-            rows[i] = row
-        if missing:
-            raise UnknownUserError(missing)
-        return rows
+        # C-level bulk lookup: the serving read path resolves the whole
+        # population per request, so no per-id Python bytecode here.
+        rows_list = list(map(self._row_of.get, user_ids))
+        if None in rows_list:
+            if create:
+                for i, row in enumerate(rows_list):
+                    if row is None:
+                        rows_list[i] = self._new_row(int(user_ids[i]))
+            else:
+                raise UnknownUserError(
+                    int(uid)
+                    for uid, row in zip(user_ids, rows_list)
+                    if row is None
+                )
+        return np.asarray(rows_list, dtype=np.intp)
 
     # -- repository duck-type ----------------------------------------------
 
@@ -509,6 +832,29 @@ class ColumnarSumStore:
             else self.user_ids()
         )
         return SumBatch(self, ids, self.rows_for(ids, create=create))
+
+    def freeze_view(self, user_id: int) -> SumRowView:
+        """An immutable point-in-time copy of one user's SUM.
+
+        Captures the row's column slices directly — no ``to_dict()`` /
+        ``from_dict()`` object rebuild — and returns a full
+        :class:`SmartUserModel` view whose every write raises (item
+        writes via the frozen arrays/families, attribute rebinding via
+        :func:`seal_attributes`).  The caller is responsible for
+        quiescing the user's writers during the capture (the streaming
+        cache holds the user's write lock).
+        """
+        user_id = int(user_id)
+        view = SumRowView(_FrozenRowStore(self, self.row_index(user_id)),
+                          user_id, 0)
+        seal_attributes(view.emotional)
+        seal_attributes(view.ei_profile)
+        seal_attributes(view)
+        return view
+
+    def mirror(self) -> ColumnMirror:
+        """A fresh copy-on-write read mirror over this store's columns."""
+        return ColumnMirror(self)
 
     # -- columnar reads ----------------------------------------------------
 
@@ -561,6 +907,11 @@ class ColumnarSumStore:
         untouched), unlike the scalar path which fails mid-sequence.
         Returns per-item applied-op counts, aligned with ``items``.
         """
+        if self._readonly:
+            raise TypeError(
+                "store is a read-only mmap replica; updates must run "
+                "against the writable primary"
+            )
         with self._lock:
             return self._batch_apply_ops_locked(items, policy)
 
@@ -676,6 +1027,11 @@ class ColumnarSumStore:
 
     def decay_tick(self, policy, user_ids: Sequence[int] | None = None) -> int:
         """One population decay tick (default: every user); returns rows hit."""
+        if self._readonly:
+            raise TypeError(
+                "store is a read-only mmap replica; updates must run "
+                "against the writable primary"
+            )
         with self._lock:
             rows = (
                 np.arange(self._n, dtype=np.intp)
@@ -735,13 +1091,25 @@ class ColumnarSumStore:
     # -- Catalog persistence (.npz column pages) -----------------------------
 
     _PRESENT_SUFFIX = "__present"
+    _FAMILY_NAMES = ("emotional", "sensibility", "subjective", "evidence")
+
+    def _named_families(self) -> tuple[tuple[str, _ColumnFamily], ...]:
+        return tuple(zip(self._FAMILY_NAMES, self._families()))
 
     def save(self, directory: str | Path) -> Path:
-        """Persist as ``.npz`` column pages via the :mod:`repro.db` Catalog.
+        """Persist through the :mod:`repro.db` Catalog, two layouts at once.
 
-        One table per attribute family; dynamic vocabularies become
-        columns (value + ``__present`` mask), cold per-row state is
-        JSON-encoded strings in the ``users`` table.
+        * per-family ``.npz`` tables (the PR 3 interchange format: one
+          value + ``__present`` column per attribute), still readable by
+          any table consumer;
+        * dense ``.npy`` column pages per family (``<family>__values`` /
+          ``<family>__mask``) plus ``user_ids`` and ``ei`` — the serving
+          format :meth:`load` can memory-map read-only, so every replica
+          on a host shares one physical copy of the population.
+
+        Neither layout round-trips values through per-element Python
+        ``float()``/``int()`` lists anymore: columns are handed to the
+        catalog as numpy slices and bulk-cast.
         """
         from repro.db.catalog import Catalog
         from repro.db.schema import Column, ColumnType, Schema
@@ -750,7 +1118,7 @@ class ColumnarSumStore:
         live = np.asarray(
             [self._row_of[uid] for uid in self.user_ids()], dtype=np.intp
         )
-        ids = [int(self._user_ids[row]) for row in live]
+        ids = self._user_ids[live]
         catalog = Catalog()
 
         users_schema = Schema(
@@ -766,8 +1134,11 @@ class ColumnarSumStore:
                 users_schema,
                 {
                     "user_id": ids,
+                    # dict() unwraps the MappingProxyType rows of a
+                    # read-only replica — save() is a pure read and must
+                    # work there (e.g. re-snapshotting a served state)
                     "objective": [
-                        json.dumps(self._objective[row], sort_keys=True)
+                        json.dumps(dict(self._objective[row]), sort_keys=True)
                         for row in live
                     ],
                     "asked_questions": [
@@ -787,15 +1158,14 @@ class ColumnarSumStore:
         )
         ei_columns: dict[str, Sequence[Any]] = {"user_id": ids}
         for j, branch in enumerate(BRANCH_ORDER):
-            ei_columns[branch.value] = [float(v) for v in self._ei[live, j]]
+            ei_columns[branch.value] = self._ei[live, j]
         catalog.register(Table.from_columns(ei_schema, ei_columns, name="ei"))
 
-        for table_name, family, ctype, cast in (
-            ("emotional", self._emotional, ColumnType.FLOAT64, float),
-            ("sensibility", self._sensibility, ColumnType.FLOAT64, float),
-            ("subjective", self._subjective, ColumnType.FLOAT64, float),
-            ("evidence", self._evidence, ColumnType.INT64, int),
-        ):
+        for table_name, family in self._named_families():
+            ctype = (
+                ColumnType.INT64 if family is self._evidence
+                else ColumnType.FLOAT64
+            )
             columns: dict[str, Sequence[Any]] = {"user_id": ids}
             schema_columns = [Column("user_id", ColumnType.INT64)]
             for name in family.order:
@@ -804,21 +1174,124 @@ class ColumnarSumStore:
                 schema_columns.append(
                     Column(name + self._PRESENT_SUFFIX, ColumnType.BOOL)
                 )
-                columns[name] = [cast(v) for v in family.values[live, j]]
-                columns[name + self._PRESENT_SUFFIX] = [
-                    bool(v) for v in family.mask[live, j]
-                ]
+                columns[name] = family.values[live, j]
+                columns[name + self._PRESENT_SUFFIX] = family.mask[live, j]
             catalog.register(
                 Table.from_columns(Schema(schema_columns), columns, name=table_name)
             )
+
+        # -- dense pages: the mmap-able serving layout ---------------------
+        catalog.put_array("user_ids", ids.astype(np.int64, copy=False))
+        catalog.put_array("ei", self._ei[live])
+        orders: dict[str, list[str]] = {}
+        for page_name, family in self._named_families():
+            width = family.width
+            orders[page_name] = list(family.order)
+            catalog.put_array(
+                f"{page_name}__values", family.values[live][:, :width]
+            )
+            catalog.put_array(
+                f"{page_name}__mask", family.mask[live][:, :width]
+            )
+        catalog.meta["sum_store"] = {"n_users": len(ids), "orders": orders}
         return catalog.save(directory)
 
     @classmethod
-    def load(cls, directory: str | Path) -> "ColumnarSumStore":
-        """Inverse of :meth:`save`."""
-        from repro.db.catalog import Catalog
+    def load(
+        cls, directory: str | Path, mmap: bool = False
+    ) -> "ColumnarSumStore":
+        """Inverse of :meth:`save`.
 
-        catalog = Catalog.load(directory)
+        With ``mmap=True`` the dense column pages are memory-mapped
+        read-only instead of copied: serving replicas on one host share a
+        single page-cache copy of the population, and every write path on
+        the returned store raises (``readonly`` is ``True``).  Requires
+        the dense pages — directories written before they existed load
+        copy-wise from the ``.npz`` tables and cannot be mmapped.
+        """
+        from repro.db.catalog import Catalog
+        from repro.db.storage import StorageError
+
+        catalog = Catalog.load(directory, mmap_arrays=mmap)
+        meta = catalog.meta.get("sum_store")
+        if meta is None or "user_ids" not in catalog.arrays:
+            if mmap:
+                raise StorageError(
+                    f"{directory} has no dense column pages to mmap; "
+                    "re-save the store with this version first"
+                )
+            return cls._load_from_tables(catalog)
+        return cls._load_from_pages(catalog, meta, mmap=mmap)
+
+    @classmethod
+    def _load_from_pages(
+        cls, catalog, meta: dict[str, Any], mmap: bool
+    ) -> "ColumnarSumStore":
+        ids = catalog.array("user_ids")
+        n = len(ids)
+        users = catalog.get("users")
+        if not np.array_equal(
+            np.asarray(users.column("user_id"), dtype=np.int64),
+            np.asarray(ids, dtype=np.int64),
+        ):
+            raise ValueError(
+                "users table does not match the user_ids page; catalog "
+                "directory is corrupt"
+            )
+        store = cls(initial_capacity=max(n, 1))
+        rows = store.rows_for([int(u) for u in ids], create=True)
+        for row, objective, asked, answered in zip(
+            rows,
+            users.column("objective"),
+            users.column("asked_questions"),
+            users.column("answered_questions"),
+        ):
+            store._objective[row] = json.loads(objective)
+            store._asked[row] = set(json.loads(asked))
+            store._answered[row] = set(json.loads(answered))
+
+        orders = meta["orders"]
+        if mmap:
+            # Adopt the mapped pages as the live arrays: zero copies, and
+            # the read-only maps make every array write raise.
+            for page_name, family in store._named_families():
+                order = [str(name) for name in orders[page_name]]
+                family.index = {name: j for j, name in enumerate(order)}
+                family.order = order
+                family.values = catalog.array(f"{page_name}__values")
+                family.mask = catalog.array(f"{page_name}__mask")
+                # a replica never interns columns, whatever the family
+                family.frozen = True
+            store._ei = catalog.array("ei")
+            # The cold per-row state lives in process memory, not pages —
+            # freeze it too, or replica writes there would silently
+            # diverge from the maps ("every write path raises").
+            store._objective = tuple(
+                MappingProxyType(objective) for objective in store._objective
+            )
+            store._asked = tuple(frozenset(s) for s in store._asked)
+            store._answered = tuple(frozenset(s) for s in store._answered)
+            store._capacity = max(n, 1)
+            store._readonly = True
+            return store
+        for page_name, family in store._named_families():
+            order = [str(name) for name in orders[page_name]]
+            cols = np.asarray(
+                [family.ensure_column(name) for name in order], dtype=np.intp
+            )
+            if len(cols):
+                family.values[np.ix_(rows, cols)] = catalog.array(
+                    f"{page_name}__values"
+                )
+                family.mask[np.ix_(rows, cols)] = catalog.array(
+                    f"{page_name}__mask"
+                )
+        store._ei[rows] = catalog.array("ei")
+        return store
+
+    @classmethod
+    def _load_from_tables(cls, catalog) -> "ColumnarSumStore":
+        """Copy-wise load from the per-family ``.npz`` tables (legacy dirs)."""
         users = catalog.get("users")
         ids = [int(uid) for uid in users.column("user_id")]
         store = cls(initial_capacity=max(len(ids), 1))
@@ -847,12 +1320,7 @@ class ColumnarSumStore:
         for j, branch in enumerate(BRANCH_ORDER):
             store._ei[rows, j] = np.asarray(ei.column(branch.value), dtype=np.float64)
 
-        for table_name, family in (
-            ("emotional", store._emotional),
-            ("sensibility", store._sensibility),
-            ("subjective", store._subjective),
-            ("evidence", store._evidence),
-        ):
+        for table_name, family in store._named_families():
             table = catalog.get(table_name)
             check_alignment(table)
             for name in table.schema.names:

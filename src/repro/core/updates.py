@@ -117,3 +117,23 @@ def apply_ops_batch(
     for user_id, ops in items:
         counts.append(apply_ops(repository.get_or_create(user_id), ops, policy))
     return counts
+
+
+def applied_counts_by_user(
+    items: Sequence[Tuple[int, Iterable[SumUpdateOp]]],
+    counts: Sequence[int],
+) -> dict[int, int]:
+    """Fold per-item applied counts into per-user totals.
+
+    :func:`apply_ops_batch` reports per *item*, but the commit layer —
+    snapshot invalidation and version bumps in the streaming cache — is
+    keyed per *user*, and a user listed twice in one batch must still get
+    exactly one version bump.  Centralizing the fold keeps every commit
+    path (columnar batch, scalar fallback, future shards) bumping on the
+    same definition of "this user's state changed".
+    """
+    totals: dict[int, int] = {}
+    for (user_id, __), count in zip(items, counts):
+        user_id = int(user_id)
+        totals[user_id] = totals.get(user_id, 0) + int(count)
+    return totals

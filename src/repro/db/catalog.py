@@ -12,10 +12,18 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterator
+from typing import Any, Iterator
+
+import numpy as np
 
 from repro.db.schema import Schema
-from repro.db.storage import StorageError, load_table, save_table
+from repro.db.storage import (
+    StorageError,
+    load_array_page,
+    load_table,
+    save_array_page,
+    save_table,
+)
 from repro.db.table import Table
 
 _MANIFEST = "catalog.json"
@@ -26,10 +34,20 @@ class CatalogError(KeyError):
 
 
 class Catalog:
-    """A mutable registry of named tables."""
+    """A mutable registry of named tables, array pages and metadata.
+
+    Tables are the schema-typed interchange format; *array pages* are
+    dense ndarrays persisted as raw ``.npy`` files so that
+    :meth:`load` can memory-map them read-only (``mmap_arrays=True``) —
+    the layout serving replicas share.  ``meta`` is a small
+    JSON-serializable dict carried in the manifest for whatever layout
+    bookkeeping the owner needs (e.g. column orders).
+    """
 
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
+        self._arrays: dict[str, np.ndarray] = {}
+        self.meta: dict[str, Any] = {}
 
     # -- table lifecycle ---------------------------------------------------
 
@@ -67,6 +85,38 @@ class Catalog:
             raise CatalogError(f"unknown table {name!r}")
         del self._tables[name]
 
+    # -- array pages -------------------------------------------------------
+
+    def put_array(self, name: str, array: np.ndarray) -> np.ndarray:
+        """Register a dense array page under ``name``."""
+        if not name:
+            raise CatalogError("array page needs a name")
+        if name in self._arrays:
+            raise CatalogError(f"array {name!r} already exists")
+        array = np.asarray(array)
+        if array.dtype == object:
+            raise CatalogError("object-dtype arrays cannot be pages")
+        self._arrays[name] = array
+        return array
+
+    def array(self, name: str) -> np.ndarray:
+        """Fetch an array page by name."""
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise CatalogError(
+                f"unknown array {name!r}; have {sorted(self._arrays)}"
+            ) from None
+
+    @property
+    def arrays(self) -> dict[str, np.ndarray]:
+        """The registered array pages (treat as read-only)."""
+        return self._arrays
+
+    def array_names(self) -> list[str]:
+        """Sorted names of all registered array pages."""
+        return sorted(self._arrays)
+
     # -- introspection -------------------------------------------------------
 
     def __contains__(self, name: object) -> bool:
@@ -95,21 +145,36 @@ class Catalog:
     # -- persistence ----------------------------------------------------------
 
     def save(self, directory: str | Path) -> Path:
-        """Persist every table to ``directory`` (npz pages + manifest)."""
+        """Persist tables (npz), array pages (npy) and meta to ``directory``."""
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        manifest = {"tables": {}}
+        manifest: dict[str, Any] = {"tables": {}}
         for name, table in self._tables.items():
             filename = f"{name}.npz"
             save_table(table, directory / filename)
             manifest["tables"][name] = filename
+        if self._arrays:
+            manifest["arrays"] = {}
+            for name, array in self._arrays.items():
+                filename = f"{name}.npy"
+                save_array_page(array, directory / filename)
+                manifest["arrays"][name] = filename
+        if self.meta:
+            manifest["meta"] = self.meta
         with (directory / _MANIFEST).open("w", encoding="utf-8") as fh:
             json.dump(manifest, fh, indent=2, sort_keys=True)
         return directory
 
     @classmethod
-    def load(cls, directory: str | Path) -> "Catalog":
-        """Load a catalog previously written with :meth:`save`."""
+    def load(
+        cls, directory: str | Path, mmap_arrays: bool = False
+    ) -> "Catalog":
+        """Load a catalog previously written with :meth:`save`.
+
+        ``mmap_arrays=True`` memory-maps every array page read-only
+        instead of copying it into process memory; tables always load
+        copy-wise (zip archives cannot back a memmap).
+        """
         directory = Path(directory)
         manifest_path = directory / _MANIFEST
         if not manifest_path.exists():
@@ -119,4 +184,9 @@ class Catalog:
         catalog = cls()
         for name, filename in manifest["tables"].items():
             catalog.register(load_table(directory / filename, name=name))
+        for name, filename in manifest.get("arrays", {}).items():
+            catalog._arrays[name] = load_array_page(
+                directory / filename, mmap=mmap_arrays
+            )
+        catalog.meta = manifest.get("meta", {})
         return catalog

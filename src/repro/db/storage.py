@@ -38,6 +38,42 @@ def save_table(table: Table, path: str | Path) -> Path:
     return path
 
 
+def save_array_page(array: np.ndarray, path: str | Path) -> Path:
+    """Persist one dense ndarray as a raw ``.npy`` page.
+
+    Raw pages exist next to the ``.npz`` tables because only they can be
+    memory-mapped: zip archives (even uncompressed) cannot back an
+    ``np.memmap``, so serving replicas that want to share one physical
+    copy of a column read the ``.npy`` layout.
+    """
+    path = Path(path)
+    if path.suffix != ".npy":
+        raise StorageError(f"array pages must be .npy, got {path.suffix!r}")
+    array = np.asarray(array)
+    if array.dtype == object:
+        raise StorageError("object-dtype arrays cannot be saved as pages")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.save(path, np.ascontiguousarray(array), allow_pickle=False)
+    return path
+
+
+def load_array_page(path: str | Path, mmap: bool = False) -> np.ndarray:
+    """Load a page written by :func:`save_array_page`.
+
+    ``mmap=True`` returns a *read-only* memory map: the bytes stay in the
+    page cache, shared across every process that maps the same file, and
+    any write attempt raises.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"no such array page: {path}")
+    try:
+        return np.load(path, mmap_mode="r" if mmap else None,
+                       allow_pickle=False)
+    except ValueError as exc:
+        raise StorageError(f"malformed array page {path}: {exc}") from exc
+
+
 def load_table(path: str | Path, name: str = "") -> Table:
     """Load a table previously written by :func:`save_table`."""
     path = Path(path)

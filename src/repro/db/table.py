@@ -21,6 +21,24 @@ _GROWTH_FACTOR = 2
 _INITIAL_CAPACITY = 16
 
 
+def _bulk_compatible(ctype: ColumnType, values: Any) -> bool:
+    """Whether ``values`` is a typed ndarray that needs no element coercion.
+
+    Mirrors :meth:`ColumnType.coerce` strictness: ints never come from
+    floats or bools, floats never from bools, bools only from bools.
+    """
+    if not isinstance(values, np.ndarray):
+        return False
+    kind = values.dtype.kind
+    if ctype is ColumnType.INT64:
+        return kind in "iu"
+    if ctype is ColumnType.FLOAT64:
+        return kind in "iuf"
+    if ctype is ColumnType.BOOL:
+        return kind == "b"
+    return False
+
+
 class Table:
     """A typed, columnar, append-only table.
 
@@ -78,7 +96,15 @@ class Table:
             return table
         table._ensure_capacity(n)
         for column in schema:
-            coerced = [column.ctype.coerce(v) for v in columns[column.name]]
+            values = columns[column.name]
+            if _bulk_compatible(column.ctype, values):
+                # Typed numpy columns skip the per-element coercion loop:
+                # the dtype already guarantees what coerce() would check.
+                table._columns[column.name][:n] = values.astype(
+                    column.ctype.numpy_dtype, copy=False
+                )
+                continue
+            coerced = [column.ctype.coerce(v) for v in values]
             table._columns[column.name][:n] = np.asarray(
                 coerced, dtype=column.ctype.numpy_dtype
             )

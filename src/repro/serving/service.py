@@ -155,23 +155,70 @@ class RecommendationService:
             raise UnknownUserError(missing)
         return models
 
+    def _validate_users(self, user_ids: Sequence[int]) -> None:
+        """Batch-validate ``user_ids`` without materializing any models.
+
+        The no-adjust path owes callers the same typed-error contract as
+        the adjusting one: every unknown id in the batch named in one
+        :class:`~repro.core.sum_model.UnknownUserError` — but it has no
+        use for the models themselves, so this is membership checks only
+        (no snapshot builds, no object rebuilds).  Under
+        :attr:`create_missing`, unknown users are instead created empty,
+        matching streaming first contact.
+        """
+        if self.sums is None:
+            return
+        if self.create_missing:
+            for uid in user_ids:
+                self.sums.get_or_create(int(uid))
+            return
+        # Columnar backends (bare or behind a SumCache) validate the
+        # whole batch at C speed with the same one-typed-error contract.
+        bulk = getattr(self.sums, "rows_for", None)
+        if not callable(bulk):
+            bulk = getattr(
+                getattr(self.sums, "repository", None), "rows_for", None
+            )
+        if callable(bulk):
+            bulk(list(user_ids))
+            return
+        if not hasattr(type(self.sums), "__contains__"):
+            # A bare resolver (e.g. the legacy shim's single-model
+            # indirection) cannot answer membership; scoring proceeds as
+            # before rather than iterating it by accident.
+            return
+        missing = [int(uid) for uid in user_ids if int(uid) not in self.sums]
+        if missing:
+            raise UnknownUserError(missing)
+
     def _grids(
         self,
         user_ids: Sequence[int],
         items: Sequence[ItemId],
         scorer_name: str | None,
         adjust: bool,
+        known_users: bool = False,
     ) -> tuple[str, np.ndarray, np.ndarray, np.ndarray]:
-        """(resolved name, base, multiplier, adjusted) for the full grid."""
+        """(resolved name, base, multiplier, adjusted) for the full grid.
+
+        ``known_users=True`` skips the no-adjust membership validation —
+        for callers whose ids were just sourced from ``sums`` itself and
+        therefore cannot be unknown (select-all over ``user_ids()``).
+        """
         name = scorer_name if scorer_name is not None else self._default
         scorer = self.scorer(scorer_name)
-        # Resolve the whole user batch *before* scoring: unknown users
-        # fail as one typed error naming every offending id (or, under
+        # Resolve — or at minimum validate — the whole user batch
+        # *before* scoring, on every path: unknown users fail as one
+        # typed error naming every offending id (or, under
         # create_missing, exist by the time any scorer resolves them).
+        # adjust=False used to skip this entirely and let unknown ids
+        # leak into scorers as untyped per-scorer KeyErrors.
         adjusting = adjust and self.domain_profile is not None
         models = None
-        if adjusting or (self.sums is not None and self.create_missing):
+        if adjusting:
             models = self._resolve_models(user_ids)
+        elif self.sums is not None and not known_users:
+            self._validate_users(user_ids)
         base = np.asarray(
             scorer.score_batch(list(user_ids), list(items)), dtype=np.float64
         )
@@ -264,7 +311,8 @@ class RecommendationService:
             )
         sum_version = self.sum_version()  # freshness floor; see recommend()
         name, base, multiplier, adjusted = self._grids(
-            ids, [request.item], request.scorer, request.adjust
+            ids, [request.item], request.scorer, request.adjust,
+            known_users=request.user_ids is None,
         )
         entries = [
             SelectedUser(

@@ -6,36 +6,91 @@ applying five reward ops should be invisible until the batch commits.
 machinery:
 
 * writers apply a whole batch slice and commit it in one per-user lock
-  hold (:meth:`SumCache.apply_and_publish`) — dropping the cached
+  hold (:meth:`SumCache.apply_and_publish` / batch-wide
+  :meth:`SumCache.apply_batch_and_publish`) — dropping the cached
   snapshot and bumping the user's monotonic version counter atomically
   with the mutation (the two-step :meth:`mutate` + :meth:`publish` pair
   also exists, for callers that control their own read timing);
-* readers (:class:`~repro.serving.service.RecommendationService` via the
-  repository duck-type ``get``/``user_ids``) receive an immutable-by-
-  convention snapshot copy, rebuilt lazily on the first read after a
-  publish.
+* readers receive **genuinely immutable** snapshots, rebuilt lazily on
+  the first read after a publish.  On a columnar repository the snapshot
+  is a copy of the user's row slices (no ``to_dict()``/``from_dict()``
+  object rebuild) and batch readers get whole column slices through
+  :meth:`SumCache.batch`; on an object repository it is a frozen deep
+  copy.  Either way a mutation attempt on a snapshot *raises* — one
+  misbehaving reader can no longer poison every other reader at that
+  version.
 
 Version counters make staleness *observable*: a snapshot at
 ``version(user) == 3`` reflects every batch published up to 3 and
 nothing later, and tests can assert "exactly one bump per applied batch"
 instead of sleeping and hoping.
+
+Columnar fast path
+------------------
+
+With a :class:`~repro.core.sum_store.ColumnarSumStore` underneath, the
+cache keeps a :class:`~repro.core.sum_store.ColumnMirror` — a
+copy-on-write staging copy of the emotional and sensibility columns.
+The first read of a user after a publish copies that user's row slices
+into the mirror under the user's write lock; every later read at the
+same version is a pure column slice with zero per-user work, so
+:class:`~repro.serving.service.RecommendationService` takes the same
+allocation-free batch path on *live streamed* state that it takes on a
+bare store.  Writers never touch the mirror, so captures cannot observe
+a half-applied batch.
 """
 
 from __future__ import annotations
 
 import threading
+from types import MappingProxyType
 from typing import Iterable, Sequence
 
 from repro.core.reward import ReinforcementPolicy
 from repro.core.sum_model import SmartUserModel, SumRepository
-from repro.core.updates import SumUpdateOp, apply_ops_batch
+from repro.core.sum_store import FrozenSumBatch, seal_attributes
+from repro.core.updates import (
+    SumUpdateOp,
+    applied_counts_by_user,
+    apply_ops_batch,
+)
+
+
+def _freeze_object_model(live: SmartUserModel) -> SmartUserModel:
+    """A deep-copied, genuinely immutable snapshot of an object-backed SUM.
+
+    The copy's mapping attributes are re-bound as read-only proxies, its
+    question sets as frozensets, and the instance *and* its nested
+    emotional/EI objects are sealed against attribute rebinding
+    (:func:`~repro.core.sum_store.seal_attributes`) — so every mutation
+    path (scalar attribute writes, ``activate_emotion``, EIT
+    bookkeeping, wholesale attribute swaps like
+    ``snapshot.emotional.intensities = {...}``) raises instead of
+    silently corrupting the snapshot other readers share.
+    """
+    snapshot = SmartUserModel.from_dict(live.to_dict())
+    snapshot.objective = MappingProxyType(snapshot.objective)
+    snapshot.subjective = MappingProxyType(snapshot.subjective)
+    snapshot.sensibility = MappingProxyType(snapshot.sensibility)
+    snapshot.evidence = MappingProxyType(snapshot.evidence)
+    snapshot.emotional.intensities = MappingProxyType(
+        snapshot.emotional.intensities
+    )
+    snapshot.ei_profile.scores = MappingProxyType(snapshot.ei_profile.scores)
+    snapshot.asked_questions = frozenset(snapshot.asked_questions)
+    snapshot.answered_questions = frozenset(snapshot.answered_questions)
+    seal_attributes(snapshot.emotional)
+    seal_attributes(snapshot.ei_profile)
+    seal_attributes(snapshot)
+    return snapshot
 
 
 class SumCache:
     """Snapshot cache + version counters over a :class:`SumRepository`.
 
     Duck-types the repository read API (``get``, ``user_ids``,
-    ``__contains__``, ``__len__``) so it can be handed to
+    ``__contains__``, ``__len__`` — plus ``batch`` when the repository is
+    columnar) so it can be handed to
     :class:`~repro.serving.service.RecommendationService` as its ``sums``.
     """
 
@@ -46,6 +101,28 @@ class SumCache:
         self._global_version = 0
         self._registry_lock = threading.Lock()
         self._user_locks: dict[int, threading.Lock] = {}
+        self._columnar = callable(getattr(repository, "freeze_view", None))
+        if self._columnar:
+            self._mirror = repository.mirror()
+            #: uid -> version stamp of the data staged in the mirror row
+            self._mirror_versions: dict[int, int] = {}
+            #: uids published since their last mirror refresh; writers add
+            #: under the user's lock, readers refresh-and-discard — so a
+            #: read is O(writes since last read), not O(population)
+            self._mirror_stale: set[int] = set()
+            #: serializes mirror refreshes and captures against each
+            #: other (writers never take it — they only bump versions)
+            self._mirror_lock = threading.RLock()
+            # The columnar resolver duck-type: RecommendationService
+            # probes ``callable(sums.batch)`` to pick the zero-copy path,
+            # so the attribute only exists when the backend can serve it.
+            self.batch = self._snapshot_batch
+
+    def _mark_mirror_stale(self, user_id: int) -> None:
+        """Flag a published user's mirror row as behind (caller holds the
+        user's lock, so the flag can't race that user's refresh)."""
+        if self._columnar:
+            self._mirror_stale.add(user_id)
 
     # -- locking -----------------------------------------------------------
 
@@ -98,6 +175,7 @@ class SumCache:
             version = self._versions.get(user_id, 0)
             if applied:
                 self._snapshots.pop(user_id, None)
+                self._mark_mirror_stale(user_id)
                 version += 1
                 self._versions[user_id] = version
         return applied, version
@@ -117,7 +195,9 @@ class SumCache:
         version bumped before the locks release.  Readers observe
         exactly the :meth:`apply_and_publish` contract: old state at the
         old version or batch-applied state at the new one, one bump per
-        touched user.  Returns ``(per-item applied counts, versions)``.
+        touched user.  The mirror is *not* written here — it refreshes
+        lazily on the next read, which sees the bumped version.  Returns
+        ``(per-item applied counts, versions)``.
 
         Requires a columnar repository (``batch_apply_ops``) and raises
         ``TypeError`` otherwise: the columnar backend validates every op
@@ -139,14 +219,13 @@ class SumCache:
             lock.acquire()
         try:
             counts = apply_ops_batch(self.repository, items, policy)
-            applied_by_user: dict[int, int] = {}
-            for (user_id, __), count in zip(items, counts):
-                applied_by_user[user_id] = applied_by_user.get(user_id, 0) + count
+            applied_by_user = applied_counts_by_user(items, counts)
             versions: dict[int, int] = {}
             for user_id in ids:
                 version = self._versions.get(user_id, 0)
                 if applied_by_user.get(user_id, 0):
                     self._snapshots.pop(user_id, None)
+                    self._mark_mirror_stale(user_id)
                     version += 1
                     self._versions[user_id] = version
                 versions[user_id] = version
@@ -166,6 +245,7 @@ class SumCache:
         user_id = int(user_id)
         with self._lock_for(user_id):
             self._snapshots.pop(user_id, None)
+            self._mark_mirror_stale(user_id)
             version = self._versions.get(user_id, 0) + 1
             self._versions[user_id] = version
         with self._registry_lock:
@@ -191,6 +271,7 @@ class SumCache:
         for user_id in ids:
             with self._lock_for(user_id):
                 self._snapshots.pop(user_id, None)
+                self._mark_mirror_stale(user_id)
                 versions[user_id] = self._versions.get(user_id, 0) + 1
                 self._versions[user_id] = versions[user_id]
         if versions:
@@ -201,7 +282,14 @@ class SumCache:
     # -- read path (repository duck-type) ----------------------------------
 
     def get(self, user_id: int) -> SmartUserModel:
-        """Snapshot of one user's SUM as of their last published version."""
+        """Immutable snapshot of one user's SUM at their last published
+        version.
+
+        Columnar repositories are snapshotted as frozen row-slice copies
+        (:meth:`~repro.core.sum_store.ColumnarSumStore.freeze_view` — no
+        dict round trip); object repositories as a frozen deep copy.
+        Either way the snapshot raises on any mutation attempt.
+        """
         user_id = int(user_id)
         snapshot = self._snapshots.get(user_id)
         if snapshot is not None:
@@ -209,8 +297,12 @@ class SumCache:
         with self._lock_for(user_id):
             snapshot = self._snapshots.get(user_id)
             if snapshot is None:
-                live = self.repository.get(user_id)
-                snapshot = SmartUserModel.from_dict(live.to_dict())
+                if self._columnar:
+                    snapshot = self.repository.freeze_view(user_id)
+                else:
+                    snapshot = _freeze_object_model(
+                        self.repository.get(user_id)
+                    )
                 self._snapshots[user_id] = snapshot
             return snapshot
 
@@ -228,6 +320,57 @@ class SumCache:
     def __len__(self) -> int:
         return len(self.repository)
 
+    # -- columnar batch read path ------------------------------------------
+
+    def _snapshot_batch(
+        self, user_ids: Sequence[int], create: bool = False
+    ) -> FrozenSumBatch:
+        """Version-stamped columnar batch read — the serving fast path.
+
+        The first read of a user after a publish copies that user's row
+        slices into the copy-on-write mirror under the user's write lock;
+        every subsequent read at the same version slices the mirror with
+        zero per-user work.  The returned batch is frozen (bit-stable no
+        matter how many batches land afterwards) and stamped with each
+        user's version at capture: old state at the old version or
+        batch-applied state at the new one, never a torn read.
+
+        Unknown users raise one
+        :class:`~repro.core.sum_model.UnknownUserError` naming them all;
+        ``create=True`` opts into streaming first-contact semantics.
+        """
+        store = self.repository
+        ids = list(map(int, user_ids))
+        rows = store.rows_for(ids, create=create)
+        with self._mirror_lock:
+            self._mirror.sync_shape()
+            mirrored = self._mirror_versions
+            stale = self._mirror_stale
+            # Staleness is O(writes since the last read), not O(batch):
+            # set algebra runs in C, and only never-mirrored or
+            # freshly-published users pay a lock + row copy.
+            ids_set = set(ids)
+            need = ids_set.difference(mirrored)
+            if stale:
+                need |= ids_set.intersection(stale)
+            for uid in need:
+                with self._lock_for(uid):
+                    # discard before reading the version: a publish after
+                    # this lock releases re-flags the user, and one inside
+                    # it is serialized with us
+                    stale.discard(uid)
+                    mirrored[uid] = self._versions.get(uid, 0)
+                    self._mirror.refresh_row(store.row_index(uid))
+            # Stamps only need to cover the requested ids: small reads
+            # build them per id, population-scale reads take one C-level
+            # dict copy (cheaper than a Python loop over the batch).
+            # Either way the batch resolves per-user stamps lazily.
+            if len(ids) < len(mirrored) // 4:
+                stamps = {uid: mirrored.get(uid, 0) for uid in ids}
+            else:
+                stamps = dict(mirrored)
+            return self._mirror.capture(ids, rows, stamps, resolve=self.get)
+
     # -- observability -----------------------------------------------------
 
     def version(self, user_id: int) -> int:
@@ -241,5 +384,10 @@ class SumCache:
 
     @property
     def cached_users(self) -> int:
-        """How many snapshots are currently materialized."""
+        """How many per-user snapshots are currently materialized."""
         return len(self._snapshots)
+
+    @property
+    def mirrored_users(self) -> int:
+        """How many users have a current row staged in the read mirror."""
+        return len(self._mirror_versions) if self._columnar else 0

@@ -80,6 +80,14 @@ class ShardWorker(threading.Thread):
         poll_timeout: float = 0.05,
     ) -> None:
         super().__init__(name=f"sum-shard-{partition.partition}", daemon=True)
+        if getattr(cache.repository, "readonly", False):
+            # Fail at wiring time, not per delivery: a read-only mmap
+            # replica can never commit, and the scalar fallback would
+            # just dead-letter the whole stream one batch at a time.
+            raise TypeError(
+                "cannot consume into a read-only (mmap-loaded) SUM store; "
+                "run shard workers against the writable primary"
+            )
         self.partition = partition
         self.mapper = mapper
         self.cache = cache

@@ -1,0 +1,42 @@
+"""Shared fixtures: the SUM-backend test matrix.
+
+CI runs the tier-1 suite twice, once per SUM storage backend
+(``REPRO_SUM_BACKEND=object|columnar``).  Tests that request the
+``sum_backend`` / ``sum_backend_cls`` fixtures are parametrized over
+*both* backends on a plain local run, and pinned to a single one when
+the environment variable selects it — so the matrix legs don't redo each
+other's work.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.sum_model import SumRepository
+from repro.core.sum_store import ColumnarSumStore
+
+SUM_BACKENDS = {"object": SumRepository, "columnar": ColumnarSumStore}
+
+
+def _selected_backends() -> list[str]:
+    env = os.environ.get("REPRO_SUM_BACKEND", "").strip().lower()
+    if not env:
+        return list(SUM_BACKENDS)
+    if env not in SUM_BACKENDS:
+        raise pytest.UsageError(
+            f"REPRO_SUM_BACKEND={env!r} is not one of {sorted(SUM_BACKENDS)}"
+        )
+    return [env]
+
+
+def pytest_generate_tests(metafunc):
+    if "sum_backend" in metafunc.fixturenames:
+        metafunc.parametrize("sum_backend", _selected_backends())
+
+
+@pytest.fixture
+def sum_backend_cls(sum_backend):
+    """The SUM collection class for the current matrix leg."""
+    return SUM_BACKENDS[sum_backend]

@@ -1,0 +1,71 @@
+"""DomainProfile hashability — the frozen-dataclass + dict-field trap.
+
+``@dataclass(frozen=True)`` auto-generates ``__hash__`` over the raw
+fields, and ``links`` is a dict, so ``hash(profile)`` raised ``TypeError``
+on first use: profiles could never key caches or live in sets.  The
+explicit content-based ``__hash__`` must stay consistent with the
+generated ``__eq__``.
+"""
+
+import pytest
+
+from repro.core.advice import DomainProfile
+
+LINKS = {
+    "enthusiastic": {"innovative": 0.8, "online": 0.3},
+    "shy": {"supportive": 0.4},
+}
+
+
+def make(domain="training", links=LINKS):
+    return DomainProfile(domain, links)
+
+
+def test_profiles_are_hashable():
+    # regression: the auto-generated __hash__ raised TypeError here
+    assert isinstance(hash(make()), int)
+    assert hash(make()) == hash(make())
+
+
+def test_hash_is_consistent_with_eq():
+    a, b = make(), make()
+    assert a == b and hash(a) == hash(b)
+    assert len({a, b}) == 1
+    cache = {a: "layout"}
+    assert cache[b] == "layout"
+
+
+def test_link_declaration_order_does_not_matter():
+    a = DomainProfile(
+        "d", {"enthusiastic": {"x": 0.1, "y": 0.2}, "shy": {"z": -0.5}}
+    )
+    b = DomainProfile(
+        "d", {"shy": {"z": -0.5}, "enthusiastic": {"y": 0.2, "x": 0.1}}
+    )
+    assert a == b and hash(a) == hash(b)
+
+
+def test_distinct_profiles_distinct_set_entries():
+    a = make()
+    b = make(domain="other")
+    c = make(links={"enthusiastic": {"innovative": 0.1}})
+    assert len({a, b, c}) == 3
+
+
+def test_empty_links_profile_hashable():
+    assert isinstance(hash(DomainProfile("bare")), int)
+
+
+def test_profiles_key_scorer_registries():
+    # the motivating use: memoizing per-profile layouts/boosts
+    memo = {}
+    for __ in range(3):
+        memo.setdefault(make(), []).append(1)
+    assert list(memo.values()) == [[1, 1, 1]]
+
+
+def test_validation_still_rejects_bad_profiles():
+    with pytest.raises(KeyError):
+        DomainProfile("d", {"not-an-emotion": {"x": 0.1}})
+    with pytest.raises(ValueError):
+        DomainProfile("d", {"shy": {"x": 1.5}})

@@ -192,6 +192,43 @@ class TestVectorizedOps:
         assert store.dumps() == before  # untouched
 
 
+class TestFreezeView:
+    def test_freeze_view_matches_live_state(self):
+        __, store = paired_backends()
+        for uid in store.user_ids():
+            assert store.freeze_view(uid).to_dict() == store.get(uid).to_dict()
+
+    def test_freeze_view_is_stable_across_live_writes(self):
+        __, store = paired_backends()
+        frozen = store.freeze_view(3)
+        before = frozen.to_dict()
+        store.get(3).activate_emotion("shy", 0.4)
+        store.get(3).set_subjective("pref[new]", 0.9)
+        assert frozen.to_dict() == before
+
+    def test_freeze_view_raises_on_every_write_family(self):
+        __, store = paired_backends()
+        frozen = store.freeze_view(3)
+        with pytest.raises((TypeError, ValueError, KeyError)):
+            frozen.activate_emotion("shy", 0.1)
+        with pytest.raises((TypeError, ValueError, KeyError)):
+            frozen.set_subjective("pref[x]", 0.5)
+        with pytest.raises((TypeError, ValueError, KeyError)):
+            frozen.set_sensibility("shy", 0.5)
+        with pytest.raises((TypeError, ValueError, KeyError)):
+            frozen.evidence["shy"] = 3
+        with pytest.raises((TypeError, ValueError)):
+            frozen.ei_profile.scores[Branch.MANAGING] = 0.9
+        with pytest.raises(TypeError):
+            frozen.objective = {"age": 1}
+        with pytest.raises((TypeError, AttributeError)):
+            frozen.asked_questions.add("q-9")
+
+    def test_freeze_view_unknown_user(self):
+        with pytest.raises(UnknownUserError):
+            ColumnarSumStore().freeze_view(99)
+
+
 class TestPersistence:
     def test_json_dumps_identical_to_object_backend(self):
         repo, store = paired_backends()
@@ -228,3 +265,113 @@ class TestPersistence:
         store.save(tmp_path / "pages")
         reloaded = ColumnarSumStore.load(tmp_path / "pages")
         assert json.loads(reloaded.dumps()) == json.loads(repo.dumps())
+
+    def test_dense_pages_written_alongside_tables(self, tmp_path):
+        __, store = paired_backends()
+        store.save(tmp_path / "sums")
+        names = {p.name for p in (tmp_path / "sums").iterdir()}
+        assert "user_ids.npy" in names and "ei.npy" in names
+        for family in ("emotional", "sensibility", "subjective", "evidence"):
+            assert f"{family}__values.npy" in names
+            assert f"{family}__mask.npy" in names
+
+    def test_tables_only_directory_still_loads(self, tmp_path):
+        # dirs written before the dense pages existed: strip the pages
+        # and the manifest's arrays section, then load copy-wise
+        __, store = paired_backends()
+        directory = store.save(tmp_path / "sums")
+        manifest_path = directory / "catalog.json"
+        manifest = json.loads(manifest_path.read_text())
+        for filename in manifest.pop("arrays", {}).values():
+            (directory / filename).unlink()
+        manifest.pop("meta", None)
+        manifest_path.write_text(json.dumps(manifest))
+        loaded = ColumnarSumStore.load(directory)
+        assert loaded.dumps() == store.dumps()
+        from repro.db.storage import StorageError
+
+        with pytest.raises(StorageError, match="mmap"):
+            ColumnarSumStore.load(directory, mmap=True)
+
+
+class TestMmapReplicas:
+    def saved(self, tmp_path):
+        __, store = paired_backends()
+        return store, store.save(tmp_path / "sums")
+
+    def test_mmap_round_trip_is_full_fidelity(self, tmp_path):
+        store, directory = self.saved(tmp_path)
+        replica = ColumnarSumStore.load(directory, mmap=True)
+        assert replica.readonly
+        assert replica.dumps() == store.dumps()
+
+    def test_pages_are_read_only_memory_maps(self, tmp_path):
+        __, directory = self.saved(tmp_path)
+        replica = ColumnarSumStore.load(directory, mmap=True)
+        assert isinstance(replica._emotional.values, np.memmap)
+        assert isinstance(replica._ei, np.memmap)
+        assert not replica._emotional.values.flags.writeable
+
+    def test_replica_rejects_every_write_path(self, tmp_path):
+        __, directory = self.saved(tmp_path)
+        replica = ColumnarSumStore.load(directory, mmap=True)
+        with pytest.raises(TypeError, match="read-only"):
+            replica.get_or_create(999)
+        with pytest.raises(TypeError, match="read-only"):
+            replica.decay_tick(POLICY)
+        with pytest.raises(TypeError, match="read-only"):
+            replica.batch_apply_ops(
+                [(3, (RewardOp(("shy",), 1.0),))], POLICY
+            )
+        with pytest.raises((TypeError, ValueError, KeyError)):
+            replica.get(3).activate_emotion("shy", 0.1)
+        with pytest.raises((TypeError, ValueError, KeyError)):
+            replica.get(3).set_subjective("pref[new]", 0.5)
+        # cold per-row state is frozen too, not just the mapped arrays
+        with pytest.raises(TypeError):
+            replica.get(3).objective = {"age": 30}
+        with pytest.raises(TypeError):
+            replica.get(3).set_objective("age", 30)
+        with pytest.raises((TypeError, AttributeError)):
+            replica.get(3).asked_questions.add("q-9")
+        with pytest.raises(TypeError):
+            replica.get(3).asked_questions = {"q-9"}
+
+    def test_replica_can_be_resnapshotted(self, tmp_path):
+        # save() is a pure read, so re-snapshotting a served (frozen)
+        # state must work — the proxied cold rows unwrap cleanly
+        store, directory = self.saved(tmp_path)
+        replica = ColumnarSumStore.load(directory, mmap=True)
+        resaved = replica.save(tmp_path / "resaved")
+        assert ColumnarSumStore.load(resaved).dumps() == store.dumps()
+
+    def test_replica_serves_batch_reads(self, tmp_path):
+        store, directory = self.saved(tmp_path)
+        replica = ColumnarSumStore.load(directory, mmap=True)
+        order = ("pref[online]", "pref[evening]")
+        expected, ids1 = store.feature_matrix(subjective_order=order)
+        actual, ids2 = replica.feature_matrix(subjective_order=order)
+        assert ids1 == ids2
+        assert np.array_equal(expected, actual)
+        profile = DomainProfile("courses", {"enthusiastic": {"new": 0.8}})
+        engine = AdviceEngine()
+        assert np.array_equal(
+            engine.boosts_matrix(store.batch(ids1), profile),
+            engine.boosts_matrix(replica.batch(ids2), profile),
+        )
+
+    def test_streaming_workers_refuse_readonly_replicas(self, tmp_path):
+        from repro.streaming.bus import PartitionQueue
+        from repro.streaming.cache import SumCache
+        from repro.streaming.consumer import ShardWorker
+        from repro.streaming.mapper import EventUpdateMapper
+
+        __, directory = self.saved(tmp_path)
+        replica = ColumnarSumStore.load(directory, mmap=True)
+        with pytest.raises(TypeError, match="read-only"):
+            ShardWorker(
+                PartitionQueue(0, capacity=4, max_attempts=1),
+                EventUpdateMapper({}),
+                SumCache(replica),
+                POLICY,
+            )

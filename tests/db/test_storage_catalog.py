@@ -101,3 +101,74 @@ class TestCatalog:
     def test_load_missing_manifest(self, tmp_path):
         with pytest.raises(StorageError):
             Catalog.load(tmp_path / "nothing")
+
+
+class TestArrayPages:
+    """Dense .npy pages + manifest meta: the mmap-able serving layout."""
+
+    def test_catalog_round_trips_arrays_and_meta(self, tmp_path):
+        import numpy as np
+
+        catalog = Catalog()
+        catalog.register(sample_table("t"))
+        values = np.arange(12.0).reshape(3, 4)
+        mask = values > 5
+        catalog.put_array("t__values", values)
+        catalog.put_array("t__mask", mask)
+        catalog.meta["layout"] = {"order": ["a", "b", "c", "d"]}
+        catalog.save(tmp_path / "cat")
+
+        loaded = Catalog.load(tmp_path / "cat")
+        assert loaded.array_names() == ["t__mask", "t__values"]
+        assert np.array_equal(loaded.array("t__values"), values)
+        assert np.array_equal(loaded.array("t__mask"), mask)
+        assert loaded.meta == {"layout": {"order": ["a", "b", "c", "d"]}}
+        assert (tmp_path / "cat" / "t__values.npy").exists()
+
+    def test_mmap_arrays_are_read_only_maps(self, tmp_path):
+        import numpy as np
+
+        catalog = Catalog()
+        catalog.put_array("page", np.arange(6, dtype=np.int64))
+        catalog.save(tmp_path / "cat")
+        loaded = Catalog.load(tmp_path / "cat", mmap_arrays=True)
+        page = loaded.array("page")
+        assert isinstance(page, np.memmap)
+        assert not page.flags.writeable
+        with pytest.raises(ValueError):
+            page[0] = 9
+        assert np.array_equal(page, np.arange(6))
+
+    def test_array_registry_validation(self):
+        import numpy as np
+
+        catalog = Catalog()
+        catalog.put_array("a", np.zeros(3))
+        with pytest.raises(CatalogError):
+            catalog.put_array("a", np.zeros(3))
+        with pytest.raises(CatalogError):
+            catalog.put_array("", np.zeros(3))
+        with pytest.raises(CatalogError):
+            catalog.put_array("objs", np.asarray(["x"], dtype=object))
+        with pytest.raises(CatalogError):
+            catalog.array("missing")
+
+    def test_page_helpers_validate(self, tmp_path):
+        import numpy as np
+
+        from repro.db.storage import load_array_page, save_array_page
+
+        with pytest.raises(StorageError, match=".npy"):
+            save_array_page(np.zeros(2), tmp_path / "bad.npz")
+        with pytest.raises(StorageError, match="no such"):
+            load_array_page(tmp_path / "missing.npy")
+        path = save_array_page(np.zeros((2, 2)), tmp_path / "ok.npy")
+        assert load_array_page(path).shape == (2, 2)
+
+    def test_catalogs_without_arrays_stay_compatible(self, tmp_path):
+        catalog = Catalog()
+        catalog.register(sample_table("only"))
+        catalog.save(tmp_path / "plain")
+        loaded = Catalog.load(tmp_path / "plain")
+        assert loaded.array_names() == [] and loaded.meta == {}
+        assert len(loaded.get("only")) == 3

@@ -481,6 +481,75 @@ class TestFirstContactSemantics:
         )
         assert response.user_id == 7 and 7 in store
 
+    def test_adjust_false_still_validates_the_batch(self, repo):
+        # The hole: with adjust=False the batch was never resolved, so
+        # unknown ids leaked into scorers as untyped per-scorer KeyErrors
+        # (or silent garbage scores).
+        from repro.serving import UnknownUserError
+
+        service = self._service(repo)
+        with pytest.raises(UnknownUserError) as excinfo:
+            service.select_users(
+                SelectionRequest(
+                    item="course-plain", user_ids=[1, 404, 2, 405],
+                    adjust=False,
+                )
+            )
+        assert excinfo.value.user_ids == (404, 405)
+        with pytest.raises(UnknownUserError):
+            service.recommend(
+                RecommendationRequest(
+                    user_id=404, items=ITEMS, k=1, adjust=False
+                )
+            )
+
+    def test_profile_free_service_also_validates(self, repo):
+        # No domain profile means the adjusting resolve never runs, so
+        # this path fell through the same hole.
+        from repro.serving import UnknownUserError
+
+        service = RecommendationService(sums=repo)
+        service.register("base", lambda model, item: 0.5)
+        with pytest.raises(UnknownUserError) as excinfo:
+            service.select_users(
+                SelectionRequest(item="course-plain", user_ids=[404, 1])
+            )
+        assert excinfo.value.user_ids == (404,)
+
+    def test_no_adjust_validation_materializes_no_models(self):
+        # Membership checks only: the no-adjust path must not pay for
+        # snapshot builds it will never read.
+        from repro.core.sum_store import ColumnarSumStore
+        from repro.streaming.cache import SumCache
+
+        store = ColumnarSumStore()
+        for uid in (1, 2):
+            store.get_or_create(uid).activate_emotion("enthusiastic", 0.5)
+        cache = SumCache(store)
+        service = RecommendationService(
+            sums=cache,
+            domain_profile=make_profile(),
+            item_attributes=ITEM_ATTRIBUTES,
+        )
+        # a true batch scorer: nothing on this path needs per-user models
+        service.register(
+            "flat",
+            MatrixScorer(np.ones((2, len(ITEMS))), [1, 2], ITEMS),
+        )
+        response = service.select_users(
+            SelectionRequest(item="course-plain", user_ids=[1, 2], adjust=False)
+        )
+        assert len(response.ranked) == 2
+        assert cache.cached_users == 0
+        assert cache.mirrored_users == 0
+
+    def test_create_missing_applies_on_the_no_adjust_path_too(self, repo):
+        service = self._service(repo, create_missing=True)
+        response = service.recommend(
+            RecommendationRequest(user_id=777, items=ITEMS, k=1, adjust=False)
+        )
+        assert response.user_id == 777 and 777 in repo
+
 
 class TestColumnarServingParity:
     """The service's adjusted grid is bit-equal across backends."""

@@ -69,13 +69,12 @@ def assert_same_state(reference: SumRepository, live: SumRepository):
 
 
 @pytest.mark.parametrize("n_shards", [1, 4])
-@pytest.mark.parametrize("backend", [SumRepository, ColumnarSumStore])
-def test_streaming_replay_matches_sequential_pipeline(backend, n_shards):
+def test_streaming_replay_matches_sequential_pipeline(sum_backend_cls, n_shards):
     catalog, events = browsing_stream()
     item_emotions = catalog.emotion_links()
     reference = sequential_reference(events, item_emotions)
 
-    live = backend()
+    live = sum_backend_cls()
     updater = StreamingUpdater(
         live, item_emotions, n_shards=n_shards, batch_max=64,
     )
@@ -193,8 +192,9 @@ def test_unknown_emotion_names_rejected_at_construction():
         StreamingUpdater(SumRepository(), {"7": ("not-an-emotion",)})
 
 
-@pytest.mark.parametrize("backend", [SumRepository, ColumnarSumStore])
-def test_apply_failure_dead_letters_without_retry_or_killing_the_shard(backend):
+def test_apply_failure_dead_letters_without_retry_or_killing_the_shard(
+    sum_backend_cls,
+):
     # An op that fails mid-apply may have left side effects, so it goes
     # straight to the dead-letter list (no double-applying retries) and
     # the shard keeps consuming.  On the columnar backend the batch
@@ -216,7 +216,7 @@ def test_apply_failure_dead_letters_without_retry_or_killing_the_shard(backend):
             return ()
 
     queue = PartitionQueue(0, capacity=16, max_attempts=3)
-    sums = backend()
+    sums = sum_backend_cls()
     cache = SumCache(sums)
     worker = ShardWorker(queue, StubMapper(), cache, Policy(), batch_max=8)
     for action in ("poison", "course_view"):

@@ -189,13 +189,46 @@ class TestSumCache:
         assert cache.invalidate() == {}  # empty repository
         assert cache.global_version == 0
 
-    def test_snapshot_mutation_does_not_leak_to_live_model(self):
+    def test_snapshots_are_frozen_and_raise_on_write(self):
+        # One mutating reader used to silently poison every other reader
+        # at that version ("immutable-by-convention"); snapshots are now
+        # genuinely immutable on both backends.
         sums = SumRepository()
         sums.get_or_create(5).activate_emotion("shy", 0.2)
         cache = SumCache(sums)
         snapshot = cache.get(5)
-        snapshot.activate_emotion("shy", 0.7)
+        with pytest.raises((TypeError, ValueError)):
+            snapshot.activate_emotion("shy", 0.7)
+        with pytest.raises((TypeError, ValueError)):
+            snapshot.set_subjective("pref", 0.4)
+        with pytest.raises((TypeError, ValueError)):
+            snapshot.set_sensibility("shy", 0.9)
+        with pytest.raises((TypeError, ValueError, AttributeError)):
+            snapshot.asked_questions.add("q-1")
+        # the live model and the shared snapshot are both unharmed
         assert sums.get(5).emotional["shy"] == pytest.approx(0.2)
+        assert cache.get(5).emotional["shy"] == pytest.approx(0.2)
+
+    def test_columnar_snapshots_are_frozen_row_views(self):
+        from repro.core.sum_store import ColumnarSumStore
+
+        store = ColumnarSumStore()
+        view = store.get_or_create(5)
+        view.activate_emotion("shy", 0.2)
+        view.set_subjective("pref[a]", 0.7)
+        cache = SumCache(store)
+        snapshot = cache.get(5)
+        assert snapshot.to_dict() == store.get(5).to_dict()
+        with pytest.raises((TypeError, ValueError, KeyError)):
+            snapshot.activate_emotion("shy", 0.5)
+        with pytest.raises((TypeError, ValueError, KeyError)):
+            snapshot.subjective["pref[b]"] = 0.1
+        with pytest.raises(TypeError):
+            snapshot.objective = {"age": 30}
+        # frozen at the published version: live writes don't show through
+        store.get(5).activate_emotion("shy", 0.3)
+        assert snapshot.emotional["shy"] == pytest.approx(0.2)
+        assert cache.get(5) is snapshot  # cached until the next publish
 
     def test_repository_duck_type(self):
         sums = SumRepository()
@@ -206,3 +239,165 @@ class TestSumCache:
         assert len(cache) == 1
         assert cache.get_or_create(8).user_id == 8
         assert 8 in sums
+
+
+class TestColumnarBatchReads:
+    """SumCache.batch: the allocation-free columnar serving read path."""
+
+    def _world(self):
+        from repro.core.reward import ReinforcementPolicy
+        from repro.core.sum_store import ColumnarSumStore
+
+        store = ColumnarSumStore()
+        for uid in (1, 2, 3):
+            view = store.get_or_create(uid)
+            view.activate_emotion("shy", 0.1 * uid)
+            view.set_sensibility("shy", 0.2)
+        return store, SumCache(store), ReinforcementPolicy()
+
+    def test_batch_exposed_only_on_columnar_repositories(self):
+        assert not callable(getattr(SumCache(SumRepository()), "batch", None))
+        __, cache, __ = self._world()
+        assert callable(cache.batch)
+
+    def test_batch_slices_match_scalar_snapshots(self):
+        import numpy as np
+
+        from repro.core.emotions import EMOTION_NAMES
+
+        __, cache, __ = self._world()
+        batch = cache.batch([1, 2, 3])
+        intensity = batch.intensity_matrix(EMOTION_NAMES)
+        for row, uid in enumerate(batch.user_ids):
+            np.testing.assert_array_equal(
+                intensity[row], cache.get(uid).emotional_vector()
+            )
+        sens = batch.sensibility_matrix(("shy", "never-set"), default=1.0)
+        assert np.all(sens[:, 0] == 0.2)
+        assert np.all(sens[:, 1] == 1.0)
+
+    def test_batch_is_version_stamped_and_bit_stable(self):
+        import numpy as np
+
+        from repro.core.emotions import EMOTION_NAMES
+
+        __, cache, policy = self._world()
+        old = cache.batch([1, 2])
+        before = old.intensity_matrix(EMOTION_NAMES).copy()
+        assert old.versions == {1: 0, 2: 0}
+
+        cache.apply_batch_and_publish([(1, (RewardOp(("shy",), 1.0),))], policy)
+        # the captured batch is frozen at its versions, bit for bit
+        np.testing.assert_array_equal(
+            old.intensity_matrix(EMOTION_NAMES), before
+        )
+        fresh = cache.batch([1, 2])
+        assert fresh.versions == {1: 1, 2: 0}
+        assert fresh.intensity_matrix(EMOTION_NAMES)[0].sum() > before[0].sum()
+
+    def test_batch_read_builds_no_models_and_no_dict_roundtrips(self, monkeypatch):
+        from repro.core.emotions import EMOTION_NAMES
+        from repro.core.sum_model import SmartUserModel
+
+        __, cache, __ = self._world()
+
+        def boom(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("object rebuild on the columnar read path")
+
+        monkeypatch.setattr(SmartUserModel, "to_dict", boom)
+        monkeypatch.setattr(SmartUserModel, "from_dict", boom)
+        batch = cache.batch([1, 2, 3])
+        batch.intensity_matrix(EMOTION_NAMES)
+        batch.sensibility_matrix(EMOTION_NAMES)
+        assert cache.cached_users == 0  # no per-user snapshots either
+
+    def test_batch_unknown_users_raise_one_typed_error(self):
+        from repro.core.sum_model import UnknownUserError
+
+        __, cache, __ = self._world()
+        with pytest.raises(UnknownUserError) as excinfo:
+            cache.batch([1, 404, 405])
+        assert excinfo.value.user_ids == (404, 405)
+        batch = cache.batch([404], create=True)
+        assert batch.user_ids == [404] and 404 in cache
+
+    def test_mirror_copies_rows_once_per_published_version(self):
+        from repro.core.emotions import EMOTION_NAMES
+
+        store, cache, policy = self._world()
+        assert cache.mirrored_users == 0
+        cache.batch([1, 2, 3])
+        assert cache.mirrored_users == 3
+        # unpublished live writes stay invisible at the old version
+        store.get(1).activate_emotion("shy", 0.5)
+        stale = cache.batch([1])
+        assert stale.intensity_matrix(EMOTION_NAMES)[0][
+            EMOTION_NAMES.index("shy")
+        ] == pytest.approx(0.1)
+        cache.invalidate([1])
+        fresh = cache.batch([1])
+        assert fresh.intensity_matrix(EMOTION_NAMES)[0][
+            EMOTION_NAMES.index("shy")
+        ] == pytest.approx(0.6)
+        assert fresh.versions[1] == 1
+
+    def test_batch_iteration_yields_frozen_snapshots(self):
+        __, cache, __ = self._world()
+        models = list(cache.batch([1, 2]))
+        assert [m.user_id for m in models] == [1, 2]
+        with pytest.raises((TypeError, ValueError, KeyError)):
+            models[0].activate_emotion("shy", 0.4)
+
+    def test_mirror_survives_store_growth_between_reads(self):
+        # regression: a torn (values, mask) shape pair during capacity
+        # growth could leave the mirror permanently divergent and crash
+        # every later refresh with IndexError
+        from repro.core.emotions import EMOTION_NAMES
+        from repro.core.sum_store import ColumnarSumStore
+
+        store = ColumnarSumStore(initial_capacity=2)
+        for uid in (1, 2):
+            store.get_or_create(uid).activate_emotion("shy", 0.1 * uid)
+        cache = SumCache(store)
+        cache.batch([1, 2])  # mirror sized to the tiny initial capacity
+        for uid in range(10, 90):  # several row-capacity doublings
+            store.get_or_create(uid).set_subjective(f"pref[{uid}]", 0.5)
+        cache.invalidate([1])
+        batch = cache.batch(list(range(10, 90)) + [1, 2])
+        assert batch.intensity_matrix(EMOTION_NAMES).shape == (82, 10)
+        shy = EMOTION_NAMES.index("shy")
+        assert batch.intensity_matrix(EMOTION_NAMES)[-2, shy] == pytest.approx(0.1)
+
+    def test_object_snapshots_reject_attribute_rebinding(self):
+        # regression: mapping proxies stopped item writes, but a reader
+        # could still swap whole attribute mappings on the shared copy
+        sums = SumRepository()
+        sums.get_or_create(5).activate_emotion("shy", 0.2)
+        cache = SumCache(sums)
+        snapshot = cache.get(5)
+        with pytest.raises(TypeError, match="read-only"):
+            snapshot.objective = {"poison": 1}
+        with pytest.raises(TypeError, match="read-only"):
+            snapshot.sensibility = {"shy": 99.0}
+        # nested objects are sealed too, not just the model itself
+        with pytest.raises(TypeError, match="read-only"):
+            snapshot.emotional.intensities = {"shy": 0.99}
+        with pytest.raises(TypeError, match="read-only"):
+            snapshot.ei_profile.scores = {}
+        assert cache.get(5).sensibility.get("shy", 0.0) != 99.0
+        assert cache.get(5).emotional["shy"] == pytest.approx(0.2)
+
+    def test_columnar_snapshots_reject_attribute_rebinding(self):
+        from repro.core.sum_store import ColumnarSumStore
+
+        store = ColumnarSumStore()
+        store.get_or_create(5).activate_emotion("shy", 0.2)
+        cache = SumCache(store)
+        snapshot = cache.get(5)
+        with pytest.raises(TypeError, match="read-only"):
+            snapshot.sensibility = {"shy": 99.0}
+        with pytest.raises(TypeError, match="read-only"):
+            snapshot.emotional.intensities = {"shy": 0.99}
+        with pytest.raises(TypeError, match="read-only"):
+            snapshot.ei_profile.scores = {}
+        assert cache.get(5).emotional["shy"] == pytest.approx(0.2)
