@@ -1,0 +1,293 @@
+"""S5 — the partitioned write plane: sharded vs single-lock columnar.
+
+ISSUE 5's tentpole claim, measured: with one :class:`ColumnarSumStore`
+behind the streaming workers, every batch commit serializes on the one
+store lock; with a :class:`ShardedSumStore` each worker commits into its
+own partition under its own lock, so writer threads never contend and
+their vectorized (GIL-releasing) sections overlap.
+
+Two measurements, one correctness gate:
+
+* **streamed replay** — the full 50k-event LifeLog firehose through
+  ``StreamingUpdater`` (4 bus partitions = 4 writer threads) over a
+  100k-user population, single store vs 4 shards: end-to-end throughput
+  and p50/p99 update-to-visible latency;
+* **write plane under maintenance pressure** — 4 writer threads
+  driving pre-grouped ``batch_apply_ops`` batches while a maintenance
+  thread runs the paper's between-touches forgetting as a flat-out
+  population decay loop (the offered load is identical on both
+  backends: decay as fast as the store allows, for as long as writers
+  are busy).  On the single-lock store every tick holds *the* lock
+  across a population-wide array pass and back-to-back reacquisition
+  lets the loop monopolize it — all four writers starve head-of-line;
+  on the sharded plane a tick sweeps one partition at a time and
+  writers on the other partitions keep committing, so the blast radius
+  of maintenance is one partition.  The speedup floor is asserted
+  here, on writer completion time;
+* **bit-equality** — after both replays, both backends' ``dumps()``
+  must equal the sequential ``apply_event`` reference byte for byte
+  (the ≥4-shards / ≥4-writer-threads acceptance criterion).
+
+Smoke mode for CI (smaller population, no perf floor)::
+
+    BENCH_SMOKE=1 PYTHONPATH=src python -m pytest \
+        benchmarks/bench_sharded_writes.py -q
+
+Full run (the acceptance numbers; 100k users, 50k events)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_sharded_writes.py -q
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import threading
+import time
+
+import numpy as np
+
+from benchmarks.bench_streaming_throughput import (
+    generate_firehose,
+    sequential_reference,
+)
+from benchmarks.conftest import record_artifact
+from repro.core.reward import ReinforcementPolicy
+from repro.core.sharded_store import ShardedSumStore
+from repro.core.sum_store import ColumnarSumStore
+from repro.core.updates import DecayOp, RewardOp
+from repro.datagen.catalog import CourseCatalog
+from repro.streaming import ReplayDriver, StreamingUpdater
+from repro.streaming.bus import partition_for
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+N_USERS = 5_000 if SMOKE else 100_000
+N_EVENTS = 6_000 if SMOKE else 50_000
+N_SHARDS = 4
+N_COURSES = 120
+#: write-plane speedup the sharded store must show over the single-lock
+#: columnar store under maintenance pressure (asserted on the full run;
+#: smoke mode on shared CI runners only sanity-checks the path, not the
+#: contention win).  The observed effect is 3-6x — the floor leaves
+#: room for noisy shared runners.
+WRITE_SPEEDUP_FLOOR = None if SMOKE else 1.5
+#: write-plane workload: rounds × (users/batch) batched commits/thread,
+#: racing a flat-out population decay loop
+WRITE_ROUNDS = 1
+WRITE_BATCH_USERS = 256
+WRITE_REPEATS = 1 if SMOKE else 2
+#: replay timing repeats (first run also gates bit-equality; later runs
+#: re-stream the same events on the warm store, identical work)
+REPLAY_REPEATS = 1 if SMOKE else 2
+
+
+def precreate(store, n_users: int):
+    for uid in range(n_users):
+        store.get_or_create(uid)
+    return store
+
+
+def replay_backend(store, events, item_emotions, policy):
+    """One full streamed replay; returns (seconds, p50_ms, p99_ms, stats).
+
+    ``batch_max=4096`` is the throughput-oriented visibility quantum for
+    a population this size: bigger commit slices put the per-commit work
+    into the vectorized (GIL-releasing) sections, which is also what
+    lets the sharded writers genuinely overlap.
+    """
+    updater = StreamingUpdater(
+        store, item_emotions, policy=policy,
+        n_shards=N_SHARDS, queue_capacity=16_384, batch_max=4_096,
+    )
+    start = time.perf_counter()
+    with updater:
+        ReplayDriver(updater).replay(events)
+        assert updater.drain(timeout=600.0)
+        seconds = time.perf_counter() - start
+    latencies = np.asarray(updater.latencies())
+    stats = updater.stats()
+    assert stats.applied == len(events)
+    assert stats.dead_lettered == 0
+    return (
+        seconds,
+        float(np.percentile(latencies, 50)) * 1e3,
+        float(np.percentile(latencies, 99)) * 1e3,
+        stats,
+    )
+
+
+def write_plane_seconds(store) -> tuple[float, int]:
+    """Writer completion time under maintenance pressure, plus tick count.
+
+    Writer thread *t* owns exactly the users :func:`partition_for`
+    routes to partition *t* — the shard-worker topology without the bus
+    — and commits its partition's pre-grouped batches; one maintenance
+    thread runs the paper's between-touches forgetting as a flat-out
+    population decay loop for as long as the writers are busy (the
+    offered load is "decay as fast as the store allows" on both
+    backends).  What differs is head-of-line blocking: the single store
+    serializes every writer behind each population-wide lock hold — and
+    back-to-back reacquisition lets the loop monopolize the lock — while
+    the sharded store sweeps one partition at a time and writers on the
+    other partitions keep committing.  Returns (writer wall clock,
+    decay ticks completed while writers ran).
+    """
+    policy = ReinforcementPolicy()
+    ops = (RewardOp(("enthusiastic", "stimulated"), 0.6), DecayOp())
+    per_thread: list[list[list[tuple[int, tuple]]]] = []
+    for t in range(N_SHARDS):
+        users = [uid for uid in range(N_USERS)
+                 if partition_for(uid, N_SHARDS) == t]
+        batches = [
+            [(uid, ops) for uid in users[i:i + WRITE_BATCH_USERS]]
+            for i in range(0, len(users), WRITE_BATCH_USERS)
+        ]
+        per_thread.append(batches)
+
+    barrier = threading.Barrier(N_SHARDS + 2)
+    writers_done = threading.Event()
+    ticks = [0]
+    errors: list[Exception] = []
+
+    def writer(batches):
+        try:
+            barrier.wait()
+            for __ in range(WRITE_ROUNDS):
+                for batch in batches:
+                    store.batch_apply_ops(batch, policy)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    def maintenance():
+        try:
+            barrier.wait()
+            while not writers_done.is_set():
+                store.decay_tick(policy)
+                ticks[0] += 1
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    writers = [
+        threading.Thread(target=writer, args=(batches,))
+        for batches in per_thread
+    ]
+    cadence = threading.Thread(target=maintenance)
+    for thread in (*writers, cadence):
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in writers:
+        thread.join()
+    seconds = time.perf_counter() - start
+    writers_done.set()
+    cadence.join()
+    assert not errors, errors
+    return seconds, ticks[0]
+
+
+def test_sharded_write_plane_beats_single_lock_store():
+    catalog = CourseCatalog.generate(N_COURSES, seed=7)
+    item_emotions = catalog.emotion_links()
+    policy = ReinforcementPolicy()
+    events = generate_firehose(N_EVENTS, N_USERS, catalog)
+
+    # -- sequential reference (the correctness gate) ---------------------
+    reference, __ = sequential_reference(events, item_emotions, policy)
+    for uid in range(N_USERS):
+        reference.get_or_create(uid)
+    reference_dumps = reference.dumps()
+    # keep only the JSON: a 100k-user object repository is millions of
+    # live Python objects, and gc scans over them skew the threaded
+    # timings below
+    del reference
+    gc.collect()
+
+    # -- streamed replay: single columnar store vs 4 shards --------------
+    single = precreate(ColumnarSumStore(initial_capacity=N_USERS), N_USERS)
+    single_s, single_p50, single_p99, __ = replay_backend(
+        single, events, item_emotions, policy
+    )
+    assert single.dumps() == reference_dumps
+    for __rep in range(REPLAY_REPEATS - 1):  # timing repeats, warm store
+        single_s, single_p50, single_p99, __ = min(
+            (
+                (single_s, single_p50, single_p99, None),
+                replay_backend(single, events, item_emotions, policy),
+            ),
+            key=lambda run: run[0],
+        )
+
+    sharded = precreate(
+        ShardedSumStore(n_shards=N_SHARDS, initial_capacity=N_USERS), N_USERS
+    )
+    sharded_s, sharded_p50, sharded_p99, __ = replay_backend(
+        sharded, events, item_emotions, policy
+    )
+    # the acceptance criterion: ≥4 shards, ≥4 writer threads, bit-equal
+    # to the sequential apply_event reference
+    assert sharded.dumps() == reference_dumps
+    for __rep in range(REPLAY_REPEATS - 1):
+        sharded_s, sharded_p50, sharded_p99, __ = min(
+            (
+                (sharded_s, sharded_p50, sharded_p99, None),
+                replay_backend(sharded, events, item_emotions, policy),
+            ),
+            key=lambda run: run[0],
+        )
+
+    # -- write plane under the decay cadence (the asserted win) ----------
+    # Timing only: the tick/batch interleaving is nondeterministic, so
+    # cross-backend state equality is gated in the replay phase above,
+    # not here.  Best-of-N strips scheduler noise on shared runners.
+    single_w = precreate(ColumnarSumStore(initial_capacity=N_USERS), N_USERS)
+    sharded_w = precreate(
+        ShardedSumStore(n_shards=N_SHARDS, initial_capacity=N_USERS), N_USERS
+    )
+    single_write_s, single_ticks = min(
+        (write_plane_seconds(single_w) for __ in range(WRITE_REPEATS)),
+        key=lambda pair: pair[0],
+    )
+    sharded_write_s, sharded_ticks = min(
+        (write_plane_seconds(sharded_w) for __ in range(WRITE_REPEATS)),
+        key=lambda pair: pair[0],
+    )
+    write_speedup = single_write_s / sharded_write_s
+
+    total_write_ops = N_USERS * WRITE_ROUNDS * 2  # users × rounds × ops/user
+    lines = [
+        f"sharded write plane: {N_USERS} users, {N_EVENTS} events, "
+        f"{N_SHARDS} shards / {N_SHARDS} writer threads"
+        f"{' [SMOKE]' if SMOKE else ''}",
+        "  streamed replay (bus + mapper + commit + cache):",
+        f"    single-lock columnar:  {single_s:.3f} s "
+        f"({N_EVENTS / single_s:,.0f} ev/s), "
+        f"p50 {single_p50:.1f} ms / p99 {single_p99:.1f} ms to visible",
+        f"    sharded (P={N_SHARDS}):          {sharded_s:.3f} s "
+        f"({N_EVENTS / sharded_s:,.0f} ev/s), "
+        f"p50 {sharded_p50:.1f} ms / p99 {sharded_p99:.1f} ms to visible",
+        f"    end-to-end speedup:    {single_s / sharded_s:.2f}x",
+        f"  write plane under flat-out population-decay maintenance "
+        f"(best of {WRITE_REPEATS}):",
+        f"    single-lock columnar:  {single_write_s:.3f} s "
+        f"({total_write_ops / single_write_s:,.0f} ops/s committed, "
+        f"{single_ticks} ticks absorbed)",
+        f"    sharded (P={N_SHARDS}):          {sharded_write_s:.3f} s "
+        f"({total_write_ops / sharded_write_s:,.0f} ops/s committed, "
+        f"{sharded_ticks} ticks absorbed)",
+        f"    write-throughput win:  {write_speedup:.2f}x",
+        "  streamed state bit-equal to sequential reference: yes "
+        "(both backends)",
+    ]
+    text = "\n".join(lines)
+    title = (
+        "S5 sharded write plane smoke" if SMOKE
+        else "S5 sharded vs single-lock write plane"
+    )
+    record_artifact(title, text)
+    print("\n" + text)
+
+    if WRITE_SPEEDUP_FLOOR is not None:
+        assert write_speedup >= WRITE_SPEEDUP_FLOOR, (
+            f"sharded write plane only {write_speedup:.2f}x over the "
+            f"single-lock store (floor {WRITE_SPEEDUP_FLOOR}x)"
+        )

@@ -37,6 +37,7 @@ from repro.core.advice import DomainProfile
 from repro.core.gradual_eit import GradualEIT, QuestionBank
 from repro.core.reward import ReinforcementPolicy
 from repro.core.sensibility import SensibilityAnalyzer
+from repro.core.sharded_store import ShardedSumStore
 from repro.core.sum_model import SumRepository
 from repro.core.sum_store import ColumnarSumStore
 from repro.datagen.behavior import BehaviorModel
@@ -68,10 +69,17 @@ class EngineConfig:
     reward_open: float = 0.3
     punish_ignore: float = 0.3
     seed: int = 7
-    #: SUM storage backend: "object" (dict of SmartUserModels) or
+    #: SUM storage backend: "object" (dict of SmartUserModels),
     #: "columnar" (struct-of-arrays ColumnarSumStore; same semantics,
-    #: batch reads and updates become array slices)
+    #: batch reads and updates become array slices) or "sharded"
+    #: (``n_shards`` columnar partitions behind a hash router — per-shard
+    #: write locks, per-shard vocabularies, generation-stamped
+    #: checkpoints for the replica refresh protocol)
     sum_backend: str = "object"
+    #: partition count of the "sharded" backend (ignored otherwise);
+    #: match the streaming updater's ``n_shards`` so each shard worker
+    #: is pinned to exactly one store partition
+    n_shards: int = 4
 
 
 class CampaignEngine:
@@ -89,10 +97,12 @@ class CampaignEngine:
             self.sums = SumRepository()
         elif self.config.sum_backend == "columnar":
             self.sums = ColumnarSumStore()
+        elif self.config.sum_backend == "sharded":
+            self.sums = ShardedSumStore(n_shards=self.config.n_shards)
         else:
             raise ValueError(
                 f"unknown sum_backend {self.config.sum_backend!r}; "
-                "expected 'object' or 'columnar'"
+                "expected 'object', 'columnar' or 'sharded'"
             )
         self.eit = GradualEIT(question_bank or QuestionBank.default_bank(per_task=5))
         self.policy = ReinforcementPolicy()
@@ -390,6 +400,45 @@ class CampaignEngine:
         # cache so campaign runs invalidate it for the touched users.
         self._live_caches.add(updater.cache)
         return updater
+
+    def sum_checkpointer(self, directory, cache=None, **kwargs) -> "Checkpointer":
+        """A generation-stamped checkpoint cadence over this engine's SUMs.
+
+        Requires the ``"sharded"`` backend (the generation-stamped save
+        layout lives there).  Pass a live updater's ``cache`` so each
+        checkpoint carries the streaming version counters and replicas
+        report real version floors.
+        """
+        from repro.serving.replica import Checkpointer
+
+        if not callable(getattr(self.sums, "save", None)) or not hasattr(
+            self.sums, "shards"
+        ):
+            raise TypeError(
+                "checkpointing needs the sharded SUM backend; build the "
+                "engine with EngineConfig(sum_backend='sharded')"
+            )
+        return Checkpointer(self.sums, directory, cache=cache, **kwargs)
+
+    def replica_service(
+        self, directory, mmap: bool = True, **kwargs
+    ) -> "tuple[RecommendationService, ReplicaRefresher]":
+        """A serving facade over a checkpointed replica, plus its refresher.
+
+        Loads the manifest's current generation read-only, builds the
+        same scorer registry as :meth:`recommendation_service` over it,
+        and returns the service together with a
+        :class:`~repro.serving.replica.ReplicaRefresher` that swaps new
+        generations under it (``poll()`` on your cadence, or ``start()``
+        with an interval).  Note the propensity/appeal/engagement
+        adapters read live engine state for their *base scores*; the
+        emotional Advice stage is what serves from the replica.
+        """
+        from repro.serving.replica import ReplicaRefresher
+
+        replica = ShardedSumStore.load(directory, mmap=mmap)
+        service = self.recommendation_service(sums=replica)
+        return service, ReplicaRefresher(directory, service, mmap=mmap, **kwargs)
 
     # -- delivery ----------------------------------------------------------
 

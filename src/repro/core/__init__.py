@@ -48,6 +48,7 @@ from repro.core.sum_model import (
     UnknownUserError,
 )
 from repro.core.sum_store import ColumnarSumStore, SumBatch, SumRowView
+from repro.core.sharded_store import ShardedBatch, ShardedSumStore
 from repro.core.updates import (
     DecayOp,
     PunishOp,
@@ -85,6 +86,8 @@ __all__ = [
     "ReinforcementPolicy",
     "RewardOp",
     "SensibilityAnalyzer",
+    "ShardedBatch",
+    "ShardedSumStore",
     "SmartUserModel",
     "SumBatch",
     "SumRepository",

@@ -1,0 +1,590 @@
+"""Partitioned SUM plane: N columnar stores behind one router.
+
+The paper's SUM is per-user state updated by the Fig. 4 loop, which makes
+the population trivially partitionable by user id.  PR 3/4 built the
+columnar store and its mmap read replicas but left one global writer lock
+in front of the whole population.  :class:`ShardedSumStore` finishes the
+job: it owns ``P`` independent :class:`~repro.core.sum_store.
+ColumnarSumStore` partitions keyed by the *same*
+:func:`~repro.streaming.bus.partition_for` hash the event bus already
+routes with — so the shard worker that owns a user's event stream is
+also the only writer of that user's store partition, and writer threads
+on different partitions never contend on a lock.
+
+The router exposes the full store surface (``get``/``get_or_create``,
+``batch``, ``rows_for``, ``freeze_view``, ``batch_apply_ops``,
+``decay_tick``, ``feature_matrix``, ``dumps``/``loads``,
+``save``/``load``, ``compact_vocab``), so every existing layer —
+:class:`~repro.streaming.cache.SumCache`,
+:class:`~repro.streaming.consumer.ShardWorker`,
+:class:`~repro.serving.service.RecommendationService`, the campaign
+engine — runs on top of it unchanged.  Vocabularies intern *per shard*:
+a campaign attribute seen only by shard 3's users allocates columns only
+there.
+
+Persistence is the refresh protocol's on-disk contract
+(:mod:`repro.serving.replica` drives it):
+
+.. code-block:: text
+
+    root/
+      manifest.json          {"generation": 7, "n_shards": 4,
+                              "path": "gen-000007", ...}
+      gen-000006/            previous checkpoint (replicas may still map it)
+      gen-000007/
+        shard-00/            one Catalog directory per partition
+        shard-01/ ...
+
+Each :meth:`ShardedSumStore.save` writes a complete new generation
+directory, renames it into place, then atomically replaces the manifest
+— a replica polling ``manifest.json`` either sees the old complete
+generation or the new complete generation, never a half-written one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.sum_model import SumRepository, UnknownUserError
+from repro.core.sum_store import (
+    ColumnarSumStore,
+    SumRowView,
+    validate_batch_ops,
+)
+from repro.core.emotions import EMOTION_NAMES
+from repro.core.four_branch import BRANCH_ORDER
+from repro.streaming.bus import partition_for
+
+#: the refresh-protocol manifest file at the root of a sharded save dir
+MANIFEST_NAME = "manifest.json"
+_FORMAT = "sharded-sum-store"
+
+
+def read_manifest(directory: str | Path) -> dict[str, Any] | None:
+    """The current manifest of a sharded save directory (``None`` if absent).
+
+    Safe to call concurrently with :meth:`ShardedSumStore.save`: the
+    manifest is replaced atomically (``os.replace``), so a reader sees
+    either the previous or the new complete manifest, never a torn one.
+    """
+    path = Path(directory) / MANIFEST_NAME
+    try:
+        payload = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return None
+    manifest = json.loads(payload)
+    if manifest.get("format") != _FORMAT:
+        raise ValueError(
+            f"{path} is not a sharded SUM store manifest "
+            f"(format={manifest.get('format')!r})"
+        )
+    return manifest
+
+
+def generation_dirs(directory: str | Path) -> list[tuple[int, Path]]:
+    """All complete generation directories under ``directory``, oldest first.
+
+    Retention helpers use this to prune superseded checkpoints; the
+    generation the manifest currently points at is always part of the
+    listing (callers must keep it).
+    """
+    root = Path(directory)
+    found: list[tuple[int, Path]] = []
+    if not root.is_dir():
+        return found
+    for entry in root.iterdir():
+        name = entry.name
+        if entry.is_dir() and name.startswith("gen-") and not name.endswith(".tmp"):
+            try:
+                found.append((int(name[4:]), entry))
+            except ValueError:
+                continue
+    found.sort()
+    return found
+
+
+class ShardedBatch:
+    """A cross-shard batch: per-shard sub-batches + a gather index.
+
+    Duck-types the consumer surface of :class:`~repro.core.sum_store.
+    SumBatch` / :class:`~repro.core.sum_store.FrozenSumBatch` (``len``,
+    iteration, the ``*_matrix`` reads, ``versions`` when the parts carry
+    stamps), reassembling each shard's column slices into request order —
+    so the Advice stage takes the same matrix path over a partitioned
+    population as over a single store, bit-equal row for row.
+    """
+
+    __slots__ = ("user_ids", "parts", "_resolve", "_versions")
+
+    def __init__(
+        self,
+        user_ids: Sequence[int],
+        parts: Sequence[tuple[Sequence[int], Any]],
+        resolve=None,
+    ) -> None:
+        #: ``parts`` pairs each sub-batch with the positions (indices into
+        #: ``user_ids``) its rows occupy in the assembled request order
+        self.user_ids = list(user_ids)
+        self.parts = list(parts)
+        self._resolve = resolve
+        self._versions: dict[int, int] | None = None
+
+    def __len__(self) -> int:
+        return len(self.user_ids)
+
+    def __iter__(self) -> Iterator[SumRowView]:
+        if self._resolve is None:
+            raise TypeError(
+                "this sharded batch has no per-model resolver; read it "
+                "through the matrix accessors"
+            )
+        for uid in self.user_ids:
+            yield self._resolve(uid)
+
+    @property
+    def versions(self) -> dict[int, int]:
+        """Merged per-user version stamps (frozen captures only)."""
+        if self._versions is None:
+            merged: dict[int, int] = {}
+            for __, sub in self.parts:
+                merged.update(sub.versions)
+            self._versions = {
+                uid: merged.get(uid, 0) for uid in self.user_ids
+            }
+        return self._versions
+
+    def _gather(self, method: str, *args) -> np.ndarray:
+        out: np.ndarray | None = None
+        for positions, sub in self.parts:
+            block = getattr(sub, method)(*args)
+            if out is None:
+                out = np.empty(
+                    (len(self.user_ids), block.shape[1]), dtype=block.dtype
+                )
+            out[np.asarray(positions, dtype=np.intp)] = block
+        if out is None:  # empty batch: width comes from the order argument
+            return np.zeros((0, len(args[0])))
+        return out
+
+    def intensity_matrix(self, order: Sequence[str]) -> np.ndarray:
+        """``(n_users, len(order))`` emotional intensities, request order."""
+        return self._gather("intensity_matrix", order)
+
+    def sensibility_matrix(
+        self, order: Sequence[str], default: float = 1.0
+    ) -> np.ndarray:
+        """``(n_users, len(order))`` sensibilities; absent → ``default``."""
+        return self._gather("sensibility_matrix", order, default)
+
+    def subjective_matrix(
+        self, order: Sequence[str], default: float = 0.5
+    ) -> np.ndarray:
+        """``(n_users, len(order))`` subjective tendencies."""
+        return self._gather("subjective_matrix", order, default)
+
+    def evidence_matrix(
+        self, order: Sequence[str], default: float = 0.0
+    ) -> np.ndarray:
+        """``(n_users, len(order))`` observation counters (as float64)."""
+        return self._gather("evidence_matrix", order, default)
+
+
+class ShardedSumStore:
+    """``P`` independent columnar SUM partitions behind one router.
+
+    Routing is :func:`~repro.streaming.bus.partition_for` on the user id
+    — deterministic, and identical to the event bus's partitioner, so a
+    topic with the same partition count pins each shard worker to
+    exactly one store partition.  Every partition is a full
+    :class:`~repro.core.sum_store.ColumnarSumStore` with its own lock,
+    its own dynamically interned vocabularies and its own page
+    directory on disk.
+    """
+
+    def __init__(self, n_shards: int = 4, initial_capacity: int = 1024) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        per_shard = max(1, int(initial_capacity) // int(n_shards))
+        self.shards: tuple[ColumnarSumStore, ...] = tuple(
+            ColumnarSumStore(initial_capacity=per_shard)
+            for __ in range(int(n_shards))
+        )
+        self._snapshot_generation: int | None = None
+        self._global_floor: int | None = None
+
+    # -- routing -------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_of(self, user_id: int) -> int:
+        """The partition index owning ``user_id`` (stable hash routing).
+
+        Identical to :func:`~repro.streaming.bus.partition_for` — which,
+        for integer keys, is plain modulo; the router's hot loops inline
+        that rather than pay a function call per id.
+        """
+        return partition_for(int(user_id), len(self.shards))
+
+    def shard_for(self, user_id: int) -> ColumnarSumStore:
+        """The partition store owning ``user_id``."""
+        return self.shards[self.shard_of(user_id)]
+
+    def _grouped(self, ids: Sequence[int]) -> dict[int, list[int]]:
+        """positions of ``ids`` grouped by owning shard (insertion order).
+
+        ``ids`` must already be ints (every caller coerces) — routing is
+        then ``uid % P``, bit-identical to :func:`partition_for`.
+        """
+        grouped: dict[int, list[int]] = {}
+        n = len(self.shards)
+        for pos, uid in enumerate(ids):
+            grouped.setdefault(uid % n, []).append(pos)
+        return grouped
+
+    # -- repository duck-type ------------------------------------------------
+
+    def get_or_create(self, user_id: int) -> SumRowView:
+        """Fetch a user's SUM view, creating a row in the owning shard."""
+        return self.shard_for(user_id).get_or_create(user_id)
+
+    def get(self, user_id: int) -> SumRowView:
+        """Fetch an existing SUM view; raises for unknown users."""
+        return self.shard_for(user_id).get(user_id)
+
+    def freeze_view(self, user_id: int) -> SumRowView:
+        """Immutable point-in-time copy of one user's SUM (see the shard)."""
+        return self.shard_for(user_id).freeze_view(user_id)
+
+    def __contains__(self, user_id: object) -> bool:
+        shard = self.shards[partition_for(user_id, len(self.shards))]
+        return user_id in shard
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def __iter__(self) -> Iterator[SumRowView]:
+        for uid in self.user_ids():
+            yield self.get(uid)
+
+    def user_ids(self) -> list[int]:
+        """Sorted user ids with a SUM, across every shard."""
+        ids: list[int] = []
+        for shard in self.shards:
+            ids.extend(shard._row_of)
+        ids.sort()
+        return ids
+
+    @property
+    def readonly(self) -> bool:
+        """Whether this store is a read-only (mmap-loaded) replica."""
+        return bool(self.shards) and all(s.readonly for s in self.shards)
+
+    # -- freshness floors ----------------------------------------------------
+
+    @property
+    def snapshot_generation(self) -> int | None:
+        """Generation of the checkpoint this store was loaded from."""
+        return self._snapshot_generation
+
+    def version(self, user_id: int) -> int | None:
+        """Persisted per-user version floor (replicas; ``None`` live)."""
+        return self.shard_for(user_id).version(user_id)
+
+    @property
+    def global_version(self) -> int | None:
+        """Persisted global version floor (``None`` on live stores)."""
+        if self._global_floor is not None:
+            return int(self._global_floor)
+        return self._snapshot_generation
+
+    # -- batch resolution ----------------------------------------------------
+
+    def rows_for(
+        self, user_ids: Sequence[int], create: bool = False
+    ) -> np.ndarray:
+        """``(len(ids), 2)`` array of ``(shard, local row)`` addresses.
+
+        Same contract as the single store's ``rows_for`` — unknown users
+        (with ``create=False``) raise one :class:`~repro.core.sum_model.
+        UnknownUserError` naming every offending id *across all shards*;
+        ``create=True`` creates missing rows in their owning shards.
+        """
+        ids = [int(uid) for uid in user_ids]
+        out = np.empty((len(ids), 2), dtype=np.intp)
+        missing: list[int] = []
+        n = len(self.shards)
+        for i, uid in enumerate(ids):
+            s = uid % n
+            row = self.shards[s]._row_of.get(uid)
+            if row is None:
+                if create:
+                    row = self.shards[s]._new_row(uid)
+                else:
+                    missing.append(uid)
+                    row = -1
+            out[i, 0] = s
+            out[i, 1] = row
+        if missing:
+            raise UnknownUserError(missing)
+        return out
+
+    def batch(
+        self, user_ids: Sequence[int] | None = None, create: bool = False
+    ):
+        """Resolve a batch for columnar reads (default: every user).
+
+        One shard touched → that shard's plain
+        :class:`~repro.core.sum_store.SumBatch` (zero assembly cost);
+        otherwise a :class:`ShardedBatch` gathering per-shard slices
+        into request order.
+        """
+        ids = (
+            [int(uid) for uid in user_ids]
+            if user_ids is not None
+            else self.user_ids()
+        )
+        # Validate (or create) the whole batch up front so unknown users
+        # fail as one typed error naming every id, not shard by shard.
+        self.rows_for(ids, create=create)
+        parts = []
+        for s, positions in self._grouped(ids).items():
+            sub = self.shards[s].batch([ids[p] for p in positions])
+            parts.append((positions, sub))
+        if len(parts) == 1:
+            return parts[0][1]
+        return ShardedBatch(ids, parts, resolve=self.get)
+
+    def feature_matrix(
+        self,
+        user_ids: Sequence[int] | None = None,
+        subjective_order: Sequence[str] = (),
+        include_ei: bool = True,
+    ) -> tuple[np.ndarray, list[int]]:
+        """Cross-shard :meth:`ColumnarSumStore.feature_matrix` (row order
+        preserved; bit-equal to the single-store slices per row)."""
+        ids = (
+            [int(uid) for uid in user_ids]
+            if user_ids is not None
+            else self.user_ids()
+        )
+        subjective_order = tuple(subjective_order)
+        width = len(EMOTION_NAMES) + len(subjective_order) + (
+            len(BRANCH_ORDER) if include_ei else 0
+        )
+        if not ids:
+            return np.zeros((0, width)), []
+        self.rows_for(ids)  # one typed error naming every unknown id
+        out = np.empty((len(ids), width))
+        for s, positions in self._grouped(ids).items():
+            block, __ = self.shards[s].feature_matrix(
+                [ids[p] for p in positions], subjective_order, include_ei
+            )
+            out[np.asarray(positions, dtype=np.intp)] = block
+        return out, ids
+
+    # -- vectorized update path ----------------------------------------------
+
+    def batch_apply_ops(self, items, policy) -> list[int]:
+        """Apply per-user op sequences, each shard under its own lock.
+
+        The whole cross-shard batch is validated *before any shard
+        mutates* (the commit layer's fallback contract: a raising call
+        leaves every partition untouched); writers hitting different
+        partitions then commit concurrently — the tentpole's contention
+        win.  Returns per-item applied counts aligned with ``items``.
+        """
+        if self.readonly:
+            raise TypeError(
+                "store is a read-only mmap replica; updates must run "
+                "against the writable primary"
+            )
+        items = [(int(uid), tuple(ops)) for uid, ops in items]
+        validate_batch_ops(items)
+        n = len(self.shards)
+        grouped: dict[int, list[int]] = {}
+        for i, (uid, __) in enumerate(items):
+            grouped.setdefault(uid % n, []).append(i)
+        counts = [0] * len(items)
+        for s, positions in grouped.items():
+            shard = self.shards[s]
+            sub_items = [items[p] for p in positions]
+            # straight to the locked apply: the batch is already
+            # normalized and validated, and re-validating per shard
+            # would put Python work back inside every commit
+            with shard._lock:
+                shard_counts = shard._batch_apply_ops_locked(sub_items, policy)
+            for p, count in zip(positions, shard_counts):
+                counts[p] = count
+        return counts
+
+    def decay_tick(self, policy, user_ids: Sequence[int] | None = None) -> int:
+        """One decay tick (default: every user); returns rows touched.
+
+        Resolution, routing and validation happen in *one* pass over the
+        ids (this is a population-cadence operation — per-id Python work
+        is the cost that matters), and each shard's rows decay as one
+        vectorized call under that shard's own lock.
+        """
+        if self.readonly:
+            raise TypeError(
+                "store is a read-only mmap replica; updates must run "
+                "against the writable primary"
+            )
+        if user_ids is None:
+            return sum(shard.decay_tick(policy) for shard in self.shards)
+        n = len(self.shards)
+        by_shard: list[list[int]] = [[] for __ in range(n)]
+        missing: list[int] = []
+        for uid in user_ids:
+            uid = int(uid)
+            row = self.shards[uid % n]._row_of.get(uid)
+            if row is None:
+                missing.append(uid)
+            else:
+                by_shard[uid % n].append(row)
+        if missing:
+            raise UnknownUserError(missing)
+        touched = 0
+        for s, rows in enumerate(by_shard):
+            if not rows:
+                continue
+            shard = self.shards[s]
+            with shard._lock:
+                shard._decay_rows(np.asarray(rows, dtype=np.intp), policy)
+            touched += len(rows)
+        return touched
+
+    # -- maintenance ---------------------------------------------------------
+
+    def compact_vocab(self) -> int:
+        """Per-shard vocabulary compaction; returns total columns dropped."""
+        return sum(shard.compact_vocab() for shard in self.shards)
+
+    # -- JSON import/export (SumRepository-compatible) ------------------------
+
+    def dumps(self) -> str:
+        """Serialize to the exact :meth:`SumRepository.dumps` JSON format."""
+        return json.dumps([m.to_dict() for m in self], sort_keys=True)
+
+    @classmethod
+    def loads(cls, payload: str, n_shards: int = 4) -> "ShardedSumStore":
+        """Inverse of :meth:`dumps`; accepts any SUM collection's dumps."""
+        store = cls(n_shards=n_shards)
+        for item in json.loads(payload):
+            store.shard_for(item["user_id"])._ingest(item)
+        return store
+
+    @classmethod
+    def from_repository(cls, repository, n_shards: int = 4) -> "ShardedSumStore":
+        """Partition any SUM collection (object/columnar/sharded)."""
+        store = cls(n_shards=n_shards)
+        for model in repository:
+            store.shard_for(model.user_id)._ingest(model.to_dict())
+        return store
+
+    def to_repository(self) -> SumRepository:
+        """Export to an object-backed :class:`SumRepository` (deep copy)."""
+        return SumRepository.loads(self.dumps())
+
+    # -- generation-stamped persistence ---------------------------------------
+
+    def save(
+        self,
+        directory: str | Path,
+        *,
+        versions: Mapping[int, int] | None = None,
+        global_version: int | None = None,
+    ) -> Path:
+        """Write one complete checkpoint generation; returns its directory.
+
+        The generation counter is monotonic per save root: each call
+        reads the current manifest, writes ``gen-<g+1>/shard-XX`` page
+        directories to a temp dir, renames the generation into place and
+        atomically replaces ``manifest.json``.  ``versions`` (the
+        streaming cache's per-user counters) is split per shard and
+        persisted with the pages, so replicas report real version floors.
+
+        Works on replicas too (save is a pure read) — re-checkpointing a
+        served generation under a new root is how a standby seeds its own
+        save directory.
+        """
+        root = Path(directory)
+        root.mkdir(parents=True, exist_ok=True)
+        manifest = read_manifest(root)
+        generation = (int(manifest["generation"]) + 1) if manifest else 1
+        gen_name = f"gen-{generation:06d}"
+
+        by_shard: list[dict[int, int] | None] = [None] * len(self.shards)
+        if versions is not None:
+            by_shard = [{} for __ in self.shards]
+            for uid, v in versions.items():
+                by_shard[self.shard_of(int(uid))][int(uid)] = int(v)
+
+        work = root / (gen_name + ".tmp")
+        if work.exists():
+            shutil.rmtree(work)
+        for i, shard in enumerate(self.shards):
+            shard.save(
+                work / f"shard-{i:02d}",
+                generation=generation,
+                versions=by_shard[i],
+                global_version=global_version,
+            )
+        target = root / gen_name
+        if target.exists():  # leftover of a crashed save that never
+            shutil.rmtree(target)  # published a manifest: safe to replace
+        os.replace(work, target)
+
+        payload = {
+            "format": _FORMAT,
+            "generation": generation,
+            "n_shards": len(self.shards),
+            "path": gen_name,
+        }
+        if global_version is not None:
+            payload["global_version"] = int(global_version)
+        tmp_manifest = root / (MANIFEST_NAME + ".tmp")
+        tmp_manifest.write_text(
+            json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        os.replace(tmp_manifest, root / MANIFEST_NAME)
+        return target
+
+    @classmethod
+    def load(cls, directory: str | Path, mmap: bool = False) -> "ShardedSumStore":
+        """Load the generation the manifest currently points at.
+
+        With ``mmap=True`` every shard's column pages are memory-mapped
+        read-only (the replica layout: one physical page-cache copy per
+        host, every write raises).  The returned store carries the
+        checkpoint's generation and version floors.
+        """
+        from repro.db.storage import StorageError
+
+        root = Path(directory)
+        manifest = read_manifest(root)
+        if manifest is None:
+            raise StorageError(f"no {MANIFEST_NAME} under {root}")
+        n_shards = int(manifest["n_shards"])
+        gen_dir = root / str(manifest["path"])
+        # minimal capacity: these placeholder partitions are replaced by
+        # the loaded ones on the next line, so don't size real arrays
+        store = cls(n_shards=n_shards, initial_capacity=n_shards)
+        store.shards = tuple(
+            ColumnarSumStore.load(gen_dir / f"shard-{i:02d}", mmap=mmap)
+            for i in range(n_shards)
+        )
+        store._snapshot_generation = int(manifest["generation"])
+        global_floor = manifest.get("global_version")
+        store._global_floor = (
+            int(global_floor) if global_floor is not None else None
+        )
+        return store

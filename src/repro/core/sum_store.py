@@ -65,6 +65,50 @@ _GROWTH_FACTOR = 2
 _INITIAL_ROWS = 1024
 _INITIAL_COLS = 16
 
+#: the frozen emotion vocabulary every store shares; batch-op validation
+#: checks against it so the check is store-independent (a sharded router
+#: can validate a whole cross-shard batch before any shard mutates)
+_EMOTION_INDEX = {name: j for j, name in enumerate(EMOTION_NAMES)}
+
+
+#: attribute tuples already checked against the emotion catalog — streams
+#: repeat the same few tuples endlessly, so validation is O(1) per op
+#: after the first sighting of each tuple
+_VALID_ATTR_TUPLES: set[tuple[str, ...]] = set()
+
+
+def validate_batch_ops(items) -> None:
+    """Reject a ``(user_id, ops)`` batch before any mutation.
+
+    The guarantee the streaming commit layer leans on: a raising batch
+    apply leaves every store untouched, so callers may fall back to the
+    per-user scalar path without risking a double-apply.  Factored out of
+    :meth:`ColumnarSumStore.batch_apply_ops` so a sharded router can run
+    the *whole* cross-shard batch through it first — otherwise shard A
+    could commit before shard B's validation failure.
+    """
+    valid = _VALID_ATTR_TUPLES
+    for __, ops in items:
+        for op in ops:
+            if isinstance(op, DecayOp):
+                continue
+            if isinstance(op, (RewardOp, PunishOp)):
+                attributes = op.attributes
+                if attributes not in valid:
+                    for name in attributes:
+                        if name not in _EMOTION_INDEX:
+                            raise KeyError(
+                                f"unknown emotional attribute {name!r}; "
+                                f"have {sorted(_EMOTION_INDEX)}"
+                            )
+                    valid.add(attributes)
+                if not math.isfinite(float(op.strength)):
+                    raise ValueError(
+                        f"non-finite op strength {op.strength!r}"
+                    )
+            else:
+                raise TypeError(f"unknown SUM update op {op!r}")
+
 
 _SEALED_CLASSES: dict[type, type] = {}
 
@@ -130,7 +174,7 @@ class _ColumnFamily:
     """
 
     __slots__ = ("index", "order", "values", "mask", "frozen", "lock",
-                 "_dtype")
+                 "seed", "_dtype")
 
     def __init__(
         self,
@@ -142,6 +186,10 @@ class _ColumnFamily:
     ) -> None:
         self.lock = lock
         self._dtype = np.dtype(dtype)
+        #: columns the family was constructed with; compaction never drops
+        #: them (the emotion seeds pin the shared intensity/sensibility/
+        #: evidence column indices the scatter-add path relies on)
+        self.seed = tuple(seed_names)
         self.index: dict[str, int] = {name: j for j, name in enumerate(seed_names)}
         self.order: list[str] = list(seed_names)
         col_capacity = max(_INITIAL_COLS, len(self.order))
@@ -306,8 +354,8 @@ class FrozenSumBatch:
     one — never a torn read.
     """
 
-    __slots__ = ("user_ids", "emotional", "sensibility", "_stamps",
-                 "_versions", "_resolve")
+    __slots__ = ("user_ids", "emotional", "sensibility", "subjective",
+                 "evidence", "_stamps", "_versions", "_resolve")
 
     def __init__(
         self,
@@ -316,6 +364,8 @@ class FrozenSumBatch:
         emotional: _FrozenFamily,
         sensibility: _FrozenFamily,
         resolve: Callable[[int], "SmartUserModel"] | None = None,
+        subjective: _FrozenFamily | None = None,
+        evidence: _FrozenFamily | None = None,
     ) -> None:
         self.user_ids = list(user_ids)
         # ``versions`` maps uid -> stamp at capture (absent means 0); the
@@ -325,6 +375,11 @@ class FrozenSumBatch:
         self._versions: dict[int, int] | None = None
         self.emotional = emotional
         self.sensibility = sensibility
+        # only staged when the owning mirror opted in (mirror scope):
+        # batch consumers beyond the Advice stage — feature extraction,
+        # evidence analytics — then get the same snapshot isolation
+        self.subjective = subjective
+        self.evidence = evidence
         self._resolve = resolve
 
     @property
@@ -369,6 +424,34 @@ class FrozenSumBatch:
         rows = np.arange(len(self.user_ids), dtype=np.intp)
         return self.sensibility.read_matrix(rows, order, default)
 
+    def subjective_matrix(
+        self, order: Sequence[str], default: float = 0.5
+    ) -> np.ndarray:
+        """``(n_users, len(order))`` subjective tendencies at capture.
+
+        Requires a mirror built with ``families=("subjective",)`` — the
+        default mirror stages only what the Advice stage reads.
+        """
+        if self.subjective is None:
+            raise TypeError(
+                "subjective columns were not staged in this capture; "
+                "build the mirror/cache with families=('subjective',)"
+            )
+        rows = np.arange(len(self.user_ids), dtype=np.intp)
+        return self.subjective.read_matrix(rows, order, default)
+
+    def evidence_matrix(
+        self, order: Sequence[str], default: float = 0.0
+    ) -> np.ndarray:
+        """``(n_users, len(order))`` observation counters (as float64)."""
+        if self.evidence is None:
+            raise TypeError(
+                "evidence columns were not staged in this capture; "
+                "build the mirror/cache with families=('evidence',)"
+            )
+        rows = np.arange(len(self.user_ids), dtype=np.intp)
+        return self.evidence.read_matrix(rows, order, default)
+
 
 class _MirrorFamily:
     """Writable staging copy of one live family's columns (reader-owned).
@@ -398,12 +481,18 @@ class _MirrorFamily:
             if (self.values.shape == live_values.shape
                     and self.mask.shape == live_mask.shape):
                 return
-            rows, cols = self.values.shape
+            # Copy only the overlapping region: growth is the common case,
+            # but vocabulary compaction can *shrink* the live column count,
+            # and a mirror must follow either way (compacted stores require
+            # an invalidate before the next capture — see compact_vocab).
+            rows = min(self.values.shape[0], live_values.shape[0])
+            cols = min(self.values.shape[1], live_values.shape[1])
             grown_values = np.zeros(live_values.shape, dtype=live_values.dtype)
-            grown_values[:rows, :cols] = self.values
-            mask_rows, mask_cols = self.mask.shape
+            grown_values[:rows, :cols] = self.values[:rows, :cols]
+            mask_rows = min(self.mask.shape[0], live_mask.shape[0])
+            mask_cols = min(self.mask.shape[1], live_mask.shape[1])
             grown_mask = np.zeros(live_mask.shape, dtype=bool)
-            grown_mask[:mask_rows, :mask_cols] = self.mask
+            grown_mask[:mask_rows, :mask_cols] = self.mask[:mask_rows, :mask_cols]
             self.values, self.mask = grown_values, grown_mask
             return
 
@@ -429,21 +518,51 @@ class ColumnMirror:
     write lock) on the first read after a publish; captures then slice
     the mirror, which writers never touch — so a capture cannot observe
     a half-applied batch even while writers stream into the live arrays.
-    Only the families the batch read path consumes (emotional intensities
-    and sensibilities) are mirrored; scalar snapshot reads go through
-    :meth:`ColumnarSumStore.freeze_view` instead.
+    By default only the families the Advice-stage batch read path
+    consumes (emotional intensities and sensibilities) are mirrored;
+    pass extra ``families`` (``"subjective"``, ``"evidence"``) to give
+    batch consumers beyond the Advice stage the same snapshot isolation.
+    Scalar snapshot reads go through :meth:`ColumnarSumStore.freeze_view`
+    instead.
     """
 
-    __slots__ = ("store", "emotional", "sensibility")
+    #: always staged: the two families the serving read path slices
+    REQUIRED_FAMILIES = ("emotional", "sensibility")
 
-    def __init__(self, store: "ColumnarSumStore") -> None:
+    __slots__ = ("store", "families")
+
+    def __init__(
+        self,
+        store: "ColumnarSumStore",
+        families: Sequence[str] | None = None,
+    ) -> None:
+        extras = tuple(families or ())
+        allowed = set(ColumnarSumStore._FAMILY_NAMES)
+        unknown = sorted(set(extras) - allowed)
+        if unknown:
+            raise ValueError(
+                f"unknown mirror families {unknown}; have {sorted(allowed)}"
+            )
+        staged = list(self.REQUIRED_FAMILIES) + [
+            name for name in extras if name not in self.REQUIRED_FAMILIES
+        ]
+        live = dict(store._named_families())
         self.store = store
-        self.emotional = _MirrorFamily(store._emotional)
-        self.sensibility = _MirrorFamily(store._sensibility)
+        self.families: dict[str, _MirrorFamily] = {
+            name: _MirrorFamily(live[name]) for name in staged
+        }
+
+    @property
+    def emotional(self) -> _MirrorFamily:
+        return self.families["emotional"]
+
+    @property
+    def sensibility(self) -> _MirrorFamily:
+        return self.families["sensibility"]
 
     def sync_shape(self) -> None:
-        self.emotional.sync_shape()
-        self.sensibility.sync_shape()
+        for family in self.families.values():
+            family.sync_shape()
 
     def refresh_row(self, row: int) -> None:
         """Copy one user's live row slices into the mirror.
@@ -451,8 +570,8 @@ class ColumnMirror:
         Caller must hold the user's write lock: the copy races nothing,
         so the mirrored row is exactly one published version.
         """
-        self.emotional.copy_row(row)
-        self.sensibility.copy_row(row)
+        for family in self.families.values():
+            family.copy_row(row)
 
     def capture(
         self,
@@ -463,15 +582,19 @@ class ColumnMirror:
     ) -> FrozenSumBatch:
         """Freeze ``rows`` of the mirror into a bit-stable batch."""
         rows = np.asarray(rows, dtype=np.intp)
-        emotional = _FrozenFamily(
-            self.store._emotional.index, self.store._emotional.order,
-            self.emotional.values[rows], self.emotional.mask[rows],
+        frozen: dict[str, _FrozenFamily] = {}
+        for name, family in self.families.items():
+            live = family.live
+            frozen[name] = _FrozenFamily(
+                live.index, live.order,
+                family.values[rows], family.mask[rows],
+            )
+        return FrozenSumBatch(
+            user_ids, versions, frozen["emotional"], frozen["sensibility"],
+            resolve,
+            subjective=frozen.get("subjective"),
+            evidence=frozen.get("evidence"),
         )
-        sensibility = _FrozenFamily(
-            self.store._sensibility.index, self.store._sensibility.order,
-            self.sensibility.values[rows], self.sensibility.mask[rows],
-        )
-        return FrozenSumBatch(user_ids, versions, emotional, sensibility, resolve)
 
 
 class _RowMapView(MutableMapping):
@@ -666,6 +789,18 @@ class SumBatch:
         """``(n_users, len(order))`` sensibilities; absent → ``default``."""
         return self.store._sensibility.read_matrix(self.rows, order, default)
 
+    def subjective_matrix(
+        self, order: Sequence[str], default: float = 0.5
+    ) -> np.ndarray:
+        """``(n_users, len(order))`` subjective tendencies; absent → default."""
+        return self.store._subjective.read_matrix(self.rows, order, default)
+
+    def evidence_matrix(
+        self, order: Sequence[str], default: float = 0.0
+    ) -> np.ndarray:
+        """``(n_users, len(order))`` observation counters (as float64)."""
+        return self.store._evidence.read_matrix(self.rows, order, default)
+
 
 class ColumnarSumStore:
     """Struct-of-arrays SUM backend for the whole population.
@@ -709,11 +844,55 @@ class ColumnarSumStore:
         #: read-only memory maps shared across replica processes, and
         #: every write path raises instead of faulting or forking pages
         self._readonly = False
+        #: refresh-protocol floors, set by :meth:`load` from the catalog
+        #: meta a generation-stamped :meth:`save` wrote: the snapshot
+        #: generation this store was loaded from, the persisted per-user
+        #: version map (the cache's counters at checkpoint time) and the
+        #: persisted global version — all ``None`` on a live store
+        self._snapshot_generation: int | None = None
+        self._version_floors: dict[int, int] | None = None
+        self._global_floor: int | None = None
 
     @property
     def readonly(self) -> bool:
         """Whether this store is a read-only (mmap-loaded) replica."""
         return self._readonly
+
+    # -- freshness floors (replica duck-type of the SumCache surface) -------
+
+    @property
+    def snapshot_generation(self) -> int | None:
+        """Generation of the checkpoint this store was loaded from.
+
+        ``None`` on live stores and on directories written before
+        generation stamping existed.  Serving responses carry it so a
+        replica's bounded staleness is observable per response.
+        """
+        return self._snapshot_generation
+
+    def version(self, user_id: int) -> int | None:
+        """Persisted per-user version floor for replica-served reads.
+
+        A store loaded from a generation-stamped checkpoint reports the
+        version map persisted with it (the streaming cache's counters at
+        checkpoint time), falling back to the snapshot generation when no
+        map was saved — so ``sum_version`` on responses served from a
+        replica is never silently ``None``.  Live stores return ``None``:
+        their reads are unversioned unless wrapped in a
+        :class:`~repro.streaming.cache.SumCache`.
+        """
+        if self._version_floors is not None:
+            return int(self._version_floors.get(int(user_id), 0))
+        if self._snapshot_generation is not None:
+            return int(self._snapshot_generation)
+        return None
+
+    @property
+    def global_version(self) -> int | None:
+        """Persisted global version floor (``None`` on live stores)."""
+        if self._global_floor is not None:
+            return int(self._global_floor)
+        return self._snapshot_generation
 
     # -- row management ----------------------------------------------------
 
@@ -852,9 +1031,72 @@ class ColumnarSumStore:
         seal_attributes(view)
         return view
 
-    def mirror(self) -> ColumnMirror:
-        """A fresh copy-on-write read mirror over this store's columns."""
-        return ColumnMirror(self)
+    def mirror(self, families: Sequence[str] | None = None) -> ColumnMirror:
+        """A fresh copy-on-write read mirror over this store's columns.
+
+        ``families`` names extra column families (``"subjective"``,
+        ``"evidence"``) to stage beyond the Advice-stage defaults.
+        """
+        return ColumnMirror(self, families)
+
+    # -- vocabulary compaction ----------------------------------------------
+
+    def compact_vocab(self) -> int:
+        """Drop dynamically interned columns whose presence is all-absent.
+
+        Campaigns retire attributes but interned columns lived forever
+        (the ROADMAP compaction item): every ``pref[...]`` or sensibility
+        name ever written kept a column for the whole population.  This
+        pass rebuilds the sensibility/subjective/evidence families keeping
+        only seed columns (the emotion vocabulary — pinned so the shared
+        intensity/sensibility/evidence column indices the scatter-add
+        path relies on survive unchanged) and columns some live row still
+        marks present.  Returns how many columns were dropped.
+
+        A maintenance operation for quiesced stores: column indices shift,
+        so run it with writers stopped and ``invalidate()`` any
+        :class:`~repro.streaming.cache.SumCache` over this store before
+        the next capture (frozen captures taken earlier stay valid — they
+        hold the pre-compaction registries and arrays).
+        """
+        if self._readonly:
+            raise TypeError(
+                "store is a read-only mmap replica; compact the writable "
+                "primary and re-checkpoint instead"
+            )
+        with self._lock:
+            dropped = 0
+            for family in (self._sensibility, self._subjective, self._evidence):
+                dropped += self._compact_family(family)
+            return dropped
+
+    def _compact_family(self, family: _ColumnFamily) -> int:
+        n = self._n
+        seed = set(family.seed)
+        keep = [
+            name
+            for j, name in enumerate(family.order)
+            if name in seed or bool(family.mask[:n, j].any())
+        ]
+        dropped = len(family.order) - len(keep)
+        if not dropped:
+            return 0
+        cols = np.asarray([family.index[name] for name in keep], dtype=np.intp)
+        col_capacity = max(_INITIAL_COLS, len(keep))
+        values = np.zeros(
+            (family.values.shape[0], col_capacity), dtype=family.values.dtype
+        )
+        mask = np.zeros((family.mask.shape[0], col_capacity), dtype=bool)
+        if len(cols):
+            values[:, : len(cols)] = family.values[:, cols]
+            mask[:, : len(cols)] = family.mask[:, cols]
+        # fresh registries, not in-place mutation: frozen captures share
+        # the old index dict/order list by reference and must keep seeing
+        # the layout their arrays were sliced under
+        family.index = {name: j for j, name in enumerate(keep)}
+        family.order = list(keep)
+        family.values, family.mask = values, mask
+        return dropped
 
     # -- columnar reads ----------------------------------------------------
 
@@ -912,29 +1154,19 @@ class ColumnarSumStore:
                 "store is a read-only mmap replica; updates must run "
                 "against the writable primary"
             )
+        items = [(int(uid), tuple(ops)) for uid, ops in items]
+        validate_batch_ops(items)
         with self._lock:
             return self._batch_apply_ops_locked(items, policy)
 
     def _batch_apply_ops_locked(self, items, policy) -> list[int]:
-        items = [(int(uid), tuple(ops)) for uid, ops in items]
+        """Apply pre-validated, normalized items (caller holds the lock).
+
+        Validation lives in the public entry points — here *and* in the
+        sharded router, which validates a whole cross-shard batch once
+        before touching any partition — so it never runs twice per op.
+        """
         emotion_col = self._emotional.index
-        for __, ops in items:
-            for op in ops:
-                if isinstance(op, DecayOp):
-                    continue
-                if isinstance(op, (RewardOp, PunishOp)):
-                    for name in op.attributes:
-                        if name not in emotion_col:
-                            raise KeyError(
-                                f"unknown emotional attribute {name!r}; "
-                                f"have {sorted(emotion_col)}"
-                            )
-                    if not math.isfinite(float(op.strength)):
-                        raise ValueError(
-                            f"non-finite op strength {op.strength!r}"
-                        )
-                else:
-                    raise TypeError(f"unknown SUM update op {op!r}")
 
         # Rounds vectorize across *distinct* rows; a user listed twice
         # must not have two ops land in the same round, so duplicate ids
@@ -948,8 +1180,18 @@ class ColumnarSumStore:
         n_rounds = max((len(ops) for __, ops in entries), default=0)
         for k in range(n_rounds):
             decay_rows: list[int] = []
-            # (row, emotion column, signed intensity step, occurrence)
-            touches: list[tuple[int, int, float, int]] = []
+            # Per *entry*, not per attribute: the column/occurrence layout
+            # of an op's attribute tuple is memoized (streams repeat the
+            # same few tuples endlessly), so building a round is O(ops)
+            # Python work and the per-attribute fan-out happens in numpy
+            # (np.repeat / concatenate).  This keeps the GIL-holding
+            # fraction of a commit small — which is what lets sharded
+            # writers actually overlap their vectorized sections.
+            touch_rows: list[int] = []
+            touch_steps: list[float] = []
+            touch_cols: list[np.ndarray] = []
+            touch_occs: list[np.ndarray] = []
+            touch_widths: list[int] = []
             for i, (__, ops) in enumerate(entries):
                 if k >= len(ops):
                     continue
@@ -966,18 +1208,54 @@ class ColumnarSumStore:
                         * clamp01(op.strength)
                     )
                     step = -step
-                seen: dict[str, int] = {}
-                for name in op.attributes:
-                    occurrence = seen.get(name, 0)
-                    seen[name] = occurrence + 1
-                    touches.append(
-                        (rows[i], emotion_col[name], step, occurrence)
-                    )
+                cols, occs = self._op_layout(op.attributes, emotion_col)
+                touch_rows.append(rows[i])
+                touch_steps.append(step)
+                touch_cols.append(cols)
+                touch_occs.append(occs)
+                touch_widths.append(len(cols))
             if decay_rows:
                 self._decay_rows(np.asarray(decay_rows, dtype=np.intp), policy)
-            if touches:
-                self._apply_touches(touches)
+            if touch_rows:
+                self._apply_touches(
+                    np.repeat(
+                        np.asarray(touch_rows, dtype=np.intp), touch_widths
+                    ),
+                    np.concatenate(touch_cols),
+                    np.repeat(np.asarray(touch_steps), touch_widths),
+                    np.concatenate(touch_occs),
+                )
         return [len(ops) for __, ops in items]
+
+    #: memoized attribute-tuple layouts, shared by every store instance
+    #: (column indices come from the frozen emotion catalog, identical
+    #: for all stores and all shards forever)
+    _OP_LAYOUTS: dict[tuple[str, ...], tuple[np.ndarray, np.ndarray]] = {}
+
+    @classmethod
+    def _op_layout(
+        cls, attributes: tuple[str, ...], emotion_col: Mapping[str, int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(column indices, within-op occurrence indices) for one op's
+        attribute tuple — a duplicated attribute gets occurrence 1, 2, …
+        so its clamps still apply *between* occurrences, exactly as the
+        sequential loop does."""
+        layout = cls._OP_LAYOUTS.get(attributes)
+        if layout is None:
+            seen: dict[str, int] = {}
+            occs = []
+            for name in attributes:
+                occurrence = seen.get(name, 0)
+                seen[name] = occurrence + 1
+                occs.append(occurrence)
+            layout = (
+                np.asarray(
+                    [emotion_col[name] for name in attributes], dtype=np.intp
+                ),
+                np.asarray(occs, dtype=np.intp),
+            )
+            cls._OP_LAYOUTS[attributes] = layout
+        return layout
 
     def _decay_rows(self, rows: np.ndarray, policy) -> None:
         """One decay tick over ``rows``: two array multiplies.
@@ -994,7 +1272,11 @@ class ColumnarSumStore:
         weights[rows] = np.clip(weights[rows] * factor, 0.0, 1.0)
 
     def _apply_touches(
-        self, touches: Sequence[tuple[int, int, float, int]]
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        steps: np.ndarray,
+        occurrences: np.ndarray,
     ) -> None:
         """Scatter reward/punish steps through the scalar-path clamps.
 
@@ -1002,20 +1284,22 @@ class ColumnarSumStore:
         attribute in one op clamps *between* its occurrences, exactly as
         the sequential loop does.  Within one occurrence group every
         (row, column) pair is unique, so plain fancy-index assignment is
-        safe (no lost updates).
+        safe (no lost updates).  Duplicates are rare, so the whole-array
+        fast path (everything occurrence 0) runs with zero masking.
         """
-        max_occurrence = max(t[3] for t in touches)
         intensity = self._emotional.values
         intensity_mask = self._emotional.mask
         weights = self._sensibility.values
         weights_mask = self._sensibility.mask
         evidence = self._evidence.values
         evidence_mask = self._evidence.mask
+        max_occurrence = int(occurrences.max())
         for occurrence in range(max_occurrence + 1):
-            group = [t for t in touches if t[3] == occurrence]
-            r = np.asarray([t[0] for t in group], dtype=np.intp)
-            c = np.asarray([t[1] for t in group], dtype=np.intp)
-            step = np.asarray([t[2] for t in group])
+            if max_occurrence:
+                group = occurrences == occurrence
+                r, c, step = rows[group], cols[group], steps[group]
+            else:
+                r, c, step = rows, cols, steps
             intensity[r, c] = np.clip(intensity[r, c] + step, 0.0, 1.0)
             intensity_mask[r, c] = True
             evidence[r, c] += 1
@@ -1096,7 +1380,14 @@ class ColumnarSumStore:
     def _named_families(self) -> tuple[tuple[str, _ColumnFamily], ...]:
         return tuple(zip(self._FAMILY_NAMES, self._families()))
 
-    def save(self, directory: str | Path) -> Path:
+    def save(
+        self,
+        directory: str | Path,
+        *,
+        generation: int | None = None,
+        versions: Mapping[int, int] | None = None,
+        global_version: int | None = None,
+    ) -> Path:
         """Persist through the :mod:`repro.db` Catalog, two layouts at once.
 
         * per-family ``.npz`` tables (the PR 3 interchange format: one
@@ -1110,6 +1401,14 @@ class ColumnarSumStore:
         Neither layout round-trips values through per-element Python
         ``float()``/``int()`` lists anymore: columns are handed to the
         catalog as numpy slices and bulk-cast.
+
+        The refresh protocol's stamps ride in the catalog meta:
+        ``generation`` (the checkpoint's monotonic counter, usually
+        assigned by :meth:`ShardedSumStore.save
+        <repro.core.sharded_store.ShardedSumStore.save>`), ``versions``
+        (the streaming cache's per-user counters at checkpoint time) and
+        ``global_version``.  A replica :meth:`load`-ed from the pages
+        reports them as its version floors.
         """
         from repro.db.catalog import Catalog
         from repro.db.schema import Column, ColumnType, Schema
@@ -1193,7 +1492,17 @@ class ColumnarSumStore:
             catalog.put_array(
                 f"{page_name}__mask", family.mask[live][:, :width]
             )
-        catalog.meta["sum_store"] = {"n_users": len(ids), "orders": orders}
+        meta: dict[str, Any] = {"n_users": len(ids), "orders": orders}
+        if generation is not None:
+            meta["generation"] = int(generation)
+        if versions is not None:
+            # JSON object keys must be strings; load() restores the ints
+            meta["versions"] = {
+                str(int(uid)): int(v) for uid, v in versions.items()
+            }
+        if global_version is not None:
+            meta["global_version"] = int(global_version)
+        catalog.meta["sum_store"] = meta
         return catalog.save(directory)
 
     @classmethod
@@ -1249,6 +1558,23 @@ class ColumnarSumStore:
             store._objective[row] = json.loads(objective)
             store._asked[row] = set(json.loads(asked))
             store._answered[row] = set(json.loads(answered))
+
+        # Version floors (the refresh protocol's stamps): restored for
+        # copy loads too — a warm standby promoted to primary still knows
+        # which checkpoint it came from.
+        generation = meta.get("generation")
+        store._snapshot_generation = (
+            int(generation) if generation is not None else None
+        )
+        floors = meta.get("versions")
+        store._version_floors = (
+            {int(uid): int(v) for uid, v in floors.items()}
+            if floors is not None else None
+        )
+        global_floor = meta.get("global_version")
+        store._global_floor = (
+            int(global_floor) if global_floor is not None else None
+        )
 
         orders = meta["orders"]
         if mmap:

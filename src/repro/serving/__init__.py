@@ -14,7 +14,10 @@ matrix operations.
 * :mod:`repro.serving.requests` — typed request/response envelopes with
   per-item score breakdowns;
 * :mod:`repro.serving.service` — the :class:`RecommendationService`
-  facade implementing both paper functions on the batch path.
+  facade implementing both paper functions on the batch path;
+* :mod:`repro.serving.replica` — the replica refresh protocol
+  (:class:`Checkpointer` on the primary, :class:`ReplicaRefresher`
+  swapping generation-stamped mmap stores under a live service).
 """
 
 from repro.serving.adapters import (
@@ -35,11 +38,13 @@ from repro.serving.requests import (
     SelectionRequest,
     SelectionResponse,
 )
+from repro.serving.replica import Checkpointer, ReplicaRefresher
 from repro.serving.scorer import ItemId, Scorer, ScorerBase, validate_k
 from repro.serving.service import RecommendationService
 from repro.core.sum_model import UnknownUserError
 
 __all__ = [
+    "Checkpointer",
     "ContentScorer",
     "FunkSVDScorer",
     "ItemId",
@@ -51,6 +56,7 @@ __all__ = [
     "RecommendationRequest",
     "RecommendationResponse",
     "RecommendationService",
+    "ReplicaRefresher",
     "Scorer",
     "ScorerBase",
     "ScoredItem",

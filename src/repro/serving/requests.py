@@ -91,12 +91,20 @@ class RecommendationResponse:
     a response at version *v* reflects at least every update batch
     published up to *v* (batches committed while the response was being
     scored may additionally be included).
+
+    ``generation`` is the checkpoint generation of the SUM store the
+    response was served from — stamped when the resolver is a
+    generation-loaded replica (see :class:`~repro.serving.replica.
+    ReplicaRefresher`), ``None`` when serving live state.  Both stamps
+    are captured from the *same* resolver snapshot the scores came from,
+    so a replica swap mid-request can never produce a torn pair.
     """
 
     user_id: int
     scorer: str
     ranked: tuple[ScoredItem, ...] = field(default_factory=tuple)
     sum_version: int | None = None
+    generation: int | None = None
 
     @property
     def items(self) -> list[ItemId]:
@@ -128,13 +136,16 @@ class SelectionResponse:
     ``sum_version`` carries the resolver's *global* version (total
     published update batches, a freshness floor captured before scoring)
     when the service serves from a versioned resolver; ``None`` on plain
-    repositories.
+    repositories.  ``generation`` is the checkpoint generation when the
+    resolver is a generation-loaded replica — captured from the same
+    resolver snapshot the scores came from (never a torn pair).
     """
 
     item: ItemId
     scorer: str
     ranked: tuple[SelectedUser, ...] = field(default_factory=tuple)
     sum_version: int | None = None
+    generation: int | None = None
 
     def pairs(self) -> list[tuple[int, float]]:
         """Legacy ``(user_id, adjusted_score)`` view, best first."""

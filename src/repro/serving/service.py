@@ -121,41 +121,50 @@ class RecommendationService:
 
     # -- batch scoring -----------------------------------------------------
 
-    def _resolve_models(self, user_ids: Sequence[int]) -> Sequence[SmartUserModel]:
+    def _resolve_models(
+        self, user_ids: Sequence[int], sums: object | None = None
+    ) -> Sequence[SmartUserModel]:
         """User models for one batch — columnar zero-copy when possible.
 
-        A columnar resolver (``sums.batch``) returns a
-        :class:`~repro.core.sum_store.SumBatch` whose intensity and
+        ``sums`` is the request's captured resolver (see :meth:`swap_sums`
+        — every read of one request must come from the same resolver
+        object, so a concurrent replica swap can never mix generations
+        within a response).  A columnar resolver (``sums.batch``) returns
+        a :class:`~repro.core.sum_store.SumBatch` whose intensity and
         sensibility blocks the Advice stage slices directly; object
         repositories resolve model by model.  Either way, unknown users
         raise one :class:`~repro.core.sum_model.UnknownUserError` naming
         every offending id (unless :attr:`create_missing` opts into the
         streaming path's first-contact auto-create).
         """
-        if self.sums is None:
+        if sums is None:
+            sums = self.sums
+        if sums is None:
             raise RuntimeError(
                 "service has no SUM repository; cannot resolve user models "
                 "for emotional adjustment"
             )
-        batch = getattr(self.sums, "batch", None)
+        batch = getattr(sums, "batch", None)
         if callable(batch):
             return batch(user_ids, create=self.create_missing)
         models: list[SmartUserModel] = []
         missing: list[int] = []
         if self.create_missing:
             for uid in user_ids:
-                models.append(self.sums.get_or_create(int(uid)))
+                models.append(sums.get_or_create(int(uid)))
             return models
         for uid in user_ids:
             try:
-                models.append(self.sums.get(int(uid)))
+                models.append(sums.get(int(uid)))
             except KeyError:
                 missing.append(int(uid))
         if missing:
             raise UnknownUserError(missing)
         return models
 
-    def _validate_users(self, user_ids: Sequence[int]) -> None:
+    def _validate_users(
+        self, user_ids: Sequence[int], sums: object | None = None
+    ) -> None:
         """Batch-validate ``user_ids`` without materializing any models.
 
         The no-adjust path owes callers the same typed-error contract as
@@ -166,28 +175,30 @@ class RecommendationService:
         :attr:`create_missing`, unknown users are instead created empty,
         matching streaming first contact.
         """
-        if self.sums is None:
+        if sums is None:
+            sums = self.sums
+        if sums is None:
             return
         if self.create_missing:
             for uid in user_ids:
-                self.sums.get_or_create(int(uid))
+                sums.get_or_create(int(uid))
             return
         # Columnar backends (bare or behind a SumCache) validate the
         # whole batch at C speed with the same one-typed-error contract.
-        bulk = getattr(self.sums, "rows_for", None)
+        bulk = getattr(sums, "rows_for", None)
         if not callable(bulk):
             bulk = getattr(
-                getattr(self.sums, "repository", None), "rows_for", None
+                getattr(sums, "repository", None), "rows_for", None
             )
         if callable(bulk):
             bulk(list(user_ids))
             return
-        if not hasattr(type(self.sums), "__contains__"):
+        if not hasattr(type(sums), "__contains__"):
             # A bare resolver (e.g. the legacy shim's single-model
             # indirection) cannot answer membership; scoring proceeds as
             # before rather than iterating it by accident.
             return
-        missing = [int(uid) for uid in user_ids if int(uid) not in self.sums]
+        missing = [int(uid) for uid in user_ids if int(uid) not in sums]
         if missing:
             raise UnknownUserError(missing)
 
@@ -198,13 +209,18 @@ class RecommendationService:
         scorer_name: str | None,
         adjust: bool,
         known_users: bool = False,
+        sums: object | None = None,
     ) -> tuple[str, np.ndarray, np.ndarray, np.ndarray]:
         """(resolved name, base, multiplier, adjusted) for the full grid.
 
         ``known_users=True`` skips the no-adjust membership validation —
         for callers whose ids were just sourced from ``sums`` itself and
         therefore cannot be unknown (select-all over ``user_ids()``).
+        ``sums`` is the caller's captured resolver; defaults to a capture
+        taken here (direct ``score_matrix`` calls).
         """
+        if sums is None:
+            sums = self.sums
         name = scorer_name if scorer_name is not None else self._default
         scorer = self.scorer(scorer_name)
         # Resolve — or at minimum validate — the whole user batch
@@ -216,9 +232,9 @@ class RecommendationService:
         adjusting = adjust and self.domain_profile is not None
         models = None
         if adjusting:
-            models = self._resolve_models(user_ids)
-        elif self.sums is not None and not known_users:
-            self._validate_users(user_ids)
+            models = self._resolve_models(user_ids, sums)
+        elif sums is not None and not known_users:
+            self._validate_users(user_ids, sums)
         base = np.asarray(
             scorer.score_batch(list(user_ids), list(items)), dtype=np.float64
         )
@@ -253,33 +269,79 @@ class RecommendationService:
 
     # -- freshness ---------------------------------------------------------
 
-    def sum_version(self, user_id: int | None = None) -> int | None:
-        """The served emotional-state version, if ``sums`` exposes one.
+    def sum_version(
+        self, user_id: int | None = None, sums: object | None = None
+    ) -> int | None:
+        """The served emotional-state version, if the resolver exposes one.
 
         With a versioned resolver (the streaming layer's
-        :class:`~repro.streaming.cache.SumCache`) this is the user's
+        :class:`~repro.streaming.cache.SumCache`, or a replica store
+        loaded from a generation-stamped checkpoint) this is the user's
         monotonic snapshot version — or the resolver's global version
-        when ``user_id`` is ``None``.  Plain repositories return
-        ``None``: their reads are unversioned.
+        when ``user_id`` is ``None``.  Plain live repositories return
+        ``None``: their reads are unversioned.  ``sums`` is the caller's
+        captured resolver (defaults to the current one).
         """
+        resolver = self.sums if sums is None else sums
         if user_id is not None:
-            version = getattr(self.sums, "version", None)
+            version = getattr(resolver, "version", None)
             if callable(version):
-                return int(version(int(user_id)))
+                value = version(int(user_id))
+                return int(value) if value is not None else None
             return None
-        global_version = getattr(self.sums, "global_version", None)
+        global_version = getattr(resolver, "global_version", None)
         return int(global_version) if global_version is not None else None
+
+    def sum_generation(self, sums: object | None = None) -> int | None:
+        """Checkpoint generation of the served SUM state, if any.
+
+        Stamped on resolvers loaded from a generation-stamped checkpoint
+        (:meth:`~repro.core.sharded_store.ShardedSumStore.load` /
+        :meth:`~repro.core.sum_store.ColumnarSumStore.load`), probed on
+        the resolver itself or — for a cache-wrapped replica — on its
+        ``repository``.  ``None`` when serving live state.
+        """
+        resolver = self.sums if sums is None else sums
+        for candidate in (resolver, getattr(resolver, "repository", None)):
+            generation = getattr(candidate, "snapshot_generation", None)
+            if generation is not None:
+                return int(generation)
+        return None
+
+    def swap_sums(self, sums: object) -> None:
+        """Atomically replace the SUM resolver under live traffic.
+
+        The refresh protocol's serving-side step: one attribute store
+        (GIL-atomic), no lock.  Requests capture ``self.sums`` exactly
+        once, so an in-flight request keeps reading the resolver it
+        started with (old generations stay valid — mmap pages remain
+        mapped) and the next request sees the new one; served generation
+        stamps are therefore monotonic per caller.
+
+        Scorers that bound a resolver at :meth:`register` time (legacy
+        per-model callables resolved against ``sums``) keep their
+        original binding — re-register them after a swap if their scores
+        must track the replica, or use batch scorers, which receive ids
+        only.
+        """
+        self.sums = sums
 
     # -- the two paper functions -------------------------------------------
 
     def recommend(self, request: RecommendationRequest) -> RecommendationResponse:
         """The paper's recommendation function, served on the batch path."""
+        # The resolver is captured exactly once per request: stamps and
+        # scores all come from this object, so a concurrent swap_sums
+        # (replica refresh) can never tear a response across generations.
+        resolver = self.sums
         # Captured before scoring so the reported version is a freshness
         # *floor*: the served state reflects at least every batch up to
         # it (a concurrent publish during scoring can only add batches).
-        sum_version = self.sum_version(request.user_id)
+        sum_version = self.sum_version(request.user_id, sums=resolver)
+        generation = self.sum_generation(resolver)
         name, base, multiplier, adjusted = self._grids(
-            [request.user_id], request.items, request.scorer, request.adjust
+            [request.user_id], request.items, request.scorer, request.adjust,
+            sums=resolver,
         )
         entries = [
             ScoredItem(
@@ -296,23 +358,28 @@ class RecommendationService:
             scorer=name,
             ranked=tuple(entries[: request.k]),
             sum_version=sum_version,
+            generation=generation,
         )
 
     def select_users(self, request: SelectionRequest) -> SelectionResponse:
         """The paper's selection function, served on the batch path."""
+        resolver = self.sums  # one capture per request; see recommend()
         if request.user_ids is not None:
             ids = [int(uid) for uid in request.user_ids]
-        elif self.sums is not None:
-            ids = list(self.sums.user_ids())
+        elif resolver is not None:
+            ids = list(resolver.user_ids())
         else:
             raise RuntimeError(
                 "selection over all users needs a SUM repository; pass "
                 "explicit user_ids or attach sums to the service"
             )
-        sum_version = self.sum_version()  # freshness floor; see recommend()
+        # freshness floor; see recommend()
+        sum_version = self.sum_version(sums=resolver)
+        generation = self.sum_generation(resolver)
         name, base, multiplier, adjusted = self._grids(
             ids, [request.item], request.scorer, request.adjust,
             known_users=request.user_ids is None,
+            sums=resolver,
         )
         entries = [
             SelectedUser(
@@ -328,5 +395,5 @@ class RecommendationService:
             entries = entries[: request.k]
         return SelectionResponse(
             item=request.item, scorer=name, ranked=tuple(entries),
-            sum_version=sum_version,
+            sum_version=sum_version, generation=generation,
         )

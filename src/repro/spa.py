@@ -215,6 +215,34 @@ class SmartPredictionAssistant:
         """
         return self.engine.recommendation_service(sums=updater.cache)
 
+    # -- sharded persistence (the replica refresh protocol) ------------------
+
+    def sum_checkpointer(self, directory, cache=None, **kwargs):
+        """Generation-stamped SUM checkpoints (sharded backend only).
+
+        See :class:`~repro.serving.replica.Checkpointer`; pass a live
+        updater's ``cache`` so replicas report real version floors::
+
+            spa = SmartPredictionAssistant(world, EngineConfig(
+                sum_backend="sharded", n_shards=8))
+            updater = spa.streaming_updater(n_shards=8)
+            checkpointer = spa.sum_checkpointer("state/", cache=updater.cache)
+            checkpointer.checkpoint()       # or .start() with interval=...
+        """
+        return self.engine.sum_checkpointer(directory, cache=cache, **kwargs)
+
+    def replica_service(self, directory, mmap: bool = True, **kwargs):
+        """A serving facade over checkpointed SUM state + its refresher.
+
+        Returns ``(service, refresher)``: the service serves the Advice
+        stage from the manifest's current generation (memory-mapped
+        read-only), and ``refresher.poll()`` — or ``refresher.start()``
+        on a cadence — atomically swaps newer generations under it with
+        no restart.  Responses carry the served ``generation`` and
+        version floors.
+        """
+        return self.engine.replica_service(directory, mmap=mmap, **kwargs)
+
     # -- reporting -----------------------------------------------------------
 
     def summary(self, results: list[CampaignResult]) -> CampaignSummary:

@@ -56,6 +56,33 @@ from repro.core.updates import (
 )
 
 
+class _MirrorShard:
+    """One store partition's read-mirror state, isolated per shard.
+
+    A sharded repository gets one of these per partition: its own
+    copy-on-write mirror, its own ``uid -> staged version`` map, its own
+    dirty set and its own capture lock — so a write burst on shard 3
+    flags staleness (and serializes refreshes) only there, and shard 0's
+    captures proceed untouched.  A single columnar store is the one-shard
+    special case of the same machinery.
+    """
+
+    __slots__ = ("store", "mirror", "versions", "stale", "lock")
+
+    def __init__(self, store, families) -> None:
+        self.store = store
+        self.mirror = store.mirror(families)
+        #: uid -> version stamp of the data staged in the mirror row
+        self.versions: dict[int, int] = {}
+        #: uids published since their last mirror refresh; writers add
+        #: under the user's lock, readers refresh-and-discard — so a
+        #: read is O(writes since last read), not O(population)
+        self.stale: set[int] = set()
+        #: serializes this shard's mirror refreshes and captures against
+        #: each other (writers never take it — they only bump versions)
+        self.lock = threading.RLock()
+
+
 def _freeze_object_model(live: SmartUserModel) -> SmartUserModel:
     """A deep-copied, genuinely immutable snapshot of an object-backed SUM.
 
@@ -94,7 +121,11 @@ class SumCache:
     :class:`~repro.serving.service.RecommendationService` as its ``sums``.
     """
 
-    def __init__(self, repository: SumRepository) -> None:
+    def __init__(
+        self,
+        repository: SumRepository,
+        mirror_families: Sequence[str] | None = None,
+    ) -> None:
         self.repository = repository
         self._snapshots: dict[int, SmartUserModel] = {}
         self._versions: dict[int, int] = {}
@@ -103,26 +134,33 @@ class SumCache:
         self._user_locks: dict[int, threading.Lock] = {}
         self._columnar = callable(getattr(repository, "freeze_view", None))
         if self._columnar:
-            self._mirror = repository.mirror()
-            #: uid -> version stamp of the data staged in the mirror row
-            self._mirror_versions: dict[int, int] = {}
-            #: uids published since their last mirror refresh; writers add
-            #: under the user's lock, readers refresh-and-discard — so a
-            #: read is O(writes since last read), not O(population)
-            self._mirror_stale: set[int] = set()
-            #: serializes mirror refreshes and captures against each
-            #: other (writers never take it — they only bump versions)
-            self._mirror_lock = threading.RLock()
+            # One mirror per store partition: a sharded repository exposes
+            # its partitions via ``shards`` and routes via ``shard_of``; a
+            # single store is the one-shard special case (every uid maps
+            # to mirror shard 0), so a write burst on one partition never
+            # stalls or invalidates another partition's captures.
+            partitions = getattr(repository, "shards", None)
+            stores = list(partitions) if partitions is not None else [repository]
+            shard_of = getattr(repository, "shard_of", None)
+            self._shard_of = shard_of if shard_of is not None else (lambda uid: 0)
+            self._mirror_shards = [
+                _MirrorShard(store, mirror_families) for store in stores
+            ]
             # The columnar resolver duck-type: RecommendationService
             # probes ``callable(sums.batch)`` to pick the zero-copy path,
             # so the attribute only exists when the backend can serve it.
             self.batch = self._snapshot_batch
+        elif mirror_families:
+            raise TypeError(
+                "mirror_families needs a columnar repository; the object "
+                "backend has no column mirror to scope"
+            )
 
     def _mark_mirror_stale(self, user_id: int) -> None:
         """Flag a published user's mirror row as behind (caller holds the
         user's lock, so the flag can't race that user's refresh)."""
         if self._columnar:
-            self._mirror_stale.add(user_id)
+            self._mirror_shards[self._shard_of(user_id)].stale.add(user_id)
 
     # -- locking -----------------------------------------------------------
 
@@ -322,34 +360,18 @@ class SumCache:
 
     # -- columnar batch read path ------------------------------------------
 
-    def _snapshot_batch(
-        self, user_ids: Sequence[int], create: bool = False
+    def _capture_shard(
+        self, shard: _MirrorShard, shard_ids: list[int], rows
     ) -> FrozenSumBatch:
-        """Version-stamped columnar batch read — the serving fast path.
-
-        The first read of a user after a publish copies that user's row
-        slices into the copy-on-write mirror under the user's write lock;
-        every subsequent read at the same version slices the mirror with
-        zero per-user work.  The returned batch is frozen (bit-stable no
-        matter how many batches land afterwards) and stamped with each
-        user's version at capture: old state at the old version or
-        batch-applied state at the new one, never a torn read.
-
-        Unknown users raise one
-        :class:`~repro.core.sum_model.UnknownUserError` naming them all;
-        ``create=True`` opts into streaming first-contact semantics.
-        """
-        store = self.repository
-        ids = list(map(int, user_ids))
-        rows = store.rows_for(ids, create=create)
-        with self._mirror_lock:
-            self._mirror.sync_shape()
-            mirrored = self._mirror_versions
-            stale = self._mirror_stale
+        """Refresh + capture one mirror shard (its lock held throughout)."""
+        with shard.lock:
+            shard.mirror.sync_shape()
+            mirrored = shard.versions
+            stale = shard.stale
             # Staleness is O(writes since the last read), not O(batch):
             # set algebra runs in C, and only never-mirrored or
             # freshly-published users pay a lock + row copy.
-            ids_set = set(ids)
+            ids_set = set(shard_ids)
             need = ids_set.difference(mirrored)
             if stale:
                 need |= ids_set.intersection(stale)
@@ -360,16 +382,63 @@ class SumCache:
                     # it is serialized with us
                     stale.discard(uid)
                     mirrored[uid] = self._versions.get(uid, 0)
-                    self._mirror.refresh_row(store.row_index(uid))
+                    shard.mirror.refresh_row(shard.store.row_index(uid))
             # Stamps only need to cover the requested ids: small reads
             # build them per id, population-scale reads take one C-level
             # dict copy (cheaper than a Python loop over the batch).
             # Either way the batch resolves per-user stamps lazily.
-            if len(ids) < len(mirrored) // 4:
-                stamps = {uid: mirrored.get(uid, 0) for uid in ids}
+            if len(shard_ids) < len(mirrored) // 4:
+                stamps = {uid: mirrored.get(uid, 0) for uid in shard_ids}
             else:
                 stamps = dict(mirrored)
-            return self._mirror.capture(ids, rows, stamps, resolve=self.get)
+            return shard.mirror.capture(
+                shard_ids, rows, stamps, resolve=self.get
+            )
+
+    def _snapshot_batch(self, user_ids: Sequence[int], create: bool = False):
+        """Version-stamped columnar batch read — the serving fast path.
+
+        The first read of a user after a publish copies that user's row
+        slices into the copy-on-write mirror under the user's write lock;
+        every subsequent read at the same version slices the mirror with
+        zero per-user work.  The returned batch is frozen (bit-stable no
+        matter how many batches land afterwards) and stamped with each
+        user's version at capture: old state at the old version or
+        batch-applied state at the new one, never a torn read.
+
+        On a sharded repository each partition refreshes and captures
+        under its own mirror lock; the per-shard captures gather into one
+        :class:`~repro.core.sharded_store.ShardedBatch` in request order.
+        Per-user stamping is unaffected: every row is refreshed under its
+        user's write lock whichever shard it lives in.
+
+        Unknown users raise one
+        :class:`~repro.core.sum_model.UnknownUserError` naming them all;
+        ``create=True`` opts into streaming first-contact semantics.
+        """
+        ids = list(map(int, user_ids))
+        if len(self._mirror_shards) == 1:
+            shard = self._mirror_shards[0]
+            rows = shard.store.rows_for(ids, create=create)
+            return self._capture_shard(shard, ids, rows)
+        # Resolve/create the whole batch first: one typed error naming
+        # every unknown id across all shards, not shard-by-shard.
+        self.repository.rows_for(ids, create=create)
+        shard_of = self._shard_of
+        grouped: dict[int, list[int]] = {}
+        for pos, uid in enumerate(ids):
+            grouped.setdefault(shard_of(uid), []).append(pos)
+        parts = []
+        for shard_index, positions in grouped.items():
+            shard = self._mirror_shards[shard_index]
+            shard_ids = [ids[p] for p in positions]
+            rows = shard.store.rows_for(shard_ids)
+            parts.append((positions, self._capture_shard(shard, shard_ids, rows)))
+        if len(parts) == 1:
+            return parts[0][1]
+        from repro.core.sharded_store import ShardedBatch
+
+        return ShardedBatch(ids, parts, resolve=self.get)
 
     # -- observability -----------------------------------------------------
 
@@ -389,5 +458,16 @@ class SumCache:
 
     @property
     def mirrored_users(self) -> int:
-        """How many users have a current row staged in the read mirror."""
-        return len(self._mirror_versions) if self._columnar else 0
+        """How many users have a current row staged in the read mirrors."""
+        if not self._columnar:
+            return 0
+        return sum(len(shard.versions) for shard in self._mirror_shards)
+
+    def versions_snapshot(self) -> dict[int, int]:
+        """Point-in-time copy of every user's published version.
+
+        The checkpoint path persists this alongside the column pages so
+        replicas loaded from the generation report real per-user version
+        floors (see :class:`~repro.serving.replica.Checkpointer`).
+        """
+        return dict(self._versions)

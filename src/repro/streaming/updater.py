@@ -105,6 +105,11 @@ class StreamingUpdater:
         At-least-once redelivery budget before dead-lettering.
     flush_every:
         Write-behind buffer size, in events.
+    mirror_families:
+        Extra column families (``"subjective"``, ``"evidence"``) for the
+        cache's read mirror to stage beyond the Advice-stage defaults —
+        batch consumers of those families then get the same snapshot
+        isolation (columnar backends only).
     """
 
     def __init__(
@@ -119,11 +124,12 @@ class StreamingUpdater:
         batch_max: int = 256,
         max_attempts: int = 3,
         flush_every: int = 512,
+        mirror_families: tuple[str, ...] | None = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         self.policy = policy or ReinforcementPolicy()
-        self.cache = SumCache(sums)
+        self.cache = SumCache(sums, mirror_families=mirror_families)
         self.bus = EventBus()
         self.topic: Topic = self.bus.create_topic(
             LIFELOG_TOPIC, partitions=n_shards,

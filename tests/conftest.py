@@ -1,9 +1,9 @@
 """Shared fixtures: the SUM-backend test matrix.
 
-CI runs the tier-1 suite twice, once per SUM storage backend
-(``REPRO_SUM_BACKEND=object|columnar``).  Tests that request the
+CI runs the tier-1 suite once per SUM storage backend
+(``REPRO_SUM_BACKEND=object|columnar|sharded``).  Tests that request the
 ``sum_backend`` / ``sum_backend_cls`` fixtures are parametrized over
-*both* backends on a plain local run, and pinned to a single one when
+*all* backends on a plain local run, and pinned to a single one when
 the environment variable selects it — so the matrix legs don't redo each
 other's work.
 """
@@ -14,10 +14,16 @@ import os
 
 import pytest
 
+from repro.core.sharded_store import ShardedSumStore
 from repro.core.sum_model import SumRepository
 from repro.core.sum_store import ColumnarSumStore
 
-SUM_BACKENDS = {"object": SumRepository, "columnar": ColumnarSumStore}
+SUM_BACKENDS = {
+    "object": SumRepository,
+    "columnar": ColumnarSumStore,
+    # default construction = 4 hash partitions behind the router
+    "sharded": ShardedSumStore,
+}
 
 
 def _selected_backends() -> list[str]:

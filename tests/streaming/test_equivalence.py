@@ -88,6 +88,24 @@ def test_streaming_replay_matches_sequential_pipeline(sum_backend_cls, n_shards)
     assert_same_state(reference, live)
 
 
+def test_sharded_streamed_state_is_bit_equal_to_object_sequential():
+    # ISSUE 5: four writer threads streaming into four store partitions
+    # (per-shard locks, no cross-shard contention) leave the population
+    # in byte-identical JSON to a single sequential object-backend pass.
+    from repro.core.sharded_store import ShardedSumStore
+
+    catalog, events = browsing_stream()
+    item_emotions = catalog.emotion_links()
+    reference = sequential_reference(events, item_emotions)
+
+    live = ShardedSumStore(n_shards=4)
+    updater = StreamingUpdater(live, item_emotions, n_shards=4, batch_max=64)
+    with updater:
+        ReplayDriver(updater).replay(events)
+        assert updater.drain(timeout=60.0)
+    assert live.dumps() == reference.dumps()
+
+
 def test_columnar_streamed_state_is_bit_equal_to_object_sequential():
     # The ISSUE-3 contract, stated at full strength: the vectorized
     # columnar commit path and the object-backed sequential pipeline
