@@ -7,7 +7,6 @@ and fit time.
 
 import time
 
-import numpy as np
 
 from benchmarks.conftest import record_artifact
 from benchmarks.bench_ablation_emotion_features import build_matrix

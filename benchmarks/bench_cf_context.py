@@ -6,7 +6,6 @@ model without context, because the generator plants a genuine
 (context × genre) effect.
 """
 
-import numpy as np
 
 from benchmarks.conftest import record_artifact
 from repro.cf.context import (
@@ -29,7 +28,8 @@ def test_cf_emotional_context(benchmark):
     )
     train, test = dataset.split(0.25, seed=11)
     matrix = RatingMatrix([(r.user_id, r.item_id, r.rating) for r in train])
-    factory = lambda: FunkSVD(rank=10, epochs=20)
+    def factory():
+        return FunkSVD(rank=10, epochs=20)
 
     rows = []
     results = {}

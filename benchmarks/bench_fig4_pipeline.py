@@ -8,7 +8,6 @@ convergence of the learned emotional vector toward the latent traits.
 import numpy as np
 
 from benchmarks.conftest import record_artifact
-from repro.core.emotions import EMOTION_NAMES
 from repro.core.gradual_eit import GradualEIT, QuestionBank
 from repro.core.pipeline import EmotionalContextPipeline
 from repro.core.sum_model import SmartUserModel

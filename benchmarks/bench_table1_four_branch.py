@@ -4,7 +4,6 @@ Regenerates the table's content from the live model and times MSCEIT-style
 batch scoring of a full question-bank pass.
 """
 
-import numpy as np
 
 from benchmarks.conftest import record_artifact
 from repro.core.four_branch import (

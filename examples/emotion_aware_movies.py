@@ -51,7 +51,8 @@ def main() -> None:
         )
         rows.append((name, rmse, mae))
 
-    factory = lambda: FunkSVD(rank=12, epochs=25)
+    def factory():
+        return FunkSVD(rank=12, epochs=25)
     pre = ContextualPreFilter(factory, context_key=mood_context).fit(train)
     rmse, mae = evaluate_rmse_mae(pre.predict, test, mood_context)
     rows.append(("FunkSVD + mood pre-filter", rmse, mae))

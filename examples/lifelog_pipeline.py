@@ -49,10 +49,10 @@ def main() -> None:
         # -- agent-based ingest with proactive replication ----------------
         store = EventLog(segment_rows=2_000)
         runtime = AgentRuntime()
-        agent = runtime.register(
+        runtime.register(
             LifeLogPreprocessorAgent("lifelog", store, replication_threshold=1_000)
         )
-        sink = runtime.register(Collector("operator"))
+        runtime.register(Collector("operator"))
         lines = weblog_path.read_text().splitlines()
         runtime.send(Message("operator", "lifelog", "lifelog.ingest",
                              {"lines": lines}))

@@ -1,0 +1,47 @@
+"""Concurrency contracts + static analysis for the SUM plane.
+
+This package has two faces:
+
+* **runtime contracts** (:mod:`repro.analysis.contracts`) — the
+  ``@guarded_by`` / ``@requires_lock`` / ``@manual_guard`` decorators,
+  ``declare_lock`` / ``declare_order`` registry, and the env-gated
+  :class:`ContractLock` witness.  Imported by the production modules,
+  so only those light, stdlib-only names are re-exported here.
+* **the analyzer** (:mod:`repro.analysis.cli` and friends) — the
+  AST-based checker behind ``python -m repro.analysis``.  Never
+  imported by production code; import it explicitly.
+"""
+
+from repro.analysis.contracts import (
+    REGISTRY,
+    WITNESS,
+    WITNESS_ENV,
+    ContractError,
+    ContractLock,
+    LockWitness,
+    contracts_of,
+    declare_lock,
+    declare_order,
+    guarded_by,
+    make_lock,
+    manual_guard,
+    requires_lock,
+    witness_enabled,
+)
+
+__all__ = [
+    "REGISTRY",
+    "WITNESS",
+    "WITNESS_ENV",
+    "ContractError",
+    "ContractLock",
+    "LockWitness",
+    "contracts_of",
+    "declare_lock",
+    "declare_order",
+    "guarded_by",
+    "make_lock",
+    "manual_guard",
+    "requires_lock",
+    "witness_enabled",
+]

@@ -1,0 +1,155 @@
+"""``python -m repro.analysis`` — run every concurrency-contract check.
+
+Exit codes: 0 clean (after baseline), 1 findings or stale waivers,
+2 invalid invocation/baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import (
+    BaselineError,
+    BaselineResult,
+    apply_baseline,
+    load_baseline,
+)
+from repro.analysis.core import Finding, Project
+from repro.analysis.hygiene import check_hygiene
+from repro.analysis.lock_discipline import check_lock_discipline
+from repro.analysis.lock_order import build_lock_graph
+
+DEFAULT_BASELINE = "analysis-baseline.toml"
+
+
+def run_checks(project: Project) -> tuple[list[Finding], dict]:
+    """All findings plus the lock graph (for the report/witness)."""
+    from repro.analysis.snapshots import check_snapshots
+
+    graph = build_lock_graph(project)
+    findings = [
+        *check_lock_discipline(project),
+        *graph.findings,
+        *check_snapshots(project),
+        *check_hygiene(project),
+    ]
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    graph_dump = {
+        "edges": [
+            {"outer": u, "inner": v, "source": f"{src[0]}:{src[1]}"}
+            for (u, v), src in sorted(graph.edges.items())
+        ],
+    }
+    return findings, graph_dump
+
+
+def _report_payload(
+    findings: list[Finding],
+    result: BaselineResult,
+    graph_dump: dict,
+) -> dict:
+    def enc(finding: Finding, waived: bool) -> dict:
+        return {
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "symbol": finding.symbol,
+            "message": finding.message,
+            "waived": waived,
+        }
+
+    waived_set = {id(f) for f, _ in result.waived}
+    return {
+        "findings": [enc(f, id(f) in waived_set) for f in findings],
+        "stale_waivers": [w.describe() for w in result.stale],
+        "lock_graph": graph_dump,
+        "summary": {
+            "total": len(findings),
+            "unwaived": len(result.unwaived),
+            "waived": len(result.waived),
+            "stale_waivers": len(result.stale),
+        },
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="concurrency-contract static analysis",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help=f"waiver file (default: ./{DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file (report every finding)",
+    )
+    parser.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write a JSON report (findings + lock graph)",
+    )
+    parser.add_argument(
+        "--graph", action="store_true",
+        help="print the static lock-order graph edges",
+    )
+    args = parser.parse_args(argv)
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    project = Project.load(args.paths)
+    findings, graph_dump = run_checks(project)
+
+    waivers = []
+    if not args.no_baseline:
+        baseline_path = args.baseline or (
+            DEFAULT_BASELINE if Path(DEFAULT_BASELINE).exists() else None
+        )
+        if baseline_path is not None:
+            try:
+                waivers = load_baseline(baseline_path)
+            except BaselineError as exc:
+                print(f"baseline error: {exc}", file=sys.stderr)
+                return 2
+    result = apply_baseline(findings, waivers)
+
+    if args.graph:
+        for entry in graph_dump["edges"]:
+            print(f"{entry['outer']} -> {entry['inner']}  [{entry['source']}]")
+
+    for finding in result.unwaived:
+        print(finding.render())
+    if result.waived:
+        print(f"({len(result.waived)} finding(s) waived by baseline)")
+    for waiver in result.stale:
+        print(
+            f"stale waiver (matches nothing; remove it): {waiver.describe()}"
+        )
+
+    if args.report:
+        payload = _report_payload(findings, result, graph_dump)
+        Path(args.report).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+
+    if result.unwaived or result.stale:
+        total = len(result.unwaived)
+        print(
+            f"FAIL: {total} unwaived finding(s), "
+            f"{len(result.stale)} stale waiver(s)"
+        )
+        return 1
+    checked = len(project.modules)
+    print(f"OK: {checked} modules, 0 unwaived findings")
+    return 0

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import contextlib
 import weakref
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -499,7 +499,7 @@ class CampaignEngine:
             if personalize:
                 assignment = self.assigner.assign(model, course)
             else:
-                standard = self.assigner.assign(model, course)
+                self.assigner.assign(model, course)
                 # Force the standard text regardless of sensibilities.
                 from repro.messaging.assigner import (
                     AssignmentCase,
@@ -514,7 +514,6 @@ class CampaignEngine:
                     attribute=None,
                     text=STANDARD_MESSAGE.render(course.title),
                 )
-                del standard
 
             question = None
             budget = self.config.eit_questions_per_user

@@ -16,7 +16,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.campaigns.campaign import CampaignResult
-from repro.ml.metrics import cumulative_gain_curve, gain_at
 
 
 def pooled_scores(

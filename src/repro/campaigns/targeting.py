@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
 
 from repro.datagen.seeds import derive_rng
 

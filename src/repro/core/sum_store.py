@@ -51,6 +51,12 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from repro.analysis.contracts import (
+    declare_lock,
+    guarded_by,
+    make_lock,
+    requires_lock,
+)
 from repro.core.emotions import (
     EMOTION_CATALOG,
     EMOTION_NAMES,
@@ -65,6 +71,15 @@ _GROWTH_FACTOR = 2
 _INITIAL_ROWS = 1024
 _INITIAL_COLS = 16
 
+# Column families share their owning store's RLock (one serialization
+# domain per store), so "_ColumnFamily.lock" is the same runtime object
+# as "ColumnarSumStore._lock" and the analyzer treats them as one node.
+declare_lock(
+    "ColumnarSumStore._lock",
+    reentrant=True,
+    aliases=("_ColumnFamily.lock",),
+)
+
 #: the frozen emotion vocabulary every store shares; batch-op validation
 #: checks against it so the check is store-independent (a sharded router
 #: can validate a whole cross-shard batch before any shard mutates)
@@ -77,7 +92,7 @@ _EMOTION_INDEX = {name: j for j, name in enumerate(EMOTION_NAMES)}
 _VALID_ATTR_TUPLES: set[tuple[str, ...]] = set()
 
 
-def validate_batch_ops(items) -> None:
+def validate_batch_ops(items: Sequence[tuple[int, Sequence[Any]]]) -> None:
     """Reject a ``(user_id, ops)`` batch before any mutation.
 
     The guarantee the streaming commit layer leans on: a raising batch
@@ -125,7 +140,7 @@ def seal_attributes(obj: object) -> object:
     cls = obj.__class__
     sealed = _SEALED_CLASSES.get(cls)
     if sealed is None:
-        def __setattr__(self, name, value):  # noqa: ANN001
+        def __setattr__(self: Any, name: str, value: Any) -> None:
             raise TypeError(
                 f"snapshot is read-only; cannot set attribute {name!r}"
             )
@@ -137,7 +152,7 @@ def seal_attributes(obj: object) -> object:
 
 
 def _masked_matrix(
-    family, rows: np.ndarray, names: Sequence[str], default: float
+    family: Any, rows: np.ndarray, names: Sequence[str], default: float
 ) -> np.ndarray:
     """``(len(rows), len(names))`` family values; absent → ``default``.
 
@@ -156,6 +171,7 @@ def _masked_matrix(
     return out
 
 
+@guarded_by("lock", "values", "mask", "index", "order")
 class _ColumnFamily:
     """One attribute family: named columns of values + presence masks.
 
@@ -240,6 +256,7 @@ class _ColumnFamily:
         """``(len(rows), len(names))`` values; absent entries → ``default``."""
         return _masked_matrix(self, rows, names, default)
 
+    @requires_lock("lock")
     def grow_rows(self, new_capacity: int) -> None:
         grown_v = np.zeros((new_capacity, self.values.shape[1]), dtype=self._dtype)
         grown_v[: self.values.shape[0]] = self.values
@@ -247,6 +264,7 @@ class _ColumnFamily:
         grown_m[: self.mask.shape[0]] = self.mask
         self.values, self.mask = grown_v, grown_m
 
+    @requires_lock("lock")
     def clear_row(self, row: int) -> None:
         self.values[row, :] = 0
         self.mask[row, :] = False
@@ -602,18 +620,21 @@ class _RowMapView(MutableMapping):
 
     __slots__ = ("_family", "_row", "_cast")
 
-    def __init__(self, family: _ColumnFamily, row: int, cast=float) -> None:
+    def __init__(
+        self, family: _ColumnFamily, row: int,
+        cast: Callable[[Any], Any] = float,
+    ) -> None:
         self._family = family
         self._row = row
         self._cast = cast
 
-    def __getitem__(self, name: str):
+    def __getitem__(self, name: str) -> Any:
         j = self._family.column_of(name)
         if j is None or not self._family.mask[self._row, j]:
             raise KeyError(name)
         return self._cast(self._family.values[self._row, j])
 
-    def __setitem__(self, name: str, value) -> None:
+    def __setitem__(self, name: str, value: float) -> None:
         family = self._family
         # Under the lock: a concurrent capacity growth replaces the
         # arrays, and a write to the replaced one would be lost.
@@ -734,7 +755,11 @@ class SumRowView(SmartUserModel):
 
     @objective.setter
     def objective(self, value: dict[str, Any]) -> None:
-        self._store._objective[self._row] = dict(value)
+        # Under the store lock: a concurrent first-contact row creation
+        # appends to these cold-state lists, and a list seen mid-append
+        # could route this write into a stale slot after compaction.
+        with self._store._lock:
+            self._store._objective[self._row] = dict(value)
 
     @property
     def asked_questions(self) -> set[str]:
@@ -742,7 +767,8 @@ class SumRowView(SmartUserModel):
 
     @asked_questions.setter
     def asked_questions(self, value: Iterable[str]) -> None:
-        self._store._asked[self._row] = set(value)
+        with self._store._lock:
+            self._store._asked[self._row] = set(value)
 
     @property
     def answered_questions(self) -> set[str]:
@@ -750,7 +776,8 @@ class SumRowView(SmartUserModel):
 
     @answered_questions.setter
     def answered_questions(self, value: Iterable[str]) -> None:
-        self._store._answered[self._row] = set(value)
+        with self._store._lock:
+            self._store._answered[self._row] = set(value)
 
 
 class SumBatch:
@@ -802,6 +829,18 @@ class SumBatch:
         return self.store._evidence.read_matrix(self.rows, order, default)
 
 
+@guarded_by(
+    "_lock",
+    "_row_of",
+    "_user_ids",
+    "_n",
+    "_capacity",
+    "_ei",
+    "_objective",
+    "_asked",
+    "_answered",
+    "_views",
+)
 class ColumnarSumStore:
     """Struct-of-arrays SUM backend for the whole population.
 
@@ -819,7 +858,7 @@ class ColumnarSumStore:
         #: interleave writes with structural changes (reads stay
         #: lock-free — per-user read consistency comes from the
         #: streaming cache's user locks, as with the object backend)
-        self._lock = threading.RLock()
+        self._lock = make_lock("ColumnarSumStore._lock", reentrant=True)
         self._row_of: dict[int, int] = {}
         self._user_ids = np.zeros(capacity, dtype=np.int64)
         self._n = 0
@@ -896,6 +935,7 @@ class ColumnarSumStore:
 
     # -- row management ----------------------------------------------------
 
+    @requires_lock("_lock")
     def _grow_rows(self, needed: int) -> None:
         if needed <= self._capacity:
             return
@@ -1070,6 +1110,7 @@ class ColumnarSumStore:
                 dropped += self._compact_family(family)
             return dropped
 
+    @requires_lock("_lock")
     def _compact_family(self, family: _ColumnFamily) -> int:
         n = self._n
         seed = set(family.seed)
@@ -1133,7 +1174,9 @@ class ColumnarSumStore:
 
     # -- vectorized update path --------------------------------------------
 
-    def batch_apply_ops(self, items, policy) -> list[int]:
+    def batch_apply_ops(
+        self, items: Iterable[tuple[int, Sequence[Any]]], policy: Any
+    ) -> list[int]:
         """Apply per-user op sequences vectorized across the population.
 
         ``items`` is a sequence of ``(user_id, ops)`` pairs; each user's
@@ -1159,7 +1202,10 @@ class ColumnarSumStore:
         with self._lock:
             return self._batch_apply_ops_locked(items, policy)
 
-    def _batch_apply_ops_locked(self, items, policy) -> list[int]:
+    @requires_lock("_lock")
+    def _batch_apply_ops_locked(
+        self, items: Sequence[tuple[int, tuple[Any, ...]]], policy: Any
+    ) -> list[int]:
         """Apply pre-validated, normalized items (caller holds the lock).
 
         Validation lives in the public entry points — here *and* in the
@@ -1257,7 +1303,8 @@ class ColumnarSumStore:
             cls._OP_LAYOUTS[attributes] = layout
         return layout
 
-    def _decay_rows(self, rows: np.ndarray, policy) -> None:
+    @requires_lock("_lock")
+    def _decay_rows(self, rows: np.ndarray, policy: Any) -> None:
         """One decay tick over ``rows``: two array multiplies.
 
         Matches ``ReinforcementPolicy.apply_decay`` bit for bit: absent
@@ -1271,6 +1318,7 @@ class ColumnarSumStore:
         weights = self._sensibility.values
         weights[rows] = np.clip(weights[rows] * factor, 0.0, 1.0)
 
+    @requires_lock("_lock")
     def _apply_touches(
         self,
         rows: np.ndarray,
@@ -1309,7 +1357,9 @@ class ColumnarSumStore:
             weights[r, c] = np.clip(weights[r, c] + step * 0.5, 0.0, 1.0)
             weights_mask[r, c] = True
 
-    def decay_tick(self, policy, user_ids: Sequence[int] | None = None) -> int:
+    def decay_tick(
+        self, policy: Any, user_ids: Sequence[int] | None = None
+    ) -> int:
         """One population decay tick (default: every user); returns rows hit."""
         if self._readonly:
             raise TypeError(
@@ -1361,7 +1411,7 @@ class ColumnarSumStore:
         return view
 
     @classmethod
-    def from_repository(cls, repository) -> "ColumnarSumStore":
+    def from_repository(cls, repository: Any) -> "ColumnarSumStore":
         """Convert any SUM collection (object or columnar) to a new store."""
         store = cls()
         for model in repository:
@@ -1534,7 +1584,7 @@ class ColumnarSumStore:
 
     @classmethod
     def _load_from_pages(
-        cls, catalog, meta: dict[str, Any], mmap: bool
+        cls, catalog: Any, meta: dict[str, Any], mmap: bool
     ) -> "ColumnarSumStore":
         ids = catalog.array("user_ids")
         n = len(ids)
@@ -1616,7 +1666,7 @@ class ColumnarSumStore:
         return store
 
     @classmethod
-    def _load_from_tables(cls, catalog) -> "ColumnarSumStore":
+    def _load_from_tables(cls, catalog: Any) -> "ColumnarSumStore":
         """Copy-wise load from the per-family ``.npz`` tables (legacy dirs)."""
         users = catalog.get("users")
         ids = [int(uid) for uid in users.column("user_id")]
@@ -1632,7 +1682,7 @@ class ColumnarSumStore:
             store._asked[row] = set(json.loads(asked))
             store._answered[row] = set(json.loads(answered))
 
-        def check_alignment(table) -> None:
+        def check_alignment(table: Any) -> None:
             # A data-integrity check, not a debug assert: misaligned
             # pages would scatter every user's values into wrong rows.
             if [int(u) for u in table.column("user_id")] != ids:

@@ -19,7 +19,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.emotions import EMOTION_NAMES
 from repro.core.gradual_eit import EITQuestion
 from repro.datagen.catalog import AFFINITY_LINKS, Course, CourseCatalog
 from repro.datagen.population import Population, UserRecord

@@ -19,12 +19,16 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from repro.analysis.contracts import declare_lock, guarded_by, requires_lock
 from repro.db.catalog import Catalog
 from repro.db.index import HashIndex
 from repro.db.table import Table
 from repro.lifelog.events import EVENT_SCHEMA, Event
 
+declare_lock("EventLog._write_lock", reentrant=True)
 
+
+@guarded_by("_write_lock", "_sealed", "_sealed_indexes", "_active")
 class EventLog:
     """Segmented, append-only storage for LifeLog events."""
 
@@ -68,6 +72,7 @@ class EventLog:
                     self._seal()
         return written
 
+    @requires_lock("_write_lock")
     def _seal(self) -> None:
         if len(self._active) == 0:
             return

@@ -15,7 +15,7 @@ model — including user code — plugs in.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 

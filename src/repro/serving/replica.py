@@ -35,12 +35,17 @@ import threading
 from pathlib import Path
 from typing import Callable
 
+from repro.analysis.contracts import declare_lock, guarded_by
 from repro.core.sharded_store import (
     ShardedSumStore,
     generation_dirs,
     read_manifest,
 )
 from repro.serving.service import RecommendationService
+
+
+declare_lock("Checkpointer._checkpoint_lock")
+declare_lock("ReplicaRefresher._poll_lock")
 
 
 class _Cadence(threading.Thread):
@@ -167,6 +172,7 @@ class Checkpointer:
         self.stop()
 
 
+@guarded_by("_poll_lock", "generation")
 class ReplicaRefresher:
     """Replica-side cadence: poll the manifest, load, atomically swap.
 

@@ -26,8 +26,10 @@ import threading
 import time
 import zlib
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator
+
+from repro.analysis.contracts import declare_lock, guarded_by
 
 
 class BusClosed(RuntimeError):
@@ -67,6 +69,31 @@ class Delivery:
     mapped: Any = None
 
 
+declare_lock(
+    "PartitionQueue._lock",
+    aliases=(
+        "PartitionQueue._not_full",
+        "PartitionQueue._not_empty",
+        "PartitionQueue._settled",
+    ),
+)
+declare_lock("EventBus._lock")
+
+
+@guarded_by(
+    "_lock",
+    "_queue",
+    "_next_offset",
+    "_in_flight",
+    "_closed",
+    "published",
+    "acked",
+    "redelivered",
+    "dead_letters",
+    # the three condition variables wrap the same underlying lock, so
+    # entering any of them counts as holding it
+    aliases=("_not_full", "_not_empty", "_settled"),
+)
 class PartitionQueue:
     """One bounded FIFO partition with ack/nack redelivery."""
 
@@ -370,6 +397,7 @@ class BusStats:
     depth: int
 
 
+@guarded_by("_lock", "_topics", "_closed")
 class EventBus:
     """Named topics over partitioned bounded queues."""
 

@@ -46,6 +46,14 @@ import threading
 from types import MappingProxyType
 from typing import Iterable, Sequence
 
+from repro.analysis.contracts import (
+    declare_lock,
+    declare_order,
+    guarded_by,
+    make_lock,
+    manual_guard,
+    requires_lock,
+)
 from repro.core.reward import ReinforcementPolicy
 from repro.core.sum_model import SmartUserModel, SumRepository
 from repro.core.sum_store import FrozenSumBatch, seal_attributes
@@ -56,6 +64,29 @@ from repro.core.updates import (
 )
 
 
+# The cache's locking protocol, as checkable declarations:
+#
+# * the registry lock hands out per-user locks (never held while taking
+#   anything else);
+# * per-user locks form one *family* — apply_batch_and_publish holds
+#   many at once, made safe by sorted-id acquisition order;
+# * each mirror shard's capture lock may take user locks (to refresh
+#   stale rows) and, transitively, the store lock — never the reverse.
+declare_lock("SumCache._registry_lock")
+declare_lock(
+    "SumCache._lock_for()",
+    family=True,
+    self_order="sorted user id",
+    aliases=("SumCache.write_lock()",),
+)
+declare_lock("_MirrorShard.lock", reentrant=True)
+# Applying ops under a user's write lock mutates the columnar store,
+# which takes the store lock; hidden from the AST behind the
+# duck-typed repository, so asserted here.
+declare_order("SumCache._lock_for()", "ColumnarSumStore._lock")
+
+
+@guarded_by("SumCache._lock_for()", "versions", "stale")
 class _MirrorShard:
     """One store partition's read-mirror state, isolated per shard.
 
@@ -80,7 +111,7 @@ class _MirrorShard:
         self.stale: set[int] = set()
         #: serializes this shard's mirror refreshes and captures against
         #: each other (writers never take it — they only bump versions)
-        self.lock = threading.RLock()
+        self.lock = make_lock("_MirrorShard.lock", reentrant=True)
 
 
 def _freeze_object_model(live: SmartUserModel) -> SmartUserModel:
@@ -112,6 +143,8 @@ def _freeze_object_model(live: SmartUserModel) -> SmartUserModel:
     return snapshot
 
 
+@guarded_by("_registry_lock", "_user_locks", "_global_version")
+@guarded_by("_lock_for()", "_snapshots", "_versions")
 class SumCache:
     """Snapshot cache + version counters over a :class:`SumRepository`.
 
@@ -130,7 +163,7 @@ class SumCache:
         self._snapshots: dict[int, SmartUserModel] = {}
         self._versions: dict[int, int] = {}
         self._global_version = 0
-        self._registry_lock = threading.Lock()
+        self._registry_lock = make_lock("SumCache._registry_lock")
         self._user_locks: dict[int, threading.Lock] = {}
         self._columnar = callable(getattr(repository, "freeze_view", None))
         if self._columnar:
@@ -143,7 +176,7 @@ class SumCache:
             stores = list(partitions) if partitions is not None else [repository]
             shard_of = getattr(repository, "shard_of", None)
             self._shard_of = shard_of if shard_of is not None else (lambda uid: 0)
-            self._mirror_shards = [
+            self._mirror_shards: list[_MirrorShard] = [
                 _MirrorShard(store, mirror_families) for store in stores
             ]
             # The columnar resolver duck-type: RecommendationService
@@ -156,6 +189,7 @@ class SumCache:
                 "backend has no column mirror to scope"
             )
 
+    @requires_lock("_lock_for()")
     def _mark_mirror_stale(self, user_id: int) -> None:
         """Flag a published user's mirror row as behind (caller holds the
         user's lock, so the flag can't race that user's refresh)."""
@@ -168,7 +202,9 @@ class SumCache:
         lock = self._user_locks.get(user_id)  # GIL-atomic fast path
         if lock is None:
             with self._registry_lock:
-                lock = self._user_locks.setdefault(user_id, threading.Lock())
+                lock = self._user_locks.setdefault(
+                    user_id, make_lock("SumCache._lock_for()")
+                )
         return lock
 
     # -- write path --------------------------------------------------------
@@ -218,6 +254,11 @@ class SumCache:
                 self._versions[user_id] = version
         return applied, version
 
+    @manual_guard(
+        "acquires every touched user's lock in sorted-id order via a "
+        "loop + try/finally; loop-acquired locks are invisible to the "
+        "with-scope analysis"
+    )
     def apply_batch_and_publish(
         self,
         items: Sequence[tuple[int, tuple[SumUpdateOp, ...]]],

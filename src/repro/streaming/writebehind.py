@@ -19,10 +19,14 @@ from __future__ import annotations
 import threading
 from typing import Iterable
 
+from repro.analysis.contracts import declare_lock, guarded_by, requires_lock
 from repro.lifelog.events import Event
 from repro.lifelog.store import EventLog
 
+declare_lock("WriteBehindWriter._lock")
 
+
+@guarded_by("_lock", "_buffer", "flushed_events", "flush_count")
 class WriteBehindWriter:
     """Batched, thread-safe event persistence into an :class:`EventLog`."""
 
@@ -53,6 +57,7 @@ class WriteBehindWriter:
         with self._lock:
             return self._flush_locked()
 
+    @requires_lock("_lock")
     def _flush_locked(self) -> int:
         if not self._buffer:
             return 0

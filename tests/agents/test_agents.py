@@ -96,7 +96,7 @@ class TestLifeLogAgent:
         store = EventLog()
         runtime = AgentRuntime()
         agent = runtime.register(LifeLogPreprocessorAgent("ll", store))
-        sink = runtime.register(Echo("sink"))
+        runtime.register(Echo("sink"))
         runtime.send(Message("sink", "ll", "lifelog.ingest",
                              {"lines": self.lines(10)}))
         runtime.run_until_idle()

@@ -1,0 +1,4 @@
+# Deliberately-seeded contract violations for the analyzer's own tests.
+# These modules are analyzed as source text, never imported (several
+# would deadlock or raise if run); names avoid the test_ prefix so
+# pytest never collects them.

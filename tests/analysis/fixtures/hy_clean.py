@@ -1,0 +1,23 @@
+"""Clean twin of ``hy_violations``: reads, narrow excepts, safe defaults."""
+
+
+class ShardReader:
+    def __init__(self, store) -> None:
+        self.store = store
+
+    def peek(self, index):
+        # Reading the shard plane is fine; only mutation is fenced.
+        return self.store.shards[index]
+
+    def shard_count(self) -> int:
+        try:
+            return len(self.store.shards)
+        except Exception:
+            return 0
+
+
+def collect(values, into=None):
+    if into is None:
+        into = []
+    into.extend(values)
+    return into

@@ -1,0 +1,23 @@
+"""Seeded serving-path hygiene violations: HY001, HY002, HY003."""
+
+
+class ShardPoker:
+    def __init__(self, store) -> None:
+        self.store = store
+
+    def hot_swap(self, replacement) -> None:
+        self.store.shards[0] = replacement  # [HY001]
+
+    def grow(self, extra) -> None:
+        self.store.shards.append(extra)  # [HY001]
+
+    def shard_count(self) -> int:
+        try:
+            return len(self.store.shards)
+        except:  # [HY002]
+            return 0
+
+
+def collect(values, into=[]):  # [HY003]
+    into.extend(values)
+    return into

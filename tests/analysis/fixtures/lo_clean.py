@@ -1,0 +1,47 @@
+"""Clean twin of ``lo_violations``: one global order, declared reentrancy.
+
+Both classes acquire CleanLeft._lock before CleanRight._lock, so the
+graph has a single edge and no cycle; the double acquisition in
+``redouble`` is legal because the lock is declared reentrant (the code
+uses an RLock to match).
+"""
+
+import threading
+
+from repro.analysis.contracts import declare_lock, guarded_by
+
+declare_lock("CleanLeft._lock", reentrant=True)
+declare_lock("CleanRight._lock")
+
+
+@guarded_by("_lock", "_items")
+class CleanLeft:
+    def __init__(self, other: "CleanRight") -> None:
+        self._lock = threading.RLock()
+        self._items: list[int] = []
+        self.other = other
+
+    def push(self, value: int) -> None:
+        with self._lock:
+            with self.other._lock:
+                self._items.append(value)
+                self.other._items.append(value)
+
+    def redouble(self) -> None:
+        with self._lock:
+            with self._lock:
+                self._items.clear()
+
+
+@guarded_by("_lock", "_items")
+class CleanRight:
+    def __init__(self, other: CleanLeft) -> None:
+        self._lock = threading.Lock()
+        self._items: list[int] = []
+        self.other = other
+
+    def push(self, value: int) -> None:
+        # Same global order as CleanLeft.push: left lock first.
+        with self.other._lock:
+            with self._lock:
+                self._items.append(value)

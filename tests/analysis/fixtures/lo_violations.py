@@ -1,0 +1,42 @@
+"""Seeded lock-ordering violations: LO001 (cycle), LO002 (self-reacquire).
+
+``Left.push`` nests Left->Right while ``Right.push`` nests Right->Left:
+a classic ABBA deadlock the graph cycle check must catch.  The LO001
+finding anchors on the first edge of the sorted cycle (Left->Right).
+"""
+
+import threading
+
+from repro.analysis.contracts import guarded_by
+
+
+@guarded_by("_lock", "_items")
+class Left:
+    def __init__(self, other: "Right") -> None:
+        self._lock = threading.Lock()
+        self._items: list[int] = []
+        self.other = other
+
+    def push(self, value: int) -> None:
+        with self._lock:
+            with self.other._lock:  # [LO001]
+                self._items.append(value)
+                self.other._items.append(value)
+
+    def double_down(self) -> None:
+        with self._lock:
+            with self._lock:  # [LO002]
+                self._items.clear()
+
+
+@guarded_by("_lock", "_items")
+class Right:
+    def __init__(self, other: Left) -> None:
+        self._lock = threading.Lock()
+        self._items: list[int] = []
+        self.other = other
+
+    def push(self, value: int) -> None:
+        with self._lock:
+            with self.other._lock:
+                self.other._items.append(value)

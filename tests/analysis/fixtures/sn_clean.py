@@ -1,0 +1,24 @@
+"""Clean twin of ``sn_violations``: frozen reads, live writes, sealing.
+
+Mutating a *live* row view (``get_or_create``) with the exact statement
+shapes that are violations on a frozen one must not be flagged, and
+turning writability *off* is the sealing direction — always legal.
+"""
+
+
+class SnapshotReader:
+    def __init__(self, store) -> None:
+        self.store = store
+
+    def peek(self, user_id: int) -> float:
+        view = self.store.freeze_view(user_id)
+        return float(view.sensibility.get("music", 0.0))
+
+    def poke_live(self, user_id: int) -> None:
+        live = self.store.get_or_create(user_id)
+        live.sensibility["music"] = 2.0
+        live.asked_questions.add("q17")
+
+    def seal(self, arr) -> None:
+        arr.setflags(write=False)
+        arr.flags.writeable = False

@@ -1,0 +1,18 @@
+"""Seeded snapshot-immutability violations: SN001, SN002."""
+
+
+class SnapshotAbuser:
+    def __init__(self, store) -> None:
+        self.store = store
+
+    def poke(self, user_id: int) -> None:
+        view = self.store.freeze_view(user_id)
+        view.sensibility["music"] = 2.0  # [SN001]
+        view.asked_questions.add("q17")  # [SN001]
+
+    def stamp(self, batch: "FrozenSumBatch") -> None:
+        batch.versions[7] = 99  # [SN001]
+
+    def thaw(self, arr) -> None:
+        arr.setflags(write=True)  # [SN002]
+        arr.flags.writeable = True  # [SN002]

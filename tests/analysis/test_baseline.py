@@ -1,0 +1,102 @@
+"""The baseline ratchet: waiver matching, required justifications, staleness."""
+
+import pytest
+
+from repro.analysis.baseline import (
+    BaselineError,
+    Waiver,
+    apply_baseline,
+    load_baseline,
+)
+from repro.analysis.core import Finding
+
+
+def finding(rule="LD001", path="src/repro/core/sum_store.py", line=10,
+            symbol="Store.put", snippet="self._rows[k] = v"):
+    return Finding(rule=rule, path=path, line=line, message="m",
+                   symbol=symbol, snippet=snippet)
+
+
+class TestWaiverMatching:
+    def test_rule_and_path_must_match(self):
+        w = Waiver(rule="LD001", path="a.py", justification="j")
+        assert w.matches(finding(rule="LD001", path="a.py"))
+        assert not w.matches(finding(rule="LD002", path="a.py"))
+        assert not w.matches(finding(rule="LD001", path="b.py"))
+
+    def test_optional_symbol_narrows(self):
+        w = Waiver(rule="LD001", path="a.py", justification="j",
+                   symbol="Store.put")
+        assert w.matches(finding(path="a.py", symbol="Store.put"))
+        assert not w.matches(finding(path="a.py", symbol="Store.get"))
+
+    def test_optional_contains_narrows_on_the_snippet(self):
+        w = Waiver(rule="LD001", path="a.py", justification="j",
+                   contains="setdefault")
+        assert w.matches(finding(path="a.py", snippet="x.setdefault(k, v)"))
+        assert not w.matches(finding(path="a.py", snippet="x[k] = v"))
+
+
+class TestLoadBaseline:
+    def test_round_trip(self, tmp_path):
+        p = tmp_path / "base.toml"
+        p.write_text(
+            '[[waiver]]\n'
+            'rule = "LD001"\n'
+            'path = "a.py"\n'
+            'symbol = "S.put"\n'
+            'contains = "setdefault"\n'
+            'justification = "GIL-atomic"\n'
+        )
+        (w,) = load_baseline(p)
+        assert w == Waiver(rule="LD001", path="a.py", symbol="S.put",
+                           contains="setdefault", justification="GIL-atomic")
+
+    def test_justification_is_mandatory(self, tmp_path):
+        p = tmp_path / "base.toml"
+        p.write_text('[[waiver]]\nrule = "LD001"\npath = "a.py"\n')
+        with pytest.raises(BaselineError, match="justification"):
+            load_baseline(p)
+
+    def test_rule_and_path_are_mandatory(self, tmp_path):
+        p = tmp_path / "base.toml"
+        p.write_text('[[waiver]]\nrule = "LD001"\njustification = "j"\n')
+        with pytest.raises(BaselineError, match="rule"):
+            load_baseline(p)
+
+    def test_unreadable_or_invalid_toml(self, tmp_path):
+        with pytest.raises(BaselineError):
+            load_baseline(tmp_path / "missing.toml")
+        bad = tmp_path / "bad.toml"
+        bad.write_text("[[waiver\n")
+        with pytest.raises(BaselineError):
+            load_baseline(bad)
+
+
+class TestApplyBaseline:
+    def test_partitions_waived_unwaived_and_stale(self):
+        f1 = finding(rule="LD001", path="a.py")
+        f2 = finding(rule="HY002", path="b.py")
+        w_hit = Waiver(rule="LD001", path="a.py", justification="j")
+        w_stale = Waiver(rule="SN001", path="c.py", justification="j")
+        result = apply_baseline([f1, f2], [w_hit, w_stale])
+        assert result.unwaived == [f2]
+        assert result.waived == [(f1, w_hit)]
+        assert result.stale == [w_stale]
+
+    def test_first_matching_waiver_wins_but_both_count_used(self):
+        f1 = finding()
+        f2 = finding(line=20)
+        broad = Waiver(rule="LD001", path=f1.path, justification="j")
+        narrow = Waiver(rule="LD001", path=f1.path, symbol=f1.symbol,
+                        justification="j")
+        result = apply_baseline([f1, f2], [broad, narrow])
+        assert result.unwaived == []
+        assert [w for _, w in result.waived] == [broad, broad]
+        assert result.stale == [narrow]
+
+    def test_no_waivers_leaves_everything_unwaived(self):
+        f1 = finding()
+        result = apply_baseline([f1], [])
+        assert result.unwaived == [f1]
+        assert result.waived == [] and result.stale == []

@@ -1,0 +1,200 @@
+"""Runtime half of the contracts: decorators, registry, witness, locks."""
+
+import threading
+
+import pytest
+
+from repro.analysis.contracts import (
+    ContractError,
+    ContractLock,
+    ContractRegistry,
+    LockWitness,
+    contracts_of,
+    guarded_by,
+    make_lock,
+    manual_guard,
+    requires_lock,
+    witness_enabled,
+)
+
+
+class TestDecorators:
+    def test_guarded_by_stacks_one_declaration_per_lock(self):
+        @guarded_by("_a_lock", "x", "y")
+        @guarded_by("_b_lock", "z", aliases=("_b_cond",))
+        class Guarded:
+            pass
+
+        specs = contracts_of(Guarded)
+        assert len(specs) == 2
+        by_lock = {s["lock"]: s for s in specs}
+        assert by_lock["_a_lock"]["attrs"] == ("x", "y")
+        assert by_lock["_b_lock"]["aliases"] == ("_b_cond",)
+
+    def test_contracts_are_not_inherited(self):
+        @guarded_by("_lock", "x")
+        class Base:
+            pass
+
+        class Child(Base):
+            pass
+
+        assert contracts_of(Base) != ()
+        assert contracts_of(Child) == ()
+
+    def test_guarded_by_rejects_empty_declarations(self):
+        with pytest.raises(ContractError):
+            guarded_by("", "x")
+        with pytest.raises(ContractError):
+            guarded_by("_lock")
+
+    def test_requires_lock_tags_the_function(self):
+        @requires_lock("_lock")
+        def helper():
+            pass
+
+        assert getattr(helper, "__requires_lock__") == "_lock"
+        with pytest.raises(ContractError):
+            requires_lock("")
+
+    def test_manual_guard_demands_a_justification(self):
+        @manual_guard("sorted loop acquisition")
+        def escape():
+            pass
+
+        assert getattr(escape, "__manual_guard__") == "sorted loop acquisition"
+        with pytest.raises(ContractError):
+            manual_guard("")
+        with pytest.raises(ContractError):
+            manual_guard("   ")
+
+
+class TestRegistry:
+    def test_aliases_canonicalize(self):
+        reg = ContractRegistry()
+        reg.declare_lock("A._lock", aliases=("A._not_empty", "A._not_full"))
+        assert reg.canonical("A._not_empty") == "A._lock"
+        assert reg.canonical("A._lock") == "A._lock"
+        assert reg.decl_for("A._not_full").node == "A._lock"
+
+    def test_declare_order_stores_canonical_edges(self):
+        reg = ContractRegistry()
+        reg.declare_lock("A._lock", aliases=("A._cond",))
+        reg.declare_lock("B._lock")
+        reg.declare_order("A._cond", "B._lock")
+        assert ("A._lock", "B._lock") in reg.orders
+
+    def test_empty_names_rejected(self):
+        reg = ContractRegistry()
+        with pytest.raises(ContractError):
+            reg.declare_lock("")
+        with pytest.raises(ContractError):
+            reg.declare_order("A", "")
+
+
+class TestWitness:
+    def test_nested_acquisition_records_an_edge(self):
+        witness = LockWitness()
+        witness.on_acquire("A", 1)
+        witness.on_acquire("B", 2)
+        witness.on_release("B", 2)
+        witness.on_release("A", 1)
+        assert ("A", "B") in witness.edges
+        assert witness.acquisitions == 2
+
+    def test_reacquiring_the_same_object_is_silent(self):
+        witness = LockWitness()
+        witness.on_acquire("A", 1)
+        witness.on_acquire("A", 1)  # RLock reentry: same object id
+        assert witness.edges == {}
+
+    def test_check_flags_orderings_outside_the_static_graph(self):
+        witness = LockWitness()
+        witness.on_acquire("A", 1)
+        witness.on_acquire("B", 2)
+        assert witness.check({("A", "B")}, ContractRegistry()) == []
+        problems = witness.check(set(), ContractRegistry())
+        assert len(problems) == 1
+        assert "A -> B" in problems[0]
+
+    def test_family_self_edge_needs_a_declared_self_order(self):
+        witness = LockWitness()
+        # two *different* members of the same per-user lock family
+        witness.on_acquire("C._lock_for()", 1)
+        witness.on_acquire("C._lock_for()", 2)
+
+        bare = ContractRegistry()
+        bare.declare_lock("C._lock_for()", family=True)
+        assert witness.check(set(), bare)  # unordered family: violation
+
+        ordered = ContractRegistry()
+        ordered.declare_lock(
+            "C._lock_for()", family=True, self_order="sorted user id"
+        )
+        assert witness.check(set(), ordered) == []
+
+    def test_reset_clears_observations(self):
+        witness = LockWitness()
+        witness.on_acquire("A", 1)
+        witness.on_acquire("B", 2)
+        witness.reset()
+        assert witness.edges == {} and witness.acquisitions == 0
+
+
+class TestContractLock:
+    def test_context_manager_and_locked_probe(self):
+        lock = ContractLock("T._lock")
+        assert not lock.locked()
+        with lock:
+            assert lock.locked()
+        assert not lock.locked()
+
+    def test_reentrant_wraps_an_rlock(self):
+        lock = ContractLock("T._lock", reentrant=True)
+        with lock:
+            with lock:
+                # locked() probes by non-blocking acquire, which succeeds
+                # reentrantly on this thread — ask another thread instead.
+                seen: list[bool] = []
+                probe = threading.Thread(
+                    target=lambda: seen.append(lock.locked())
+                )
+                probe.start()
+                probe.join()
+                assert seen == [True]
+
+    def test_make_lock_is_plain_stdlib_without_the_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOCK_WITNESS", raising=False)
+        assert not witness_enabled()
+        plain = make_lock("T._lock")
+        assert not isinstance(plain, ContractLock)
+        with plain:
+            pass
+        reentrant = make_lock("T._lock", reentrant=True)
+        with reentrant:
+            with reentrant:
+                pass
+
+    def test_make_lock_wraps_under_the_env_gate(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCK_WITNESS", "1")
+        assert witness_enabled()
+        lock = make_lock("T._lock")
+        assert isinstance(lock, ContractLock)
+        monkeypatch.setenv("REPRO_LOCK_WITNESS", "0")
+        assert not witness_enabled()
+
+    def test_witnessed_locks_work_across_threads(self, monkeypatch):
+        lock = ContractLock("T._lock")
+        hits = []
+
+        def work():
+            for _ in range(50):
+                with lock:
+                    hits.append(1)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(hits) == 200

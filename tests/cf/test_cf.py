@@ -160,7 +160,8 @@ class TestContentAndHybrids:
 class TestContextualCF:
     def test_postfilter_beats_plain_model(self, comoda):
         dataset, train, test, __ = comoda
-        factory = lambda: FunkSVD(rank=8, epochs=15)
+        def factory():
+            return FunkSVD(rank=8, epochs=15)
         plain = factory()
         plain.fit(RatingMatrix([(r.user_id, r.item_id, r.rating) for r in train]))
         rmse_plain, __m = evaluate_rmse_mae(

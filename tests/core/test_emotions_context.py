@@ -10,7 +10,6 @@ from repro.core.context import (
     taxonomy_lines,
 )
 from repro.core.emotions import (
-    EMOTION_CATALOG,
     EMOTION_NAMES,
     EmotionalAttribute,
     EmotionalState,

@@ -1,6 +1,5 @@
 """Smart User Models, reinforcement, sensibility analysis."""
 
-import numpy as np
 import pytest
 
 from repro.core.emotions import EMOTION_NAMES

@@ -1,6 +1,5 @@
 """Hash and sorted index behaviour, staleness semantics."""
 
-import numpy as np
 import pytest
 
 from repro.db.index import HashIndex, SortedIndex, StaleIndexError

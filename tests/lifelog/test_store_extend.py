@@ -1,6 +1,5 @@
 """Batched EventLog.extend: same semantics as appending one at a time."""
 
-import pytest
 
 from repro.lifelog.events import ActionCategory, Event
 from repro.lifelog.store import EventLog

@@ -7,7 +7,6 @@ an intensity below zero, and no sequence of reward/punish rounds may
 push a sensibility weight outside [0, 1].
 """
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
