@@ -379,6 +379,42 @@ class ContractLock:
             return False
         return True
 
+    # -- Condition support -------------------------------------------------
+    #
+    # ``threading.Condition(lock)`` forwards to these when present, so a
+    # ContractLock can sit under condition variables (the bus's
+    # ``PartitionQueue``) without the witness losing track: ``wait()``
+    # releases through ``_release_save`` (popping the node off the
+    # thread's stack) and reacquires through ``_acquire_restore``
+    # (pushing it back) — exactly mirroring what the real lock does.
+
+    def _release_save(self) -> Any:
+        WITNESS.on_release(self.node, id(self))
+        inner_save = getattr(self._inner, "_release_save", None)
+        if inner_save is not None:
+            return inner_save()
+        self._inner.release()
+        return None
+
+    def _acquire_restore(self, state: Any) -> None:
+        inner_restore = getattr(self._inner, "_acquire_restore", None)
+        if inner_restore is not None:
+            inner_restore(state)
+        else:
+            self._inner.acquire()
+        WITNESS.on_acquire(self.node, id(self))
+
+    def _is_owned(self) -> bool:
+        # Probe the *inner* lock directly: routing the probe through
+        # acquire()/release() would record phantom witness events.
+        inner_owned = getattr(self._inner, "_is_owned", None)
+        if inner_owned is not None:
+            return bool(inner_owned())
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
 
 def witness_enabled() -> bool:
     """Whether new locks should be witness-wrapped (env-gated)."""

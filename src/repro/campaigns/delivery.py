@@ -80,6 +80,11 @@ class EngineConfig:
     #: match the streaming updater's ``n_shards`` so each shard worker
     #: is pinned to exactly one store partition
     n_shards: int = 4
+    #: a :class:`~repro.obs.metrics.MetricsRegistry` to instrument every
+    #: subsystem this engine builds (serving facade, streaming updater,
+    #: checkpointer); ``None`` (default) runs on null instruments with
+    #: zero hot-path cost
+    telemetry: object | None = None
 
 
 class CampaignEngine:
@@ -340,6 +345,7 @@ class CampaignEngine:
                 course_id: dict(catalog.get(course_id).attributes)
                 for course_id in catalog.course_ids()
             },
+            telemetry=self.config.telemetry,
         )
         service.register("propensity", PropensityScorer(self))
         service.register(
@@ -389,6 +395,7 @@ class CampaignEngine:
         from repro.streaming.updater import StreamingUpdater
 
         kwargs.setdefault("event_log", self.event_log)
+        kwargs.setdefault("telemetry", self.config.telemetry)
         updater = StreamingUpdater(
             sums=self.sums,
             item_emotions=self.world.catalog.emotion_links(),
@@ -418,6 +425,7 @@ class CampaignEngine:
                 "checkpointing needs the sharded SUM backend; build the "
                 "engine with EngineConfig(sum_backend='sharded')"
             )
+        kwargs.setdefault("telemetry", self.config.telemetry)
         return Checkpointer(self.sums, directory, cache=cache, **kwargs)
 
     def replica_service(
@@ -438,6 +446,7 @@ class CampaignEngine:
 
         replica = ShardedSumStore.load(directory, mmap=mmap)
         service = self.recommendation_service(sums=replica)
+        kwargs.setdefault("telemetry", self.config.telemetry)
         return service, ReplicaRefresher(directory, service, mmap=mmap, **kwargs)
 
     # -- delivery ----------------------------------------------------------

@@ -1,0 +1,87 @@
+"""Telemetry plane: metrics, tracing, and exporters for the live stack.
+
+The observability substrate of the streaming/serving system:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters,
+  gauges and fixed-bucket histograms (lock per instrument,
+  allocation-free ``observe()``, any percentile derivable from any
+  snapshot) plus the zero-cost :data:`NULL_REGISTRY` facade every
+  instrumented component defaults to;
+* :mod:`repro.obs.tracing` — trace ids minted at event ingest/request
+  arrival, spans stamped per lifecycle stage, bounded retention in a
+  :class:`Tracer`;
+* :mod:`repro.obs.export` — JSONL snapshot writer and Prometheus text
+  exposition (``python -m repro.obs`` renders a committed snapshot).
+
+Enable end to end by passing one registry (and optionally one tracer)
+down the stack — ``StreamingUpdater(..., telemetry=reg)``,
+``RecommendationService(..., telemetry=reg)``, or engine-wide via
+``EngineConfig(telemetry=reg)``.  Components left at the default run on
+null instruments: no locks, no timestamps, no trace ids.
+"""
+
+from repro.obs.export import (
+    SnapshotWriter,
+    histogram_quantile,
+    read_jsonl,
+    snapshot_record,
+    to_prometheus,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_S,
+    SIZE_BUCKETS,
+    Counter,
+    CounterSnapshot,
+    Gauge,
+    GaugeSnapshot,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NULL_REGISTRY,
+    NullRegistry,
+    labelled,
+    quantile_from_buckets,
+    resolve_registry,
+    split_labels,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    next_trace_id,
+    resolve_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "CounterSnapshot",
+    "Gauge",
+    "GaugeSnapshot",
+    "Histogram",
+    "HistogramSnapshot",
+    "LATENCY_BUCKETS_S",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTracer",
+    "SIZE_BUCKETS",
+    "SnapshotWriter",
+    "Span",
+    "Tracer",
+    "histogram_quantile",
+    "labelled",
+    "next_trace_id",
+    "quantile_from_buckets",
+    "read_jsonl",
+    "resolve_registry",
+    "resolve_tracer",
+    "snapshot_record",
+    "split_labels",
+    "to_prometheus",
+    "write_jsonl",
+]

@@ -1,0 +1,77 @@
+"""Render committed telemetry snapshots: ``python -m repro.obs``.
+
+Reads a JSONL snapshot file (the :class:`~repro.obs.export.
+SnapshotWriter` / latency-bench artifact format) and renders one record
+as Prometheus text exposition or pretty JSON::
+
+    python -m repro.obs benchmarks/results/S7_latency_slo.jsonl
+    python -m repro.obs snapshots.jsonl --line 0 --format json
+    python -m repro.obs snapshots.jsonl --quantile streaming.update_visible_seconds=0.99
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.obs.export import histogram_quantile, read_jsonl, to_prometheus
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Render a JSONL metrics snapshot.",
+    )
+    parser.add_argument("path", help="JSONL snapshot file")
+    parser.add_argument(
+        "--line", type=int, default=-1,
+        help="record index to render (default: last line)",
+    )
+    parser.add_argument(
+        "--format", choices=("prometheus", "json"), default="prometheus",
+        help="output format (default: prometheus text exposition)",
+    )
+    parser.add_argument(
+        "--quantile", action="append", default=[], metavar="HIST=Q",
+        help="also print the Q-quantile of histogram HIST "
+             "(repeatable, e.g. serving.request_seconds=0.99)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        records = read_jsonl(args.path)
+    except OSError as error:
+        print(f"cannot read {args.path}: {error}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"{args.path} holds no snapshot records", file=sys.stderr)
+        return 2
+    try:
+        record = records[args.line]
+    except IndexError:
+        print(
+            f"--line {args.line} out of range ({len(records)} records)",
+            file=sys.stderr,
+        )
+        return 2
+    metrics = record.get("metrics", {})
+
+    if args.format == "json":
+        print(json.dumps(record, indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(to_prometheus(metrics))
+    for spec in args.quantile:
+        name, __, quantile = spec.partition("=")
+        try:
+            value = histogram_quantile(metrics, name, float(quantile or "0.5"))
+        except KeyError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        print(f"quantile {name} q={float(quantile or '0.5'):g}: {value:.6g}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main
+    raise SystemExit(main())

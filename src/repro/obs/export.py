@@ -1,0 +1,204 @@
+"""Snapshot exporters: JSONL for machines, Prometheus text for humans.
+
+Two output formats over the same :class:`~repro.obs.metrics.
+MetricsSnapshot`:
+
+* **JSONL** — one self-describing JSON object per line
+  (``{"ts": ..., "metrics": {name: {type, ...}}}``), appended by
+  :func:`write_jsonl` or on a cadence by :class:`SnapshotWriter`.
+  Histograms serialize their full bucket state, so any percentile is
+  derivable offline (:func:`histogram_quantile`) — the latency bench
+  commits these as its artifact and CI re-derives p99 from them.
+* **Prometheus text exposition** — :func:`to_prometheus` renders
+  counters, gauges and cumulative ``_bucket``/``_sum``/``_count``
+  histogram series, unpacking the :func:`~repro.obs.metrics.labelled`
+  name convention back into real labels.  ``python -m repro.obs`` (see
+  :mod:`repro.obs.__main__`) renders a committed JSONL line this way.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullRegistry,
+    quantile_from_buckets,
+    split_labels,
+)
+
+MetricsDict = Mapping[str, Mapping[str, Any]]
+
+
+def snapshot_record(
+    snapshot: MetricsSnapshot, **extra: object
+) -> dict[str, Any]:
+    """The JSONL payload for one snapshot (wall-clock stamped)."""
+    record: dict[str, Any] = {"ts": time.time()}
+    record.update(extra)
+    record["metrics"] = snapshot.as_dict()
+    return record
+
+
+def write_jsonl(
+    path: str | Path, snapshot: MetricsSnapshot, **extra: object
+) -> dict[str, Any]:
+    """Append one snapshot line to ``path``; returns the record."""
+    record = snapshot_record(snapshot, **extra)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Every snapshot record of a JSONL file, in file order."""
+    records: list[dict[str, Any]] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def histogram_quantile(metrics: MetricsDict, name: str, q: float) -> float:
+    """The ``q``-quantile of a serialized histogram (JSONL ``metrics``).
+
+    The offline twin of :meth:`~repro.obs.metrics.HistogramSnapshot.
+    quantile` — CI's p99 regression gate reads committed JSONL through
+    this, so the gate and the live bench derive identical numbers.
+    """
+    inst = metrics.get(name)
+    if inst is None or inst.get("type") != "histogram":
+        raise KeyError(f"no histogram named {name!r} in this record")
+    return quantile_from_buckets(
+        tuple(float(b) for b in inst["bounds"]),
+        tuple(int(c) for c in inst["counts"]),
+        q,
+        float(inst["min"]),
+        float(inst["max"]),
+    )
+
+
+class SnapshotWriter:
+    """Periodic (or on-demand) JSONL snapshot dumps of one registry.
+
+    ``write()`` appends one line synchronously; ``start()`` runs it on
+    ``interval`` seconds from a daemon thread until ``stop()``.  The
+    writer never touches instrument hot paths — it only calls
+    ``registry.snapshot()``.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | NullRegistry,
+        path: str | Path,
+        interval: float | None = None,
+        extra: Callable[[], Mapping[str, object]] | None = None,
+    ) -> None:
+        self.registry = registry
+        self.path = Path(path)
+        self.interval = interval
+        self.extra = extra
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def write(self) -> dict[str, Any]:
+        """Append one snapshot line now."""
+        extra = dict(self.extra()) if self.extra is not None else {}
+        return write_jsonl(self.path, self.registry.snapshot(), **extra)
+
+    def _run(self) -> None:  # pragma: no cover - timing loop
+        assert self.interval is not None
+        while not self._stop_event.wait(self.interval):
+            try:
+                self.write()
+            except Exception:
+                continue  # a full disk must not kill the cadence
+
+    def start(self) -> "SnapshotWriter":
+        if self.interval is None:
+            raise ValueError("no interval configured; call write() instead")
+        if self._thread is None or not self._thread.is_alive():
+            self._stop_event.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="obs-snapshot-writer", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, final_write: bool = True) -> None:
+        self._stop_event.set()
+        if self._thread is not None:
+            self._thread.join(5.0)
+            self._thread = None
+        if final_write:
+            self.write()
+
+    def __enter__(self) -> "SnapshotWriter":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+
+def _prom_name(base: str) -> str:
+    """Instrument name → Prometheus metric name (dots become underscores)."""
+    return "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in base
+    )
+
+
+def _series(base: str, labels: str, suffix: str = "", extra: str = "") -> str:
+    """One sample's name+labels, merging instrument and extra labels."""
+    body = ",".join(part for part in (labels, extra) if part)
+    rendered = f"{{{body}}}" if body else ""
+    return f"{_prom_name(base)}{suffix}{rendered}"
+
+
+def to_prometheus(
+    snapshot: MetricsSnapshot | MetricsDict,
+) -> str:
+    """Render a snapshot (live or JSONL-deserialized) as exposition text."""
+    metrics: MetricsDict
+    if isinstance(snapshot, MetricsSnapshot):
+        metrics = snapshot.as_dict()
+    else:
+        metrics = snapshot
+    lines: list[str] = []
+    typed: set[str] = set()
+    for name in sorted(metrics):
+        inst = metrics[name]
+        base, labels = split_labels(name)
+        kind = str(inst.get("type", "gauge"))
+        if base not in typed:
+            lines.append(f"# TYPE {_prom_name(base)} {kind}")
+            typed.add(base)
+        if kind in ("counter", "gauge"):
+            lines.append(f"{_series(base, labels)} {float(inst['value']):g}")
+            continue
+        bounds = [float(b) for b in inst["bounds"]]
+        counts = [int(c) for c in inst["counts"]]
+        cumulative = 0
+        for bound, count in zip(bounds, counts):
+            cumulative += count
+            le = 'le="' + format(bound, "g") + '"'
+            lines.append(f"{_series(base, labels, '_bucket', le)} {cumulative}")
+        cumulative += counts[len(bounds)] if len(counts) > len(bounds) else 0
+        inf = 'le="+Inf"'
+        lines.append(f"{_series(base, labels, '_bucket', inf)} {cumulative}")
+        lines.append(f"{_series(base, labels, '_sum')} {float(inst['sum']):g}")
+        lines.append(f"{_series(base, labels, '_count')} {cumulative}")
+    return "\n".join(lines) + ("\n" if lines else "")

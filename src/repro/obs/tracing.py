@@ -1,0 +1,151 @@
+"""Lightweight spans: where did this event's update-to-visible time go?
+
+A *trace* is one event's (or one serving request's) full lifecycle; a
+*span* is one named stage of it with start/end timestamps from
+``time.perf_counter()``.  Trace ids are minted at ingest — the bus
+stamps every :class:`~repro.streaming.bus.Delivery` at enqueue when
+telemetry is enabled, and :class:`~repro.serving.service.
+RecommendationService` stamps every request at arrival — and ride the
+envelope through every stage, so one streamed event's trace reads::
+
+    bus.queue     publish → dequeue      (queue wait + backpressure)
+    worker.map    dequeue → ops mapped
+    worker.commit ops → store committed  (cache publish inside)
+    cache.publish commit → version visible
+
+and one serving request's::
+
+    serving.resolve  models/validation
+    serving.score    base score_batch
+    serving.advice   emotional multiplier
+    serving.respond  rank + envelope build
+
+The :class:`Tracer` retains the most recent ``max_traces`` complete
+traces in a bounded LRU (per-event retention is what makes "where did
+*this* event's second go" answerable without a log pipeline); the
+per-stage *aggregate* latencies live in the stage histograms of
+:mod:`repro.obs.metrics`, not here.  A disabled pipeline uses
+:data:`NULL_TRACER`, whose ``add`` is an empty method and whose
+``enabled`` flag tells hot paths not to mint ids or take timestamps.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.analysis.contracts import declare_lock, guarded_by, make_lock
+
+declare_lock("Tracer._lock")
+
+#: process-wide trace-id source.  ``next()`` on an ``itertools.count``
+#: is a single C call — atomic under the GIL, no lock needed.
+_TRACE_IDS = itertools.count(1)
+
+
+def next_trace_id() -> int:
+    """Mint a process-unique trace id (monotonic, GIL-atomic)."""
+    return next(_TRACE_IDS)
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named stage of one trace, in ``perf_counter`` seconds."""
+
+    trace_id: int
+    name: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@guarded_by("_lock", "_spans")
+class Tracer:
+    """Bounded retention of complete traces, newest-kept.
+
+    ``add`` is the only hot-path method: one dataclass build plus an
+    append under the tracer lock.  Streamed events call it once per
+    stage *per delivery*, so traffic that outruns ``max_traces`` simply
+    rotates the window — aggregate latency always lives in the stage
+    histograms, traces answer the "this specific event" question.
+    """
+
+    enabled = True
+
+    def __init__(self, max_traces: int = 1024) -> None:
+        if max_traces < 1:
+            raise ValueError(f"max_traces must be >= 1, got {max_traces}")
+        self.max_traces = max_traces
+        self._spans: OrderedDict[int, list[Span]] = OrderedDict()
+        self._lock = make_lock("Tracer._lock")
+
+    def add(self, trace_id: int, name: str, start: float, end: float) -> None:
+        """Record one stage of one trace."""
+        span = Span(int(trace_id), name, float(start), float(end))
+        with self._lock:
+            spans = self._spans.get(span.trace_id)
+            if spans is None:
+                while len(self._spans) >= self.max_traces:
+                    self._spans.popitem(last=False)
+                spans = []
+                self._spans[span.trace_id] = spans
+            spans.append(span)
+
+    # -- reads ---------------------------------------------------------------
+
+    def trace(self, trace_id: int) -> tuple[Span, ...]:
+        """All retained spans of one trace, in recording order."""
+        with self._lock:
+            return tuple(self._spans.get(int(trace_id), ()))
+
+    def traces(self) -> dict[int, tuple[Span, ...]]:
+        """Snapshot of every retained trace (oldest first)."""
+        with self._lock:
+            return {tid: tuple(spans) for tid, spans in self._spans.items()}
+
+    def breakdown(self, trace_id: int) -> dict[str, float]:
+        """``stage name -> seconds`` for one trace (summed per stage)."""
+        totals: dict[str, float] = {}
+        for span in self.trace(trace_id):
+            totals[span.name] = totals.get(span.name, 0.0) + span.duration
+        return totals
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+class NullTracer:
+    """The tracing-disabled facade: no ids minted, nothing retained."""
+
+    enabled = False
+    max_traces = 0
+
+    def add(self, trace_id: int, name: str, start: float, end: float) -> None:
+        pass
+
+    def trace(self, trace_id: int) -> tuple[Span, ...]:
+        return ()
+
+    def traces(self) -> dict[int, tuple[Span, ...]]:
+        return {}
+
+    def breakdown(self, trace_id: int) -> dict[str, float]:
+        return {}
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: the module-level disabled tracer — the default of every instrumented
+#: component
+NULL_TRACER = NullTracer()
+
+
+def resolve_tracer(tracer: "Tracer | NullTracer | None") -> "Tracer | NullTracer":
+    """``None`` → the null tracer; anything else passes through."""
+    return tracer if tracer is not None else NULL_TRACER

@@ -33,6 +33,7 @@ from __future__ import annotations
 import shutil
 import threading
 from pathlib import Path
+from time import perf_counter
 from typing import Callable
 
 from repro.analysis.contracts import declare_lock, guarded_by
@@ -41,6 +42,7 @@ from repro.core.sharded_store import (
     generation_dirs,
     read_manifest,
 )
+from repro.obs.metrics import MetricsRegistry, NullRegistry, resolve_registry
 from repro.serving.service import RecommendationService
 
 
@@ -112,6 +114,7 @@ class Checkpointer:
         cache=None,
         retain: int | None = None,
         interval: float | None = None,
+        telemetry: MetricsRegistry | NullRegistry | None = None,
     ) -> None:
         if retain is not None and retain < 1:
             raise ValueError(f"retain must be >= 1, got {retain}")
@@ -122,9 +125,16 @@ class Checkpointer:
         self.interval = interval
         self._thread: _Cadence | None = None
         self._checkpoint_lock = threading.Lock()
+        registry = resolve_registry(telemetry)
+        self._m_checkpoints = registry.counter("replica.checkpoints")
+        self._m_checkpoint_seconds = registry.histogram(
+            "replica.checkpoint_seconds"
+        )
+        self._g_generation = registry.gauge("replica.checkpoint_generation")
 
     def checkpoint(self) -> int:
         """Write one new generation; returns its generation number."""
+        started = perf_counter()
         with self._checkpoint_lock:
             versions = global_version = None
             if self.cache is not None:
@@ -137,7 +147,11 @@ class Checkpointer:
             )
             generation = int(written.name[len("gen-"):])
             self._prune(generation)
-            return generation
+        # instruments record after the lock releases (leaf-lock rule)
+        self._m_checkpoints.inc()
+        self._m_checkpoint_seconds.observe(perf_counter() - started)
+        self._g_generation.set(float(generation))
+        return generation
 
     def _prune(self, current: int) -> None:
         if self.retain is None:
@@ -172,7 +186,7 @@ class Checkpointer:
         self.stop()
 
 
-@guarded_by("_poll_lock", "generation")
+@guarded_by("_poll_lock", "generation", "_manifest_target")
 class ReplicaRefresher:
     """Replica-side cadence: poll the manifest, load, atomically swap.
 
@@ -204,6 +218,7 @@ class ReplicaRefresher:
         mmap: bool = True,
         interval: float | None = None,
         loader: Callable[..., object] | None = None,
+        telemetry: MetricsRegistry | NullRegistry | None = None,
     ) -> None:
         self.directory = Path(directory)
         self.service = service
@@ -213,8 +228,25 @@ class ReplicaRefresher:
         #: generation currently served (seeded from the service's sums
         #: when it already holds a generation-loaded store)
         self.generation: int | None = service.sum_generation()
+        #: newest manifest generation seen by poll() (drives the lag gauge)
+        self._manifest_target: int | None = self.generation
         self._thread: _Cadence | None = None
         self._poll_lock = threading.Lock()
+        registry = resolve_registry(telemetry)
+        self._m_refreshes = registry.counter("replica.refreshes")
+        self._m_swap_seconds = registry.histogram("replica.swap_seconds")
+        registry.gauge(
+            "replica.generation",
+            fn=lambda: float(self.generation if self.generation is not None else -1),
+        )
+        # generation age: how many checkpoints the served store is behind
+        # the newest manifest this replica has observed
+        registry.gauge(
+            "replica.generation_lag",
+            fn=lambda: float(
+                (self._manifest_target or 0) - (self.generation or 0)
+            ),
+        )
 
     def poll(self) -> int | None:
         """Refresh if the manifest advanced; returns the new generation.
@@ -232,11 +264,14 @@ class ReplicaRefresher:
         reads) is swallowed: the service keeps serving its current
         store and the next poll follows the newer manifest.
         """
+        started = perf_counter()
+        refreshed = None
         with self._poll_lock:
             manifest = read_manifest(self.directory)
             if manifest is None:
                 return None
             target = int(manifest["generation"])
+            self._manifest_target = target
             if self.generation is not None and target <= self.generation:
                 return None
             try:
@@ -250,7 +285,11 @@ class ReplicaRefresher:
             self.generation = (
                 int(generation) if generation is not None else target
             )
-            return self.generation
+            refreshed = self.generation
+        # instruments record after the lock releases (leaf-lock rule)
+        self._m_refreshes.inc()
+        self._m_swap_seconds.observe(perf_counter() - started)
+        return refreshed
 
     # -- cadence -------------------------------------------------------------
 

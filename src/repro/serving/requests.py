@@ -98,6 +98,10 @@ class RecommendationResponse:
     ReplicaRefresher`), ``None`` when serving live state.  Both stamps
     are captured from the *same* resolver snapshot the scores came from,
     so a replica swap mid-request can never produce a torn pair.
+
+    ``trace_id`` is the request's telemetry trace id — minted at request
+    arrival when the service runs with an enabled tracer (its per-stage
+    spans land under this id), ``None`` when tracing is off.
     """
 
     user_id: int
@@ -105,6 +109,7 @@ class RecommendationResponse:
     ranked: tuple[ScoredItem, ...] = field(default_factory=tuple)
     sum_version: int | None = None
     generation: int | None = None
+    trace_id: int | None = None
 
     @property
     def items(self) -> list[ItemId]:
@@ -139,6 +144,7 @@ class SelectionResponse:
     repositories.  ``generation`` is the checkpoint generation when the
     resolver is a generation-loaded replica — captured from the same
     resolver snapshot the scores came from (never a torn pair).
+    ``trace_id`` matches :class:`RecommendationResponse`.
     """
 
     item: ItemId
@@ -146,6 +152,7 @@ class SelectionResponse:
     ranked: tuple[SelectedUser, ...] = field(default_factory=tuple)
     sum_version: int | None = None
     generation: int | None = None
+    trace_id: int | None = None
 
     def pairs(self) -> list[tuple[int, float]]:
         """Legacy ``(user_id, adjusted_score)`` view, best first."""

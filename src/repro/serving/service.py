@@ -18,12 +18,21 @@ per-pair dict churn anywhere on the serving path.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.core.advice import AdviceEngine, DomainProfile
 from repro.core.sum_model import SmartUserModel, UnknownUserError
+from repro.obs.metrics import (
+    SIZE_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+    labelled,
+    resolve_registry,
+)
+from repro.obs.tracing import NullTracer, Tracer, next_trace_id, resolve_tracer
 from repro.serving.adapters import as_scorer
 from repro.serving.requests import (
     RecommendationRequest,
@@ -60,6 +69,16 @@ class RecommendationService:
         UnknownUserError` naming every unknown id in the batch.  Pass
         ``True`` to opt in to the streaming semantics — unknown users
         get an empty (neutral) SUM and score unadjusted.
+    telemetry:
+        A :class:`~repro.obs.metrics.MetricsRegistry` for serving
+        metrics: per-stage latency (resolve/score/advice/respond),
+        request latency, batch width, request and unknown-user counts.
+        Default ``None`` serves on null instruments (no locks, no
+        timestamps).
+    tracer:
+        A :class:`~repro.obs.tracing.Tracer`; when enabled, each request
+        mints a trace id at arrival, stamps its stage spans under it,
+        and returns it on the response (``response.trace_id``).
     """
 
     def __init__(
@@ -69,6 +88,8 @@ class RecommendationService:
         item_attributes: Mapping[ItemId, Mapping[str, float]] | None = None,
         advice: AdviceEngine | None = None,
         create_missing: bool = False,
+        telemetry: MetricsRegistry | NullRegistry | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ) -> None:
         self.sums = sums
         self.domain_profile = domain_profile
@@ -77,6 +98,39 @@ class RecommendationService:
         self.create_missing = bool(create_missing)
         self._scorers: dict[str, Scorer] = {}
         self._default: str | None = None
+        # Instruments resolve once; request paths never consult the
+        # registry, and the null defaults make every record a no-op.
+        registry = resolve_registry(telemetry)
+        if tracer is None and registry.enabled:
+            # enabled telemetry implies tracing (mirrors StreamingUpdater):
+            # ids minted at request arrival, echoed on response.trace_id
+            self.tracer: Tracer | NullTracer = Tracer()
+        else:
+            self.tracer = resolve_tracer(tracer)
+        self._obs_on = registry.enabled or self.tracer.enabled
+        self._m_recommends = registry.counter(
+            labelled("serving.requests", kind="recommend")
+        )
+        self._m_selections = registry.counter(
+            labelled("serving.requests", kind="select")
+        )
+        self._m_unknown = registry.counter("serving.unknown_user_errors")
+        self._m_request_seconds = registry.histogram("serving.request_seconds")
+        self._m_batch_width = registry.histogram(
+            "serving.batch_width", SIZE_BUCKETS
+        )
+        self._m_resolve = registry.histogram(
+            labelled("serving.stage_seconds", stage="resolve")
+        )
+        self._m_score = registry.histogram(
+            labelled("serving.stage_seconds", stage="score")
+        )
+        self._m_advice = registry.histogram(
+            labelled("serving.stage_seconds", stage="advice")
+        )
+        self._m_respond = registry.histogram(
+            labelled("serving.stage_seconds", stage="respond")
+        )
 
     # -- registry ----------------------------------------------------------
 
@@ -210,6 +264,7 @@ class RecommendationService:
         adjust: bool,
         known_users: bool = False,
         sums: object | None = None,
+        stamps: list[float] | None = None,
     ) -> tuple[str, np.ndarray, np.ndarray, np.ndarray]:
         """(resolved name, base, multiplier, adjusted) for the full grid.
 
@@ -217,7 +272,10 @@ class RecommendationService:
         for callers whose ids were just sourced from ``sums`` itself and
         therefore cannot be unknown (select-all over ``user_ids()``).
         ``sums`` is the caller's captured resolver; defaults to a capture
-        taken here (direct ``score_matrix`` calls).
+        taken here (direct ``score_matrix`` calls).  ``stamps``, when
+        given, receives four ``perf_counter()`` marks — start, resolved,
+        scored, advised — the instrumented request paths turn into stage
+        histograms and trace spans.
         """
         if sums is None:
             sums = self.sums
@@ -230,11 +288,15 @@ class RecommendationService:
         # adjust=False used to skip this entirely and let unknown ids
         # leak into scorers as untyped per-scorer KeyErrors.
         adjusting = adjust and self.domain_profile is not None
+        if stamps is not None:
+            stamps.append(perf_counter())
         models = None
         if adjusting:
             models = self._resolve_models(user_ids, sums)
         elif sums is not None and not known_users:
             self._validate_users(user_ids, sums)
+        if stamps is not None:
+            stamps.append(perf_counter())
         base = np.asarray(
             scorer.score_batch(list(user_ids), list(items)), dtype=np.float64
         )
@@ -243,6 +305,8 @@ class RecommendationService:
                 f"scorer {name!r} returned shape {base.shape}, expected "
                 f"({len(user_ids)}, {len(items)})"
             )
+        if stamps is not None:
+            stamps.append(perf_counter())
         if adjusting:
             multiplier = self.advice.multiplier_matrix(
                 models,
@@ -252,6 +316,8 @@ class RecommendationService:
             )
         else:
             multiplier = np.ones_like(base)
+        if stamps is not None:
+            stamps.append(perf_counter())
         return str(name), base, multiplier, base * multiplier
 
     def score_matrix(
@@ -328,21 +394,56 @@ class RecommendationService:
 
     # -- the two paper functions -------------------------------------------
 
+    def _record_request(
+        self,
+        trace_id: int | None,
+        stamps: list[float],
+        finished: float,
+        width: int,
+        counter: object,
+    ) -> None:
+        """Turn one request's stage marks into histograms and spans.
+
+        Called only on instrumented services, strictly after the response
+        is built — the request hot path itself records nothing.
+        """
+        started, resolved, scored, advised = stamps
+        self._m_resolve.observe(resolved - started)
+        self._m_score.observe(scored - resolved)
+        self._m_advice.observe(advised - scored)
+        self._m_respond.observe(finished - advised)
+        self._m_request_seconds.observe(finished - started)
+        self._m_batch_width.observe(width)
+        counter.inc()  # type: ignore[attr-defined]
+        tracer = self.tracer
+        if tracer.enabled and trace_id is not None:
+            tracer.add(trace_id, "serving.resolve", started, resolved)
+            tracer.add(trace_id, "serving.score", resolved, scored)
+            tracer.add(trace_id, "serving.advice", scored, advised)
+            tracer.add(trace_id, "serving.respond", advised, finished)
+
     def recommend(self, request: RecommendationRequest) -> RecommendationResponse:
         """The paper's recommendation function, served on the batch path."""
         # The resolver is captured exactly once per request: stamps and
         # scores all come from this object, so a concurrent swap_sums
         # (replica refresh) can never tear a response across generations.
         resolver = self.sums
+        # trace id minted at request arrival; stamped on the response
+        trace_id = next_trace_id() if self.tracer.enabled else None
+        stamps: list[float] | None = [] if self._obs_on else None
         # Captured before scoring so the reported version is a freshness
         # *floor*: the served state reflects at least every batch up to
         # it (a concurrent publish during scoring can only add batches).
         sum_version = self.sum_version(request.user_id, sums=resolver)
         generation = self.sum_generation(resolver)
-        name, base, multiplier, adjusted = self._grids(
-            [request.user_id], request.items, request.scorer, request.adjust,
-            sums=resolver,
-        )
+        try:
+            name, base, multiplier, adjusted = self._grids(
+                [request.user_id], request.items, request.scorer,
+                request.adjust, sums=resolver, stamps=stamps,
+            )
+        except UnknownUserError:
+            self._m_unknown.inc()
+            raise
         entries = [
             ScoredItem(
                 item=item,
@@ -353,17 +454,26 @@ class RecommendationService:
             for col, item in enumerate(request.items)
         ]
         entries.sort(key=lambda entry: (-entry.adjusted_score, entry.item))
-        return RecommendationResponse(
+        response = RecommendationResponse(
             user_id=int(request.user_id),
             scorer=name,
             ranked=tuple(entries[: request.k]),
             sum_version=sum_version,
             generation=generation,
+            trace_id=trace_id,
         )
+        if stamps is not None:
+            self._record_request(
+                trace_id, stamps, perf_counter(),
+                len(request.items), self._m_recommends,
+            )
+        return response
 
     def select_users(self, request: SelectionRequest) -> SelectionResponse:
         """The paper's selection function, served on the batch path."""
         resolver = self.sums  # one capture per request; see recommend()
+        trace_id = next_trace_id() if self.tracer.enabled else None
+        stamps: list[float] | None = [] if self._obs_on else None
         if request.user_ids is not None:
             ids = [int(uid) for uid in request.user_ids]
         elif resolver is not None:
@@ -376,11 +486,15 @@ class RecommendationService:
         # freshness floor; see recommend()
         sum_version = self.sum_version(sums=resolver)
         generation = self.sum_generation(resolver)
-        name, base, multiplier, adjusted = self._grids(
-            ids, [request.item], request.scorer, request.adjust,
-            known_users=request.user_ids is None,
-            sums=resolver,
-        )
+        try:
+            name, base, multiplier, adjusted = self._grids(
+                ids, [request.item], request.scorer, request.adjust,
+                known_users=request.user_ids is None,
+                sums=resolver, stamps=stamps,
+            )
+        except UnknownUserError:
+            self._m_unknown.inc()
+            raise
         entries = [
             SelectedUser(
                 user_id=uid,
@@ -393,7 +507,14 @@ class RecommendationService:
         entries.sort(key=lambda entry: (-entry.adjusted_score, entry.user_id))
         if request.k is not None:
             entries = entries[: request.k]
-        return SelectionResponse(
+        response = SelectionResponse(
             item=request.item, scorer=name, ranked=tuple(entries),
             sum_version=sum_version, generation=generation,
+            trace_id=trace_id,
         )
+        if stamps is not None:
+            self._record_request(
+                trace_id, stamps, perf_counter(), len(ids),
+                self._m_selections,
+            )
+        return response

@@ -29,7 +29,14 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Iterator
 
-from repro.analysis.contracts import declare_lock, guarded_by
+from repro.analysis.contracts import declare_lock, guarded_by, make_lock
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NullRegistry,
+    labelled,
+    resolve_registry,
+)
+from repro.obs.tracing import NullTracer, Tracer, next_trace_id, resolve_tracer
 
 
 class BusClosed(RuntimeError):
@@ -67,6 +74,57 @@ class Delivery:
     #: consumer scratch: memoized mapping result, survives redelivery so
     #: stateful mappers are consulted exactly once per message
     mapped: Any = None
+    #: telemetry: id minted at event ingest (``None`` when tracing is off);
+    #: survives redelivery, so every span of one event shares one trace
+    trace_id: int | None = None
+
+
+class TopicInstruments:
+    """Pre-resolved telemetry instruments shared by a topic's partitions.
+
+    Resolved once at topic creation so the publish/ack hot paths never
+    consult the registry.  All instrument locks are leaves of the lock
+    graph: partition queues only touch these *after* releasing their own
+    lock, and the null variants (the default) take no locks at all.
+    """
+
+    __slots__ = (
+        "tracer",
+        "published",
+        "acked",
+        "redelivered",
+        "dead_letters",
+        "backpressure_stalls",
+        "backpressure_seconds",
+    )
+
+    def __init__(
+        self,
+        telemetry: MetricsRegistry | NullRegistry | None = None,
+        tracer: Tracer | NullTracer | None = None,
+        topic: str = "",
+    ) -> None:
+        registry = resolve_registry(telemetry)
+        self.tracer = resolve_tracer(tracer)
+        labels = {"topic": topic} if topic else {}
+        self.published = registry.counter(labelled("bus.published", **labels))
+        self.acked = registry.counter(labelled("bus.acked", **labels))
+        self.redelivered = registry.counter(
+            labelled("bus.redelivered", **labels)
+        )
+        self.dead_letters = registry.counter(
+            labelled("bus.dead_letters", **labels)
+        )
+        self.backpressure_stalls = registry.counter(
+            labelled("bus.backpressure_stalls", **labels)
+        )
+        self.backpressure_seconds = registry.histogram(
+            labelled("bus.backpressure_wait_seconds", **labels)
+        )
+
+
+#: shared by every uninstrumented queue — all methods are no-ops
+NULL_TOPIC_INSTRUMENTS = TopicInstruments()
 
 
 declare_lock(
@@ -97,7 +155,13 @@ declare_lock("EventBus._lock")
 class PartitionQueue:
     """One bounded FIFO partition with ack/nack redelivery."""
 
-    def __init__(self, partition: int, capacity: int, max_attempts: int) -> None:
+    def __init__(
+        self,
+        partition: int,
+        capacity: int,
+        max_attempts: int,
+        instruments: TopicInstruments | None = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         if max_attempts < 1:
@@ -105,8 +169,12 @@ class PartitionQueue:
         self.partition = partition
         self.capacity = capacity
         self.max_attempts = max_attempts
+        self._instruments = instruments or NULL_TOPIC_INSTRUMENTS
         self._queue: deque[Delivery] = deque()
-        self._lock = threading.Lock()
+        # Witness-wrapped under REPRO_LOCK_WITNESS: ContractLock forwards
+        # _release_save/_acquire_restore/_is_owned, so the condition
+        # variables' wait/notify keep the witness stack accurate.
+        self._lock = make_lock("PartitionQueue._lock")
         self._not_full = threading.Condition(self._lock)
         self._not_empty = threading.Condition(self._lock)
         self._settled = threading.Condition(self._lock)
@@ -124,6 +192,10 @@ class PartitionQueue:
     def put(self, value: Any, key: Any, timeout: float | None = None) -> int:
         """Enqueue one message; blocks while the partition is full."""
         deadline = None if timeout is None else time.monotonic() + timeout
+        inst = self._instruments
+        # the trace is born at ingest, before the event ever queues
+        trace_id = next_trace_id() if inst.tracer.enabled else None
+        stalled = 0.0
         with self._not_full:
             while len(self._queue) >= self.capacity:
                 if self._closed:
@@ -136,7 +208,9 @@ class PartitionQueue:
                             f"partition {self.partition} full "
                             f"({self.capacity} messages) for {timeout}s"
                         )
+                wait_from = time.monotonic()
                 self._not_full.wait(remaining)
+                stalled += time.monotonic() - wait_from
             if self._closed:
                 raise BusClosed("partition closed during publish")
             offset = self._next_offset
@@ -145,9 +219,15 @@ class PartitionQueue:
             self._queue.append(Delivery(
                 value=value, key=key, partition=self.partition,
                 offset=offset, attempt=1, published_at=time.perf_counter(),
+                trace_id=trace_id,
             ))
             self._not_empty.notify()
-            return offset
+        # instrument locks are leaves: only touched after releasing ours
+        inst.published.inc()
+        if stalled > 0.0:
+            inst.backpressure_stalls.inc()
+            inst.backpressure_seconds.observe(stalled)
+        return offset
 
     def put_many(
         self,
@@ -158,7 +238,11 @@ class PartitionQueue:
         window — the high-rate publish path.  Blocks (backpressure) while
         the partition is full; returns how many messages were placed."""
         deadline = None if timeout is None else time.monotonic() + timeout
+        inst = self._instruments
+        mint = inst.tracer.enabled
         placed = 0
+        stalled = 0.0
+        stalls = 0
         with self._not_full:
             while placed < len(items):
                 while len(self._queue) >= self.capacity:
@@ -172,7 +256,10 @@ class PartitionQueue:
                                 f"partition {self.partition} full "
                                 f"({self.capacity} messages) for {timeout}s"
                             )
+                    wait_from = time.monotonic()
                     self._not_full.wait(remaining)
+                    stalled += time.monotonic() - wait_from
+                    stalls += 1
                 if self._closed:
                     raise BusClosed("partition closed during publish")
                 room = self.capacity - len(self._queue)
@@ -181,12 +268,17 @@ class PartitionQueue:
                     self._queue.append(Delivery(
                         value=value, key=key, partition=self.partition,
                         offset=self._next_offset, attempt=1, published_at=now,
+                        trace_id=next_trace_id() if mint else None,
                     ))
                     self._next_offset += 1
                 take = min(room, len(items) - placed)
                 placed += take
                 self.published += take
                 self._not_empty.notify()
+        inst.published.inc(placed)
+        if stalls:
+            inst.backpressure_stalls.inc(stalls)
+            inst.backpressure_seconds.observe(stalled)
         return placed
 
     # -- consumer side -----------------------------------------------------
@@ -226,6 +318,7 @@ class PartitionQueue:
             self._in_flight -= 1
             self.acked += 1
             self._settled.notify_all()
+        self._instruments.acked.inc()
 
     def ack_batch(self, deliveries: list[Delivery]) -> None:
         """Ack a whole applied batch with one lock hold."""
@@ -233,6 +326,7 @@ class PartitionQueue:
             self._in_flight -= len(deliveries)
             self.acked += len(deliveries)
             self._settled.notify_all()
+        self._instruments.acked.inc(len(deliveries))
 
     def reject(self, delivery: Delivery) -> None:
         """Dead-letter one delivery immediately, without redelivery.
@@ -245,6 +339,7 @@ class PartitionQueue:
             self._in_flight -= 1
             self.dead_letters.append(delivery)
             self._settled.notify_all()
+        self._instruments.dead_letters.inc()
 
     def nack(self, delivery: Delivery) -> bool:
         """Return one delivery for redelivery (front of the queue).
@@ -257,12 +352,18 @@ class PartitionQueue:
             if delivery.attempt >= self.max_attempts:
                 self.dead_letters.append(delivery)
                 self._settled.notify_all()
-                return False
-            delivery.attempt += 1
-            self.redelivered += 1
-            self._queue.appendleft(delivery)
-            self._not_empty.notify()
-            return True
+                requeued = False
+            else:
+                delivery.attempt += 1
+                self.redelivered += 1
+                self._queue.appendleft(delivery)
+                self._not_empty.notify()
+                requeued = True
+        if requeued:
+            self._instruments.redelivered.inc()
+        else:
+            self._instruments.dead_letters.inc()
+        return requeued
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -303,13 +404,30 @@ class Topic:
         partitions: int = 4,
         capacity: int = 2_048,
         max_attempts: int = 3,
+        telemetry: MetricsRegistry | NullRegistry | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ) -> None:
         if not name:
             raise ValueError("topic needs a name")
         self.name = name
+        registry = resolve_registry(telemetry)
+        self.instruments = TopicInstruments(registry, tracer, name)
         self.partitions = [
-            PartitionQueue(i, capacity, max_attempts) for i in range(partitions)
+            PartitionQueue(i, capacity, max_attempts, self.instruments)
+            for i in range(partitions)
         ]
+        # callback gauges: evaluated only at snapshot time, lock-free from
+        # the gauge's side (each probe takes the partition lock briefly)
+        registry.gauge(labelled("bus.depth", topic=name), fn=lambda: self.depth)
+        for queue in self.partitions:
+            registry.gauge(
+                labelled(
+                    "bus.partition_depth",
+                    topic=name,
+                    partition=str(queue.partition),
+                ),
+                fn=lambda q=queue: q.depth,
+            )
 
     def __len__(self) -> int:
         return len(self.partitions)
@@ -401,10 +519,22 @@ class BusStats:
 class EventBus:
     """Named topics over partitioned bounded queues."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        telemetry: MetricsRegistry | NullRegistry | None = None,
+        tracer: Tracer | NullTracer | None = None,
+    ) -> None:
         self._topics: dict[str, Topic] = {}
         self._lock = threading.Lock()
         self._closed = False
+        self.telemetry = resolve_registry(telemetry)
+        self.tracer = resolve_tracer(tracer)
+        self.telemetry.gauge(
+            "bus.dead_lettered", fn=lambda: float(self.dead_lettered)
+        )
+        self.telemetry.gauge(
+            "bus.redeliveries", fn=lambda: float(self.redelivered)
+        )
 
     def create_topic(
         self,
@@ -419,7 +549,10 @@ class EventBus:
                 raise BusClosed("bus is closed")
             if name in self._topics:
                 raise ValueError(f"topic {name!r} already exists")
-            topic = Topic(name, partitions, capacity, max_attempts)
+            topic = Topic(
+                name, partitions, capacity, max_attempts,
+                telemetry=self.telemetry, tracer=self.tracer,
+            )
             self._topics[name] = topic
             return topic
 
@@ -438,6 +571,33 @@ class EventBus:
         if self._closed:
             raise BusClosed("bus is closed")
         return self.topic(topic).publish(value, key, timeout)
+
+    # -- aggregate counters (public observability surface) ------------------
+
+    @property
+    def published(self) -> int:
+        """Messages published across every topic of this bus."""
+        return sum(t.published for t in self._topics.values())
+
+    @property
+    def acked(self) -> int:
+        """Messages settled successfully across every topic."""
+        return sum(t.acked for t in self._topics.values())
+
+    @property
+    def redelivered(self) -> int:
+        """At-least-once retries: nacked messages requeued for redelivery."""
+        return sum(t.redelivered for t in self._topics.values())
+
+    @property
+    def dead_lettered(self) -> int:
+        """Messages parked in dead-letter lists after exhausting retries."""
+        return sum(len(t.dead_letters) for t in self._topics.values())
+
+    @property
+    def depth(self) -> int:
+        """Messages currently queued (not in flight) across all topics."""
+        return sum(t.depth for t in self._topics.values())
 
     def stats(self) -> BusStats:
         topics = list(self._topics.values())

@@ -62,6 +62,7 @@ from repro.core.updates import (
     applied_counts_by_user,
     apply_ops_batch,
 )
+from repro.obs.metrics import MetricsRegistry, NullRegistry, resolve_registry
 
 
 # The cache's locking protocol, as checkable declarations:
@@ -158,6 +159,7 @@ class SumCache:
         self,
         repository: SumRepository,
         mirror_families: Sequence[str] | None = None,
+        telemetry: MetricsRegistry | NullRegistry | None = None,
     ) -> None:
         self.repository = repository
         self._snapshots: dict[int, SmartUserModel] = {}
@@ -187,6 +189,29 @@ class SumCache:
             raise TypeError(
                 "mirror_families needs a columnar repository; the object "
                 "backend has no column mirror to scope"
+            )
+        # Telemetry: counters recorded strictly after lock scopes release
+        # (instrument locks are leaves); gauges are snapshot-time callbacks
+        # reading GIL-atomic aggregates, so they take no cache lock at all.
+        registry = resolve_registry(telemetry)
+        self._m_publishes = registry.counter("cache.publishes")
+        self._m_captures = registry.counter("cache.captures")
+        self._m_refreshed_rows = registry.counter("cache.capture_refreshed_rows")
+        registry.gauge(
+            "cache.snapshots", fn=lambda: float(len(self._snapshots))
+        )
+        registry.gauge(
+            "cache.global_version", fn=lambda: float(self._global_version)
+        )
+        if self._columnar:
+            registry.gauge(
+                "cache.mirror_stale_rows",
+                fn=lambda: float(
+                    sum(len(s.stale) for s in self._mirror_shards)
+                ),
+            )
+            registry.gauge(
+                "cache.mirrored_users", fn=lambda: float(self.mirrored_users)
             )
 
     @requires_lock("_lock_for()")
@@ -252,6 +277,8 @@ class SumCache:
                 self._mark_mirror_stale(user_id)
                 version += 1
                 self._versions[user_id] = version
+        if applied:
+            self._m_publishes.inc()
         return applied, version
 
     @manual_guard(
@@ -300,6 +327,7 @@ class SumCache:
             counts = apply_ops_batch(self.repository, items, policy)
             applied_by_user = applied_counts_by_user(items, counts)
             versions: dict[int, int] = {}
+            bumped = 0
             for user_id in ids:
                 version = self._versions.get(user_id, 0)
                 if applied_by_user.get(user_id, 0):
@@ -307,10 +335,13 @@ class SumCache:
                     self._mark_mirror_stale(user_id)
                     version += 1
                     self._versions[user_id] = version
+                    bumped += 1
                 versions[user_id] = version
         finally:
             for lock in reversed(locks):
                 lock.release()
+        if bumped:
+            self._m_publishes.inc(bumped)
         return counts, versions
 
     def mark_batch(self) -> int:
@@ -329,6 +360,7 @@ class SumCache:
             self._versions[user_id] = version
         with self._registry_lock:
             self._global_version += 1
+        self._m_publishes.inc()
         return version
 
     def invalidate(self, user_ids: Iterable[int] | None = None) -> dict[int, int]:
@@ -356,6 +388,7 @@ class SumCache:
         if versions:
             with self._registry_lock:
                 self._global_version += 1
+            self._m_publishes.inc(len(versions))
         return versions
 
     # -- read path (repository duck-type) ----------------------------------
@@ -432,9 +465,14 @@ class SumCache:
                 stamps = {uid: mirrored.get(uid, 0) for uid in shard_ids}
             else:
                 stamps = dict(mirrored)
-            return shard.mirror.capture(
+            batch = shard.mirror.capture(
                 shard_ids, rows, stamps, resolve=self.get
             )
+        # instruments only after the shard lock releases (leaf-lock rule)
+        self._m_captures.inc()
+        if need:
+            self._m_refreshed_rows.inc(len(need))
+        return batch
 
     def _snapshot_batch(self, user_ids: Sequence[int], create: bool = False):
         """Version-stamped columnar batch read — the serving fast path.

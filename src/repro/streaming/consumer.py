@@ -35,6 +35,14 @@ from time import perf_counter
 from repro.core.reward import ReinforcementPolicy
 from repro.core.updates import apply_ops
 from repro.lifelog.events import Event
+from repro.obs.metrics import (
+    SIZE_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+    labelled,
+    resolve_registry,
+)
+from repro.obs.tracing import NullTracer, Tracer, resolve_tracer
 from repro.streaming.bus import Delivery, PartitionQueue
 from repro.streaming.cache import SumCache
 from repro.streaming.mapper import EventUpdateMapper
@@ -78,6 +86,8 @@ class ShardWorker(threading.Thread):
         write_behind: WriteBehindWriter | None = None,
         batch_max: int = 256,
         poll_timeout: float = 0.05,
+        telemetry: MetricsRegistry | NullRegistry | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ) -> None:
         super().__init__(name=f"sum-shard-{partition.partition}", daemon=True)
         if getattr(cache.repository, "readonly", False):
@@ -97,6 +107,25 @@ class ShardWorker(threading.Thread):
         self.poll_timeout = poll_timeout
         self.stats = WorkerStats()
         self._stop_requested = threading.Event()
+        # Instruments resolve once here; the batch loop never consults the
+        # registry.  All recording happens with no component lock held —
+        # instrument locks stay leaves of the process lock graph.
+        registry = resolve_registry(telemetry)
+        self.tracer = resolve_tracer(tracer)
+        self._telemetry_on = registry.enabled
+        shard = str(partition.partition)
+        self._m_batch_size = registry.histogram(
+            "streaming.batch_size", SIZE_BUCKETS
+        )
+        self._m_commit = registry.histogram(
+            labelled("streaming.commit_seconds", shard=shard)
+        )
+        self._m_visible = registry.histogram(
+            "streaming.update_visible_seconds"
+        )
+        self._m_applied = registry.counter("streaming.events_applied")
+        self._m_failed = registry.counter("streaming.events_failed")
+        self._m_log_drops = registry.counter("streaming.log_drops")
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -127,6 +156,7 @@ class ShardWorker(threading.Thread):
     ) -> None:
         """Nack preserving FIFO: front-insertion needs reverse order."""
         self.stats.failed += len(deliveries)
+        self._m_failed.inc(len(deliveries))
         for delivery in reversed(deliveries):
             settled.add(id(delivery))
             self.partition.nack(delivery)
@@ -146,6 +176,7 @@ class ShardWorker(threading.Thread):
         except Exception:
             leaked = [d for d in batch if id(d) not in settled]
             self.stats.failed += len(leaked)
+            self._m_failed.inc(len(leaked))
             for delivery in leaked:
                 self.partition.reject(delivery)
 
@@ -158,6 +189,8 @@ class ShardWorker(threading.Thread):
         # nacking malformed messages before anything applies; then group
         # per user so each user's whole slice of the batch is applied
         # under one lock hold (readers never see a half-batch).
+        dequeued_at = perf_counter()
+        self._m_batch_size.observe(len(batch))
         per_user: dict[int, list[tuple[Delivery, tuple]]] = {}
         order: list[int] = []
         unmappable: list[Delivery] = []
@@ -175,10 +208,12 @@ class ShardWorker(threading.Thread):
             per_user[user_id].append((delivery, ops))
         if unmappable:
             self._nack_in_order(unmappable, settled)
+        mapped_at = perf_counter()
 
         applied = self._apply_batch_columnar(per_user, order)
         if applied is None:
             applied = self._apply_per_user(per_user, order, settled)
+        committed_at = perf_counter()
 
         if not applied:
             return
@@ -195,6 +230,7 @@ class ShardWorker(threading.Thread):
                     # The writer kept the events buffered for the next
                     # flush — count them so the lag is observable.
                     self.stats.log_drops += len(to_log)
+                    self._m_log_drops.inc(len(to_log))
         self.cache.mark_batch()
         visible_at = perf_counter()
         samples = self.stats.latencies
@@ -207,6 +243,25 @@ class ShardWorker(threading.Thread):
         self.partition.ack_batch(applied)
         self.stats.processed += len(applied)
         self.stats.batches += 1
+        self._m_applied.inc(len(applied))
+        self._m_commit.observe(committed_at - mapped_at)
+        if self._telemetry_on:
+            observe = self._m_visible.observe
+            for delivery in applied:
+                observe(visible_at - delivery.published_at)
+        tracer = self.tracer
+        if tracer.enabled:
+            # one trace per event: queue wait, map, commit, publish spans
+            for delivery in applied:
+                trace_id = delivery.trace_id
+                if trace_id is None:
+                    continue
+                tracer.add(
+                    trace_id, "bus.queue", delivery.published_at, dequeued_at
+                )
+                tracer.add(trace_id, "worker.map", dequeued_at, mapped_at)
+                tracer.add(trace_id, "worker.commit", mapped_at, committed_at)
+                tracer.add(trace_id, "cache.publish", committed_at, visible_at)
 
     def _apply_batch_columnar(
         self,
@@ -297,6 +352,7 @@ class ShardWorker(threading.Thread):
                 # effects may be partially in place, so a retry would
                 # double-apply — at-most-once past the apply stage.
                 self.stats.failed += len(bad)
+                self._m_failed.inc(len(bad))
                 for delivery in bad:
                     settled.add(id(delivery))
                     self.partition.reject(delivery)

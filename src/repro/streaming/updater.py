@@ -43,6 +43,8 @@ from repro.core.sum_model import SumRepository
 from repro.core.sum_store import ColumnarSumStore
 from repro.lifelog.events import Event
 from repro.lifelog.store import EventLog
+from repro.obs.metrics import MetricsRegistry, NullRegistry, resolve_registry
+from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
 from repro.streaming.bus import EventBus, Topic
 from repro.streaming.cache import SumCache
 from repro.streaming.consumer import DecayTick, ShardWorker
@@ -110,6 +112,15 @@ class StreamingUpdater:
         cache's read mirror to stage beyond the Advice-stage defaults —
         batch consumers of those families then get the same snapshot
         isolation (columnar backends only).
+    telemetry:
+        A :class:`~repro.obs.metrics.MetricsRegistry` to instrument the
+        whole subsystem (bus, workers, cache, write-behind).  Default
+        ``None`` runs on null instruments: no locks, no timestamps.
+    tracer:
+        A :class:`~repro.obs.tracing.Tracer` for per-event lifecycle
+        spans (queue wait → map → commit → publish).  When ``telemetry``
+        is enabled and no tracer is given, one is created — trace ids
+        are then minted at ingest and stamped on every delivery.
     """
 
     def __init__(
@@ -125,18 +136,30 @@ class StreamingUpdater:
         max_attempts: int = 3,
         flush_every: int = 512,
         mirror_families: tuple[str, ...] | None = None,
+        telemetry: MetricsRegistry | NullRegistry | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         self.policy = policy or ReinforcementPolicy()
-        self.cache = SumCache(sums, mirror_families=mirror_families)
-        self.bus = EventBus()
+        self.telemetry = resolve_registry(telemetry)
+        if tracer is None:
+            # enabled telemetry implies tracing: ids minted at ingest
+            self.tracer: Tracer | NullTracer = (
+                Tracer() if self.telemetry.enabled else NULL_TRACER
+            )
+        else:
+            self.tracer = tracer
+        self.cache = SumCache(
+            sums, mirror_families=mirror_families, telemetry=self.telemetry
+        )
+        self.bus = EventBus(telemetry=self.telemetry, tracer=self.tracer)
         self.topic: Topic = self.bus.create_topic(
             LIFELOG_TOPIC, partitions=n_shards,
             capacity=queue_capacity, max_attempts=max_attempts,
         )
         self.write_behind = (
-            WriteBehindWriter(event_log, flush_every)
+            WriteBehindWriter(event_log, flush_every, telemetry=self.telemetry)
             if event_log is not None else None
         )
         # One mapper per shard: per-user decay counters stay with the
@@ -149,12 +172,17 @@ class StreamingUpdater:
                 policy=self.policy,
                 write_behind=self.write_behind,
                 batch_max=batch_max,
+                telemetry=self.telemetry,
+                tracer=self.tracer,
             )
             for partition in self.topic
         ]
         self._started = False
         self._stopped = False
         self._submitted = 0
+        self.telemetry.gauge(
+            "streaming.submitted", fn=lambda: float(self._submitted)
+        )
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -22,6 +22,7 @@ from typing import Iterable
 from repro.analysis.contracts import declare_lock, guarded_by, requires_lock
 from repro.lifelog.events import Event
 from repro.lifelog.store import EventLog
+from repro.obs.metrics import MetricsRegistry, NullRegistry, resolve_registry
 
 declare_lock("WriteBehindWriter._lock")
 
@@ -30,7 +31,12 @@ declare_lock("WriteBehindWriter._lock")
 class WriteBehindWriter:
     """Batched, thread-safe event persistence into an :class:`EventLog`."""
 
-    def __init__(self, event_log: EventLog, flush_every: int = 512) -> None:
+    def __init__(
+        self,
+        event_log: EventLog,
+        flush_every: int = 512,
+        telemetry: MetricsRegistry | NullRegistry | None = None,
+    ) -> None:
         if flush_every < 1:
             raise ValueError(f"flush_every must be >= 1, got {flush_every}")
         self.event_log = event_log
@@ -39,6 +45,19 @@ class WriteBehindWriter:
         self._lock = threading.Lock()
         self.flushed_events = 0
         self.flush_count = 0
+        # Callback gauges read GIL-atomic aggregates without the writer
+        # lock, so a metrics snapshot can never contend with a flush.
+        registry = resolve_registry(telemetry)
+        registry.gauge(
+            "writebehind.pending", fn=lambda: float(len(self._buffer))
+        )
+        registry.gauge(
+            "writebehind.flushed_events",
+            fn=lambda: float(self.flushed_events),
+        )
+        registry.gauge(
+            "writebehind.flush_count", fn=lambda: float(self.flush_count)
+        )
 
     def add_batch(self, events: Iterable[Event]) -> int:
         """Buffer applied events; flush if the buffer filled.

@@ -1,0 +1,199 @@
+"""Exporters: JSONL roundtrip, offline quantiles, Prometheus text, CLI."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.export import (
+    SnapshotWriter,
+    histogram_quantile,
+    read_jsonl,
+    snapshot_record,
+    to_prometheus,
+    write_jsonl,
+)
+from repro.obs.metrics import LATENCY_BUCKETS_S, MetricsRegistry, labelled
+from repro.obs.__main__ import main
+
+
+def populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("streaming.applied_events").inc(40)
+    reg.gauge(labelled("bus.depth", topic="lifelog")).set(3.0)
+    hist = reg.histogram(
+        "streaming.update_visible_seconds", bounds=LATENCY_BUCKETS_S
+    )
+    for i in range(1_000):
+        hist.observe((i + 0.5) / 1_000 * 0.05)  # uniform on (0, 0.05)
+    return reg
+
+
+class TestJsonl:
+    def test_write_read_roundtrip(self, tmp_path):
+        reg = populated_registry()
+        path = tmp_path / "snapshots.jsonl"
+        write_jsonl(path, reg.snapshot(), phase="warmup")
+        write_jsonl(path, reg.snapshot(), phase="steady")
+        records = read_jsonl(path)
+        assert [r["phase"] for r in records] == ["warmup", "steady"]
+        for record in records:
+            assert record["ts"] > 0
+            metrics = record["metrics"]
+            assert metrics["streaming.applied_events"]["value"] == 40.0
+            assert metrics['bus.depth{topic="lifelog"}']["value"] == 3.0
+            hist = metrics["streaming.update_visible_seconds"]
+            assert hist["type"] == "histogram"
+            assert sum(hist["counts"]) == hist["count"] == 1_000
+
+    def test_records_are_valid_single_line_json(self, tmp_path):
+        path = tmp_path / "one.jsonl"
+        write_jsonl(path, populated_registry().snapshot())
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["metrics"]
+
+    def test_snapshot_record_carries_extra_fields(self):
+        record = snapshot_record(populated_registry().snapshot(), run="r1")
+        assert record["run"] == "r1"
+        assert "streaming.applied_events" in record["metrics"]
+
+
+class TestHistogramQuantile:
+    def test_matches_the_live_snapshot_quantile(self, tmp_path):
+        """CI's offline p99 must equal the bench's in-process p99."""
+        reg = populated_registry()
+        live = reg.snapshot()
+        record = snapshot_record(live)
+        metrics = json.loads(json.dumps(record, sort_keys=True))["metrics"]
+        for q in (0.5, 0.9, 0.99, 0.999):
+            offline = histogram_quantile(
+                metrics, "streaming.update_visible_seconds", q
+            )
+            assert offline == pytest.approx(
+                live.histogram("streaming.update_visible_seconds").quantile(q)
+            )
+
+    def test_unknown_or_non_histogram_name_raises(self):
+        metrics = snapshot_record(populated_registry().snapshot())["metrics"]
+        with pytest.raises(KeyError):
+            histogram_quantile(metrics, "missing", 0.99)
+        with pytest.raises(KeyError):
+            histogram_quantile(metrics, "streaming.applied_events", 0.99)
+
+    def test_empty_histogram_serializes_to_nan_quantile(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")
+        metrics = snapshot_record(reg.snapshot())["metrics"]
+        assert math.isnan(histogram_quantile(metrics, "h", 0.99))
+
+
+class TestSnapshotWriter:
+    def test_write_appends_one_record(self, tmp_path):
+        reg = populated_registry()
+        writer = SnapshotWriter(
+            reg, tmp_path / "w.jsonl", extra=lambda: {"phase": "bench"}
+        )
+        writer.write()
+        writer.write()
+        records = read_jsonl(tmp_path / "w.jsonl")
+        assert len(records) == 2
+        assert all(r["phase"] == "bench" for r in records)
+
+    def test_start_requires_interval(self, tmp_path):
+        with pytest.raises(ValueError, match="interval"):
+            SnapshotWriter(MetricsRegistry(), tmp_path / "w.jsonl").start()
+
+    def test_context_manager_writes_final_snapshot(self, tmp_path):
+        reg = populated_registry()
+        path = tmp_path / "ctx.jsonl"
+        with SnapshotWriter(reg, path, interval=60.0):
+            pass  # stop() on exit performs the final write
+        assert len(read_jsonl(path)) >= 1
+
+    def test_stop_without_final_write(self, tmp_path):
+        path = tmp_path / "nofinal.jsonl"
+        writer = SnapshotWriter(populated_registry(), path, interval=60.0)
+        writer.start()
+        writer.stop(final_write=False)
+        assert not path.exists()
+
+
+class TestPrometheus:
+    def test_counters_and_gauges_render_with_labels(self):
+        text = to_prometheus(populated_registry().snapshot())
+        assert "# TYPE streaming_applied_events counter" in text
+        assert "streaming_applied_events 40" in text
+        assert "# TYPE bus_depth gauge" in text
+        assert 'bus_depth{topic="lifelog"} 3' in text
+
+    def test_histogram_renders_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram(
+            labelled("stage.seconds", stage="score"), bounds=(0.1, 0.2)
+        )
+        for value in (0.05, 0.15, 0.15, 5.0):
+            h.observe(value)
+        text = to_prometheus(reg.snapshot())
+        assert "# TYPE stage_seconds histogram" in text
+        assert 'stage_seconds_bucket{stage="score",le="0.1"} 1' in text
+        assert 'stage_seconds_bucket{stage="score",le="0.2"} 3' in text
+        assert 'stage_seconds_bucket{stage="score",le="+Inf"} 4' in text
+        assert 'stage_seconds_sum{stage="score"} 5.35' in text
+        assert 'stage_seconds_count{stage="score"} 4' in text
+
+    def test_accepts_deserialized_jsonl_metrics(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        write_jsonl(path, populated_registry().snapshot())
+        record = read_jsonl(path)[0]
+        text = to_prometheus(record["metrics"])
+        assert "streaming_applied_events 40" in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert to_prometheus(MetricsRegistry().snapshot()) == ""
+
+
+class TestCli:
+    def test_prometheus_output_and_quantile(self, tmp_path, capsys):
+        path = tmp_path / "cli.jsonl"
+        write_jsonl(path, populated_registry().snapshot())
+        code = main(
+            [
+                str(path),
+                "--quantile",
+                "streaming.update_visible_seconds=0.99",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "# TYPE streaming_update_visible_seconds histogram" in captured.out
+        assert "quantile streaming.update_visible_seconds q=0.99" in captured.out
+
+    def test_json_format_and_line_selection(self, tmp_path, capsys):
+        path = tmp_path / "cli.jsonl"
+        reg = populated_registry()
+        write_jsonl(path, reg.snapshot(), phase="first")
+        write_jsonl(path, reg.snapshot(), phase="second")
+        assert main([str(path), "--line", "0", "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out)["phase"] == "first"
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_empty_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main([str(path)]) == 2
+        assert "no snapshot records" in capsys.readouterr().err
+
+    def test_out_of_range_line_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "cli.jsonl"
+        write_jsonl(path, populated_registry().snapshot())
+        assert main([str(path), "--line", "5"]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_unknown_quantile_histogram_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "cli.jsonl"
+        write_jsonl(path, populated_registry().snapshot())
+        assert main([str(path), "--quantile", "absent=0.99"]) == 2

@@ -1,0 +1,106 @@
+"""Span retention, trace ids, and the null tracer facade."""
+
+import threading
+
+import pytest
+
+from repro.obs.tracing import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    next_trace_id,
+    resolve_tracer,
+)
+
+
+class TestTraceIds:
+    def test_ids_are_unique_and_monotonic(self):
+        first = next_trace_id()
+        second = next_trace_id()
+        assert second == first + 1
+
+    def test_ids_are_unique_across_threads(self):
+        minted: list[int] = []
+        lock = threading.Lock()
+
+        def mint():
+            ids = [next_trace_id() for _ in range(2_000)]
+            with lock:
+                minted.extend(ids)
+
+        threads = [threading.Thread(target=mint) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(minted)) == len(minted) == 16_000
+
+
+class TestSpan:
+    def test_duration(self):
+        assert Span(1, "s", 2.0, 3.5).duration == 1.5
+
+
+class TestTracer:
+    def test_add_and_read_back_in_order(self):
+        tracer = Tracer()
+        tracer.add(7, "bus.queue", 0.0, 1.0)
+        tracer.add(7, "worker.map", 1.0, 1.5)
+        spans = tracer.trace(7)
+        assert [s.name for s in spans] == ["bus.queue", "worker.map"]
+        assert tracer.trace(999) == ()
+
+    def test_breakdown_sums_per_stage(self):
+        tracer = Tracer()
+        tracer.add(1, "a", 0.0, 1.0)
+        tracer.add(1, "a", 2.0, 2.5)
+        tracer.add(1, "b", 1.0, 2.0)
+        assert tracer.breakdown(1) == pytest.approx({"a": 1.5, "b": 1.0})
+
+    def test_lru_retention_drops_oldest_whole_traces(self):
+        tracer = Tracer(max_traces=3)
+        for tid in range(1, 6):
+            tracer.add(tid, "stage", 0.0, 1.0)
+        assert len(tracer) == 3
+        assert sorted(tracer.traces()) == [3, 4, 5]
+        # touching an existing trace does not re-evict anything
+        tracer.add(3, "late", 1.0, 2.0)
+        assert sorted(tracer.traces()) == [3, 4, 5]
+        assert [s.name for s in tracer.trace(3)] == ["stage", "late"]
+
+    def test_max_traces_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_traces"):
+            Tracer(max_traces=0)
+
+    def test_threaded_adds_keep_spans_with_their_trace(self):
+        tracer = Tracer(max_traces=64)
+
+        def hammer(tid):
+            for i in range(500):
+                tracer.add(tid, f"stage{i % 4}", float(i), float(i + 1))
+
+        threads = [threading.Thread(target=hammer, args=(tid,)) for tid in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        traces = tracer.traces()
+        assert len(traces) == 8
+        for tid, spans in traces.items():
+            assert len(spans) == 500
+            assert all(s.trace_id == tid for s in spans)
+
+
+class TestNullTracer:
+    def test_resolve_tracer_defaults_to_null(self):
+        assert resolve_tracer(None) is NULL_TRACER
+        tracer = Tracer()
+        assert resolve_tracer(tracer) is tracer
+
+    def test_null_tracer_retains_nothing(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.add(1, "s", 0.0, 1.0)
+        assert NULL_TRACER.trace(1) == ()
+        assert NULL_TRACER.traces() == {}
+        assert NULL_TRACER.breakdown(1) == {}
+        assert len(NULL_TRACER) == 0

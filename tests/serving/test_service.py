@@ -574,3 +574,66 @@ class TestColumnarServingParity:
         expected = build(repo).score_matrix(ids, ITEMS)
         actual = build(store).score_matrix(ids, ITEMS)
         assert np.array_equal(expected, actual)
+
+
+class TestServingTelemetry:
+    """PR 7: request instruments, trace ids, and the null default."""
+
+    def build(self, repo, **kwargs):
+        service = RecommendationService(
+            sums=repo,
+            domain_profile=make_profile(),
+            item_attributes=ITEM_ATTRIBUTES,
+            **kwargs,
+        )
+        service.register("base", lambda model, item: 0.5)
+        return service
+
+    def test_default_service_stamps_no_trace_ids(self, repo):
+        service = self.build(repo)
+        response = service.recommend(
+            RecommendationRequest(user_id=1, items=ITEMS, k=2)
+        )
+        assert response.trace_id is None
+        assert len(service.tracer) == 0
+
+    def test_enabled_telemetry_implies_tracing(self, repo):
+        from repro.obs.metrics import MetricsRegistry, labelled
+        from repro.obs.tracing import Tracer
+
+        registry = MetricsRegistry()
+        service = self.build(repo, telemetry=registry)
+        assert isinstance(service.tracer, Tracer)  # auto-created
+
+        response = service.recommend(
+            RecommendationRequest(user_id=1, items=ITEMS, k=2)
+        )
+        assert response.trace_id is not None
+        assert [s.name for s in service.tracer.trace(response.trace_id)] == [
+            "serving.resolve", "serving.score",
+            "serving.advice", "serving.respond",
+        ]
+        selection = service.select_users(
+            SelectionRequest(item="course-plain", user_ids=[1, 2, 3], k=2)
+        )
+        assert selection.trace_id not in (None, response.trace_id)
+
+        snap = registry.snapshot()
+        assert snap.value(labelled("serving.requests", kind="recommend")) == 1
+        assert snap.value(labelled("serving.requests", kind="select")) == 1
+        assert snap.histogram("serving.request_seconds").count == 2
+        for stage in ("resolve", "score", "advice", "respond"):
+            hist = snap.histogram(labelled("serving.stage_seconds", stage=stage))
+            assert hist.count == 2
+
+    def test_unknown_user_errors_are_counted(self, repo):
+        from repro.core.sum_model import UnknownUserError
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        service = self.build(repo, telemetry=registry)
+        with pytest.raises(UnknownUserError):
+            service.recommend(
+                RecommendationRequest(user_id=99, items=ITEMS, k=2)
+            )
+        assert registry.snapshot().value("serving.unknown_user_errors") == 1
