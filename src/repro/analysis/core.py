@@ -39,6 +39,57 @@ MUTATOR_METHODS = frozenset({
 #: substrings that make an attribute name "look like a lock"
 _LOCKISH = ("lock", "mutex")
 
+#: sync-primitive factories on the threading/multiprocessing modules and
+#: on multiprocessing *context* objects — ``mp.RLock()``, ``ctx.Lock()``.
+#: Without typing these, an mp lock stored under a non-lock-ish name is
+#: invisible to LD/LO: acquisitions don't resolve to a node and the lock
+#: graph silently drops the edges.
+_SYNC_LOCK_FACTORIES = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+#: cross-process channel factories — typed so alias tracking works, but
+#: never treated as locks (queues serialize data, not critical sections)
+_SYNC_CHANNEL_FACTORIES = frozenset({"Queue", "JoinableQueue", "SimpleQueue"})
+#: module aliases whose factory calls we accept (``import
+#: multiprocessing as mp`` is the idiomatic spelling)
+_SYNC_MODULE_NAMES = frozenset({"threading", "multiprocessing", "mp"})
+#: conventional names for multiprocessing context objects
+#: (``ctx = multiprocessing.get_context("fork")``)
+_SYNC_CONTEXT_NAMES = frozenset({"ctx", "_ctx", "mp_context", "_mp_context"})
+
+#: attribute types that mean "this attribute IS a lock object"
+_SYNC_LOCK_TYPES = frozenset(
+    f"{module}.{factory}"
+    for module in ("threading", "multiprocessing")
+    for factory in _SYNC_LOCK_FACTORIES
+)
+
+
+def sync_primitive_type(value: ast.expr) -> str | None:
+    """``"multiprocessing.Lock"``-style type for sync-factory calls.
+
+    Recognizes ``threading.X()`` / ``multiprocessing.X()`` / ``mp.X()``
+    and multiprocessing-context receivers (``ctx.X()``,
+    ``self._ctx.X()``) for the lock and channel factory sets; anything
+    else is ``None``.
+    """
+    if not (
+        isinstance(value, ast.Call) and isinstance(value.func, ast.Attribute)
+    ):
+        return None
+    attr = value.func.attr
+    if attr not in _SYNC_LOCK_FACTORIES and attr not in _SYNC_CHANNEL_FACTORIES:
+        return None
+    recv = value.func.value
+    if isinstance(recv, ast.Name):
+        if recv.id == "threading":
+            return f"threading.{attr}"
+        if recv.id in _SYNC_MODULE_NAMES or recv.id in _SYNC_CONTEXT_NAMES:
+            return f"multiprocessing.{attr}"
+    if isinstance(recv, ast.Attribute) and recv.attr in _SYNC_CONTEXT_NAMES:
+        return f"multiprocessing.{attr}"
+    return None
+
 
 @dataclass(frozen=True)
 class Finding:
@@ -449,7 +500,7 @@ def _shallow_value_type(
     if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
         if value.func.id in project.classes:
             return value.func.id
-    return None
+    return sync_primitive_type(value)
 
 
 def _display_path(path: Path) -> str:
@@ -541,6 +592,10 @@ class TypeEnv:
                     self.types.setdefault(name, func.id)
                     self.fresh.add(name)
                     return
+            sync = sync_primitive_type(value)
+            if sync:
+                self.types.setdefault(name, sync)
+                return
             inferred = self._call_return_type(value)
             if inferred:
                 self.types.setdefault(name, inferred)
@@ -614,7 +669,7 @@ class TypeEnv:
                     return self.cls.name
                 if func.id in self.project.classes:
                     return func.id
-            return self._call_return_type(expr)
+            return sync_primitive_type(expr) or self._call_return_type(expr)
         return None
 
     def is_fresh(self, expr: ast.expr) -> bool:
@@ -661,7 +716,11 @@ def lock_node_of(
         if guard is not None:
             return registry.canonical(guard.node_for(info.name))
         node = f"{info.name}.{name}{suffix}"
-        if looks_like_lock(name) or registry.canonical(node) in registry.locks:
+        if (
+            looks_like_lock(name)
+            or registry.canonical(node) in registry.locks
+            or info.attr_types.get(name) in _SYNC_LOCK_TYPES
+        ):
             return registry.canonical(node)
         return None
     if looks_like_lock(name):

@@ -23,7 +23,14 @@ from repro.analysis.core import (
 )
 
 #: modules allowed to (re)build the shard plane
-_SHARD_OWNERS = ("core/sharded_store.py", "streaming/consumer.py")
+_SHARD_OWNERS = (
+    "core/sharded_store.py",
+    "streaming/consumer.py",
+    # the multi-process plane swaps crashed shards for checkpoint-rebuilt
+    # replacements — that IS the documented refresh protocol
+    "core/shm_store.py",
+    "streaming/procplane.py",
+)
 
 _MUTABLE_FACTORY_NAMES = frozenset({"list", "dict", "set", "bytearray"})
 

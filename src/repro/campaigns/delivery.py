@@ -74,7 +74,9 @@ class EngineConfig:
     #: batch reads and updates become array slices) or "sharded"
     #: (``n_shards`` columnar partitions behind a hash router — per-shard
     #: write locks, per-shard vocabularies, generation-stamped
-    #: checkpoints for the replica refresh protocol)
+    #: checkpoints for the replica refresh protocol) or "multiproc"
+    #: (sharded, with every column page on shared memory so per-shard
+    #: writer *processes* can own mutation — see repro.streaming.procplane)
     sum_backend: str = "object"
     #: partition count of the "sharded" backend (ignored otherwise);
     #: match the streaming updater's ``n_shards`` so each shard worker
@@ -104,10 +106,16 @@ class CampaignEngine:
             self.sums = ColumnarSumStore()
         elif self.config.sum_backend == "sharded":
             self.sums = ShardedSumStore(n_shards=self.config.n_shards)
+        elif self.config.sum_backend == "multiproc":
+            # sharded semantics on shared-memory column pages; worker
+            # processes attach via repro.streaming.procplane
+            from repro.core.shm_store import MultiProcSumStore
+
+            self.sums = MultiProcSumStore(n_shards=self.config.n_shards)
         else:
             raise ValueError(
                 f"unknown sum_backend {self.config.sum_backend!r}; "
-                "expected 'object', 'columnar' or 'sharded'"
+                "expected 'object', 'columnar', 'sharded' or 'multiproc'"
             )
         self.eit = GradualEIT(question_bank or QuestionBank.default_bank(per_task=5))
         self.policy = ReinforcementPolicy()

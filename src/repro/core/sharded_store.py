@@ -47,7 +47,7 @@ import json
 import os
 import shutil
 from pathlib import Path
-from typing import Any, Iterator, Mapping, Sequence
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -107,6 +107,28 @@ def generation_dirs(directory: str | Path) -> list[tuple[int, Path]]:
                 continue
     found.sort()
     return found
+
+
+def _link_tree(src: Path, dst: Path) -> None:
+    """Replicate ``src`` into ``dst`` via hardlinks (copy fallback).
+
+    The delta-checkpoint fast path: an untouched shard's page files are
+    identical byte for byte, so the new generation links the previous
+    generation's inodes instead of re-serializing megabytes of columns.
+    Retention pruning (``shutil.rmtree`` on old generations) stays safe —
+    the inodes live until their last link goes.  Filesystems without
+    hardlinks (or cross-device roots) fall back to plain copies.
+    """
+    dst.mkdir(parents=True, exist_ok=True)
+    for entry in src.iterdir():
+        target = dst / entry.name
+        if entry.is_dir():
+            _link_tree(entry, target)
+            continue
+        try:
+            os.link(entry, target)
+        except OSError:
+            shutil.copy2(entry, target)
 
 
 class ShardedBatch:
@@ -207,16 +229,31 @@ class ShardedSumStore:
     directory on disk.
     """
 
-    def __init__(self, n_shards: int = 4, initial_capacity: int = 1024) -> None:
+    def __init__(
+        self,
+        n_shards: int = 4,
+        initial_capacity: int = 1024,
+        shard_factory: Callable[[int, int], ColumnarSumStore] | None = None,
+    ) -> None:
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         per_shard = max(1, int(initial_capacity) // int(n_shards))
+        #: ``shard_factory(shard_index, capacity)`` builds one partition —
+        #: the hook :class:`~repro.core.shm_store.MultiProcSumStore` uses
+        #: to back each partition's pages with shared memory
+        factory = shard_factory if shard_factory is not None else (
+            lambda __, capacity: ColumnarSumStore(initial_capacity=capacity)
+        )
         self.shards: tuple[ColumnarSumStore, ...] = tuple(
-            ColumnarSumStore(initial_capacity=per_shard)
-            for __ in range(int(n_shards))
+            factory(i, per_shard) for i in range(int(n_shards))
         )
         self._snapshot_generation: int | None = None
         self._global_floor: int | None = None
+        #: per save-root checkpoint marks for delta saves: resolved root
+        #: -> (generation written, per-shard mutation-clock values at
+        #: that write) — an untouched shard hardlinks the previous
+        #: generation's page files instead of re-serializing them
+        self._checkpoint_marks: dict[str, tuple[int, list[int]]] = {}
 
     # -- routing -------------------------------------------------------------
 
@@ -515,6 +552,17 @@ class ShardedSumStore:
         Works on replicas too (save is a pure read) — re-checkpointing a
         served generation under a new root is how a standby seeds its own
         save directory.
+
+        Checkpoint deltas: each save records every shard's mutation-clock
+        value per save root.  A shard whose clock did not move since this
+        store's previous save to the same root gets its page files
+        *hardlinked* from that generation instead of re-serialized, so
+        the checkpoint cost scales with the touched fraction of the
+        population, not its size.  (A linked shard directory carries the
+        per-shard meta of the generation it was first written in — the
+        manifest's generation counter is the authoritative stamp, and
+        version floors for an untouched shard are by definition
+        unchanged under the streaming write path.)
         """
         root = Path(directory)
         root.mkdir(parents=True, exist_ok=True)
@@ -528,12 +576,27 @@ class ShardedSumStore:
             for uid, v in versions.items():
                 by_shard[self.shard_of(int(uid))][int(uid)] = int(v)
 
+        # Clocks are read *before* serializing: a write racing the save
+        # leaves the recorded value behind the live clock, so the next
+        # save re-serializes that shard — over-writing is safe, skipping
+        # a dirty shard is not.  (The checkpoint protocol syncs writers
+        # first anyway; this is belt and braces.)
+        root_key = str(root.resolve())
+        marks = self._checkpoint_marks.get(root_key)
+        clocks = [shard.mutation_count for shard in self.shards]
+
         work = root / (gen_name + ".tmp")
         if work.exists():
             shutil.rmtree(work)
         for i, shard in enumerate(self.shards):
+            shard_dir = work / f"shard-{i:02d}"
+            if marks is not None and i < len(marks[1]) and marks[1][i] == clocks[i]:
+                previous = root / f"gen-{marks[0]:06d}" / f"shard-{i:02d}"
+                if previous.is_dir():  # pruned → fall through to a full save
+                    _link_tree(previous, shard_dir)
+                    continue
             shard.save(
-                work / f"shard-{i:02d}",
+                shard_dir,
                 generation=generation,
                 versions=by_shard[i],
                 global_version=global_version,
@@ -556,6 +619,7 @@ class ShardedSumStore:
             json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
         )
         os.replace(tmp_manifest, root / MANIFEST_NAME)
+        self._checkpoint_marks[root_key] = (generation, clocks)
         return target
 
     @classmethod

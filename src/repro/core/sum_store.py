@@ -71,6 +71,33 @@ _GROWTH_FACTOR = 2
 _INITIAL_ROWS = 1024
 _INITIAL_COLS = 16
 
+
+def _zeros(shape: tuple[int, ...], dtype: Any) -> np.ndarray:
+    """Default array allocator (private heap pages)."""
+    return np.zeros(shape, dtype=dtype)
+
+
+class _MutationClock:
+    """Monotonic per-store write counter (dirty tracking for checkpoints).
+
+    Every mutation path — scalar view writes, batch applies, decay,
+    row creation, column interning, compaction — bumps it, so
+    ``ShardedSumStore.save`` can tell an untouched shard (clock equal to
+    the value recorded at the previous checkpoint) from a dirty one and
+    skip re-serializing its pages.  Bumps happen under the store lock or
+    on GIL-atomic integer adds; an over-count only costs a redundant
+    page rewrite, never a missed one — bumps *before* the write land in
+    program order ahead of it under the same lock.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def bump(self) -> None:
+        self.value += 1
+
 # Column families share their owning store's RLock (one serialization
 # domain per store), so "_ColumnFamily.lock" is the same runtime object
 # as "ColumnarSumStore._lock" and the analyzer treats them as one node.
@@ -190,7 +217,7 @@ class _ColumnFamily:
     """
 
     __slots__ = ("index", "order", "values", "mask", "frozen", "lock",
-                 "seed", "_dtype")
+                 "seed", "_dtype", "_alloc", "clock")
 
     def __init__(
         self,
@@ -199,8 +226,12 @@ class _ColumnFamily:
         lock: threading.RLock,
         seed_names: Sequence[str] = (),
         frozen: bool = False,
+        alloc: Callable[[tuple[int, ...], Any], np.ndarray] | None = None,
+        clock: _MutationClock | None = None,
     ) -> None:
         self.lock = lock
+        self._alloc = alloc if alloc is not None else _zeros
+        self.clock = clock if clock is not None else _MutationClock()
         self._dtype = np.dtype(dtype)
         #: columns the family was constructed with; compaction never drops
         #: them (the emotion seeds pin the shared intensity/sensibility/
@@ -209,8 +240,8 @@ class _ColumnFamily:
         self.index: dict[str, int] = {name: j for j, name in enumerate(seed_names)}
         self.order: list[str] = list(seed_names)
         col_capacity = max(_INITIAL_COLS, len(self.order))
-        self.values = np.zeros((row_capacity, col_capacity), dtype=self._dtype)
-        self.mask = np.zeros((row_capacity, col_capacity), dtype=bool)
+        self.values = self._alloc((row_capacity, col_capacity), self._dtype)
+        self.mask = self._alloc((row_capacity, col_capacity), np.bool_)
         self.frozen = frozen
 
     @property
@@ -239,15 +270,16 @@ class _ColumnFamily:
                 new_cols = max(
                     _INITIAL_COLS, self.values.shape[1] * _GROWTH_FACTOR
                 )
-                grown_v = np.zeros(
-                    (self.values.shape[0], new_cols), dtype=self._dtype
+                grown_v = self._alloc(
+                    (self.values.shape[0], new_cols), self._dtype
                 )
                 grown_v[:, : self.values.shape[1]] = self.values
-                grown_m = np.zeros((self.mask.shape[0], new_cols), dtype=bool)
+                grown_m = self._alloc((self.mask.shape[0], new_cols), np.bool_)
                 grown_m[:, : self.mask.shape[1]] = self.mask
                 self.values, self.mask = grown_v, grown_m
             self.index[name] = j
             self.order.append(name)
+            self.clock.bump()
             return j
 
     def read_matrix(
@@ -258,9 +290,9 @@ class _ColumnFamily:
 
     @requires_lock("lock")
     def grow_rows(self, new_capacity: int) -> None:
-        grown_v = np.zeros((new_capacity, self.values.shape[1]), dtype=self._dtype)
+        grown_v = self._alloc((new_capacity, self.values.shape[1]), self._dtype)
         grown_v[: self.values.shape[0]] = self.values
-        grown_m = np.zeros((new_capacity, self.mask.shape[1]), dtype=bool)
+        grown_m = self._alloc((new_capacity, self.mask.shape[1]), np.bool_)
         grown_m[: self.mask.shape[0]] = self.mask
         self.values, self.mask = grown_v, grown_m
 
@@ -281,7 +313,8 @@ class _FrozenFamily:
     store — the "immutable-by-convention" era of snapshots is over.
     """
 
-    __slots__ = ("index", "order", "width", "values", "mask", "lock")
+    __slots__ = ("index", "order", "width", "values", "mask", "lock",
+                 "clock")
 
     def __init__(
         self,
@@ -303,6 +336,9 @@ class _FrozenFamily:
         mask.flags.writeable = False
         # satisfies the row-view locking protocol; the arrays still raise
         self.lock = threading.Lock()
+        # absorbs the pre-write clock bump; the read-only arrays still
+        # reject the write itself
+        self.clock = _MutationClock()
 
     @classmethod
     def capture(cls, family: _ColumnFamily, rows: np.ndarray) -> "_FrozenFamily":
@@ -342,7 +378,8 @@ class _FrozenRowStore:
     """
 
     __slots__ = ("_emotional", "_sensibility", "_subjective", "_evidence",
-                 "_ei", "_objective", "_asked", "_answered", "_lock")
+                 "_ei", "_objective", "_asked", "_answered", "_lock",
+                 "_clock")
 
     def __init__(self, store: "ColumnarSumStore", row: int) -> None:
         rows = np.asarray([row], dtype=np.intp)
@@ -357,6 +394,9 @@ class _FrozenRowStore:
         self._asked = (frozenset(store._asked[row]),)
         self._answered = (frozenset(store._answered[row]),)
         self._lock = threading.RLock()
+        # writes through a frozen view still raise (read-only arrays /
+        # proxied cold state); the clock only absorbs the pre-write bump
+        self._clock = _MutationClock()
 
 
 class FrozenSumBatch:
@@ -640,6 +680,7 @@ class _RowMapView(MutableMapping):
         # arrays, and a write to the replaced one would be lost.
         with family.lock:
             j = family.ensure_column(name)
+            family.clock.bump()
             family.values[self._row, j] = value
             family.mask[self._row, j] = True
 
@@ -649,6 +690,7 @@ class _RowMapView(MutableMapping):
             j = family.column_of(name)
             if j is None or not family.mask[self._row, j]:
                 raise KeyError(name)
+            family.clock.bump()
             family.values[self._row, j] = 0
             family.mask[self._row, j] = False
 
@@ -681,6 +723,7 @@ class _BranchScoresView(MutableMapping):
 
     def __setitem__(self, branch: Branch, value: float) -> None:
         with self._store._lock:  # row growth replaces the EI block
+            self._store._clock.bump()
             self._store._ei[self._row, self._COLUMN[branch]] = value
 
     def __delitem__(self, branch: Branch) -> None:
@@ -759,6 +802,7 @@ class SumRowView(SmartUserModel):
         # appends to these cold-state lists, and a list seen mid-append
         # could route this write into a stale slot after compaction.
         with self._store._lock:
+            self._store._clock.bump()
             self._store._objective[self._row] = dict(value)
 
     @property
@@ -768,6 +812,7 @@ class SumRowView(SmartUserModel):
     @asked_questions.setter
     def asked_questions(self, value: Iterable[str]) -> None:
         with self._store._lock:
+            self._store._clock.bump()
             self._store._asked[self._row] = set(value)
 
     @property
@@ -777,6 +822,7 @@ class SumRowView(SmartUserModel):
     @answered_questions.setter
     def answered_questions(self, value: Iterable[str]) -> None:
         with self._store._lock:
+            self._store._clock.bump()
             self._store._answered[self._row] = set(value)
 
 
@@ -851,7 +897,12 @@ class ColumnarSumStore:
     get true columnar access (:meth:`batch`, :meth:`batch_apply_ops`).
     """
 
-    def __init__(self, initial_capacity: int = _INITIAL_ROWS) -> None:
+    def __init__(
+        self,
+        initial_capacity: int = _INITIAL_ROWS,
+        *,
+        alloc: Callable[[tuple[int, ...], Any], np.ndarray] | None = None,
+    ) -> None:
         capacity = max(1, int(initial_capacity))
         #: serializes every mutation: rows share arrays and capacity
         #: growth replaces them, so concurrent shard workers must not
@@ -859,22 +910,36 @@ class ColumnarSumStore:
         #: lock-free — per-user read consistency comes from the
         #: streaming cache's user locks, as with the object backend)
         self._lock = make_lock("ColumnarSumStore._lock", reentrant=True)
+        #: ``alloc(shape, dtype) -> zeroed writable array`` — every dense
+        #: block (family values/masks, user ids, EI) goes through it, so
+        #: a subclass/factory can back the store with shared memory
+        #: (:mod:`repro.core.shm_store`) without touching any write path
+        self._alloc = alloc if alloc is not None else _zeros
+        self._clock = _MutationClock()
         self._row_of: dict[int, int] = {}
-        self._user_ids = np.zeros(capacity, dtype=np.int64)
+        self._user_ids = self._alloc((capacity,), np.int64)
         self._n = 0
         self._capacity = capacity
         self._emotional = _ColumnFamily(
             np.float64, capacity, self._lock,
             seed_names=EMOTION_NAMES, frozen=True,
+            alloc=self._alloc, clock=self._clock,
         )
         self._sensibility = _ColumnFamily(
-            np.float64, capacity, self._lock, seed_names=EMOTION_NAMES
+            np.float64, capacity, self._lock, seed_names=EMOTION_NAMES,
+            alloc=self._alloc, clock=self._clock,
         )
-        self._subjective = _ColumnFamily(np.float64, capacity, self._lock)
+        self._subjective = _ColumnFamily(
+            np.float64, capacity, self._lock,
+            alloc=self._alloc, clock=self._clock,
+        )
         self._evidence = _ColumnFamily(
-            np.int64, capacity, self._lock, seed_names=EMOTION_NAMES
+            np.int64, capacity, self._lock, seed_names=EMOTION_NAMES,
+            alloc=self._alloc, clock=self._clock,
         )
-        self._ei = np.full((capacity, len(BRANCH_ORDER)), 0.5)
+        ei = self._alloc((capacity, len(BRANCH_ORDER)), np.float64)
+        ei[:] = 0.5
+        self._ei = ei
         self._objective: list[dict[str, Any]] = []
         self._asked: list[set[str]] = []
         self._answered: list[set[str]] = []
@@ -896,6 +961,16 @@ class ColumnarSumStore:
     def readonly(self) -> bool:
         """Whether this store is a read-only (mmap-loaded) replica."""
         return self._readonly
+
+    @property
+    def mutation_count(self) -> int:
+        """Monotonic write-counter value (see :class:`_MutationClock`).
+
+        Equal values across two observations with writers quiesced mean
+        *no* mutation happened in between — the contract checkpoint
+        delta-skipping relies on.
+        """
+        return self._clock.value
 
     # -- freshness floors (replica duck-type of the SumCache surface) -------
 
@@ -942,12 +1017,13 @@ class ColumnarSumStore:
         new_capacity = self._capacity
         while new_capacity < needed:
             new_capacity *= _GROWTH_FACTOR
-        grown_ids = np.zeros(new_capacity, dtype=np.int64)
+        grown_ids = self._alloc((new_capacity,), np.int64)
         grown_ids[: self._n] = self._user_ids[: self._n]
         self._user_ids = grown_ids
         for family in self._families():
             family.grow_rows(new_capacity)
-        grown_ei = np.full((new_capacity, len(BRANCH_ORDER)), 0.5)
+        grown_ei = self._alloc((new_capacity, len(BRANCH_ORDER)), np.float64)
+        grown_ei[:] = 0.5
         grown_ei[: self._n] = self._ei[: self._n]
         self._ei = grown_ei
         self._capacity = new_capacity
@@ -967,6 +1043,7 @@ class ColumnarSumStore:
                 return row
             row = self._n
             self._grow_rows(row + 1)
+            self._clock.bump()
             self._user_ids[row] = user_id
             self._objective.append({})
             self._asked.append(set())
@@ -1108,6 +1185,8 @@ class ColumnarSumStore:
             dropped = 0
             for family in (self._sensibility, self._subjective, self._evidence):
                 dropped += self._compact_family(family)
+            if dropped:
+                self._clock.bump()
             return dropped
 
     @requires_lock("_lock")
@@ -1124,10 +1203,10 @@ class ColumnarSumStore:
             return 0
         cols = np.asarray([family.index[name] for name in keep], dtype=np.intp)
         col_capacity = max(_INITIAL_COLS, len(keep))
-        values = np.zeros(
-            (family.values.shape[0], col_capacity), dtype=family.values.dtype
+        values = family._alloc(
+            (family.values.shape[0], col_capacity), family.values.dtype
         )
-        mask = np.zeros((family.mask.shape[0], col_capacity), dtype=bool)
+        mask = family._alloc((family.mask.shape[0], col_capacity), np.bool_)
         if len(cols):
             values[:, : len(cols)] = family.values[:, cols]
             mask[:, : len(cols)] = family.mask[:, cols]
@@ -1212,6 +1291,8 @@ class ColumnarSumStore:
         sharded router, which validates a whole cross-shard batch once
         before touching any partition — so it never runs twice per op.
         """
+        if items:
+            self._clock.bump()
         emotion_col = self._emotional.index
 
         # Rounds vectorize across *distinct* rows; a user listed twice
@@ -1373,6 +1454,7 @@ class ColumnarSumStore:
                 else self.rows_for(list(user_ids))
             )
             if len(rows):
+                self._clock.bump()
                 self._decay_rows(rows, policy)
             return int(len(rows))
 

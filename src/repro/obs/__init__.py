@@ -23,6 +23,7 @@ null instruments: no locks, no timestamps, no trace ids.
 from repro.obs.export import (
     SnapshotWriter,
     histogram_quantile,
+    merge_metrics,
     read_jsonl,
     snapshot_record,
     to_prometheus,
@@ -75,6 +76,7 @@ __all__ = [
     "Tracer",
     "histogram_quantile",
     "labelled",
+    "merge_metrics",
     "next_trace_id",
     "quantile_from_buckets",
     "read_jsonl",

@@ -1,12 +1,19 @@
 """Render committed telemetry snapshots: ``python -m repro.obs``.
 
-Reads a JSONL snapshot file (the :class:`~repro.obs.export.
+Reads JSONL snapshot files (the :class:`~repro.obs.export.
 SnapshotWriter` / latency-bench artifact format) and renders one record
-as Prometheus text exposition or pretty JSON::
+— or, with ``--merge``, the fold of *every* record across *every* file
+(counters/histograms add, gauges last-wins) — as Prometheus text
+exposition or pretty JSON::
 
     python -m repro.obs benchmarks/results/S7_latency_slo.jsonl
     python -m repro.obs snapshots.jsonl --line 0 --format json
     python -m repro.obs snapshots.jsonl --quantile streaming.update_visible_seconds=0.99
+    python -m repro.obs worker-snapshots.jsonl --merge
+
+The ``--merge`` path is how per-shard-worker exports from the
+multi-process plane (one JSONL line per worker) become one fleet-wide
+view.
 """
 
 from __future__ import annotations
@@ -16,18 +23,30 @@ import json
 import sys
 from typing import Sequence
 
-from repro.obs.export import histogram_quantile, read_jsonl, to_prometheus
+from repro.obs.export import (
+    histogram_quantile,
+    merge_metrics,
+    read_jsonl,
+    to_prometheus,
+)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
-        description="Render a JSONL metrics snapshot.",
+        description="Render JSONL metrics snapshots.",
     )
-    parser.add_argument("path", help="JSONL snapshot file")
+    parser.add_argument(
+        "paths", nargs="+", metavar="path", help="JSONL snapshot file(s)"
+    )
     parser.add_argument(
         "--line", type=int, default=-1,
-        help="record index to render (default: last line)",
+        help="record index to render (default: last line; single file only)",
+    )
+    parser.add_argument(
+        "--merge", action="store_true",
+        help="fold every record of every file into one fleet-wide view "
+             "(counters/histograms add, gauges last-wins)",
     )
     parser.add_argument(
         "--format", choices=("prometheus", "json"), default="prometheus",
@@ -39,24 +58,42 @@ def main(argv: Sequence[str] | None = None) -> int:
              "(repeatable, e.g. serving.request_seconds=0.99)",
     )
     args = parser.parse_args(argv)
+    if len(args.paths) > 1 and not args.merge:
+        print("multiple files require --merge", file=sys.stderr)
+        return 2
 
-    try:
-        records = read_jsonl(args.path)
-    except OSError as error:
-        print(f"cannot read {args.path}: {error}", file=sys.stderr)
-        return 2
-    if not records:
-        print(f"{args.path} holds no snapshot records", file=sys.stderr)
-        return 2
-    try:
-        record = records[args.line]
-    except IndexError:
-        print(
-            f"--line {args.line} out of range ({len(records)} records)",
-            file=sys.stderr,
-        )
-        return 2
-    metrics = record.get("metrics", {})
+    all_records = []
+    for path in args.paths:
+        try:
+            records = read_jsonl(path)
+        except OSError as error:
+            print(f"cannot read {path}: {error}", file=sys.stderr)
+            return 2
+        if not records:
+            print(f"{path} holds no snapshot records", file=sys.stderr)
+            return 2
+        all_records.extend(records)
+
+    if args.merge:
+        try:
+            metrics = merge_metrics(
+                record.get("metrics", {}) for record in all_records
+            )
+        except ValueError as error:
+            print(f"cannot merge: {error}", file=sys.stderr)
+            return 2
+        record = {"merged_from": len(all_records), "metrics": metrics}
+    else:
+        try:
+            record = all_records[args.line]
+        except IndexError:
+            print(
+                f"--line {args.line} out of range "
+                f"({len(all_records)} records)",
+                file=sys.stderr,
+            )
+            return 2
+        metrics = record.get("metrics", {})
 
     if args.format == "json":
         print(json.dumps(record, indent=2, sort_keys=True))

@@ -14,6 +14,10 @@ MetricsSnapshot`:
   histogram series, unpacking the :func:`~repro.obs.metrics.labelled`
   name convention back into real labels.  ``python -m repro.obs`` (see
   :mod:`repro.obs.__main__`) renders a committed JSONL line this way.
+
+:func:`merge_metrics` folds per-process snapshots (one per shard worker
+of the multi-process plane) into a single fleet-wide dict of the same
+shape, so both renderers work on merged telemetry unchanged.
 """
 
 from __future__ import annotations
@@ -22,7 +26,7 @@ import json
 import threading
 import time
 from pathlib import Path
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
 from repro.obs.metrics import (
     MetricsRegistry,
@@ -66,6 +70,74 @@ def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
             if line:
                 records.append(json.loads(line))
     return records
+
+
+def merge_metrics(records: Iterable[MetricsDict]) -> dict[str, dict[str, Any]]:
+    """Merge per-process snapshot dicts into one fleet-wide view.
+
+    The multi-process shard plane exports one
+    :meth:`~repro.obs.metrics.MetricsSnapshot.as_dict` per worker over
+    its control channel; this folds them into a single dict of the same
+    shape, so every renderer (:func:`to_prometheus`,
+    :func:`histogram_quantile`) works on the merged result unchanged.
+
+    * **counters** — values add.
+    * **histograms** — bucket counts add element-wise, ``sum``/``count``
+      add, ``min``/``max`` combine (empty histograms serialize
+      ``min=max=0.0`` and are skipped so they merge as no-ops).  Bounds
+      must match — workers share one instrument catalogue, so a
+      mismatch means the snapshots are from different builds.
+    * **gauges** — last snapshot wins; a gauge is a point-in-time level
+      of one process (queue depth, heap rows) and summing levels from
+      different instants would fabricate a reading nobody observed.
+    """
+    merged: dict[str, dict[str, Any]] = {}
+    for record in records:
+        for name, inst in record.items():
+            kind = str(inst.get("type", "gauge"))
+            seen = merged.get(name)
+            if seen is None:
+                merged[name] = {
+                    key: list(val) if isinstance(val, list) else val
+                    for key, val in inst.items()
+                }
+                continue
+            if str(seen.get("type", "gauge")) != kind:
+                raise ValueError(
+                    f"instrument {name!r} changes type across snapshots "
+                    f"({seen.get('type')!r} vs {kind!r})"
+                )
+            if kind == "counter":
+                seen["value"] = float(seen["value"]) + float(inst["value"])
+            elif kind == "gauge":
+                seen["value"] = float(inst["value"])
+            elif kind == "histogram":
+                if list(seen["bounds"]) != list(inst["bounds"]):
+                    raise ValueError(
+                        f"histogram {name!r} has mismatched bucket bounds "
+                        f"across snapshots"
+                    )
+                seen_count = int(seen["count"])
+                inst_count = int(inst["count"])
+                seen["counts"] = [
+                    int(a) + int(b)
+                    for a, b in zip(seen["counts"], inst["counts"])
+                ]
+                seen["sum"] = float(seen["sum"]) + float(inst["sum"])
+                seen["count"] = seen_count + inst_count
+                # empty histograms serialize min=max=0.0; folding those
+                # zeros in would fabricate an observation
+                if inst_count and not seen_count:
+                    seen["min"] = float(inst["min"])
+                    seen["max"] = float(inst["max"])
+                elif inst_count:
+                    seen["min"] = min(float(seen["min"]), float(inst["min"]))
+                    seen["max"] = max(float(seen["max"]), float(inst["max"]))
+            else:
+                raise ValueError(
+                    f"instrument {name!r} has unknown type {kind!r}"
+                )
+    return dict(sorted(merged.items()))
 
 
 def histogram_quantile(metrics: MetricsDict, name: str, q: float) -> float:

@@ -6,12 +6,15 @@ graph has a single edge and no cycle; the double acquisition in
 uses an RLock to match).
 """
 
+import multiprocessing as mp
 import threading
 
 from repro.analysis.contracts import declare_lock, guarded_by
 
 declare_lock("CleanLeft._lock", reentrant=True)
 declare_lock("CleanRight._lock")
+declare_lock("CleanUpstream._gate")
+declare_lock("CleanDownstream._gate")
 
 
 @guarded_by("_lock", "_items")
@@ -45,3 +48,29 @@ class CleanRight:
         with self.other._lock:
             with self._lock:
                 self._items.append(value)
+
+
+class CleanUpstream:
+    """Multiprocessing locks under non-lock-ish names, consistent order."""
+
+    def __init__(self, other: "CleanDownstream") -> None:
+        self._gate = mp.Lock()
+        self.other = other
+
+    def push(self) -> None:
+        with self._gate:
+            with self.other._gate:
+                pass
+
+
+class CleanDownstream:
+    def __init__(self, other: CleanUpstream) -> None:
+        ctx = mp.get_context("fork")
+        self._gate = ctx.Lock()
+        self.other = other
+
+    def push(self) -> None:
+        # Same global order: upstream gate first.
+        with self.other._gate:
+            with self._gate:
+                pass

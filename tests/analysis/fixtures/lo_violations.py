@@ -5,6 +5,7 @@ a classic ABBA deadlock the graph cycle check must catch.  The LO001
 finding anchors on the first edge of the sorted cycle (Left->Right).
 """
 
+import multiprocessing as mp
 import threading
 
 from repro.analysis.contracts import guarded_by
@@ -40,3 +41,29 @@ class Right:
         with self._lock:
             with self.other._lock:
                 self.other._items.append(value)
+
+
+class Upstream:
+    """ABBA again — but the locks are multiprocessing primitives under
+    non-lock-ish names, so only the sync-factory typing sees them."""
+
+    def __init__(self, other: "Downstream") -> None:
+        self._gate = mp.Lock()
+        self.other = other
+
+    def push(self) -> None:
+        with self._gate:
+            with self.other._gate:
+                pass
+
+
+class Downstream:
+    def __init__(self, other: Upstream) -> None:
+        ctx = mp.get_context("fork")
+        self._gate = ctx.Lock()
+        self.other = other
+
+    def push(self) -> None:
+        with self._gate:
+            with self.other._gate:  # [LO001]
+                pass

@@ -78,7 +78,7 @@ def test_report_artifact_carries_findings_and_graph(tmp_path, monkeypatch):
     )
     assert code == 1
     payload = json.loads(report.read_text())
-    assert payload["summary"]["unwaived"] == payload["summary"]["total"] == 2
+    assert payload["summary"]["unwaived"] == payload["summary"]["total"] == 3
     rules = {f["rule"] for f in payload["findings"]}
     assert rules == {"LO001", "LO002"}
     edges = {

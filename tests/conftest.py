@@ -1,20 +1,28 @@
-"""Shared fixtures: the SUM-backend test matrix.
+"""Shared fixtures: the SUM-backend test matrix + shm leak gate.
 
 CI runs the tier-1 suite once per SUM storage backend
-(``REPRO_SUM_BACKEND=object|columnar|sharded``).  Tests that request the
-``sum_backend`` / ``sum_backend_cls`` fixtures are parametrized over
-*all* backends on a plain local run, and pinned to a single one when
-the environment variable selects it — so the matrix legs don't redo each
-other's work.
+(``REPRO_SUM_BACKEND=object|columnar|sharded|multiproc``).  Tests that
+request the ``sum_backend`` / ``sum_backend_cls`` fixtures are
+parametrized over *all* backends on a plain local run, and pinned to a
+single one when the environment variable selects it — so the matrix legs
+don't redo each other's work.
+
+The ``multiproc`` backend allocates named shared-memory segments;
+``_shm_leak_gate`` asserts every test session releases all of them (the
+module ledger must be empty and ``/dev/shm`` must carry no new ``psm_``
+entries), so a forgotten ``close()`` fails the suite instead of filling
+the host.
 """
 
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import pytest
 
 from repro.core.sharded_store import ShardedSumStore
+from repro.core.shm_store import MultiProcSumStore
 from repro.core.sum_model import SumRepository
 from repro.core.sum_store import ColumnarSumStore
 
@@ -23,6 +31,9 @@ SUM_BACKENDS = {
     "columnar": ColumnarSumStore,
     # default construction = 4 hash partitions behind the router
     "sharded": ShardedSumStore,
+    # sharded on shared-memory pages; constructing one spawns no
+    # processes — the full in-process surface must hold regardless
+    "multiproc": MultiProcSumStore,
 }
 
 
@@ -46,3 +57,38 @@ def pytest_generate_tests(metafunc):
 def sum_backend_cls(sum_backend):
     """The SUM collection class for the current matrix leg."""
     return SUM_BACKENDS[sum_backend]
+
+
+def _shm_names() -> set[str]:
+    shm = Path("/dev/shm")
+    if not shm.is_dir():  # pragma: no cover - non-Linux dev box
+        return set()
+    return {
+        entry.name for entry in shm.iterdir() if entry.name.startswith("psm_")
+    }
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _shm_leak_gate():
+    """Fail the session if shared-memory segments outlive their tests.
+
+    Two independent gates: the module's own live-segment ledger (every
+    arena/control block this process still holds) and the kernel's view
+    of ``/dev/shm`` (catches segments leaked by worker processes too).
+    The atexit sweep in :mod:`repro.core.shm_store` is a *crash* safety
+    net, not an excuse — tests must close their stores.
+    """
+    import gc
+
+    from repro.core.shm_store import live_segment_names
+
+    before = _shm_names()
+    yield
+    # stores the matrix built and dropped release through their finalizer
+    gc.collect()
+    leaked = live_segment_names()
+    assert not leaked, f"shared-memory segments left open: {leaked}"
+    lingering = _shm_names() - before
+    assert not lingering, (
+        f"/dev/shm entries leaked by the session: {sorted(lingering)}"
+    )

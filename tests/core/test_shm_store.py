@@ -1,0 +1,319 @@
+"""Shared-memory store backing: arenas, control blocks, recovery copies.
+
+The storage layer of the multi-process shard plane
+(:mod:`repro.core.shm_store`): arrays on named segments two processes
+can map, the seqlock-published layout handshake, the bulk copy the
+crash-recovery path uses, and the delta-checkpoint honesty rules
+(`resync` must advance the parent's mutation clock for shards a worker
+process touched, `replace_shard` must never let a rebuilt shard
+hardlink stale pages).
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.shm_store import (
+    MultiProcSumStore,
+    ShardControlBlock,
+    ShmArena,
+    adopt_layout,
+    copy_shard_into,
+    live_segment_names,
+    shard_layout,
+)
+from repro.core.sum_store import ColumnarSumStore
+
+
+def populate(store, users=(1, 2, 7, 12)):
+    for uid in users:
+        view = store.get_or_create(uid)
+        view.activate_emotion("enthusiastic", 0.25 + (uid % 5) / 10)
+        view.sensibility[f"area-{uid % 3}"] = 0.5
+        view.objective = {"age": uid}
+        view.asked_questions = {f"q{uid}"}
+    return store
+
+
+class TestShmArena:
+    def test_alloc_returns_zeroed_writable_segment_backed_array(self):
+        arena = ShmArena(tag="t")
+        try:
+            array = arena.alloc((4, 3), np.float64)
+            assert array.shape == (4, 3)
+            assert not array.any()
+            array[2, 1] = 5.0  # writable in place
+            name = arena.name_of(array)
+            assert name in arena.segment_names()
+            assert name in live_segment_names()
+        finally:
+            arena.close()
+
+    def test_attach_maps_the_same_physical_pages(self):
+        writer = ShmArena(tag="w")
+        reader = ShmArena(tag="r")
+        try:
+            source = writer.alloc((8,), np.int64)
+            mirror = reader.attach(
+                writer.name_of(source), (8,), np.int64
+            )
+            source[3] = 42
+            assert mirror[3] == 42  # zero-copy: same pages
+            mirror[5] = 7
+            assert source[5] == 7
+        finally:
+            reader.close()
+            writer.close()
+
+    def test_attach_is_idempotent_per_name(self):
+        arena = ShmArena()
+        try:
+            array = arena.alloc((2,), np.float64)
+            name = arena.name_of(array)
+            first = arena.attach(name, (2,), np.float64)
+            second = arena.attach(name, (2,), np.float64)
+            assert first is second
+        finally:
+            arena.close()
+
+    def test_sweep_releases_segments_of_dead_arrays(self):
+        arena = ShmArena()
+        try:
+            keep = arena.alloc((2,), np.float64)
+            drop = arena.alloc((2,), np.float64)
+            dropped_name = arena.name_of(drop)
+            del drop
+            arena.sweep()
+            assert dropped_name not in arena.segment_names()
+            assert dropped_name not in live_segment_names()
+            assert arena.name_of(keep) in arena.segment_names()
+        finally:
+            arena.close()
+
+    def test_close_empties_the_ledger_and_blocks_alloc(self):
+        arena = ShmArena(tag="closing")
+        arena.alloc((4,), np.float64)
+        arena.close()
+        assert arena.segment_names() == []
+        assert not any(
+            tag == "closing" for tag in live_segment_names()
+        )
+        with pytest.raises(ValueError, match="closed"):
+            arena.alloc((1,), np.float64)
+        arena.close()  # idempotent
+
+
+class TestShardControlBlock:
+    def test_layout_roundtrip_and_counters(self):
+        control = ShardControlBlock.create()
+        try:
+            assert control.read_layout() is None
+            layout = {"families": {"emotional": {"order": ["shy"]}}}
+            control.publish_layout(layout, n_users=12, applied_seq=3)
+            control.mark_commit()
+            control.beat()
+            read, n_users, applied = control.read_layout()
+            assert read == layout
+            assert (n_users, applied) == (12, 3)
+            assert control.commit_version == 1
+            assert control.heartbeat == 1
+            assert control.n_users == 12
+            assert control.applied_seq == 3
+        finally:
+            control.close(unlink=True)
+
+    def test_attach_reads_a_peer_published_layout(self):
+        owner = ShardControlBlock.create()
+        try:
+            owner.publish_layout({"k": "v"}, n_users=1, applied_seq=9)
+            peer = ShardControlBlock.attach(owner.name)
+            layout, __, applied = peer.read_layout()
+            assert layout == {"k": "v"} and applied == 9
+            peer.close()
+        finally:
+            owner.close(unlink=True)
+
+    def test_oversized_layout_is_rejected(self):
+        control = ShardControlBlock.create()
+        try:
+            huge = {"blob": "x" * (ShardControlBlock.LAYOUT_CAPACITY + 1)}
+            with pytest.raises(ValueError, match="bytes"):
+                control.publish_layout(huge, n_users=0, applied_seq=0)
+        finally:
+            control.close(unlink=True)
+
+    def test_reader_times_out_on_a_wedged_writer(self):
+        control = ShardControlBlock.create()
+        try:
+            control.publish_layout({}, n_users=0, applied_seq=0)
+            control._slots[ShardControlBlock.SLOT_EPOCH] += 1  # left odd
+            with pytest.raises(TimeoutError, match="seqlock"):
+                control.read_layout(timeout=0.05)
+        finally:
+            control.close(unlink=True)
+
+
+class TestLayoutAdoption:
+    def test_published_layout_adopts_bit_equal_in_a_reader_store(self):
+        arena = ShmArena(tag="pub")
+        try:
+            writer = populate(
+                ColumnarSumStore(initial_capacity=4, alloc=arena.alloc)
+            )
+            layout = shard_layout(arena, writer)
+            # a fresh store in "another process": same segments by name
+            reader = ColumnarSumStore(initial_capacity=4, alloc=arena.alloc)
+            adopt_layout(arena, reader, json.loads(json.dumps(layout)),
+                         n_users=len(writer))
+            # hot state is the same pages; cold state is placeholder-empty
+            # (streaming never writes it), so compare the hot surface
+            assert reader.user_ids() == writer.user_ids()
+            for uid in writer.user_ids():
+                np.testing.assert_array_equal(
+                    reader.get(uid).emotional_vector(),
+                    writer.get(uid).emotional_vector(),
+                )
+                assert dict(reader.get(uid).sensibility) == dict(
+                    writer.get(uid).sensibility
+                )
+            arena.sweep()
+        finally:
+            arena.close()
+
+
+class TestCopyShardInto:
+    def test_copy_is_bit_equal_including_cold_state(self):
+        src = populate(ColumnarSumStore())
+        dst = ColumnarSumStore(initial_capacity=2)
+        copy_shard_into(src, dst)
+        assert dst.dumps() == src.dumps()
+
+    def test_copies_are_independent(self):
+        src = populate(ColumnarSumStore())
+        dst = ColumnarSumStore()
+        copy_shard_into(src, dst)
+        dst.get(1).activate_emotion("shy", 0.9)
+        dst.get(1).objective = {"mutated": True}
+        assert src.get(1).emotional["shy"] == 0.0
+        assert src.get(1).objective == {"age": 1}
+
+    def test_destination_must_be_empty(self):
+        src = populate(ColumnarSumStore())
+        dst = populate(ColumnarSumStore(), users=(5,))
+        with pytest.raises(ValueError, match="empty"):
+            copy_shard_into(src, dst)
+
+    def test_empty_source_is_a_noop(self):
+        dst = ColumnarSumStore()
+        copy_shard_into(ColumnarSumStore(), dst)
+        assert len(dst) == 0
+
+
+class TestMultiProcSumStore:
+    def test_in_process_surface_matches_plain_sharded_store(self):
+        store = MultiProcSumStore(n_shards=3)
+        try:
+            populate(store, users=range(20))
+            from repro.core.sharded_store import ShardedSumStore
+
+            reference = populate(ShardedSumStore(n_shards=3),
+                                 users=range(20))
+            assert store.dumps() == reference.dumps()
+        finally:
+            store.close()
+
+    def test_save_load_roundtrip(self, tmp_path):
+        store = populate(MultiProcSumStore(n_shards=2), users=range(10))
+        try:
+            store.save(tmp_path)
+            from repro.core.sharded_store import ShardedSumStore
+
+            loaded = ShardedSumStore.load(tmp_path)
+            assert loaded.dumps() == store.dumps()
+        finally:
+            store.close()
+
+    def test_n_shards_validated(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            MultiProcSumStore(n_shards=0)
+
+    def test_publish_resync_roundtrip_reports_applied_seq(self):
+        store = populate(MultiProcSumStore(n_shards=2), users=range(8))
+        try:
+            store.publish_shard(0, applied_seq=5)
+            store.publish_shard(1, applied_seq=7)
+            assert store.resync() == [5, 7]
+        finally:
+            store.close()
+
+    def test_resync_bumps_clock_only_on_remote_commits(self):
+        store = populate(MultiProcSumStore(n_shards=2), users=range(8))
+        try:
+            store.publish_shard(0)
+            store.publish_shard(1)
+            before = [s.mutation_count for s in store.shards]
+            store.resync()
+            assert [s.mutation_count for s in store.shards] == before
+            # a worker process's commit is only visible through the
+            # shared counter — resync must translate it into a parent
+            # clock bump or delta checkpoints would skip the shard
+            store.controls[0].mark_commit()
+            store.resync()
+            after = [s.mutation_count for s in store.shards]
+            assert after[0] == before[0] + 1
+            assert after[1] == before[1]
+        finally:
+            store.close()
+
+    def test_delta_checkpoint_reserializes_only_remotely_touched_shards(
+        self, tmp_path
+    ):
+        store = populate(MultiProcSumStore(n_shards=2), users=range(12))
+        try:
+            store.publish_shard(0)
+            store.publish_shard(1)
+            gen1 = store.save(tmp_path)
+            store.controls[0].mark_commit()  # "worker committed on 0"
+            store.resync()
+            gen2 = store.save(tmp_path)
+
+            def inode(gen, shard):
+                files = sorted((gen / f"shard-{shard:02d}").glob("*"))
+                assert files
+                return [os.stat(f).st_ino for f in files]
+
+            # untouched shard 1 hardlinks gen1's pages; shard 0 re-wrote
+            assert inode(gen1, 1) == inode(gen2, 1)
+            assert inode(gen1, 0) != inode(gen2, 0)
+        finally:
+            store.close()
+
+    def test_replace_shard_never_hardlinks_stale_pages(self, tmp_path):
+        store = populate(MultiProcSumStore(n_shards=2), users=range(12))
+        try:
+            store.save(tmp_path)
+            rebuilt = store.fresh_shard(0, capacity=1024)
+            copy_shard_into(store.shards[0], rebuilt)
+            rebuilt.get_or_create(1).activate_emotion("shy", 0.4)
+            store.replace_shard(0, rebuilt)
+            gen2 = store.save(tmp_path)
+            from repro.core.sharded_store import ShardedSumStore
+
+            assert ShardedSumStore.load(tmp_path).dumps() == store.dumps()
+            # the replacement's clock is unrelated to the recorded mark;
+            # the save must have re-serialized, not linked
+            reloaded = ColumnarSumStore.load(gen2 / "shard-00")
+            assert reloaded.get(1).emotional["shy"] > 0.0
+        finally:
+            store.close()
+
+    def test_close_releases_every_segment(self):
+        store = populate(MultiProcSumStore(n_shards=2))
+        names_before = live_segment_names()
+        assert names_before  # arenas + control blocks are live
+        store.close()
+        assert store.closed
+        assert live_segment_names() == []
+        store.close()  # idempotent

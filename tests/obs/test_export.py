@@ -8,6 +8,7 @@ import pytest
 from repro.obs.export import (
     SnapshotWriter,
     histogram_quantile,
+    merge_metrics,
     read_jsonl,
     snapshot_record,
     to_prometheus,
@@ -153,6 +154,97 @@ class TestPrometheus:
         assert to_prometheus(MetricsRegistry().snapshot()) == ""
 
 
+def worker_registry(shard: int, events: int) -> MetricsRegistry:
+    """One shard worker's registry, as exported over the control channel."""
+    reg = MetricsRegistry()
+    reg.counter("streaming.applied_events").inc(events)
+    reg.gauge(labelled("bus.depth", topic="lifelog")).set(float(shard))
+    hist = reg.histogram(
+        "streaming.update_visible_seconds", bounds=LATENCY_BUCKETS_S
+    )
+    for i in range(events):
+        hist.observe((i + 0.5) / events * 0.05)
+    return reg
+
+
+class TestMergeMetrics:
+    def test_counters_add_across_workers(self):
+        merged = merge_metrics(
+            worker_registry(s, 100).snapshot().as_dict() for s in range(4)
+        )
+        assert merged["streaming.applied_events"]["value"] == 400.0
+
+    def test_histograms_add_bucketwise_and_combine_extremes(self):
+        snaps = [
+            worker_registry(s, 250).snapshot().as_dict() for s in range(4)
+        ]
+        merged = merge_metrics(snaps)
+        hist = merged["streaming.update_visible_seconds"]
+        assert hist["count"] == sum(
+            s["streaming.update_visible_seconds"]["count"] for s in snaps
+        )
+        assert hist["counts"] == [
+            sum(s["streaming.update_visible_seconds"]["counts"][i]
+                for s in snaps)
+            for i in range(len(hist["counts"]))
+        ]
+        assert hist["sum"] == pytest.approx(
+            sum(s["streaming.update_visible_seconds"]["sum"] for s in snaps)
+        )
+        assert hist["min"] == min(
+            s["streaming.update_visible_seconds"]["min"] for s in snaps
+        )
+        assert hist["max"] == max(
+            s["streaming.update_visible_seconds"]["max"] for s in snaps
+        )
+        # the merged dict renders like any single-process snapshot
+        assert histogram_quantile(
+            merged, "streaming.update_visible_seconds", 0.5
+        ) == pytest.approx(0.025, rel=0.25)
+        assert "streaming_update_visible_seconds_count" in to_prometheus(
+            merged
+        )
+
+    def test_gauges_are_last_wins_not_summed(self):
+        merged = merge_metrics(
+            worker_registry(s, 10).snapshot().as_dict() for s in (1, 2, 7)
+        )
+        assert merged['bus.depth{topic="lifelog"}']["value"] == 7.0
+
+    def test_empty_histogram_merges_as_identity(self):
+        reg = MetricsRegistry()
+        reg.histogram(
+            "streaming.update_visible_seconds", bounds=LATENCY_BUCKETS_S
+        )
+        loaded = worker_registry(0, 50).snapshot().as_dict()
+        merged = merge_metrics([reg.snapshot().as_dict(), loaded])
+        assert (
+            merged["streaming.update_visible_seconds"]
+            == loaded["streaming.update_visible_seconds"]
+        )
+
+    def test_merge_does_not_mutate_inputs(self):
+        first = worker_registry(0, 10).snapshot().as_dict()
+        frozen = json.loads(json.dumps(first))
+        merge_metrics([first, worker_registry(1, 10).snapshot().as_dict()])
+        assert first == frozen
+
+    def test_type_and_bounds_mismatches_raise(self):
+        with pytest.raises(ValueError, match="type"):
+            merge_metrics(
+                [
+                    {"m": {"type": "counter", "value": 1.0}},
+                    {"m": {"type": "gauge", "value": 1.0}},
+                ]
+            )
+        a = MetricsRegistry()
+        a.histogram("h", bounds=(0.1, 0.2))
+        b = MetricsRegistry()
+        b.histogram("h", bounds=(0.5, 1.0))
+        with pytest.raises(ValueError, match="bounds"):
+            merge_metrics([a.snapshot().as_dict(), b.snapshot().as_dict()])
+
+
 class TestCli:
     def test_prometheus_output_and_quantile(self, tmp_path, capsys):
         path = tmp_path / "cli.jsonl"
@@ -197,3 +289,31 @@ class TestCli:
         path = tmp_path / "cli.jsonl"
         write_jsonl(path, populated_registry().snapshot())
         assert main([str(path), "--quantile", "absent=0.99"]) == 2
+
+    def test_merge_folds_worker_lines_into_one_view(self, tmp_path, capsys):
+        path = tmp_path / "workers.jsonl"
+        for shard in range(4):
+            write_jsonl(path, worker_registry(shard, 100).snapshot(),
+                        shard=shard)
+        assert main([str(path), "--merge"]) == 0
+        assert "streaming_applied_events 400" in capsys.readouterr().out
+
+    def test_merge_accepts_multiple_files(self, tmp_path, capsys):
+        paths = []
+        for shard in range(2):
+            path = tmp_path / f"worker-{shard}.jsonl"
+            write_jsonl(path, worker_registry(shard, 50).snapshot())
+            paths.append(str(path))
+        assert main([*paths, "--merge", "--format", "json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["merged_from"] == 2
+        assert record["metrics"]["streaming.applied_events"]["value"] == 100.0
+
+    def test_multiple_files_without_merge_exit_2(self, tmp_path, capsys):
+        paths = []
+        for i in range(2):
+            path = tmp_path / f"f{i}.jsonl"
+            write_jsonl(path, populated_registry().snapshot())
+            paths.append(str(path))
+        assert main(paths) == 2
+        assert "--merge" in capsys.readouterr().err

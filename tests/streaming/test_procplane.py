@@ -1,0 +1,253 @@
+"""Multi-process shard plane: equivalence, crash recovery, telemetry.
+
+The contracts ISSUE 8 ships on:
+
+* replaying a stream through per-shard worker *processes* leaves the
+  shared-memory store byte-identical (``dumps()``) to one sequential
+  pass through :meth:`EmotionalContextPipeline.apply_event`;
+* a worker SIGKILLed mid-stream is rebuilt from the last checkpoint
+  generation and its journal tail replays exactly-once — no lost and no
+  duplicated commits, generations strictly monotonic;
+* per-worker metrics snapshots ride the control channel and merge into
+  one fleet view.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.emotions import EMOTION_NAMES
+from repro.core.gradual_eit import GradualEIT, QuestionBank
+from repro.core.pipeline import EmotionalContextPipeline
+from repro.core.reward import ReinforcementPolicy
+from repro.core.shm_store import MultiProcSumStore
+from repro.core.sharded_store import generation_dirs, read_manifest
+from repro.core.sum_model import SumRepository
+from repro.lifelog.events import ActionCategory, Event
+from repro.streaming import EventUpdateMapper, MapperConfig
+from repro.streaming.procplane import MultiProcUpdater, WorkerDied
+
+ITEM_EMOTIONS = {
+    "10": (EMOTION_NAMES[0], EMOTION_NAMES[1]),
+    "11": (EMOTION_NAMES[2],),
+    "12": (EMOTION_NAMES[0],),
+}
+
+ACTIONS = (
+    ("course_view", ActionCategory.NAVIGATION),
+    ("course_enroll", ActionCategory.ENROLLMENT),
+    ("course_rate", ActionCategory.RATING),
+)
+
+
+def make_events(specs):
+    """``(uid, action_idx, item_idx, rating)`` tuples → a LifeLog stream."""
+    events = []
+    for i, (uid, action_idx, item_idx, rating) in enumerate(specs):
+        action, category = ACTIONS[action_idx]
+        payload = {"target": sorted(ITEM_EMOTIONS)[item_idx]}
+        if category is ActionCategory.RATING:
+            payload["value"] = str(rating)
+        events.append(Event(
+            timestamp=1_141_000_000.0 + float(i),
+            user_id=int(uid),
+            action=action,
+            category=category,
+            payload=payload,
+        ))
+    return events
+
+
+def sequential_reference(events, config=None):
+    sums = SumRepository()
+    pipeline = EmotionalContextPipeline(
+        GradualEIT(QuestionBank.default_bank()), ReinforcementPolicy()
+    )
+    mapper = EventUpdateMapper(ITEM_EMOTIONS, config)
+    for event in events:
+        pipeline.apply_event(sums.get_or_create(event.user_id), event, mapper)
+    return sums
+
+
+def dense_stream(n_events=600, n_users=40, seed=3):
+    rng = np.random.default_rng(seed)
+    return make_events(zip(
+        rng.integers(0, n_users, size=n_events),
+        rng.integers(0, len(ACTIONS), size=n_events),
+        rng.integers(0, len(ITEM_EMOTIONS), size=n_events),
+        rng.integers(1, 6, size=n_events),
+    ))
+
+
+def test_multiproc_replay_is_bit_equal_to_sequential():
+    events = dense_stream()
+    reference = sequential_reference(events)
+    store = MultiProcSumStore(n_shards=4)
+    try:
+        updater = MultiProcUpdater(store, ITEM_EMOTIONS, chunk=64)
+        with updater:
+            updater.submit_many(events)
+            assert updater.drain()
+        assert store.dumps() == reference.dumps()
+        stats = updater.stats()
+        assert stats.applied == len(events)
+        assert stats.dead_lettered == 0
+        assert stats.pending_writes == 0
+    finally:
+        store.close()
+
+
+def test_per_worker_metrics_export_and_merge():
+    events = dense_stream(n_events=300)
+    store = MultiProcSumStore(n_shards=4)
+    try:
+        updater = MultiProcUpdater(store, ITEM_EMOTIONS, chunk=32)
+        with updater:
+            updater.submit_many(events)
+            assert updater.drain()
+            snapshots = updater.metrics_snapshots()
+            assert len(snapshots) == 4  # one registry per worker process
+            per_worker = [
+                snap["streaming.events_applied"]["value"]
+                for snap in snapshots
+            ]
+            assert sum(per_worker) == len(events)
+            merged = updater.merged_metrics()
+            assert merged["streaming.events_applied"]["value"] == len(events)
+    finally:
+        store.close()
+
+
+def test_decay_ticks_and_mapper_cadence_match_sequential():
+    events = dense_stream(n_events=400, n_users=12)
+    config = MapperConfig(decay_every=5)
+    reference = sequential_reference(events, config)
+    store = MultiProcSumStore(n_shards=2)
+    try:
+        updater = MultiProcUpdater(
+            store, ITEM_EMOTIONS, mapper_config=config, chunk=32
+        )
+        with updater:
+            updater.submit_many(events)
+            assert updater.drain()
+        assert store.dumps() == reference.dumps()
+    finally:
+        store.close()
+
+
+def test_writer_crash_recovers_exactly_once(tmp_path):
+    events = dense_stream(n_events=900, n_users=60)
+    config = MapperConfig(decay_every=7)  # checkpointed decay counters
+    reference = sequential_reference(events, config)
+    store = MultiProcSumStore(n_shards=4)
+    try:
+        updater = MultiProcUpdater(
+            store, ITEM_EMOTIONS, mapper_config=config,
+            checkpoint_root=tmp_path, chunk=32,
+        )
+        with updater:
+            # baseline generation exists before any worker could die
+            assert read_manifest(tmp_path)["generation"] == 1
+            updater.submit_many(events[:300])
+            updater.checkpoint()
+            assert read_manifest(tmp_path)["generation"] == 2
+            updater.submit_many(events[300:600])
+            updater.drain()  # post-checkpoint commits land on shm pages
+            updater.workers[1].kill()  # SIGKILL mid-stream
+            updater.submit_many(events[600:])
+            assert updater.drain()  # sync hits the corpse and recovers
+            assert updater.recoveries >= 1
+            updater.checkpoint()
+        # no lost updates, no duplicated replays: byte-identical state
+        assert store.dumps() == reference.dumps()
+        generations = [g for g, __ in generation_dirs(tmp_path)]
+        assert generations == sorted(set(generations))  # strictly monotonic
+        assert read_manifest(tmp_path)["generation"] == max(generations)
+    finally:
+        store.close()
+
+
+def test_ensure_alive_restarts_dead_workers(tmp_path):
+    events = dense_stream(n_events=200, n_users=10)
+    reference = sequential_reference(events)
+    store = MultiProcSumStore(n_shards=2)
+    try:
+        updater = MultiProcUpdater(
+            store, ITEM_EMOTIONS, checkpoint_root=tmp_path, chunk=16
+        )
+        with updater:
+            updater.submit_many(events[:100])
+            updater.drain()
+            updater.workers[0].kill()
+            assert updater.ensure_alive() == 1
+            assert updater.recoveries == 1
+            updater.submit_many(events[100:])
+            assert updater.drain()
+        assert store.dumps() == reference.dumps()
+    finally:
+        store.close()
+
+
+def test_crash_without_checkpoint_root_is_an_explicit_error():
+    store = MultiProcSumStore(n_shards=2)
+    try:
+        updater = MultiProcUpdater(store, ITEM_EMOTIONS)
+        with updater:
+            updater.workers[0].kill()
+            with pytest.raises(WorkerDied, match="checkpoint_root"):
+                updater.recover(0)
+            # put a live worker back so stop() shuts down cleanly
+            updater.workers[0] = updater._spawn(0)
+    finally:
+        store.close()
+
+
+def test_updater_is_single_use_and_validates_store():
+    with pytest.raises(TypeError, match="MultiProcSumStore"):
+        MultiProcUpdater(SumRepository(), ITEM_EMOTIONS)
+    store = MultiProcSumStore(n_shards=2)
+    try:
+        updater = MultiProcUpdater(store, ITEM_EMOTIONS)
+        with pytest.raises(RuntimeError, match="not started"):
+            updater.submit_many([])
+        with updater:
+            pass
+        with pytest.raises(RuntimeError, match="already stopped"):
+            updater.start()
+        updater.stop()  # second stop is a quiet no-op
+    finally:
+        store.close()
+
+
+event_specs = st.lists(
+    st.tuples(
+        st.integers(0, 7),                      # user
+        st.integers(0, len(ACTIONS) - 1),       # action kind
+        st.integers(0, len(ITEM_EMOTIONS) - 1),  # item
+        st.integers(1, 5),                      # rating
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+@settings(max_examples=8, deadline=None)
+@given(specs=event_specs, decay_every=st.sampled_from([None, 3]))
+def test_multiproc_replay_matches_sequential_for_arbitrary_streams(
+    specs, decay_every
+):
+    events = make_events(specs)
+    config = MapperConfig(decay_every=decay_every)
+    reference = sequential_reference(events, config)
+    store = MultiProcSumStore(n_shards=2)
+    try:
+        updater = MultiProcUpdater(
+            store, ITEM_EMOTIONS, mapper_config=config, chunk=8
+        )
+        with updater:
+            updater.submit_many(events)
+            assert updater.drain()
+        assert store.dumps() == reference.dumps()
+    finally:
+        store.close()
