@@ -59,6 +59,7 @@ from repro.obs.metrics import (
 from repro.obs.tracing import Tracer
 from repro.serving import RecommendationRequest, RecommendationService
 from repro.streaming import ReplayDriver, StreamingUpdater
+from repro.streaming.control import ControlPlaneConfig
 
 SMOKE = bool(os.environ.get("BENCH_SMOKE"))
 N_EVENTS = 2_000 if SMOKE else 20_000
@@ -267,6 +268,200 @@ def test_latency_slo_curves_and_gates():
             f"{P99_REGRESSION_FACTOR}x the committed baseline "
             f"({floor * 1e3:.3f} ms -> ceiling {ceiling * 1e3:.3f} ms)"
         )
+
+
+CONTROL_BASELINE_PATH = RESULTS_DIR / "S9_latency_slo_control_baseline.json"
+#: generous per-request budget: the control plane's checks sit on the
+#: hot path, but under healthy pacing no request may ever trip one —
+#: the zero-unexpected-shed gate below asserts exactly that
+REQUEST_DEADLINE_S = 0.25
+#: background decay load riding along with the user-facing traffic:
+#: one tick burst per TICK_EVERY requests, TICK_USERS users per burst
+#: (small spread bursts — the queue classes share FIFO order within a
+#: partition, so a huge burst would head-of-line block user events)
+TICK_EVERY = 10
+TICK_USERS = 5
+#: ticks stamped with this much life; sheddable once a backlog builds
+TICK_TTL_S = 0.25
+
+
+def test_latency_slo_with_control_plane():
+    """S9 — the same mixed traffic with the tail-latency control plane on.
+
+    Deadline budgets on every request, adaptive commit batching in the
+    workers, two-class queues carrying background decay ticks, and
+    seqlock (lock-free) reader captures on the serving path.  Three
+    gates:
+
+    * **zero unexpected shed** — user-class sheds are structurally
+      impossible and deadlines are generous, so any user shed, deadline
+      abort, or degraded response fails the run;
+    * **p99 improvement** (full mode) — request p99 AND update-to-visible
+      p99 must beat the committed S7 (no control plane) baseline;
+    * **p99 regression** (smoke/CI) — within 3x of the committed S9
+      control-plane baseline, same shape as the S7 gate.
+    """
+    catalog, sums = build_world()
+    registry = MetricsRegistry()
+    tracer = Tracer(max_traces=4_096)
+    updater = StreamingUpdater(
+        sums, catalog.emotion_links(), n_shards=N_SHARDS,
+        queue_capacity=4_096, batch_max=256,
+        telemetry=registry, tracer=tracer,
+        control_plane=ControlPlaneConfig(tick_ttl=TICK_TTL_S),
+    )
+    service = RecommendationService(
+        sums=updater.cache,
+        domain_profile=DomainProfile("courses", AFFINITY_LINKS),
+        item_attributes={
+            cid: dict(catalog.get(cid).attributes)
+            for cid in catalog.course_ids()
+        },
+        telemetry=registry, tracer=tracer,
+    )
+    service.register("flat", lambda model, item: 1.0)
+
+    events = generate_firehose(N_EVENTS, N_USERS, catalog)
+    course_ids = catalog.course_ids()
+    rng = np.random.default_rng(11)
+    request_users = rng.integers(0, N_USERS, size=N_REQUESTS)
+
+    replay_stats = {}
+
+    def writer():
+        replay_stats["publish"] = ReplayDriver(
+            updater, rate=PACED_RATE, chunk=64
+        ).replay(events)
+
+    n_ticks = 0
+    start = time.perf_counter()
+    with updater:
+        thread = threading.Thread(target=writer, name="slo-control-writer")
+        thread.start()
+        for i, uid in enumerate(request_users):
+            if i % TICK_EVERY == 0:
+                n_ticks += updater.tick(
+                    rng.integers(0, N_USERS, size=TICK_USERS)
+                )
+            service.recommend(RecommendationRequest(
+                user_id=int(uid), items=course_ids, k=10,
+                deadline_s=REQUEST_DEADLINE_S,
+            ))
+        thread.join()
+        assert updater.drain(timeout=300.0)
+    wall_seconds = time.perf_counter() - start
+
+    stats = updater.stats()
+    assert stats.dead_lettered == 0
+    # every event applied; every tick either applied or exact-counted
+    # at whichever layer shed it — nothing vanishes unaccounted
+    shed_ticks = (
+        stats.shed_background + stats.shed_expired + stats.expired_dropped
+    )
+    assert stats.applied == N_EVENTS + n_ticks - shed_ticks
+
+    snap = registry.snapshot()
+    gaps = instrument_gaps(snap)
+    assert not gaps, "telemetry plane lost instruments:\n  " + "\n  ".join(gaps)
+
+    # -- gate: zero unexpected shed ------------------------------------
+    assert updater.topic.shed_user == 0, (
+        f"user-class work was shed ({updater.topic.shed_user}); the "
+        "two-class queue must only ever shed background"
+    )
+    deadline_aborts = sum(
+        snap.value(labelled("serving.deadline_exceeded", stage=stage)) or 0
+        for stage in ("resolve", "score")
+    )
+    degraded = snap.value("serving.degraded") or 0
+    assert deadline_aborts == 0, (
+        f"{deadline_aborts:.0f} requests blew a {REQUEST_DEADLINE_S}s "
+        "budget under healthy pacing"
+    )
+    assert degraded == 0
+
+    visible = snap.histogram("streaming.update_visible_seconds")
+    request = snap.histogram("serving.request_seconds")
+    assert request.count == N_REQUESTS
+    # per-class SLO accounting: only user-facing events in the histogram
+    assert visible.count == N_EVENTS
+    live_visible_p99 = visible.quantile(0.99)
+    live_request_p99 = request.quantile(0.99)
+
+    # -- artifacts ------------------------------------------------------
+    mode = "smoke" if SMOKE else "full"
+    title = f"S9_latency_slo_control{'_smoke' if SMOKE else ''}"
+    jsonl_path = RESULTS_DIR / f"{title}.jsonl"
+    jsonl_path.unlink(missing_ok=True)
+    write_jsonl(
+        jsonl_path, snap,
+        mode=mode, n_events=N_EVENTS, n_requests=N_REQUESTS,
+        n_ticks=n_ticks, paced_rate=PACED_RATE, wall_seconds=wall_seconds,
+    )
+    shed_lines = (
+        f"  per-class shed counts: user {updater.topic.shed_user}   "
+        f"background/capacity {stats.shed_background}   "
+        f"background/expired {stats.shed_expired}   "
+        f"ticks dropped at worker {stats.expired_dropped}"
+    )
+    lines = [
+        f"latency SLOs, control plane ON{' [SMOKE]' if SMOKE else ''}: "
+        f"{N_EVENTS} events paced at {PACED_RATE:,.0f} ev/s, "
+        f"{N_REQUESTS} recommend requests ({REQUEST_DEADLINE_S}s budgets), "
+        f"{n_ticks} background decay ticks, {N_SHARDS} shards",
+        fmt_curve("update-to-visible", visible),
+        fmt_curve("serving request", request),
+        shed_lines,
+        f"  deadline aborts: {deadline_aborts:.0f}   "
+        f"degraded responses: {degraded:.0f}",
+        f"  full snapshot: {jsonl_path.name} "
+        f"(render with: python -m repro.obs benchmarks/results/{jsonl_path.name})",
+    ]
+    record_artifact(title, "\n".join(lines))
+
+    # -- gate: p99 improvement over the no-control-plane S7 baseline ----
+    # (full runs only: the committed numbers came from a full run, and
+    # CI smoke runners are too noisy for an absolute cross-PR compare)
+    if not SMOKE and BASELINE_PATH.exists():
+        s7 = json.loads(BASELINE_PATH.read_text())["full"]
+        assert live_visible_p99 < float(s7["update_to_visible_p99_s"]), (
+            f"update-to-visible p99 {live_visible_p99 * 1e3:.3f} ms did not "
+            f"beat the S7 baseline {s7['update_to_visible_p99_s'] * 1e3:.3f} ms"
+        )
+        assert live_request_p99 < float(s7["request_p99_s"]), (
+            f"request p99 {live_request_p99 * 1e3:.3f} ms did not beat "
+            f"the S7 baseline {s7['request_p99_s'] * 1e3:.3f} ms"
+        )
+
+    # -- gate: p99 regression against the committed S9 baseline ---------
+    assert CONTROL_BASELINE_PATH.exists(), (
+        f"missing committed baseline {CONTROL_BASELINE_PATH}; run this "
+        "bench and commit the regenerated baseline"
+    )
+    baseline = json.loads(CONTROL_BASELINE_PATH.read_text())
+    # the committed control-plane numbers must themselves beat the
+    # committed S7 (no control plane) numbers — a deterministic record
+    # of the win that CI re-checks regardless of runner noise
+    s7_full = json.loads(BASELINE_PATH.read_text())["full"]
+    s9_full = baseline["full"]
+    for key in ("update_to_visible_p99_s", "request_p99_s"):
+        assert float(s9_full[key]) < float(s7_full[key]), (
+            f"committed control-plane baseline {key} "
+            f"({s9_full[key]}) must beat the committed S7 baseline "
+            f"({s7_full[key]}); re-bench and commit both together"
+        )
+    if mode in baseline:
+        for label, live, key in (
+            ("update-to-visible", live_visible_p99, "update_to_visible_p99_s"),
+            ("request", live_request_p99, "request_p99_s"),
+        ):
+            floor = float(baseline[mode][key])
+            ceiling = floor * P99_REGRESSION_FACTOR
+            assert live <= ceiling, (
+                f"{label} p99 {live * 1e3:.3f} ms regressed past "
+                f"{P99_REGRESSION_FACTOR}x the committed control-plane "
+                f"baseline ({floor * 1e3:.3f} ms -> {ceiling * 1e3:.3f} ms)"
+            )
 
 
 #: conservative count of null instrument touches per streamed event.

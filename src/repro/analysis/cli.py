@@ -28,6 +28,7 @@ DEFAULT_BASELINE = "analysis-baseline.toml"
 
 def run_checks(project: Project) -> tuple[list[Finding], dict]:
     """All findings plus the lock graph (for the report/witness)."""
+    from repro.analysis.seqlock import check_seqlock
     from repro.analysis.snapshots import check_snapshots
 
     graph = build_lock_graph(project)
@@ -35,13 +36,26 @@ def run_checks(project: Project) -> tuple[list[Finding], dict]:
         *check_lock_discipline(project),
         *graph.findings,
         *check_snapshots(project),
+        *check_seqlock(project),
         *check_hygiene(project),
     ]
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    registry = project.registry
     graph_dump = {
         "edges": [
             {"outer": u, "inner": v, "source": f"{src[0]}:{src[1]}"}
             for (u, v), src in sorted(graph.edges.items())
+        ],
+        # lock-free protocols declared alongside the lock graph: seqlock
+        # generation counters and multi-class shedding queues (what the
+        # SQ rules and the obs shed-accounting views key off)
+        "seqlocks": [
+            {"node": node, **spec}
+            for node, spec in sorted(registry.seqlocks.items())
+        ],
+        "queue_classes": [
+            {"node": node, **spec}
+            for node, spec in sorted(registry.queue_classes.items())
         ],
     }
     return findings, graph_dump

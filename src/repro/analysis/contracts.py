@@ -20,7 +20,11 @@ Three decorator families:
   hold in ``SumCache.apply_batch_and_publish``).  A non-empty
   justification is required (``LD003``).
 
-Two module-level declaration calls:
+* :func:`seqlock_reader` — marks a function as an approved *lock-free*
+  reader of a declared seqlock generation source; the seqlock rules
+  (``SQ001``/``SQ002``) check the retry protocol at those sites.
+
+Module-level declaration calls:
 
 * :func:`declare_lock` — names a lock node in the global lock-order
   graph, marks it reentrant and/or a *family* (many lock objects, one
@@ -31,6 +35,10 @@ Two module-level declaration calls:
   edge that the lexical analysis cannot see (acquisitions hidden behind
   untyped indirection).  Declared edges join the extracted graph before
   the cycle check, and bound what the runtime witness may observe.
+* :func:`declare_seqlock` — names a per-row generation source (the
+  seqlock pattern: writers bump odd/even under their lock, readers
+  copy between two equal even observations) and the copy primitives it
+  protects, so lock-free captures are machine-checked too.
 
 The runtime half: :func:`make_lock` returns plain :mod:`threading` locks
 normally, and :class:`ContractLock` wrappers when ``REPRO_LOCK_WITNESS``
@@ -58,6 +66,8 @@ CONTRACTS_ATTR = "__concurrency_contracts__"
 REQUIRES_ATTR = "__requires_lock__"
 #: function attribute set by :func:`manual_guard`
 MANUAL_ATTR = "__manual_guard__"
+#: function attribute set by :func:`seqlock_reader`
+SEQLOCK_READER_ATTR = "__seqlock_reader__"
 
 #: environment switch for the runtime witness (checked at lock creation)
 WITNESS_ENV = "REPRO_LOCK_WITNESS"
@@ -125,6 +135,28 @@ def requires_lock(lock: str) -> Callable[[_F], _F]:
     return decorate
 
 
+def seqlock_reader(node: str) -> Callable[[_F], _F]:
+    """Mark a function as an approved lock-free seqlock reader of ``node``.
+
+    ``node`` names a generation source declared with
+    :func:`declare_seqlock`.  The decorated function is the *only* kind
+    of place allowed to call that seqlock's protected copy primitives
+    without holding the writer lock — and it must implement the retry
+    protocol (read the generation, copy, re-read and compare inside a
+    retry loop).  The static rules: a marked reader whose protected call
+    sits outside any retry loop is ``SQ001``; a protected call from an
+    unmarked, lock-free call site is ``SQ002``.  Zero runtime cost.
+    """
+    if not node:
+        raise ContractError("seqlock_reader needs a seqlock node name")
+
+    def decorate(func: _F) -> _F:
+        setattr(func, SEQLOCK_READER_ATTR, str(node))
+        return func
+
+    return decorate
+
+
 def manual_guard(reason: str) -> Callable[[_F], _F]:
     """Exempt a method from lexical lock-discipline checking.
 
@@ -173,6 +205,52 @@ class LockDecl:
         self.aliases = aliases
 
 
+class SeqlockDecl:
+    """One declared seqlock generation source (lock-free reader protocol).
+
+    ``node`` names the generation counters (``"Class.attr"``),
+    ``protects`` the copy primitives whose lock-free call sites must be
+    :func:`seqlock_reader`-marked retry loops, and ``writer_lock`` the
+    lock under which writers bump the generations (call sites holding it
+    need no retry — they exclude every writer).
+    """
+
+    __slots__ = ("node", "protects", "writer_lock")
+
+    def __init__(
+        self,
+        node: str,
+        protects: tuple[str, ...] = (),
+        writer_lock: str | None = None,
+    ) -> None:
+        self.node = node
+        self.protects = protects
+        self.writer_lock = writer_lock
+
+
+class QueueClassDecl:
+    """One declared multi-class queue (priority-aware shedding).
+
+    ``node`` names the queue type (``"Class"``), ``classes`` the service
+    classes it distinguishes (first entry is the protected, never-shed
+    class), and ``shed_counters`` the exact-count attributes that account
+    for every dropped message — shedding that is not counted is a
+    correctness bug, not a tuning knob.
+    """
+
+    __slots__ = ("node", "classes", "shed_counters")
+
+    def __init__(
+        self,
+        node: str,
+        classes: tuple[str, ...] = (),
+        shed_counters: tuple[str, ...] = (),
+    ) -> None:
+        self.node = node
+        self.classes = classes
+        self.shed_counters = shed_counters
+
+
 class ContractRegistry:
     """Process-wide registry of declared locks and permitted orderings."""
 
@@ -182,6 +260,10 @@ class ContractRegistry:
         self.alias_of: dict[str, str] = {}
         #: declared permitted (outer, inner) edges
         self.orders: set[tuple[str, str]] = set()
+        #: declared seqlock generation sources
+        self.seqlocks: dict[str, SeqlockDecl] = {}
+        #: declared multi-class shedding queues
+        self.queue_classes: dict[str, QueueClassDecl] = {}
 
     def declare_lock(
         self,
@@ -206,6 +288,43 @@ class ContractRegistry:
         if not outer or not inner:
             raise ContractError("declare_order needs two node names")
         self.orders.add((self.canonical(outer), self.canonical(inner)))
+
+    def declare_seqlock(
+        self,
+        node: str,
+        *,
+        protects: Iterable[str] = (),
+        writer_lock: str | None = None,
+    ) -> SeqlockDecl:
+        if not node:
+            raise ContractError("declare_seqlock needs a node name")
+        decl = SeqlockDecl(
+            str(node),
+            tuple(str(p) for p in protects),
+            str(writer_lock) if writer_lock else None,
+        )
+        self.seqlocks[decl.node] = decl
+        return decl
+
+    def declare_queue_classes(
+        self,
+        node: str,
+        *,
+        classes: Iterable[str] = (),
+        shed_counters: Iterable[str] = (),
+    ) -> QueueClassDecl:
+        if not node:
+            raise ContractError("declare_queue_classes needs a node name")
+        class_tuple = tuple(str(c) for c in classes)
+        if len(class_tuple) < 2:
+            raise ContractError(
+                "declare_queue_classes needs at least two service classes"
+            )
+        decl = QueueClassDecl(
+            str(node), class_tuple, tuple(str(c) for c in shed_counters)
+        )
+        self.queue_classes[decl.node] = decl
+        return decl
 
     def canonical(self, node: str) -> str:
         return self.alias_of.get(node, node)
@@ -243,6 +362,39 @@ def declare_lock(
 def declare_order(outer: str, inner: str) -> None:
     """Assert a permitted ``outer`` → ``inner`` acquisition edge."""
     REGISTRY.declare_order(outer, inner)
+
+
+def declare_seqlock(
+    node: str,
+    *,
+    protects: Iterable[str] = (),
+    writer_lock: str | None = None,
+) -> SeqlockDecl:
+    """Module-level seqlock declaration (see :class:`SeqlockDecl`).
+
+    Keep every argument a literal: the static analyzer reads these calls
+    from the AST, without importing the module.
+    """
+    return REGISTRY.declare_seqlock(
+        node, protects=protects, writer_lock=writer_lock
+    )
+
+
+def declare_queue_classes(
+    node: str,
+    *,
+    classes: Iterable[str] = (),
+    shed_counters: Iterable[str] = (),
+) -> QueueClassDecl:
+    """Module-level multi-class queue declaration (see
+    :class:`QueueClassDecl`).
+
+    Keep every argument a literal: the static analyzer reads these calls
+    from the AST, without importing the module.
+    """
+    return REGISTRY.declare_queue_classes(
+        node, classes=classes, shed_counters=shed_counters
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -1,12 +1,14 @@
 """Analyzer core: AST loading, contract extraction, best-effort types.
 
-The four rule modules (:mod:`repro.analysis.lock_discipline`,
+The rule modules (:mod:`repro.analysis.lock_discipline`,
 :mod:`repro.analysis.lock_order`, :mod:`repro.analysis.snapshots`,
-:mod:`repro.analysis.hygiene`) share this infrastructure:
+:mod:`repro.analysis.seqlock`, :mod:`repro.analysis.hygiene`) share
+this infrastructure:
 
 * :class:`Project` — every parsed module, a cross-module class index,
-  and the *static* contract registry (``guarded_by`` decorators and
-  ``declare_lock``/``declare_order`` calls read from the AST, never by
+  and the *static* contract registry (``guarded_by`` decorators plus
+  ``declare_lock``/``declare_order``/``declare_seqlock``/
+  ``declare_queue_classes`` calls read from the AST, never by
   importing — so deliberately-broken fixture files are analyzable);
 * :class:`TypeEnv` — best-effort local type resolution (parameter
   annotations, ``self`` attributes assigned from annotated parameters,
@@ -274,6 +276,10 @@ class StaticRegistry:
         self.orders: set[tuple[str, str]] = set()
         #: (outer, inner) -> (path, line) provenance for declared edges
         self.order_sources: dict[tuple[str, str], tuple[str, int]] = {}
+        #: seqlock node -> {"protects": (...), "writer_lock": str | None}
+        self.seqlocks: dict[str, dict[str, object]] = {}
+        #: queue node -> {"classes": (...), "shed_counters": (...)}
+        self.queue_classes: dict[str, dict[str, object]] = {}
 
     def ingest_call(self, call: ast.Call, path: str) -> None:
         func = call.func
@@ -300,6 +306,34 @@ class StaticRegistry:
             self.locks[node] = spec
             for alias in aliases:
                 self.alias_of[alias] = node
+        elif name == "declare_seqlock" and call.args:
+            node = _literal_str(call.args[0])
+            if node is None:
+                return
+            protects: tuple[str, ...] = ()
+            writer_lock: str | None = None
+            for kw in call.keywords:
+                if kw.arg == "protects":
+                    protects = _literal_str_tuple(kw.value)
+                elif kw.arg == "writer_lock":
+                    writer_lock = _literal_str(kw.value)
+            self.seqlocks[node] = {
+                "protects": protects, "writer_lock": writer_lock,
+            }
+        elif name == "declare_queue_classes" and call.args:
+            node = _literal_str(call.args[0])
+            if node is None:
+                return
+            classes: tuple[str, ...] = ()
+            shed_counters: tuple[str, ...] = ()
+            for kw in call.keywords:
+                if kw.arg == "classes":
+                    classes = _literal_str_tuple(kw.value)
+                elif kw.arg == "shed_counters":
+                    shed_counters = _literal_str_tuple(kw.value)
+            self.queue_classes[node] = {
+                "classes": classes, "shed_counters": shed_counters,
+            }
         elif name == "declare_order" and len(call.args) >= 2:
             outer = _literal_str(call.args[0])
             inner = _literal_str(call.args[1])

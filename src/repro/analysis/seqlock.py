@@ -1,0 +1,195 @@
+"""Rule SQ — seqlock reader discipline.
+
+``declare_seqlock`` publishes a generation-counter protocol: writers
+bump a counter odd before mutating and even after, and the *protected
+primitives* (e.g. ``refresh_row``/``copy_row``) may copy shared rows
+lock-free **only** from inside a retry loop that validates the counter —
+or while holding the declared writer lock, which excludes every bump.
+A primitive call outside both shapes reads rows a writer may be
+mid-commit on: a torn capture that no test reliably reproduces, which
+is exactly why it is checked statically.
+
+* **SQ001** — a ``@seqlock_reader``-marked function calls a protected
+  primitive outside any retry loop and outside a ``with`` on the
+  declared writer lock.  The marking *claims* the retry protocol; a
+  straight-line call breaks the claim.
+* **SQ002** — a protected primitive called from a function that is
+  neither ``@seqlock_reader``-marked nor holding the writer lock,
+  outside the store internals that own the protocol.  Unmarked callers
+  get no retry loop at all, so the only legal shape is the lock.
+
+A call under ``with <store>.writer_lock`` (or the declared lock's own
+attribute, e.g. ``_lock``) is exempt from both rules: holding the
+writers' serialization point means no generation can change mid-copy —
+the bounded-spin starvation fallback in the streaming cache leans on
+exactly this exemption.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import (
+    ClassInfo,
+    Finding,
+    MethodInfo,
+    Module,
+    Project,
+    iter_functions,
+    qualname,
+)
+
+#: modules that own the seqlock protocol (counter bumps + primitives)
+_ALLOWED_SUFFIXES = ("core/sum_store.py",)
+
+#: the public accessor name for a declared writer lock (the streaming
+#: cache reaches the store's ``_lock`` through it)
+_WRITER_LOCK_ATTR = "writer_lock"
+
+
+def _module_allowed(module: Module) -> bool:
+    path = module.display_path.replace("\\", "/")
+    return any(path.endswith(suffix) for suffix in _ALLOWED_SUFFIXES)
+
+
+def _seqlock_reader_mark(method: MethodInfo) -> bool:
+    for dec in method.node.decorator_list:
+        func = dec.func if isinstance(dec, ast.Call) else dec
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        if name == "seqlock_reader":
+            return True
+    return False
+
+
+def _writer_lock_attrs(project: Project) -> frozenset[str]:
+    """Attribute names that denote a declared seqlock writer lock.
+
+    Built from the declarations, not hardcoded: ``writer_lock=
+    "ColumnarSumStore._lock"`` makes both the raw ``_lock`` attribute
+    and the public ``writer_lock`` accessor count as holding it.
+    """
+    attrs = {_WRITER_LOCK_ATTR}
+    for spec in project.registry.seqlocks.values():
+        writer_lock = spec.get("writer_lock")
+        if isinstance(writer_lock, str) and "." in writer_lock:
+            attrs.add(writer_lock.rsplit(".", 1)[1])
+    return frozenset(attrs)
+
+
+def _protected_primitives(project: Project) -> dict[str, str]:
+    """primitive method name -> seqlock node that protects it."""
+    out: dict[str, str] = {}
+    for node, spec in project.registry.seqlocks.items():
+        protects = spec.get("protects") or ()
+        for name in protects:  # type: ignore[union-attr]
+            out[str(name)] = node
+    return out
+
+
+def _holds_writer_lock(item: ast.withitem, lock_attrs: frozenset[str]) -> bool:
+    expr = item.context_expr
+    if isinstance(expr, ast.Call):  # e.g. store.locked() style helpers
+        expr = expr.func
+    return isinstance(expr, ast.Attribute) and expr.attr in lock_attrs
+
+
+class _SeqlockWalker:
+    """Statement walker tracking loop nesting and writer-lock scopes."""
+
+    def __init__(
+        self,
+        module: Module,
+        cls: ClassInfo | None,
+        method: MethodInfo,
+        primitives: dict[str, str],
+        lock_attrs: frozenset[str],
+        findings: list[Finding],
+    ) -> None:
+        self.module = module
+        self.cls = cls
+        self.method = method
+        self.primitives = primitives
+        self.lock_attrs = lock_attrs
+        self.findings = findings
+        self.marked = _seqlock_reader_mark(method)
+        self.allowed = _module_allowed(module)
+
+    def run(self) -> None:
+        for stmt in self.method.node.body:
+            self._walk(stmt, in_loop=False, under_lock=False)
+
+    def _walk(self, node: ast.AST, *, in_loop: bool, under_lock: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs get their own iter_functions pass
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            for child in ast.iter_child_nodes(node):
+                self._walk(child, in_loop=True, under_lock=under_lock)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            held = under_lock or any(
+                _holds_writer_lock(item, self.lock_attrs)
+                for item in node.items
+            )
+            for child in node.body:
+                self._walk(child, in_loop=in_loop, under_lock=held)
+            return
+        if isinstance(node, ast.Call):
+            self._check_call(node, in_loop=in_loop, under_lock=under_lock)
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, in_loop=in_loop, under_lock=under_lock)
+
+    def _check_call(
+        self, call: ast.Call, *, in_loop: bool, under_lock: bool
+    ) -> None:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return
+        seqlock = self.primitives.get(func.attr)
+        if seqlock is None or self.allowed or under_lock:
+            return
+        if self.marked:
+            if not in_loop:
+                self._report(
+                    "SQ001",
+                    call,
+                    f".{func.attr}() outside the retry loop in a "
+                    f"@seqlock_reader function; {seqlock} readers must "
+                    f"revalidate the generation counter or hold the "
+                    f"writer lock",
+                )
+        else:
+            self._report(
+                "SQ002",
+                call,
+                f".{func.attr}() is protected by {seqlock} but the "
+                f"caller is neither @seqlock_reader-marked nor holding "
+                f"the declared writer lock",
+            )
+
+    def _report(self, rule: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", self.method.node.lineno)
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.module.display_path,
+                line=line,
+                message=message,
+                symbol=qualname(self.cls, self.method),
+                snippet=self.module.snippet(line),
+            )
+        )
+
+
+def check_seqlock(project: Project) -> list[Finding]:
+    primitives = _protected_primitives(project)
+    if not primitives:
+        return []
+    lock_attrs = _writer_lock_attrs(project)
+    findings: list[Finding] = []
+    for module, cls, method in iter_functions(project):
+        _SeqlockWalker(
+            module, cls, method, primitives, lock_attrs, findings
+        ).run()
+    return findings

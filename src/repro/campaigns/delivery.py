@@ -87,6 +87,12 @@ class EngineConfig:
     #: checkpointer); ``None`` (default) runs on null instruments with
     #: zero hot-path cost
     telemetry: object | None = None
+    #: a :class:`~repro.streaming.control.ControlPlaneConfig` enabling
+    #: the tail-latency control plane (adaptive commit batching,
+    #: two-class shedding, droppable decay ticks) on every streaming
+    #: updater this engine builds; ``None`` (default) keeps the legacy
+    #: never-shed behavior
+    control_plane: object | None = None
 
 
 class CampaignEngine:
@@ -404,6 +410,7 @@ class CampaignEngine:
 
         kwargs.setdefault("event_log", self.event_log)
         kwargs.setdefault("telemetry", self.config.telemetry)
+        kwargs.setdefault("control_plane", self.config.control_plane)
         updater = StreamingUpdater(
             sums=self.sums,
             item_emotions=self.world.catalog.emotion_links(),

@@ -448,6 +448,10 @@ def shard_layout(arena: ShmArena, shard: ColumnarSumStore) -> dict[str, Any]:
     layout: dict[str, Any] = {
         "user_ids": _array_spec(arena, shard._user_ids),
         "ei": _array_spec(arena, shard._ei),
+        # the per-row seqlock counters ride the manifest too: a reader
+        # process that kept watching the pre-growth segment would miss
+        # every odd window the writer opens on the replacement
+        "row_gen": _array_spec(arena, shard._row_gen.values),
         "row_capacity": int(shard._capacity),
         "families": {},
     }
@@ -481,6 +485,14 @@ def adopt_layout(
         )
         spec = layout["ei"]
         shard._ei = arena.attach(spec["segment"], spec["shape"], spec["dtype"])
+        spec = layout.get("row_gen")
+        if spec is not None:
+            # swap the counters in place: families alias the same
+            # _RowGenerations object, so rebinding .values repoints every
+            # writer bump and every lock-free reader at once
+            shard._row_gen.values = arena.attach(
+                spec["segment"], spec["shape"], spec["dtype"]
+            )
         shard._capacity = int(layout["row_capacity"])
         for name, family in shard._named_families():
             published = layout["families"][name]
@@ -509,6 +521,10 @@ def adopt_layout(
             shard._asked.append(set())
             shard._answered.append(set())
         shard._n = n
+        # arrays were swapped wholesale: advance the layout epoch (even
+        # to even) so mirror captures staged against the old segments
+        # restage everything instead of trusting stale stamps
+        shard._layout_epoch += 2
 
 
 def copy_shard_into(src: ColumnarSumStore, dst: ColumnarSumStore) -> None:

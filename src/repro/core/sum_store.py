@@ -44,6 +44,7 @@ from __future__ import annotations
 import json
 import math
 import threading
+import time
 from collections.abc import MutableMapping
 from pathlib import Path
 from types import MappingProxyType
@@ -53,6 +54,7 @@ import numpy as np
 
 from repro.analysis.contracts import (
     declare_lock,
+    declare_seqlock,
     guarded_by,
     make_lock,
     requires_lock,
@@ -98,6 +100,60 @@ class _MutationClock:
     def bump(self) -> None:
         self.value += 1
 
+class _RowGenerations:
+    """Per-row seqlock generation counters — readers retry, never block.
+
+    Writers bump a row's counter to *odd* before mutating it and back to
+    *even* after committing (always under the store lock, so bumps never
+    race each other); a lock-free reader copies a row only between two
+    equal even observations of its counter, re-fetching ``values`` each
+    attempt so an array replacement (row growth) is caught by identity.
+    The array lives behind the store allocator, so a shared-memory store
+    publishes the counters to every process mapping its pages — the
+    per-row variant of the layout handshake
+    :class:`~repro.core.shm_store.ShardControlBlock` proves out.
+    """
+
+    __slots__ = ("values", "_alloc")
+
+    def __init__(
+        self,
+        capacity: int,
+        alloc: Callable[[tuple[int, ...], Any], np.ndarray],
+    ) -> None:
+        self._alloc = alloc
+        self.values = alloc((capacity,), np.int64)
+
+    def grow(self, new_capacity: int) -> None:
+        grown = self._alloc((new_capacity,), np.int64)
+        grown[: self.values.shape[0]] = self.values
+        self.values = grown
+
+    def begin(self, rows: Any) -> None:
+        """Mark ``rows`` mid-write (even -> odd); store lock held."""
+        self.values[rows] += 1
+
+    def end(self, rows: Any) -> None:
+        """Mark ``rows`` committed (odd -> even); store lock held."""
+        self.values[rows] += 1
+
+
+class _NullRowGenerations(_RowGenerations):
+    """No-op generations for frozen captures (no live writers to race)."""
+
+    def __init__(self) -> None:
+        super().__init__(0, _zeros)
+
+    def begin(self, rows: Any) -> None:
+        pass
+
+    def end(self, rows: Any) -> None:
+        pass
+
+
+_NULL_ROW_GEN = _NullRowGenerations()
+
+
 # Column families share their owning store's RLock (one serialization
 # domain per store), so "_ColumnFamily.lock" is the same runtime object
 # as "ColumnarSumStore._lock" and the analyzer treats them as one node.
@@ -105,6 +161,18 @@ declare_lock(
     "ColumnarSumStore._lock",
     reentrant=True,
     aliases=("_ColumnFamily.lock",),
+)
+
+# Lock-free reader captures: every mutation path bumps the touched rows'
+# generation counters odd before writing and even after (always under
+# the store lock), and readers copy a row only between two equal even
+# observations.  The mirror copy primitives may therefore be called
+# lock-free *only* from @seqlock_reader-marked retry loops — or under
+# the writer lock itself, which excludes every generation bump.
+declare_seqlock(
+    "ColumnarSumStore.row_generations",
+    protects=("refresh_row", "copy_row"),
+    writer_lock="ColumnarSumStore._lock",
 )
 
 #: the frozen emotion vocabulary every store shares; batch-op validation
@@ -217,7 +285,7 @@ class _ColumnFamily:
     """
 
     __slots__ = ("index", "order", "values", "mask", "frozen", "lock",
-                 "seed", "_dtype", "_alloc", "clock")
+                 "seed", "_dtype", "_alloc", "clock", "row_gen")
 
     def __init__(
         self,
@@ -228,10 +296,14 @@ class _ColumnFamily:
         frozen: bool = False,
         alloc: Callable[[tuple[int, ...], Any], np.ndarray] | None = None,
         clock: _MutationClock | None = None,
+        row_gen: _RowGenerations | None = None,
     ) -> None:
         self.lock = lock
         self._alloc = alloc if alloc is not None else _zeros
         self.clock = clock if clock is not None else _MutationClock()
+        #: the owning store's per-row seqlock counters; scalar row writes
+        #: through views bump them so lock-free captures can retry
+        self.row_gen = row_gen if row_gen is not None else _NULL_ROW_GEN
         self._dtype = np.dtype(dtype)
         #: columns the family was constructed with; compaction never drops
         #: them (the emotion seeds pin the shared intensity/sensibility/
@@ -298,8 +370,12 @@ class _ColumnFamily:
 
     @requires_lock("lock")
     def clear_row(self, row: int) -> None:
-        self.values[row, :] = 0
-        self.mask[row, :] = False
+        self.row_gen.begin(row)
+        try:
+            self.values[row, :] = 0
+            self.mask[row, :] = False
+        finally:
+            self.row_gen.end(row)
 
 
 class _FrozenFamily:
@@ -314,7 +390,7 @@ class _FrozenFamily:
     """
 
     __slots__ = ("index", "order", "width", "values", "mask", "lock",
-                 "clock")
+                 "clock", "row_gen")
 
     def __init__(
         self,
@@ -339,6 +415,8 @@ class _FrozenFamily:
         # absorbs the pre-write clock bump; the read-only arrays still
         # reject the write itself
         self.clock = _MutationClock()
+        # frozen rows have no live writers; generation bumps are no-ops
+        self.row_gen = _NULL_ROW_GEN
 
     @classmethod
     def capture(cls, family: _ColumnFamily, rows: np.ndarray) -> "_FrozenFamily":
@@ -681,8 +759,12 @@ class _RowMapView(MutableMapping):
         with family.lock:
             j = family.ensure_column(name)
             family.clock.bump()
-            family.values[self._row, j] = value
-            family.mask[self._row, j] = True
+            family.row_gen.begin(self._row)
+            try:
+                family.values[self._row, j] = value
+                family.mask[self._row, j] = True
+            finally:
+                family.row_gen.end(self._row)
 
     def __delitem__(self, name: str) -> None:
         family = self._family
@@ -691,8 +773,12 @@ class _RowMapView(MutableMapping):
             if j is None or not family.mask[self._row, j]:
                 raise KeyError(name)
             family.clock.bump()
-            family.values[self._row, j] = 0
-            family.mask[self._row, j] = False
+            family.row_gen.begin(self._row)
+            try:
+                family.values[self._row, j] = 0
+                family.mask[self._row, j] = False
+            finally:
+                family.row_gen.end(self._row)
 
     def __iter__(self) -> Iterator[str]:
         mask = self._family.mask[self._row]
@@ -916,6 +1002,15 @@ class ColumnarSumStore:
         #: (:mod:`repro.core.shm_store`) without touching any write path
         self._alloc = alloc if alloc is not None else _zeros
         self._clock = _MutationClock()
+        #: per-row seqlock counters: every mutation path bumps the
+        #: touched rows odd before writing and even after (under _lock),
+        #: so lock-free captures retry instead of taking the write lock
+        self._row_gen = _RowGenerations(capacity, self._alloc)
+        #: column-layout seqlock epoch: odd while compact_vocab() swaps
+        #: family registries/arrays; captures compare it before and after
+        #: and restage their mirrors on any change, so compaction no
+        #: longer requires quiesced readers or a manual invalidate()
+        self._layout_epoch = 0
         self._row_of: dict[int, int] = {}
         self._user_ids = self._alloc((capacity,), np.int64)
         self._n = 0
@@ -923,19 +1018,19 @@ class ColumnarSumStore:
         self._emotional = _ColumnFamily(
             np.float64, capacity, self._lock,
             seed_names=EMOTION_NAMES, frozen=True,
-            alloc=self._alloc, clock=self._clock,
+            alloc=self._alloc, clock=self._clock, row_gen=self._row_gen,
         )
         self._sensibility = _ColumnFamily(
             np.float64, capacity, self._lock, seed_names=EMOTION_NAMES,
-            alloc=self._alloc, clock=self._clock,
+            alloc=self._alloc, clock=self._clock, row_gen=self._row_gen,
         )
         self._subjective = _ColumnFamily(
             np.float64, capacity, self._lock,
-            alloc=self._alloc, clock=self._clock,
+            alloc=self._alloc, clock=self._clock, row_gen=self._row_gen,
         )
         self._evidence = _ColumnFamily(
             np.int64, capacity, self._lock, seed_names=EMOTION_NAMES,
-            alloc=self._alloc, clock=self._clock,
+            alloc=self._alloc, clock=self._clock, row_gen=self._row_gen,
         )
         ei = self._alloc((capacity, len(BRANCH_ORDER)), np.float64)
         ei[:] = 0.5
@@ -971,6 +1066,36 @@ class ColumnarSumStore:
         delta-skipping relies on.
         """
         return self._clock.value
+
+    @property
+    def row_generations(self) -> _RowGenerations:
+        """The per-row seqlock counters lock-free captures retry on."""
+        return self._row_gen
+
+    @property
+    def writer_lock(self) -> threading.RLock:
+        """The store lock every generation bump happens under.
+
+        The pessimistic fallback for seqlock readers: a capture that has
+        spun without ever observing an even generation (a saturated
+        writer spends its whole duty cycle inside the odd window, and
+        numpy releases the GIL exactly there) may take this lock for one
+        row copy — holding it excludes every writer, so no retry is
+        needed.  Fallback only; the optimistic retry loop stays the fast
+        path.
+        """
+        return self._lock
+
+    @property
+    def layout_epoch(self) -> int:
+        """Column-layout seqlock epoch (odd while a compaction swaps).
+
+        Captures read it before and after slicing: an odd value means a
+        :meth:`compact_vocab` is mid-swap, a changed value means the
+        column layout their mirror was staged under no longer matches
+        the live arrays — either way the capture restages and retries.
+        """
+        return self._layout_epoch
 
     # -- freshness floors (replica duck-type of the SumCache surface) -------
 
@@ -1020,6 +1145,9 @@ class ColumnarSumStore:
         grown_ids = self._alloc((new_capacity,), np.int64)
         grown_ids[: self._n] = self._user_ids[: self._n]
         self._user_ids = grown_ids
+        # replacing the generation array invalidates any in-flight
+        # lock-free capture by identity (readers re-check `values is`)
+        self._row_gen.grow(new_capacity)
         for family in self._families():
             family.grow_rows(new_capacity)
         grown_ei = self._alloc((new_capacity, len(BRANCH_ORDER)), np.float64)
@@ -1138,11 +1266,20 @@ class ColumnarSumStore:
         writes via the frozen arrays/families, attribute rebinding via
         :func:`seal_attributes`).  The caller is responsible for
         quiescing the user's writers during the capture (the streaming
-        cache holds the user's write lock).
+        cache holds the user's write lock); a concurrent
+        :meth:`compact_vocab` is tolerated via the layout-epoch retry.
         """
         user_id = int(user_id)
-        view = SumRowView(_FrozenRowStore(self, self.row_index(user_id)),
-                          user_id, 0)
+        row = self.row_index(user_id)
+        while True:
+            epoch = self._layout_epoch
+            if epoch & 1:  # compaction mid-swap; wait for the new layout
+                time.sleep(0)
+                continue
+            frozen = _FrozenRowStore(self, row)
+            if self._layout_epoch == epoch:
+                break
+        view = SumRowView(frozen, user_id, 0)
         seal_attributes(view.emotional)
         seal_attributes(view.ei_profile)
         seal_attributes(view)
@@ -1170,11 +1307,14 @@ class ColumnarSumStore:
         path relies on survive unchanged) and columns some live row still
         marks present.  Returns how many columns were dropped.
 
-        A maintenance operation for quiesced stores: column indices shift,
-        so run it with writers stopped and ``invalidate()`` any
-        :class:`~repro.streaming.cache.SumCache` over this store before
-        the next capture (frozen captures taken earlier stay valid — they
-        hold the pre-compaction registries and arrays).
+        Safe under live captures: the swap runs inside a layout-epoch
+        seqlock window (odd while columns move, even once the new layout
+        is published), and every capture path compares the epoch before
+        and after slicing — a capture that raced the swap restages its
+        mirror and retries, so no quiescing or manual ``invalidate()`` is
+        needed.  Writers are excluded the ordinary way (the store lock).
+        Frozen captures taken earlier stay valid — they hold the
+        pre-compaction registries and arrays.
         """
         if self._readonly:
             raise TypeError(
@@ -1183,8 +1323,14 @@ class ColumnarSumStore:
             )
         with self._lock:
             dropped = 0
-            for family in (self._sensibility, self._subjective, self._evidence):
-                dropped += self._compact_family(family)
+            self._layout_epoch += 1  # odd: captures stall and restage
+            try:
+                for family in (
+                    self._sensibility, self._subjective, self._evidence
+                ):
+                    dropped += self._compact_family(family)
+            finally:
+                self._layout_epoch += 1  # even: new layout published
             if dropped:
                 self._clock.bump()
             return dropped
@@ -1293,7 +1439,6 @@ class ColumnarSumStore:
         """
         if items:
             self._clock.bump()
-        emotion_col = self._emotional.index
 
         # Rounds vectorize across *distinct* rows; a user listed twice
         # must not have two ops land in the same round, so duplicate ids
@@ -1305,6 +1450,28 @@ class ColumnarSumStore:
 
         rows = self.rows_for([uid for uid, __ in entries], create=True)
         n_rounds = max((len(ops) for __, ops in entries), default=0)
+        # One odd window for the whole commit: a lock-free capture must
+        # observe a row before the first round or after the last, never a
+        # half-applied op sequence (rows are unique after the merge, so
+        # the fancy-indexed bump is one increment per row).
+        if n_rounds:
+            self._row_gen.begin(rows)
+        try:
+            self._apply_rounds(entries, rows, n_rounds, policy)
+        finally:
+            if n_rounds:
+                self._row_gen.end(rows)
+        return [len(ops) for __, ops in items]
+
+    @requires_lock("_lock")
+    def _apply_rounds(
+        self,
+        entries: Sequence[tuple[int, tuple[Any, ...]]],
+        rows: np.ndarray,
+        n_rounds: int,
+        policy: Any,
+    ) -> None:
+        emotion_col = self._emotional.index
         for k in range(n_rounds):
             decay_rows: list[int] = []
             # Per *entry*, not per attribute: the column/occurrence layout
@@ -1352,7 +1519,6 @@ class ColumnarSumStore:
                     np.repeat(np.asarray(touch_steps), touch_widths),
                     np.concatenate(touch_occs),
                 )
-        return [len(ops) for __, ops in items]
 
     #: memoized attribute-tuple layouts, shared by every store instance
     #: (column indices come from the frozen emotion catalog, identical
@@ -1455,7 +1621,11 @@ class ColumnarSumStore:
             )
             if len(rows):
                 self._clock.bump()
-                self._decay_rows(rows, policy)
+                self._row_gen.begin(rows)
+                try:
+                    self._decay_rows(rows, policy)
+                finally:
+                    self._row_gen.end(rows)
             return int(len(rows))
 
     # -- JSON import/export (SumRepository-compatible) ----------------------

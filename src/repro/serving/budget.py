@@ -1,0 +1,73 @@
+"""Per-request deadline budgets for the serving path.
+
+A :class:`Budget` is the request-scoped half of the tail-latency control
+plane: the caller states how long a response is worth waiting for, and
+the service checks the budget between stages (resolve → score → advice),
+aborting with a typed :class:`DeadlineExceeded` instead of silently
+serving an arbitrarily late response.  Requests that prefer a degraded
+answer over none opt in with ``partial_ok`` — an exhausted budget then
+skips the emotional Advice stage (the response says so via
+``degraded=True``) rather than failing.
+
+Budgets use :func:`time.monotonic` so wall-clock adjustments never
+shorten or extend a request, and they are plain immutable values — no
+locks, no thread affinity, safe to hand through any call chain.
+"""
+
+from __future__ import annotations
+
+from time import monotonic
+
+
+class DeadlineExceeded(RuntimeError):
+    """A request ran out of deadline budget mid-pipeline.
+
+    ``stage`` names the pipeline stage whose completion overshot the
+    budget (``"resolve"`` or ``"score"``); ``overshoot_s`` is how far
+    past the deadline the check ran, in seconds.
+    """
+
+    def __init__(self, stage: str, overshoot_s: float) -> None:
+        super().__init__(
+            f"deadline exceeded after stage {stage!r} "
+            f"({overshoot_s * 1000:.1f}ms over budget)"
+        )
+        self.stage = str(stage)
+        self.overshoot_s = float(overshoot_s)
+
+
+class Budget:
+    """A monotonic-clock deadline threaded through one request.
+
+    Built once at request arrival (:meth:`from_timeout`) and consulted
+    between stages: :meth:`check` raises :class:`DeadlineExceeded`,
+    :meth:`expired` answers quietly for callers that degrade instead of
+    aborting.
+    """
+
+    __slots__ = ("deadline", "started")
+
+    def __init__(self, deadline: float, started: float | None = None) -> None:
+        self.deadline = float(deadline)
+        self.started = float(started) if started is not None else monotonic()
+
+    @classmethod
+    def from_timeout(cls, seconds: float) -> "Budget":
+        """A budget expiring ``seconds`` from now."""
+        if seconds <= 0:
+            raise ValueError(f"budget seconds must be > 0, got {seconds}")
+        now = monotonic()
+        return cls(now + float(seconds), started=now)
+
+    def remaining(self) -> float:
+        """Seconds left before the deadline (negative once past it)."""
+        return self.deadline - monotonic()
+
+    def expired(self) -> bool:
+        return monotonic() >= self.deadline
+
+    def check(self, stage: str) -> None:
+        """Raise :class:`DeadlineExceeded` if the deadline has passed."""
+        over = monotonic() - self.deadline
+        if over >= 0:
+            raise DeadlineExceeded(stage, over)

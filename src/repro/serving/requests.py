@@ -36,6 +36,15 @@ class RecommendationRequest:
         Registered scorer name (service default when omitted).
     adjust:
         Apply the emotional Advice stage on top of the base scores.
+    deadline_s:
+        Latency budget in seconds: the service checks it between
+        pipeline stages and raises
+        :class:`~repro.serving.budget.DeadlineExceeded` once exhausted.
+        ``None`` (default) serves without a deadline.
+    partial_ok:
+        With a deadline, opt in to degraded responses: a budget
+        exhausted after base scoring skips the emotional Advice stage
+        (``response.degraded`` is then ``True``) instead of failing.
     """
 
     user_id: int
@@ -43,11 +52,17 @@ class RecommendationRequest:
     k: int = 5
     scorer: str | None = None
     adjust: bool = True
+    deadline_s: float | None = None
+    partial_ok: bool = False
 
     def __post_init__(self) -> None:
         validate_k(self.k)
         if len(self.items) == 0:
             raise ValueError("no items to recommend from")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be > 0 (or None), got {self.deadline_s}"
+            )
 
 
 @dataclass(frozen=True)
@@ -63,11 +78,18 @@ class SelectionRequest:
     k: int | None = None
     scorer: str | None = None
     adjust: bool = True
+    #: latency budget + degradation opt-in; see RecommendationRequest
+    deadline_s: float | None = None
+    partial_ok: bool = False
 
     def __post_init__(self) -> None:
         validate_k(self.k, allow_none=True)
         if self.user_ids is not None and len(self.user_ids) == 0:
             raise ValueError("empty user_ids; pass None for all users")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be > 0 (or None), got {self.deadline_s}"
+            )
 
 
 @dataclass(frozen=True)
@@ -110,6 +132,10 @@ class RecommendationResponse:
     sum_version: int | None = None
     generation: int | None = None
     trace_id: int | None = None
+    #: the deadline budget ran out after base scoring and the request
+    #: opted into partial results: the emotional Advice stage was
+    #: skipped, so every multiplier is 1.0 (base ranking only)
+    degraded: bool = False
 
     @property
     def items(self) -> list[ItemId]:
@@ -153,6 +179,8 @@ class SelectionResponse:
     sum_version: int | None = None
     generation: int | None = None
     trace_id: int | None = None
+    #: Advice stage skipped under an exhausted budget (partial_ok)
+    degraded: bool = False
 
     def pairs(self) -> list[tuple[int, float]]:
         """Legacy ``(user_id, adjusted_score)`` view, best first."""

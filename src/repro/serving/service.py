@@ -34,6 +34,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.tracing import NullTracer, Tracer, next_trace_id, resolve_tracer
 from repro.serving.adapters import as_scorer
+from repro.serving.budget import Budget, DeadlineExceeded
 from repro.serving.requests import (
     RecommendationRequest,
     RecommendationResponse,
@@ -131,6 +132,15 @@ class RecommendationService:
         self._m_respond = registry.histogram(
             labelled("serving.stage_seconds", stage="respond")
         )
+        # deadline-budget accounting: exact counts per abort stage, plus
+        # degraded (advice-skipped) responses served under partial_ok
+        self._m_deadline = {
+            stage: registry.counter(
+                labelled("serving.deadline_exceeded", stage=stage)
+            )
+            for stage in ("resolve", "score")
+        }
+        self._m_degraded = registry.counter("serving.degraded")
 
     # -- registry ----------------------------------------------------------
 
@@ -265,8 +275,10 @@ class RecommendationService:
         known_users: bool = False,
         sums: object | None = None,
         stamps: list[float] | None = None,
-    ) -> tuple[str, np.ndarray, np.ndarray, np.ndarray]:
-        """(resolved name, base, multiplier, adjusted) for the full grid.
+        budget: Budget | None = None,
+        partial_ok: bool = False,
+    ) -> tuple[str, np.ndarray, np.ndarray, np.ndarray, bool]:
+        """(resolved name, base, multiplier, adjusted, degraded) grids.
 
         ``known_users=True`` skips the no-adjust membership validation —
         for callers whose ids were just sourced from ``sums`` itself and
@@ -276,6 +288,15 @@ class RecommendationService:
         given, receives four ``perf_counter()`` marks — start, resolved,
         scored, advised — the instrumented request paths turn into stage
         histograms and trace spans.
+
+        ``budget`` threads the request's deadline through the pipeline:
+        checked after resolve (abort — nothing useful exists yet) and
+        after base scoring (abort, unless ``partial_ok`` degrades the
+        response by skipping the Advice stage; the returned ``degraded``
+        flag is then ``True`` and every multiplier is 1.0).  The checks
+        sit between stages, so a response is either complete, degraded,
+        or a typed :class:`~repro.serving.budget.DeadlineExceeded` —
+        never silently late without the caller having asked for it.
         """
         if sums is None:
             sums = self.sums
@@ -297,6 +318,8 @@ class RecommendationService:
             self._validate_users(user_ids, sums)
         if stamps is not None:
             stamps.append(perf_counter())
+        if budget is not None:
+            budget.check("resolve")
         base = np.asarray(
             scorer.score_batch(list(user_ids), list(items)), dtype=np.float64
         )
@@ -307,6 +330,15 @@ class RecommendationService:
             )
         if stamps is not None:
             stamps.append(perf_counter())
+        degraded = False
+        if budget is not None and adjusting and budget.expired():
+            if partial_ok:
+                # degrade instead of abort: serve the base ranking now,
+                # skip the Advice multiplier pass
+                adjusting = False
+                degraded = True
+            else:
+                budget.check("score")
         if adjusting:
             multiplier = self.advice.multiplier_matrix(
                 models,
@@ -318,7 +350,7 @@ class RecommendationService:
             multiplier = np.ones_like(base)
         if stamps is not None:
             stamps.append(perf_counter())
-        return str(name), base, multiplier, base * multiplier
+        return str(name), base, multiplier, base * multiplier, degraded
 
     def score_matrix(
         self,
@@ -328,7 +360,7 @@ class RecommendationService:
         adjust: bool = True,
     ) -> np.ndarray:
         """Adjusted scores for the full ``user_ids × items`` grid."""
-        __, __base, __mult, adjusted = self._grids(
+        __, __base, __mult, adjusted, __deg = self._grids(
             user_ids, items, scorer, adjust
         )
         return adjusted
@@ -436,14 +468,24 @@ class RecommendationService:
         # it (a concurrent publish during scoring can only add batches).
         sum_version = self.sum_version(request.user_id, sums=resolver)
         generation = self.sum_generation(resolver)
+        budget = (
+            Budget.from_timeout(request.deadline_s)
+            if request.deadline_s is not None else None
+        )
         try:
-            name, base, multiplier, adjusted = self._grids(
+            name, base, multiplier, adjusted, degraded = self._grids(
                 [request.user_id], request.items, request.scorer,
                 request.adjust, sums=resolver, stamps=stamps,
+                budget=budget, partial_ok=request.partial_ok,
             )
         except UnknownUserError:
             self._m_unknown.inc()
             raise
+        except DeadlineExceeded as exc:
+            self._m_deadline[exc.stage].inc()
+            raise
+        if degraded:
+            self._m_degraded.inc()
         entries = [
             ScoredItem(
                 item=item,
@@ -461,6 +503,7 @@ class RecommendationService:
             sum_version=sum_version,
             generation=generation,
             trace_id=trace_id,
+            degraded=degraded,
         )
         if stamps is not None:
             self._record_request(
@@ -486,15 +529,25 @@ class RecommendationService:
         # freshness floor; see recommend()
         sum_version = self.sum_version(sums=resolver)
         generation = self.sum_generation(resolver)
+        budget = (
+            Budget.from_timeout(request.deadline_s)
+            if request.deadline_s is not None else None
+        )
         try:
-            name, base, multiplier, adjusted = self._grids(
+            name, base, multiplier, adjusted, degraded = self._grids(
                 ids, [request.item], request.scorer, request.adjust,
                 known_users=request.user_ids is None,
                 sums=resolver, stamps=stamps,
+                budget=budget, partial_ok=request.partial_ok,
             )
         except UnknownUserError:
             self._m_unknown.inc()
             raise
+        except DeadlineExceeded as exc:
+            self._m_deadline[exc.stage].inc()
+            raise
+        if degraded:
+            self._m_degraded.inc()
         entries = [
             SelectedUser(
                 user_id=uid,
@@ -510,7 +563,7 @@ class RecommendationService:
         response = SelectionResponse(
             item=request.item, scorer=name, ranked=tuple(entries),
             sum_version=sum_version, generation=generation,
-            trace_id=trace_id,
+            trace_id=trace_id, degraded=degraded,
         )
         if stamps is not None:
             self._record_request(

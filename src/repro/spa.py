@@ -152,11 +152,17 @@ class SmartPredictionAssistant:
         k: int = 5,
         scorer: str | None = None,
         adjust: bool = True,
+        deadline_s: float | None = None,
+        partial_ok: bool = False,
     ) -> RecommendationResponse:
         """The paper's *recommendation function* over the whole catalog.
 
         Top-``k`` courses for one user with per-item score breakdowns,
         served through the :class:`~repro.serving.scorer.Scorer` protocol.
+        ``deadline_s`` caps end-to-end latency (typed
+        :class:`~repro.serving.budget.DeadlineExceeded` on overrun);
+        with ``partial_ok`` a budget exhausted after scoring degrades to
+        unadjusted scores (``response.degraded``) instead of aborting.
         """
         return self.service.recommend(RecommendationRequest(
             user_id=user_id,
@@ -164,6 +170,8 @@ class SmartPredictionAssistant:
             k=k,
             scorer=scorer,
             adjust=adjust,
+            deadline_s=deadline_s,
+            partial_ok=partial_ok,
         ))
 
     def select_users_for(
@@ -173,11 +181,15 @@ class SmartPredictionAssistant:
         user_ids: list[int] | None = None,
         scorer: str | None = None,
         adjust: bool = True,
+        deadline_s: float | None = None,
+        partial_ok: bool = False,
     ) -> SelectionResponse:
         """The paper's *selection function* for one course.
 
         Users ranked by adjusted propensity (all registered SUMs when
         ``user_ids`` is omitted), best first, truncated to ``k`` if given.
+        ``deadline_s``/``partial_ok`` behave as in
+        :meth:`recommend_courses`.
         """
         return self.service.select_users(SelectionRequest(
             item=course_id,
@@ -185,6 +197,8 @@ class SmartPredictionAssistant:
             k=k,
             scorer=scorer,
             adjust=adjust,
+            deadline_s=deadline_s,
+            partial_ok=partial_ok,
         ))
 
     # -- streaming (the live Fig. 4 loop) ------------------------------------

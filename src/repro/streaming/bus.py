@@ -14,7 +14,17 @@ on:
   until the consumer ``ack``s it; ``nack`` requeues it at the *front*
   (order preserved) with an incremented attempt counter, and messages
   that exhaust ``max_attempts`` land in the partition's dead-letter list
-  instead of poisoning the stream.
+  instead of poisoning the stream;
+* **two service classes with priority shedding** — publishes tagged
+  ``background=True`` (decay / maintenance) never stall a full
+  partition: a full-queue background publish is *shed* (dropped and
+  exact-counted) instead of blocking, a full-queue user-class publish
+  first evicts the oldest queued background message before applying
+  backpressure, and background work carrying an expired ``deadline`` is
+  shed at dequeue.  User-facing work is never shed.  Both classes share
+  one FIFO, so the relative order of surviving messages is exactly the
+  publish order — when nothing is shed, the stream is bit-identical to a
+  single-class bus.
 
 Everything is plain :mod:`threading`; there is no cross-process story
 here, only a faithful in-process model of the semantics.
@@ -29,7 +39,13 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Iterator
 
-from repro.analysis.contracts import declare_lock, guarded_by, make_lock
+from repro.analysis.contracts import (
+    declare_lock,
+    declare_queue_classes,
+    guarded_by,
+    make_lock,
+    requires_lock,
+)
 from repro.obs.metrics import (
     MetricsRegistry,
     NullRegistry,
@@ -71,6 +87,12 @@ class Delivery:
     offset: int
     attempt: int = 1
     published_at: float = 0.0  # time.perf_counter() at first publish
+    #: service class: background (decay / maintenance) work is sheddable
+    #: under pressure; user-facing work never is
+    background: bool = False
+    #: ``time.monotonic()`` deadline after which a *background* delivery
+    #: is stale enough to shed at dequeue (``None`` = never expires)
+    deadline: float | None = None
     #: consumer scratch: memoized mapping result, survives redelivery so
     #: stateful mappers are consulted exactly once per message
     mapped: Any = None
@@ -96,6 +118,8 @@ class TopicInstruments:
         "dead_letters",
         "backpressure_stalls",
         "backpressure_seconds",
+        "shed_capacity",
+        "shed_expired",
     )
 
     def __init__(
@@ -121,6 +145,19 @@ class TopicInstruments:
         self.backpressure_seconds = registry.histogram(
             labelled("bus.backpressure_wait_seconds", **labels)
         )
+        # shedding only ever touches the background class — user-facing
+        # work blocks (backpressure) instead, so a nonzero user-class
+        # shed count is structurally impossible, not merely unexpected
+        self.shed_capacity = registry.counter(
+            labelled(
+                "bus.shed", op_class="background", reason="capacity", **labels
+            )
+        )
+        self.shed_expired = registry.counter(
+            labelled(
+                "bus.shed", op_class="background", reason="expired", **labels
+            )
+        )
 
 
 #: shared by every uninstrumented queue — all methods are no-ops
@@ -136,6 +173,11 @@ declare_lock(
     ),
 )
 declare_lock("EventBus._lock")
+declare_queue_classes(
+    "PartitionQueue",
+    classes=("user", "background"),
+    shed_counters=("shed_user", "shed_background", "shed_expired"),
+)
 
 
 @guarded_by(
@@ -148,6 +190,9 @@ declare_lock("EventBus._lock")
     "acked",
     "redelivered",
     "dead_letters",
+    "shed_user",
+    "shed_background",
+    "shed_expired",
     # the three condition variables wrap the same underlying lock, so
     # entering any of them counts as holding it
     aliases=("_not_full", "_not_empty", "_settled"),
@@ -186,23 +231,71 @@ class PartitionQueue:
         self.acked = 0
         self.redelivered = 0
         self.dead_letters: list[Delivery] = []
+        # per-class shed accounting.  shed_user exists so fleet views and
+        # the CI zero-unexpected-shed gate can assert the invariant
+        # explicitly — nothing in this class ever increments it.
+        self.shed_user = 0
+        self.shed_background = 0
+        self.shed_expired = 0
 
     # -- producer side -----------------------------------------------------
 
-    def put(self, value: Any, key: Any, timeout: float | None = None) -> int:
-        """Enqueue one message; blocks while the partition is full."""
-        deadline = None if timeout is None else time.monotonic() + timeout
+    @requires_lock("_lock")
+    def _shed_oldest_background_locked(self) -> bool:
+        """Evict the oldest queued background delivery to make room.
+
+        Called by a user-class publish that found the partition full:
+        user-facing work sheds background work before it ever blocks.
+        Returns ``True`` if a message was evicted.  O(n) scan — only ever
+        runs when the partition is already saturated.
+        """
+        queue = self._queue
+        for i, delivery in enumerate(queue):
+            if delivery.background:
+                del queue[i]
+                self.shed_background += 1
+                return True
+        return False
+
+    def put(
+        self,
+        value: Any,
+        key: Any,
+        timeout: float | None = None,
+        *,
+        background: bool = False,
+        deadline: float | None = None,
+    ) -> int:
+        """Enqueue one message; blocks while the partition is full.
+
+        ``background=True`` marks the message sheddable: instead of
+        blocking on a full partition it is dropped and counted, and a
+        ``deadline`` (``time.monotonic()`` timebase) lets the consumer
+        side shed it unprocessed once expired.  Returns the assigned
+        offset, or ``-1`` if the message was shed at publish.
+        """
+        pub_deadline = None if timeout is None else time.monotonic() + timeout
         inst = self._instruments
         # the trace is born at ingest, before the event ever queues
         trace_id = next_trace_id() if inst.tracer.enabled else None
         stalled = 0.0
+        shed = 0
+        offset = -1
         with self._not_full:
             while len(self._queue) >= self.capacity:
                 if self._closed:
                     raise BusClosed("partition closed during publish")
+                if background:
+                    # background never blocks a full partition: drop-new
+                    self.shed_background += 1
+                    shed = 1
+                    break
+                if self._shed_oldest_background_locked():
+                    shed += 1
+                    continue
                 remaining = None
-                if deadline is not None:
-                    remaining = deadline - time.monotonic()
+                if pub_deadline is not None:
+                    remaining = pub_deadline - time.monotonic()
                     if remaining <= 0:
                         raise PublishTimeout(
                             f"partition {self.partition} full "
@@ -211,19 +304,24 @@ class PartitionQueue:
                 wait_from = time.monotonic()
                 self._not_full.wait(remaining)
                 stalled += time.monotonic() - wait_from
-            if self._closed:
-                raise BusClosed("partition closed during publish")
-            offset = self._next_offset
-            self._next_offset += 1
-            self.published += 1
-            self._queue.append(Delivery(
-                value=value, key=key, partition=self.partition,
-                offset=offset, attempt=1, published_at=time.perf_counter(),
-                trace_id=trace_id,
-            ))
-            self._not_empty.notify()
+            else:
+                if self._closed:
+                    raise BusClosed("partition closed during publish")
+                offset = self._next_offset
+                self._next_offset += 1
+                self.published += 1
+                self._queue.append(Delivery(
+                    value=value, key=key, partition=self.partition,
+                    offset=offset, attempt=1, published_at=time.perf_counter(),
+                    trace_id=trace_id, background=background,
+                    deadline=deadline,
+                ))
+                self._not_empty.notify()
         # instrument locks are leaves: only touched after releasing ours
-        inst.published.inc()
+        if offset >= 0:
+            inst.published.inc()
+        if shed:
+            inst.shed_capacity.inc(shed)
         if stalled > 0.0:
             inst.backpressure_stalls.inc()
             inst.backpressure_seconds.observe(stalled)
@@ -233,14 +331,22 @@ class PartitionQueue:
         self,
         items: list[tuple[Any, Any]],
         timeout: float | None = None,
+        *,
+        background: bool = False,
+        deadline: float | None = None,
     ) -> int:
         """Enqueue ``(value, key)`` pairs with one lock hold per free slot
         window — the high-rate publish path.  Blocks (backpressure) while
-        the partition is full; returns how many messages were placed."""
-        deadline = None if timeout is None else time.monotonic() + timeout
+        the partition is full; returns how many messages were placed.
+
+        With ``background=True`` the call never blocks: whatever does not
+        fit is shed (dropped and counted) instead, and ``deadline``
+        stamps every placed message for expiry-shedding at dequeue."""
+        pub_deadline = None if timeout is None else time.monotonic() + timeout
         inst = self._instruments
         mint = inst.tracer.enabled
         placed = 0
+        shed = 0
         stalled = 0.0
         stalls = 0
         with self._not_full:
@@ -248,9 +354,14 @@ class PartitionQueue:
                 while len(self._queue) >= self.capacity:
                     if self._closed:
                         raise BusClosed("partition closed during publish")
+                    if background:
+                        break
+                    if self._shed_oldest_background_locked():
+                        shed += 1
+                        continue
                     remaining = None
-                    if deadline is not None:
-                        remaining = deadline - time.monotonic()
+                    if pub_deadline is not None:
+                        remaining = pub_deadline - time.monotonic()
                         if remaining <= 0:
                             raise PublishTimeout(
                                 f"partition {self.partition} full "
@@ -260,6 +371,12 @@ class PartitionQueue:
                     self._not_full.wait(remaining)
                     stalled += time.monotonic() - wait_from
                     stalls += 1
+                if background and len(self._queue) >= self.capacity:
+                    # drop-new: the rest of the batch is shed, not queued
+                    dropped = len(items) - placed
+                    self.shed_background += dropped
+                    shed += dropped
+                    break
                 if self._closed:
                     raise BusClosed("partition closed during publish")
                 room = self.capacity - len(self._queue)
@@ -269,6 +386,7 @@ class PartitionQueue:
                         value=value, key=key, partition=self.partition,
                         offset=self._next_offset, attempt=1, published_at=now,
                         trace_id=next_trace_id() if mint else None,
+                        background=background, deadline=deadline,
                     ))
                     self._next_offset += 1
                 take = min(room, len(items) - placed)
@@ -276,6 +394,8 @@ class PartitionQueue:
                 self.published += take
                 self._not_empty.notify()
         inst.published.inc(placed)
+        if shed:
+            inst.shed_capacity.inc(shed)
         if stalls:
             inst.backpressure_stalls.inc(stalls)
             inst.backpressure_seconds.observe(stalled)
@@ -291,26 +411,46 @@ class PartitionQueue:
     def get_batch(
         self, max_items: int, timeout: float | None = None
     ) -> list[Delivery]:
-        """Take up to ``max_items`` deliveries (waits for the first only)."""
+        """Take up to ``max_items`` deliveries (waits for the first only).
+
+        Background deliveries whose ``deadline`` has passed are shed
+        here — dropped unprocessed and exact-counted, never entering the
+        in-flight set — so a backlogged consumer spends its time on work
+        that is still worth doing."""
         if max_items < 1:
             raise ValueError(f"max_items must be >= 1, got {max_items}")
-        deadline = None if timeout is None else time.monotonic() + timeout
+        wait_deadline = None if timeout is None else time.monotonic() + timeout
+        shed = 0
+        batch: list[Delivery] = []
         with self._not_empty:
-            while not self._queue:
-                if self._closed:
-                    return []
+            while True:
+                now = None
+                while self._queue and len(batch) < max_items:
+                    head = self._queue[0]
+                    if head.background and head.deadline is not None:
+                        if now is None:
+                            now = time.monotonic()
+                        if now >= head.deadline:
+                            self._queue.popleft()
+                            self.shed_expired += 1
+                            shed += 1
+                            continue
+                    batch.append(self._queue.popleft())
+                if batch or self._closed:
+                    break
                 remaining = None
-                if deadline is not None:
-                    remaining = deadline - time.monotonic()
+                if wait_deadline is not None:
+                    remaining = wait_deadline - time.monotonic()
                     if remaining <= 0:
-                        return []
+                        break
                 self._not_empty.wait(remaining)
-            batch: list[Delivery] = []
-            while self._queue and len(batch) < max_items:
-                batch.append(self._queue.popleft())
             self._in_flight += len(batch)
-            self._not_full.notify(len(batch))
-            return batch
+            freed = len(batch) + shed
+            if freed:
+                self._not_full.notify(freed)
+        if shed:
+            self._instruments.shed_expired.inc(shed)
+        return batch
 
     def ack(self, delivery: Delivery) -> None:
         """Mark one delivery done; it will never be redelivered."""
@@ -435,16 +575,29 @@ class Topic:
     def __iter__(self) -> Iterator[PartitionQueue]:
         return iter(self.partitions)
 
-    def publish(self, value: Any, key: Any, timeout: float | None = None) -> int:
+    def publish(
+        self,
+        value: Any,
+        key: Any,
+        timeout: float | None = None,
+        *,
+        background: bool = False,
+        deadline: float | None = None,
+    ) -> int:
         """Route by key hash; returns the partition index."""
         index = partition_for(key, len(self.partitions))
-        self.partitions[index].put(value, key, timeout)
+        self.partitions[index].put(
+            value, key, timeout, background=background, deadline=deadline
+        )
         return index
 
     def publish_many(
         self,
         pairs: list[tuple[Any, Any]],
         timeout: float | None = None,
+        *,
+        background: bool = False,
+        deadline: float | None = None,
     ) -> int:
         """Publish many ``(value, key)`` pairs, grouped per partition.
 
@@ -459,7 +612,9 @@ class Topic:
             ).append((value, key))
         published = 0
         for index, items in grouped.items():
-            published += self.partitions[index].put_many(items, timeout)
+            published += self.partitions[index].put_many(
+                items, timeout, background=background, deadline=deadline
+            )
         return published
 
     def join(self, timeout: float | None = None) -> bool:
@@ -502,6 +657,18 @@ class Topic:
     def depth(self) -> int:
         return sum(q.depth for q in self.partitions)
 
+    @property
+    def shed_user(self) -> int:
+        return sum(q.shed_user for q in self.partitions)
+
+    @property
+    def shed_background(self) -> int:
+        return sum(q.shed_background for q in self.partitions)
+
+    @property
+    def shed_expired(self) -> int:
+        return sum(q.shed_expired for q in self.partitions)
+
 
 @dataclass
 class BusStats:
@@ -513,6 +680,13 @@ class BusStats:
     redelivered: int
     dead_lettered: int
     depth: int
+    #: user-class messages shed — structurally always 0; reported so the
+    #: per-class invariant is visible, not assumed
+    shed_user: int = 0
+    #: background messages shed at publish (full partition)
+    shed_background: int = 0
+    #: background messages shed at dequeue (deadline expired)
+    shed_expired: int = 0
 
 
 @guarded_by("_lock", "_topics", "_closed")
@@ -599,6 +773,16 @@ class EventBus:
         """Messages currently queued (not in flight) across all topics."""
         return sum(t.depth for t in self._topics.values())
 
+    @property
+    def shed_background(self) -> int:
+        """Background messages shed at publish across every topic."""
+        return sum(t.shed_background for t in self._topics.values())
+
+    @property
+    def shed_expired(self) -> int:
+        """Background messages shed at dequeue (expired) across topics."""
+        return sum(t.shed_expired for t in self._topics.values())
+
     def stats(self) -> BusStats:
         topics = list(self._topics.values())
         return BusStats(
@@ -608,6 +792,9 @@ class EventBus:
             redelivered=sum(t.redelivered for t in topics),
             dead_lettered=sum(len(t.dead_letters) for t in topics),
             depth=sum(t.depth for t in topics),
+            shed_user=sum(t.shed_user for t in topics),
+            shed_background=sum(t.shed_background for t in topics),
+            shed_expired=sum(t.shed_expired for t in topics),
         )
 
     def close(self) -> None:

@@ -32,17 +32,24 @@ With a :class:`~repro.core.sum_store.ColumnarSumStore` underneath, the
 cache keeps a :class:`~repro.core.sum_store.ColumnMirror` — a
 copy-on-write staging copy of the emotional and sensibility columns.
 The first read of a user after a publish copies that user's row slices
-into the mirror under the user's write lock; every later read at the
-same version is a pure column slice with zero per-user work, so
+into the mirror **without blocking writers**: the copy runs the seqlock
+read protocol against the store's per-row generation counters
+(:attr:`~repro.core.sum_store.ColumnarSumStore.row_generations`),
+retrying the handful of rows a writer is actively committing instead of
+taking any lock.  Every later read at the same version is a pure column
+slice with zero per-user work, so
 :class:`~repro.serving.service.RecommendationService` takes the same
 allocation-free batch path on *live streamed* state that it takes on a
 bare store.  Writers never touch the mirror, so captures cannot observe
-a half-applied batch.
+a half-applied batch — and a whole capture runs inside a layout-epoch
+window, so :meth:`~repro.core.sum_store.ColumnarSumStore.compact_vocab`
+can run against live mirrors without quiescing anyone.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from types import MappingProxyType
 from typing import Iterable, Sequence
 
@@ -53,6 +60,7 @@ from repro.analysis.contracts import (
     make_lock,
     manual_guard,
     requires_lock,
+    seqlock_reader,
 )
 from repro.core.reward import ReinforcementPolicy
 from repro.core.sum_model import SmartUserModel, SumRepository
@@ -71,8 +79,11 @@ from repro.obs.metrics import MetricsRegistry, NullRegistry, resolve_registry
 #   anything else);
 # * per-user locks form one *family* — apply_batch_and_publish holds
 #   many at once, made safe by sorted-id acquisition order;
-# * each mirror shard's capture lock may take user locks (to refresh
-#   stale rows) and, transitively, the store lock — never the reverse.
+# * each mirror shard's capture lock serializes that shard's refreshes
+#   and captures against each other.  Captures no longer take user locks
+#   or the store lock: row copies run the lock-free seqlock protocol
+#   against ColumnarSumStore.row_generations, and writers only flag
+#   staleness (a GIL-atomic set.add) under their user lock.
 declare_lock("SumCache._registry_lock")
 declare_lock(
     "SumCache._lock_for()",
@@ -85,9 +96,14 @@ declare_lock("_MirrorShard.lock", reentrant=True)
 # which takes the store lock; hidden from the AST behind the
 # duck-typed repository, so asserted here.
 declare_order("SumCache._lock_for()", "ColumnarSumStore._lock")
+# A starved seqlock capture falls back to one row copy under the store
+# writer lock while holding its shard's capture lock.  Safe to nest this
+# way because writers never take a shard lock (they only bump versions
+# and flag staleness GIL-atomically), so the reverse edge cannot exist.
+declare_order("_MirrorShard.lock", "ColumnarSumStore._lock")
 
 
-@guarded_by("SumCache._lock_for()", "versions", "stale")
+@guarded_by("_MirrorShard.lock", "versions", "stale", "epoch")
 class _MirrorShard:
     """One store partition's read-mirror state, isolated per shard.
 
@@ -99,7 +115,7 @@ class _MirrorShard:
     special case of the same machinery.
     """
 
-    __slots__ = ("store", "mirror", "versions", "stale", "lock")
+    __slots__ = ("store", "mirror", "versions", "stale", "lock", "epoch")
 
     def __init__(self, store, families) -> None:
         self.store = store
@@ -107,12 +123,17 @@ class _MirrorShard:
         #: uid -> version stamp of the data staged in the mirror row
         self.versions: dict[int, int] = {}
         #: uids published since their last mirror refresh; writers add
-        #: under the user's lock, readers refresh-and-discard — so a
-        #: read is O(writes since last read), not O(population)
+        #: under the user's lock (GIL-atomic — see _mark_mirror_stale),
+        #: readers refresh-and-discard under the shard lock — so a read
+        #: is O(writes since last read), not O(population)
         self.stale: set[int] = set()
         #: serializes this shard's mirror refreshes and captures against
         #: each other (writers never take it — they only bump versions)
         self.lock = make_lock("_MirrorShard.lock", reentrant=True)
+        #: the store layout epoch the mirror rows were staged under; a
+        #: mismatch at capture time means compact_vocab() moved columns
+        #: and every staged row must restage before serving
+        self.epoch = int(store.layout_epoch)
 
 
 def _freeze_object_model(live: SmartUserModel) -> SmartUserModel:
@@ -154,6 +175,12 @@ class SumCache:
     columnar) so it can be handed to
     :class:`~repro.serving.service.RecommendationService` as its ``sums``.
     """
+
+    #: optimistic seqlock attempts per row before a capture gives up and
+    #: copies under the store writer lock; large enough that any writer
+    #: with idle time between commits wins a round, small enough that a
+    #: saturated writer costs a capture ~1ms, not forever
+    _SEQLOCK_SPIN_LIMIT = 512
 
     def __init__(
         self,
@@ -215,9 +242,17 @@ class SumCache:
             )
 
     @requires_lock("_lock_for()")
+    @manual_guard(
+        "writers flag staleness with a GIL-atomic set.add under the "
+        "user's write lock, not the shard lock guarding `stale`: the "
+        "capture side tolerates the flag landing at any point relative "
+        "to its own discard because publishes bump the user's version "
+        "*before* flagging (see _capture_shard) — every interleaving "
+        "converges to a refresh at the newest version"
+    )
     def _mark_mirror_stale(self, user_id: int) -> None:
         """Flag a published user's mirror row as behind (caller holds the
-        user's lock, so the flag can't race that user's refresh)."""
+        user's lock; the capture side re-checks under the shard lock)."""
         if self._columnar:
             self._mirror_shards[self._shard_of(user_id)].stale.add(user_id)
 
@@ -274,9 +309,13 @@ class SumCache:
             version = self._versions.get(user_id, 0)
             if applied:
                 self._snapshots.pop(user_id, None)
-                self._mark_mirror_stale(user_id)
+                # version before stale: lock-free captures discard the
+                # stale flag before reading the version, so flagging
+                # *last* means a capture either reads the new version or
+                # leaves the flag set for the next capture to correct
                 version += 1
                 self._versions[user_id] = version
+                self._mark_mirror_stale(user_id)
         if applied:
             self._m_publishes.inc()
         return applied, version
@@ -332,9 +371,10 @@ class SumCache:
                 version = self._versions.get(user_id, 0)
                 if applied_by_user.get(user_id, 0):
                     self._snapshots.pop(user_id, None)
-                    self._mark_mirror_stale(user_id)
+                    # version before stale (see apply_and_publish)
                     version += 1
                     self._versions[user_id] = version
+                    self._mark_mirror_stale(user_id)
                     bumped += 1
                 versions[user_id] = version
         finally:
@@ -355,9 +395,10 @@ class SumCache:
         user_id = int(user_id)
         with self._lock_for(user_id):
             self._snapshots.pop(user_id, None)
-            self._mark_mirror_stale(user_id)
+            # version before stale (see apply_and_publish)
             version = self._versions.get(user_id, 0) + 1
             self._versions[user_id] = version
+            self._mark_mirror_stale(user_id)
         with self._registry_lock:
             self._global_version += 1
         self._m_publishes.inc()
@@ -382,9 +423,10 @@ class SumCache:
         for user_id in ids:
             with self._lock_for(user_id):
                 self._snapshots.pop(user_id, None)
-                self._mark_mirror_stale(user_id)
+                # version before stale (see apply_and_publish)
                 versions[user_id] = self._versions.get(user_id, 0) + 1
                 self._versions[user_id] = versions[user_id]
+                self._mark_mirror_stale(user_id)
         if versions:
             with self._registry_lock:
                 self._global_version += 1
@@ -434,44 +476,112 @@ class SumCache:
 
     # -- columnar batch read path ------------------------------------------
 
+    @seqlock_reader("ColumnarSumStore.row_generations")
+    def _refresh_row_published(self, shard: _MirrorShard, row: int) -> None:
+        """Copy one live row into the mirror — without any write lock.
+
+        The seqlock read protocol over
+        :attr:`~repro.core.sum_store.ColumnarSumStore.row_generations`:
+        read the row's generation counter (retrying while *odd* — a
+        writer is mid-commit), copy the row, then re-read and accept only
+        if the counter is unchanged *and* the generation array itself was
+        not replaced (row-capacity growth swaps it; identity is the
+        cross-swap tear detector).  Writers never block on this path, and
+        a reader only spins while the specific row it wants is actually
+        being written.
+
+        The spin is bounded: a writer saturating the row (back-to-back
+        batch commits keep the generation odd for essentially its whole
+        duty cycle, and numpy releases the GIL *inside* that window, so
+        it is exactly where this thread gets scheduled) would starve an
+        unbounded retry forever.  After the bound the capture falls back
+        to one row copy under
+        :attr:`~repro.core.sum_store.ColumnarSumStore.writer_lock` —
+        holding the writers' own lock excludes every generation bump, so
+        the copy needs no retry.  Writers still never wait on readers;
+        only a starved reader ever waits on writers.
+        """
+        gens = shard.store.row_generations
+        for __ in range(self._SEQLOCK_SPIN_LIMIT):
+            observed = gens.values
+            if row >= observed.shape[0]:
+                time.sleep(0)  # racing a row-capacity growth; re-fetch
+                continue
+            before = int(observed[row])
+            if before & 1:  # a writer is mid-commit on this row
+                time.sleep(0)
+                continue
+            shard.mirror.refresh_row(row)
+            if gens.values is observed and int(observed[row]) == before:
+                return
+            time.sleep(0)
+        with shard.store.writer_lock:  # starved: exclude writers outright
+            shard.mirror.refresh_row(row)
+
     def _capture_shard(
         self, shard: _MirrorShard, shard_ids: list[int], rows
     ) -> FrozenSumBatch:
-        """Refresh + capture one mirror shard (its lock held throughout)."""
+        """Refresh + capture one mirror shard (its lock held throughout).
+
+        The hot serving path: captures never take the store write lock or
+        any user lock.  Stale rows are copied via the per-row seqlock
+        retry (:meth:`_refresh_row_published`), and the whole capture
+        runs inside a layout-epoch window — if a
+        :meth:`~repro.core.sum_store.ColumnarSumStore.compact_vocab`
+        swapped the column layout mid-capture (or since the last one),
+        every staged row restages and the capture retries.
+        """
+        store = shard.store
+        refreshed = 0
         with shard.lock:
-            shard.mirror.sync_shape()
-            mirrored = shard.versions
-            stale = shard.stale
-            # Staleness is O(writes since the last read), not O(batch):
-            # set algebra runs in C, and only never-mirrored or
-            # freshly-published users pay a lock + row copy.
-            ids_set = set(shard_ids)
-            need = ids_set.difference(mirrored)
-            if stale:
-                need |= ids_set.intersection(stale)
-            for uid in need:
-                with self._lock_for(uid):
-                    # discard before reading the version: a publish after
-                    # this lock releases re-flags the user, and one inside
-                    # it is serialized with us
+            while True:
+                epoch = int(store.layout_epoch)
+                if epoch & 1:  # compaction mid-swap; new layout imminent
+                    time.sleep(0)
+                    continue
+                if shard.epoch != epoch:
+                    # compact_vocab() moved columns since this mirror was
+                    # staged: every staged row is laid out wrong now
+                    shard.versions.clear()
+                    shard.epoch = epoch
+                shard.mirror.sync_shape()
+                mirrored = shard.versions
+                stale = shard.stale
+                # Staleness is O(writes since the last read), not
+                # O(batch): set algebra runs in C, and only never-
+                # mirrored or freshly-published users pay a row copy.
+                ids_set = set(shard_ids)
+                need = ids_set.difference(mirrored)
+                if stale:
+                    need |= ids_set.intersection(stale)
+                for uid in need:
+                    # discard before reading the version: a publish
+                    # bumps the version *before* re-flagging, so either
+                    # we read the bumped version here or the flag lands
+                    # after our discard and survives for the next capture
                     stale.discard(uid)
-                    mirrored[uid] = self._versions.get(uid, 0)
-                    shard.mirror.refresh_row(shard.store.row_index(uid))
-            # Stamps only need to cover the requested ids: small reads
-            # build them per id, population-scale reads take one C-level
-            # dict copy (cheaper than a Python loop over the batch).
-            # Either way the batch resolves per-user stamps lazily.
-            if len(shard_ids) < len(mirrored) // 4:
-                stamps = {uid: mirrored.get(uid, 0) for uid in shard_ids}
-            else:
-                stamps = dict(mirrored)
-            batch = shard.mirror.capture(
-                shard_ids, rows, stamps, resolve=self.get
-            )
+                    version = self._versions.get(uid, 0)
+                    self._refresh_row_published(shard, store.row_index(uid))
+                    mirrored[uid] = version
+                refreshed += len(need)
+                # Stamps only need to cover the requested ids: small
+                # reads build them per id, population-scale reads take
+                # one C-level dict copy (cheaper than a Python loop over
+                # the batch).  The batch resolves per-user stamps lazily.
+                if len(shard_ids) < len(mirrored) // 4:
+                    stamps = {uid: mirrored.get(uid, 0) for uid in shard_ids}
+                else:
+                    stamps = dict(mirrored)
+                batch = shard.mirror.capture(
+                    shard_ids, rows, stamps, resolve=self.get
+                )
+                if int(store.layout_epoch) == epoch:
+                    break
+                # a compaction landed mid-capture; restage and go again
         # instruments only after the shard lock releases (leaf-lock rule)
         self._m_captures.inc()
-        if need:
-            self._m_refreshed_rows.inc(len(need))
+        if refreshed:
+            self._m_refreshed_rows.inc(refreshed)
         return batch
 
     def _snapshot_batch(self, user_ids: Sequence[int], create: bool = False):

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import monotonic, perf_counter
 
 from repro.core.reward import ReinforcementPolicy
 from repro.core.updates import apply_ops
@@ -45,6 +45,7 @@ from repro.obs.metrics import (
 from repro.obs.tracing import NullTracer, Tracer, resolve_tracer
 from repro.streaming.bus import Delivery, PartitionQueue
 from repro.streaming.cache import SumCache
+from repro.streaming.control import AdaptiveBatcher, ControlPlaneConfig
 from repro.streaming.mapper import EventUpdateMapper
 from repro.streaming.writebehind import WriteBehindWriter
 
@@ -54,6 +55,12 @@ class DecayTick:
     """Control message: apply one scheduled decay tick to one user."""
 
     user_id: int
+    #: ``time.monotonic()`` deadline stamped at enqueue; a worker that
+    #: picks the tick up after this drops it (counted, acked, unapplied).
+    #: Lives on the *value* — not the bus delivery — so it survives
+    #: pickling onto the multiproc plane and journal replay sees the
+    #: same expiry decision the live run made.
+    deadline: float | None = None
 
 
 @dataclass
@@ -67,6 +74,9 @@ class WorkerStats:
     #: applied events whose write-behind flush failed (state is committed
     #: and acked; the events stay buffered and retry on the next flush)
     log_drops: int = 0
+    #: decay ticks dropped unapplied because their deadline had passed
+    #: by the time the worker dequeued them
+    expired_dropped: int = 0
     #: update-to-visible latency samples, seconds (bounded reservoir)
     latencies: list[float] = field(default_factory=list)
 
@@ -88,6 +98,7 @@ class ShardWorker(threading.Thread):
         poll_timeout: float = 0.05,
         telemetry: MetricsRegistry | NullRegistry | None = None,
         tracer: Tracer | NullTracer | None = None,
+        control: ControlPlaneConfig | None = None,
     ) -> None:
         super().__init__(name=f"sum-shard-{partition.partition}", daemon=True)
         if getattr(cache.repository, "readonly", False):
@@ -105,6 +116,15 @@ class ShardWorker(threading.Thread):
         self.write_behind = write_behind
         self.batch_max = batch_max
         self.poll_timeout = poll_timeout
+        self.control = control
+        # Adaptive batching replaces the fixed batch_max with a size
+        # derived from queue depth + observed commit cost; the batcher is
+        # owned by this thread alone (reads/records happen in run()).
+        self.batcher = (
+            AdaptiveBatcher(control, batch_max)
+            if control is not None and control.adaptive_batching
+            else None
+        )
         self.stats = WorkerStats()
         self._stop_requested = threading.Event()
         # Instruments resolve once here; the batch loop never consults the
@@ -126,6 +146,7 @@ class ShardWorker(threading.Thread):
         self._m_applied = registry.counter("streaming.events_applied")
         self._m_failed = registry.counter("streaming.events_failed")
         self._m_log_drops = registry.counter("streaming.log_drops")
+        self._m_expired = registry.counter("streaming.expired_dropped")
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -134,8 +155,14 @@ class ShardWorker(threading.Thread):
         self._stop_requested.set()
 
     def run(self) -> None:  # pragma: no cover - exercised via integration
+        batcher = self.batcher
         while True:
-            batch = self.partition.get_batch(self.batch_max, self.poll_timeout)
+            limit = (
+                batcher.next_size(self.partition.depth)
+                if batcher is not None
+                else self.batch_max
+            )
+            batch = self.partition.get_batch(limit, self.poll_timeout)
             if batch:
                 self._process(batch)
             elif self._stop_requested.is_set() and self.partition.depth == 0:
@@ -180,6 +207,40 @@ class ShardWorker(threading.Thread):
             for delivery in leaked:
                 self.partition.reject(delivery)
 
+    def _drop_expired(
+        self, batch: list[Delivery], settled: set[int]
+    ) -> list[Delivery]:
+        """Shed decay ticks whose value-level deadline has passed.
+
+        An expired tick is acked (the at-least-once contract settles it —
+        it will never redeliver, so the drop happens exactly once per
+        tick) but its ops never apply and the mapper's decay counters
+        never advance.  The count lands in ``stats.expired_dropped`` and
+        the ``streaming.expired_dropped`` counter; user-facing events are
+        never dropped here.
+        """
+        if self.control is None:
+            return batch
+        now = None
+        kept: list[Delivery] = []
+        expired: list[Delivery] = []
+        for delivery in batch:
+            value = delivery.value
+            if isinstance(value, DecayTick) and value.deadline is not None:
+                if now is None:
+                    now = monotonic()
+                if now >= value.deadline:
+                    expired.append(delivery)
+                    continue
+            kept.append(delivery)
+        if expired:
+            for delivery in expired:
+                settled.add(id(delivery))
+            self.partition.ack_batch(expired)
+            self.stats.expired_dropped += len(expired)
+            self._m_expired.inc(len(expired))
+        return kept
+
     def _process_settling(
         self, batch: list[Delivery], settled: set[int]
     ) -> None:
@@ -190,6 +251,9 @@ class ShardWorker(threading.Thread):
         # per user so each user's whole slice of the batch is applied
         # under one lock hold (readers never see a half-batch).
         dequeued_at = perf_counter()
+        batch = self._drop_expired(batch, settled)
+        if not batch:
+            return
         self._m_batch_size.observe(len(batch))
         per_user: dict[int, list[tuple[Delivery, tuple]]] = {}
         order: list[int] = []
@@ -214,6 +278,8 @@ class ShardWorker(threading.Thread):
         if applied is None:
             applied = self._apply_per_user(per_user, order, settled)
         committed_at = perf_counter()
+        if self.batcher is not None and applied:
+            self.batcher.record(len(applied), committed_at - mapped_at)
 
         if not applied:
             return
@@ -246,9 +312,15 @@ class ShardWorker(threading.Thread):
         self._m_applied.inc(len(applied))
         self._m_commit.observe(committed_at - mapped_at)
         if self._telemetry_on:
+            # update-to-visible is the *user-facing* SLO: background
+            # decay rides the lower queue class and is deliberately
+            # allowed to wait (burst-enqueued ticks queue behind each
+            # other), so its latencies stay out of the histogram the
+            # p99 gate watches
             observe = self._m_visible.observe
             for delivery in applied:
-                observe(visible_at - delivery.published_at)
+                if not delivery.background:
+                    observe(visible_at - delivery.published_at)
         tracer = self.tracer
         if tracer.enabled:
             # one trace per event: queue wait, map, commit, publish spans

@@ -1,0 +1,135 @@
+"""Tail-latency control plane knobs for the streaming write path.
+
+PR 7 made p99 update-to-visible an observable number and PR 8 moved the
+commit loops off the GIL; this module adds the *control* half of the
+ROADMAP's serving-SLO item — the policies that keep those numbers inside
+budget when offered load exceeds capacity:
+
+* :class:`ControlPlaneConfig` — one frozen bundle of knobs shared by the
+  in-process (:class:`~repro.streaming.updater.StreamingUpdater`) and
+  multi-process (:class:`~repro.streaming.procplane.MultiProcUpdater`)
+  planes, picklable so worker processes inherit it at fork/spawn;
+* :class:`AdaptiveBatcher` — sizes each shard commit from observed queue
+  depth and an EWMA of recent per-op commit seconds: shallow queues get
+  small batches (visibility latency), deep queues get big ones
+  (throughput amortizes the per-batch overhead while backlog latency
+  already dominates).
+
+Everything here is deliberately deterministic given the same observation
+sequence — no wall-clock reads, no randomness — so replay tests can
+drive it and the chosen sizes are reproducible.  A batcher is
+single-owner by protocol (one per shard worker thread) and therefore
+needs no locking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ControlPlaneConfig:
+    """Knobs of the tail-latency control plane (all opt-in).
+
+    The default-constructed config enables every mechanism; passing
+    ``control_plane=None`` to an updater (the default) disables them
+    all, keeping the legacy fixed-batch, never-shed behavior bit-exact.
+    """
+
+    #: size commit batches from queue depth + recent commit seconds
+    #: instead of the fixed ``batch_max``
+    adaptive_batching: bool = True
+    #: floor of the adaptive batch size (amortizes per-batch overhead)
+    min_batch: int = 8
+    #: soft per-commit latency target the batcher sizes against: one
+    #: commit should take about this long, so update-to-visible waits
+    #: at most ~one target behind the head of the queue
+    target_commit_seconds: float = 0.005
+    #: EWMA smoothing factor for observed per-op commit seconds
+    ewma_alpha: float = 0.2
+    #: publish decay/maintenance work on the background service class
+    #: (sheddable under pressure — see repro.streaming.bus)
+    priority_shedding: bool = True
+    #: seconds a scheduled decay tick stays worth applying; after this
+    #: the tick is shed (dropped and exact-counted) instead of applied.
+    #: ``None`` means ticks never expire.
+    tick_ttl: float | None = 0.25
+
+    def __post_init__(self) -> None:
+        if self.min_batch < 1:
+            raise ValueError(f"min_batch must be >= 1, got {self.min_batch}")
+        if self.target_commit_seconds <= 0:
+            raise ValueError(
+                "target_commit_seconds must be > 0, got "
+                f"{self.target_commit_seconds}"
+            )
+        if not (0.0 < self.ewma_alpha <= 1.0):
+            raise ValueError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}"
+            )
+        if self.tick_ttl is not None and self.tick_ttl <= 0:
+            raise ValueError(
+                f"tick_ttl must be > 0 (or None), got {self.tick_ttl}"
+            )
+
+
+class AdaptiveBatcher:
+    """Depth- and latency-aware commit batch sizing for one shard.
+
+    The policy, in order:
+
+    1. a saturated queue (``depth >= batch_max``) always gets the full
+       ``batch_max`` — backlog latency dominates, throughput wins;
+    2. otherwise the size tracks the queue depth (take what is there,
+       never less than ``min_batch``), capped by the *latency cap*:
+       how many ops fit in ``target_commit_seconds`` at the EWMA of
+       observed per-op commit cost.
+
+    Before the first :meth:`record` there is no cost estimate, so the
+    cap is inactive and the batcher degrades to depth-clamping alone.
+    """
+
+    __slots__ = ("min_batch", "batch_max", "target_seconds", "alpha",
+                 "_per_op_seconds")
+
+    def __init__(self, config: ControlPlaneConfig, batch_max: int) -> None:
+        if batch_max < config.min_batch:
+            raise ValueError(
+                f"batch_max ({batch_max}) below min_batch "
+                f"({config.min_batch})"
+            )
+        self.min_batch = config.min_batch
+        self.batch_max = batch_max
+        self.target_seconds = config.target_commit_seconds
+        self.alpha = config.ewma_alpha
+        self._per_op_seconds = 0.0
+
+    @property
+    def per_op_seconds(self) -> float:
+        """Current EWMA of per-op commit cost (0.0 until first record)."""
+        return self._per_op_seconds
+
+    def record(self, n_ops: int, commit_seconds: float) -> None:
+        """Feed one observed commit (batch size, wall seconds) back."""
+        if n_ops <= 0 or commit_seconds < 0.0:
+            return
+        per_op = commit_seconds / n_ops
+        if self._per_op_seconds == 0.0:
+            self._per_op_seconds = per_op
+        else:
+            self._per_op_seconds += self.alpha * (
+                per_op - self._per_op_seconds
+            )
+
+    def next_size(self, depth: int) -> int:
+        """Batch size for the next dequeue given current queue depth."""
+        if depth >= self.batch_max:
+            return self.batch_max
+        size = max(self.min_batch, depth)
+        if self._per_op_seconds > 0.0:
+            cap = max(
+                self.min_batch,
+                int(self.target_seconds / self._per_op_seconds),
+            )
+            size = min(size, cap)
+        return min(size, self.batch_max)

@@ -69,6 +69,7 @@ from repro.obs.tracing import NULL_TRACER
 from repro.streaming.bus import EventBus, partition_for
 from repro.streaming.cache import SumCache
 from repro.streaming.consumer import DecayTick, ShardWorker
+from repro.streaming.control import ControlPlaneConfig
 from repro.streaming.mapper import EventUpdateMapper, MapperConfig
 from repro.streaming.updater import LIFELOG_TOPIC, StreamingStats
 
@@ -125,6 +126,7 @@ def _worker_main(
     commands: Any,
     responses: Any,
     mapper_state: Mapping[int, int] | None,
+    control_plane: ControlPlaneConfig | None = None,
 ) -> None:
     """One shard's worker process: the whole in-process loop, relocated.
 
@@ -162,6 +164,7 @@ def _worker_main(
         batch_max=batch_max,
         telemetry=telemetry,
         tracer=NULL_TRACER,
+        control=control_plane,
     )
     worker.start()
     received_seq = 0
@@ -180,6 +183,7 @@ def _worker_main(
                 "batches": worker.stats.batches,
                 "failed": worker.stats.failed,
                 "log_drops": worker.stats.log_drops,
+                "expired_dropped": worker.stats.expired_dropped,
             },
             "latencies": list(worker.stats.latencies),
             "topic": {
@@ -241,6 +245,7 @@ class ShardWorkerProcess:
         max_attempts: int = 3,
         mapper_state: Mapping[int, int] | None = None,
         ctx: Any = None,
+        control: ControlPlaneConfig | None = None,
     ) -> None:
         if ctx is None:
             ctx = multiprocessing.get_context(
@@ -267,6 +272,7 @@ class ShardWorkerProcess:
                 self.commands,
                 resp_send,
                 dict(mapper_state) if mapper_state else None,
+                control,
             ),
             daemon=True,
         )
@@ -387,6 +393,7 @@ class MultiProcUpdater:
         chunk: int = 512,
         sync_timeout: float = DEFAULT_SYNC_TIMEOUT,
         cache: SumCache | None = None,
+        control_plane: ControlPlaneConfig | None = None,
     ) -> None:
         if not isinstance(store, MultiProcSumStore):
             raise TypeError(
@@ -406,6 +413,9 @@ class MultiProcUpdater:
         self.chunk = int(chunk)
         self.sync_timeout = float(sync_timeout)
         self.cache = cache
+        #: tail-latency control plane, inherited by every worker process
+        #: (picklable frozen dataclass); None = legacy behavior
+        self.control_plane = control_plane
         n = len(store.shards)
         self.workers: list[ShardWorkerProcess] = []
         self._pending: list[list[Any]] = [[] for __ in range(n)]
@@ -432,6 +442,7 @@ class MultiProcUpdater:
             queue_capacity=self.queue_capacity,
             max_attempts=self.max_attempts,
             mapper_state=mapper_state,
+            control=self.control_plane,
         )
         return worker.start()
 
@@ -516,12 +527,23 @@ class MultiProcUpdater:
         return count
 
     def tick(self, user_ids: Iterable[int]) -> int:
-        """Schedule one decay tick per user (journaled like any event)."""
+        """Schedule one decay tick per user (journaled like any event).
+
+        With a control plane configured, each tick carries a value-level
+        deadline (``tick_ttl`` from enqueue).  The deadline pickles with
+        the tick into the journal, so a worker — live or replaying after
+        recovery — makes the same drop decision for the same tick and
+        exactly-once accounting holds: a tick is either applied once or
+        dropped-and-counted once, never both."""
         if not self._started:
             raise RuntimeError("updater not started; call start() first")
+        control = self.control_plane
+        deadline = None
+        if control is not None and control.tick_ttl is not None:
+            deadline = time.monotonic() + control.tick_ttl
         count = 0
         for user_id in user_ids:
-            self._route(DecayTick(int(user_id)))
+            self._route(DecayTick(int(user_id), deadline=deadline))
             count += 1
         return count
 
@@ -704,4 +726,7 @@ class MultiProcUpdater:
             flushed_events=0,
             flush_count=0,
             pending_writes=sum(len(bucket) for bucket in self._pending),
+            expired_dropped=sum(
+                int(p["worker"].get("expired_dropped", 0)) for p in payloads
+            ),
         )

@@ -36,6 +36,7 @@ Usage::
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import monotonic
 from typing import Iterable, Mapping
 
 from repro.core.reward import ReinforcementPolicy
@@ -48,6 +49,7 @@ from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
 from repro.streaming.bus import EventBus, Topic
 from repro.streaming.cache import SumCache
 from repro.streaming.consumer import DecayTick, ShardWorker
+from repro.streaming.control import ControlPlaneConfig
 from repro.streaming.mapper import EventUpdateMapper, MapperConfig
 from repro.streaming.writebehind import WriteBehindWriter
 
@@ -71,6 +73,13 @@ class StreamingStats:
     flushed_events: int
     flush_count: int
     pending_writes: int
+    #: background messages shed at publish (full partition, drop-new or
+    #: evicted by a user-class publish)
+    shed_background: int = 0
+    #: background messages shed at dequeue (bus-level deadline expired)
+    shed_expired: int = 0
+    #: decay ticks a worker dropped unapplied (value-level deadline)
+    expired_dropped: int = 0
 
 
 class StreamingUpdater:
@@ -138,10 +147,14 @@ class StreamingUpdater:
         mirror_families: tuple[str, ...] | None = None,
         telemetry: MetricsRegistry | NullRegistry | None = None,
         tracer: Tracer | NullTracer | None = None,
+        control_plane: ControlPlaneConfig | None = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         self.policy = policy or ReinforcementPolicy()
+        #: tail-latency control plane (None = legacy fixed-batch,
+        #: never-shed behavior, bit-exact with earlier releases)
+        self.control_plane = control_plane
         self.telemetry = resolve_registry(telemetry)
         if tracer is None:
             # enabled telemetry implies tracing: ids minted at ingest
@@ -174,6 +187,7 @@ class StreamingUpdater:
                 batch_max=batch_max,
                 telemetry=self.telemetry,
                 tracer=self.tracer,
+                control=control_plane,
             )
             for partition in self.topic
         ]
@@ -255,12 +269,28 @@ class StreamingUpdater:
         return count
 
     def tick(self, user_ids: Iterable[int]) -> int:
-        """Schedule one decay tick per user (the between-touches decay)."""
+        """Schedule one decay tick per user (the between-touches decay).
+
+        With a control plane configured, ticks ride the *background*
+        service class: a saturated partition sheds them instead of
+        blocking user-facing publishes, and ``tick_ttl`` stamps a
+        deadline after which a queued tick is dropped unprocessed
+        (exact-counted at whichever layer sheds it)."""
         if not self._started:
             raise RuntimeError("updater not started; call start() first")
+        control = self.control_plane
+        background = control is not None and control.priority_shedding
+        deadline = None
+        if control is not None and control.tick_ttl is not None:
+            deadline = monotonic() + control.tick_ttl
         count = 0
         for user_id in user_ids:
-            self.topic.publish(DecayTick(int(user_id)), key=int(user_id))
+            self.topic.publish(
+                DecayTick(int(user_id), deadline=deadline),
+                key=int(user_id),
+                background=background,
+                deadline=deadline,
+            )
             self._submitted += 1
             count += 1
         return count
@@ -306,5 +336,10 @@ class StreamingUpdater:
             pending_writes=(
                 self.write_behind.pending
                 if self.write_behind is not None else 0
+            ),
+            shed_background=self.topic.shed_background,
+            shed_expired=self.topic.shed_expired,
+            expired_dropped=sum(
+                w.stats.expired_dropped for w in self.workers
             ),
         )

@@ -1,0 +1,78 @@
+"""Clean twin of ``sq_violations``: every legal seqlock reader shape.
+
+The same primitive calls that are violations there are legal here —
+inside a retry loop under a reader marking, under the declared writer
+lock (raw attribute or public accessor), or as the bounded-spin
+fallback that combines both.
+"""
+
+import threading
+import time
+
+from repro.analysis.contracts import declare_seqlock, seqlock_reader
+
+declare_seqlock(
+    "CleanMirrorTable.row_generations",
+    protects=("refresh_row", "copy_row"),
+    writer_lock="CleanMirrorTable._lock",
+)
+
+
+class CleanMirrorTable:
+    def __init__(self, mirror, gens) -> None:
+        self._lock = threading.Lock()
+        self.mirror = mirror
+        self.gens = gens
+
+    @property
+    def writer_lock(self):
+        return self._lock
+
+
+class RetryingCapture:
+    """The optimistic shape: copy between two equal even generations."""
+
+    def __init__(self, table: CleanMirrorTable) -> None:
+        self.table = table
+
+    @seqlock_reader("CleanMirrorTable.row_generations")
+    def capture(self, row: int) -> None:
+        gens = self.table.gens
+        while True:
+            before = int(gens[row])
+            if before & 1:
+                time.sleep(0)
+                continue
+            self.table.mirror.refresh_row(row)
+            if int(gens[row]) == before:
+                return
+            time.sleep(0)
+
+    @seqlock_reader("CleanMirrorTable.row_generations")
+    def capture_bounded(self, row: int) -> None:
+        gens = self.table.gens
+        for _ in range(512):
+            before = int(gens[row])
+            if before & 1:
+                continue
+            self.table.mirror.refresh_row(row)
+            if int(gens[row]) == before:
+                return
+        with self.table.writer_lock:  # starved: exclude writers outright
+            self.table.mirror.refresh_row(row)
+
+
+class LockedCopier:
+    """Unmarked callers are fine under the declared writer lock."""
+
+    def __init__(self, table: CleanMirrorTable) -> None:
+        self.table = table
+
+    def snapshot(self, row: int) -> None:
+        with self.table._lock:
+            self.table.mirror.copy_row(row)
+
+    def snapshot_all(self, rows) -> None:
+        with self.table.writer_lock:
+            for row in rows:
+                self.table.mirror.refresh_row(row)

@@ -1,0 +1,53 @@
+"""Seeded seqlock-discipline violations: SQ001, SQ002.
+
+Each offending line carries a ``# [RULE]`` marker; the analyzer tests
+assert the finding set equals the marker set exactly.
+"""
+
+import threading
+
+from repro.analysis.contracts import declare_seqlock, seqlock_reader
+
+declare_seqlock(
+    "MirrorTable.row_generations",
+    protects=("refresh_row", "copy_row"),
+    writer_lock="MirrorTable._lock",
+)
+
+
+class MirrorTable:
+    def __init__(self, mirror) -> None:
+        self._lock = threading.Lock()
+        self.mirror = mirror
+
+
+class TornCapture:
+    """Claims the reader protocol, then copies without any retry loop."""
+
+    def __init__(self, table: MirrorTable) -> None:
+        self.table = table
+
+    @seqlock_reader("MirrorTable.row_generations")
+    def capture(self, row: int) -> None:
+        self.table.mirror.refresh_row(row)  # [SQ001]
+
+    @seqlock_reader("MirrorTable.row_generations")
+    def capture_many(self, rows) -> None:
+        copied = [r for r in rows]
+        for row in copied:
+            self.table.mirror.refresh_row(row)
+        self.table.mirror.copy_row(copied[-1])  # [SQ001]
+
+
+class UnmarkedCopier:
+    """No reader marking, no writer lock: a silent torn-read source."""
+
+    def __init__(self, table: MirrorTable) -> None:
+        self.table = table
+
+    def snapshot(self, row: int) -> None:
+        self.table.mirror.copy_row(row)  # [SQ002]
+
+    def snapshot_all(self, rows) -> None:
+        for row in rows:  # loops don't legitimize an unmarked caller
+            self.table.mirror.refresh_row(row)  # [SQ002]

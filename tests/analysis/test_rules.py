@@ -22,14 +22,18 @@ VIOLATION_FIXTURES = [
     "ld_violations.py",
     "lo_violations.py",
     "sn_violations.py",
+    "sq_violations.py",
     "hy_violations.py",
 ]
-CLEAN_FIXTURES = ["ld_clean.py", "lo_clean.py", "sn_clean.py", "hy_clean.py"]
+CLEAN_FIXTURES = [
+    "ld_clean.py", "lo_clean.py", "sn_clean.py", "sq_clean.py", "hy_clean.py",
+]
 
 ALL_RULES = {
     "LD001", "LD002", "LD003",
     "LO001", "LO002",
     "SN001", "SN002",
+    "SQ001", "SQ002",
     "HY001", "HY002", "HY003",
 }
 
@@ -85,6 +89,29 @@ def test_ld_findings_name_the_guarded_state_and_lock():
     assert ld002.symbol == "LeakyCounter.rebalance"
     (ld003,) = by_rule["LD003"]
     assert ld003.symbol == "LeakyCounter.sneak"
+
+
+def test_sq_findings_name_the_seqlock_and_protocol():
+    _, findings = analyze("sq_violations.py")
+    by_rule = {}
+    for f in findings:
+        by_rule.setdefault(f.rule, []).append(f)
+    assert all(
+        "MirrorTable.row_generations" in f.message for f in by_rule["SQ001"]
+    )
+    assert {f.symbol for f in by_rule["SQ001"]} == {
+        "TornCapture.capture", "TornCapture.capture_many",
+    }
+    assert {f.symbol for f in by_rule["SQ002"]} == {
+        "UnmarkedCopier.snapshot", "UnmarkedCopier.snapshot_all",
+    }
+
+
+def test_sq_declarations_reach_the_static_registry():
+    project, _ = analyze("sq_violations.py")
+    decl = project.registry.seqlocks["MirrorTable.row_generations"]
+    assert decl["protects"] == ("refresh_row", "copy_row")
+    assert decl["writer_lock"] == "MirrorTable._lock"
 
 
 def test_lo_cycle_names_both_locks_and_edges():

@@ -309,6 +309,48 @@ class TestCli:
         assert record["merged_from"] == 2
         assert record["metrics"]["streaming.applied_events"]["value"] == 100.0
 
+    def test_control_plane_instruments_surface_and_merge(self, tmp_path, capsys):
+        """Shed / deadline / batch-size counters render like any metric.
+
+        The renderer is name-agnostic, so the tail-latency control
+        plane's instruments reach operators with no exporter changes —
+        this pins that contract, per class and per stage."""
+
+        def shedding_registry(shard: int) -> MetricsRegistry:
+            reg = MetricsRegistry()
+            reg.counter(labelled(
+                "bus.shed", op_class="background", reason="capacity",
+                topic="lifelog",
+            )).inc(3)
+            reg.counter(labelled(
+                "bus.shed", op_class="background", reason="expired",
+                topic="lifelog",
+            )).inc(2)
+            reg.counter("streaming.expired_dropped").inc(5)
+            reg.counter(labelled(
+                "serving.deadline_exceeded", stage="resolve"
+            )).inc(1)
+            hist = reg.histogram("streaming.batch_size", bounds=(8, 64, 512))
+            hist.observe(16 + shard)
+            return reg
+
+        path = tmp_path / "plane.jsonl"
+        for shard in range(2):
+            write_jsonl(path, shedding_registry(shard).snapshot(), shard=shard)
+        assert main([str(path), "--merge"]) == 0
+        out = capsys.readouterr().out
+        assert (
+            'bus_shed{op_class="background",reason="capacity",'
+            'topic="lifelog"} 6' in out
+        )
+        assert (
+            'bus_shed{op_class="background",reason="expired",'
+            'topic="lifelog"} 4' in out
+        )
+        assert "streaming_expired_dropped 10" in out
+        assert 'serving_deadline_exceeded{stage="resolve"} 2' in out
+        assert "# TYPE streaming_batch_size histogram" in out
+
     def test_multiple_files_without_merge_exit_2(self, tmp_path, capsys):
         paths = []
         for i in range(2):

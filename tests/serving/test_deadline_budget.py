@@ -1,0 +1,208 @@
+"""Deadline budgets on the serving path.
+
+The request-scoped half of the tail-latency control plane: a request
+states its latency budget, the service checks it between pipeline
+stages, and an exhausted budget either aborts with a typed
+:class:`DeadlineExceeded` (exact-counted per stage) or — under
+``partial_ok`` — degrades to a base-score ranking with the Advice
+stage skipped.
+"""
+
+from time import monotonic, sleep
+
+import pytest
+
+import repro.serving.service as service_module
+from repro.core.advice import DomainProfile
+from repro.core.sum_model import SumRepository
+from repro.obs.metrics import MetricsRegistry, labelled
+from repro.serving import (
+    RecommendationRequest,
+    RecommendationService,
+    SelectionRequest,
+)
+from repro.serving.budget import Budget, DeadlineExceeded
+
+
+def make_profile():
+    return DomainProfile(
+        "training",
+        {
+            "enthusiastic": {"innovative": 0.8},
+            "frightened": {"challenging": -0.6, "supportive": 0.5},
+        },
+    )
+
+
+ITEM_ATTRIBUTES = {
+    "course-innovative": {"innovative": 1.0},
+    "course-challenging": {"challenging": 1.0},
+    "course-supportive": {"supportive": 0.8},
+    "course-plain": {},
+}
+ITEMS = sorted(ITEM_ATTRIBUTES)
+
+
+@pytest.fixture()
+def repo():
+    repo = SumRepository()
+    keen = repo.get_or_create(1)
+    keen.activate_emotion("enthusiastic", 1.0)
+    keen.set_sensibility("enthusiastic", 1.0)
+    repo.get_or_create(2)
+    return repo
+
+
+def make_service(repo, telemetry=None):
+    service = RecommendationService(
+        sums=repo,
+        domain_profile=make_profile(),
+        item_attributes=ITEM_ATTRIBUTES,
+        telemetry=telemetry,
+    )
+    service.register("base", lambda model, item: 0.5)
+    return service
+
+
+# -- Budget values ------------------------------------------------------------
+
+
+class TestBudget:
+    def test_from_timeout_rejects_nonpositive(self):
+        for bad in (0, -1.0):
+            with pytest.raises(ValueError):
+                Budget.from_timeout(bad)
+
+    def test_fresh_budget_has_remaining_and_passes_check(self):
+        budget = Budget.from_timeout(60.0)
+        assert not budget.expired()
+        assert 0 < budget.remaining() <= 60.0
+        budget.check("resolve")  # no raise
+
+    def test_past_deadline_expires_and_check_raises_typed(self):
+        budget = Budget(monotonic() - 0.25)
+        assert budget.expired()
+        assert budget.remaining() < 0
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            budget.check("score")
+        assert excinfo.value.stage == "score"
+        assert excinfo.value.overshoot_s >= 0.25
+        assert "score" in str(excinfo.value)
+
+    def test_monotonic_timebase_survives_sleep(self):
+        budget = Budget.from_timeout(0.01)
+        sleep(0.02)
+        assert budget.expired()
+
+
+# -- request validation -------------------------------------------------------
+
+
+def test_requests_reject_nonpositive_deadline():
+    with pytest.raises(ValueError, match="deadline_s"):
+        RecommendationRequest(user_id=1, items=ITEMS, deadline_s=0.0)
+    with pytest.raises(ValueError, match="deadline_s"):
+        SelectionRequest(item=ITEMS[0], user_ids=[1], deadline_s=-1.0)
+
+
+# -- service integration ------------------------------------------------------
+
+
+def test_generous_deadline_serves_complete_response(repo):
+    service = make_service(repo)
+    response = service.recommend(
+        RecommendationRequest(user_id=1, items=ITEMS, k=2, deadline_s=60.0)
+    )
+    assert response.degraded is False
+    assert response.items[0] == "course-innovative"
+
+
+def test_exhausted_deadline_aborts_resolve_and_counts(repo):
+    registry = MetricsRegistry()
+    service = make_service(repo, telemetry=registry)
+    with pytest.raises(DeadlineExceeded) as excinfo:
+        service.recommend(
+            RecommendationRequest(
+                user_id=1, items=ITEMS, deadline_s=1e-9
+            )
+        )
+    assert excinfo.value.stage == "resolve"
+    snapshot = registry.snapshot().as_dict()
+    key = labelled("serving.deadline_exceeded", stage="resolve")
+    assert snapshot[key]["value"] == 1
+    assert snapshot["serving.degraded"]["value"] == 0
+
+
+def test_selection_path_honors_deadline_too(repo):
+    registry = MetricsRegistry()
+    service = make_service(repo, telemetry=registry)
+    with pytest.raises(DeadlineExceeded):
+        service.select_users(
+            SelectionRequest(
+                item=ITEMS[0], user_ids=[1, 2], deadline_s=1e-9
+            )
+        )
+    snapshot = registry.snapshot().as_dict()
+    key = labelled("serving.deadline_exceeded", stage="resolve")
+    assert snapshot[key]["value"] == 1
+
+
+class _ScoreExhaustedBudget:
+    """Survives the resolve check, reads expired at the score gate.
+
+    Deterministic stand-in for a budget that runs out *between* resolve
+    and advice — the only window where ``partial_ok`` degradation can
+    trigger.
+    """
+
+    def __init__(self) -> None:
+        self.checked: list[str] = []
+
+    @classmethod
+    def from_timeout(cls, seconds: float) -> "_ScoreExhaustedBudget":
+        return cls()
+
+    def check(self, stage: str) -> None:
+        self.checked.append(stage)
+        if stage == "score":
+            raise DeadlineExceeded(stage, 0.001)
+
+    def expired(self) -> bool:
+        return True
+
+
+def test_partial_ok_degrades_instead_of_aborting(repo, monkeypatch):
+    registry = MetricsRegistry()
+    service = make_service(repo, telemetry=registry)
+    monkeypatch.setattr(service_module, "Budget", _ScoreExhaustedBudget)
+    response = service.recommend(
+        RecommendationRequest(
+            user_id=1, items=ITEMS, k=len(ITEMS),
+            deadline_s=60.0, partial_ok=True,
+        )
+    )
+    assert response.degraded is True
+    # the Advice stage was skipped: base ranking served unadjusted
+    assert all(entry.multiplier == 1.0 for entry in response.ranked)
+    snapshot = registry.snapshot().as_dict()
+    assert snapshot["serving.degraded"]["value"] == 1
+    assert (
+        snapshot[labelled("serving.deadline_exceeded", stage="score")]["value"]
+        == 0
+    )
+
+
+def test_without_partial_ok_score_exhaustion_aborts(repo, monkeypatch):
+    registry = MetricsRegistry()
+    service = make_service(repo, telemetry=registry)
+    monkeypatch.setattr(service_module, "Budget", _ScoreExhaustedBudget)
+    with pytest.raises(DeadlineExceeded) as excinfo:
+        service.recommend(
+            RecommendationRequest(
+                user_id=1, items=ITEMS, deadline_s=60.0
+            )
+        )
+    assert excinfo.value.stage == "score"
+    snapshot = registry.snapshot().as_dict()
+    key = labelled("serving.deadline_exceeded", stage="score")
+    assert snapshot[key]["value"] == 1

@@ -26,6 +26,7 @@ from repro.core.sharded_store import generation_dirs, read_manifest
 from repro.core.sum_model import SumRepository
 from repro.lifelog.events import ActionCategory, Event
 from repro.streaming import EventUpdateMapper, MapperConfig
+from repro.streaming.control import ControlPlaneConfig
 from repro.streaming.procplane import MultiProcUpdater, WorkerDied
 
 ITEM_EMOTIONS = {
@@ -184,6 +185,56 @@ def test_ensure_alive_restarts_dead_workers(tmp_path):
             assert updater.recoveries == 1
             updater.submit_many(events[100:])
             assert updater.drain()
+        assert store.dumps() == reference.dumps()
+    finally:
+        store.close()
+
+
+def test_expired_ticks_dropped_and_counted_across_the_plane():
+    # ttl so small every tick is already past deadline when a worker
+    # dequeues it: none may apply, every drop exact-counted, and the
+    # final state must match an events-only sequential pass
+    events = dense_stream(n_events=300, n_users=20)
+    reference = sequential_reference(events)
+    users = sorted({e.user_id for e in events})
+    store = MultiProcSumStore(n_shards=4)
+    try:
+        updater = MultiProcUpdater(
+            store, ITEM_EMOTIONS, chunk=32,
+            control_plane=ControlPlaneConfig(tick_ttl=1e-9),
+        )
+        with updater:
+            updater.submit_many(events)
+            assert updater.tick(users) == len(users)
+            assert updater.drain()
+        assert updater.stats().expired_dropped == len(users)
+        assert store.dumps() == reference.dumps()
+    finally:
+        store.close()
+
+
+def test_expired_tick_drops_replay_exactly_once_after_crash(tmp_path):
+    # the deadline pickles with the tick into the journal: a recovered
+    # worker replaying its tail re-evaluates the *same* absolute
+    # deadline, re-drops the same ticks, and the counter lands back on
+    # the exact total — dropped once per tick, never applied
+    events = dense_stream(n_events=400, n_users=24)
+    reference = sequential_reference(events)
+    users = sorted({e.user_id for e in events})
+    store = MultiProcSumStore(n_shards=4)
+    try:
+        updater = MultiProcUpdater(
+            store, ITEM_EMOTIONS, checkpoint_root=tmp_path, chunk=32,
+            control_plane=ControlPlaneConfig(tick_ttl=1e-9),
+        )
+        with updater:
+            updater.submit_many(events)
+            updater.tick(users)
+            assert updater.drain()
+            updater.workers[2].kill()  # SIGKILL after the drops landed
+            assert updater.drain()  # sync hits the corpse and recovers
+            assert updater.recoveries >= 1
+        assert updater.stats().expired_dropped == len(users)
         assert store.dumps() == reference.dumps()
     finally:
         store.close()
