@@ -331,7 +331,9 @@ class CampaignEngine:
 
     # -- serving -----------------------------------------------------------
 
-    def recommendation_service(self, sums=None) -> RecommendationService:
+    def recommendation_service(
+        self, sums=None, retriever=None
+    ) -> RecommendationService:
         """The batch-first serving facade over this engine's scorers.
 
         Items are course ids.  Three scorer families are registered:
@@ -347,9 +349,12 @@ class CampaignEngine:
         repository) is built once and cached.  Pass ``sums`` — typically
         a :class:`~repro.streaming.cache.SumCache` from
         :meth:`streaming_updater` — to build a fresh, uncached service
-        whose Advice stage reads from that resolver instead.
+        whose Advice stage reads from that resolver instead.  Pass a
+        :class:`~repro.retrieval.retriever.CandidateRetriever` to arm
+        the O(k) candidate-retrieval stage (a ``retriever`` implies a
+        fresh, uncached service too).
         """
-        if sums is None and self._serving is not None:
+        if sums is None and retriever is None and self._serving is not None:
             return self._serving
         catalog = self.world.catalog
         service = RecommendationService(
@@ -360,6 +365,7 @@ class CampaignEngine:
                 for course_id in catalog.course_ids()
             },
             telemetry=self.config.telemetry,
+            retriever=retriever,
         )
         service.register("propensity", PropensityScorer(self))
         service.register(
@@ -376,7 +382,7 @@ class CampaignEngine:
                 .get(int(course_id), 0.0)
             )),
         )
-        if sums is None:
+        if sums is None and retriever is None:
             self._serving = service
         return service
 

@@ -5,10 +5,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cf.ratings import RatingMatrix
+from repro.ml.preprocessing import NotFittedError
 
 
 class FunkSVD:
-    """Biased MF: r̂ = μ + b_u + b_i + p_u·q_i, trained by SGD."""
+    """Biased MF: r̂ = μ + b_u + b_i + p_u·q_i, trained by SGD.
+
+    After :meth:`fit`, the learned factors double as user/item
+    *embeddings* for the retrieval layer — read them through the public
+    :meth:`user_embeddings` / :meth:`item_embeddings` accessors (typed
+    :class:`~repro.ml.preprocessing.NotFittedError` before training)
+    rather than the trailing-underscore attributes.
+    """
 
     def __init__(
         self,
@@ -69,10 +77,49 @@ class FunkSVD:
                 )
         return self
 
+    def _require_fitted(self, what: str) -> RatingMatrix:
+        """The fitted rating matrix, or a typed error naming the caller.
+
+        Every consumer of the trained state funnels through this guard so
+        an unfitted model fails as :class:`NotFittedError` (a
+        ``RuntimeError`` subclass, so legacy handlers keep working)
+        instead of an attribute-shaped ``TypeError`` on ``None`` factors.
+        """
+        if self.ratings is None:
+            raise NotFittedError(f"FunkSVD.{what} before fit")
+        return self.ratings
+
+    def user_embeddings(self) -> tuple[list[int], np.ndarray, np.ndarray]:
+        """``(user_ids, factors, biases)`` of the fitted model, read-only.
+
+        Rows of ``factors`` (and entries of ``biases``) align with
+        ``user_ids``, which follow the rating matrix's sorted-id order.
+        The arrays are views over the trained state with the write flag
+        cleared — callers index or copy, never mutate.
+        """
+        ratings = self._require_fitted("user_embeddings")
+        factors = self.user_factors_.view()
+        factors.setflags(write=False)
+        biases = self.user_bias_.view()
+        biases.setflags(write=False)
+        return list(ratings.user_ids), factors, biases
+
+    def item_embeddings(self) -> tuple[list[int], np.ndarray, np.ndarray]:
+        """``(item_ids, factors, biases)`` of the fitted model, read-only.
+
+        The item-side twin of :meth:`user_embeddings`; the retrieval
+        layer builds its ANN index directly over these rows.
+        """
+        ratings = self._require_fitted("item_embeddings")
+        factors = self.item_factors_.view()
+        factors.setflags(write=False)
+        biases = self.item_bias_.view()
+        biases.setflags(write=False)
+        return list(ratings.item_ids), factors, biases
+
     def predict(self, user_id: int, item_id: int) -> float:
         """Predicted rating with bias-only fallbacks for unseen ids."""
-        if self.ratings is None:
-            raise RuntimeError("FunkSVD.predict before fit")
+        self._require_fitted("predict")
         row = self.ratings.user_index(user_id)
         col = self.ratings.item_index(item_id)
         estimate = self.mu_

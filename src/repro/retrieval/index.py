@@ -1,0 +1,309 @@
+"""The pure-numpy clustered ANN index (IVF-style coarse quantization).
+
+Layout follows the classic inverted-file design: a k-means coarse
+quantizer partitions the item embeddings into clusters, and each
+cluster's member vectors are rewritten into one *contiguous page* of a
+single backing matrix (plus a parallel id page), so probing a cluster is
+a dense ``page @ query`` matmul over rows that sit next to each other in
+memory — no gather, no fancy indexing on the hot path.
+
+Search is multi-probe maximum inner product: rank clusters by
+``centroid · query``, scan the ``n_probe`` best pages, take the global
+top-``k`` of the concatenated page scores.  Inner product (not L2) is
+the right metric here because the embedding layout folds biases and
+context affinities into extra coordinates (see
+:mod:`repro.retrieval.embeddings`) — the retrieval score is then exactly
+a first-order proxy of the served ranking score.
+
+Everything in this module is immutable after :meth:`ClusteredANNIndex.
+build`: pages, centroids and offsets are read-only arrays, so a built
+index can be shared across serving threads and swapped atomically (see
+:mod:`repro.retrieval.retriever`) without any locking on the read path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.serving.scorer import ItemId
+
+
+def _pairwise_sq_dists(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Squared L2 distances ``(n_points, n_centers)`` via the expansion.
+
+    ``|x - c|^2 = |x|^2 - 2 x·c + |c|^2``; the ``|x|^2`` term is
+    rank-constant per row and only needed for inertia, so it is kept.
+    """
+    cross = points @ centers.T
+    return (
+        np.einsum("ij,ij->i", points, points)[:, None]
+        - 2.0 * cross
+        + np.einsum("ij,ij->i", centers, centers)[None, :]
+    )
+
+
+def _assign_chunked(
+    points: np.ndarray, centers: np.ndarray, chunk: int | None = None
+) -> np.ndarray:
+    """Nearest-center assignment without materializing the full distance
+    matrix — million-point catalogs assign in bounded memory."""
+    n = len(points)
+    if chunk is None:
+        # keep each chunk's distance block around ~128 MiB of float64
+        chunk = max(1024, (1 << 24) // max(1, len(centers)))
+    out = np.empty(n, dtype=np.int64)
+    for start in range(0, n, chunk):
+        stop = min(n, start + chunk)
+        out[start:stop] = np.argmin(
+            _pairwise_sq_dists(points[start:stop], centers), axis=1
+        )
+    return out
+
+
+def _kmeans_pp_init(
+    points: np.ndarray, n_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centers by D² sampling."""
+    n = len(points)
+    centers = np.empty((n_clusters, points.shape[1]))
+    centers[0] = points[rng.integers(n)]
+    # squared distance to the nearest chosen center, updated incrementally
+    d2 = _pairwise_sq_dists(points, centers[:1])[:, 0]
+    for j in range(1, n_clusters):
+        total = float(d2.sum())
+        if total <= 0.0:
+            # all remaining points coincide with a center: fill uniformly
+            centers[j:] = points[rng.integers(n, size=n_clusters - j)]
+            break
+        probs = np.maximum(d2, 0.0) / total
+        centers[j] = points[rng.choice(n, p=probs)]
+        d2 = np.minimum(d2, _pairwise_sq_dists(points, centers[j:j + 1])[:, 0])
+    return centers
+
+
+def kmeans(
+    points: np.ndarray,
+    n_clusters: int,
+    *,
+    n_iter: int = 10,
+    seed: int = 0,
+    train_sample: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lloyd's k-means with k-means++ init; returns ``(centers, labels)``.
+
+    ``train_sample`` bounds the number of points the Lloyd iterations see
+    (faiss convention: ~64 training points per centroid is plenty for a
+    coarse quantizer); the final labels are always a full assignment of
+    every input point against the trained centers, computed in bounded-
+    memory chunks.  Deterministic for a fixed ``seed``.
+    """
+    points = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
+    if points.ndim != 2:
+        raise ValueError(f"points must be 2-D, got shape {points.shape}")
+    n = len(points)
+    if not 1 <= n_clusters <= n:
+        raise ValueError(f"n_clusters must be in [1, {n}], got {n_clusters}")
+    rng = np.random.default_rng(seed)
+    if train_sample is None:
+        train_sample = max(n_clusters * 64, 1024)
+    if n > train_sample:
+        train = points[rng.choice(n, size=train_sample, replace=False)]
+    else:
+        train = points
+    centers = _kmeans_pp_init(train, n_clusters, rng)
+    for __ in range(n_iter):
+        labels = _assign_chunked(train, centers)
+        # vectorized center update: sum members per cluster, keep empty
+        # clusters where they were (they can re-acquire members later)
+        counts = np.bincount(labels, minlength=n_clusters).astype(np.float64)
+        sums = np.zeros_like(centers)
+        np.add.at(sums, labels, train)
+        occupied = counts > 0
+        centers[occupied] = sums[occupied] / counts[occupied, None]
+    full_labels = _assign_chunked(points, centers)
+    return centers, full_labels
+
+
+class ClusteredANNIndex:
+    """Immutable clustered index over item embeddings (built, never edited).
+
+    Attributes
+    ----------
+    item_ids:
+        Tuple of indexed item ids, in page order (cluster-major).
+    pages:
+        ``(n_items, dim)`` float64 matrix, rows grouped so each
+        cluster's members are one contiguous slice; read-only.
+    offsets:
+        ``(n_clusters + 1,)`` page boundaries: cluster ``c`` owns rows
+        ``offsets[c]:offsets[c + 1]``.
+    centroids:
+        ``(n_clusters, dim)`` cluster centers, read-only.
+    """
+
+    __slots__ = (
+        "item_ids", "pages", "offsets", "centroids", "_positions", "dim"
+    )
+
+    def __init__(
+        self,
+        item_ids: tuple[ItemId, ...],
+        pages: np.ndarray,
+        offsets: np.ndarray,
+        centroids: np.ndarray,
+    ) -> None:
+        self.item_ids = item_ids
+        self.pages = pages
+        self.offsets = offsets
+        self.centroids = centroids
+        self.dim = int(pages.shape[1]) if pages.size else int(pages.shape[-1])
+        self._positions = {item: row for row, item in enumerate(item_ids)}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        item_ids: Sequence[ItemId],
+        vectors: np.ndarray,
+        *,
+        n_clusters: int | None = None,
+        n_iter: int = 10,
+        seed: int = 0,
+    ) -> "ClusteredANNIndex":
+        """Cluster ``vectors`` and lay them out as contiguous pages.
+
+        ``n_clusters`` defaults to ``≈ sqrt(n_items)`` (the standard IVF
+        sizing: probe cost and page cost balance at the square root).
+        Rows are permuted cluster-major with a *stable* sort, so members
+        keep their relative input order inside each page — build is
+        deterministic for fixed inputs.
+        """
+        vectors = np.ascontiguousarray(np.asarray(vectors, dtype=np.float64))
+        if vectors.ndim != 2 or len(vectors) != len(item_ids):
+            raise ValueError(
+                f"vectors shape {vectors.shape} does not match "
+                f"{len(item_ids)} item ids"
+            )
+        n = len(item_ids)
+        if n == 0:
+            raise ValueError("cannot build an index over an empty catalog")
+        if n_clusters is None:
+            n_clusters = max(1, int(round(float(np.sqrt(n)))))
+        n_clusters = min(n_clusters, n)
+        centroids, labels = kmeans(
+            vectors, n_clusters, n_iter=n_iter, seed=seed
+        )
+        order = np.argsort(labels, kind="stable")
+        counts = np.bincount(labels, minlength=n_clusters)
+        offsets = np.zeros(n_clusters + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        pages = np.ascontiguousarray(vectors[order])
+        pages.setflags(write=False)
+        centroids.setflags(write=False)
+        offsets.setflags(write=False)
+        ids = tuple(item_ids[int(row)] for row in order)
+        return cls(ids, pages, offsets, centroids)
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.item_ids)
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.centroids)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._positions
+
+    def coverage(self, items: Sequence[ItemId]) -> int:
+        """How many of ``items`` this index knows about."""
+        positions = self._positions
+        return sum(1 for item in items if item in positions)
+
+    def mask_rows(self, items: Sequence[ItemId]) -> np.ndarray | None:
+        """Page-row indices of ``items`` — or ``None`` if any is unknown.
+
+        Used to restrict a search to an explicit candidate list; a
+        single unknown item means the index cannot cover the request and
+        the caller must fall back to the exact scan.
+        """
+        positions = self._positions
+        rows = np.empty(len(items), dtype=np.int64)
+        for i, item in enumerate(items):
+            row = positions.get(item)
+            if row is None:
+                return None
+            rows[i] = row
+        return rows
+
+    # -- search ------------------------------------------------------------
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        *,
+        n_probe: int = 8,
+        allowed_rows: np.ndarray | None = None,
+    ) -> list[ItemId]:
+        """Top-``k`` item ids by inner product, best first.
+
+        Probes the ``n_probe`` clusters whose centroids score highest
+        against ``query`` and exact-scans their pages.  With
+        ``allowed_rows`` the scan is restricted to those page rows
+        (cluster structure is ignored — the restriction is already a
+        candidate set, so a single dense pass over it is the cheapest
+        exact answer).
+        """
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query.shape[0] != self.dim:
+            raise ValueError(
+                f"query dim {query.shape[0]} != index dim {self.dim}"
+            )
+        if allowed_rows is not None:
+            scores = self.pages[allowed_rows] @ query
+            top = _topk_desc(scores, min(k, len(scores)))
+            return [self.item_ids[int(allowed_rows[t])] for t in top]
+        n_probe = max(1, min(int(n_probe), self.n_clusters))
+        cluster_scores = self.centroids @ query
+        probe = _topk_desc(cluster_scores, n_probe)
+        row_blocks: list[np.ndarray] = []
+        score_blocks: list[np.ndarray] = []
+        offsets = self.offsets
+        for c in probe:
+            lo, hi = int(offsets[c]), int(offsets[c + 1])
+            if lo == hi:
+                continue
+            score_blocks.append(self.pages[lo:hi] @ query)
+            row_blocks.append(np.arange(lo, hi, dtype=np.int64))
+        if not score_blocks:
+            return []
+        scores = np.concatenate(score_blocks)
+        rows = np.concatenate(row_blocks)
+        top = _topk_desc(scores, min(k, len(scores)))
+        return [self.item_ids[int(rows[t])] for t in top]
+
+    def exact_topk(self, query: np.ndarray, k: int) -> list[ItemId]:
+        """Exact top-``k`` over every indexed vector (recall baseline)."""
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        scores = self.pages @ query
+        top = _topk_desc(scores, min(k, len(scores)))
+        return [self.item_ids[int(t)] for t in top]
+
+
+def _topk_desc(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest scores, in descending score order.
+
+    ``argpartition`` keeps the select O(n); only the k survivors pay the
+    O(k log k) sort.  Ties break by index, so results are deterministic.
+    """
+    if k <= 0:
+        return np.empty(0, dtype=np.int64)
+    if k >= len(scores):
+        return np.argsort(-scores, kind="stable")
+    part = np.argpartition(-scores, k - 1)[:k]
+    return part[np.argsort(-scores[part], kind="stable")]

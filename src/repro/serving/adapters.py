@@ -15,12 +15,41 @@ model — including user code — plugs in.
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.core.sum_model import SmartUserModel
+from repro.serving.budget import Budget
 from repro.serving.scorer import ItemId, ScorerBase
+
+#: cached result of the accepts_budget signature probe
+_ACCEPTS_BUDGET_ATTR = "__accepts_budget__"
+
+
+def accepts_budget(scorer: object) -> bool:
+    """Whether ``scorer.score_batch`` takes an optional ``budget`` hint.
+
+    Probed once per scorer via :func:`inspect.signature` and cached on
+    the instance, so the serving hot path pays one attribute read.  The
+    hint is advisory: scorers that accept it may cut work cooperatively
+    when the request deadline runs low (see :class:`RatingModelScorer`),
+    while the service still enforces the hard checks between stages.
+    """
+    cached = getattr(scorer, _ACCEPTS_BUDGET_ATTR, None)
+    if cached is not None:
+        return bool(cached)
+    try:
+        parameters = inspect.signature(scorer.score_batch).parameters
+        result = "budget" in parameters
+    except (TypeError, ValueError, AttributeError):
+        result = False
+    try:
+        setattr(scorer, _ACCEPTS_BUDGET_ATTR, result)
+    except (AttributeError, TypeError):
+        pass  # slotted/frozen scorers just re-probe next time
+    return result
 
 
 class RatingModelScorer(ScorerBase):
@@ -29,6 +58,14 @@ class RatingModelScorer(ScorerBase):
     Covers :class:`~repro.cf.neighborhood.ItemKNN`,
     :class:`~repro.cf.neighborhood.UserKNN` and any other pairwise rating
     model; the batch is a single tight loop over the grid.
+
+    The pairwise loop is the slowest scorer shape in the repo, so it
+    honours the serving layer's ``budget`` hint: when the deadline runs
+    out mid-grid, the remaining cells are filled with the mean of the
+    cells scored so far (rank-neutral — they all tie) instead of blowing
+    the budget after the fact.  The service's post-score deadline check
+    still runs, so a cut grid only ever reaches the caller under
+    ``partial_ok`` (and is flagged ``degraded``).
     """
 
     def __init__(self, model: object) -> None:
@@ -41,17 +78,29 @@ class RatingModelScorer(ScorerBase):
         self._predict = predict
 
     def score_batch(
-        self, user_ids: Sequence[int], items: Sequence[ItemId]
+        self,
+        user_ids: Sequence[int],
+        items: Sequence[ItemId],
+        budget: Budget | None = None,
     ) -> np.ndarray:
         grid = np.empty((len(user_ids), len(items)), dtype=np.float64)
         predict = self._predict
         for row, user_id in enumerate(user_ids):
+            if budget is not None and budget.expired():
+                return _neutral_fill(grid, row, len(items))
             for col, item in enumerate(items):
                 grid[row, col] = predict(user_id, item)
         return grid
 
     def score(self, user_id: int, item: ItemId) -> float:
         return float(self._predict(user_id, item))
+
+
+def _neutral_fill(grid: np.ndarray, rows_done: int, n_items: int) -> np.ndarray:
+    """Fill unscored rows with the mean of the scored ones (tie scores)."""
+    fill = float(grid[:rows_done].mean()) if rows_done and n_items else 0.0
+    grid[rows_done:] = fill
+    return grid
 
 
 class FunkSVDScorer(ScorerBase):
@@ -223,6 +272,11 @@ class PropensityScorer(ScorerBase):
     Items are course ids; each column is one calibrated
     ``engine.score_users`` pass (already batched over users inside the
     :class:`~repro.campaigns.propensity.FeatureBuilder`).
+
+    Each column is a full feature-build + model pass, so the adapter
+    honours the ``budget`` hint: once the deadline expires, remaining
+    columns are filled with the mean of the scored ones (rank-neutral
+    among themselves) — see :class:`RatingModelScorer` for the contract.
     """
 
     def __init__(self, engine: object) -> None:
@@ -233,16 +287,24 @@ class PropensityScorer(ScorerBase):
         self.engine = engine
 
     def score_batch(
-        self, user_ids: Sequence[int], items: Sequence[ItemId]
+        self,
+        user_ids: Sequence[int],
+        items: Sequence[ItemId],
+        budget: Budget | None = None,
     ) -> np.ndarray:
         ids = [int(u) for u in user_ids]
         if not items:
             return np.zeros((len(ids), 0))
         catalog = self.engine.world.catalog
-        columns = [
-            self.engine.score_users(ids, catalog.get(int(item)))
-            for item in items
-        ]
+        columns: list[np.ndarray] = []
+        for item in items:
+            if budget is not None and budget.expired() and columns:
+                fill = float(np.mean(columns))
+                columns.extend(
+                    [np.full(len(ids), fill)] * (len(items) - len(columns))
+                )
+                break
+            columns.append(self.engine.score_users(ids, catalog.get(int(item))))
         return np.column_stack(columns)
 
 

@@ -2,7 +2,9 @@
 
 A :class:`Budget` is the request-scoped half of the tail-latency control
 plane: the caller states how long a response is worth waiting for, and
-the service checks the budget between stages (resolve → score → advice),
+the service checks the budget between stages (resolve → retrieve →
+score → advice, with the retrieval stage additionally *shrinking* its
+probe and candidate knobs under a tight-but-alive budget),
 aborting with a typed :class:`DeadlineExceeded` instead of silently
 serving an arbitrarily late response.  Requests that prefer a degraded
 answer over none opt in with ``partial_ok`` — an exhausted budget then
@@ -23,8 +25,9 @@ class DeadlineExceeded(RuntimeError):
     """A request ran out of deadline budget mid-pipeline.
 
     ``stage`` names the pipeline stage whose completion overshot the
-    budget (``"resolve"`` or ``"score"``); ``overshoot_s`` is how far
-    past the deadline the check ran, in seconds.
+    budget (``"resolve"``, ``"retrieve"`` or ``"score"``);
+    ``overshoot_s`` is how far past the deadline the check ran, in
+    seconds.
     """
 
     def __init__(self, stage: str, overshoot_s: float) -> None:

@@ -29,7 +29,11 @@ class RecommendationRequest:
     user_id:
         The user to serve.
     items:
-        Candidate item ids (course ids, slugs, …).
+        Candidate item ids (course ids, slugs, …).  ``None`` means "the
+        whole served catalog": the service then requires an attached
+        :class:`~repro.retrieval.retriever.CandidateRetriever`, whose
+        indexed catalog defines the item universe — the O(k) hot path,
+        since no per-item list is ever materialized on a retrieval hit.
     k:
         Ranking depth, >= 1.
     scorer:
@@ -48,7 +52,7 @@ class RecommendationRequest:
     """
 
     user_id: int
-    items: Sequence[ItemId]
+    items: Sequence[ItemId] | None = None
     k: int = 5
     scorer: str | None = None
     adjust: bool = True
@@ -57,8 +61,10 @@ class RecommendationRequest:
 
     def __post_init__(self) -> None:
         validate_k(self.k)
-        if len(self.items) == 0:
-            raise ValueError("no items to recommend from")
+        if self.items is not None and len(self.items) == 0:
+            raise ValueError(
+                "no items to recommend from (pass None for the full catalog)"
+            )
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ValueError(
                 f"deadline_s must be > 0 (or None), got {self.deadline_s}"

@@ -54,7 +54,15 @@ def validate_k(k: int | None, *, allow_none: bool = False) -> int | None:
 
 @runtime_checkable
 class Scorer(Protocol):
-    """Structural type of a batch-first scorer."""
+    """Structural type of a batch-first scorer.
+
+    Implementations may additionally accept an optional
+    ``budget=None`` keyword on ``score_batch`` (a
+    :class:`~repro.serving.budget.Budget`): the service probes for it
+    (:func:`~repro.serving.adapters.accepts_budget`) and passes the
+    request deadline through, so slow scorers can cut candidate work
+    cooperatively instead of blowing the budget after the fact.
+    """
 
     def score_batch(
         self, user_ids: Sequence[int], items: Sequence[ItemId]

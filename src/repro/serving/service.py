@@ -14,6 +14,15 @@ path:
 Both run as ``score_batch`` + one vectorized
 :meth:`~repro.core.advice.AdviceEngine.multiplier_matrix` pass — no
 per-pair dict churn anywhere on the serving path.
+
+With a :class:`~repro.retrieval.retriever.CandidateRetriever` attached,
+``recommend`` inserts a retrieval stage between resolve and score
+(resolve → retrieve → score → advice): the ANN index proposes an
+oversampled candidate set and the scorer re-ranks *only* those items,
+so the hot path is O(k) in the catalog instead of O(items).  The
+retriever falls back to the exact full scan whenever it cannot
+guarantee coverage, and ``select_users`` always scans exactly (its
+grid is users × 1, already narrow).
 """
 
 from __future__ import annotations
@@ -33,7 +42,8 @@ from repro.obs.metrics import (
     resolve_registry,
 )
 from repro.obs.tracing import NullTracer, Tracer, next_trace_id, resolve_tracer
-from repro.serving.adapters import as_scorer
+from repro.retrieval.retriever import CandidateRetriever
+from repro.serving.adapters import accepts_budget, as_scorer
 from repro.serving.budget import Budget, DeadlineExceeded
 from repro.serving.requests import (
     RecommendationRequest,
@@ -80,6 +90,11 @@ class RecommendationService:
         A :class:`~repro.obs.tracing.Tracer`; when enabled, each request
         mints a trace id at arrival, stamps its stage spans under it,
         and returns it on the response (``response.trace_id``).
+    retriever:
+        A :class:`~repro.retrieval.retriever.CandidateRetriever`; when
+        attached, ``recommend`` retrieves an oversampled candidate set
+        from its ANN index and re-ranks only those items.  ``None``
+        (default) serves every request as an exact full scan.
     """
 
     def __init__(
@@ -91,8 +106,10 @@ class RecommendationService:
         create_missing: bool = False,
         telemetry: MetricsRegistry | NullRegistry | None = None,
         tracer: Tracer | NullTracer | None = None,
+        retriever: CandidateRetriever | None = None,
     ) -> None:
         self.sums = sums
+        self.retriever = retriever
         self.domain_profile = domain_profile
         self.item_attributes = dict(item_attributes or {})
         self.advice = advice or AdviceEngine()
@@ -123,6 +140,9 @@ class RecommendationService:
         self._m_resolve = registry.histogram(
             labelled("serving.stage_seconds", stage="resolve")
         )
+        self._m_retrieve = registry.histogram(
+            labelled("serving.stage_seconds", stage="retrieve")
+        )
         self._m_score = registry.histogram(
             labelled("serving.stage_seconds", stage="score")
         )
@@ -138,9 +158,18 @@ class RecommendationService:
             stage: registry.counter(
                 labelled("serving.deadline_exceeded", stage=stage)
             )
-            for stage in ("resolve", "score")
+            for stage in ("resolve", "retrieve", "score")
         }
         self._m_degraded = registry.counter("serving.degraded")
+
+    def set_retriever(self, retriever: CandidateRetriever | None) -> None:
+        """Attach (or detach, with ``None``) the retrieval stage.
+
+        One GIL-atomic attribute store, same discipline as
+        :meth:`swap_sums`: in-flight requests keep the retriever they
+        captured at entry, the next request sees the new one.
+        """
+        self.retriever = retriever
 
     # -- registry ----------------------------------------------------------
 
@@ -269,7 +298,7 @@ class RecommendationService:
     def _grids(
         self,
         user_ids: Sequence[int],
-        items: Sequence[ItemId],
+        items: Sequence[ItemId] | None,
         scorer_name: str | None,
         adjust: bool,
         known_users: bool = False,
@@ -277,23 +306,33 @@ class RecommendationService:
         stamps: list[float] | None = None,
         budget: Budget | None = None,
         partial_ok: bool = False,
-    ) -> tuple[str, np.ndarray, np.ndarray, np.ndarray, bool]:
-        """(resolved name, base, multiplier, adjusted, degraded) grids.
+        retrieve_k: int | None = None,
+    ) -> tuple[str, list[ItemId], np.ndarray, np.ndarray, np.ndarray, bool]:
+        """(resolved name, items, base, multiplier, adjusted, degraded).
 
         ``known_users=True`` skips the no-adjust membership validation —
         for callers whose ids were just sourced from ``sums`` itself and
         therefore cannot be unknown (select-all over ``user_ids()``).
         ``sums`` is the caller's captured resolver; defaults to a capture
         taken here (direct ``score_matrix`` calls).  ``stamps``, when
-        given, receives four ``perf_counter()`` marks — start, resolved,
-        scored, advised — the instrumented request paths turn into stage
-        histograms and trace spans.
+        given, receives five ``perf_counter()`` marks — start, resolved,
+        retrieved, scored, advised — the instrumented request paths turn
+        into stage histograms and trace spans.
+
+        ``retrieve_k`` arms the retrieval stage: with a retriever
+        attached and a single-user batch, the ANN index proposes the
+        candidate set the scorer re-ranks; the returned ``items`` are
+        then the *effective* (retrieved or fallback) items the grids are
+        over.  ``items=None`` means "the retriever's indexed catalog".
 
         ``budget`` threads the request's deadline through the pipeline:
-        checked after resolve (abort — nothing useful exists yet) and
-        after base scoring (abort, unless ``partial_ok`` degrades the
-        response by skipping the Advice stage; the returned ``degraded``
-        flag is then ``True`` and every multiplier is 1.0).  The checks
+        checked after resolve (abort — nothing useful exists yet), on
+        retrieval entry (the retriever additionally *shrinks* its knobs
+        under a tight-but-alive budget), and after base scoring (abort,
+        unless ``partial_ok`` degrades the response by skipping the
+        Advice stage; the returned ``degraded`` flag is then ``True``
+        and every multiplier is 1.0).  Scorers that accept a ``budget``
+        hint receive it so they can cut work cooperatively.  The checks
         sit between stages, so a response is either complete, degraded,
         or a typed :class:`~repro.serving.budget.DeadlineExceeded` —
         never silently late without the caller having asked for it.
@@ -320,9 +359,36 @@ class RecommendationService:
             stamps.append(perf_counter())
         if budget is not None:
             budget.check("resolve")
-        base = np.asarray(
-            scorer.score_batch(list(user_ids), list(items)), dtype=np.float64
-        )
+        retriever = self.retriever
+        if retrieve_k is not None and retriever is not None and len(user_ids) == 1:
+            candidates = retriever.retrieve(
+                user_ids, items, retrieve_k, context=models, budget=budget
+            )
+            if candidates is not None:
+                items = candidates
+        if items is None:
+            # full-scan fallback of an items-free request: the universe
+            # is the indexed catalog (only retrieval-armed requests may
+            # omit items, so a retriever is known to exist here)
+            if retriever is None:
+                raise RuntimeError(
+                    "request without items needs a retriever whose index "
+                    "defines the catalog"
+                )
+            items = list(retriever.catalog_items())
+        else:
+            items = list(items)
+        if stamps is not None:
+            stamps.append(perf_counter())
+        if accepts_budget(scorer):
+            base = np.asarray(
+                scorer.score_batch(list(user_ids), items, budget=budget),
+                dtype=np.float64,
+            )
+        else:
+            base = np.asarray(
+                scorer.score_batch(list(user_ids), items), dtype=np.float64
+            )
         if base.shape != (len(user_ids), len(items)):
             raise ValueError(
                 f"scorer {name!r} returned shape {base.shape}, expected "
@@ -350,7 +416,7 @@ class RecommendationService:
             multiplier = np.ones_like(base)
         if stamps is not None:
             stamps.append(perf_counter())
-        return str(name), base, multiplier, base * multiplier, degraded
+        return str(name), items, base, multiplier, base * multiplier, degraded
 
     def score_matrix(
         self,
@@ -360,7 +426,7 @@ class RecommendationService:
         adjust: bool = True,
     ) -> np.ndarray:
         """Adjusted scores for the full ``user_ids × items`` grid."""
-        __, __base, __mult, adjusted, __deg = self._grids(
+        __, __items, __base, __mult, adjusted, __deg = self._grids(
             user_ids, items, scorer, adjust
         )
         return adjusted
@@ -439,9 +505,10 @@ class RecommendationService:
         Called only on instrumented services, strictly after the response
         is built — the request hot path itself records nothing.
         """
-        started, resolved, scored, advised = stamps
+        started, resolved, retrieved, scored, advised = stamps
         self._m_resolve.observe(resolved - started)
-        self._m_score.observe(scored - resolved)
+        self._m_retrieve.observe(retrieved - resolved)
+        self._m_score.observe(scored - retrieved)
         self._m_advice.observe(advised - scored)
         self._m_respond.observe(finished - advised)
         self._m_request_seconds.observe(finished - started)
@@ -450,7 +517,8 @@ class RecommendationService:
         tracer = self.tracer
         if tracer.enabled and trace_id is not None:
             tracer.add(trace_id, "serving.resolve", started, resolved)
-            tracer.add(trace_id, "serving.score", resolved, scored)
+            tracer.add(trace_id, "serving.retrieve", resolved, retrieved)
+            tracer.add(trace_id, "serving.score", retrieved, scored)
             tracer.add(trace_id, "serving.advice", scored, advised)
             tracer.add(trace_id, "serving.respond", advised, finished)
 
@@ -473,10 +541,11 @@ class RecommendationService:
             if request.deadline_s is not None else None
         )
         try:
-            name, base, multiplier, adjusted, degraded = self._grids(
+            name, items, base, multiplier, adjusted, degraded = self._grids(
                 [request.user_id], request.items, request.scorer,
                 request.adjust, sums=resolver, stamps=stamps,
                 budget=budget, partial_ok=request.partial_ok,
+                retrieve_k=request.k,
             )
         except UnknownUserError:
             self._m_unknown.inc()
@@ -493,7 +562,7 @@ class RecommendationService:
                 multiplier=float(multiplier[0, col]),
                 adjusted_score=float(adjusted[0, col]),
             )
-            for col, item in enumerate(request.items)
+            for col, item in enumerate(items)
         ]
         entries.sort(key=lambda entry: (-entry.adjusted_score, entry.item))
         response = RecommendationResponse(
@@ -508,7 +577,7 @@ class RecommendationService:
         if stamps is not None:
             self._record_request(
                 trace_id, stamps, perf_counter(),
-                len(request.items), self._m_recommends,
+                len(items), self._m_recommends,
             )
         return response
 
@@ -534,7 +603,7 @@ class RecommendationService:
             if request.deadline_s is not None else None
         )
         try:
-            name, base, multiplier, adjusted, degraded = self._grids(
+            name, __items, base, multiplier, adjusted, degraded = self._grids(
                 ids, [request.item], request.scorer, request.adjust,
                 known_users=request.user_ids is None,
                 sums=resolver, stamps=stamps,

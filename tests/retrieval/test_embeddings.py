@@ -1,0 +1,161 @@
+"""Embedding providers: layout, score-proxy faithfulness, fingerprints."""
+
+import numpy as np
+import pytest
+
+from repro.cf.mf import FunkSVD
+from repro.cf.ratings import RatingMatrix
+from repro.core.advice import AdviceEngine, DomainProfile
+from repro.core.emotions import EMOTION_NAMES
+from repro.ml.preprocessing import NotFittedError
+from repro.retrieval.embeddings import EmbeddingProvider, StaticEmbeddingProvider
+
+RANK = 4
+PROFILE = DomainProfile(
+    "test",
+    {
+        EMOTION_NAMES[0]: {"attr-a": 0.8, "attr-b": 0.2},
+        EMOTION_NAMES[1]: {"attr-b": -0.5},
+    },
+)
+ITEM_ATTRS = {1: {"attr-a": 1.0}, 2: {"attr-b": 0.5}, 3: {}}
+
+
+@pytest.fixture(scope="module")
+def model():
+    rng = np.random.default_rng(0)
+    triplets = [
+        (u, i, float(rng.uniform(1, 5)))
+        for u in range(6)
+        for i in (1, 2, 3, 4, 5)
+    ]
+    return FunkSVD(rank=RANK, epochs=3, seed=0).fit(RatingMatrix(triplets))
+
+
+class FakeModel:
+    """One emotional state shaped like a SmartUserModel for context tests."""
+
+    def __init__(self, intensities):
+        self.emotional = {name: 0.0 for name in EMOTION_NAMES}
+        self.emotional.update(intensities)
+        self.sensibility = {}
+
+
+class TestFunkSVDAccessors:
+    def test_unfitted_model_raises_typed_error(self):
+        raw = FunkSVD(rank=2)
+        with pytest.raises(NotFittedError):
+            raw.item_embeddings()
+        with pytest.raises(NotFittedError):
+            raw.user_embeddings()
+        with pytest.raises(NotFittedError):
+            raw.predict(1, 1)
+        # backward compatible: NotFittedError is a RuntimeError
+        with pytest.raises(RuntimeError, match="before fit"):
+            raw.predict(1, 1)
+
+    def test_embeddings_are_read_only_views(self, model):
+        ids, factors, biases = model.item_embeddings()
+        assert ids == [1, 2, 3, 4, 5]
+        assert factors.shape == (5, RANK)
+        assert not factors.flags.writeable and not biases.flags.writeable
+        with pytest.raises(ValueError):
+            factors[0, 0] = 1.0
+
+
+class TestEmbeddingProvider:
+    def test_vector_layout_and_dims(self, model):
+        provider = EmbeddingProvider(
+            model, domain_profile=PROFILE, item_attributes=ITEM_ATTRS
+        )
+        ids, vectors = provider.item_vectors()
+        n_emotions = len(PROFILE.layout()[0])
+        assert vectors.shape == (5, RANK + 1 + n_emotions)
+        queries = provider.query_vectors([0, 1])
+        assert queries.shape == (2, RANK + 1 + n_emotions)
+        # the bias pickup coordinate is the constant 1
+        np.testing.assert_array_equal(queries[:, RANK], [1.0, 1.0])
+
+    def test_no_profile_means_no_context_block(self, model):
+        provider = EmbeddingProvider(model)
+        __, vectors = provider.item_vectors()
+        assert vectors.shape == (5, RANK + 1)
+
+    def test_inner_product_reproduces_rank_relevant_score(self, model):
+        """query·item == (b_i + p_u·q_i) + w·(first-order advice term)."""
+        provider = EmbeddingProvider(
+            model, domain_profile=PROFILE, item_attributes=ITEM_ATTRS
+        )
+        item_ids, item_vecs = provider.item_vectors()
+        emotions, __, gains = PROFILE.layout()
+        context = [FakeModel({emotions[0]: 0.7, emotions[1]: 0.3})]
+        query = provider.query_vectors([2], context=context)[0]
+        u_ids, u_factors, __b = model.user_embeddings()
+        i_ids, i_factors, i_biases = model.item_embeddings()
+        row = u_ids.index(2)
+        evidence = np.array([0.7, 0.3])
+        engine = AdviceEngine()
+        presence = engine.presence_matrix(item_ids, ITEM_ATTRS, PROFILE)
+        for col, item in enumerate(item_ids):
+            expected = (
+                float(u_factors[row] @ i_factors[col])
+                + float(i_biases[col])
+                + provider.context_weight
+                * float(evidence @ (gains @ presence[col]))
+            )
+            assert query @ item_vecs[col] == pytest.approx(expected)
+
+    def test_unknown_user_gets_zero_factors_but_bias_pickup(self, model):
+        provider = EmbeddingProvider(model, domain_profile=PROFILE)
+        query = provider.query_vectors([999])[0]
+        np.testing.assert_array_equal(query[:RANK], np.zeros(RANK))
+        assert query[RANK] == 1.0
+
+    def test_context_from_batch_and_sequence_agree(self, model):
+        from repro.core.sum_store import ColumnarSumStore
+        from repro.streaming.cache import SumCache
+
+        store = ColumnarSumStore()
+        sum_model = store.get_or_create(7)
+        provider = EmbeddingProvider(model, domain_profile=PROFILE)
+        batch = SumCache(store).batch([7])
+        via_batch = provider.query_vectors([7], context=batch)
+        via_models = provider.query_vectors([7], context=[store.get(7)])
+        np.testing.assert_allclose(via_batch, via_models)
+        assert sum_model is not None
+
+    def test_fingerprint_changes_on_refit(self, model):
+        provider = EmbeddingProvider(model)
+        before = provider.fingerprint()
+        assert provider.fingerprint() == before  # stable between fits
+        model.fit(model.ratings)
+        assert provider.fingerprint() != before
+
+    def test_rejects_models_without_accessors(self):
+        with pytest.raises(TypeError, match="embeddings"):
+            EmbeddingProvider(object())
+
+
+class TestStaticEmbeddingProvider:
+    def test_round_trip_and_fingerprint_bump(self):
+        items = np.eye(3)
+        users = np.arange(6, dtype=np.float64).reshape(2, 3)
+        provider = StaticEmbeddingProvider(["a", "b", "c"], items, [10, 20], users)
+        ids, vectors = provider.item_vectors()
+        assert ids == ["a", "b", "c"]
+        np.testing.assert_array_equal(vectors, items)
+        np.testing.assert_array_equal(
+            provider.query_vectors([20, 99]),
+            np.vstack([users[1], np.zeros(3)]),
+        )
+        before = provider.fingerprint()
+        provider.bump()
+        assert provider.fingerprint() != before
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="item"):
+            StaticEmbeddingProvider(["a"], np.eye(2), [1], np.eye(2)[:1])
+        with pytest.raises(ValueError, match="dim"):
+            StaticEmbeddingProvider(
+                ["a"], np.ones((1, 2)), [1], np.ones((1, 3))
+            )

@@ -1,0 +1,189 @@
+"""Retrieval wired into the service: parity with the exact full scan."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry, labelled
+from repro.retrieval.embeddings import StaticEmbeddingProvider
+from repro.retrieval.index import ClusteredANNIndex
+from repro.retrieval.refresh import IndexRefresher
+from repro.retrieval.retriever import CandidateRetriever, RetrievalConfig
+from repro.serving.requests import RecommendationRequest
+from repro.serving.scorer import ScorerBase
+from repro.serving.service import RecommendationService
+
+DIM = 6
+
+
+class DotScorer(ScorerBase):
+    """Scores are exactly the embedding inner products.
+
+    With the scorer and the index agreeing on the score function, the
+    retrieve+rerank pipeline is rank-faithful whenever the search is
+    exact — which is what the parity tests pin.
+    """
+
+    def __init__(self, provider):
+        self.provider = provider
+        ids, self._items = provider.item_vectors()
+        self._cols = {item: c for c, item in enumerate(ids)}
+
+    def score_batch(self, user_ids, items):
+        queries = self.provider.query_vectors(user_ids)
+        cols = [self._cols[i] for i in items]
+        return queries @ self._items[cols].T
+
+
+def catalog(n_items, n_users=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return StaticEmbeddingProvider(
+        list(range(n_items)),
+        rng.normal(0.0, 1.0, (n_items, DIM)),
+        list(range(n_users)),
+        rng.normal(0.0, 1.0, (n_users, DIM)),
+    )
+
+
+def services(provider, registry=None, exact_probes=True, **config):
+    """(service-with-retriever, full-scan service) over one catalog."""
+    ids, vectors = provider.item_vectors()
+    index = ClusteredANNIndex.build(ids, vectors, seed=0)
+    defaults = dict(k_candidates=16, min_catalog=1)
+    defaults.setdefault(
+        "n_probe", index.n_clusters if exact_probes else 4
+    )
+    defaults.update(config)
+    retriever = CandidateRetriever(
+        provider,
+        config=RetrievalConfig(**defaults),
+        index=index,
+        telemetry=registry,
+    )
+    with_retrieval = RecommendationService(retriever=retriever)
+    with_retrieval.register("dot", DotScorer(provider))
+    full_scan = RecommendationService()
+    full_scan.register("dot", DotScorer(provider))
+    return with_retrieval, full_scan
+
+
+class TestExactFallbackParity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n_items=st.integers(8, 60),
+        user_id=st.integers(0, 7),
+    )
+    def test_k_equals_catalog_is_exact(self, seed, n_items, user_id):
+        """The ISSUE pin: retrieve+rerank == full scan when k == catalog.
+
+        Oversampling then reaches the whole catalog, so the retriever
+        must step aside (``exact_k``) and both services serve the very
+        same ranking — scores, multipliers and tie-breaks included.
+        """
+        provider = catalog(n_items, seed=seed)
+        with_retrieval, full_scan = services(provider)
+        items = list(range(n_items))
+        request = RecommendationRequest(
+            user_id=user_id, items=items, k=n_items
+        )
+        assert (
+            with_retrieval.recommend(request).ranked
+            == full_scan.recommend(request).ranked
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        user_id=st.integers(0, 7),
+        k=st.integers(1, 10),
+    )
+    def test_exact_probing_parity_below_catalog(self, seed, user_id, k):
+        """With every cluster probed the candidate set provably contains
+        the true top-k, so re-ranking returns the full-scan ranking even
+        on the retrieved (O(k)) path."""
+        n_items = 80
+        provider = catalog(n_items, seed=seed)
+        with_retrieval, full_scan = services(provider, exact_probes=True)
+        got = with_retrieval.recommend(
+            RecommendationRequest(user_id=user_id, items=None, k=k)
+        )
+        want = full_scan.recommend(
+            RecommendationRequest(
+                user_id=user_id, items=list(range(n_items)), k=k
+            )
+        )
+        assert got.ranked == want.ranked
+
+
+class TestServiceWiring:
+    def test_items_none_without_retriever_raises(self):
+        service = RecommendationService()
+        service.register("dot", DotScorer(catalog(20)))
+        with pytest.raises(RuntimeError, match="retriever"):
+            service.recommend(RecommendationRequest(user_id=1, items=None))
+
+    def test_items_none_serves_the_indexed_catalog(self):
+        registry = MetricsRegistry()
+        provider = catalog(300)
+        with_retrieval, __ = services(provider, registry=registry)
+        response = with_retrieval.recommend(
+            RecommendationRequest(user_id=2, items=None, k=3)
+        )
+        assert len(response.ranked) == 3
+        assert registry.snapshot().value(
+            labelled("serving.retrieval.requests", path="retrieved")
+        ) == 1
+
+    def test_retrieved_scores_match_full_scan_per_item(self):
+        provider = catalog(300)
+        with_retrieval, full_scan = services(provider)
+        got = with_retrieval.recommend(
+            RecommendationRequest(user_id=3, items=None, k=5)
+        )
+        want = full_scan.recommend(
+            RecommendationRequest(user_id=3, items=list(range(300)), k=5)
+        )
+        # identical rankings, and the surviving candidates carry the
+        # *real* scorer scores, not index approximations
+        assert got.ranked == want.ranked
+        by_item = {e.item: e.base_score for e in want.ranked}
+        for entry in got.ranked:
+            assert entry.base_score == by_item[entry.item]
+
+    def test_set_retriever_detaches_the_stage(self):
+        registry = MetricsRegistry()
+        provider = catalog(300)
+        with_retrieval, __ = services(provider, registry=registry)
+        with_retrieval.set_retriever(None)
+        with pytest.raises(RuntimeError, match="retriever"):
+            with_retrieval.recommend(
+                RecommendationRequest(user_id=1, items=None)
+            )
+        assert registry.snapshot().value(
+            labelled("serving.retrieval.requests", path="retrieved")
+        ) == 0
+
+    def test_refresher_keeps_the_service_fresh(self):
+        """End-to-end: build via refresher, serve, refit, rebuild, serve."""
+        provider = catalog(300)
+        retriever = CandidateRetriever(
+            provider,
+            config=RetrievalConfig(k_candidates=16, n_probe=64, min_catalog=1),
+        )
+        refresher = IndexRefresher(provider, retriever, seed=0)
+        service = RecommendationService(retriever=retriever)
+        service.register("dot", DotScorer(provider))
+        refresher.poll()
+        first = service.recommend(
+            RecommendationRequest(user_id=4, items=None, k=5)
+        )
+        assert len(first.ranked) == 5
+        provider.bump()
+        assert refresher.poll() == 2
+        assert retriever.generation == 2
+        second = service.recommend(
+            RecommendationRequest(user_id=4, items=None, k=5)
+        )
+        assert second.ranked == first.ranked  # same vectors, same answer

@@ -1,0 +1,173 @@
+"""The advisory budget hint: probing, cooperative cuts, service plumbing."""
+
+from time import monotonic
+
+import numpy as np
+
+from repro.serving.adapters import (
+    PropensityScorer,
+    RatingModelScorer,
+    accepts_budget,
+    as_scorer,
+)
+from repro.serving.budget import Budget
+from repro.serving.requests import RecommendationRequest
+from repro.serving.scorer import ScorerBase
+from repro.serving.service import RecommendationService
+
+
+def expired_budget():
+    return Budget(monotonic() - 1.0)
+
+
+class ConstantModel:
+    def predict(self, user_id, item):
+        return float(item)
+
+
+class TestAcceptsBudget:
+    def test_probes_the_signature(self):
+        assert accepts_budget(RatingModelScorer(ConstantModel()))
+
+        class Plain(ScorerBase):
+            def score_batch(self, user_ids, items):
+                return np.zeros((len(user_ids), len(items)))
+
+        assert not accepts_budget(Plain())
+
+    def test_result_is_cached_on_the_instance(self):
+        scorer = RatingModelScorer(ConstantModel())
+        assert accepts_budget(scorer)
+        assert scorer.__accepts_budget__ is True
+        # the cache wins even if the method is monkeyed afterwards
+        scorer.score_batch = lambda user_ids, items: None
+        assert accepts_budget(scorer)
+
+    def test_unprobeable_objects_are_just_false(self):
+        assert not accepts_budget(object())
+
+
+class TestRatingModelScorerBudget:
+    def test_no_budget_scores_everything(self):
+        grid = RatingModelScorer(ConstantModel()).score_batch(
+            [1, 2], [10, 20]
+        )
+        np.testing.assert_array_equal(grid, [[10.0, 20.0], [10.0, 20.0]])
+
+    def test_expired_budget_fills_remaining_rows_neutrally(self):
+        class CountingModel:
+            calls = 0
+
+            def predict(self, user_id, item):
+                CountingModel.calls += 1
+                return float(item)
+
+        scorer = RatingModelScorer(CountingModel())
+        grid = scorer.score_batch([1, 2, 3], [10, 20], budget=expired_budget())
+        # the budget was dead on arrival: zero predictions, all-tie grid
+        assert CountingModel.calls == 0
+        np.testing.assert_array_equal(grid, np.zeros((3, 2)))
+
+    def test_mid_grid_expiry_ties_the_unscored_rows(self):
+        class ExpiringBudget(Budget):
+            """Alive for the first row, dead afterwards."""
+
+            def __init__(self):
+                super().__init__(monotonic() + 3600)
+                self._checks = 0
+
+            def expired(self):
+                self._checks += 1
+                return self._checks > 1
+
+        grid = RatingModelScorer(ConstantModel()).score_batch(
+            [1, 2, 3], [10, 20], budget=ExpiringBudget()
+        )
+        np.testing.assert_array_equal(grid[0], [10.0, 20.0])
+        fill = float(grid[0].mean())
+        np.testing.assert_array_equal(grid[1:], np.full((2, 2), fill))
+
+
+class FakeCourse:
+    def __init__(self, item):
+        self.item = item
+
+
+class FakeEngine:
+    """PropensityEngine-shaped: one full pass per item column."""
+
+    class world:
+        catalog = {item: FakeCourse(item) for item in (1, 2, 3, 4)}
+
+    def __init__(self):
+        self.passes = 0
+
+    def score_users(self, user_ids, course):
+        self.passes += 1
+        return np.full(len(user_ids), float(course.item))
+
+
+class TestPropensityScorerBudget:
+    def test_no_budget_scores_every_column(self):
+        engine = FakeEngine()
+        grid = PropensityScorer(engine).score_batch([1, 2], [1, 2, 3, 4])
+        assert engine.passes == 4
+        np.testing.assert_array_equal(
+            grid, np.tile([1.0, 2.0, 3.0, 4.0], (2, 1))
+        )
+
+    def test_expired_budget_cuts_after_the_first_column(self):
+        engine = FakeEngine()
+        grid = PropensityScorer(engine).score_batch(
+            [1, 2], [1, 2, 3, 4], budget=expired_budget()
+        )
+        # at least one real column always lands (there is no neutral
+        # fill before any signal exists), the rest tie on its mean
+        assert engine.passes == 1
+        np.testing.assert_array_equal(grid[:, 0], [1.0, 1.0])
+        np.testing.assert_array_equal(grid[:, 1:], np.ones((2, 3)))
+
+
+class TestServicePassesBudget:
+    def test_budgeted_request_reaches_an_accepting_scorer(self):
+        seen = []
+
+        class Recording(ScorerBase):
+            def score_batch(self, user_ids, items, budget=None):
+                seen.append(budget)
+                return np.zeros((len(user_ids), len(items)))
+
+        service = RecommendationService()
+        service.register("rec", Recording())
+        service.recommend(
+            RecommendationRequest(user_id=1, items=[1, 2], deadline_s=30.0)
+        )
+        service.recommend(RecommendationRequest(user_id=1, items=[1, 2]))
+        assert isinstance(seen[0], Budget)
+        assert seen[0].remaining() > 0
+        assert seen[1] is None  # no deadline, no budget
+
+    def test_non_accepting_scorers_are_called_budget_free(self):
+        class Plain(ScorerBase):
+            def score_batch(self, user_ids, items):
+                return np.zeros((len(user_ids), len(items)))
+
+        service = RecommendationService()
+        service.register("plain", Plain())
+        response = service.recommend(
+            RecommendationRequest(user_id=1, items=[1, 2], deadline_s=30.0)
+        )
+        assert len(response.ranked) == 2
+
+    def test_as_scorer_passthrough_keeps_the_budget_signature(self):
+        scorer = as_scorer(RatingModelScorer(ConstantModel()))
+        assert accepts_budget(scorer)
+
+
+class TestNeutralFillIsRankNeutral:
+    def test_cut_rows_tie_instead_of_biasing_the_ranking(self):
+        grid = np.array([[5.0, 1.0], [0.0, 0.0], [0.0, 0.0]])
+        from repro.serving.adapters import _neutral_fill
+
+        filled = _neutral_fill(grid, 1, 2)
+        assert filled[1, 0] == filled[1, 1] == filled[2, 0] == 3.0

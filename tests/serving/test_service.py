@@ -610,7 +610,7 @@ class TestServingTelemetry:
         )
         assert response.trace_id is not None
         assert [s.name for s in service.tracer.trace(response.trace_id)] == [
-            "serving.resolve", "serving.score",
+            "serving.resolve", "serving.retrieve", "serving.score",
             "serving.advice", "serving.respond",
         ]
         selection = service.select_users(
@@ -622,7 +622,7 @@ class TestServingTelemetry:
         assert snap.value(labelled("serving.requests", kind="recommend")) == 1
         assert snap.value(labelled("serving.requests", kind="select")) == 1
         assert snap.histogram("serving.request_seconds").count == 2
-        for stage in ("resolve", "score", "advice", "respond"):
+        for stage in ("resolve", "retrieve", "score", "advice", "respond"):
             hist = snap.histogram(labelled("serving.stage_seconds", stage=stage))
             assert hist.count == 2
 
